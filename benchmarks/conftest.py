@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+reproduced rows/series, and writes them to ``benchmarks/results/<name>.txt``
+so the numbers are inspectable after a ``--benchmark-only`` run (where
+captured stdout is not shown).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def report_table():
+    """Print a reproduced table and persist it under benchmarks/results/."""
+
+    def _report(name: str, title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+        table = f"{title}\n{format_table(headers, rows)}\n"
+        print("\n" + table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(table)
+        return table
+
+    return _report

@@ -1,0 +1,64 @@
+"""ABL-UV-ML: undervolting an ML accelerator below the guardband.
+
+Section III.C argues that, because ML models are inherently resilient to
+bit-flips, aggressive undervolting can push FPGA-based inference below the
+voltage guardband and keep most of the critical-region power saving with
+negligible accuracy loss.  The ablation sweeps the operating voltage of the
+BRAM-resident quantised model, with and without the low-cost weight-clipping
+mitigation, and reports accuracy and power saving per operating point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.undervolting.mlresilience import UndervoltedInferenceStudy
+from repro.undervolting.voltage import VoltageRegion
+
+
+def run_study():
+    study = UndervoltedInferenceStudy(platform="VC707", n_samples=1500, seed=13)
+    raw = study.sweep(step_v=0.02, mitigate=False)
+    mitigated = study.sweep(step_v=0.02, mitigate=True)
+    operating_point = study.recommended_operating_point(max_accuracy_drop=0.01)
+    return study, raw, mitigated, operating_point
+
+
+@pytest.mark.benchmark(group="ablation-undervolt-ml")
+def test_ablation_undervolted_inference(benchmark, report_table):
+    study, raw, mitigated, operating_point = benchmark(run_study)
+
+    rows = []
+    for raw_point, mitigated_point in zip(raw, mitigated):
+        rows.append(
+            [
+                f"{raw_point.voltage_v:.2f}",
+                raw_point.region.value,
+                f"{100 * raw_point.power_saving_fraction:.0f}",
+                f"{raw_point.accuracy:.3f}",
+                f"{mitigated_point.accuracy:.3f}",
+            ]
+        )
+    report_table(
+        "ablation_undervolt_ml",
+        f"Section III.C reproduction -- undervolted DNN inference on VC707 "
+        f"(baseline accuracy {study.baseline_accuracy:.3f}; recommended operating point "
+        f"{operating_point.voltage_v:.2f} V saving {100 * operating_point.power_saving_fraction:.0f} % BRAM power)",
+        ["VCCBRAM (V)", "region", "power saving (%)", "accuracy (raw)", "accuracy (mitigated)"],
+        rows,
+    )
+
+    # Inside the guardband nothing changes.
+    guardband = [p for p in raw if p.region is VoltageRegion.GUARDBAND]
+    assert all(p.accuracy >= study.baseline_accuracy - 0.02 for p in guardband)
+    # The recommended operating point is below the guardband edge yet keeps
+    # accuracy within 1 % -- the paper's "significant power saving even below
+    # the voltage guardband region" claim.
+    assert operating_point.voltage_v < study.calibration.vmin + 1e-9
+    assert operating_point.accuracy >= study.baseline_accuracy - 0.01
+    assert operating_point.power_saving_fraction > 0.5
+    # Deep in the critical region the raw accuracy eventually degrades, and
+    # the mitigation recovers part of it.
+    deepest_raw = raw[-1]
+    deepest_mitigated = mitigated[-1]
+    assert deepest_mitigated.accuracy >= deepest_raw.accuracy - 0.05

@@ -1,0 +1,51 @@
+"""FIG5: VCCBRAM undervolting -- voltage regions, power saving, fault rate.
+
+Regenerates Fig. 5 of the paper: the VC707 voltage sweep with its three
+operating regions, the BRAM power-saving curve (>90 % at Vcrash) and the
+exponentially growing fault rate (652 faults/Mbit at Vcrash).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.undervolting.experiment import sweep_platform
+from repro.undervolting.voltage import VoltageRegion
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_vc707_undervolting_curve(benchmark, report_table):
+    result = benchmark(sweep_platform, "VC707", 0.01)
+
+    rows = []
+    for point in result.points:
+        rows.append(
+            [
+                f"{point.voltage_v:.2f}",
+                point.region.value,
+                "n/a" if math.isnan(point.faults_per_mbit) else f"{point.faults_per_mbit:.2f}",
+                f"{100 * point.power_saving_fraction:.1f}",
+            ]
+        )
+    report_table(
+        "fig5_vc707",
+        "Fig. 5 reproduction -- VC707 VCCBRAM sweep (paper: Vmin=0.61 V, Vcrash=0.54 V, "
+        "652 faults/Mbit and >90 % power saving at Vcrash)",
+        ["VCCBRAM (V)", "region", "faults/Mbit", "BRAM power saving (%)"],
+        rows,
+    )
+
+    # Shape checks against the paper's reported corners.
+    assert result.vmin == pytest.approx(0.61, abs=0.02)
+    assert result.vcrash == pytest.approx(0.54, abs=0.02)
+    assert result.max_faults_per_mbit == pytest.approx(652.0, rel=0.05)
+    assert result.max_power_saving_fraction > 0.90
+    regions = [p.region for p in result.points]
+    assert VoltageRegion.GUARDBAND in regions
+    assert VoltageRegion.CRITICAL in regions
+    assert VoltageRegion.CRASH in regions
+    # Fault rate grows monotonically (exponentially) through the critical region.
+    critical = [p.faults_per_mbit for p in result.critical_points()]
+    assert all(critical[i] <= critical[i + 1] + 1e-9 for i in range(len(critical) - 1))

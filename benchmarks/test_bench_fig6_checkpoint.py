@@ -1,0 +1,64 @@
+"""FIG6: Heat2D checkpoint/restart time under weak scaling.
+
+Regenerates both panels of Fig. 6: checkpoint and recovery time for the
+initial (blocking) and async (optimised) FTI implementations, at 1/4/8/16
+nodes with 4 ranks per node and 16 GiB / 32 GiB of checkpointed data per
+rank (1 TiB / 2 TiB total at 16 nodes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpoint.fti import CheckpointStrategy
+from repro.checkpoint.heat2d import run_fig6_experiment
+
+NODE_COUNTS = (1, 4, 8, 16)
+SIZES = (16.0, 32.0)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_heat2d_checkpoint_restart(benchmark, report_table):
+    points = benchmark(run_fig6_experiment, NODE_COUNTS, SIZES)
+
+    rows = []
+    for point in points:
+        rows.append(
+            [
+                f"{point.gib_per_rank:.0f} GiB/rank",
+                point.nodes,
+                f"{point.total_checkpointed_tib * 1024:.0f} GiB",
+                point.strategy.value,
+                f"{point.checkpoint_time_s:.1f}",
+                f"{point.recover_time_s:.1f}",
+            ]
+        )
+    report_table(
+        "fig6_checkpoint",
+        "Fig. 6 reproduction -- Heat2D C/R time (paper: flat under weak scaling; "
+        "async ~12x faster checkpoints, ~5x faster recovery)",
+        ["problem size", "nodes", "total ckpt data", "strategy", "ckpt (s)", "recover (s)"],
+        rows,
+    )
+
+    def select(nodes, gib, strategy):
+        return next(
+            p for p in points if p.nodes == nodes and p.gib_per_rank == gib and p.strategy == strategy
+        )
+
+    for gib in SIZES:
+        initial_costs = [select(n, gib, CheckpointStrategy.INITIAL).checkpoint_time_s for n in NODE_COUNTS]
+        async_costs = [select(n, gib, CheckpointStrategy.ASYNC).checkpoint_time_s for n in NODE_COUNTS]
+        # Weak scaling: checkpoint overhead does not increase with node count.
+        assert max(initial_costs) == pytest.approx(min(initial_costs), rel=0.05)
+        assert max(async_costs) == pytest.approx(min(async_costs), rel=0.05)
+        # The async path wins by roughly an order of magnitude on checkpoints
+        # and around 5x on recovery, at every scale.
+        for nodes in NODE_COUNTS:
+            initial = select(nodes, gib, CheckpointStrategy.INITIAL)
+            asynchronous = select(nodes, gib, CheckpointStrategy.ASYNC)
+            assert 8.0 < initial.checkpoint_time_s / asynchronous.checkpoint_time_s < 20.0
+            assert 3.0 < initial.recover_time_s / asynchronous.recover_time_s < 8.0
+    # Total checkpointed data matches the paper's axis labels at 16 nodes.
+    assert select(16, 16.0, CheckpointStrategy.ASYNC).total_checkpointed_tib == pytest.approx(1.0, rel=0.01)
+    assert select(16, 32.0, CheckpointStrategy.ASYNC).total_checkpointed_tib == pytest.approx(2.0, rel=0.01)

@@ -1,0 +1,57 @@
+"""TAB-GOALS: the project-goal table of Section VII.
+
+LEGaTO's final-year targets are 10x energy, 10x security, 5x reliability
+and 5x productivity improvements over an un-optimised baseline.  The
+benchmark runs the integrated stack (energy-aware heterogeneous scheduling,
+FPGA undervolting, async task checkpointing, selective replication, enclave
+security, single-source task annotations) against the baseline deployment on
+the reference ML-inference workload and reports achieved-vs-target factors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LegatoConfig
+from repro.core.ecosystem import LegatoSystem
+from repro.core.goals import PROJECT_TARGETS
+
+
+def evaluate():
+    system = LegatoSystem(LegatoConfig.default())
+    return system.evaluate_goals(num_batches=6)
+
+
+@pytest.mark.benchmark(group="goals")
+def test_project_goal_dashboard(benchmark, report_table):
+    report = benchmark(evaluate)
+
+    rows = []
+    for assessment in report.assessments:
+        rows.append(
+            [
+                assessment.dimension,
+                f"{assessment.target_factor:.0f}x",
+                f"{assessment.achieved_factor:.1f}x",
+                "yes" if assessment.met else "in progress",
+                assessment.metric,
+            ]
+        )
+    report_table(
+        "tab_goals",
+        "Section VII reproduction -- project goals (targets are end-of-project ambitions)",
+        ["dimension", "target", "achieved (simulated)", "met", "metric"],
+        rows,
+    )
+
+    assert set(report.dimensions) == set(PROJECT_TARGETS)
+    # Energy: heterogeneous energy-aware execution plus undervolting yields a
+    # multi-x saving over CPU-only performance scheduling (the 10x figure is
+    # the end-of-project ambition; the integrated simulation reaches ~5x).
+    assert report.assessment("energy").achieved_factor > 3.0
+    # Security: enclave protection removes most sensitive-data exposure.
+    assert report.assessment("security").achieved_factor >= 10.0
+    # Reliability: async checkpointing sustains several-times smaller MTBF.
+    assert report.assessment("reliability").achieved_factor > 5.0
+    # Productivity: single-source annotations beat per-target manual ports.
+    assert report.assessment("productivity").achieved_factor > 5.0

@@ -1,0 +1,115 @@
+"""FIG7: HEATS behavioural evaluation -- the energy/performance trade-off.
+
+Fig. 7 of the paper shows HEATS's architecture; its behaviour (summarised in
+Section V and evaluated in the HEATS PDP'19 paper) is that the scheduler
+lets customers trade performance against energy: with an energy-leaning
+weight it undercuts the energy of heterogeneity-unaware scheduling, and with
+a performance-leaning weight it tracks the best-performance scheduler.
+
+The benchmark replays the same task stream under HEATS (at several
+energy/performance weights) and under the three baselines, on the same
+heterogeneous cluster, and reports energy and mean turnaround per policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduler.baselines import (
+    EnergyGreedyScheduler,
+    PerformanceBestFitScheduler,
+    RoundRobinScheduler,
+)
+from repro.scheduler.cluster import Cluster
+from repro.scheduler.heats import HeatsScheduler
+from repro.scheduler.modeling import ProfilingCampaign
+from repro.scheduler.simulation import run_policy_comparison
+from repro.scheduler.workload import TaskRequest, WorkloadGenerator
+
+ENERGY_WEIGHTS = (0.0, 0.5, 1.0)
+NUM_TASKS = 60
+
+
+def _cluster() -> Cluster:
+    return Cluster.heats_testbed(scale=2)
+
+
+def _reweighted(requests, weight):
+    return [
+        TaskRequest(
+            task_id=r.task_id,
+            arrival_s=r.arrival_s,
+            workload=r.workload,
+            gops=r.gops,
+            cores=r.cores,
+            memory_gib=r.memory_gib,
+            energy_weight=weight,
+        )
+        for r in requests
+    ]
+
+
+def run_tradeoff():
+    models = ProfilingCampaign(_cluster(), noise_fraction=0.03, seed=11).run().fit()
+    base_requests = WorkloadGenerator(seed=11, mean_interarrival_s=12.0).generate(NUM_TASKS)
+
+    results = {}
+    for weight in ENERGY_WEIGHTS:
+        requests = _reweighted(base_requests, weight)
+        outcome = run_policy_comparison(
+            _cluster, {"heats": lambda cluster: HeatsScheduler(models)}, requests
+        )["heats"]
+        results[f"heats(w={weight:.1f})"] = outcome
+    baseline_outcomes = run_policy_comparison(
+        _cluster,
+        {
+            "round_robin": lambda cluster: RoundRobinScheduler(models),
+            "performance_best_fit": lambda cluster: PerformanceBestFitScheduler(models),
+            "energy_greedy": lambda cluster: EnergyGreedyScheduler(models),
+        },
+        _reweighted(base_requests, 0.5),
+    )
+    results.update(baseline_outcomes)
+    return results
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_heats_energy_performance_tradeoff(benchmark, report_table):
+    results = benchmark(run_tradeoff)
+
+    rows = []
+    for name, outcome in results.items():
+        rows.append(
+            [
+                name,
+                len(outcome.completed),
+                f"{outcome.task_energy_j / 1e3:.1f}",
+                f"{outcome.total_energy_j / 1e3:.1f}",
+                f"{outcome.mean_turnaround_s:.1f}",
+                outcome.num_migrations,
+            ]
+        )
+    report_table(
+        "fig7_heats",
+        "Fig. 7 / Section V reproduction -- HEATS vs baselines on the same task stream",
+        ["policy", "tasks", "task energy (kJ)", "total energy (kJ)", "mean turnaround (s)", "migrations"],
+        rows,
+    )
+
+    heats_energy = results["heats(w=1.0)"]
+    heats_perf = results["heats(w=0.0)"]
+    round_robin = results["round_robin"]
+    perf_best = results["performance_best_fit"]
+    energy_greedy = results["energy_greedy"]
+
+    # Everybody finishes the stream.
+    assert all(len(r.completed) == NUM_TASKS for r in results.values())
+    # Energy-leaning HEATS saves task energy versus heterogeneity-unaware
+    # round-robin placement (the headline HEATS claim).
+    assert heats_energy.task_energy_j < round_robin.task_energy_j
+    # Performance-leaning HEATS is at least as fast as energy-greedy placement
+    # and close to the performance-only scheduler.
+    assert heats_perf.mean_turnaround_s <= energy_greedy.mean_turnaround_s * 1.05
+    assert heats_perf.mean_turnaround_s <= perf_best.mean_turnaround_s * 1.25
+    # The knob is monotone: leaning towards energy does not increase task energy.
+    assert results["heats(w=1.0)"].task_energy_j <= results["heats(w=0.0)"].task_energy_j + 1e-6

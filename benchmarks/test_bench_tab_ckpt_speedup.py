@@ -1,0 +1,54 @@
+"""TAB-CKPT: async-vs-initial speedups and the sustainable-MTBF estimate.
+
+Regenerates the Section IV text numbers: the optimised (async) FTI reduces
+checkpoint overhead by 12.05x and recovery overhead by 5.13x versus the
+initial implementation, and -- via the checkpoint efficiency model -- can
+sustain execution on systems with roughly 7x smaller MTBF at the same
+application overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpoint.fti import CheckpointStrategy
+from repro.checkpoint.heat2d import run_fig6_point
+from repro.checkpoint.mtbf import CheckpointEfficiencyModel, sustainable_mtbf_ratio
+
+PAPER_CKPT_SPEEDUP = 12.05
+PAPER_RECOVER_SPEEDUP = 5.13
+PAPER_MTBF_FACTOR = 7.0
+
+
+def measure():
+    initial = run_fig6_point(4, 16.0, CheckpointStrategy.INITIAL)
+    asynchronous = run_fig6_point(4, 16.0, CheckpointStrategy.ASYNC)
+    ckpt_speedup = initial.checkpoint_time_s / asynchronous.checkpoint_time_s
+    recover_speedup = initial.recover_time_s / asynchronous.recover_time_s
+    mtbf_factor = sustainable_mtbf_ratio(
+        CheckpointEfficiencyModel(initial.checkpoint_time_s, initial.recover_time_s),
+        CheckpointEfficiencyModel(asynchronous.checkpoint_time_s, asynchronous.recover_time_s),
+        overhead_budget=0.05,
+    )
+    return ckpt_speedup, recover_speedup, mtbf_factor
+
+
+@pytest.mark.benchmark(group="tab-ckpt")
+def test_tab_checkpoint_speedups_and_mtbf(benchmark, report_table):
+    ckpt_speedup, recover_speedup, mtbf_factor = benchmark(measure)
+
+    report_table(
+        "tab_ckpt_speedup",
+        "Section IV reproduction -- async vs initial FTI implementation",
+        ["metric", "paper", "measured"],
+        [
+            ["checkpoint overhead reduction", f"{PAPER_CKPT_SPEEDUP:.2f}x", f"{ckpt_speedup:.2f}x"],
+            ["recovery overhead reduction", f"{PAPER_RECOVER_SPEEDUP:.2f}x", f"{recover_speedup:.2f}x"],
+            ["sustainable MTBF reduction", f"{PAPER_MTBF_FACTOR:.1f}x", f"{mtbf_factor:.1f}x"],
+        ],
+    )
+
+    assert ckpt_speedup == pytest.approx(PAPER_CKPT_SPEEDUP, rel=0.35)
+    assert recover_speedup == pytest.approx(PAPER_RECOVER_SPEEDUP, rel=0.35)
+    # The MTBF estimate is first-order; require the right order of magnitude.
+    assert 3.5 < mtbf_factor < 20.0

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Smart Mirror demo (paper Section VI): detection + tracking on the edge server.
+
+The example runs the Smart Mirror pipeline -- synthetic scene, detector
+suite, Kalman + Hungarian multi-object tracking -- on three hardware
+compositions: the original two-GTX1080 workstation prototype (21 FPS at
+~400 W) and two three-slot edge-server compositions, including the
+optimised low-power target (10 FPS under 50 W).
+
+Run with:  python examples/smart_mirror_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.usecases.smartmirror import PipelineConfiguration, SmartMirrorPipeline
+
+FRAMES = 150
+
+
+def main() -> None:
+    configurations = [
+        PipelineConfiguration.workstation_prototype(),
+        PipelineConfiguration.edge_cpu_2gpu(),
+        PipelineConfiguration.edge_low_power(),
+    ]
+
+    print(f"Running the Smart Mirror pipeline for {FRAMES} frames per composition...\n")
+    print(
+        f"{'composition':<24s} {'FPS':>6s} {'power(W)':>9s} {'J/frame':>8s} "
+        f"{'MOTA':>6s} {'recall':>7s} {'ID switches':>12s}"
+    )
+    reports = []
+    for configuration in configurations:
+        pipeline = SmartMirrorPipeline(configuration)
+        report = pipeline.run(frames=FRAMES)
+        reports.append(report)
+        print(
+            f"{configuration.name:<24s} {report.fps:6.1f} {report.power_w:9.1f} "
+            f"{report.energy_per_frame_j:8.2f} {report.tracking.mota:6.2f} "
+            f"{report.tracking.recall:7.2f} {report.tracking.identity_switches:12d}"
+        )
+
+    workstation, _, edge = reports
+    print(
+        f"\nThe optimised edge composition is "
+        f"{edge.fps_per_watt / workstation.fps_per_watt:.1f}x more power-efficient "
+        f"(FPS per watt) than the workstation prototype, while keeping tracking quality."
+    )
+    print("\nPer-device utilisation on the low-power edge target:")
+    for node, utilisation in edge.device_utilisation.items():
+        print(f"  {node:<35s} {100 * utilisation:5.1f} % busy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""FPGA undervolting characterisation (paper Section III, Fig. 5).
+
+Sweeps VCCBRAM from the nominal 1.0 V down to the crash voltage on all four
+calibrated platforms (VC707, KC705-A, KC705-B, ZC702), prints the guardband
+/ critical / crash regions, the power saving and the fault rate, and then
+shows how an undervolted ML accelerator keeps its accuracy below the
+guardband (Section III.C).
+
+Run with:  python examples/undervolting_characterization.py
+"""
+
+from __future__ import annotations
+
+from repro.undervolting import UndervoltedInferenceStudy, sweep_platform
+from repro.undervolting.platforms import PLATFORMS
+
+
+def main() -> None:
+    print("=== Voltage sweep (10 mV steps) ===")
+    for name in sorted(PLATFORMS):
+        result = sweep_platform(name, step_v=0.01)
+        print(
+            f"  {name:<8s} Vmin={result.vmin:.2f} V  Vcrash={result.vcrash:.2f} V  "
+            f"fault rate at Vcrash={result.max_faults_per_mbit:6.0f} faults/Mbit  "
+            f"max BRAM power saving={100 * result.max_power_saving_fraction:4.1f} %"
+        )
+
+    print("\n=== VC707 detail (every 30 mV) ===")
+    detail = sweep_platform("VC707", step_v=0.03)
+    print(f"  {'V':>5s} {'region':>10s} {'faults/Mbit':>12s} {'saving %':>9s}")
+    for point in detail.points:
+        faults = "-" if point.region.value == "crash" else f"{point.faults_per_mbit:.1f}"
+        print(
+            f"  {point.voltage_v:5.2f} {point.region.value:>10s} {faults:>12s} "
+            f"{100 * point.power_saving_fraction:9.1f}"
+        )
+
+    print("\n=== Undervolted DNN inference on VC707 (Section III.C) ===")
+    study = UndervoltedInferenceStudy(platform="VC707")
+    print(f"  baseline accuracy: {study.baseline_accuracy:.3f}")
+    for point in study.sweep(step_v=0.04, mitigate=True):
+        print(
+            f"  V={point.voltage_v:.2f}  region={point.region.value:<9s} "
+            f"accuracy={point.accuracy:.3f}  BRAM power saving={100 * point.power_saving_fraction:4.1f} %"
+        )
+    recommended = study.recommended_operating_point(max_accuracy_drop=0.01)
+    print(
+        f"\n  recommended operating point: {recommended.voltage_v:.2f} V "
+        f"({100 * recommended.power_saving_fraction:.0f} % BRAM power saving, "
+        f"accuracy {recommended.accuracy:.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro -- reproduction of the LEGaTO heterogeneous-computing toolset.
+
+LEGaTO (Low-Energy, Secure, and Resilient Toolset for Heterogeneous
+Computing, DATE 2020) is an integrated hardware/software stack for
+energy-efficient, secure, and resilient computing on CPU + GPU + FPGA
+platforms.  This package reproduces the stack on top of simulated hardware:
+
+* :mod:`repro.hardware`      -- RECS|BOX microserver platform substrate.
+* :mod:`repro.middleware`    -- management firmware and OpenStack-like IaaS
+  resource management (Section II.B).
+* :mod:`repro.undervolting`  -- aggressive FPGA BRAM undervolting (Section III).
+* :mod:`repro.checkpoint`    -- FTI-style transparent GPU/CPU checkpointing
+  (Section IV).
+* :mod:`repro.runtime`       -- OmpSs / XiTAO-like task-based runtimes
+  (Section II.C) with fault-tolerance extensions.
+* :mod:`repro.scheduler`     -- HEATS heterogeneity- and energy-aware
+  scheduler (Section V).
+* :mod:`repro.compiler`      -- task-based dataflow front end and HLS
+  estimation (Section II.D/E).
+* :mod:`repro.security`      -- enclave-backed secure task execution.
+* :mod:`repro.usecases`      -- Smart Mirror and the other LEGaTO use cases
+  (Section VI).
+* :mod:`repro.core`          -- the integrated LEGaTO ecosystem facade and
+  project-goal metrics.
+"""
+
+from repro.core.config import LegatoConfig
+from repro.core.ecosystem import LegatoSystem
+
+__version__ = "1.0.0"
+
+__all__ = ["LegatoSystem", "LegatoConfig", "__version__"]

@@ -1,0 +1,72 @@
+"""Transparent GPU/CPU checkpointing (paper Section IV, Fig. 6).
+
+LEGaTO extends the FTI multilevel checkpoint library so a single
+``FTI_Protect`` call handles host memory, CUDA device memory and unified
+virtual memory (UVM) transparently: the runtime identifies where each
+protected buffer physically lives and moves it to stable storage
+accordingly, overlapping the device-to-host transfer with the file write
+through streams and chunked asynchronous copies.
+
+Because no GPU, NVMe or MPI cluster is available here, the subpackage builds
+the whole substrate as calibrated simulation:
+
+* :mod:`repro.checkpoint.mpi`     -- a simulated MPI world (ranks, barriers).
+* :mod:`repro.checkpoint.gpu`     -- a simulated CUDA-like device with
+  device/UVM allocations, streams and asynchronous chunked copies.
+* :mod:`repro.checkpoint.memory`  -- the buffer abstraction FTI protects.
+* :mod:`repro.checkpoint.storage` -- multilevel stable storage (local NVMe,
+  partner copy, erasure-coded, parallel file system).
+* :mod:`repro.checkpoint.fti`     -- the FTI-style API
+  (``init/protect/snapshot/checkpoint/recover/finalize``) with the *initial*
+  (blocking) and *async* (optimised) checkpoint paths of Fig. 6.
+* :mod:`repro.checkpoint.heat2d`  -- the Heat2D stencil application used for
+  the evaluation.
+* :mod:`repro.checkpoint.mtbf`    -- the Young/Daly efficiency model behind
+  the "7x smaller MTBF" claim.
+"""
+
+from repro.checkpoint.mpi import MpiWorld, MpiCommunicator
+from repro.checkpoint.memory import MemoryKind, ProtectedBuffer
+from repro.checkpoint.gpu import CudaStream, SimulatedGpu, TransferModel
+from repro.checkpoint.storage import (
+    CheckpointLevel,
+    LocalNvme,
+    ParallelFileSystem,
+    PartnerCopy,
+    ReedSolomonEncoded,
+    StorageHierarchy,
+)
+from repro.checkpoint.fti import (
+    CheckpointRecord,
+    CheckpointStrategy,
+    FtiConfig,
+    FtiContext,
+    FtiDataType,
+)
+from repro.checkpoint.heat2d import Heat2dSimulation, Heat2dConfig
+from repro.checkpoint.mtbf import CheckpointEfficiencyModel, optimal_interval_young
+
+__all__ = [
+    "MpiWorld",
+    "MpiCommunicator",
+    "MemoryKind",
+    "ProtectedBuffer",
+    "CudaStream",
+    "SimulatedGpu",
+    "TransferModel",
+    "CheckpointLevel",
+    "LocalNvme",
+    "ParallelFileSystem",
+    "PartnerCopy",
+    "ReedSolomonEncoded",
+    "StorageHierarchy",
+    "CheckpointRecord",
+    "CheckpointStrategy",
+    "FtiConfig",
+    "FtiContext",
+    "FtiDataType",
+    "Heat2dSimulation",
+    "Heat2dConfig",
+    "CheckpointEfficiencyModel",
+    "optimal_interval_young",
+]

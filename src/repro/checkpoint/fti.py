@@ -1,0 +1,368 @@
+"""The FTI-style checkpoint API with transparent GPU/CPU support (Section IV).
+
+The interface mirrors Listing 1 of the paper:
+
+* :meth:`FtiContext.init`       -- ``FTI_Init`` (splits off FTI_COMM_WORLD),
+* :meth:`FtiContext.protect`    -- ``FTI_Protect`` for host, device and UVM
+  regions with no API difference between them,
+* :meth:`FtiContext.snapshot`   -- ``FTI_Snapshot`` (checkpoints when the
+  configured interval elapsed, recovers after a failure),
+* :meth:`FtiContext.checkpoint` -- explicit ``FTI_Checkpoint``,
+* :meth:`FtiContext.recover`    -- ``FTI_Recover``,
+* :meth:`FtiContext.finalize`   -- ``FTI_Finalize``.
+
+Two checkpoint data paths are modelled, matching Fig. 6:
+
+* ``CheckpointStrategy.INITIAL`` -- the first implementation: device and UVM
+  data are fetched with blocking copies at the low effective bandwidth of
+  UVM page-faulting / unpinned staging, and the NVMe write only starts once
+  the fetch finished.  The application is blocked for the whole duration.
+* ``CheckpointStrategy.ASYNC`` -- the optimised implementation: data is
+  moved with chunked asynchronous stream copies and the NVMe write is
+  overlapped with both the copy and the application's continued execution,
+  so the application-visible overhead is only the device-to-host drain.
+  Recovery overlaps the NVMe read with the host-to-device copy (it cannot be
+  hidden behind computation because the data is needed before computing).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.checkpoint.gpu import SimulatedGpu, TransferModel
+from repro.checkpoint.memory import FtiDataType, MemoryKind, ProtectedBuffer
+from repro.checkpoint.mpi import MpiCommunicator, MpiWorld
+from repro.checkpoint.storage import (
+    CheckpointLevel,
+    FailureScope,
+    LocalNvme,
+    StorageHierarchy,
+    StoredCheckpoint,
+)
+
+
+class CheckpointStrategy(str, enum.Enum):
+    """The two data paths compared in Fig. 6."""
+
+    INITIAL = "initial"
+    ASYNC = "async"
+
+
+@dataclass(frozen=True)
+class FtiConfig:
+    """Run-wide FTI configuration (the ``argv[1]`` config file in Listing 1)."""
+
+    strategy: CheckpointStrategy = CheckpointStrategy.ASYNC
+    level: CheckpointLevel = CheckpointLevel.L1_LOCAL
+    snapshot_interval_iters: int = 10
+    transfer: TransferModel = field(default_factory=TransferModel)
+    nvme_write_gbps: float = 8.0
+    nvme_read_gbps: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.snapshot_interval_iters <= 0:
+            raise ValueError("snapshot interval must be at least one iteration")
+
+
+@dataclass
+class CheckpointRecord:
+    """Accounting for one completed checkpoint of one rank."""
+
+    rank: int
+    checkpoint_id: int
+    level: CheckpointLevel
+    strategy: CheckpointStrategy
+    nbytes: float
+    blocking_overhead_s: float
+    total_completion_s: float
+    device_bytes: float
+    uvm_bytes: float
+    host_bytes: float
+
+
+@dataclass
+class RecoveryRecord:
+    """Accounting for one completed recovery of one rank."""
+
+    rank: int
+    checkpoint_id: int
+    strategy: CheckpointStrategy
+    nbytes: float
+    recovery_time_s: float
+
+
+@dataclass
+class _RankState:
+    """Per-rank FTI bookkeeping."""
+
+    rank: int
+    gpu: SimulatedGpu
+    buffers: Dict[int, ProtectedBuffer] = field(default_factory=dict)
+    iteration: int = 0
+    pending_write_finish_s: float = 0.0
+    needs_recovery: bool = False
+    checkpoints: List[CheckpointRecord] = field(default_factory=list)
+    recoveries: List[RecoveryRecord] = field(default_factory=list)
+
+
+class FtiContext:
+    """The extended FTI library for one simulated MPI application run."""
+
+    def __init__(
+        self,
+        world: MpiWorld,
+        config: Optional[FtiConfig] = None,
+        storage: Optional[StorageHierarchy] = None,
+    ) -> None:
+        self.world = world
+        self.config = config if config is not None else FtiConfig()
+        nvme = LocalNvme(
+            "nvme",
+            write_gbps=self.config.nvme_write_gbps,
+            read_gbps=self.config.nvme_read_gbps,
+        )
+        self.storage = storage if storage is not None else StorageHierarchy(nvme=nvme)
+        self.fti_comm: Optional[MpiCommunicator] = None
+        self._ranks: Dict[int, _RankState] = {}
+        self._checkpoint_ids = itertools.count(1)
+        self._initialised = False
+        self._finalised = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle (FTI_Init / FTI_Finalize)
+    # ------------------------------------------------------------------ #
+    def init(self) -> MpiCommunicator:
+        """``FTI_Init``: build FTI_COMM_WORLD and per-rank state."""
+        if self._initialised:
+            raise RuntimeError("FTI already initialised")
+        self.fti_comm = self.world.split(range(self.world.num_ranks), name="FTI_COMM_WORLD")
+        for rank in range(self.world.num_ranks):
+            self._ranks[rank] = _RankState(
+                rank=rank, gpu=SimulatedGpu(device_id=rank, transfer=self.config.transfer)
+            )
+        self._initialised = True
+        return self.fti_comm
+
+    def finalize(self) -> None:
+        """``FTI_Finalize``: wait for outstanding background writes."""
+        self._require_init()
+        for state in self._ranks.values():
+            clock = self.world.clock(state.rank)
+            if state.pending_write_finish_s > clock.time_s:
+                clock.advance(state.pending_write_finish_s - clock.time_s, category="io")
+        self._finalised = True
+
+    @property
+    def finalised(self) -> bool:
+        return self._finalised
+
+    def _require_init(self) -> None:
+        if not self._initialised:
+            raise RuntimeError("call FtiContext.init() first (FTI_Init)")
+
+    def _state(self, rank: int) -> _RankState:
+        self._require_init()
+        if rank not in self._ranks:
+            raise KeyError(f"rank {rank} unknown to FTI")
+        return self._ranks[rank]
+
+    # ------------------------------------------------------------------ #
+    # FTI_Protect
+    # ------------------------------------------------------------------ #
+    def protect(self, rank: int, buffer: ProtectedBuffer) -> None:
+        """``FTI_Protect``: register a region regardless of where it lives."""
+        state = self._state(rank)
+        if buffer.protect_id in state.buffers:
+            # Re-protecting the same id updates the registration (FTI allows
+            # this to resize regions between checkpoints).
+            state.buffers[buffer.protect_id] = buffer
+            return
+        state.buffers[buffer.protect_id] = buffer
+
+    def protect_array(
+        self, rank: int, protect_id: int, array: np.ndarray, kind: MemoryKind = MemoryKind.HOST
+    ) -> ProtectedBuffer:
+        """Convenience wrapper protecting a materialised NumPy array."""
+        buffer = ProtectedBuffer.from_array(protect_id, array, kind)
+        self.protect(rank, buffer)
+        return buffer
+
+    def protected_bytes(self, rank: int) -> Dict[MemoryKind, float]:
+        """Protected byte totals per memory kind for one rank."""
+        state = self._state(rank)
+        totals = {kind: 0.0 for kind in MemoryKind}
+        for buffer in state.buffers.values():
+            totals[buffer.kind] += buffer.nbytes
+        return totals
+
+    # ------------------------------------------------------------------ #
+    # FTI_Snapshot / FTI_Checkpoint
+    # ------------------------------------------------------------------ #
+    def snapshot(self, rank: int) -> bool:
+        """``FTI_Snapshot``: recover if needed, else checkpoint on interval.
+
+        Returns True when a checkpoint (or recovery) was actually performed
+        during this call.
+        """
+        state = self._state(rank)
+        if state.needs_recovery:
+            self.recover(rank)
+            return True
+        state.iteration += 1
+        if state.iteration % self.config.snapshot_interval_iters == 0:
+            self.checkpoint(rank)
+            return True
+        return False
+
+    def checkpoint(self, rank: int, checkpoint_id: Optional[int] = None) -> CheckpointRecord:
+        """``FTI_Checkpoint``: write all protected regions to stable storage."""
+        state = self._state(rank)
+        clock = self.world.clock(rank)
+        if checkpoint_id is None:
+            checkpoint_id = next(self._checkpoint_ids)
+
+        totals = self.protected_bytes(rank)
+        device_bytes = totals[MemoryKind.DEVICE]
+        uvm_bytes = totals[MemoryKind.UVM]
+        host_bytes = totals[MemoryKind.HOST]
+        gpu_resident = device_bytes + uvm_bytes
+        total_bytes = gpu_resident + host_bytes
+
+        level_store = self.storage.level(self.config.level)
+        sharers = min(self.world.ranks_per_node, self.world.num_ranks)
+        write_s = level_store.write_time_s(total_bytes, sharers=sharers)
+
+        # If a previous background write is still in flight, the new
+        # checkpoint has to wait for the drive (async path only).
+        wait_s = max(0.0, state.pending_write_finish_s - clock.time_s)
+
+        if self.config.strategy is CheckpointStrategy.INITIAL:
+            fetch_s = state.gpu.memcpy_sync(gpu_resident, direction="d2h") if gpu_resident else 0.0
+            blocking = fetch_s + write_s
+            completion = blocking
+            state.pending_write_finish_s = clock.time_s + completion
+        else:
+            stream = state.gpu.create_stream()
+            if gpu_resident:
+                _, copy_finish = stream.memcpy_async(gpu_resident, start_s=clock.time_s)
+                copy_s = copy_finish - clock.time_s
+            else:
+                copy_s = 0.0
+            # Application only blocks for the drain of GPU-resident data
+            # (plus any wait on the previous write); the NVMe write proceeds
+            # in the background, overlapped with the copy and the
+            # application's continued execution.
+            blocking = wait_s + copy_s
+            completion = wait_s + max(copy_s, write_s)
+            state.pending_write_finish_s = clock.time_s + completion
+
+        clock.advance(blocking, category="io")
+
+        payload = {pid: buf.snapshot_content() for pid, buf in state.buffers.items()}
+        record_store = StoredCheckpoint(
+            rank=rank, checkpoint_id=checkpoint_id, nbytes=total_bytes, payload=payload
+        )
+        self.storage.store(self.config.level, record_store)
+
+        record = CheckpointRecord(
+            rank=rank,
+            checkpoint_id=checkpoint_id,
+            level=self.config.level,
+            strategy=self.config.strategy,
+            nbytes=total_bytes,
+            blocking_overhead_s=blocking,
+            total_completion_s=completion,
+            device_bytes=device_bytes,
+            uvm_bytes=uvm_bytes,
+            host_bytes=host_bytes,
+        )
+        state.checkpoints.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Failure injection and FTI_Recover
+    # ------------------------------------------------------------------ #
+    def mark_failed(self, rank: int) -> None:
+        """Flag a rank so its next ``snapshot`` call performs recovery."""
+        self._state(rank).needs_recovery = True
+
+    def recover(
+        self, rank: int, scope: FailureScope = FailureScope.PROCESS
+    ) -> RecoveryRecord:
+        """``FTI_Recover``: restore all protected regions from the newest checkpoint."""
+        state = self._state(rank)
+        clock = self.world.clock(rank)
+        level_store = self.storage.recovery_level_for(scope)
+        latest = level_store.latest_id(rank)
+        if latest is None:
+            raise RuntimeError(
+                f"rank {rank}: no checkpoint available at level {level_store.level.name} "
+                f"for failure scope {scope.value}"
+            )
+        stored = level_store.get(rank, latest)
+
+        totals = self.protected_bytes(rank)
+        gpu_resident = totals[MemoryKind.DEVICE] + totals[MemoryKind.UVM]
+        total_bytes = stored.nbytes
+        sharers = min(self.world.ranks_per_node, self.world.num_ranks)
+        read_s = level_store.read_time_s(total_bytes, sharers=sharers)
+
+        if self.config.strategy is CheckpointStrategy.INITIAL:
+            copy_back_s = (
+                state.gpu.memcpy_sync(gpu_resident, direction="h2d") if gpu_resident else 0.0
+            )
+            recovery_s = read_s + copy_back_s
+        else:
+            copy_back_s = (
+                self.config.transfer.async_copy_time_s(gpu_resident) if gpu_resident else 0.0
+            )
+            recovery_s = max(read_s, copy_back_s)
+
+        clock.advance(recovery_s, category="io")
+
+        for protect_id, content in stored.payload.items():
+            if protect_id in state.buffers:
+                state.buffers[protect_id].restore_content(content)
+        state.needs_recovery = False
+
+        record = RecoveryRecord(
+            rank=rank,
+            checkpoint_id=latest,
+            strategy=self.config.strategy,
+            nbytes=total_bytes,
+            recovery_time_s=recovery_s,
+        )
+        state.recoveries.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def checkpoint_records(self, rank: Optional[int] = None) -> List[CheckpointRecord]:
+        self._require_init()
+        if rank is not None:
+            return list(self._state(rank).checkpoints)
+        return [record for state in self._ranks.values() for record in state.checkpoints]
+
+    def recovery_records(self, rank: Optional[int] = None) -> List[RecoveryRecord]:
+        self._require_init()
+        if rank is not None:
+            return list(self._state(rank).recoveries)
+        return [record for state in self._ranks.values() for record in state.recoveries]
+
+    def max_checkpoint_overhead_s(self) -> float:
+        """Slowest per-rank blocking checkpoint overhead (what Fig. 6 plots)."""
+        records = self.checkpoint_records()
+        return max((r.blocking_overhead_s for r in records), default=0.0)
+
+    def max_recovery_time_s(self) -> float:
+        records = self.recovery_records()
+        return max((r.recovery_time_s for r in records), default=0.0)
+
+    def gpu_of(self, rank: int) -> SimulatedGpu:
+        return self._state(rank).gpu

@@ -1,0 +1,216 @@
+"""A simulated CUDA-like GPU: allocations, streams and asynchronous copies.
+
+The extended FTI (Section IV) needs three things from the GPU:
+
+* distinguishing device, UVM and host allocations,
+* synchronous whole-buffer copies (the *initial* implementation's path,
+  which effectively fetches UVM data through page faults and stages device
+  data through a small bounce buffer -- an order of magnitude slower than
+  the peak interconnect bandwidth),
+* streams with asynchronous chunked copies, so the optimised path can
+  overlap device-to-host movement with the NVMe file write.
+
+The :class:`TransferModel` carries the calibrated bandwidths.  The default
+values reproduce the *ratios* the paper reports for Fig. 6 (about 12x faster
+checkpoints and about 5x faster recovery for the async path); see
+``EXPERIMENTS.md`` for the calibration rationale.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.checkpoint.memory import MemoryKind, ProtectedBuffer
+
+#: default chunk size for asynchronous copies (bytes): 64 MiB, large enough
+#: to reach peak PCIe bandwidth, small enough to pipeline against the NVMe.
+DEFAULT_CHUNK_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Calibrated bandwidths of the GPU <-> host <-> NVMe data paths.
+
+    Attributes:
+        pcie_gbps: streamed (asynchronous, pinned, chunked) device-to-host
+            bandwidth per process, GB/s.
+        sync_fetch_gbps: effective bandwidth of the initial implementation's
+            synchronous fetch (UVM page-faulting / unpinned staging), GB/s.
+        chunk_bytes: chunk size used by the asynchronous engine.
+        chunk_latency_s: per-chunk launch/synchronisation overhead.
+    """
+
+    pcie_gbps: float = 10.0
+    sync_fetch_gbps: float = 1.2
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    chunk_latency_s: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.pcie_gbps <= 0 or self.sync_fetch_gbps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk size must be positive")
+        if self.chunk_latency_s < 0:
+            raise ValueError("chunk latency must be non-negative")
+
+    def sync_copy_time_s(self, nbytes: float) -> float:
+        """Blocking whole-buffer fetch time (initial implementation)."""
+        if nbytes < 0:
+            raise ValueError("size must be non-negative")
+        return nbytes / (self.sync_fetch_gbps * 1e9)
+
+    def async_copy_time_s(self, nbytes: float) -> float:
+        """Streamed chunked copy time (optimised implementation)."""
+        if nbytes < 0:
+            raise ValueError("size must be non-negative")
+        chunks = max(1, int(np.ceil(nbytes / self.chunk_bytes)))
+        return nbytes / (self.pcie_gbps * 1e9) + chunks * self.chunk_latency_s
+
+    def num_chunks(self, nbytes: float) -> int:
+        return max(1, int(np.ceil(nbytes / self.chunk_bytes)))
+
+
+@dataclass
+class _CopyEvent:
+    """One completed (simulated) copy, for introspection and tests."""
+
+    stream: int
+    nbytes: float
+    duration_s: float
+    asynchronous: bool
+    direction: str  # "d2h" or "h2d"
+
+
+class CudaStream:
+    """A stream: an ordered queue of asynchronous copies with its own clock."""
+
+    _ids = itertools.count()
+
+    def __init__(self, gpu: "SimulatedGpu") -> None:
+        self.stream_id = next(self._ids)
+        self.gpu = gpu
+        self.busy_until_s = 0.0
+        self.events: List[_CopyEvent] = []
+
+    def memcpy_async(
+        self, nbytes: float, start_s: float, direction: str = "d2h"
+    ) -> Tuple[float, float]:
+        """Enqueue an async chunked copy; returns (start, finish) times."""
+        begin = max(start_s, self.busy_until_s)
+        duration = self.gpu.transfer.async_copy_time_s(nbytes)
+        finish = begin + duration
+        self.busy_until_s = finish
+        event = _CopyEvent(
+            stream=self.stream_id,
+            nbytes=nbytes,
+            duration_s=duration,
+            asynchronous=True,
+            direction=direction,
+        )
+        self.events.append(event)
+        self.gpu._log_event(event)
+        return begin, finish
+
+    def synchronize(self, now_s: float) -> float:
+        """Block until all enqueued copies finished; returns the new time."""
+        return max(now_s, self.busy_until_s)
+
+
+class SimulatedGpu:
+    """One GPU device: allocation registry plus the transfer-cost model."""
+
+    def __init__(
+        self,
+        device_id: int = 0,
+        memory_gib: float = 16.0,
+        transfer: Optional[TransferModel] = None,
+    ) -> None:
+        if memory_gib <= 0:
+            raise ValueError("GPU memory must be positive")
+        self.device_id = device_id
+        self.memory_bytes = int(memory_gib * 1024**3)
+        self.transfer = transfer if transfer is not None else TransferModel()
+        self._allocations: Dict[int, Tuple[MemoryKind, int]] = {}
+        self._next_handle = itertools.count(1)
+        self._events: List[_CopyEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # Allocation API (mirrors cudaMalloc / cudaMallocManaged)
+    # ------------------------------------------------------------------ #
+    def malloc(self, nbytes: int) -> int:
+        """``cudaMalloc``: device-resident allocation; returns a handle."""
+        return self._allocate(nbytes, MemoryKind.DEVICE)
+
+    def malloc_managed(self, nbytes: int) -> int:
+        """``cudaMallocManaged``: UVM allocation; returns a handle."""
+        return self._allocate(nbytes, MemoryKind.UVM)
+
+    def _allocate(self, nbytes: int, kind: MemoryKind) -> int:
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        used = self.allocated_bytes(device_only=True)
+        if kind is MemoryKind.DEVICE and used + nbytes > self.memory_bytes:
+            raise MemoryError(
+                f"GPU {self.device_id}: out of device memory "
+                f"({used + nbytes} > {self.memory_bytes} bytes)"
+            )
+        handle = next(self._next_handle)
+        self._allocations[handle] = (kind, nbytes)
+        return handle
+
+    def free(self, handle: int) -> None:
+        if handle not in self._allocations:
+            raise KeyError(f"unknown allocation handle {handle}")
+        del self._allocations[handle]
+
+    def kind_of(self, handle: int) -> MemoryKind:
+        """The location class of an allocation (what FTI_Protect inspects)."""
+        if handle not in self._allocations:
+            raise KeyError(f"unknown allocation handle {handle}")
+        return self._allocations[handle][0]
+
+    def allocated_bytes(self, device_only: bool = False) -> int:
+        return sum(
+            nbytes
+            for kind, nbytes in self._allocations.values()
+            if not device_only or kind is MemoryKind.DEVICE
+        )
+
+    # ------------------------------------------------------------------ #
+    # Copies
+    # ------------------------------------------------------------------ #
+    def memcpy_sync(self, nbytes: float, direction: str = "d2h") -> float:
+        """Blocking whole-buffer copy; returns its duration in seconds."""
+        duration = self.transfer.sync_copy_time_s(nbytes)
+        event = _CopyEvent(
+            stream=-1, nbytes=nbytes, duration_s=duration, asynchronous=False, direction=direction
+        )
+        self._log_event(event)
+        return duration
+
+    def create_stream(self) -> CudaStream:
+        return CudaStream(self)
+
+    def _log_event(self, event: _CopyEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def copy_events(self) -> List[_CopyEvent]:
+        return list(self._events)
+
+    def bytes_copied(self, asynchronous: Optional[bool] = None) -> float:
+        return sum(
+            event.nbytes
+            for event in self._events
+            if asynchronous is None or event.asynchronous == asynchronous
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SimulatedGpu(id={self.device_id}, allocations={len(self._allocations)}, "
+            f"mem={self.memory_bytes / 1024**3:.0f} GiB)"
+        )

@@ -1,0 +1,300 @@
+"""Heat2D: the application used to evaluate the GPU/CPU checkpointing.
+
+Section IV checkpoints Heat2D -- a 2D heat-diffusion Jacobi stencil -- under
+weak scaling with four MPI ranks per node (one per GPU) and two per-rank
+problem sizes (16 GB and 32 GB of checkpointed data).  Two usage modes are
+provided:
+
+* **materialised mode** (small grids): the stencil actually runs on NumPy
+  arrays, halos are exchanged through the simulated MPI world, and the
+  protected buffers hold the real grid so checkpoint/recovery correctness is
+  testable end to end;
+* **synthetic mode** (Fig. 6 problem sizes): the per-rank state is a
+  synthetic UVM region of the configured logical size, the stencil update is
+  charged to the rank clock from a calibrated compute-rate model, and the
+  checkpoint experiment reports the timing behaviour at 1/4/8/16 nodes
+  without materialising terabytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.checkpoint.fti import CheckpointStrategy, FtiConfig, FtiContext
+from repro.checkpoint.memory import FtiDataType, MemoryKind, ProtectedBuffer
+from repro.checkpoint.mpi import MpiWorld
+from repro.checkpoint.storage import FailureScope
+
+#: sustained stencil update rate used to charge compute time in synthetic
+#: mode (grid cells per second per rank on a GPU); only affects the compute
+#: portion of the timeline, not the checkpoint overheads Fig. 6 reports.
+SYNTHETIC_CELL_RATE_PER_S = 2.0e9
+
+
+@dataclass(frozen=True)
+class Heat2dConfig:
+    """Configuration of one Heat2D run."""
+
+    ranks: int = 4
+    ranks_per_node: int = 4
+    rows_per_rank: int = 64
+    cols: int = 64
+    iterations: int = 40
+    snapshot_interval_iters: int = 10
+    alpha: float = 0.1
+    strategy: CheckpointStrategy = CheckpointStrategy.ASYNC
+    use_uvm: bool = True
+    synthetic_bytes_per_rank: Optional[int] = None  # set for Fig. 6 sizes
+
+    def __post_init__(self) -> None:
+        if self.ranks <= 0:
+            raise ValueError("need at least one rank")
+        if self.rows_per_rank < 2 or self.cols < 3:
+            raise ValueError("grid too small for a 5-point stencil")
+        if self.iterations <= 0:
+            raise ValueError("need at least one iteration")
+        if not (0.0 < self.alpha <= 0.25):
+            raise ValueError("alpha must be in (0, 0.25] for stability")
+
+
+@dataclass
+class Heat2dResult:
+    """Outcome of a Heat2D run."""
+
+    config: Heat2dConfig
+    iterations_run: int
+    checkpoints_taken: int
+    recoveries_performed: int
+    max_checkpoint_overhead_s: float
+    max_recovery_time_s: float
+    final_residual: float
+    elapsed_s: float
+
+
+class Heat2dSimulation:
+    """A Heat2D run wired to the FTI context (Listing 1 structure)."""
+
+    def __init__(self, config: Heat2dConfig, fti_config: Optional[FtiConfig] = None) -> None:
+        self.config = config
+        self.world = MpiWorld(num_ranks=config.ranks, ranks_per_node=config.ranks_per_node)
+        fti_config = fti_config or FtiConfig(
+            strategy=config.strategy, snapshot_interval_iters=config.snapshot_interval_iters
+        )
+        if fti_config.strategy is not config.strategy:
+            fti_config = FtiConfig(
+                strategy=config.strategy,
+                level=fti_config.level,
+                snapshot_interval_iters=config.snapshot_interval_iters,
+                transfer=fti_config.transfer,
+                nvme_write_gbps=fti_config.nvme_write_gbps,
+                nvme_read_gbps=fti_config.nvme_read_gbps,
+            )
+        self.fti = FtiContext(self.world, config=fti_config)
+        self.fti.init()
+        self._grids: Dict[int, np.ndarray] = {}
+        self._iteration_counters: Dict[int, np.ndarray] = {}
+        self._setup_ranks()
+
+    # ------------------------------------------------------------------ #
+    # Setup (MPI_Init / FTI_Init / cudaMalloc / FTI_Protect of Listing 1)
+    # ------------------------------------------------------------------ #
+    def _setup_ranks(self) -> None:
+        kind = MemoryKind.UVM if self.config.use_uvm else MemoryKind.DEVICE
+        for rank in range(self.config.ranks):
+            counter = np.zeros(1, dtype=np.int32)
+            self._iteration_counters[rank] = counter
+            self.fti.protect(
+                rank,
+                ProtectedBuffer.from_array(0, counter, MemoryKind.HOST, FtiDataType.FTI_INTG),
+            )
+            if self.config.synthetic_bytes_per_rank is not None:
+                buffer = ProtectedBuffer.synthetic_region(
+                    protect_id=1,
+                    kind=kind,
+                    nbytes=self.config.synthetic_bytes_per_rank,
+                    seed=rank,
+                )
+                self.fti.protect(rank, buffer)
+            else:
+                grid = self._initial_grid(rank)
+                self._grids[rank] = grid
+                self.fti.protect(
+                    rank,
+                    ProtectedBuffer.from_array(1, grid, kind, FtiDataType.FTI_DBLE),
+                )
+
+    def _initial_grid(self, rank: int) -> np.ndarray:
+        """Per-rank slab with a hot left boundary (classic Heat2D setup)."""
+        grid = np.zeros((self.config.rows_per_rank, self.config.cols), dtype=np.float64)
+        grid[:, 0] = 100.0
+        if rank == 0:
+            grid[0, :] = 100.0
+        if rank == self.config.ranks - 1:
+            grid[-1, :] = 100.0
+        return grid
+
+    # ------------------------------------------------------------------ #
+    # Stencil step
+    # ------------------------------------------------------------------ #
+    def _halo_exchange(self, rank: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the (upper, lower) halo rows from the neighbouring ranks."""
+        cols = self.config.cols
+        grid = self._grids[rank]
+        upper = self._grids[rank - 1][-1, :] if rank > 0 else grid[0, :]
+        lower = self._grids[rank + 1][0, :] if rank < self.config.ranks - 1 else grid[-1, :]
+        halo_bytes = cols * 8
+        if rank > 0:
+            self.world.comm_world.exchange(rank, rank - 1, halo_bytes)
+        if rank < self.config.ranks - 1:
+            self.world.comm_world.exchange(rank, rank + 1, halo_bytes)
+        return upper, lower
+
+    def _step_rank(self, rank: int) -> float:
+        """One Jacobi update on a rank's slab; returns the local residual."""
+        grid = self._grids[rank]
+        upper, lower = self._halo_exchange(rank)
+        padded = np.vstack([upper, grid, lower])
+        updated = grid + self.config.alpha * (
+            padded[:-2, :] + padded[2:, :] + np.roll(grid, 1, axis=1) + np.roll(grid, -1, axis=1)
+            - 4.0 * grid
+        )
+        # Re-impose the boundary conditions.
+        updated[:, 0] = grid[:, 0]
+        updated[:, -1] = grid[:, -1]
+        if rank == 0:
+            updated[0, :] = grid[0, :]
+        if rank == self.config.ranks - 1:
+            updated[-1, :] = grid[-1, :]
+        residual = float(np.max(np.abs(updated - grid)))
+        grid[...] = updated
+        cells = grid.size
+        self.world.clock(rank).advance(cells / SYNTHETIC_CELL_RATE_PER_S, category="compute")
+        return residual
+
+    def _step_synthetic(self, rank: int) -> float:
+        """Charge the compute time of one iteration in synthetic mode."""
+        assert self.config.synthetic_bytes_per_rank is not None
+        cells = self.config.synthetic_bytes_per_rank / 8
+        self.world.clock(rank).advance(cells / SYNTHETIC_CELL_RATE_PER_S, category="compute")
+        return 0.0
+
+    # ------------------------------------------------------------------ #
+    # Main loop (the for-loop of Listing 1)
+    # ------------------------------------------------------------------ #
+    def run(self, inject_failure_at: Optional[int] = None) -> Heat2dResult:
+        """Run the configured iterations, optionally injecting a failure.
+
+        ``inject_failure_at`` is an iteration index (1-based); at that
+        iteration every rank is marked failed so the next ``FTI_Snapshot``
+        performs a recovery, exactly as a restarted MPI job would.
+        """
+        residual = float("inf")
+        for iteration in range(1, self.config.iterations + 1):
+            if inject_failure_at is not None and iteration == inject_failure_at:
+                for rank in range(self.config.ranks):
+                    self.fti.mark_failed(rank)
+            residuals = []
+            for rank in range(self.config.ranks):
+                self.fti.snapshot(rank)
+                self._iteration_counters[rank][0] = iteration
+                if self.config.synthetic_bytes_per_rank is not None:
+                    residuals.append(self._step_synthetic(rank))
+                else:
+                    residuals.append(self._step_rank(rank))
+            residual = max(residuals)
+        self.fti.finalize()
+        checkpoints = self.fti.checkpoint_records()
+        recoveries = self.fti.recovery_records()
+        return Heat2dResult(
+            config=self.config,
+            iterations_run=self.config.iterations,
+            checkpoints_taken=len(checkpoints),
+            recoveries_performed=len(recoveries),
+            max_checkpoint_overhead_s=self.fti.max_checkpoint_overhead_s(),
+            max_recovery_time_s=self.fti.max_recovery_time_s(),
+            final_residual=residual,
+            elapsed_s=self.world.max_time_s(),
+        )
+
+    def grid(self, rank: int) -> np.ndarray:
+        if self.config.synthetic_bytes_per_rank is not None:
+            raise RuntimeError("synthetic runs do not materialise grids")
+        return self._grids[rank]
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 6 experiment driver
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Fig6Point:
+    """One bar of Fig. 6: a (nodes, size, strategy) configuration."""
+
+    nodes: int
+    gib_per_rank: float
+    strategy: CheckpointStrategy
+    checkpoint_time_s: float
+    recover_time_s: float
+    total_checkpointed_tib: float
+
+
+def run_fig6_point(
+    nodes: int,
+    gib_per_rank: float,
+    strategy: CheckpointStrategy,
+    ranks_per_node: int = 4,
+) -> Fig6Point:
+    """Measure checkpoint and recovery cost for one Fig. 6 configuration.
+
+    The run takes a single checkpoint followed by a single recovery on every
+    rank, which is exactly what the figure's ``Ckpt`` / ``Recover`` bars
+    report, and uses synthetic UVM regions of the configured per-rank size.
+    """
+    if nodes <= 0 or gib_per_rank <= 0:
+        raise ValueError("nodes and per-rank size must be positive")
+    ranks = nodes * ranks_per_node
+    bytes_per_rank = int(gib_per_rank * 1024**3)
+    config = Heat2dConfig(
+        ranks=ranks,
+        ranks_per_node=ranks_per_node,
+        iterations=2,
+        snapshot_interval_iters=1,
+        strategy=strategy,
+        use_uvm=True,
+        synthetic_bytes_per_rank=bytes_per_rank,
+    )
+    simulation = Heat2dSimulation(config)
+    # Take one explicit checkpoint and one explicit recovery per rank so the
+    # numbers are exactly one-checkpoint / one-recover, matching the figure.
+    checkpoint_times = []
+    recover_times = []
+    for rank in range(ranks):
+        record = simulation.fti.checkpoint(rank)
+        checkpoint_times.append(record.blocking_overhead_s)
+    for rank in range(ranks):
+        recovery = simulation.fti.recover(rank, scope=FailureScope.PROCESS)
+        recover_times.append(recovery.recovery_time_s)
+    total_bytes = bytes_per_rank * ranks
+    return Fig6Point(
+        nodes=nodes,
+        gib_per_rank=gib_per_rank,
+        strategy=strategy,
+        checkpoint_time_s=max(checkpoint_times),
+        recover_time_s=max(recover_times),
+        total_checkpointed_tib=total_bytes / 1024**4,
+    )
+
+
+def run_fig6_experiment(
+    node_counts: Tuple[int, ...] = (1, 4, 8, 16),
+    gib_per_rank_options: Tuple[float, ...] = (16.0, 32.0),
+) -> List[Fig6Point]:
+    """Regenerate every bar of Fig. 6 (both panels, both strategies)."""
+    points: List[Fig6Point] = []
+    for gib in gib_per_rank_options:
+        for nodes in node_counts:
+            for strategy in (CheckpointStrategy.INITIAL, CheckpointStrategy.ASYNC):
+                points.append(run_fig6_point(nodes, gib, strategy))
+    return points

@@ -1,0 +1,183 @@
+"""Protected-buffer abstraction: the memory regions FTI checkpoints.
+
+Listing 1 of the paper protects three kinds of addresses with the *same*
+``FTI_Protect`` call:
+
+* a plain host address (the loop counter ``i``),
+* a UVM address (``cudaMallocManaged``),
+* a device address (``cudaMalloc``).
+
+The extended FTI identifies the physical location of each protected region
+and picks the right data path at checkpoint time.  :class:`ProtectedBuffer`
+is that region in the simulator: it knows where it lives
+(:class:`MemoryKind`), how many bytes it spans, and -- so that correctness
+can actually be tested -- it holds real NumPy data that round-trips through
+checkpoint and recovery.
+
+For the large Fig. 6 problem sizes (16-32 GB per rank) materialising the
+data would be impossible, so a buffer can also be *synthetic*: it reports a
+logical byte size for the timing model while holding only a small witness
+array used to verify content integrity.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+class MemoryKind(str, enum.Enum):
+    """Physical location classes distinguished by the extended FTI_Protect."""
+
+    HOST = "host"      # ordinary CPU memory
+    DEVICE = "device"  # cudaMalloc'd GPU memory, not host-accessible
+    UVM = "uvm"        # cudaMallocManaged unified virtual memory
+
+
+class FtiDataType(str, enum.Enum):
+    """The FTI primitive datatypes used in Listing 1."""
+
+    FTI_INTG = "int32"
+    FTI_LONG = "int64"
+    FTI_SFLT = "float32"
+    FTI_DBLE = "float64"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(self.value)
+
+    @property
+    def itemsize(self) -> int:
+        return self.numpy_dtype.itemsize
+
+
+@dataclass
+class ProtectedBuffer:
+    """One protected memory region.
+
+    Attributes:
+        protect_id: the integer id passed to ``FTI_Protect``.
+        kind: where the region physically lives.
+        dtype: FTI datatype of the elements.
+        count: logical element count (defines the checkpointed byte size).
+        data: the actual content.  For *synthetic* buffers this is a small
+            witness array standing in for the full region.
+        synthetic: True when ``data`` is only a witness and ``count`` is the
+            logical size used for timing.
+    """
+
+    protect_id: int
+    kind: MemoryKind
+    dtype: FtiDataType
+    count: int
+    data: np.ndarray
+    synthetic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.protect_id < 0:
+            raise ValueError("protect id must be non-negative")
+        if self.count <= 0:
+            raise ValueError("protected region must have at least one element")
+        self.data = np.ascontiguousarray(self.data, dtype=self.dtype.numpy_dtype)
+        if not self.synthetic and self.data.size != self.count:
+            raise ValueError(
+                f"buffer {self.protect_id}: data has {self.data.size} elements "
+                f"but count={self.count}; mark synthetic=True for witness buffers"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        """Logical checkpointed size in bytes (what the timing model uses)."""
+        return self.count * self.dtype.itemsize
+
+    @property
+    def witness_nbytes(self) -> int:
+        """Bytes actually materialised in the simulator."""
+        return int(self.data.nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Content handling
+    # ------------------------------------------------------------------ #
+    def snapshot_content(self) -> np.ndarray:
+        """A copy of the current content, as stored in a checkpoint."""
+        return self.data.copy()
+
+    def restore_content(self, content: np.ndarray) -> None:
+        """Overwrite the region with recovered content."""
+        restored = np.ascontiguousarray(content, dtype=self.dtype.numpy_dtype)
+        if restored.shape != self.data.shape:
+            raise ValueError(
+                f"buffer {self.protect_id}: recovered shape {restored.shape} "
+                f"does not match live shape {self.data.shape}"
+            )
+        self.data[...] = restored
+
+    def content_digest(self) -> str:
+        """SHA-256 of the content; used by integrity checks and tests."""
+        return hashlib.sha256(self.data.tobytes()).hexdigest()
+
+    @classmethod
+    def from_array(
+        cls,
+        protect_id: int,
+        array: np.ndarray,
+        kind: MemoryKind,
+        dtype: Optional[FtiDataType] = None,
+    ) -> "ProtectedBuffer":
+        """Protect a fully materialised array (small, test-sized regions)."""
+        if dtype is None:
+            dtype = _dtype_for(array.dtype)
+        return cls(
+            protect_id=protect_id,
+            kind=kind,
+            dtype=dtype,
+            count=int(array.size),
+            data=array,
+            synthetic=False,
+        )
+
+    @classmethod
+    def synthetic_region(
+        cls,
+        protect_id: int,
+        kind: MemoryKind,
+        nbytes: int,
+        dtype: FtiDataType = FtiDataType.FTI_DBLE,
+        witness_elements: int = 1024,
+        seed: int = 0,
+    ) -> "ProtectedBuffer":
+        """A large logical region represented by a small random witness array."""
+        if nbytes <= 0:
+            raise ValueError("synthetic region must have a positive size")
+        count = max(1, nbytes // dtype.itemsize)
+        rng = np.random.default_rng(seed)
+        witness = rng.random(min(witness_elements, count)).astype(dtype.numpy_dtype)
+        return cls(
+            protect_id=protect_id,
+            kind=kind,
+            dtype=dtype,
+            count=count,
+            data=witness,
+            synthetic=True,
+        )
+
+
+def _dtype_for(np_dtype: np.dtype) -> FtiDataType:
+    """Map a NumPy dtype onto the closest FTI datatype."""
+    mapping = {
+        np.dtype("int32"): FtiDataType.FTI_INTG,
+        np.dtype("int64"): FtiDataType.FTI_LONG,
+        np.dtype("float32"): FtiDataType.FTI_SFLT,
+        np.dtype("float64"): FtiDataType.FTI_DBLE,
+    }
+    try:
+        return mapping[np.dtype(np_dtype)]
+    except KeyError:
+        raise TypeError(f"no FTI datatype for NumPy dtype {np_dtype}") from None

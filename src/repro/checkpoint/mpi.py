@@ -1,0 +1,189 @@
+"""A minimal simulated MPI world.
+
+The FTI evaluation (Section IV) runs Heat2D as an MPI application with four
+ranks per node, one per GPU.  The simulator only needs the parts of MPI that
+FTI and Heat2D use: a world with a rank/size, a split communicator
+(``FTI_COMM_WORLD`` excludes FTI's dedicated helper ranks in the real
+library; here the split is modelled but no helper ranks are created),
+barriers, allreduce, and point-to-point halo exchange with a transfer-cost
+model so the simulated timeline includes communication.
+
+Everything executes sequentially in one Python process: rank "parallelism"
+is simulated by advancing per-rank clocks, which is all the checkpoint
+experiment needs (it reports per-phase times, not wall-clock speedups).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: default inter-node network bandwidth (GB/s) and latency for halo exchange.
+DEFAULT_NET_BANDWIDTH_GBPS = 5.0
+DEFAULT_NET_LATENCY_S = 5e-6
+
+
+@dataclass
+class RankClock:
+    """Per-rank simulated clock and accounting."""
+
+    rank: int
+    time_s: float = 0.0
+    compute_s: float = 0.0
+    comm_s: float = 0.0
+    io_s: float = 0.0
+
+    def advance(self, seconds: float, category: str = "compute") -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self.time_s += seconds
+        if category == "compute":
+            self.compute_s += seconds
+        elif category == "comm":
+            self.comm_s += seconds
+        elif category == "io":
+            self.io_s += seconds
+        else:
+            raise ValueError(f"unknown time category {category!r}")
+
+
+class MpiCommunicator:
+    """A communicator over a subset of the world's ranks."""
+
+    def __init__(self, world: "MpiWorld", ranks: Sequence[int], name: str = "comm") -> None:
+        if not ranks:
+            raise ValueError("a communicator needs at least one rank")
+        self.world = world
+        self.name = name
+        self._ranks = tuple(sorted(set(ranks)))
+
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    @property
+    def ranks(self) -> Tuple[int, ...]:
+        return self._ranks
+
+    def translate(self, world_rank: int) -> int:
+        """World rank -> rank within this communicator."""
+        try:
+            return self._ranks.index(world_rank)
+        except ValueError:
+            raise KeyError(f"rank {world_rank} not in communicator {self.name}") from None
+
+    # ------------------------------------------------------------------ #
+    # Collectives (simulated)
+    # ------------------------------------------------------------------ #
+    def barrier(self) -> float:
+        """Synchronise all member clocks to the latest one; returns that time."""
+        latest = max(self.world.clock(rank).time_s for rank in self._ranks)
+        for rank in self._ranks:
+            clock = self.world.clock(rank)
+            clock.advance(latest - clock.time_s, category="comm")
+        return latest
+
+    def allreduce(self, values: Dict[int, float], op: str = "sum") -> float:
+        """Reduce per-rank scalars; advances clocks by a log(P) latency term."""
+        missing = [rank for rank in self._ranks if rank not in values]
+        if missing:
+            raise KeyError(f"allreduce missing contributions from ranks {missing}")
+        contribution = [values[rank] for rank in self._ranks]
+        if op == "sum":
+            result = float(np.sum(contribution))
+        elif op == "max":
+            result = float(np.max(contribution))
+        elif op == "min":
+            result = float(np.min(contribution))
+        else:
+            raise ValueError(f"unsupported allreduce op {op!r}")
+        self.barrier()
+        steps = max(1, math.ceil(math.log2(self.size))) if self.size > 1 else 0
+        for rank in self._ranks:
+            self.world.clock(rank).advance(steps * self.world.net_latency_s, category="comm")
+        return result
+
+    def exchange(self, rank_a: int, rank_b: int, size_bytes: float) -> float:
+        """Pairwise halo exchange; returns the transfer time charged to both."""
+        if rank_a == rank_b:
+            return 0.0
+        duration = self.world.transfer_time_s(size_bytes)
+        for rank in (rank_a, rank_b):
+            self.world.clock(rank).advance(duration, category="comm")
+        return duration
+
+
+class MpiWorld:
+    """The simulated ``MPI_COMM_WORLD``: rank clocks, topology, transfer model."""
+
+    def __init__(
+        self,
+        num_ranks: int,
+        ranks_per_node: int = 4,
+        net_bandwidth_gbps: float = DEFAULT_NET_BANDWIDTH_GBPS,
+        net_latency_s: float = DEFAULT_NET_LATENCY_S,
+    ) -> None:
+        if num_ranks <= 0:
+            raise ValueError("world needs at least one rank")
+        if ranks_per_node <= 0:
+            raise ValueError("ranks_per_node must be positive")
+        self.num_ranks = num_ranks
+        self.ranks_per_node = ranks_per_node
+        self.net_bandwidth_gbps = net_bandwidth_gbps
+        self.net_latency_s = net_latency_s
+        self._clocks = [RankClock(rank=r) for r in range(num_ranks)]
+        self.comm_world = MpiCommunicator(self, list(range(num_ranks)), name="MPI_COMM_WORLD")
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return math.ceil(self.num_ranks / self.ranks_per_node)
+
+    def node_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank // self.ranks_per_node
+
+    def ranks_on_node(self, node: int) -> List[int]:
+        return [r for r in range(self.num_ranks) if self.node_of(r) == node]
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+    def partner_rank(self, rank: int) -> int:
+        """Partner on the *next* node (used by the L2 partner-copy level)."""
+        self._check_rank(rank)
+        node = self.node_of(rank)
+        offset = rank - node * self.ranks_per_node
+        partner_node = (node + 1) % self.num_nodes
+        partner = partner_node * self.ranks_per_node + offset
+        return partner if partner < self.num_ranks else partner_node * self.ranks_per_node
+
+    # ------------------------------------------------------------------ #
+    # Clocks and transfer costs
+    # ------------------------------------------------------------------ #
+    def clock(self, rank: int) -> RankClock:
+        self._check_rank(rank)
+        return self._clocks[rank]
+
+    def max_time_s(self) -> float:
+        return max(clock.time_s for clock in self._clocks)
+
+    def transfer_time_s(self, size_bytes: float) -> float:
+        if size_bytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        return self.net_latency_s + size_bytes / (self.net_bandwidth_gbps * 1e9)
+
+    def split(self, ranks: Iterable[int], name: str = "split") -> MpiCommunicator:
+        return MpiCommunicator(self, list(ranks), name=name)
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.num_ranks):
+            raise IndexError(f"rank {rank} out of range [0, {self.num_ranks})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MpiWorld(ranks={self.num_ranks}, nodes={self.num_nodes})"

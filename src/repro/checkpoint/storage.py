@@ -1,0 +1,255 @@
+"""Multilevel stable storage for checkpoints.
+
+FTI (Bautista-Gomez et al., SC'11) is a *multilevel* checkpoint library:
+
+* **L1** -- local storage on the node (the evaluation of Section IV writes to
+  the node-local NVMe, which is why checkpoint cost stays flat under weak
+  scaling),
+* **L2** -- partner copy: the L1 file is replicated to a partner node so a
+  single-node loss is survivable,
+* **L3** -- Reed-Solomon erasure coding across a group of nodes,
+* **L4** -- flush to the parallel file system (PFS), which survives full
+  system loss but shares bandwidth across all nodes.
+
+Each level is a storage model with a write/read cost plus a *failure scope*
+it can recover from.  The content itself is kept in memory (keyed by rank
+and checkpoint id) so recovery round-trips real data in tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+
+class CheckpointLevel(enum.IntEnum):
+    """FTI's four reliability levels."""
+
+    L1_LOCAL = 1
+    L2_PARTNER = 2
+    L3_RS_ENCODED = 3
+    L4_PFS = 4
+
+
+class FailureScope(str, enum.Enum):
+    """What failed, which determines the cheapest level that can recover."""
+
+    PROCESS = "process"          # soft error / process crash, node storage intact
+    SINGLE_NODE = "single_node"  # one node (and its local NVMe) lost
+    MULTI_NODE = "multi_node"    # several nodes of the same group lost
+    FULL_SYSTEM = "full_system"  # whole machine lost; only the PFS survives
+
+
+#: the cheapest checkpoint level able to recover from each failure scope.
+RECOVERY_LEVEL: Mapping[FailureScope, CheckpointLevel] = {
+    FailureScope.PROCESS: CheckpointLevel.L1_LOCAL,
+    FailureScope.SINGLE_NODE: CheckpointLevel.L2_PARTNER,
+    FailureScope.MULTI_NODE: CheckpointLevel.L3_RS_ENCODED,
+    FailureScope.FULL_SYSTEM: CheckpointLevel.L4_PFS,
+}
+
+
+@dataclass
+class StoredCheckpoint:
+    """One checkpoint file held by a storage level."""
+
+    rank: int
+    checkpoint_id: int
+    nbytes: float
+    payload: Dict[int, np.ndarray] = field(default_factory=dict)
+    digest: str = ""
+
+
+class _StorageLevel:
+    """Common bookkeeping for all storage levels."""
+
+    level: CheckpointLevel = CheckpointLevel.L1_LOCAL
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._store: Dict[Tuple[int, int], StoredCheckpoint] = {}
+        self.bytes_written = 0.0
+        self.bytes_read = 0.0
+
+    # -- content ------------------------------------------------------- #
+    def put(self, record: StoredCheckpoint) -> None:
+        self._store[(record.rank, record.checkpoint_id)] = record
+        self.bytes_written += record.nbytes
+
+    def get(self, rank: int, checkpoint_id: int) -> StoredCheckpoint:
+        key = (rank, checkpoint_id)
+        if key not in self._store:
+            raise KeyError(f"{self.name}: no checkpoint {checkpoint_id} for rank {rank}")
+        record = self._store[key]
+        self.bytes_read += record.nbytes
+        return record
+
+    def has(self, rank: int, checkpoint_id: int) -> bool:
+        return (rank, checkpoint_id) in self._store
+
+    def drop_rank(self, rank: int) -> int:
+        """Simulate losing a rank's local data; returns how many files were lost."""
+        keys = [key for key in self._store if key[0] == rank]
+        for key in keys:
+            del self._store[key]
+        return len(keys)
+
+    def latest_id(self, rank: int) -> Optional[int]:
+        ids = [cid for (r, cid) in self._store if r == rank]
+        return max(ids) if ids else None
+
+    # -- costs (overridden) --------------------------------------------- #
+    def write_time_s(self, nbytes: float, sharers: int = 1) -> float:
+        raise NotImplementedError
+
+    def read_time_s(self, nbytes: float, sharers: int = 1) -> float:
+        raise NotImplementedError
+
+
+class LocalNvme(_StorageLevel):
+    """L1: node-local NVMe shared by the ranks of that node.
+
+    Default bandwidths model a datacentre NVMe drive (8 GB/s write,
+    20 GB/s effective read with page-cache help); ``sharers`` is the number
+    of ranks concurrently using the drive (4 per node in the Fig. 6 setup).
+    """
+
+    level = CheckpointLevel.L1_LOCAL
+
+    def __init__(self, name: str, write_gbps: float = 8.0, read_gbps: float = 20.0) -> None:
+        super().__init__(name)
+        if write_gbps <= 0 or read_gbps <= 0:
+            raise ValueError("NVMe bandwidths must be positive")
+        self.write_gbps = write_gbps
+        self.read_gbps = read_gbps
+
+    def write_time_s(self, nbytes: float, sharers: int = 1) -> float:
+        return nbytes * max(1, sharers) / (self.write_gbps * 1e9)
+
+    def read_time_s(self, nbytes: float, sharers: int = 1) -> float:
+        return nbytes * max(1, sharers) / (self.read_gbps * 1e9)
+
+
+class PartnerCopy(_StorageLevel):
+    """L2: replicate the L1 file to a partner node over the compute network."""
+
+    level = CheckpointLevel.L2_PARTNER
+
+    def __init__(self, name: str, network_gbps: float = 5.0) -> None:
+        super().__init__(name)
+        if network_gbps <= 0:
+            raise ValueError("network bandwidth must be positive")
+        self.network_gbps = network_gbps
+
+    def write_time_s(self, nbytes: float, sharers: int = 1) -> float:
+        # The copy crosses the network once and is written once remotely;
+        # the remote write overlaps the transfer, so the network dominates.
+        return nbytes / (self.network_gbps * 1e9)
+
+    def read_time_s(self, nbytes: float, sharers: int = 1) -> float:
+        return nbytes / (self.network_gbps * 1e9)
+
+
+class ReedSolomonEncoded(_StorageLevel):
+    """L3: Reed-Solomon encode checkpoints across a group of nodes."""
+
+    level = CheckpointLevel.L3_RS_ENCODED
+
+    def __init__(
+        self,
+        name: str,
+        group_size: int = 4,
+        parity: int = 2,
+        encode_gbps: float = 3.0,
+        network_gbps: float = 5.0,
+    ) -> None:
+        super().__init__(name)
+        if group_size <= parity:
+            raise ValueError("group size must exceed parity count")
+        if encode_gbps <= 0 or network_gbps <= 0:
+            raise ValueError("bandwidths must be positive")
+        self.group_size = group_size
+        self.parity = parity
+        self.encode_gbps = encode_gbps
+        self.network_gbps = network_gbps
+
+    @property
+    def storage_overhead(self) -> float:
+        """Extra bytes stored per checkpoint byte (parity / data ratio)."""
+        return self.parity / (self.group_size - self.parity)
+
+    def write_time_s(self, nbytes: float, sharers: int = 1) -> float:
+        encode = nbytes / (self.encode_gbps * 1e9)
+        exchange = nbytes * self.storage_overhead / (self.network_gbps * 1e9)
+        return encode + exchange
+
+    def read_time_s(self, nbytes: float, sharers: int = 1) -> float:
+        # Decoding after a loss must re-fetch surviving chunks and decode.
+        fetch = nbytes / (self.network_gbps * 1e9)
+        decode = nbytes / (self.encode_gbps * 1e9)
+        return fetch + decode
+
+
+class ParallelFileSystem(_StorageLevel):
+    """L4: the shared PFS; aggregate bandwidth divided across all writers."""
+
+    level = CheckpointLevel.L4_PFS
+
+    def __init__(self, name: str, aggregate_write_gbps: float = 40.0, aggregate_read_gbps: float = 60.0) -> None:
+        super().__init__(name)
+        if aggregate_write_gbps <= 0 or aggregate_read_gbps <= 0:
+            raise ValueError("PFS bandwidths must be positive")
+        self.aggregate_write_gbps = aggregate_write_gbps
+        self.aggregate_read_gbps = aggregate_read_gbps
+
+    def write_time_s(self, nbytes: float, sharers: int = 1) -> float:
+        return nbytes * max(1, sharers) / (self.aggregate_write_gbps * 1e9)
+
+    def read_time_s(self, nbytes: float, sharers: int = 1) -> float:
+        return nbytes * max(1, sharers) / (self.aggregate_read_gbps * 1e9)
+
+
+class StorageHierarchy:
+    """The four levels wired together, as FTI configures them per run."""
+
+    def __init__(
+        self,
+        nvme: Optional[LocalNvme] = None,
+        partner: Optional[PartnerCopy] = None,
+        encoded: Optional[ReedSolomonEncoded] = None,
+        pfs: Optional[ParallelFileSystem] = None,
+    ) -> None:
+        self.levels: Dict[CheckpointLevel, _StorageLevel] = {
+            CheckpointLevel.L1_LOCAL: nvme or LocalNvme("nvme"),
+            CheckpointLevel.L2_PARTNER: partner or PartnerCopy("partner"),
+            CheckpointLevel.L3_RS_ENCODED: encoded or ReedSolomonEncoded("rs"),
+            CheckpointLevel.L4_PFS: pfs or ParallelFileSystem("pfs"),
+        }
+
+    def level(self, level: CheckpointLevel) -> _StorageLevel:
+        return self.levels[level]
+
+    def recovery_level_for(self, scope: FailureScope) -> _StorageLevel:
+        return self.levels[RECOVERY_LEVEL[scope]]
+
+    def store(self, level: CheckpointLevel, record: StoredCheckpoint) -> None:
+        self.levels[level].put(record)
+
+    def can_recover(self, rank: int, checkpoint_id: int, scope: FailureScope) -> bool:
+        """Whether the cheapest sufficient level still holds the checkpoint.
+
+        A ``SINGLE_NODE`` failure destroys the rank's L1 copy, so recovery
+        requires L2 or higher; the caller models that by dropping the rank's
+        L1 data before asking.
+        """
+        needed = RECOVERY_LEVEL[scope]
+        for level_id in sorted(self.levels):
+            if level_id < needed:
+                continue
+            if self.levels[level_id].has(rank, checkpoint_id):
+                return True
+        return False

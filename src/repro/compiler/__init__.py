@@ -1,0 +1,41 @@
+"""Compiler toolchain: task-based dataflow front end and HLS estimation.
+
+Section II.D/E: LEGaTO builds a toolchain that maps applications written in
+a high-level task-based dataflow language (OmpSs pragmas over C/C++ in the
+real project) onto the heterogeneous platform, using vendor HLS tools
+(Vivado HLS / Quartus) to generate FPGA configurations from the same
+high-level code.
+
+The reproduction keeps the same pipeline shape:
+
+* :mod:`repro.compiler.frontend` -- parses a small pragma-annotated kernel
+  description language into tasks with declared dependences and target
+  clauses,
+* :mod:`repro.compiler.ir`       -- the dataflow intermediate representation,
+* :mod:`repro.compiler.hls`      -- resource/latency estimation for FPGA
+  targets (the stand-in for Vivado HLS),
+* :mod:`repro.compiler.lowering` -- lowers IR nodes to runtime tasks for the
+  OmpSs-like runtime, selecting targets and attaching HLS results,
+* :mod:`repro.compiler.toolchain`-- the end-to-end driver.
+"""
+
+from repro.compiler.frontend import ParsedKernel, ParseError, parse_program
+from repro.compiler.ir import DataflowGraph, IrNode, IrEdge
+from repro.compiler.hls import HlsEstimate, HlsEstimator
+from repro.compiler.lowering import LoweredProgram, lower_to_tasks
+from repro.compiler.toolchain import CompilationResult, Toolchain
+
+__all__ = [
+    "ParsedKernel",
+    "ParseError",
+    "parse_program",
+    "DataflowGraph",
+    "IrNode",
+    "IrEdge",
+    "HlsEstimate",
+    "HlsEstimator",
+    "LoweredProgram",
+    "lower_to_tasks",
+    "CompilationResult",
+    "Toolchain",
+]

@@ -1,0 +1,220 @@
+"""Front end: parse a pragma-annotated task program.
+
+The input language is a deliberately small, OmpSs-flavoured kernel
+description.  A program is a sequence of kernel declarations::
+
+    #pragma legato task in(a, b) out(c) workload(data_parallel) gops(120) \
+            device(gpu, fpga) critical secure width(1:4)
+    kernel vecadd
+
+Each ``#pragma legato task`` line annotates the ``kernel <name>`` line that
+follows it.  Clauses:
+
+``in(...)`` / ``out(...)`` / ``inout(...)``
+    comma-separated data region names (dependences).
+``workload(<kind>)``
+    one of the :class:`~repro.hardware.microserver.WorkloadKind` values.
+``gops(<float>)`` and ``memory(<float>)``
+    work amount (Gop) and memory footprint (GiB).
+``device(<kinds...>)``
+    restrict execution to the listed device kinds.
+``critical`` / ``secure``
+    mark the task reliability-critical / enclave-required.
+``width(<min>:<max>)``
+    elastic width range for the XiTAO backend.
+``size(<bytes>)``
+    per-region payload size used for transfer-cost estimation.
+
+Blank lines and ``//`` comments are ignored.  Errors raise
+:class:`ParseError` with the offending line number.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.hardware.microserver import DeviceKind, WorkloadKind
+
+
+class ParseError(ValueError):
+    """Raised on malformed programs, carrying the line number."""
+
+    def __init__(self, message: str, line_number: int) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+@dataclass(frozen=True)
+class ParsedKernel:
+    """One kernel declaration with its pragma clauses."""
+
+    name: str
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    inouts: Tuple[str, ...] = ()
+    workload: WorkloadKind = WorkloadKind.SCALAR
+    gops: float = 1.0
+    memory_gib: float = 0.1
+    devices: Optional[FrozenSet[DeviceKind]] = None
+    critical: bool = False
+    secure: bool = False
+    min_width: int = 1
+    max_width: int = 1
+    region_size_bytes: float = 0.0
+
+    @property
+    def all_regions(self) -> Tuple[str, ...]:
+        return self.inputs + self.outputs + self.inouts
+
+
+_CLAUSE_RE = re.compile(r"(\w+)\s*\(([^)]*)\)|(\bcritical\b)|(\bsecure\b)")
+_PRAGMA_PREFIX = "#pragma legato task"
+
+
+def _split_names(payload: str) -> Tuple[str, ...]:
+    names = tuple(name.strip() for name in payload.split(",") if name.strip())
+    return names
+
+
+def _parse_clauses(pragma: str, line_number: int) -> Dict[str, object]:
+    body = pragma[len(_PRAGMA_PREFIX):].strip()
+    clauses: Dict[str, object] = {}
+    consumed = 0
+    for match in _CLAUSE_RE.finditer(body):
+        consumed += 1
+        if match.group(3):
+            clauses["critical"] = True
+            continue
+        if match.group(4):
+            clauses["secure"] = True
+            continue
+        keyword = match.group(1)
+        payload = match.group(2).strip()
+        if keyword in ("in", "out", "inout"):
+            clauses[keyword] = _split_names(payload)
+        elif keyword == "workload":
+            try:
+                clauses["workload"] = WorkloadKind(payload.strip())
+            except ValueError:
+                raise ParseError(f"unknown workload kind {payload!r}", line_number) from None
+        elif keyword == "gops":
+            clauses["gops"] = _parse_float(payload, "gops", line_number)
+        elif keyword == "memory":
+            clauses["memory_gib"] = _parse_float(payload, "memory", line_number)
+        elif keyword == "size":
+            clauses["region_size_bytes"] = _parse_float(payload, "size", line_number)
+        elif keyword == "device":
+            kinds = []
+            for token in _split_names(payload):
+                try:
+                    kinds.append(DeviceKind(token))
+                except ValueError:
+                    raise ParseError(f"unknown device kind {token!r}", line_number) from None
+            clauses["devices"] = frozenset(kinds)
+        elif keyword == "width":
+            if ":" not in payload:
+                raise ParseError("width clause must be width(min:max)", line_number)
+            low, high = payload.split(":", 1)
+            clauses["min_width"] = _parse_int(low, "width min", line_number)
+            clauses["max_width"] = _parse_int(high, "width max", line_number)
+        else:
+            raise ParseError(f"unknown clause {keyword!r}", line_number)
+    if consumed == 0 and body:
+        raise ParseError(f"could not parse pragma clauses: {body!r}", line_number)
+    return clauses
+
+
+def _parse_float(payload: str, what: str, line_number: int) -> float:
+    try:
+        value = float(payload)
+    except ValueError:
+        raise ParseError(f"{what} expects a number, got {payload!r}", line_number) from None
+    if value <= 0:
+        raise ParseError(f"{what} must be positive", line_number)
+    return value
+
+
+def _parse_int(payload: str, what: str, line_number: int) -> int:
+    try:
+        value = int(payload)
+    except ValueError:
+        raise ParseError(f"{what} expects an integer, got {payload!r}", line_number) from None
+    if value <= 0:
+        raise ParseError(f"{what} must be positive", line_number)
+    return value
+
+
+def parse_program(source: str) -> List[ParsedKernel]:
+    """Parse a program into kernel declarations, in source order."""
+    kernels: List[ParsedKernel] = []
+    pending_clauses: Optional[Dict[str, object]] = None
+    pending_line = 0
+    seen_names = set()
+
+    # Join pragma continuation lines (trailing backslash).
+    raw_lines = source.splitlines()
+    lines: List[Tuple[int, str]] = []
+    buffer = ""
+    buffer_start = 0
+    for index, raw in enumerate(raw_lines, start=1):
+        stripped = raw.strip()
+        if buffer:
+            buffer = buffer.rstrip("\\").rstrip() + " " + stripped
+            if not stripped.endswith("\\"):
+                lines.append((buffer_start, buffer.rstrip("\\").rstrip()))
+                buffer = ""
+            continue
+        if stripped.endswith("\\"):
+            buffer = stripped
+            buffer_start = index
+            continue
+        lines.append((index, stripped))
+    if buffer:
+        raise ParseError("unterminated line continuation", buffer_start)
+
+    for line_number, line in lines:
+        if not line or line.startswith("//"):
+            continue
+        if line.startswith(_PRAGMA_PREFIX):
+            if pending_clauses is not None:
+                raise ParseError("pragma not followed by a kernel declaration", pending_line)
+            pending_clauses = _parse_clauses(line, line_number)
+            pending_line = line_number
+            continue
+        if line.startswith("kernel"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise ParseError("kernel declaration must be 'kernel <name>'", line_number)
+            name = parts[1]
+            if name in seen_names:
+                raise ParseError(f"duplicate kernel name {name!r}", line_number)
+            seen_names.add(name)
+            clauses = pending_clauses or {}
+            pending_clauses = None
+            kernels.append(
+                ParsedKernel(
+                    name=name,
+                    inputs=tuple(clauses.get("in", ())),
+                    outputs=tuple(clauses.get("out", ())),
+                    inouts=tuple(clauses.get("inout", ())),
+                    workload=clauses.get("workload", WorkloadKind.SCALAR),
+                    gops=clauses.get("gops", 1.0),
+                    memory_gib=clauses.get("memory_gib", 0.1),
+                    devices=clauses.get("devices"),
+                    critical=bool(clauses.get("critical", False)),
+                    secure=bool(clauses.get("secure", False)),
+                    min_width=int(clauses.get("min_width", 1)),
+                    max_width=int(clauses.get("max_width", clauses.get("min_width", 1))),
+                    region_size_bytes=float(clauses.get("region_size_bytes", 0.0)),
+                )
+            )
+            continue
+        raise ParseError(f"unrecognised statement: {line!r}", line_number)
+
+    if pending_clauses is not None:
+        raise ParseError("pragma not followed by a kernel declaration", pending_line)
+    if not kernels:
+        raise ParseError("program declares no kernels", 1)
+    return kernels

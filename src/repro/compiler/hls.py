@@ -1,0 +1,157 @@
+"""High-level synthesis estimation: the stand-in for Vivado HLS / Quartus.
+
+OmpSs@FPGA drives the vendor IP-generation tools to turn annotated task
+code into a hardware configuration (Section II.C/D).  Running the actual
+vendor tools is impossible here; instead :class:`HlsEstimator` produces the
+two things the rest of the toolchain consumes from an HLS run:
+
+* a **resource estimate** (LUTs, FFs, DSPs, BRAM blocks) that is checked
+  against the target device's fabric budget to decide whether the kernel
+  (with the requested unroll factor) fits, and
+* a **latency / initiation-interval estimate** that feeds the lowering
+  pass's performance model for the FPGA target.
+
+The estimation is a first-order analytical model: resources scale with the
+kernel's arithmetic intensity and unroll factor; frequency degrades as the
+device fills up (routing congestion).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.compiler.frontend import ParsedKernel
+from repro.hardware.fpga import FpgaFabricRegion
+from repro.hardware.microserver import WorkloadKind
+
+#: resource cost per Gop of work per unroll lane, by workload kind.
+#: (LUTs, FFs, DSPs, BRAM blocks) -- coarse figures representative of 28 nm
+#: HLS output for the corresponding kernel classes.
+_RESOURCE_PER_GOP: Dict[WorkloadKind, tuple] = {
+    WorkloadKind.SCALAR: (400.0, 600.0, 1.0, 0.2),
+    WorkloadKind.DATA_PARALLEL: (120.0, 180.0, 2.0, 0.4),
+    WorkloadKind.DNN_INFERENCE: (90.0, 140.0, 4.0, 0.8),
+    WorkloadKind.STREAMING: (60.0, 100.0, 1.5, 0.6),
+    WorkloadKind.CRYPTO: (250.0, 300.0, 0.5, 0.3),
+    WorkloadKind.MEMORY_BOUND: (80.0, 120.0, 0.5, 1.5),
+}
+
+#: base pipeline depth (cycles) per workload kind.
+_PIPELINE_DEPTH: Dict[WorkloadKind, int] = {
+    WorkloadKind.SCALAR: 12,
+    WorkloadKind.DATA_PARALLEL: 8,
+    WorkloadKind.DNN_INFERENCE: 16,
+    WorkloadKind.STREAMING: 6,
+    WorkloadKind.CRYPTO: 20,
+    WorkloadKind.MEMORY_BOUND: 10,
+}
+
+#: nominal fabric clock for 28 nm HLS designs before congestion derating.
+BASE_CLOCK_MHZ = 250.0
+
+
+@dataclass(frozen=True)
+class HlsEstimate:
+    """Result of synthesising one kernel for one device."""
+
+    kernel: str
+    unroll: int
+    resources: FpgaFabricRegion
+    fits: bool
+    utilisation: float
+    clock_mhz: float
+    initiation_interval: int
+    latency_cycles: float
+    throughput_gops: float
+
+    @property
+    def kernel_time_s(self) -> float:
+        """Estimated execution time of one kernel invocation."""
+        if self.clock_mhz <= 0:
+            return math.inf
+        return self.latency_cycles / (self.clock_mhz * 1e6)
+
+
+class HlsEstimator:
+    """Analytical HLS resource / timing estimator for one target device."""
+
+    def __init__(self, fabric: FpgaFabricRegion, base_clock_mhz: float = BASE_CLOCK_MHZ) -> None:
+        if base_clock_mhz <= 0:
+            raise ValueError("base clock must be positive")
+        self.fabric = fabric
+        self.base_clock_mhz = base_clock_mhz
+
+    # ------------------------------------------------------------------ #
+    # Resource model
+    # ------------------------------------------------------------------ #
+    def estimate_resources(self, kernel: ParsedKernel, unroll: int) -> FpgaFabricRegion:
+        if unroll <= 0:
+            raise ValueError("unroll factor must be positive")
+        luts_per, ffs_per, dsps_per, brams_per = _RESOURCE_PER_GOP[kernel.workload]
+        scale = math.sqrt(kernel.gops) * unroll
+        return FpgaFabricRegion(
+            luts=int(luts_per * scale) + 500,
+            flip_flops=int(ffs_per * scale) + 800,
+            dsp_slices=int(dsps_per * scale) + 2,
+            bram_blocks=int(brams_per * scale) + 2,
+        )
+
+    def _clock_after_congestion(self, utilisation: float) -> float:
+        """Achievable clock: derates linearly above 60 % utilisation."""
+        if utilisation <= 0.6:
+            return self.base_clock_mhz
+        if utilisation >= 1.0:
+            return 0.0
+        derate = 1.0 - 0.5 * (utilisation - 0.6) / 0.4
+        return self.base_clock_mhz * derate
+
+    # ------------------------------------------------------------------ #
+    # Synthesis
+    # ------------------------------------------------------------------ #
+    def synthesise(self, kernel: ParsedKernel, unroll: int = 1) -> HlsEstimate:
+        """Estimate one kernel at a fixed unroll factor."""
+        resources = self.estimate_resources(kernel, unroll)
+        utilisation = self.fabric.utilisation(resources)
+        fits = self.fabric.fits(resources)
+        clock_mhz = self._clock_after_congestion(utilisation) if fits else 0.0
+        depth = _PIPELINE_DEPTH[kernel.workload]
+        # One operation completes per lane per cycle when pipelined (II = 1);
+        # congestion-limited designs fall back to II = 2.
+        initiation_interval = 1 if utilisation < 0.8 else 2
+        ops = kernel.gops * 1e9
+        latency_cycles = depth + (ops / max(unroll, 1)) * initiation_interval
+        throughput = 0.0
+        if clock_mhz > 0:
+            throughput = (unroll / initiation_interval) * clock_mhz * 1e6 / 1e9
+        return HlsEstimate(
+            kernel=kernel.name,
+            unroll=unroll,
+            resources=resources,
+            fits=fits,
+            utilisation=utilisation,
+            clock_mhz=clock_mhz,
+            initiation_interval=initiation_interval,
+            latency_cycles=latency_cycles,
+            throughput_gops=throughput,
+        )
+
+    def best_unroll(self, kernel: ParsedKernel, max_unroll: int = 64) -> HlsEstimate:
+        """Largest power-of-two unroll that still fits the device."""
+        if max_unroll <= 0:
+            raise ValueError("max unroll must be positive")
+        best: Optional[HlsEstimate] = None
+        unroll = 1
+        while unroll <= max_unroll:
+            estimate = self.synthesise(kernel, unroll)
+            if estimate.fits:
+                best = estimate
+            else:
+                break
+            unroll *= 2
+        if best is None:
+            # Even unroll=1 does not fit; return the failing estimate so the
+            # caller can report the resource excess.
+            return self.synthesise(kernel, 1)
+        return best

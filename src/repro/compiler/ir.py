@@ -1,0 +1,136 @@
+"""Dataflow intermediate representation built from parsed kernels.
+
+The IR is a DAG whose nodes are kernel instances and whose edges carry the
+data regions flowing between them, derived from the ``in``/``out``/``inout``
+clauses in submission order -- the same dependence rules the runtime uses,
+applied at compile time so the toolchain can analyse and transform the
+program before execution (target selection, HLS estimation, fusion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.compiler.frontend import ParsedKernel
+
+
+@dataclass(frozen=True)
+class IrNode:
+    """One kernel instance in the dataflow graph."""
+
+    kernel: ParsedKernel
+    index: int
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"IrNode({self.kernel.name}#{self.index})"
+
+
+@dataclass(frozen=True)
+class IrEdge:
+    """A dataflow edge: ``producer`` writes ``region`` read by ``consumer``."""
+
+    producer: IrNode
+    consumer: IrNode
+    region: str
+
+
+class DataflowGraph:
+    """The compiler's dataflow DAG."""
+
+    def __init__(self, kernels: Sequence[ParsedKernel]) -> None:
+        if not kernels:
+            raise ValueError("a dataflow graph needs at least one kernel")
+        self._graph = nx.DiGraph()
+        self._nodes: List[IrNode] = []
+        self._edges: List[IrEdge] = []
+        last_writer: Dict[str, IrNode] = {}
+        for index, kernel in enumerate(kernels):
+            node = IrNode(kernel=kernel, index=index)
+            self._graph.add_node(node)
+            self._nodes.append(node)
+            reads = set(kernel.inputs) | set(kernel.inouts)
+            writes = set(kernel.outputs) | set(kernel.inouts)
+            for region in sorted(reads):
+                producer = last_writer.get(region)
+                if producer is not None and producer is not node:
+                    edge = IrEdge(producer=producer, consumer=node, region=region)
+                    self._graph.add_edge(producer, node, region=region)
+                    self._edges.append(edge)
+            for region in writes:
+                last_writer[region] = node
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise ValueError("kernel program produces a cyclic dataflow graph")
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> List[IrNode]:
+        return list(self._nodes)
+
+    @property
+    def edges(self) -> List[IrEdge]:
+        return list(self._edges)
+
+    def consumers(self, node: IrNode) -> List[IrNode]:
+        return list(self._graph.successors(node))
+
+    def producers(self, node: IrNode) -> List[IrNode]:
+        return list(self._graph.predecessors(node))
+
+    def sources(self) -> List[IrNode]:
+        return [node for node in self._nodes if self._graph.in_degree(node) == 0]
+
+    def sinks(self) -> List[IrNode]:
+        return [node for node in self._nodes if self._graph.out_degree(node) == 0]
+
+    def topological_order(self) -> List[IrNode]:
+        order = list(nx.topological_sort(self._graph))
+        return sorted(order, key=lambda node: node.index)
+
+    def stage_levels(self) -> Dict[IrNode, int]:
+        """Pipeline stage (longest distance from any source) per node."""
+        levels: Dict[IrNode, int] = {}
+        for node in self.topological_order():
+            predecessors = self.producers(node)
+            levels[node] = 0 if not predecessors else 1 + max(levels[p] for p in predecessors)
+        return levels
+
+    def external_inputs(self) -> Set[str]:
+        """Regions read by some kernel but produced by none."""
+        produced = {e.region for e in self._edges}
+        all_written: Set[str] = set()
+        all_read: Set[str] = set()
+        for node in self._nodes:
+            all_written |= set(node.kernel.outputs) | set(node.kernel.inouts)
+            all_read |= set(node.kernel.inputs) | set(node.kernel.inouts)
+        return (all_read - all_written) | (all_read - produced - all_written)
+
+    def external_outputs(self) -> Set[str]:
+        """Regions written by some kernel and never consumed downstream."""
+        consumed_after_write: Set[str] = {e.region for e in self._edges}
+        written: Set[str] = set()
+        for node in self._nodes:
+            written |= set(node.kernel.outputs) | set(node.kernel.inouts)
+        return written - consumed_after_write
+
+    def critical_path_gops(self) -> float:
+        """Work along the heaviest dependence chain."""
+        best: Dict[IrNode, float] = {}
+        for node in self.topological_order():
+            incoming = [best[p] for p in self.producers(node)]
+            best[node] = node.kernel.gops + (max(incoming) if incoming else 0.0)
+        return max(best.values()) if best else 0.0
+
+    def total_gops(self) -> float:
+        return sum(node.kernel.gops for node in self._nodes)
+
+    def to_networkx(self) -> nx.DiGraph:
+        return self._graph.copy()

@@ -1,0 +1,125 @@
+"""Lowering: turn the dataflow IR into runtime tasks with chosen targets.
+
+The lowering pass walks the IR in topological order and, for every kernel
+instance,
+
+* builds the corresponding :class:`~repro.runtime.task.Task` (carrying the
+  kernel's dependences, workload and policy flags),
+* decides which device kinds can execute it -- restricted by explicit
+  ``device(...)`` clauses, by security (secure kernels need a device with
+  enclave support, i.e. a CPU in this model), and by HLS feasibility for
+  FPGA targets,
+* records the HLS estimate for kernels that may run on the FPGA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.compiler.frontend import ParsedKernel
+from repro.compiler.hls import HlsEstimate, HlsEstimator
+from repro.compiler.ir import DataflowGraph, IrNode
+from repro.hardware.fpga import FpgaFabricRegion
+from repro.hardware.microserver import DeviceKind
+from repro.runtime.task import Task, make_task
+
+#: device kinds with hardware security support (SGX on x86, TrustZone on ARM).
+_ENCLAVE_CAPABLE = frozenset({DeviceKind.CPU_X86, DeviceKind.CPU_ARM})
+
+#: FPGA-class targets that require a synthesised bitstream.
+_FPGA_KINDS = frozenset({DeviceKind.FPGA, DeviceKind.FPGA_SOC, DeviceKind.DFE})
+
+
+@dataclass
+class LoweredKernel:
+    """One lowered kernel: the runtime task plus target metadata."""
+
+    node: IrNode
+    task: Task
+    allowed_devices: FrozenSet[DeviceKind]
+    hls: Optional[HlsEstimate] = None
+
+    @property
+    def fpga_capable(self) -> bool:
+        return self.hls is not None and self.hls.fits
+
+
+@dataclass
+class LoweredProgram:
+    """The lowering result for a whole program."""
+
+    kernels: List[LoweredKernel] = field(default_factory=list)
+
+    @property
+    def tasks(self) -> List[Task]:
+        return [kernel.task for kernel in self.kernels]
+
+    def kernel(self, name: str) -> LoweredKernel:
+        for lowered in self.kernels:
+            if lowered.node.name == name:
+                return lowered
+        raise KeyError(f"no lowered kernel named {name!r}")
+
+    def fpga_kernels(self) -> List[LoweredKernel]:
+        return [kernel for kernel in self.kernels if kernel.fpga_capable]
+
+    def secure_kernels(self) -> List[LoweredKernel]:
+        return [kernel for kernel in self.kernels if kernel.task.requirements.secure]
+
+
+def _allowed_devices(
+    kernel: ParsedKernel, hls: Optional[HlsEstimate]
+) -> FrozenSet[DeviceKind]:
+    """Intersect the clause-level restriction with capability constraints."""
+    allowed = set(kernel.devices) if kernel.devices is not None else set(DeviceKind)
+    if kernel.secure:
+        allowed &= _ENCLAVE_CAPABLE
+    if hls is None or not hls.fits:
+        allowed -= _FPGA_KINDS
+    if not allowed:
+        raise ValueError(
+            f"kernel {kernel.name!r} has no feasible device: clauses and "
+            "capability constraints (secure/FPGA fit) eliminate every target"
+        )
+    return frozenset(allowed)
+
+
+def lower_to_tasks(
+    graph: DataflowGraph,
+    fabric: Optional[FpgaFabricRegion] = None,
+) -> LoweredProgram:
+    """Lower an IR graph to runtime tasks.
+
+    ``fabric`` is the FPGA target the HLS estimator synthesises for; when it
+    is ``None`` no FPGA estimation is attempted and FPGA kinds are removed
+    from every kernel's allowed set.
+    """
+    estimator = HlsEstimator(fabric) if fabric is not None else None
+    program = LoweredProgram()
+    for node in graph.topological_order():
+        kernel = node.kernel
+        hls: Optional[HlsEstimate] = None
+        wants_fpga = kernel.devices is None or bool(set(kernel.devices) & _FPGA_KINDS)
+        if estimator is not None and wants_fpga and not kernel.secure:
+            hls = estimator.best_unroll(kernel)
+        allowed = _allowed_devices(kernel, hls)
+        task = make_task(
+            name=f"{kernel.name}#{node.index}",
+            workload=kernel.workload,
+            gops=kernel.gops,
+            memory_gib=kernel.memory_gib,
+            inputs=kernel.inputs,
+            outputs=kernel.outputs,
+            inouts=kernel.inouts,
+            region_size_bytes=kernel.region_size_bytes,
+            reliability_critical=kernel.critical,
+            secure=kernel.secure,
+            allowed_devices=allowed,
+            min_width=kernel.min_width,
+            max_width=kernel.max_width,
+        )
+        program.kernels.append(
+            LoweredKernel(node=node, task=task, allowed_devices=allowed, hls=hls)
+        )
+    return program

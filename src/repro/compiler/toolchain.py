@@ -1,0 +1,92 @@
+"""The end-to-end compiler driver: source text in, runtime tasks out.
+
+The :class:`Toolchain` chains the front end, IR construction, HLS
+estimation and lowering, and can hand the result straight to the OmpSs-like
+runtime for execution -- the "single programming model" path of Fig. 2 that
+takes an annotated application down to the heterogeneous hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.compiler.frontend import ParsedKernel, parse_program
+from repro.compiler.ir import DataflowGraph
+from repro.compiler.lowering import LoweredProgram, lower_to_tasks
+from repro.hardware.fpga import FpgaFabricRegion
+from repro.runtime.devices import ExecutionDevice
+from repro.runtime.ompss import ExecutionTrace, OmpSsRuntime, SchedulingPolicy
+from repro.undervolting.platforms import get_platform
+
+
+@dataclass
+class CompilationResult:
+    """Everything the toolchain produced for one program."""
+
+    kernels: List[ParsedKernel]
+    graph: DataflowGraph
+    lowered: LoweredProgram
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    def report(self) -> Dict[str, object]:
+        """A compact, printable compilation report."""
+        fpga = [k.node.name for k in self.lowered.fpga_kernels()]
+        secure = [k.node.name for k in self.lowered.secure_kernels()]
+        return {
+            "kernels": self.num_kernels,
+            "edges": len(self.graph.edges),
+            "critical_path_gops": self.graph.critical_path_gops(),
+            "total_gops": self.graph.total_gops(),
+            "fpga_capable_kernels": fpga,
+            "secure_kernels": secure,
+        }
+
+
+class Toolchain:
+    """Front end -> IR -> HLS -> lowering -> (optionally) execution."""
+
+    def __init__(
+        self,
+        fpga_platform: Optional[str] = "KC705-A",
+        fabric: Optional[FpgaFabricRegion] = None,
+    ) -> None:
+        if fabric is not None:
+            self.fabric: Optional[FpgaFabricRegion] = fabric
+        elif fpga_platform is not None:
+            calibration = get_platform(fpga_platform)
+            self.fabric = FpgaFabricRegion(
+                luts=calibration.luts,
+                flip_flops=calibration.flip_flops,
+                dsp_slices=calibration.dsp_slices,
+                bram_blocks=calibration.bram_blocks,
+            )
+        else:
+            self.fabric = None
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def compile(self, source: str) -> CompilationResult:
+        """Compile an annotated program down to runtime tasks."""
+        kernels = parse_program(source)
+        graph = DataflowGraph(kernels)
+        lowered = lower_to_tasks(graph, fabric=self.fabric)
+        return CompilationResult(kernels=kernels, graph=graph, lowered=lowered)
+
+    # ------------------------------------------------------------------ #
+    # Execution helper
+    # ------------------------------------------------------------------ #
+    def compile_and_run(
+        self,
+        source: str,
+        devices: Optional[Sequence[ExecutionDevice]] = None,
+        policy: SchedulingPolicy = SchedulingPolicy.ENERGY,
+    ) -> ExecutionTrace:
+        """Compile the program and execute it on the OmpSs-like runtime."""
+        result = self.compile(source)
+        runtime = OmpSsRuntime(devices=devices, policy=policy)
+        return runtime.run(result.lowered.tasks)

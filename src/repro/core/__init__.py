@@ -1,0 +1,24 @@
+"""Core: the integrated LEGaTO ecosystem facade and project-goal metrics.
+
+The other subpackages each reproduce one layer of Fig. 2; this one wires
+them together the way the project intends them to be used: one configuration
+object (:class:`~repro.core.config.LegatoConfig`) selects the hardware
+population and which optimisations are active, one facade
+(:class:`~repro.core.ecosystem.LegatoSystem`) exposes compile/run/evaluate
+entry points, and :mod:`repro.core.goals` tracks progress against the
+project's headline targets (10x energy, 10x security, 5x reliability, 5x
+productivity -- Section VII).
+"""
+
+from repro.core.config import LegatoConfig, OptimisationFlags
+from repro.core.goals import GoalAssessment, GoalReport, PROJECT_TARGETS
+from repro.core.ecosystem import LegatoSystem
+
+__all__ = [
+    "LegatoConfig",
+    "OptimisationFlags",
+    "GoalAssessment",
+    "GoalReport",
+    "PROJECT_TARGETS",
+    "LegatoSystem",
+]

@@ -1,0 +1,125 @@
+"""Project-goal tracking: the 10x / 10x / 5x / 5x targets of Section VII.
+
+LEGaTO's final-year goals are an order-of-magnitude (10x) energy saving,
+10x security, 5x reliability and 5x productivity improvement over the
+un-optimised baseline.  "Energy" has a direct physical metric; the other
+three are tracked by the project through proxy metrics, and the proxies
+used here are documented with each assessment:
+
+* **energy**      -- joules for the reference workload, baseline / LEGaTO.
+* **security**    -- reduction of the unprotected sensitive-data exposure
+  (bytes of sensitive task data processed outside an attested enclave),
+  with a residual floor for what enclaves cannot protect.
+* **reliability** -- sustainable-MTBF ratio at equal fault-tolerance
+  overhead (from the checkpoint efficiency model) combined with the fault
+  detection coverage from selective replication.
+* **productivity**-- source lines a developer writes: pragma-annotated
+  kernels versus hand-written per-device implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+#: the headline targets from Section VII.
+PROJECT_TARGETS: Dict[str, float] = {
+    "energy": 10.0,
+    "security": 10.0,
+    "reliability": 5.0,
+    "productivity": 5.0,
+}
+
+
+@dataclass(frozen=True)
+class GoalAssessment:
+    """One goal dimension: target versus achieved improvement factor."""
+
+    dimension: str
+    target_factor: float
+    achieved_factor: float
+    baseline_value: float
+    optimised_value: float
+    metric: str
+    proxy_note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.target_factor <= 0 or self.achieved_factor < 0:
+            raise ValueError("factors must be positive")
+
+    @property
+    def met(self) -> bool:
+        return self.achieved_factor >= self.target_factor
+
+    @property
+    def progress_fraction(self) -> float:
+        """Achieved / target, capped at 1 for reporting."""
+        return min(1.0, self.achieved_factor / self.target_factor)
+
+
+@dataclass
+class GoalReport:
+    """All four goal dimensions for one evaluated workload."""
+
+    workload: str
+    assessments: List[GoalAssessment] = field(default_factory=list)
+
+    def assessment(self, dimension: str) -> GoalAssessment:
+        for item in self.assessments:
+            if item.dimension == dimension:
+                return item
+        raise KeyError(f"no assessment for dimension {dimension!r}")
+
+    @property
+    def dimensions(self) -> List[str]:
+        return [a.dimension for a in self.assessments]
+
+    def met_all(self) -> bool:
+        return all(a.met for a in self.assessments)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Printable rows: one per dimension (used by the goals benchmark)."""
+        return [
+            {
+                "dimension": a.dimension,
+                "target_x": a.target_factor,
+                "achieved_x": round(a.achieved_factor, 2),
+                "met": a.met,
+                "metric": a.metric,
+            }
+            for a in self.assessments
+        ]
+
+
+def make_assessment(
+    dimension: str,
+    baseline_value: float,
+    optimised_value: float,
+    metric: str,
+    proxy_note: str = "",
+    higher_is_better: bool = False,
+) -> GoalAssessment:
+    """Build an assessment from raw baseline/optimised measurements.
+
+    For cost-like metrics (energy, exposure, lines of code) the improvement
+    factor is ``baseline / optimised``; for benefit-like metrics
+    (``higher_is_better=True``, e.g. sustainable failure rate) it is
+    ``optimised / baseline``.
+    """
+    if dimension not in PROJECT_TARGETS:
+        raise KeyError(f"unknown goal dimension {dimension!r}")
+    if baseline_value <= 0 or optimised_value <= 0:
+        raise ValueError("goal metrics must be positive to form a ratio")
+    if higher_is_better:
+        achieved = optimised_value / baseline_value
+    else:
+        achieved = baseline_value / optimised_value
+    return GoalAssessment(
+        dimension=dimension,
+        target_factor=PROJECT_TARGETS[dimension],
+        achieved_factor=achieved,
+        baseline_value=baseline_value,
+        optimised_value=optimised_value,
+        metric=metric,
+        proxy_note=proxy_note,
+    )

@@ -1,0 +1,69 @@
+"""Simulated RECS|BOX heterogeneous microserver hardware substrate.
+
+The LEGaTO hardware platform (paper Section II.A, Figs. 3-4) is the
+RECS|BOX: a 3 RU server hosting up to 15 carriers and up to 144
+heterogeneous microservers (x86 / ARM64 CPUs, GPUs, FPGAs and SoCs),
+interconnected by a high-speed low-latency network (PCIe / high-speed
+serial), a compute network (up to 40 GbE) and a dedicated management
+network.  A compact edge variant with three COM-HPC microservers (Fig. 9)
+backs the Smart Mirror use case.
+
+This subpackage models that platform at the level the rest of the stack
+needs: per-microserver performance/power profiles for different workload
+kinds, carriers and backplane composition rules, network transfer costs,
+power metering, and an FPGA device with an independently regulated BRAM
+voltage rail (the substrate for Section III undervolting).
+"""
+
+from repro.hardware.power import (
+    EnergyAccount,
+    PowerDistributionUnit,
+    PowerMeter,
+    PowerSample,
+    PowerSpy,
+)
+from repro.hardware.microserver import (
+    DeviceKind,
+    Microserver,
+    MicroserverSpec,
+    WorkloadKind,
+    MICROSERVER_CATALOG,
+    make_microserver,
+)
+from repro.hardware.carrier import Carrier, CarrierKind
+from repro.hardware.network import (
+    ComputeNetwork,
+    HighSpeedLink,
+    ManagementNetwork,
+    NetworkFabric,
+)
+from repro.hardware.recsbox import RecsBox, RecsBoxConfig
+from repro.hardware.fpga import BramArray, FpgaDevice, FpgaFabricRegion
+from repro.hardware.edge_server import EdgeServer, EdgeServerConfig
+
+__all__ = [
+    "EnergyAccount",
+    "PowerDistributionUnit",
+    "PowerMeter",
+    "PowerSample",
+    "PowerSpy",
+    "DeviceKind",
+    "Microserver",
+    "MicroserverSpec",
+    "WorkloadKind",
+    "MICROSERVER_CATALOG",
+    "make_microserver",
+    "Carrier",
+    "CarrierKind",
+    "ComputeNetwork",
+    "HighSpeedLink",
+    "ManagementNetwork",
+    "NetworkFabric",
+    "RecsBox",
+    "RecsBoxConfig",
+    "BramArray",
+    "FpgaDevice",
+    "FpgaFabricRegion",
+    "EdgeServer",
+    "EdgeServerConfig",
+]

@@ -1,0 +1,134 @@
+"""Carrier boards: the slots that host microservers inside a RECS|BOX.
+
+The RECS architecture (paper Fig. 4) composes the server out of carriers
+plugged into a backplane:
+
+* **low-power carriers** host up to 16 low-power microservers
+  (Apalis / Jetson form factor),
+* **high-performance carriers** host up to 3 COM Express microservers,
+* **PCIe expansion carriers** host accelerators such as discrete GPUs.
+
+Carriers enforce form-factor and slot-count constraints and carry a power
+budget, which is how the platform model keeps compositions physically
+plausible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.hardware.microserver import Microserver
+from repro.hardware.power import PowerBudget
+
+
+class CarrierKind(str, enum.Enum):
+    """The three carrier flavours of the RECS|BOX."""
+
+    LOW_POWER = "low_power"
+    HIGH_PERFORMANCE = "high_performance"
+    PCIE_EXPANSION = "pcie_expansion"
+
+
+#: slot count per carrier kind (paper Fig. 4: 16 low-power, 3 high-performance).
+_CARRIER_SLOTS: Dict[CarrierKind, int] = {
+    CarrierKind.LOW_POWER: 16,
+    CarrierKind.HIGH_PERFORMANCE: 3,
+    CarrierKind.PCIE_EXPANSION: 2,
+}
+
+#: per-carrier power budget in watts (enclosure-level engineering limits).
+_CARRIER_POWER_W: Dict[CarrierKind, float] = {
+    CarrierKind.LOW_POWER: 250.0,
+    CarrierKind.HIGH_PERFORMANCE: 450.0,
+    CarrierKind.PCIE_EXPANSION: 400.0,
+}
+
+#: which microserver form factors a carrier kind accepts.
+_ACCEPTED_FORM_FACTORS: Dict[CarrierKind, frozenset] = {
+    CarrierKind.LOW_POWER: frozenset({"low_power"}),
+    CarrierKind.HIGH_PERFORMANCE: frozenset({"high_performance"}),
+    CarrierKind.PCIE_EXPANSION: frozenset({"high_performance"}),
+}
+
+
+@dataclass
+class Carrier:
+    """A carrier board holding microservers under slot and power constraints."""
+
+    kind: CarrierKind
+    carrier_id: str
+    slots: int = 0
+    power_budget: PowerBudget = field(init=False)
+    _microservers: List[Microserver] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.slots <= 0:
+            self.slots = _CARRIER_SLOTS[self.kind]
+        self.power_budget = PowerBudget(cap_w=_CARRIER_POWER_W[self.kind])
+
+    # ------------------------------------------------------------------ #
+    # Composition
+    # ------------------------------------------------------------------ #
+    @property
+    def microservers(self) -> List[Microserver]:
+        return list(self._microservers)
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - len(self._microservers)
+
+    def accepts(self, microserver: Microserver) -> bool:
+        """Whether the microserver's form factor fits this carrier kind."""
+        return microserver.spec.form_factor in _ACCEPTED_FORM_FACTORS[self.kind]
+
+    def install(self, microserver: Microserver) -> None:
+        """Install a microserver, enforcing slot, form-factor and power limits."""
+        if self.free_slots <= 0:
+            raise ValueError(f"carrier {self.carrier_id} has no free slots")
+        if not self.accepts(microserver):
+            raise ValueError(
+                f"carrier {self.carrier_id} ({self.kind.value}) does not accept "
+                f"form factor {microserver.spec.form_factor!r}"
+            )
+        self.power_budget.allocate(microserver.node_id, microserver.spec.peak_power_w)
+        self._microservers.append(microserver)
+
+    def remove(self, node_id: str) -> Microserver:
+        """Remove the microserver with the given id, releasing its power."""
+        for index, microserver in enumerate(self._microservers):
+            if microserver.node_id == node_id:
+                self.power_budget.release(node_id)
+                return self._microservers.pop(index)
+        raise KeyError(f"carrier {self.carrier_id} hosts no microserver {node_id!r}")
+
+    def __iter__(self) -> Iterator[Microserver]:
+        return iter(self._microservers)
+
+    def __len__(self) -> int:
+        return len(self._microservers)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def peak_power_w(self) -> float:
+        return sum(m.spec.peak_power_w for m in self._microservers)
+
+    def idle_power_w(self) -> float:
+        return sum(m.spec.idle_power_w for m in self._microservers)
+
+    def total_energy_j(self) -> float:
+        return sum(m.energy.total_energy_j() for m in self._microservers)
+
+    def find(self, node_id: str) -> Optional[Microserver]:
+        for microserver in self._microservers:
+            if microserver.node_id == node_id:
+                return microserver
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Carrier({self.carrier_id}, kind={self.kind.value}, "
+            f"occupied={len(self._microservers)}/{self.slots})"
+        )

@@ -1,0 +1,132 @@
+"""The LEGaTO edge server (paper Fig. 9), sized for the Smart Mirror use case.
+
+The edge server is a compact (~20x40 cm) enclosure with three modular
+COM-HPC microservers connected pairwise by PCIe in a *host-to-host* fashion:
+each microserver is self-sustained and is not merely a PCIe peripheral of
+the CPU node.  I/O (two RGBD cameras, USB, microphone, video out) attaches to
+the CPU microserver.
+
+The Smart Mirror pipeline (Section VI) maps its stages onto these three
+microservers; the paper explicitly calls out that the modular approach lets
+one evaluate different compositions, e.g. ``1x CPU + 2x GPU`` or
+``1x CPU + 1x GPU + 1x FPGA SoC``.  :meth:`EdgeServerConfig.smart_mirror_*`
+build exactly those compositions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.hardware.microserver import Microserver, make_microserver
+from repro.hardware.network import NetworkFabric
+from repro.hardware.power import PowerBudget, PowerSpy
+
+#: the edge enclosure hosts exactly three microserver slots (Fig. 9).
+EDGE_SLOTS = 3
+
+#: thermal/power envelope of the compact, fanless-friendly enclosure.
+EDGE_POWER_CAP_W = 220.0
+
+
+@dataclass(frozen=True)
+class EdgeServerConfig:
+    """Composition of the three edge-server slots, as catalogue model names."""
+
+    name: str
+    slots: Tuple[str, str, str]
+
+    @staticmethod
+    def smart_mirror_cpu_2gpu() -> "EdgeServerConfig":
+        """``1x CPU + 2x GPU SoC`` composition from Section VI."""
+        return EdgeServerConfig(
+            name="edge-cpu+2gpu", slots=("xeon-d-x86", "jetson-gpu-soc", "jetson-gpu-soc")
+        )
+
+    @staticmethod
+    def smart_mirror_cpu_gpu_fpga() -> "EdgeServerConfig":
+        """``1x CPU + 1x GPU + 1x FPGA SoC`` composition from Section VI."""
+        return EdgeServerConfig(
+            name="edge-cpu+gpu+fpga", slots=("xeon-d-x86", "jetson-gpu-soc", "zynq-fpga-soc")
+        )
+
+    @staticmethod
+    def low_power_arm() -> "EdgeServerConfig":
+        """An all-low-power composition used in ablations."""
+        return EdgeServerConfig(
+            name="edge-arm", slots=("apalis-arm-soc", "jetson-gpu-soc", "zynq-fpga-soc")
+        )
+
+
+class EdgeServer:
+    """A populated three-slot edge server with host-to-host PCIe links."""
+
+    def __init__(self, config: EdgeServerConfig) -> None:
+        if len(config.slots) != EDGE_SLOTS:
+            raise ValueError(f"edge server needs exactly {EDGE_SLOTS} microservers")
+        self.name = config.name
+        self.power_budget = PowerBudget(cap_w=EDGE_POWER_CAP_W)
+        self.fabric = NetworkFabric()
+        self.meter = PowerSpy(name=f"{config.name}-powerspy")
+        self._microservers: List[Microserver] = []
+        for index, model in enumerate(config.slots):
+            microserver = make_microserver(model, node_id=f"{config.name}-slot{index}-{model}")
+            self.power_budget.allocate(microserver.node_id, microserver.spec.peak_power_w)
+            self.fabric.register_node(microserver.node_id, carrier_id=self.name)
+            self._microservers.append(microserver)
+        # Full host-to-host PCIe mesh between the three slots (Fig. 9).
+        for i in range(EDGE_SLOTS):
+            for j in range(i + 1, EDGE_SLOTS):
+                self.fabric.bridge(self._microservers[i].node_id, self._microservers[j].node_id)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def microservers(self) -> Sequence[Microserver]:
+        return tuple(self._microservers)
+
+    def __iter__(self) -> Iterator[Microserver]:
+        return iter(self._microservers)
+
+    def __len__(self) -> int:
+        return len(self._microservers)
+
+    @property
+    def cpu_node(self) -> Microserver:
+        """The microserver that owns the cameras / I/O (first CPU-kind slot)."""
+        for microserver in self._microservers:
+            if microserver.spec.kind.is_cpu:
+                return microserver
+        # Fall back to slot 0 for unusual compositions.
+        return self._microservers[0]
+
+    @property
+    def accelerators(self) -> List[Microserver]:
+        """All non-I/O slots, i.e. everything except :attr:`cpu_node`."""
+        return [m for m in self._microservers if m is not self.cpu_node]
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def idle_power_w(self) -> float:
+        return sum(m.spec.idle_power_w for m in self._microservers)
+
+    def peak_power_w(self) -> float:
+        return sum(m.spec.peak_power_w for m in self._microservers)
+
+    def total_energy_j(self) -> float:
+        return sum(m.energy.total_energy_j() for m in self._microservers) + self.fabric.total_energy_j()
+
+    def active_power_w(self, utilisations: Optional[Dict[str, float]] = None) -> float:
+        """Instantaneous power for per-node utilisations (default: all busy)."""
+        utilisations = utilisations or {}
+        total = 0.0
+        for microserver in self._microservers:
+            utilisation = utilisations.get(microserver.node_id, 1.0)
+            total += microserver.spec.active_power_w(utilisation)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        models = ", ".join(m.spec.model for m in self._microservers)
+        return f"EdgeServer({self.name}: {models})"

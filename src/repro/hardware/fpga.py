@@ -1,0 +1,271 @@
+"""FPGA device model with an independently regulated BRAM voltage rail.
+
+Section III of the paper studies aggressive undervolting of FPGA on-chip
+memories (Block RAMs).  The experiments rely on three properties of the real
+devices that this model reproduces:
+
+* BRAMs are a large set of small SRAM blocks (36 kbit each on the studied
+  28 nm Xilinx parts) whose supply rail ``VCCBRAM`` can be scaled
+  independently of the rest of the fabric,
+* dynamic power is quadratic in the supply voltage, so undervolting yields
+  large savings,
+* below a per-device minimum safe voltage the content of *some* BRAMs starts
+  to flip bits, and below a crash voltage the device stops responding (the
+  DONE pin is unset).
+
+The voltage-to-fault-rate behaviour itself (guardband / critical / crash
+regions and the exponential fault-rate growth) lives in
+:mod:`repro.undervolting`; this module provides the device being undervolted:
+its BRAM array, its data contents for fault injection, and its power model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: capacity of a single BRAM block in kilobits (Xilinx 36 kbit blocks).
+BRAM_BLOCK_KBITS = 36
+
+#: nominal BRAM supply voltage for all 28 nm platforms studied (volts).
+NOMINAL_VCCBRAM = 1.0
+
+#: exponent of the BRAM power-vs-voltage scaling.  Pure dynamic power would
+#: scale with V^2; the measured rail power in the paper's characterisation
+#: drops by more than 90 % between 1.0 V and Vcrash (~0.54 V) because
+#: leakage and regulator losses shrink as well, so the model uses a single
+#: super-quadratic exponent fitted to that corner.
+POWER_SCALING_EXPONENT = 3.8
+
+
+@dataclass(frozen=True)
+class FpgaFabricRegion:
+    """A reconfigurable-fabric resource budget (LUTs, FFs, DSPs, BRAM blocks).
+
+    Used by the HLS estimator (:mod:`repro.compiler.hls`) to decide whether a
+    generated accelerator fits the device and at what clock it can run.
+    """
+
+    luts: int
+    flip_flops: int
+    dsp_slices: int
+    bram_blocks: int
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("luts", self.luts),
+            ("flip_flops", self.flip_flops),
+            ("dsp_slices", self.dsp_slices),
+            ("bram_blocks", self.bram_blocks),
+        ):
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+    def fits(self, other: "FpgaFabricRegion") -> bool:
+        """Whether a demand (``other``) fits inside this budget."""
+        return (
+            other.luts <= self.luts
+            and other.flip_flops <= self.flip_flops
+            and other.dsp_slices <= self.dsp_slices
+            and other.bram_blocks <= self.bram_blocks
+        )
+
+    def utilisation(self, demand: "FpgaFabricRegion") -> float:
+        """Max fractional utilisation across resource classes."""
+        fractions = []
+        for avail, used in (
+            (self.luts, demand.luts),
+            (self.flip_flops, demand.flip_flops),
+            (self.dsp_slices, demand.dsp_slices),
+            (self.bram_blocks, demand.bram_blocks),
+        ):
+            if avail == 0:
+                if used > 0:
+                    return math.inf
+                continue
+            fractions.append(used / avail)
+        return max(fractions) if fractions else 0.0
+
+
+class BramArray:
+    """The on-chip memory of one FPGA as an array of 36 kbit BRAM blocks.
+
+    The array holds actual bit content (a packed NumPy array) so that the
+    undervolting fault injector can flip real bits and applications (e.g. the
+    undervolted DNN inference study) can observe the corruption.
+    """
+
+    def __init__(self, num_blocks: int, rng: Optional[np.random.Generator] = None) -> None:
+        if num_blocks <= 0:
+            raise ValueError("a BRAM array needs at least one block")
+        self.num_blocks = num_blocks
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._bits_per_block = BRAM_BLOCK_KBITS * 1024
+        # Content is stored as uint8 words, 8 bits each.
+        self._words_per_block = self._bits_per_block // 8
+        self._content = np.zeros((num_blocks, self._words_per_block), dtype=np.uint8)
+        self._fault_log: List[Tuple[int, int, int]] = []  # (block, word, bit)
+
+    # ------------------------------------------------------------------ #
+    # Capacity
+    # ------------------------------------------------------------------ #
+    @property
+    def total_kbits(self) -> int:
+        return self.num_blocks * BRAM_BLOCK_KBITS
+
+    @property
+    def total_mbits(self) -> float:
+        return self.total_kbits / 1024.0
+
+    @property
+    def total_bits(self) -> int:
+        return self.num_blocks * self._bits_per_block
+
+    # ------------------------------------------------------------------ #
+    # Content access
+    # ------------------------------------------------------------------ #
+    def write_pattern(self, pattern: int = 0x55) -> None:
+        """Fill every block with a byte pattern (test pattern used in §III)."""
+        if not (0 <= pattern <= 0xFF):
+            raise ValueError("pattern must be one byte")
+        self._content[:] = np.uint8(pattern)
+
+    def write_block(self, block: int, data: np.ndarray) -> None:
+        """Write raw bytes into one block (truncated/padded to block size)."""
+        self._check_block(block)
+        flat = np.asarray(data, dtype=np.uint8).ravel()
+        n = min(flat.size, self._words_per_block)
+        self._content[block, :n] = flat[:n]
+        if n < self._words_per_block:
+            self._content[block, n:] = 0
+
+    def read_block(self, block: int) -> np.ndarray:
+        self._check_block(block)
+        return self._content[block].copy()
+
+    def _check_block(self, block: int) -> None:
+        if not (0 <= block < self.num_blocks):
+            raise IndexError(f"block {block} out of range [0, {self.num_blocks})")
+
+    # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+    def inject_bit_flips(self, num_faults: int) -> List[Tuple[int, int, int]]:
+        """Flip ``num_faults`` uniformly random bits; returns their locations.
+
+        Real undervolting faults cluster in voltage-weak BRAM blocks; a
+        uniform distribution is the simplification used here and is
+        sufficient for the fault-rate statistics of Fig. 5 (which count
+        faults, not their spatial correlation).
+        """
+        if num_faults < 0:
+            raise ValueError("fault count must be non-negative")
+        locations: List[Tuple[int, int, int]] = []
+        for _ in range(num_faults):
+            block = int(self._rng.integers(0, self.num_blocks))
+            word = int(self._rng.integers(0, self._words_per_block))
+            bit = int(self._rng.integers(0, 8))
+            self._content[block, word] ^= np.uint8(1 << bit)
+            locations.append((block, word, bit))
+        self._fault_log.extend(locations)
+        return locations
+
+    def count_mismatches(self, pattern: int = 0x55) -> int:
+        """Count bit positions differing from a uniform byte pattern."""
+        expected = np.uint8(pattern)
+        xor = np.bitwise_xor(self._content, expected)
+        return int(np.unpackbits(xor).sum())
+
+    @property
+    def fault_log(self) -> Sequence[Tuple[int, int, int]]:
+        return tuple(self._fault_log)
+
+    def clear_faults(self) -> None:
+        self._fault_log.clear()
+
+
+@dataclass
+class FpgaDevice:
+    """One FPGA board: fabric budget, BRAM array, and supply-rail state.
+
+    Attributes:
+        name: board name (e.g. ``"VC707"``).
+        fabric: available reconfigurable resources.
+        bram: the on-chip memory array.
+        vccbram: current BRAM supply voltage in volts.
+        vccint: current core fabric voltage in volts (not swept in §III but
+            tracked because the power model needs it).
+        static_power_w: leakage + I/O power, independent of the BRAM rail.
+        bram_dynamic_power_w_nominal: dynamic power of the BRAM subsystem at
+            the nominal 1.0 V rail; scales quadratically with voltage.
+        clock_mhz: fabric clock frequency.
+        responsive: False once the device has crashed (DONE pin unset).
+    """
+
+    name: str
+    fabric: FpgaFabricRegion
+    bram: BramArray
+    vccbram: float = NOMINAL_VCCBRAM
+    vccint: float = 1.0
+    static_power_w: float = 3.0
+    bram_dynamic_power_w_nominal: float = 2.0
+    clock_mhz: float = 200.0
+    responsive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.static_power_w < 0 or self.bram_dynamic_power_w_nominal < 0:
+            raise ValueError("power figures must be non-negative")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock frequency must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Voltage control
+    # ------------------------------------------------------------------ #
+    def set_vccbram(self, volts: float) -> None:
+        """Set the BRAM rail voltage (the regulator accepts 0.5-1.1 V)."""
+        if not (0.5 <= volts <= 1.1):
+            raise ValueError(f"VCCBRAM {volts} V outside regulator range [0.5, 1.1]")
+        self.vccbram = volts
+
+    def crash(self) -> None:
+        """Mark the device unresponsive (reached the crash region)."""
+        self.responsive = False
+
+    def reset(self) -> None:
+        """Power-cycle: restore nominal voltage and responsiveness."""
+        self.vccbram = NOMINAL_VCCBRAM
+        self.responsive = True
+        self.bram.clear_faults()
+
+    # ------------------------------------------------------------------ #
+    # Power model
+    # ------------------------------------------------------------------ #
+    def bram_power_w(self) -> float:
+        """BRAM subsystem power at the current rail voltage.
+
+        Dynamic power scales quadratically with the rail voltage; the
+        measured saving the paper reports (>90 % at Vcrash vs Vnom) also
+        includes the leakage and regulator-loss reduction, which the model
+        folds into :data:`POWER_SCALING_EXPONENT`.
+        """
+        ratio = self.vccbram / NOMINAL_VCCBRAM
+        return self.bram_dynamic_power_w_nominal * ratio**POWER_SCALING_EXPONENT
+
+    def total_power_w(self) -> float:
+        return self.static_power_w + self.bram_power_w()
+
+    def bram_power_saving_fraction(self) -> float:
+        """Fractional BRAM power saving versus the nominal rail voltage."""
+        nominal = self.bram_dynamic_power_w_nominal
+        if nominal == 0:
+            return 0.0
+        return 1.0 - self.bram_power_w() / nominal
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FpgaDevice({self.name}, VCCBRAM={self.vccbram:.3f} V, "
+            f"bram={self.bram.total_mbits:.1f} Mbit, responsive={self.responsive})"
+        )

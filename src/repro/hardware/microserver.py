@@ -1,0 +1,406 @@
+"""Microserver models: the compute building blocks of the RECS|BOX platform.
+
+The RECS|BOX hosts heterogeneous, modular microserver nodes (paper Fig. 4):
+
+* high-performance microservers on COM Express carriers -- x86 CPUs,
+  ARM v8 CPUs, FPGA SoCs,
+* low-power microservers on Apalis / Jetson form factors -- ARM SoCs,
+  GPU SoCs, FPGA SoCs,
+* GPU accelerators on PCIe expansion carriers.
+
+Each microserver is modelled by a :class:`MicroserverSpec` describing its
+compute throughput per *workload kind* (how fast it runs CPU-bound,
+data-parallel, DNN-inference, streaming-dataflow or cryptographic work), its
+idle and peak power, its memory capacity and its host-to-host link bandwidth.
+The specs in :data:`MICROSERVER_CATALOG` are calibrated to publicly known
+figures for the device classes the paper names (Xeon-class x86, ARM64
+server CPUs, GTX-1080-class GPUs, Jetson-class GPU SoCs, Kintex/Zynq-class
+FPGAs) -- the absolute numbers are approximations, but the *relative*
+ordering (which device is most energy-efficient for which workload kind)
+is what the LEGaTO runtime and HEATS scheduler exploit, and that ordering
+is preserved.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.hardware.power import EnergyAccount
+
+
+class DeviceKind(str, enum.Enum):
+    """The device classes the LEGaTO stack schedules onto."""
+
+    CPU_X86 = "cpu_x86"
+    CPU_ARM = "cpu_arm"
+    GPU = "gpu"
+    GPU_SOC = "gpu_soc"
+    FPGA = "fpga"
+    FPGA_SOC = "fpga_soc"
+    DFE = "dfe"  # Maxeler-style dataflow engine
+
+    @property
+    def is_cpu(self) -> bool:
+        return self in (DeviceKind.CPU_X86, DeviceKind.CPU_ARM)
+
+    @property
+    def is_gpu(self) -> bool:
+        return self in (DeviceKind.GPU, DeviceKind.GPU_SOC)
+
+    @property
+    def is_fpga(self) -> bool:
+        return self in (DeviceKind.FPGA, DeviceKind.FPGA_SOC, DeviceKind.DFE)
+
+
+class WorkloadKind(str, enum.Enum):
+    """Coarse workload classes with distinct device affinities."""
+
+    SCALAR = "scalar"          # branchy, latency-bound CPU work
+    DATA_PARALLEL = "data_parallel"  # dense numeric kernels
+    DNN_INFERENCE = "dnn_inference"  # convolutional / matrix inference
+    STREAMING = "streaming"    # dataflow / pipelined streaming kernels
+    CRYPTO = "crypto"          # symmetric crypto / hashing
+    MEMORY_BOUND = "memory_bound"    # stencil / bandwidth-bound work
+
+
+@dataclass(frozen=True)
+class MicroserverSpec:
+    """Static description of one microserver model.
+
+    Attributes:
+        model: human-readable model name (catalog key).
+        kind: device class.
+        cores: number of general-purpose cores exposed to the runtime.
+        memory_gib: DRAM capacity in GiB.
+        idle_power_w: power draw when idle.
+        peak_power_w: power draw at full utilisation.
+        throughput_gops: sustained throughput in Gop/s per workload kind.
+        link_bandwidth_gbps: host-to-host (PCIe / serial) bandwidth in Gbit/s.
+        form_factor: "low_power" (Apalis/Jetson) or "high_performance"
+            (COM Express / COM-HPC) -- determines which carrier accepts it.
+    """
+
+    model: str
+    kind: DeviceKind
+    cores: int
+    memory_gib: float
+    idle_power_w: float
+    peak_power_w: float
+    throughput_gops: Mapping[WorkloadKind, float]
+    link_bandwidth_gbps: float = 32.0
+    form_factor: str = "high_performance"
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("microserver must expose at least one core")
+        if self.memory_gib <= 0:
+            raise ValueError("memory capacity must be positive")
+        if not (0.0 <= self.idle_power_w <= self.peak_power_w):
+            raise ValueError(
+                f"power range invalid: idle={self.idle_power_w}, peak={self.peak_power_w}"
+            )
+        if self.form_factor not in ("low_power", "high_performance"):
+            raise ValueError(f"unknown form factor {self.form_factor!r}")
+        missing = [k for k in WorkloadKind if k not in self.throughput_gops]
+        if missing:
+            raise ValueError(f"spec {self.model!r} missing throughput for {missing}")
+        for kind, gops in self.throughput_gops.items():
+            if gops <= 0:
+                raise ValueError(f"throughput for {kind} must be positive, got {gops}")
+
+    # ------------------------------------------------------------------ #
+    # Derived performance / energy figures
+    # ------------------------------------------------------------------ #
+    def execution_time_s(self, workload: WorkloadKind, gops: float) -> float:
+        """Time to execute ``gops`` giga-operations of the given workload kind."""
+        if gops < 0:
+            raise ValueError("work amount must be non-negative")
+        return gops / self.throughput_gops[workload]
+
+    def active_power_w(self, utilisation: float = 1.0) -> float:
+        """Linear idle-to-peak power model at the given utilisation."""
+        if not (0.0 <= utilisation <= 1.0):
+            raise ValueError("utilisation must be within [0, 1]")
+        return self.idle_power_w + utilisation * (self.peak_power_w - self.idle_power_w)
+
+    def energy_j(self, workload: WorkloadKind, gops: float, utilisation: float = 1.0) -> float:
+        """Energy to execute the work, charging active power for its duration."""
+        return self.execution_time_s(workload, gops) * self.active_power_w(utilisation)
+
+    def efficiency_gops_per_w(self, workload: WorkloadKind) -> float:
+        """Peak energy efficiency for the workload kind (Gop/s per watt)."""
+        return self.throughput_gops[workload] / self.peak_power_w
+
+
+def _throughput(
+    scalar: float,
+    data_parallel: float,
+    dnn: float,
+    streaming: float,
+    crypto: float,
+    memory_bound: float,
+) -> Dict[WorkloadKind, float]:
+    return {
+        WorkloadKind.SCALAR: scalar,
+        WorkloadKind.DATA_PARALLEL: data_parallel,
+        WorkloadKind.DNN_INFERENCE: dnn,
+        WorkloadKind.STREAMING: streaming,
+        WorkloadKind.CRYPTO: crypto,
+        WorkloadKind.MEMORY_BOUND: memory_bound,
+    }
+
+
+#: Catalogue of microserver models used across experiments.  Throughputs are
+#: sustained Gop/s for each workload class; the calibration targets the
+#: qualitative ordering the paper relies on (GPUs dominate DNN throughput,
+#: FPGAs dominate DNN and streaming *efficiency*, ARM SoCs dominate idle
+#: power, x86 dominates scalar latency).
+MICROSERVER_CATALOG: Dict[str, MicroserverSpec] = {
+    # High-performance COM Express x86 CPU (Xeon-D class).
+    "xeon-d-x86": MicroserverSpec(
+        model="xeon-d-x86",
+        kind=DeviceKind.CPU_X86,
+        cores=16,
+        memory_gib=64.0,
+        idle_power_w=25.0,
+        peak_power_w=90.0,
+        throughput_gops=_throughput(
+            scalar=120.0, data_parallel=450.0, dnn=300.0,
+            streaming=150.0, crypto=80.0, memory_bound=60.0,
+        ),
+        link_bandwidth_gbps=64.0,
+        form_factor="high_performance",
+    ),
+    # ARM v8 server CPU microserver.
+    "arm64-server": MicroserverSpec(
+        model="arm64-server",
+        kind=DeviceKind.CPU_ARM,
+        cores=32,
+        memory_gib=32.0,
+        idle_power_w=12.0,
+        peak_power_w=45.0,
+        throughput_gops=_throughput(
+            scalar=80.0, data_parallel=320.0, dnn=220.0,
+            streaming=120.0, crypto=60.0, memory_bound=45.0,
+        ),
+        link_bandwidth_gbps=32.0,
+        form_factor="high_performance",
+    ),
+    # Discrete workstation GPU (GTX-1080 class) on a PCIe expansion carrier.
+    "gtx1080-gpu": MicroserverSpec(
+        model="gtx1080-gpu",
+        kind=DeviceKind.GPU,
+        cores=2560,
+        memory_gib=8.0,
+        idle_power_w=45.0,
+        peak_power_w=180.0,
+        throughput_gops=_throughput(
+            scalar=20.0, data_parallel=6000.0, dnn=8000.0,
+            streaming=2500.0, crypto=400.0, memory_bound=320.0,
+        ),
+        link_bandwidth_gbps=128.0,
+        form_factor="high_performance",
+    ),
+    # Jetson-class low-power GPU SoC.
+    "jetson-gpu-soc": MicroserverSpec(
+        model="jetson-gpu-soc",
+        kind=DeviceKind.GPU_SOC,
+        cores=256,
+        memory_gib=8.0,
+        idle_power_w=4.0,
+        peak_power_w=22.0,
+        throughput_gops=_throughput(
+            scalar=15.0, data_parallel=900.0, dnn=1300.0,
+            streaming=450.0, crypto=70.0, memory_bound=55.0,
+        ),
+        link_bandwidth_gbps=16.0,
+        form_factor="low_power",
+    ),
+    # Kintex-class mid-range FPGA microserver.
+    "kintex-fpga": MicroserverSpec(
+        model="kintex-fpga",
+        kind=DeviceKind.FPGA,
+        cores=4,
+        memory_gib=16.0,
+        idle_power_w=8.0,
+        peak_power_w=35.0,
+        throughput_gops=_throughput(
+            scalar=5.0, data_parallel=1200.0, dnn=2200.0,
+            streaming=3200.0, crypto=900.0, memory_bound=90.0,
+        ),
+        link_bandwidth_gbps=40.0,
+        form_factor="high_performance",
+    ),
+    # Zynq-class FPGA SoC (CPU + programmable logic) low-power module.
+    "zynq-fpga-soc": MicroserverSpec(
+        model="zynq-fpga-soc",
+        kind=DeviceKind.FPGA_SOC,
+        cores=4,
+        memory_gib=4.0,
+        idle_power_w=3.0,
+        peak_power_w=12.0,
+        throughput_gops=_throughput(
+            scalar=12.0, data_parallel=300.0, dnn=600.0,
+            streaming=900.0, crypto=350.0, memory_bound=25.0,
+        ),
+        link_bandwidth_gbps=10.0,
+        form_factor="low_power",
+    ),
+    # Apalis-class ARM SoC low-power CPU module.
+    "apalis-arm-soc": MicroserverSpec(
+        model="apalis-arm-soc",
+        kind=DeviceKind.CPU_ARM,
+        cores=4,
+        memory_gib=4.0,
+        idle_power_w=1.5,
+        peak_power_w=7.0,
+        throughput_gops=_throughput(
+            scalar=10.0, data_parallel=35.0, dnn=25.0,
+            streaming=18.0, crypto=9.0, memory_bound=6.0,
+        ),
+        link_bandwidth_gbps=5.0,
+        form_factor="low_power",
+    ),
+    # Maxeler-style dataflow engine.
+    "maxeler-dfe": MicroserverSpec(
+        model="maxeler-dfe",
+        kind=DeviceKind.DFE,
+        cores=1,
+        memory_gib=48.0,
+        idle_power_w=20.0,
+        peak_power_w=65.0,
+        throughput_gops=_throughput(
+            scalar=2.0, data_parallel=2500.0, dnn=3000.0,
+            streaming=6000.0, crypto=1500.0, memory_bound=200.0,
+        ),
+        link_bandwidth_gbps=64.0,
+        form_factor="high_performance",
+    ),
+}
+
+
+_microserver_ids = itertools.count()
+
+
+def _next_microserver_id(model: str) -> str:
+    return f"{model}#{next(_microserver_ids)}"
+
+
+@dataclass
+class Microserver:
+    """A microserver instance: a spec plus runtime state (load, energy).
+
+    Instances are what carriers host and what the runtime/scheduler place
+    work onto.  The instance tracks busy time per simulated clock, resident
+    memory, and an :class:`EnergyAccount` charged by the hardware models.
+    """
+
+    spec: MicroserverSpec
+    node_id: str = ""
+    energy: EnergyAccount = field(default_factory=lambda: EnergyAccount("microserver"))
+    busy_until_s: float = 0.0
+    allocated_memory_gib: float = 0.0
+    _running_tasks: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            self.node_id = _next_microserver_id(self.spec.model)
+        self.energy = EnergyAccount(name=self.node_id)
+
+    # ------------------------------------------------------------------ #
+    # Capacity accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def kind(self) -> DeviceKind:
+        return self.spec.kind
+
+    @property
+    def available_memory_gib(self) -> float:
+        return self.spec.memory_gib - self.allocated_memory_gib
+
+    def can_fit(self, memory_gib: float) -> bool:
+        return memory_gib <= self.available_memory_gib + 1e-9
+
+    def reserve_memory(self, memory_gib: float) -> None:
+        if memory_gib < 0:
+            raise ValueError("memory reservation must be non-negative")
+        if not self.can_fit(memory_gib):
+            raise ValueError(
+                f"{self.node_id}: cannot reserve {memory_gib} GiB, "
+                f"only {self.available_memory_gib:.1f} GiB free"
+            )
+        self.allocated_memory_gib += memory_gib
+
+    def release_memory(self, memory_gib: float) -> None:
+        if memory_gib < 0:
+            raise ValueError("memory release must be non-negative")
+        self.allocated_memory_gib = max(0.0, self.allocated_memory_gib - memory_gib)
+
+    # ------------------------------------------------------------------ #
+    # Execution model
+    # ------------------------------------------------------------------ #
+    def is_idle_at(self, time_s: float) -> bool:
+        return time_s >= self.busy_until_s
+
+    def execute(
+        self,
+        workload: WorkloadKind,
+        gops: float,
+        start_s: float,
+        utilisation: float = 1.0,
+        label: str = "",
+    ) -> Tuple[float, float]:
+        """Run a unit of work; returns (finish_time_s, energy_j).
+
+        The work starts at ``max(start_s, busy_until_s)`` (the microserver is
+        a serial resource at this granularity), runs for the spec's execution
+        time, and the consumed energy is charged to the instance's account.
+        """
+        begin = max(start_s, self.busy_until_s)
+        duration = self.spec.execution_time_s(workload, gops)
+        energy = self.spec.energy_j(workload, gops, utilisation)
+        finish = begin + duration
+        self.busy_until_s = finish
+        self.energy.charge(energy)
+        if label:
+            self._running_tasks.append(label)
+        return finish, energy
+
+    def idle_energy_j(self, duration_s: float) -> float:
+        """Charge idle power for a duration and return the joules charged."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        energy = self.spec.idle_power_w * duration_s
+        self.energy.charge(energy)
+        return energy
+
+    @property
+    def executed_labels(self) -> Tuple[str, ...]:
+        return tuple(self._running_tasks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Microserver({self.node_id}, kind={self.spec.kind.value})"
+
+
+def make_microserver(model: str, node_id: str = "") -> Microserver:
+    """Instantiate a microserver from the catalogue by model name."""
+    try:
+        spec = MICROSERVER_CATALOG[model]
+    except KeyError:
+        known = ", ".join(sorted(MICROSERVER_CATALOG))
+        raise KeyError(f"unknown microserver model {model!r}; known models: {known}") from None
+    return Microserver(spec=spec, node_id=node_id)
+
+
+def most_efficient_for(
+    workload: WorkloadKind, candidates: Optional[Iterable[MicroserverSpec]] = None
+) -> MicroserverSpec:
+    """Return the catalogue spec with the best Gop/s-per-watt for a workload."""
+    pool = list(candidates) if candidates is not None else list(MICROSERVER_CATALOG.values())
+    if not pool:
+        raise ValueError("no candidate microservers supplied")
+    return max(pool, key=lambda spec: spec.efficiency_gops_per_w(workload))

@@ -1,0 +1,200 @@
+"""Interconnect models for the RECS|BOX and edge platforms.
+
+The paper's Fig. 4 shows three networks stitched through the backplane:
+
+* a **high-speed low-latency network** (PCIe, high-speed serial) used for
+  host-to-host communication between microservers on the same or adjacent
+  carriers,
+* a **compute network** (up to 40 GbE) connecting every microserver,
+* a **management network** (KVM, monitoring) used by the middleware.
+
+The models here turn byte counts into transfer latencies and energy, which
+is what the checkpointing layer, the runtime's data movement accounting and
+the HEATS migration cost model need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+def _transfer_time_s(size_bytes: float, bandwidth_gbps: float, latency_s: float) -> float:
+    """Latency + size/bandwidth transfer model.
+
+    ``bandwidth_gbps`` is in gigabits per second, so one GB takes 8 /
+    bandwidth seconds plus the fixed per-message latency.
+    """
+    if size_bytes < 0:
+        raise ValueError("transfer size must be non-negative")
+    if bandwidth_gbps <= 0:
+        raise ValueError("bandwidth must be positive")
+    return latency_s + (size_bytes * 8.0) / (bandwidth_gbps * 1e9)
+
+
+@dataclass(frozen=True)
+class LinkStats:
+    """Accumulated traffic statistics of one link."""
+
+    messages: int = 0
+    bytes_moved: float = 0.0
+    busy_time_s: float = 0.0
+    energy_j: float = 0.0
+
+
+class _Link:
+    """Shared behaviour for the three interconnect classes."""
+
+    #: link bandwidth in Gbit/s.
+    bandwidth_gbps: float = 10.0
+    #: per-message latency in seconds.
+    latency_s: float = 10e-6
+    #: transfer energy in nanojoules per byte moved.
+    energy_nj_per_byte: float = 5.0
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._messages = 0
+        self._bytes = 0.0
+        self._busy_s = 0.0
+        self._energy_j = 0.0
+
+    def transfer(self, size_bytes: float) -> float:
+        """Move ``size_bytes`` over the link; returns the transfer time in seconds."""
+        duration = _transfer_time_s(size_bytes, self.bandwidth_gbps, self.latency_s)
+        self._messages += 1
+        self._bytes += size_bytes
+        self._busy_s += duration
+        self._energy_j += size_bytes * self.energy_nj_per_byte * 1e-9
+        return duration
+
+    @property
+    def stats(self) -> LinkStats:
+        return LinkStats(
+            messages=self._messages,
+            bytes_moved=self._bytes,
+            busy_time_s=self._busy_s,
+            energy_j=self._energy_j,
+        )
+
+    def reset(self) -> None:
+        self._messages = 0
+        self._bytes = 0.0
+        self._busy_s = 0.0
+        self._energy_j = 0.0
+
+
+class HighSpeedLink(_Link):
+    """PCIe / high-speed serial host-to-host link (low latency, high bandwidth)."""
+
+    bandwidth_gbps = 64.0
+    latency_s = 1e-6
+    energy_nj_per_byte = 2.0
+
+
+class ComputeNetwork(_Link):
+    """Up-to-40 GbE compute network connecting all microservers."""
+
+    bandwidth_gbps = 40.0
+    latency_s = 20e-6
+    energy_nj_per_byte = 8.0
+
+
+class ManagementNetwork(_Link):
+    """1 GbE management network (KVM, monitoring); never used for bulk data."""
+
+    bandwidth_gbps = 1.0
+    latency_s = 100e-6
+    energy_nj_per_byte = 12.0
+
+    #: monitoring messages are small; this is the default telemetry payload.
+    telemetry_bytes: int = 512
+
+    def telemetry(self) -> float:
+        """Send one telemetry message; returns its transfer time."""
+        return self.transfer(self.telemetry_bytes)
+
+
+@dataclass
+class NetworkFabric:
+    """The composed interconnect of one enclosure.
+
+    Route selection mirrors the platform: node pairs on the same carrier (or
+    explicitly bridged by PCIe host-to-host links, as in the edge server) use
+    the high-speed link, every other pair uses the compute network, and
+    telemetry always uses the management network.
+    """
+
+    high_speed: HighSpeedLink = field(default_factory=lambda: HighSpeedLink("hs"))
+    compute: ComputeNetwork = field(default_factory=lambda: ComputeNetwork("eth"))
+    management: ManagementNetwork = field(default_factory=lambda: ManagementNetwork("mgmt"))
+    #: set of frozenset({node_a, node_b}) pairs bridged by host-to-host PCIe.
+    pcie_pairs: set = field(default_factory=set)
+    #: mapping node_id -> carrier_id used for same-carrier routing decisions.
+    carrier_of: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Topology construction
+    # ------------------------------------------------------------------ #
+    def register_node(self, node_id: str, carrier_id: str) -> None:
+        self.carrier_of[node_id] = carrier_id
+
+    def bridge(self, node_a: str, node_b: str) -> None:
+        """Declare a direct PCIe host-to-host bridge between two nodes."""
+        if node_a == node_b:
+            raise ValueError("cannot bridge a node to itself")
+        self.pcie_pairs.add(frozenset((node_a, node_b)))
+
+    def same_carrier(self, node_a: str, node_b: str) -> bool:
+        carrier_a = self.carrier_of.get(node_a)
+        carrier_b = self.carrier_of.get(node_b)
+        return carrier_a is not None and carrier_a == carrier_b
+
+    def is_bridged(self, node_a: str, node_b: str) -> bool:
+        return frozenset((node_a, node_b)) in self.pcie_pairs
+
+    # ------------------------------------------------------------------ #
+    # Data movement
+    # ------------------------------------------------------------------ #
+    def route(self, src: str, dst: str) -> _Link:
+        """Pick the link a transfer between two nodes uses."""
+        if src == dst:
+            # Local "transfer": modelled as the high-speed link with zero cost
+            # handled by the caller; returning high_speed keeps accounting simple.
+            return self.high_speed
+        if self.is_bridged(src, dst) or self.same_carrier(src, dst):
+            return self.high_speed
+        return self.compute
+
+    def transfer(self, src: str, dst: str, size_bytes: float) -> float:
+        """Move data between nodes; returns the transfer time in seconds."""
+        if src == dst:
+            return 0.0
+        return self.route(src, dst).transfer(size_bytes)
+
+    def broadcast(self, src: str, destinations: Iterable[str], size_bytes: float) -> float:
+        """Send the same payload to several nodes; returns total elapsed time.
+
+        Transfers to distinct destinations are serialised on the source's
+        NIC, which is the pessimistic but simple model the checkpoint layer
+        uses for partner-copy replication.
+        """
+        total = 0.0
+        for dst in destinations:
+            total += self.transfer(src, dst, size_bytes)
+        return total
+
+    def total_energy_j(self) -> float:
+        return (
+            self.high_speed.stats.energy_j
+            + self.compute.stats.energy_j
+            + self.management.stats.energy_j
+        )
+
+    def total_bytes(self) -> float:
+        return (
+            self.high_speed.stats.bytes_moved
+            + self.compute.stats.bytes_moved
+            + self.management.stats.bytes_moved
+        )

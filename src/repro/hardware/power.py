@@ -1,0 +1,259 @@
+"""Power metering and energy accounting for the simulated platform.
+
+The LEGaTO middleware monitors node power through external meters (the HEATS
+section names PDUs and PowerSpy probes).  The simulator mirrors that split:
+
+* :class:`PowerMeter` is the abstract sampling interface.
+* :class:`PowerDistributionUnit` meters a whole enclosure (coarse, slow).
+* :class:`PowerSpy` meters a single microserver (fine-grained, fast).
+* :class:`EnergyAccount` integrates sampled power over simulated time and is
+  the single place the rest of the stack charges energy to.
+
+All power figures are in watts, energy in joules, and time in simulated
+seconds.  Nothing here reads wall-clock time; the simulation clock is always
+passed in explicitly so experiments are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """A single timestamped power reading.
+
+    Attributes:
+        time_s: simulation time at which the sample was taken.
+        watts: instantaneous power draw in watts.
+        source: name of the metered component (microserver id, enclosure id).
+    """
+
+    time_s: float
+    watts: float
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.watts < 0.0:
+            raise ValueError(f"power cannot be negative, got {self.watts} W")
+        if not math.isfinite(self.watts):
+            raise ValueError("power sample must be finite")
+
+
+class EnergyAccount:
+    """Integrates power over simulated time for one metered component.
+
+    The account keeps the full sample trace so experiments can later inspect
+    the power profile (e.g. the Smart Mirror bench reports both average power
+    and the energy of a full pipeline run).
+
+    Energy is integrated with the trapezoidal rule between consecutive
+    samples, plus explicit ``charge`` events for work whose energy is known
+    directly (e.g. a task whose model already produced joules).
+    """
+
+    def __init__(self, name: str = "account") -> None:
+        self.name = name
+        self._samples: List[PowerSample] = []
+        self._charged_j: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Sampling interface
+    # ------------------------------------------------------------------ #
+    def record(self, time_s: float, watts: float, source: str = "") -> None:
+        """Append a power sample; samples must arrive in time order."""
+        if self._samples and time_s < self._samples[-1].time_s:
+            raise ValueError(
+                f"samples must be monotonically ordered in time: "
+                f"{time_s} < {self._samples[-1].time_s}"
+            )
+        self._samples.append(PowerSample(time_s=time_s, watts=watts, source=source or self.name))
+
+    def charge(self, joules: float) -> None:
+        """Directly charge an energy amount (for model-produced task energy)."""
+        if joules < 0.0:
+            raise ValueError(f"cannot charge negative energy: {joules} J")
+        self._charged_j += joules
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def samples(self) -> Sequence[PowerSample]:
+        return tuple(self._samples)
+
+    @property
+    def charged_energy_j(self) -> float:
+        return self._charged_j
+
+    def sampled_energy_j(self) -> float:
+        """Trapezoidal integral of the recorded power trace."""
+        total = 0.0
+        for prev, cur in zip(self._samples, self._samples[1:]):
+            dt = cur.time_s - prev.time_s
+            total += 0.5 * (prev.watts + cur.watts) * dt
+        return total
+
+    def total_energy_j(self) -> float:
+        """Sampled energy plus directly charged energy."""
+        return self.sampled_energy_j() + self._charged_j
+
+    def average_power_w(self) -> float:
+        """Mean power over the sampled window (0 if fewer than two samples)."""
+        if len(self._samples) < 2:
+            return self._samples[0].watts if self._samples else 0.0
+        duration = self._samples[-1].time_s - self._samples[0].time_s
+        if duration <= 0.0:
+            return self._samples[-1].watts
+        return self.sampled_energy_j() / duration
+
+    def peak_power_w(self) -> float:
+        return max((s.watts for s in self._samples), default=0.0)
+
+    def window(self, start_s: float, end_s: float) -> "EnergyAccount":
+        """Return a new account containing only samples in [start, end]."""
+        if end_s < start_s:
+            raise ValueError("window end must not precede start")
+        sub = EnergyAccount(name=f"{self.name}[{start_s:.3f},{end_s:.3f}]")
+        for sample in self._samples:
+            if start_s <= sample.time_s <= end_s:
+                sub.record(sample.time_s, sample.watts, sample.source)
+        return sub
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._charged_j = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"EnergyAccount(name={self.name!r}, samples={len(self._samples)}, "
+            f"energy={self.total_energy_j():.1f} J)"
+        )
+
+
+class PowerMeter:
+    """Base power meter: samples one or more power sources on a fixed period.
+
+    Subclasses define the sampling period and measurement noise floor; the
+    simulator drives :meth:`sample` explicitly with the current simulated
+    time and the true model power, and the meter applies its quantisation.
+    """
+
+    #: sampling period in seconds; subclasses override.
+    period_s: float = 1.0
+    #: absolute quantisation step of the reading, in watts.
+    resolution_w: float = 0.1
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.account = EnergyAccount(name=name)
+        self._last_sample_time: Optional[float] = None
+
+    def quantise(self, watts: float) -> float:
+        """Round a true power value to the meter's resolution."""
+        if self.resolution_w <= 0.0:
+            return watts
+        return round(watts / self.resolution_w) * self.resolution_w
+
+    def sample(self, time_s: float, true_watts: float) -> Optional[PowerSample]:
+        """Record a reading if at least one period elapsed since the last one.
+
+        Returns the stored sample, or ``None`` when the meter skips the
+        reading because it is being driven faster than its period.
+        """
+        if self._last_sample_time is not None and (time_s - self._last_sample_time) < self.period_s:
+            return None
+        reading = self.quantise(true_watts)
+        self.account.record(time_s, reading, source=self.name)
+        self._last_sample_time = time_s
+        return self.account.samples[-1]
+
+    def energy_j(self) -> float:
+        return self.account.total_energy_j()
+
+
+class PowerDistributionUnit(PowerMeter):
+    """Rack-level PDU: coarse 1 s sampling, 1 W resolution."""
+
+    period_s = 1.0
+    resolution_w = 1.0
+
+
+class PowerSpy(PowerMeter):
+    """Per-microserver PowerSpy probe: 50 ms sampling, 0.01 W resolution."""
+
+    period_s = 0.05
+    resolution_w = 0.01
+
+
+@dataclass
+class PowerBudget:
+    """A power cap with utilisation tracking, used by carriers and the edge server."""
+
+    cap_w: float
+    allocations: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cap_w <= 0.0:
+            raise ValueError("power cap must be positive")
+
+    @property
+    def allocated_w(self) -> float:
+        return sum(self.allocations.values())
+
+    @property
+    def headroom_w(self) -> float:
+        return self.cap_w - self.allocated_w
+
+    def can_allocate(self, watts: float) -> bool:
+        return watts <= self.headroom_w + 1e-9
+
+    def allocate(self, owner: str, watts: float) -> None:
+        """Reserve ``watts`` for ``owner``; raises if the cap would be exceeded."""
+        if watts < 0.0:
+            raise ValueError("allocation must be non-negative")
+        if owner in self.allocations:
+            raise KeyError(f"owner {owner!r} already holds an allocation")
+        if not self.can_allocate(watts):
+            raise ValueError(
+                f"power budget exceeded: requested {watts:.1f} W, "
+                f"headroom {self.headroom_w:.1f} W of {self.cap_w:.1f} W cap"
+            )
+        self.allocations[owner] = watts
+
+    def release(self, owner: str) -> float:
+        """Release the owner's reservation and return the freed watts."""
+        if owner not in self.allocations:
+            raise KeyError(f"owner {owner!r} holds no allocation")
+        return self.allocations.pop(owner)
+
+
+def aggregate_energy(accounts: Iterable[EnergyAccount]) -> float:
+    """Total energy across several accounts (e.g. all microservers of a box)."""
+    return sum(account.total_energy_j() for account in accounts)
+
+
+def joules_to_kwh(joules: float) -> float:
+    """Convert joules to kilowatt-hours (used in reporting)."""
+    return joules / 3.6e6
+
+
+def derive_power_trace(
+    events: Sequence[Tuple[float, float]], idle_w: float
+) -> List[PowerSample]:
+    """Build a power trace from (time, active_power) busy intervals.
+
+    ``events`` is a sequence of (timestamp, power) points describing when the
+    component changed its draw; between events the draw is held constant.
+    The idle draw is used before the first event.  This helper is used by the
+    hardware models to expose traces to the monitoring layer.
+    """
+    trace: List[PowerSample] = []
+    previous_power = idle_w
+    for time_s, watts in sorted(events):
+        trace.append(PowerSample(time_s=time_s, watts=previous_power, source="derived"))
+        trace.append(PowerSample(time_s=time_s, watts=watts, source="derived"))
+        previous_power = watts
+    return trace

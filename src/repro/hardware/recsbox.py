@@ -1,0 +1,184 @@
+"""The RECS|BOX enclosure: backplane, carriers, networks, metering.
+
+Paper Fig. 3/4: a 3 RU server whose backplane accepts up to 15 carriers and
+up to 144 microservers in total, interconnected by the three networks
+modelled in :mod:`repro.hardware.network` and metered by a rack PDU.
+
+The class below is the composition root the rest of the stack talks to: the
+HEATS scheduler sees its nodes, the runtime executes on its microservers,
+and the monitoring layer samples its meters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.hardware.carrier import Carrier, CarrierKind
+from repro.hardware.microserver import (
+    MICROSERVER_CATALOG,
+    DeviceKind,
+    Microserver,
+    make_microserver,
+)
+from repro.hardware.network import NetworkFabric
+from repro.hardware.power import PowerDistributionUnit
+
+#: backplane limits from the paper (Fig. 3: up to 15 carriers, 144 microservers).
+MAX_CARRIERS = 15
+MAX_MICROSERVERS = 144
+
+
+@dataclass(frozen=True)
+class RecsBoxConfig:
+    """Declarative description of a RECS|BOX population.
+
+    ``carriers`` maps a carrier kind to a list of microserver model names to
+    install on carriers of that kind; carriers are created as needed to host
+    them (respecting per-carrier slot limits).
+    """
+
+    name: str = "recsbox"
+    carriers: Mapping[CarrierKind, Sequence[str]] = field(default_factory=dict)
+
+    @staticmethod
+    def balanced_demo() -> "RecsBoxConfig":
+        """A small mixed population used by examples and integration tests."""
+        return RecsBoxConfig(
+            name="demo-box",
+            carriers={
+                CarrierKind.HIGH_PERFORMANCE: [
+                    "xeon-d-x86",
+                    "arm64-server",
+                    "kintex-fpga",
+                ],
+                CarrierKind.PCIE_EXPANSION: ["gtx1080-gpu"],
+                CarrierKind.LOW_POWER: [
+                    "jetson-gpu-soc",
+                    "zynq-fpga-soc",
+                    "apalis-arm-soc",
+                ],
+            },
+        )
+
+    @staticmethod
+    def full_rack(replication: int = 4) -> "RecsBoxConfig":
+        """A larger population for scheduler-scale experiments."""
+        return RecsBoxConfig(
+            name="full-rack",
+            carriers={
+                CarrierKind.HIGH_PERFORMANCE: ["xeon-d-x86", "arm64-server", "kintex-fpga"]
+                * replication,
+                CarrierKind.PCIE_EXPANSION: ["gtx1080-gpu"] * replication,
+                CarrierKind.LOW_POWER: ["jetson-gpu-soc", "zynq-fpga-soc", "apalis-arm-soc"]
+                * replication,
+            },
+        )
+
+
+class RecsBox:
+    """A populated RECS|BOX enclosure."""
+
+    def __init__(self, name: str = "recsbox") -> None:
+        self.name = name
+        self._carriers: List[Carrier] = []
+        self.fabric = NetworkFabric()
+        self.pdu = PowerDistributionUnit(name=f"{name}-pdu")
+        self._carrier_counter = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_config(cls, config: RecsBoxConfig) -> "RecsBox":
+        """Build and populate a box from a :class:`RecsBoxConfig`."""
+        box = cls(name=config.name)
+        for kind, models in config.carriers.items():
+            carrier = box.add_carrier(kind)
+            for model in models:
+                microserver = make_microserver(model)
+                if carrier.free_slots == 0 or not carrier.accepts(microserver):
+                    carrier = box.add_carrier(kind)
+                box.install(carrier, microserver)
+        return box
+
+    def add_carrier(self, kind: CarrierKind) -> Carrier:
+        """Add an empty carrier of the given kind to the backplane."""
+        if len(self._carriers) >= MAX_CARRIERS:
+            raise ValueError(f"backplane full: at most {MAX_CARRIERS} carriers")
+        carrier = Carrier(kind=kind, carrier_id=f"{self.name}-carrier-{next(self._carrier_counter)}")
+        self._carriers.append(carrier)
+        return carrier
+
+    def install(self, carrier: Carrier, microserver: Microserver) -> Microserver:
+        """Install a microserver on a carrier of this box."""
+        if carrier not in self._carriers:
+            raise ValueError("carrier does not belong to this RECS|BOX")
+        if self.microserver_count >= MAX_MICROSERVERS:
+            raise ValueError(f"enclosure full: at most {MAX_MICROSERVERS} microservers")
+        carrier.install(microserver)
+        self.fabric.register_node(microserver.node_id, carrier.carrier_id)
+        return microserver
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def carriers(self) -> Sequence[Carrier]:
+        return tuple(self._carriers)
+
+    @property
+    def microservers(self) -> List[Microserver]:
+        return [m for carrier in self._carriers for m in carrier]
+
+    @property
+    def microserver_count(self) -> int:
+        return sum(len(c) for c in self._carriers)
+
+    def nodes_of_kind(self, kind: DeviceKind) -> List[Microserver]:
+        return [m for m in self.microservers if m.spec.kind == kind]
+
+    def find(self, node_id: str) -> Microserver:
+        for carrier in self._carriers:
+            found = carrier.find(node_id)
+            if found is not None:
+                return found
+        raise KeyError(f"no microserver {node_id!r} in {self.name}")
+
+    def __iter__(self) -> Iterator[Microserver]:
+        return iter(self.microservers)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def peak_power_w(self) -> float:
+        return sum(c.peak_power_w() for c in self._carriers)
+
+    def idle_power_w(self) -> float:
+        return sum(c.idle_power_w() for c in self._carriers)
+
+    def total_energy_j(self) -> float:
+        return sum(c.total_energy_j() for c in self._carriers) + self.fabric.total_energy_j()
+
+    def sample_power(self, time_s: float) -> None:
+        """Feed the PDU a reading of the box's current idle-level draw.
+
+        Detailed per-task energy is charged directly on the microservers'
+        accounts; the PDU trace exists for the monitoring layer, which only
+        needs coarse rack-level visibility.
+        """
+        self.pdu.sample(time_s, self.idle_power_w())
+
+    def inventory(self) -> Dict[str, int]:
+        """Count microservers per device kind (used in reports and examples)."""
+        counts: Dict[str, int] = {}
+        for microserver in self.microservers:
+            counts[microserver.spec.kind.value] = counts.get(microserver.spec.kind.value, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RecsBox({self.name}, carriers={len(self._carriers)}, "
+            f"microservers={self.microserver_count})"
+        )

@@ -1,0 +1,44 @@
+"""Middleware layer: resource management and composition (paper Section II.B).
+
+The LEGaTO middleware has two blocks:
+
+* an **embedded firmware** running on management CPUs inside the hardware,
+  "managing, controlling and monitoring it on a low level" -- power
+  sequencing, sensor readout, KVM/console access, heartbeat supervision
+  (:mod:`repro.middleware.firmware`);
+* **OpenStack**, providing infrastructure-as-a-service on top of the
+  managed hardware -- projects with quotas, instance flavours, and
+  scheduling of instances onto microservers
+  (:mod:`repro.middleware.iaas`).
+
+Together they are the layer that abstracts the RECS|BOX composition away
+from the runtimes and the HEATS orchestrator.
+"""
+
+from repro.middleware.firmware import (
+    BoardSensors,
+    ManagementController,
+    NodePowerState,
+    SensorReading,
+)
+from repro.middleware.iaas import (
+    Flavor,
+    IaasManager,
+    Instance,
+    Project,
+    Quota,
+    QuotaExceededError,
+)
+
+__all__ = [
+    "BoardSensors",
+    "ManagementController",
+    "NodePowerState",
+    "SensorReading",
+    "Flavor",
+    "IaasManager",
+    "Instance",
+    "Project",
+    "Quota",
+    "QuotaExceededError",
+]

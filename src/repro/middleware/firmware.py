@@ -1,0 +1,236 @@
+"""Embedded management firmware for the RECS|BOX (paper Section II.B).
+
+Every carrier carries a management CPU whose firmware controls and monitors
+the microservers at a low level: power sequencing (off / standby / on),
+sensor readout (temperature, voltage, power), heartbeat supervision with
+automatic fault flagging, and out-of-band console (KVM) access over the
+management network.  The HEATS monitoring module and the IaaS layer sit on
+top of this interface.
+
+The model tracks per-node power state and health, synthesises physically
+consistent sensor readings from the node's utilisation and the enclosure's
+ambient temperature, and charges management-network traffic for every
+telemetry poll so the management plane has a visible (small) cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.microserver import Microserver
+from repro.hardware.network import ManagementNetwork
+from repro.hardware.recsbox import RecsBox
+
+#: thermal model constants: junction temperature rises linearly with power
+#: density up to this many kelvin above ambient at full load.
+_MAX_TEMP_RISE_K = 55.0
+#: temperature above which the firmware flags a node as overheating.
+OVERHEAT_THRESHOLD_C = 95.0
+#: heartbeats a node may miss before it is declared failed.
+MISSED_HEARTBEAT_LIMIT = 3
+
+
+class NodePowerState(str, enum.Enum):
+    """Power-sequencing states the firmware drives."""
+
+    OFF = "off"
+    STANDBY = "standby"
+    ON = "on"
+    FAULT = "fault"
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One sensor sample for one node."""
+
+    time_s: float
+    node_id: str
+    temperature_c: float
+    power_w: float
+    voltage_v: float
+    fan_rpm: float
+
+
+@dataclass
+class BoardSensors:
+    """Synthesises sensor readings for one microserver."""
+
+    microserver: Microserver
+    ambient_c: float = 28.0
+    supply_voltage_v: float = 12.0
+    noise_seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.noise_seed)
+
+    def read(self, time_s: float, utilisation: float) -> SensorReading:
+        """Produce a reading for the given utilisation level."""
+        if not (0.0 <= utilisation <= 1.0):
+            raise ValueError("utilisation must be within [0, 1]")
+        spec = self.microserver.spec
+        power = spec.active_power_w(utilisation)
+        # Temperature rise scales with the fraction of peak power dissipated.
+        rise = _MAX_TEMP_RISE_K * (power / spec.peak_power_w)
+        temperature = self.ambient_c + rise + float(self._rng.normal(0.0, 0.5))
+        voltage = self.supply_voltage_v * (1.0 - 0.004 * utilisation) + float(
+            self._rng.normal(0.0, 0.01)
+        )
+        fan = 1500.0 + 6500.0 * (power / spec.peak_power_w)
+        return SensorReading(
+            time_s=time_s,
+            node_id=self.microserver.node_id,
+            temperature_c=temperature,
+            power_w=power,
+            voltage_v=voltage,
+            fan_rpm=fan,
+        )
+
+
+@dataclass
+class _NodeRecord:
+    microserver: Microserver
+    sensors: BoardSensors
+    state: NodePowerState = NodePowerState.OFF
+    missed_heartbeats: int = 0
+    last_reading: Optional[SensorReading] = None
+    console_attached: bool = False
+
+
+class ManagementController:
+    """The firmware instance managing every node of one RECS|BOX."""
+
+    def __init__(self, box: RecsBox, ambient_c: float = 28.0) -> None:
+        self.box = box
+        self.ambient_c = ambient_c
+        self.management_net: ManagementNetwork = box.fabric.management
+        self._nodes: Dict[str, _NodeRecord] = {}
+        self._event_log: List[Tuple[float, str, str]] = []
+        for index, microserver in enumerate(box.microservers):
+            self._nodes[microserver.node_id] = _NodeRecord(
+                microserver=microserver,
+                sensors=BoardSensors(microserver, ambient_c=ambient_c, noise_seed=index),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Power sequencing
+    # ------------------------------------------------------------------ #
+    def _record(self, node_id: str) -> _NodeRecord:
+        if node_id not in self._nodes:
+            raise KeyError(f"firmware manages no node {node_id!r}")
+        return self._nodes[node_id]
+
+    def power_state(self, node_id: str) -> NodePowerState:
+        return self._record(node_id).state
+
+    def power_on(self, node_id: str, time_s: float = 0.0) -> None:
+        record = self._record(node_id)
+        if record.state is NodePowerState.FAULT:
+            raise RuntimeError(f"node {node_id} is faulted; clear the fault before power-on")
+        record.state = NodePowerState.ON
+        record.missed_heartbeats = 0
+        self._log(time_s, node_id, "power-on")
+
+    def power_off(self, node_id: str, time_s: float = 0.0) -> None:
+        record = self._record(node_id)
+        record.state = NodePowerState.OFF
+        self._log(time_s, node_id, "power-off")
+
+    def standby(self, node_id: str, time_s: float = 0.0) -> None:
+        record = self._record(node_id)
+        if record.state is NodePowerState.FAULT:
+            raise RuntimeError(f"node {node_id} is faulted")
+        record.state = NodePowerState.STANDBY
+        self._log(time_s, node_id, "standby")
+
+    def clear_fault(self, node_id: str, time_s: float = 0.0) -> None:
+        record = self._record(node_id)
+        record.state = NodePowerState.OFF
+        record.missed_heartbeats = 0
+        self._log(time_s, node_id, "fault-cleared")
+
+    def power_on_all(self, time_s: float = 0.0) -> None:
+        for node_id in self._nodes:
+            if self._nodes[node_id].state is not NodePowerState.FAULT:
+                self.power_on(node_id, time_s)
+
+    def nodes_in_state(self, state: NodePowerState) -> List[str]:
+        return [node_id for node_id, record in self._nodes.items() if record.state is state]
+
+    # ------------------------------------------------------------------ #
+    # Monitoring
+    # ------------------------------------------------------------------ #
+    def poll_sensors(
+        self, time_s: float, utilisations: Optional[Mapping[str, float]] = None
+    ) -> List[SensorReading]:
+        """Poll every powered-on node; charges management-network traffic."""
+        utilisations = utilisations or {}
+        readings: List[SensorReading] = []
+        for node_id, record in self._nodes.items():
+            if record.state is not NodePowerState.ON:
+                continue
+            self.management_net.telemetry()
+            reading = record.sensors.read(time_s, utilisations.get(node_id, 0.0))
+            record.last_reading = reading
+            readings.append(reading)
+            if reading.temperature_c > OVERHEAT_THRESHOLD_C:
+                record.state = NodePowerState.FAULT
+                self._log(time_s, node_id, "overheat-shutdown")
+        return readings
+
+    def heartbeat(self, time_s: float, responding: Optional[Sequence[str]] = None) -> List[str]:
+        """Process one heartbeat round; returns nodes newly declared failed.
+
+        ``responding`` lists the nodes that answered this round; omitted
+        means every powered-on node answered.
+        """
+        responders = set(responding) if responding is not None else {
+            node_id for node_id, record in self._nodes.items() if record.state is NodePowerState.ON
+        }
+        newly_failed: List[str] = []
+        for node_id, record in self._nodes.items():
+            if record.state is not NodePowerState.ON:
+                continue
+            if node_id in responders:
+                record.missed_heartbeats = 0
+                continue
+            record.missed_heartbeats += 1
+            if record.missed_heartbeats >= MISSED_HEARTBEAT_LIMIT:
+                record.state = NodePowerState.FAULT
+                newly_failed.append(node_id)
+                self._log(time_s, node_id, "heartbeat-failure")
+        return newly_failed
+
+    def last_reading(self, node_id: str) -> Optional[SensorReading]:
+        return self._record(node_id).last_reading
+
+    # ------------------------------------------------------------------ #
+    # Console (KVM) access
+    # ------------------------------------------------------------------ #
+    def attach_console(self, node_id: str) -> None:
+        record = self._record(node_id)
+        if record.state is not NodePowerState.ON:
+            raise RuntimeError(f"node {node_id} must be powered on for console access")
+        record.console_attached = True
+
+    def detach_console(self, node_id: str) -> None:
+        self._record(node_id).console_attached = False
+
+    def console_attached(self, node_id: str) -> bool:
+        return self._record(node_id).console_attached
+
+    # ------------------------------------------------------------------ #
+    # Event log
+    # ------------------------------------------------------------------ #
+    def _log(self, time_s: float, node_id: str, event: str) -> None:
+        self._event_log.append((time_s, node_id, event))
+
+    @property
+    def event_log(self) -> List[Tuple[float, str, str]]:
+        return list(self._event_log)
+
+    def events_for(self, node_id: str) -> List[str]:
+        return [event for _, node, event in self._event_log if node == node_id]

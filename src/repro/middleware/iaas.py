@@ -1,0 +1,245 @@
+"""OpenStack-like infrastructure-as-a-service layer (paper Section II.B).
+
+"The other main block of the LEGaTO middleware is OpenStack, ... managing
+cloud computing with the idea of providing infrastructure as a service."
+The model provides the subset the rest of the stack interacts with:
+
+* **projects** (tenants) with resource quotas,
+* **flavours** describing instance shapes (vCPUs, memory, optional
+  accelerator requirement),
+* **instance scheduling** onto the managed microservers (filter by
+  capability and remaining capacity, then weigh by a packing or an
+  energy-efficiency objective),
+* instance lifecycle (spawn, delete) with capacity bookkeeping per node.
+
+The IaaS layer only places instances on nodes the management firmware
+reports as powered on, tying the two middleware blocks together.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.hardware.microserver import DeviceKind, Microserver, WorkloadKind
+from repro.hardware.recsbox import RecsBox
+from repro.middleware.firmware import ManagementController, NodePowerState
+
+
+class QuotaExceededError(RuntimeError):
+    """Raised when a project would exceed its quota."""
+
+
+@dataclass(frozen=True)
+class Quota:
+    """Per-project resource limits."""
+
+    vcpus: int = 64
+    memory_gib: float = 128.0
+    instances: int = 20
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0 or self.memory_gib <= 0 or self.instances <= 0:
+            raise ValueError("quota limits must be positive")
+
+
+@dataclass(frozen=True)
+class Flavor:
+    """An instance shape."""
+
+    name: str
+    vcpus: int
+    memory_gib: float
+    accelerator: Optional[DeviceKind] = None
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0 or self.memory_gib <= 0:
+            raise ValueError("flavour resources must be positive")
+
+    @staticmethod
+    def standard_catalog() -> Dict[str, "Flavor"]:
+        return {
+            "m1.tiny": Flavor("m1.tiny", vcpus=1, memory_gib=1.0),
+            "m1.small": Flavor("m1.small", vcpus=2, memory_gib=4.0),
+            "m1.large": Flavor("m1.large", vcpus=8, memory_gib=16.0),
+            "g1.gpu": Flavor("g1.gpu", vcpus=4, memory_gib=8.0, accelerator=DeviceKind.GPU_SOC),
+            "f1.fpga": Flavor("f1.fpga", vcpus=2, memory_gib=4.0, accelerator=DeviceKind.FPGA),
+        }
+
+
+@dataclass
+class Project:
+    """A tenant with a quota and usage counters."""
+
+    name: str
+    quota: Quota = field(default_factory=Quota)
+    used_vcpus: int = 0
+    used_memory_gib: float = 0.0
+    instance_ids: List[str] = field(default_factory=list)
+
+    def can_allocate(self, flavor: Flavor) -> bool:
+        return (
+            self.used_vcpus + flavor.vcpus <= self.quota.vcpus
+            and self.used_memory_gib + flavor.memory_gib <= self.quota.memory_gib
+            and len(self.instance_ids) + 1 <= self.quota.instances
+        )
+
+    def charge(self, instance_id: str, flavor: Flavor) -> None:
+        if not self.can_allocate(flavor):
+            raise QuotaExceededError(
+                f"project {self.name!r} quota exceeded for flavour {flavor.name!r}"
+            )
+        self.used_vcpus += flavor.vcpus
+        self.used_memory_gib += flavor.memory_gib
+        self.instance_ids.append(instance_id)
+
+    def release(self, instance_id: str, flavor: Flavor) -> None:
+        if instance_id not in self.instance_ids:
+            raise KeyError(f"project {self.name!r} owns no instance {instance_id!r}")
+        self.instance_ids.remove(instance_id)
+        self.used_vcpus -= flavor.vcpus
+        self.used_memory_gib = round(self.used_memory_gib - flavor.memory_gib, 9)
+
+
+@dataclass
+class Instance:
+    """A running instance."""
+
+    instance_id: str
+    project: str
+    flavor: Flavor
+    node_id: str
+
+
+@dataclass
+class _HostState:
+    microserver: Microserver
+    free_vcpus: int
+    free_memory_gib: float
+    instances: List[str] = field(default_factory=list)
+
+
+class IaasManager:
+    """Projects, flavours and instance scheduling over one RECS|BOX."""
+
+    def __init__(
+        self,
+        box: RecsBox,
+        firmware: Optional[ManagementController] = None,
+        placement_objective: str = "pack",
+    ) -> None:
+        if placement_objective not in ("pack", "efficiency"):
+            raise ValueError("placement objective must be 'pack' or 'efficiency'")
+        self.box = box
+        self.firmware = firmware if firmware is not None else ManagementController(box)
+        self.placement_objective = placement_objective
+        self.flavors: Dict[str, Flavor] = Flavor.standard_catalog()
+        self._projects: Dict[str, Project] = {}
+        self._instances: Dict[str, Instance] = {}
+        self._hosts: Dict[str, _HostState] = {
+            m.node_id: _HostState(
+                microserver=m, free_vcpus=m.spec.cores, free_memory_gib=m.spec.memory_gib
+            )
+            for m in box.microservers
+        }
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Projects and flavours
+    # ------------------------------------------------------------------ #
+    def create_project(self, name: str, quota: Optional[Quota] = None) -> Project:
+        if name in self._projects:
+            raise ValueError(f"project {name!r} already exists")
+        project = Project(name=name, quota=quota if quota is not None else Quota())
+        self._projects[name] = project
+        return project
+
+    def project(self, name: str) -> Project:
+        if name not in self._projects:
+            raise KeyError(f"no project named {name!r}")
+        return self._projects[name]
+
+    def register_flavor(self, flavor: Flavor) -> None:
+        self.flavors[flavor.name] = flavor
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def _host_matches(self, host: _HostState, flavor: Flavor) -> bool:
+        if self.firmware.power_state(host.microserver.node_id) is not NodePowerState.ON:
+            return False
+        if host.free_vcpus < flavor.vcpus or host.free_memory_gib < flavor.memory_gib:
+            return False
+        if flavor.accelerator is not None and host.microserver.spec.kind != flavor.accelerator:
+            return False
+        return True
+
+    def _weigh(self, host: _HostState, flavor: Flavor) -> Tuple[float, str]:
+        """Lower-is-better weight (pack tightly, or prefer efficient hosts)."""
+        if self.placement_objective == "pack":
+            # Prefer the host with the least remaining vCPUs (bin packing).
+            weight = host.free_vcpus - flavor.vcpus
+        else:
+            spec = host.microserver.spec
+            weight = -spec.efficiency_gops_per_w(WorkloadKind.DATA_PARALLEL)
+        return (weight, host.microserver.node_id)
+
+    def candidate_hosts(self, flavor: Flavor) -> List[str]:
+        matches = [host for host in self._hosts.values() if self._host_matches(host, flavor)]
+        return [host.microserver.node_id for host in sorted(matches, key=lambda h: self._weigh(h, flavor))]
+
+    def spawn(self, project_name: str, flavor_name: str) -> Instance:
+        """Create an instance; raises when quota or capacity forbid it."""
+        project = self.project(project_name)
+        if flavor_name not in self.flavors:
+            raise KeyError(f"unknown flavour {flavor_name!r}")
+        flavor = self.flavors[flavor_name]
+        if not project.can_allocate(flavor):
+            raise QuotaExceededError(
+                f"project {project_name!r} quota exceeded for flavour {flavor_name!r}"
+            )
+        candidates = self.candidate_hosts(flavor)
+        if not candidates:
+            raise RuntimeError(f"no valid host for flavour {flavor_name!r}")
+        node_id = candidates[0]
+        host = self._hosts[node_id]
+        instance_id = f"inst-{next(self._ids)}"
+        project.charge(instance_id, flavor)
+        host.free_vcpus -= flavor.vcpus
+        host.free_memory_gib = round(host.free_memory_gib - flavor.memory_gib, 9)
+        host.instances.append(instance_id)
+        instance = Instance(instance_id=instance_id, project=project_name, flavor=flavor, node_id=node_id)
+        self._instances[instance_id] = instance
+        return instance
+
+    def delete(self, instance_id: str) -> None:
+        if instance_id not in self._instances:
+            raise KeyError(f"no instance {instance_id!r}")
+        instance = self._instances.pop(instance_id)
+        host = self._hosts[instance.node_id]
+        host.free_vcpus += instance.flavor.vcpus
+        host.free_memory_gib += instance.flavor.memory_gib
+        host.instances.remove(instance_id)
+        self.project(instance.project).release(instance_id, instance.flavor)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def instances(self, project_name: Optional[str] = None) -> List[Instance]:
+        if project_name is None:
+            return list(self._instances.values())
+        return [i for i in self._instances.values() if i.project == project_name]
+
+    def host_utilisation(self) -> Dict[str, float]:
+        """Fraction of vCPUs committed per host."""
+        usage = {}
+        for node_id, host in self._hosts.items():
+            total = host.microserver.spec.cores
+            usage[node_id] = 1.0 - host.free_vcpus / total
+        return usage
+
+    def instance_of(self, instance_id: str) -> Instance:
+        if instance_id not in self._instances:
+            raise KeyError(f"no instance {instance_id!r}")
+        return self._instances[instance_id]

@@ -1,0 +1,59 @@
+"""Task-based runtimes: the OmpSs- and XiTAO-like layers (Section II.C).
+
+LEGaTO builds on two task runtimes:
+
+* **OmpSs** -- dataflow task parallelism (very close to OpenMP tasking):
+  tasks declare ``in``/``out``/``inout`` accesses on named data, the runtime
+  derives the task dependency graph and schedules ready tasks onto SMP
+  cores, GPUs (CUDA/OpenCL) and FPGAs.
+* **XiTAO** -- generalises a task into a *parallel computation with elastic
+  resources*: the runtime matches each task's resource width (cores, memory)
+  to the hardware at run time, giving constructive sharing and interference
+  freedom.
+
+On top of the task abstraction the project layers its fault-tolerance
+features (Section I): intelligent replication of reliability-critical tasks
+on diverse processing elements, error-propagation analysis by walking the
+task dependency graph, and task-level checkpointing of exactly the data
+declared at task boundaries.
+"""
+
+from repro.runtime.task import AccessMode, DataAccess, Task, TaskRequirements
+from repro.runtime.graph import TaskGraph
+from repro.runtime.devices import ExecutionDevice, TargetKind, build_devices
+from repro.runtime.ompss import OmpSsRuntime, SchedulingPolicy, ExecutionTrace, TaskExecution
+from repro.runtime.xitao import ElasticTask, ResourcePartition, XitaoRuntime, XitaoTrace
+from repro.runtime.fault_tolerance import (
+    FaultInjector,
+    ReplicationPolicy,
+    ResilientExecutor,
+    ResilienceReport,
+    propagate_errors,
+)
+from repro.runtime.energy import EnergyPolicy, pick_device
+
+__all__ = [
+    "AccessMode",
+    "DataAccess",
+    "Task",
+    "TaskRequirements",
+    "TaskGraph",
+    "ExecutionDevice",
+    "TargetKind",
+    "build_devices",
+    "OmpSsRuntime",
+    "SchedulingPolicy",
+    "ExecutionTrace",
+    "TaskExecution",
+    "ElasticTask",
+    "ResourcePartition",
+    "XitaoRuntime",
+    "XitaoTrace",
+    "FaultInjector",
+    "ReplicationPolicy",
+    "ResilientExecutor",
+    "ResilienceReport",
+    "propagate_errors",
+    "EnergyPolicy",
+    "pick_device",
+]

@@ -1,0 +1,161 @@
+"""Execution devices: the runtime's view of the heterogeneous hardware.
+
+OmpSs targets SMP cores, GPUs through CUDA/OpenCL kernels, and FPGAs through
+vendor HLS-generated bitstreams (Section II.C/D).  An
+:class:`ExecutionDevice` wraps one :class:`~repro.hardware.microserver.Microserver`
+with the runtime-facing attributes: which target kind it is, whether it
+needs a generated kernel/bitstream, its data-transfer cost from the host,
+and the reconfiguration cost FPGAs pay when switching bitstreams.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hardware.microserver import (
+    DeviceKind,
+    Microserver,
+    MicroserverSpec,
+    WorkloadKind,
+    make_microserver,
+)
+from repro.runtime.task import Task
+
+
+class TargetKind(str, enum.Enum):
+    """Programming-model targets supported by the OmpSs backend."""
+
+    SMP = "smp"
+    CUDA = "cuda"
+    OPENCL = "opencl"
+    FPGA = "fpga"
+
+    @staticmethod
+    def for_device(kind: DeviceKind) -> "TargetKind":
+        if kind.is_cpu:
+            return TargetKind.SMP
+        if kind is DeviceKind.GPU:
+            return TargetKind.CUDA
+        if kind is DeviceKind.GPU_SOC:
+            return TargetKind.OPENCL
+        return TargetKind.FPGA
+
+
+#: host <-> accelerator staging bandwidth in GB/s per target kind.
+_STAGING_GBPS: Dict[TargetKind, float] = {
+    TargetKind.SMP: 0.0,      # no staging needed
+    TargetKind.CUDA: 12.0,
+    TargetKind.OPENCL: 6.0,
+    TargetKind.FPGA: 8.0,
+}
+
+#: FPGA partial-reconfiguration time when switching to a different bitstream.
+FPGA_RECONFIG_S = 0.08
+
+
+@dataclass
+class ExecutionDevice:
+    """One schedulable device as the runtime sees it."""
+
+    microserver: Microserver
+    target: TargetKind = field(init=False)
+    loaded_bitstream: Optional[str] = None
+    _time_s: float = 0.0
+    _energy_j: float = 0.0
+    _executed: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.target = TargetKind.for_device(self.microserver.spec.kind)
+
+    # ------------------------------------------------------------------ #
+    # Identity / capability
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self.microserver.node_id
+
+    @property
+    def kind(self) -> DeviceKind:
+        return self.microserver.spec.kind
+
+    @property
+    def spec(self) -> MicroserverSpec:
+        return self.microserver.spec
+
+    def supports(self, task: Task) -> bool:
+        """Device-kind allow-list plus memory fit."""
+        requirements = task.requirements
+        if not requirements.allows(self.kind):
+            return False
+        return requirements.memory_gib <= self.spec.memory_gib
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+    def staging_time_s(self, task: Task) -> float:
+        """Time to move the task's footprint to/from the accelerator."""
+        bandwidth = _STAGING_GBPS[self.target]
+        if bandwidth <= 0.0:
+            return 0.0
+        return task.footprint_bytes / (bandwidth * 1e9)
+
+    def reconfiguration_time_s(self, task: Task) -> float:
+        """FPGA bitstream switch cost when the task needs a different kernel."""
+        if self.target is not TargetKind.FPGA:
+            return 0.0
+        return 0.0 if self.loaded_bitstream == task.name else FPGA_RECONFIG_S
+
+    def estimate_time_s(self, task: Task) -> float:
+        compute = self.spec.execution_time_s(task.requirements.workload, task.requirements.gops)
+        return compute + self.staging_time_s(task) + self.reconfiguration_time_s(task)
+
+    def estimate_energy_j(self, task: Task) -> float:
+        return self.spec.active_power_w(1.0) * self.estimate_time_s(task)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    @property
+    def available_at_s(self) -> float:
+        return self._time_s
+
+    def execute(self, task: Task, earliest_start_s: float = 0.0) -> Tuple[float, float, float]:
+        """Run the task; returns (start, finish, energy)."""
+        if not self.supports(task):
+            raise ValueError(f"device {self.name} cannot run task {task.name!r}")
+        start = max(earliest_start_s, self._time_s)
+        duration = self.estimate_time_s(task)
+        energy = self.estimate_energy_j(task)
+        finish = start + duration
+        self._time_s = finish
+        self._energy_j += energy
+        self._executed.append(task.name)
+        if self.target is TargetKind.FPGA:
+            self.loaded_bitstream = task.name
+        self.microserver.energy.charge(energy)
+        self.microserver.busy_until_s = finish
+        task.run()
+        return start, finish, energy
+
+    @property
+    def consumed_energy_j(self) -> float:
+        return self._energy_j
+
+    @property
+    def executed_tasks(self) -> Sequence[str]:
+        return tuple(self._executed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ExecutionDevice({self.name}, target={self.target.value})"
+
+
+def build_devices(models: Iterable[str]) -> List[ExecutionDevice]:
+    """Build execution devices from catalogue model names."""
+    return [ExecutionDevice(make_microserver(model)) for model in models]
+
+
+def build_devices_from_microservers(microservers: Iterable[Microserver]) -> List[ExecutionDevice]:
+    """Wrap existing microservers (e.g. a RecsBox population) as devices."""
+    return [ExecutionDevice(m) for m in microservers]

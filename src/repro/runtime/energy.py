@@ -1,0 +1,124 @@
+"""Energy-aware device selection policies shared by the runtimes.
+
+The LEGaTO runtimes "reduce the energy [consumption] of the application by
+scheduling the computations to the most energy-efficient device of the
+heterogeneous hardware architecture" (Section II).  The policies here rank
+candidate devices for one task by different objectives; both the OmpSs-like
+runtime and the ecosystem facade use them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.runtime.devices import ExecutionDevice
+from repro.runtime.task import Task
+
+
+class EnergyPolicy(str, enum.Enum):
+    """Device-selection objectives."""
+
+    PERFORMANCE = "performance"      # minimise task finish time
+    ENERGY = "energy"                # minimise task energy
+    EDP = "edp"                      # minimise energy-delay product
+    BALANCED = "balanced"            # weighted blend of normalised time/energy
+
+
+def _candidates(task: Task, devices: Sequence[ExecutionDevice]) -> List[ExecutionDevice]:
+    supported = [device for device in devices if device.supports(task)]
+    if not supported:
+        raise ValueError(
+            f"no device supports task {task.name!r} "
+            f"(workload={task.requirements.workload.value})"
+        )
+    return supported
+
+
+def score_device(
+    task: Task,
+    device: ExecutionDevice,
+    policy: EnergyPolicy,
+    ready_time_s: float = 0.0,
+    energy_weight: float = 0.5,
+) -> float:
+    """Lower-is-better score of running ``task`` on ``device``."""
+    start = max(ready_time_s, device.available_at_s)
+    finish = start + device.estimate_time_s(task)
+    energy = device.estimate_energy_j(task)
+    if policy is EnergyPolicy.PERFORMANCE:
+        return finish
+    if policy is EnergyPolicy.ENERGY:
+        return energy
+    if policy is EnergyPolicy.EDP:
+        return energy * finish
+    if policy is EnergyPolicy.BALANCED:
+        # Normalise by the task's intrinsic magnitude so the blend is unitless.
+        time_scale = device.estimate_time_s(task) or 1.0
+        energy_scale = energy or 1.0
+        return (1.0 - energy_weight) * (finish / time_scale) + energy_weight * (
+            energy / energy_scale
+        )
+    raise ValueError(f"unknown policy {policy}")
+
+
+def pick_device(
+    task: Task,
+    devices: Sequence[ExecutionDevice],
+    policy: EnergyPolicy = EnergyPolicy.ENERGY,
+    ready_time_s: float = 0.0,
+    energy_weight: float = 0.5,
+) -> ExecutionDevice:
+    """Pick the best device for a task under the given policy."""
+    supported = _candidates(task, devices)
+    return min(
+        supported,
+        key=lambda device: (
+            score_device(task, device, policy, ready_time_s, energy_weight),
+            device.name,
+        ),
+    )
+
+
+def rank_devices(
+    task: Task,
+    devices: Sequence[ExecutionDevice],
+    policy: EnergyPolicy = EnergyPolicy.ENERGY,
+    ready_time_s: float = 0.0,
+) -> List[Tuple[ExecutionDevice, float]]:
+    """All supporting devices with their scores, best first."""
+    supported = _candidates(task, devices)
+    scored = [
+        (device, score_device(task, device, policy, ready_time_s)) for device in supported
+    ]
+    return sorted(scored, key=lambda pair: (pair[1], pair[0].name))
+
+
+def diverse_devices(
+    task: Task, devices: Sequence[ExecutionDevice], count: int
+) -> List[ExecutionDevice]:
+    """Pick up to ``count`` devices of *different* kinds for replication.
+
+    Selective replication (Section I) replicates reliability-critical tasks
+    on *diverse* processing elements so a systematic fault in one device
+    class cannot take out every replica.  Devices are ranked by energy and
+    picked greedily under the distinct-kind constraint, falling back to
+    same-kind devices only when fewer kinds than replicas exist.
+    """
+    if count <= 0:
+        raise ValueError("replica count must be positive")
+    ranked = [device for device, _ in rank_devices(task, devices, EnergyPolicy.ENERGY)]
+    picked: List[ExecutionDevice] = []
+    used_kinds = set()
+    for device in ranked:
+        if device.kind not in used_kinds:
+            picked.append(device)
+            used_kinds.add(device.kind)
+        if len(picked) == count:
+            return picked
+    for device in ranked:
+        if device not in picked:
+            picked.append(device)
+        if len(picked) == count:
+            break
+    return picked

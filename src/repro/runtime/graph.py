@@ -1,0 +1,149 @@
+"""The task dependency graph (TDG) derived from declared data accesses.
+
+OmpSs derives dependences from the order of task submission and the declared
+``in``/``out``/``inout`` accesses: a task that reads a region depends on the
+last task that wrote it (RAW); a task that writes a region depends on the
+last writer (WAW) and on all readers since that writer (WAR).  The TDG is
+also what the fault-tolerance layer walks to analyse error propagation and
+what the checkpointing layer uses to find consistent cut points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.runtime.task import Task
+
+
+class TaskGraph:
+    """A DAG of tasks with dependence edges derived from data accesses."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._last_writer: Dict[str, Task] = {}
+        self._readers_since_write: Dict[str, List[Task]] = {}
+        self._submission_order: List[Task] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_task(self, task: Task) -> Task:
+        """Add a task, wiring dependences against previously submitted tasks."""
+        if task in self._graph:
+            raise ValueError(f"task {task.name!r} already submitted")
+        self._graph.add_node(task)
+        self._submission_order.append(task)
+
+        for region in task.reads:
+            writer = self._last_writer.get(region)
+            if writer is not None and writer is not task:
+                self._graph.add_edge(writer, task, region=region, kind="raw")
+            self._readers_since_write.setdefault(region, []).append(task)
+
+        for region in task.writes:
+            writer = self._last_writer.get(region)
+            if writer is not None and writer is not task:
+                self._graph.add_edge(writer, task, region=region, kind="waw")
+            for reader in self._readers_since_write.get(region, []):
+                if reader is not task:
+                    self._graph.add_edge(reader, task, region=region, kind="war")
+            self._last_writer[region] = task
+            self._readers_since_write[region] = []
+
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise ValueError(f"adding task {task.name!r} created a dependence cycle")
+        return task
+
+    def add_tasks(self, tasks: Iterable[Task]) -> None:
+        for task in tasks:
+            self.add_task(task)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def tasks(self) -> List[Task]:
+        return list(self._submission_order)
+
+    @property
+    def num_tasks(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.number_of_edges()
+
+    def predecessors(self, task: Task) -> List[Task]:
+        return list(self._graph.predecessors(task))
+
+    def successors(self, task: Task) -> List[Task]:
+        return list(self._graph.successors(task))
+
+    def descendants(self, task: Task) -> Set[Task]:
+        return set(nx.descendants(self._graph, task))
+
+    def ancestors(self, task: Task) -> Set[Task]:
+        return set(nx.ancestors(self._graph, task))
+
+    def roots(self) -> List[Task]:
+        return [t for t in self._submission_order if self._graph.in_degree(t) == 0]
+
+    def leaves(self) -> List[Task]:
+        return [t for t in self._submission_order if self._graph.out_degree(t) == 0]
+
+    def topological_order(self) -> List[Task]:
+        """Dependence-respecting order with submission order as tie-breaker."""
+        return self._stable_topological()
+
+    def _stable_topological(self) -> List[Task]:
+        position = {task: i for i, task in enumerate(self._submission_order)}
+        in_degree = {task: self._graph.in_degree(task) for task in self._graph}
+        ready = sorted([t for t, d in in_degree.items() if d == 0], key=position.get)
+        order: List[Task] = []
+        while ready:
+            task = ready.pop(0)
+            order.append(task)
+            for successor in self._graph.successors(task):
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+            ready.sort(key=position.get)
+        if len(order) != self.num_tasks:
+            raise RuntimeError("topological sort incomplete; graph has a cycle")
+        return order
+
+    def waves(self) -> List[List[Task]]:
+        """Antichains of tasks that may run concurrently (generation levels)."""
+        position = {task: i for i, task in enumerate(self._submission_order)}
+        generations = nx.topological_generations(self._graph)
+        return [sorted(generation, key=position.get) for generation in generations]
+
+    def critical_path(self, weight_fn=None) -> Tuple[List[Task], float]:
+        """Longest path through the DAG; weight defaults to task gops."""
+        if self.num_tasks == 0:
+            return [], 0.0
+        weight_fn = weight_fn or (lambda task: task.requirements.gops)
+        weighted = nx.DiGraph()
+        for task in self._graph.nodes:
+            weighted.add_node(task)
+        for src, dst in self._graph.edges:
+            weighted.add_edge(src, dst, weight=weight_fn(dst))
+        # Account for the entry task's own weight by taking the max over roots.
+        path = nx.dag_longest_path(weighted, weight="weight")
+        length = sum(weight_fn(task) for task in path)
+        return path, length
+
+    def edge_region(self, src: Task, dst: Task) -> Optional[str]:
+        data = self._graph.get_edge_data(src, dst)
+        return data.get("region") if data else None
+
+    def parallelism_profile(self) -> List[int]:
+        """Number of tasks per wave; a quick view of available parallelism."""
+        return [len(wave) for wave in self.waves()]
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying graph for external analysis."""
+        return self._graph.copy()

@@ -1,0 +1,191 @@
+"""An OmpSs-like dataflow task runtime.
+
+The runtime accepts task submissions (building the task dependency graph
+from the declared accesses), schedules ready tasks onto the available
+heterogeneous devices according to a :class:`SchedulingPolicy`, and executes
+them on the simulated hardware, producing an :class:`ExecutionTrace` with
+per-task placement, timing and energy -- the information the LEGaTO
+energy/reliability analyses need.
+
+The scheduler is list-scheduling over the TDG: tasks become ready when all
+predecessors finished; among ready tasks the earliest-submitted is placed
+first; the device is chosen by the energy policy (Section II: "scheduling
+the computations to the most energy-efficient device").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.hardware.microserver import WorkloadKind
+from repro.runtime.devices import ExecutionDevice, build_devices
+from repro.runtime.energy import EnergyPolicy, pick_device
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import Task
+
+
+class SchedulingPolicy(str, enum.Enum):
+    """Task-to-device mapping objectives supported by the runtime."""
+
+    PERFORMANCE = "performance"
+    ENERGY = "energy"
+    EDP = "edp"
+    BALANCED = "balanced"
+
+    @property
+    def energy_policy(self) -> EnergyPolicy:
+        return EnergyPolicy(self.value)
+
+
+@dataclass(frozen=True)
+class TaskExecution:
+    """Placement and accounting of one executed task."""
+
+    task: Task
+    device_name: str
+    device_kind: str
+    start_s: float
+    finish_s: float
+    energy_j: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.finish_s - self.start_s
+
+
+@dataclass
+class ExecutionTrace:
+    """The outcome of running a task graph."""
+
+    executions: List[TaskExecution] = field(default_factory=list)
+
+    @property
+    def makespan_s(self) -> float:
+        return max((e.finish_s for e in self.executions), default=0.0)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(e.energy_j for e in self.executions)
+
+    @property
+    def energy_delay_product(self) -> float:
+        return self.total_energy_j * self.makespan_s
+
+    def execution_of(self, task_name: str) -> TaskExecution:
+        for execution in self.executions:
+            if execution.task.name == task_name:
+                return execution
+        raise KeyError(f"no execution recorded for task {task_name!r}")
+
+    def device_utilisation(self) -> Dict[str, float]:
+        """Busy time per device name."""
+        usage: Dict[str, float] = {}
+        for execution in self.executions:
+            usage[execution.device_name] = usage.get(execution.device_name, 0.0) + execution.duration_s
+        return usage
+
+    def tasks_per_device_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for execution in self.executions:
+            counts[execution.device_kind] = counts.get(execution.device_kind, 0) + 1
+        return counts
+
+    def average_power_w(self) -> float:
+        makespan = self.makespan_s
+        return self.total_energy_j / makespan if makespan > 0 else 0.0
+
+
+class OmpSsRuntime:
+    """The OmpSs-like runtime: submit tasks, then ``taskwait`` to execute."""
+
+    def __init__(
+        self,
+        devices: Optional[Sequence[ExecutionDevice]] = None,
+        policy: SchedulingPolicy = SchedulingPolicy.ENERGY,
+        energy_weight: float = 0.5,
+    ) -> None:
+        if devices is None:
+            devices = build_devices(["xeon-d-x86", "gtx1080-gpu", "kintex-fpga"])
+        if not devices:
+            raise ValueError("the runtime needs at least one device")
+        self.devices = list(devices)
+        self.policy = policy
+        self.energy_weight = energy_weight
+        self.graph = TaskGraph()
+        self._trace = ExecutionTrace()
+        self._executed: Dict[Task, TaskExecution] = {}
+
+    # ------------------------------------------------------------------ #
+    # Submission API (mirrors #pragma omp task)
+    # ------------------------------------------------------------------ #
+    def submit(self, task: Task) -> Task:
+        """Submit one task; dependences are derived from its data accesses."""
+        return self.graph.add_task(task)
+
+    def submit_all(self, tasks: Iterable[Task]) -> None:
+        for task in tasks:
+            self.submit(task)
+
+    # ------------------------------------------------------------------ #
+    # Execution (taskwait)
+    # ------------------------------------------------------------------ #
+    def taskwait(self) -> ExecutionTrace:
+        """Execute every submitted-but-not-yet-executed task to completion."""
+        pending = [task for task in self.graph.topological_order() if task not in self._executed]
+        for task in pending:
+            ready_time = 0.0
+            for predecessor in self.graph.predecessors(task):
+                if predecessor not in self._executed:
+                    raise RuntimeError(
+                        f"task {task.name!r} scheduled before predecessor "
+                        f"{predecessor.name!r}; topological order violated"
+                    )
+                ready_time = max(ready_time, self._executed[predecessor].finish_s)
+            device = pick_device(
+                task,
+                self.devices,
+                policy=self.policy.energy_policy,
+                ready_time_s=ready_time,
+                energy_weight=self.energy_weight,
+            )
+            start, finish, energy = device.execute(task, earliest_start_s=ready_time)
+            execution = TaskExecution(
+                task=task,
+                device_name=device.name,
+                device_kind=device.kind.value,
+                start_s=start,
+                finish_s=finish,
+                energy_j=energy,
+            )
+            self._executed[task] = execution
+            self._trace.executions.append(execution)
+        return self._trace
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def trace(self) -> ExecutionTrace:
+        return self._trace
+
+    def run(self, tasks: Iterable[Task]) -> ExecutionTrace:
+        """Convenience: submit a batch and execute it."""
+        self.submit_all(tasks)
+        return self.taskwait()
+
+
+def compare_policies(
+    tasks_factory, device_models: Sequence[str], policies: Iterable[SchedulingPolicy]
+) -> Dict[SchedulingPolicy, ExecutionTrace]:
+    """Run the same task graph under several policies on fresh devices.
+
+    ``tasks_factory`` is a zero-argument callable returning a fresh list of
+    tasks (tasks carry identity, so each run needs its own instances).
+    """
+    results: Dict[SchedulingPolicy, ExecutionTrace] = {}
+    for policy in policies:
+        runtime = OmpSsRuntime(devices=build_devices(device_models), policy=policy)
+        results[policy] = runtime.run(tasks_factory())
+    return results

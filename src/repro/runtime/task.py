@@ -1,0 +1,167 @@
+"""The task model: OmpSs-style tasks with declared data accesses.
+
+A task is a unit of computation with
+
+* a set of :class:`DataAccess` declarations (``in`` / ``out`` / ``inout`` on
+  named data regions) from which the runtime derives dependences, and from
+  which the checkpointing layer knows exactly which data is *necessary and
+  sufficient* to checkpoint at task granularity (Section I);
+* :class:`TaskRequirements` describing the work (workload kind and amount),
+  resource needs (memory, preferred/required device kinds, elastic width)
+  and cross-cutting attributes (reliability-critical, secure).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.hardware.microserver import DeviceKind, WorkloadKind
+
+
+class AccessMode(str, enum.Enum):
+    """OmpSs dependence clauses."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.IN, AccessMode.INOUT)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.OUT, AccessMode.INOUT)
+
+
+@dataclass(frozen=True)
+class DataAccess:
+    """One declared access to a named data region."""
+
+    region: str
+    mode: AccessMode
+    size_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.region:
+            raise ValueError("data region name must be non-empty")
+        if self.size_bytes < 0:
+            raise ValueError("region size must be non-negative")
+
+
+@dataclass(frozen=True)
+class TaskRequirements:
+    """Resource and policy requirements of a task."""
+
+    workload: WorkloadKind = WorkloadKind.SCALAR
+    gops: float = 1.0
+    memory_gib: float = 0.1
+    min_width: int = 1
+    max_width: int = 1
+    allowed_devices: Optional[FrozenSet[DeviceKind]] = None
+    reliability_critical: bool = False
+    secure: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gops <= 0:
+            raise ValueError("task work must be positive")
+        if self.memory_gib < 0:
+            raise ValueError("memory requirement must be non-negative")
+        if not (1 <= self.min_width <= self.max_width):
+            raise ValueError("need 1 <= min_width <= max_width")
+
+    def allows(self, kind: DeviceKind) -> bool:
+        return self.allowed_devices is None or kind in self.allowed_devices
+
+
+_task_ids = itertools.count()
+
+
+@dataclass
+class Task:
+    """A schedulable task."""
+
+    name: str
+    requirements: TaskRequirements = field(default_factory=TaskRequirements)
+    accesses: Tuple[DataAccess, ...] = ()
+    function: Optional[Callable[[], object]] = None
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        regions = [access.region for access in self.accesses]
+        if len(regions) != len(set(regions)):
+            raise ValueError(f"task {self.name!r} declares duplicate accesses: {regions}")
+
+    # ------------------------------------------------------------------ #
+    # Access queries
+    # ------------------------------------------------------------------ #
+    @property
+    def reads(self) -> FrozenSet[str]:
+        return frozenset(a.region for a in self.accesses if a.mode.reads)
+
+    @property
+    def writes(self) -> FrozenSet[str]:
+        return frozenset(a.region for a in self.accesses if a.mode.writes)
+
+    @property
+    def footprint_bytes(self) -> float:
+        """Total bytes touched; the task-level checkpoint size (Section I)."""
+        return sum(a.size_bytes for a in self.accesses)
+
+    def checkpoint_payload(self) -> FrozenSet[str]:
+        """Regions that must be saved to restart *after* this task: its outputs."""
+        return self.writes
+
+    def run(self) -> object:
+        """Execute the attached Python function, if any (functional mode)."""
+        if self.function is None:
+            return None
+        return self.function()
+
+    def __hash__(self) -> int:
+        return hash(self.task_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Task({self.name!r}, id={self.task_id})"
+
+
+def make_task(
+    name: str,
+    workload: WorkloadKind = WorkloadKind.SCALAR,
+    gops: float = 1.0,
+    memory_gib: float = 0.1,
+    inputs: Iterable[str] = (),
+    outputs: Iterable[str] = (),
+    inouts: Iterable[str] = (),
+    region_size_bytes: float = 0.0,
+    reliability_critical: bool = False,
+    secure: bool = False,
+    allowed_devices: Optional[Iterable[DeviceKind]] = None,
+    function: Optional[Callable[[], object]] = None,
+    min_width: int = 1,
+    max_width: int = 1,
+) -> Task:
+    """Ergonomic task constructor used by examples, the compiler and tests."""
+    accesses: List[DataAccess] = []
+    for region in inputs:
+        accesses.append(DataAccess(region, AccessMode.IN, region_size_bytes))
+    for region in outputs:
+        accesses.append(DataAccess(region, AccessMode.OUT, region_size_bytes))
+    for region in inouts:
+        accesses.append(DataAccess(region, AccessMode.INOUT, region_size_bytes))
+    requirements = TaskRequirements(
+        workload=workload,
+        gops=gops,
+        memory_gib=memory_gib,
+        min_width=min_width,
+        max_width=max_width,
+        allowed_devices=frozenset(allowed_devices) if allowed_devices is not None else None,
+        reliability_critical=reliability_critical,
+        secure=secure,
+    )
+    return Task(name=name, requirements=requirements, accesses=tuple(accesses), function=function)

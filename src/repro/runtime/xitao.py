@@ -1,0 +1,218 @@
+"""A XiTAO-like elastic task runtime.
+
+XiTAO (Pericas, PACT'16 poster; Section II.C) generalises a task into a
+*parallel computation with arbitrary (elastic) resources*: a task carries a
+range of resource widths it can use, and the runtime matches task widths to
+hardware resources at run time, packing tasks into non-interfering resource
+partitions so co-running tasks share the machine constructively.
+
+The model here captures the scheduling-relevant behaviour:
+
+* the machine is a set of :class:`ResourcePartition` core groups,
+* an :class:`ElasticTask` scales with a parallel-efficiency curve (Amdahl
+  style) as its width grows,
+* the runtime picks, for each ready task, the width/partition pair with the
+  best completion time (or energy), respecting interference freedom --
+  a partition runs one task at a time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hardware.microserver import MicroserverSpec, WorkloadKind, MICROSERVER_CATALOG
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import Task
+
+
+@dataclass(frozen=True)
+class ElasticTask:
+    """A moldable task: serial work plus a parallelisable fraction."""
+
+    name: str
+    work_gops: float
+    parallel_fraction: float = 0.9
+    min_width: int = 1
+    max_width: int = 8
+    workload: WorkloadKind = WorkloadKind.DATA_PARALLEL
+
+    def __post_init__(self) -> None:
+        if self.work_gops <= 0:
+            raise ValueError("work must be positive")
+        if not (0.0 <= self.parallel_fraction <= 1.0):
+            raise ValueError("parallel fraction must be within [0, 1]")
+        if not (1 <= self.min_width <= self.max_width):
+            raise ValueError("need 1 <= min_width <= max_width")
+
+    def speedup(self, width: int) -> float:
+        """Amdahl speedup at the given width."""
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        serial = 1.0 - self.parallel_fraction
+        return 1.0 / (serial + self.parallel_fraction / width)
+
+    def efficiency(self, width: int) -> float:
+        return self.speedup(width) / width
+
+    def execution_time_s(self, width: int, core_gops: float) -> float:
+        """Time at a width given the per-core throughput of the partition."""
+        if core_gops <= 0:
+            raise ValueError("per-core throughput must be positive")
+        serial_time = self.work_gops / core_gops
+        return serial_time / self.speedup(width)
+
+
+@dataclass
+class ResourcePartition:
+    """A group of cores that runs one elastic task at a time."""
+
+    name: str
+    cores: int
+    core_gops: float
+    core_power_w: float
+    busy_until_s: float = 0.0
+    executed: List[Tuple[str, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("partition needs at least one core")
+        if self.core_gops <= 0 or self.core_power_w <= 0:
+            raise ValueError("per-core figures must be positive")
+
+    def widths_for(self, task: ElasticTask) -> List[int]:
+        upper = min(task.max_width, self.cores)
+        if upper < task.min_width:
+            return []
+        return list(range(task.min_width, upper + 1))
+
+    def estimate(self, task: ElasticTask, width: int, ready_s: float) -> Tuple[float, float, float]:
+        """(start, finish, energy) estimate for running the task at a width."""
+        start = max(ready_s, self.busy_until_s)
+        duration = task.execution_time_s(width, self.core_gops)
+        energy = duration * width * self.core_power_w
+        return start, start + duration, energy
+
+    def execute(self, task: ElasticTask, width: int, ready_s: float) -> Tuple[float, float, float]:
+        start, finish, energy = self.estimate(task, width, ready_s)
+        self.busy_until_s = finish
+        self.executed.append((task.name, width))
+        return start, finish, energy
+
+
+@dataclass(frozen=True)
+class XitaoPlacement:
+    """One placed elastic task."""
+
+    task: ElasticTask
+    partition: str
+    width: int
+    start_s: float
+    finish_s: float
+    energy_j: float
+
+
+@dataclass
+class XitaoTrace:
+    """Outcome of an elastic-runtime run."""
+
+    placements: List[XitaoPlacement] = field(default_factory=list)
+
+    @property
+    def makespan_s(self) -> float:
+        return max((p.finish_s for p in self.placements), default=0.0)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(p.energy_j for p in self.placements)
+
+    def width_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        for placement in self.placements:
+            histogram[placement.width] = histogram.get(placement.width, 0) + 1
+        return histogram
+
+
+def partitions_from_spec(spec: MicroserverSpec, groups: int = 4) -> List[ResourcePartition]:
+    """Carve a CPU microserver into equal core partitions (XiTAO topology)."""
+    if groups <= 0:
+        raise ValueError("need at least one partition")
+    cores_per_group = max(1, spec.cores // groups)
+    core_gops = spec.throughput_gops[WorkloadKind.DATA_PARALLEL] / spec.cores
+    core_power = (spec.peak_power_w - spec.idle_power_w) / spec.cores
+    return [
+        ResourcePartition(
+            name=f"{spec.model}-p{i}",
+            cores=cores_per_group,
+            core_gops=core_gops,
+            core_power_w=max(core_power, 1e-3),
+        )
+        for i in range(groups)
+    ]
+
+
+class XitaoRuntime:
+    """Greedy elastic scheduler over a set of resource partitions."""
+
+    def __init__(
+        self,
+        partitions: Optional[Sequence[ResourcePartition]] = None,
+        objective: str = "time",
+    ) -> None:
+        if partitions is None:
+            partitions = partitions_from_spec(MICROSERVER_CATALOG["xeon-d-x86"], groups=4)
+        if not partitions:
+            raise ValueError("the runtime needs at least one partition")
+        if objective not in ("time", "energy", "edp"):
+            raise ValueError("objective must be 'time', 'energy' or 'edp'")
+        self.partitions = list(partitions)
+        self.objective = objective
+
+    def _score(self, finish_s: float, energy_j: float) -> float:
+        if self.objective == "time":
+            return finish_s
+        if self.objective == "energy":
+            return energy_j
+        return finish_s * energy_j
+
+    def schedule(
+        self, tasks: Sequence[ElasticTask], dependencies: Optional[Dict[str, List[str]]] = None
+    ) -> XitaoTrace:
+        """Place all tasks; ``dependencies`` maps task name -> prerequisite names."""
+        dependencies = dependencies or {}
+        finish_times: Dict[str, float] = {}
+        trace = XitaoTrace()
+        for task in tasks:
+            ready = 0.0
+            for prerequisite in dependencies.get(task.name, []):
+                if prerequisite not in finish_times:
+                    raise ValueError(
+                        f"task {task.name!r} depends on {prerequisite!r} which is not "
+                        "scheduled before it; order the task list topologically"
+                    )
+                ready = max(ready, finish_times[prerequisite])
+            best: Optional[Tuple[float, ResourcePartition, int, float, float, float]] = None
+            for partition in self.partitions:
+                for width in partition.widths_for(task):
+                    start, finish, energy = partition.estimate(task, width, ready)
+                    score = self._score(finish, energy)
+                    key = (score, partition.name, width)
+                    if best is None or key < (best[0], best[1].name, best[2]):
+                        best = (score, partition, width, start, finish, energy)
+            if best is None:
+                raise ValueError(f"no partition can host task {task.name!r}")
+            _, partition, width, start, finish, energy = best
+            start, finish, energy = partition.execute(task, width, ready)
+            finish_times[task.name] = finish
+            trace.placements.append(
+                XitaoPlacement(
+                    task=task,
+                    partition=partition.name,
+                    width=width,
+                    start_s=start,
+                    finish_s=finish,
+                    energy_j=energy,
+                )
+            )
+        return trace

@@ -1,0 +1,59 @@
+"""HEATS: the heterogeneity- and energy-aware task scheduler (Section V).
+
+HEATS lets customers trade performance against energy.  Its architecture
+(paper Fig. 7) has four interacting components, all reproduced here:
+
+* **Monitoring** -- resource availability (Heapster-style) and energy
+  metering (PDU, PowerSpy) per cluster node
+  (:mod:`repro.scheduler.monitoring`).
+* **Modeling** -- a learning phase that profiles workloads on the physical
+  hosts and fits performance/energy prediction models
+  (:mod:`repro.scheduler.modeling`).
+* **Scheduling** -- scoring candidate nodes by normalising the predictions
+  and weighting them with the customer's energy/performance trade-off,
+  then picking the best fitting node (:mod:`repro.scheduler.heats`).
+* **Placement / migration** -- instantiating tasks on nodes and migrating
+  them when periodic re-scheduling finds a better fit
+  (:mod:`repro.scheduler.placement`).
+
+Baseline schedulers (round-robin, performance-only best fit, energy-greedy)
+and a discrete-event cluster simulator are included so the Fig. 7 behavioural
+benchmark can compare HEATS against them.
+"""
+
+from repro.scheduler.cluster import Cluster, ClusterNode, NodeResources
+from repro.scheduler.workload import TaskRequest, WorkloadGenerator, WorkloadMix
+from repro.scheduler.monitoring import ClusterMonitor, NodeTelemetry
+from repro.scheduler.modeling import NodeModel, ProfilingCampaign, PredictionModelSet
+from repro.scheduler.placement import Placement, PlacementEngine, MigrationEvent
+from repro.scheduler.heats import HeatsScheduler, HeatsConfig
+from repro.scheduler.baselines import (
+    EnergyGreedyScheduler,
+    PerformanceBestFitScheduler,
+    RoundRobinScheduler,
+)
+from repro.scheduler.simulation import ClusterSimulator, SimulationResult
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "NodeResources",
+    "TaskRequest",
+    "WorkloadGenerator",
+    "WorkloadMix",
+    "ClusterMonitor",
+    "NodeTelemetry",
+    "NodeModel",
+    "ProfilingCampaign",
+    "PredictionModelSet",
+    "Placement",
+    "PlacementEngine",
+    "MigrationEvent",
+    "HeatsScheduler",
+    "HeatsConfig",
+    "RoundRobinScheduler",
+    "PerformanceBestFitScheduler",
+    "EnergyGreedyScheduler",
+    "ClusterSimulator",
+    "SimulationResult",
+]

@@ -1,0 +1,94 @@
+"""Baseline schedulers HEATS is compared against in the Fig. 7 benchmark.
+
+The HEATS evaluation (Rocha et al., PDP'19, which Section V summarises)
+compares against schedulers that ignore either heterogeneity or energy:
+
+* :class:`RoundRobinScheduler` -- the Kubernetes-default-like spreading
+  policy: cycle through the nodes that fit, ignoring both speed and energy.
+* :class:`PerformanceBestFitScheduler` -- pick the node with the best
+  predicted run time, ignoring energy (a throughput-oriented scheduler).
+* :class:`EnergyGreedyScheduler` -- pick the node with the lowest predicted
+  task energy, ignoring completion time.
+
+All baselines use the same learned models as HEATS so the comparison
+isolates the *policy*, not the quality of the predictions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.scheduler.cluster import Cluster, ClusterNode
+from repro.scheduler.modeling import PredictionModelSet
+from repro.scheduler.placement import Placement
+from repro.scheduler.workload import TaskRequest
+
+
+class _BaselineScheduler:
+    """Shared plumbing: baselines never migrate."""
+
+    name = "baseline"
+    supports_rescheduling = False
+
+    def __init__(self, models: PredictionModelSet) -> None:
+        self.models = models
+
+    def reschedule(
+        self, running: Sequence[Placement], cluster: Cluster, time_s: float
+    ) -> List[Tuple[str, str]]:
+        return []
+
+    def _candidates(self, request: TaskRequest, cluster: Cluster) -> List[ClusterNode]:
+        return [
+            node
+            for node in cluster.feasible_nodes(request.cores, request.memory_gib)
+            if node.name in self.models
+        ]
+
+
+class RoundRobinScheduler(_BaselineScheduler):
+    """Cycle through feasible nodes in a fixed order."""
+
+    name = "round_robin"
+
+    def __init__(self, models: PredictionModelSet) -> None:
+        super().__init__(models)
+        self._cursor = itertools.count()
+
+    def place(self, request: TaskRequest, cluster: Cluster, time_s: float) -> Optional[str]:
+        candidates = self._candidates(request, cluster)
+        if not candidates:
+            return None
+        ordered = sorted(candidates, key=lambda node: node.name)
+        return ordered[next(self._cursor) % len(ordered)].name
+
+
+class PerformanceBestFitScheduler(_BaselineScheduler):
+    """Minimise predicted completion time, ignore energy."""
+
+    name = "performance_best_fit"
+
+    def place(self, request: TaskRequest, cluster: Cluster, time_s: float) -> Optional[str]:
+        candidates = self._candidates(request, cluster)
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda node: (self.models.predict(node.name, request)[0], node.name),
+        ).name
+
+
+class EnergyGreedyScheduler(_BaselineScheduler):
+    """Minimise predicted task energy, ignore completion time."""
+
+    name = "energy_greedy"
+
+    def place(self, request: TaskRequest, cluster: Cluster, time_s: float) -> Optional[str]:
+        candidates = self._candidates(request, cluster)
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda node: (self.models.predict(node.name, request)[1], node.name),
+        ).name

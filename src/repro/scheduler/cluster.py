@@ -1,0 +1,194 @@
+"""The heterogeneous cluster HEATS schedules onto.
+
+A cluster node corresponds to one physical host (in LEGaTO: one microserver
+or one server built from them).  Nodes expose countable resources (cores,
+memory) that tasks reserve, plus a performance/energy profile derived from
+the microserver catalogue so different nodes genuinely differ in speed and
+efficiency -- the heterogeneity HEATS exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.hardware.microserver import (
+    MICROSERVER_CATALOG,
+    DeviceKind,
+    MicroserverSpec,
+    WorkloadKind,
+)
+
+
+@dataclass(frozen=True)
+class NodeResources:
+    """Countable resources of a node (what the task requests are matched to).
+
+    A fully loaded node legitimately has zero free cores/memory, so the
+    invariant is non-negativity; node *totals* are positive by construction
+    (microserver specs always expose at least one core).
+    """
+
+    cores: int
+    memory_gib: float
+
+    def __post_init__(self) -> None:
+        if self.cores < 0 or self.memory_gib < 0:
+            raise ValueError("node resources must be non-negative")
+
+    def fits(self, cores: int, memory_gib: float) -> bool:
+        return cores <= self.cores and memory_gib <= self.memory_gib
+
+    def minus(self, cores: int, memory_gib: float) -> "NodeResources":
+        if not self.fits(cores, memory_gib):
+            raise ValueError("cannot subtract more resources than available")
+        return NodeResources(
+            cores=self.cores - cores, memory_gib=round(self.memory_gib - memory_gib, 9)
+        )
+
+    def plus(self, cores: int, memory_gib: float) -> "NodeResources":
+        return NodeResources(cores=self.cores + cores, memory_gib=self.memory_gib + memory_gib)
+
+
+@dataclass
+class ClusterNode:
+    """One schedulable host."""
+
+    name: str
+    spec: MicroserverSpec
+    total: NodeResources = field(init=False)
+    available: NodeResources = field(init=False)
+    running: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+    busy_core_seconds: float = 0.0
+    energy_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.total = NodeResources(cores=self.spec.cores, memory_gib=self.spec.memory_gib)
+        self.available = self.total
+
+    # ------------------------------------------------------------------ #
+    # Capacity
+    # ------------------------------------------------------------------ #
+    def can_host(self, cores: int, memory_gib: float) -> bool:
+        return self.available.fits(cores, memory_gib)
+
+    def reserve(self, task_id: str, cores: int, memory_gib: float) -> None:
+        if task_id in self.running:
+            raise KeyError(f"task {task_id!r} already running on {self.name}")
+        if not self.can_host(cores, memory_gib):
+            raise ValueError(
+                f"{self.name}: cannot host task {task_id!r} "
+                f"({cores} cores / {memory_gib} GiB requested, "
+                f"{self.available.cores} cores / {self.available.memory_gib:.1f} GiB free)"
+            )
+        self.available = self.available.minus(cores, memory_gib)
+        self.running[task_id] = (cores, memory_gib)
+
+    def release(self, task_id: str) -> None:
+        if task_id not in self.running:
+            raise KeyError(f"task {task_id!r} not running on {self.name}")
+        cores, memory = self.running.pop(task_id)
+        self.available = self.available.plus(cores, memory)
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of cores currently reserved."""
+        return 1.0 - self.available.cores / self.total.cores
+
+    # ------------------------------------------------------------------ #
+    # Performance / power profile
+    # ------------------------------------------------------------------ #
+    def execution_time_s(self, workload: WorkloadKind, gops: float, cores: int) -> float:
+        """Run time of a task using ``cores`` of this node.
+
+        Throughput scales linearly with the core share -- adequate for the
+        CPU-style cloud tasks HEATS schedules (its evaluation uses
+        containerised CPU workloads).
+        """
+        if cores <= 0:
+            raise ValueError("task must request at least one core")
+        share = min(1.0, cores / self.spec.cores)
+        throughput = self.spec.throughput_gops[workload] * share
+        return gops / throughput
+
+    def power_w(self, utilisation: Optional[float] = None) -> float:
+        return self.spec.active_power_w(self.utilisation if utilisation is None else utilisation)
+
+    def energy_for(self, workload: WorkloadKind, gops: float, cores: int) -> float:
+        duration = self.execution_time_s(workload, gops, cores)
+        share = min(1.0, cores / self.spec.cores)
+        # The task pays its share of dynamic power plus a share of idle power.
+        dynamic = (self.spec.peak_power_w - self.spec.idle_power_w) * share
+        idle_share = self.spec.idle_power_w * share
+        return duration * (dynamic + idle_share)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ClusterNode({self.name}, {self.spec.model})"
+
+
+class Cluster:
+    """A named collection of heterogeneous nodes."""
+
+    def __init__(self, nodes: Iterable[ClusterNode]) -> None:
+        self._nodes: Dict[str, ClusterNode] = {}
+        for node in nodes:
+            if node.name in self._nodes:
+                raise ValueError(f"duplicate node name {node.name!r}")
+            self._nodes[node.name] = node
+        if not self._nodes:
+            raise ValueError("a cluster needs at least one node")
+
+    @classmethod
+    def from_models(cls, models: Mapping[str, int], prefix: str = "node") -> "Cluster":
+        """Build a cluster with ``count`` nodes of each catalogue model."""
+        nodes: List[ClusterNode] = []
+        index = 0
+        for model, count in models.items():
+            spec = MICROSERVER_CATALOG[model]
+            for _ in range(count):
+                nodes.append(ClusterNode(name=f"{prefix}-{index}-{model}", spec=spec))
+                index += 1
+        return cls(nodes)
+
+    @classmethod
+    def heats_testbed(cls, scale: int = 2) -> "Cluster":
+        """A mixed x86 / ARM / low-power cluster like the HEATS evaluation's."""
+        return cls.from_models(
+            {
+                "xeon-d-x86": scale,
+                "arm64-server": scale,
+                "jetson-gpu-soc": scale,
+                "apalis-arm-soc": scale,
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> List[ClusterNode]:
+        return list(self._nodes.values())
+
+    def node(self, name: str) -> ClusterNode:
+        if name not in self._nodes:
+            raise KeyError(f"no node named {name!r}")
+        return self._nodes[name]
+
+    def __iter__(self) -> Iterator[ClusterNode]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def feasible_nodes(self, cores: int, memory_gib: float) -> List[ClusterNode]:
+        """Nodes with enough free resources for a request."""
+        return [node for node in self._nodes.values() if node.can_host(cores, memory_gib)]
+
+    def total_idle_power_w(self) -> float:
+        return sum(node.spec.idle_power_w for node in self._nodes.values())
+
+    def locate(self, task_id: str) -> Optional[ClusterNode]:
+        for node in self._nodes.values():
+            if task_id in node.running:
+                return node
+        return None

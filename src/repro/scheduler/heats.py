@@ -1,0 +1,170 @@
+"""The HEATS scheduling algorithm (paper Section V).
+
+For every pending task HEATS:
+
+1. identifies the task's resource requirements (cores, memory) and the nodes
+   with enough availability (reported by monitoring),
+2. uses the learned models to estimate the task's performance and energy on
+   each candidate node (the profiling/estimation phase),
+3. computes a score per node by normalising the predictions and weighting
+   them by the customer's energy/performance ratio,
+4. deploys the task on the best-fitting node.
+
+Every ``rescheduling_interval_s`` the same evaluation re-runs for all running
+tasks; when a better fit than the current host is found (by more than a
+hysteresis margin, so marginal improvements do not cause migration churn),
+the task is migrated to the new host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.scheduler.cluster import Cluster, ClusterNode
+from repro.scheduler.modeling import PredictionModelSet, ProfilingCampaign
+from repro.scheduler.monitoring import ClusterMonitor
+from repro.scheduler.placement import Placement, PlacementEngine
+from repro.scheduler.workload import TaskRequest
+
+
+@dataclass(frozen=True)
+class HeatsConfig:
+    """Tunables of the HEATS policy."""
+
+    rescheduling_interval_s: float = 60.0
+    migration_improvement_threshold: float = 0.15
+    default_energy_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rescheduling_interval_s <= 0:
+            raise ValueError("rescheduling interval must be positive")
+        if not (0.0 <= self.migration_improvement_threshold < 1.0):
+            raise ValueError("migration threshold must be in [0, 1)")
+        if not (0.0 <= self.default_energy_weight <= 1.0):
+            raise ValueError("energy weight must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class NodeScore:
+    """Score breakdown for one candidate node (lower is better)."""
+
+    node: str
+    predicted_time_s: float
+    predicted_energy_j: float
+    normalised_time: float
+    normalised_energy: float
+    score: float
+
+
+class HeatsScheduler:
+    """Heterogeneity- and energy-aware scheduler."""
+
+    name = "heats"
+    supports_rescheduling = True
+
+    def __init__(
+        self,
+        models: PredictionModelSet,
+        config: Optional[HeatsConfig] = None,
+    ) -> None:
+        self.models = models
+        self.config = config if config is not None else HeatsConfig()
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def score_candidates(
+        self,
+        request: TaskRequest,
+        candidates: Sequence[ClusterNode],
+        energy_weight: Optional[float] = None,
+    ) -> List[NodeScore]:
+        """Score all candidate nodes for one request, best (lowest) first."""
+        if not candidates:
+            return []
+        weight = request.energy_weight if energy_weight is None else energy_weight
+        predictions: List[Tuple[ClusterNode, float, float]] = []
+        for node in candidates:
+            if node.name not in self.models:
+                continue
+            time_s, energy_j = self.models.predict(node.name, request)
+            predictions.append((node, time_s, energy_j))
+        if not predictions:
+            return []
+        max_time = max(p[1] for p in predictions) or 1.0
+        max_energy = max(p[2] for p in predictions) or 1.0
+        scores: List[NodeScore] = []
+        for node, time_s, energy_j in predictions:
+            normalised_time = time_s / max_time
+            normalised_energy = energy_j / max_energy
+            score = (1.0 - weight) * normalised_time + weight * normalised_energy
+            scores.append(
+                NodeScore(
+                    node=node.name,
+                    predicted_time_s=time_s,
+                    predicted_energy_j=energy_j,
+                    normalised_time=normalised_time,
+                    normalised_energy=normalised_energy,
+                    score=score,
+                )
+            )
+        return sorted(scores, key=lambda s: (s.score, s.node))
+
+    # ------------------------------------------------------------------ #
+    # Scheduler interface used by the cluster simulator
+    # ------------------------------------------------------------------ #
+    def place(self, request: TaskRequest, cluster: Cluster, time_s: float) -> Optional[str]:
+        """Pick a node for a new request; None when nothing can host it now."""
+        candidates = cluster.feasible_nodes(request.cores, request.memory_gib)
+        scored = self.score_candidates(request, candidates)
+        if not scored:
+            return None
+        return scored[0].node
+
+    def reschedule(
+        self,
+        running: Sequence[Placement],
+        cluster: Cluster,
+        time_s: float,
+    ) -> List[Tuple[str, str]]:
+        """Return (task_id, target_node) migrations that improve the fit.
+
+        A migration is proposed when the best alternative node scores better
+        than the current host by more than the configured threshold.  The
+        current host is always part of the comparison, scored on the
+        *remaining* work, so short-remaining tasks naturally stay put.
+        """
+        migrations: List[Tuple[str, str]] = []
+        for placement in running:
+            request = placement.request
+            current_node = cluster.node(placement.node)
+            candidates = cluster.feasible_nodes(request.cores, request.memory_gib)
+            if current_node not in candidates:
+                candidates = list(candidates) + [current_node]
+            scored = self.score_candidates(request, candidates)
+            if not scored:
+                continue
+            current_score = next((s for s in scored if s.node == placement.node), None)
+            best = scored[0]
+            if current_score is None or best.node == placement.node:
+                continue
+            improvement = current_score.score - best.score
+            if improvement > self.config.migration_improvement_threshold:
+                migrations.append((request.task_id, best.node))
+        return migrations
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructor
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def with_learned_models(
+        cls,
+        cluster: Cluster,
+        config: Optional[HeatsConfig] = None,
+        noise_fraction: float = 0.05,
+        seed: int = 7,
+    ) -> "HeatsScheduler":
+        """Run the profiling campaign on the cluster and build the scheduler."""
+        campaign = ProfilingCampaign(cluster, noise_fraction=noise_fraction, seed=seed).run()
+        return cls(models=campaign.fit(), config=config)

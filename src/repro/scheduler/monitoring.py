@@ -1,0 +1,101 @@
+"""HEATS monitoring: resource availability and energy telemetry (Fig. 7).
+
+The monitoring module periodically reports, for every cluster node, the
+available resources (the Heapster role in the paper's deployment) and the
+measured power draw (the PDU / PowerSpy role).  The scheduler and the
+modeling component consume these reports: scheduling needs the availability
+snapshot, model learning needs the energy counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.hardware.power import PowerDistributionUnit, PowerSpy
+from repro.scheduler.cluster import Cluster, ClusterNode
+
+
+@dataclass(frozen=True)
+class NodeTelemetry:
+    """One monitoring report for one node."""
+
+    time_s: float
+    node: str
+    available_cores: int
+    available_memory_gib: float
+    utilisation: float
+    power_w: float
+    running_tasks: int
+
+
+class ClusterMonitor:
+    """Samples the cluster and keeps a bounded telemetry history."""
+
+    def __init__(self, cluster: Cluster, history_limit: int = 10_000) -> None:
+        if history_limit <= 0:
+            raise ValueError("history limit must be positive")
+        self.cluster = cluster
+        self.history_limit = history_limit
+        self._history: List[NodeTelemetry] = []
+        self._meters: Dict[str, PowerSpy] = {
+            node.name: PowerSpy(name=f"{node.name}-meter") for node in cluster
+        }
+        self.rack_pdu = PowerDistributionUnit(name="rack-pdu")
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample(self, time_s: float) -> List[NodeTelemetry]:
+        """Take one monitoring snapshot of every node."""
+        snapshot: List[NodeTelemetry] = []
+        rack_power = 0.0
+        for node in self.cluster:
+            power = node.power_w()
+            rack_power += power
+            self._meters[node.name].sample(time_s, power)
+            telemetry = NodeTelemetry(
+                time_s=time_s,
+                node=node.name,
+                available_cores=node.available.cores,
+                available_memory_gib=node.available.memory_gib,
+                utilisation=node.utilisation,
+                power_w=power,
+                running_tasks=len(node.running),
+            )
+            snapshot.append(telemetry)
+        self.rack_pdu.sample(time_s, rack_power)
+        self._history.extend(snapshot)
+        if len(self._history) > self.history_limit:
+            self._history = self._history[-self.history_limit:]
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the scheduler
+    # ------------------------------------------------------------------ #
+    def latest(self, node_name: str) -> Optional[NodeTelemetry]:
+        for telemetry in reversed(self._history):
+            if telemetry.node == node_name:
+                return telemetry
+        return None
+
+    def available_nodes(self, cores: int, memory_gib: float) -> List[ClusterNode]:
+        """Nodes currently able to host a request (live view, not history)."""
+        return self.cluster.feasible_nodes(cores, memory_gib)
+
+    def cluster_power_w(self) -> float:
+        return sum(node.power_w() for node in self.cluster)
+
+    def node_energy_j(self, node_name: str) -> float:
+        return self._meters[node_name].energy_j()
+
+    @property
+    def history(self) -> Sequence[NodeTelemetry]:
+        return tuple(self._history)
+
+    def utilisation_summary(self) -> Dict[str, float]:
+        """Latest utilisation per node."""
+        summary: Dict[str, float] = {}
+        for node in self.cluster:
+            summary[node.name] = node.utilisation
+        return summary

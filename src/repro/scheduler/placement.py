@@ -1,0 +1,171 @@
+"""Placement and migration engine (the bottom-right box of Fig. 7).
+
+The engine is the component that actually instantiates tasks on nodes and
+moves them: it owns the mapping from running task to hosting node, computes
+remaining work when a task is migrated, and charges the migration penalty
+(checkpointing the container, moving its state over the compute network and
+restarting it on the target host).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.scheduler.cluster import Cluster, ClusterNode
+from repro.scheduler.workload import TaskRequest
+
+#: fixed service interruption per migration (checkpoint + restore of the task).
+MIGRATION_PENALTY_S = 2.0
+#: state transfer bandwidth over the compute network, GB/s.
+MIGRATION_BANDWIDTH_GBPS = 2.5
+
+
+@dataclass
+class Placement:
+    """One running task placement."""
+
+    request: TaskRequest
+    node: str
+    start_s: float
+    expected_finish_s: float
+    work_done_gops: float = 0.0
+    migrations: int = 0
+
+    @property
+    def remaining_gops(self) -> float:
+        return max(0.0, self.request.gops - self.work_done_gops)
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """Record of one migration."""
+
+    task_id: str
+    time_s: float
+    source: str
+    target: str
+    downtime_s: float
+    remaining_gops: float
+
+
+class PlacementEngine:
+    """Owns task instantiation, progress accounting and migration."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._placements: Dict[str, Placement] = {}
+        self._migrations: List[MigrationEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # Instantiation / completion
+    # ------------------------------------------------------------------ #
+    def instantiate(self, request: TaskRequest, node_name: str, time_s: float) -> Placement:
+        """Start a task on a node; reserves resources and predicts its finish."""
+        if request.task_id in self._placements:
+            raise KeyError(f"task {request.task_id!r} is already placed")
+        node = self.cluster.node(node_name)
+        node.reserve(request.task_id, request.cores, request.memory_gib)
+        duration = node.execution_time_s(request.workload, request.gops, request.cores)
+        placement = Placement(
+            request=request,
+            node=node_name,
+            start_s=time_s,
+            expected_finish_s=time_s + duration,
+        )
+        self._placements[request.task_id] = placement
+        return placement
+
+    def complete(self, task_id: str, time_s: float) -> Placement:
+        """Finish a task: release its resources and return the final placement."""
+        placement = self._require(task_id)
+        node = self.cluster.node(placement.node)
+        node.release(task_id)
+        placement.work_done_gops = placement.request.gops
+        del self._placements[task_id]
+        return placement
+
+    # ------------------------------------------------------------------ #
+    # Migration
+    # ------------------------------------------------------------------ #
+    def advance_progress(self, task_id: str, time_s: float) -> float:
+        """Update a task's completed work as of ``time_s``; returns remaining Gop."""
+        placement = self._require(task_id)
+        node = self.cluster.node(placement.node)
+        elapsed = max(0.0, time_s - placement.start_s)
+        rate = placement.request.gops / node.execution_time_s(
+            placement.request.workload, placement.request.gops, placement.request.cores
+        )
+        placement.work_done_gops = min(placement.request.gops, rate * elapsed + placement.work_done_gops * 0.0)
+        return placement.remaining_gops
+
+    def migration_downtime_s(self, request: TaskRequest) -> float:
+        """Checkpoint + state transfer + restart time for one task."""
+        state_bytes = request.memory_gib * 1024**3
+        transfer = state_bytes / (MIGRATION_BANDWIDTH_GBPS * 1e9)
+        return MIGRATION_PENALTY_S + transfer
+
+    def migrate(self, task_id: str, target_node: str, time_s: float) -> MigrationEvent:
+        """Move a running task to a new node, charging the downtime."""
+        placement = self._require(task_id)
+        if placement.node == target_node:
+            raise ValueError(f"task {task_id!r} is already on node {target_node!r}")
+        remaining = self.advance_progress(task_id, time_s)
+        source_node = self.cluster.node(placement.node)
+        target = self.cluster.node(target_node)
+        request = placement.request
+        if not target.can_host(request.cores, request.memory_gib):
+            raise ValueError(
+                f"target node {target_node!r} cannot host task {task_id!r} "
+                f"({request.cores} cores / {request.memory_gib} GiB)"
+            )
+        source_node.release(task_id)
+        target.reserve(task_id, request.cores, request.memory_gib)
+        downtime = self.migration_downtime_s(request)
+        remaining_request = TaskRequest(
+            task_id=request.task_id,
+            arrival_s=request.arrival_s,
+            workload=request.workload,
+            gops=max(remaining, 1e-9),
+            cores=request.cores,
+            memory_gib=request.memory_gib,
+            energy_weight=request.energy_weight,
+            deadline_s=request.deadline_s,
+        )
+        new_duration = target.execution_time_s(
+            remaining_request.workload, remaining_request.gops, remaining_request.cores
+        )
+        event = MigrationEvent(
+            task_id=task_id,
+            time_s=time_s,
+            source=placement.node,
+            target=target_node,
+            downtime_s=downtime,
+            remaining_gops=remaining,
+        )
+        placement.node = target_node
+        placement.start_s = time_s + downtime
+        placement.expected_finish_s = time_s + downtime + new_duration
+        placement.work_done_gops = request.gops - remaining
+        placement.migrations += 1
+        self._migrations.append(event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def placement(self, task_id: str) -> Placement:
+        return self._require(task_id)
+
+    @property
+    def running(self) -> List[Placement]:
+        return list(self._placements.values())
+
+    @property
+    def migrations(self) -> Sequence[MigrationEvent]:
+        return tuple(self._migrations)
+
+    def _require(self, task_id: str) -> Placement:
+        if task_id not in self._placements:
+            raise KeyError(f"task {task_id!r} is not currently placed")
+        return self._placements[task_id]

@@ -1,0 +1,282 @@
+"""Discrete-event cluster simulator driving any of the schedulers.
+
+The simulator replays a stream of :class:`TaskRequest` arrivals against a
+:class:`Cluster` under a scheduling policy (HEATS or a baseline), handling
+queueing when nothing can host a request, task completions, periodic
+re-scheduling/migration for policies that support it, and energy
+accounting:
+
+* every task is charged the energy of the node share it occupies for as long
+  as it runs there (split across nodes when migrated, plus the migration
+  downtime);
+* the cluster's static (idle) power is charged for the whole makespan, so a
+  policy that finishes earlier also saves static energy -- the effect that
+  makes pure energy-greedy placement lose at the performance end of the
+  trade-off curve.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.scheduler.cluster import Cluster, ClusterNode
+from repro.scheduler.monitoring import ClusterMonitor
+from repro.scheduler.placement import MigrationEvent, PlacementEngine
+from repro.scheduler.workload import TaskRequest
+
+
+class SchedulerProtocol(Protocol):
+    """What the simulator needs from a scheduling policy."""
+
+    name: str
+    supports_rescheduling: bool
+
+    def place(self, request: TaskRequest, cluster: Cluster, time_s: float) -> Optional[str]:
+        ...
+
+    def reschedule(
+        self, running: Sequence, cluster: Cluster, time_s: float
+    ) -> List[Tuple[str, str]]:
+        ...
+
+
+@dataclass(frozen=True)
+class CompletedTask:
+    """Accounting of one finished task."""
+
+    task_id: str
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    nodes: Tuple[str, ...]
+    energy_j: float
+    migrations: int
+
+    @property
+    def turnaround_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def waiting_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulated run."""
+
+    scheduler: str
+    completed: List[CompletedTask] = field(default_factory=list)
+    unplaced: List[str] = field(default_factory=list)
+    migrations: List[MigrationEvent] = field(default_factory=list)
+    makespan_s: float = 0.0
+    idle_energy_j: float = 0.0
+
+    @property
+    def task_energy_j(self) -> float:
+        return sum(task.energy_j for task in self.completed)
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.task_energy_j + self.idle_energy_j
+
+    @property
+    def mean_turnaround_s(self) -> float:
+        if not self.completed:
+            return 0.0
+        return sum(task.turnaround_s for task in self.completed) / len(self.completed)
+
+    @property
+    def mean_waiting_s(self) -> float:
+        if not self.completed:
+            return 0.0
+        return sum(task.waiting_s for task in self.completed) / len(self.completed)
+
+    @property
+    def num_migrations(self) -> int:
+        return len(self.migrations)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "scheduler": self.scheduler,
+            "tasks": len(self.completed),
+            "makespan_s": self.makespan_s,
+            "total_energy_kj": self.total_energy_j / 1e3,
+            "task_energy_kj": self.task_energy_j / 1e3,
+            "mean_turnaround_s": self.mean_turnaround_s,
+            "migrations": self.num_migrations,
+            "unplaced": len(self.unplaced),
+        }
+
+
+class ClusterSimulator:
+    """Event-driven execution of a request stream under one policy."""
+
+    #: event kinds, ordered so completions release resources before arrivals.
+    _COMPLETION, _ARRIVAL, _RESCHEDULE = 0, 1, 2
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: SchedulerProtocol,
+        monitor: Optional[ClusterMonitor] = None,
+        monitoring_period_s: float = 30.0,
+        rescheduling_interval_s: float = 60.0,
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.monitor = monitor if monitor is not None else ClusterMonitor(cluster)
+        self.monitoring_period_s = monitoring_period_s
+        self.rescheduling_interval_s = rescheduling_interval_s
+        self.engine = PlacementEngine(cluster)
+        self._events: List[Tuple[float, int, int, object]] = []
+        self._sequence = itertools.count()
+        self._task_energy: Dict[str, float] = {}
+        self._task_nodes: Dict[str, List[str]] = {}
+        self._segment_start: Dict[str, Tuple[float, str]] = {}
+        self._start_times: Dict[str, float] = {}
+        self._completion_version: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Event plumbing
+    # ------------------------------------------------------------------ #
+    def _push(self, time_s: float, kind: int, payload: object) -> None:
+        heapq.heappush(self._events, (time_s, kind, next(self._sequence), payload))
+
+    def _segment_power_w(self, node: ClusterNode, request: TaskRequest) -> float:
+        share = min(1.0, request.cores / node.spec.cores)
+        dynamic = (node.spec.peak_power_w - node.spec.idle_power_w) * share
+        return dynamic + node.spec.idle_power_w * share
+
+    def _close_segment(self, task_id: str, time_s: float, request: TaskRequest) -> None:
+        start, node_name = self._segment_start[task_id]
+        node = self.cluster.node(node_name)
+        duration = max(0.0, time_s - start)
+        self._task_energy[task_id] = self._task_energy.get(task_id, 0.0) + duration * self._segment_power_w(node, request)
+        if not self._task_nodes.get(task_id) or self._task_nodes[task_id][-1] != node_name:
+            self._task_nodes.setdefault(task_id, []).append(node_name)
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self, requests: Sequence[TaskRequest]) -> SimulationResult:
+        result = SimulationResult(scheduler=self.scheduler.name)
+        pending: List[TaskRequest] = []
+        remaining = len(requests)
+
+        for request in requests:
+            self._push(request.arrival_s, self._ARRIVAL, request)
+        if self.scheduler.supports_rescheduling and requests:
+            self._push(self.rescheduling_interval_s, self._RESCHEDULE, None)
+
+        last_monitor_sample = -float("inf")
+        current_time = 0.0
+
+        while self._events:
+            time_s, kind, _, payload = heapq.heappop(self._events)
+            current_time = time_s
+            if time_s - last_monitor_sample >= self.monitoring_period_s:
+                self.monitor.sample(time_s)
+                last_monitor_sample = time_s
+
+            if kind == self._ARRIVAL:
+                request = payload  # type: ignore[assignment]
+                if not self._try_place(request, time_s, result):
+                    pending.append(request)
+            elif kind == self._COMPLETION:
+                task_id, version = payload  # type: ignore[misc]
+                if self._completion_version.get(task_id) != version:
+                    continue  # stale completion superseded by a migration
+                request = self.engine.placement(task_id).request
+                self._close_segment(task_id, time_s, request)
+                placement = self.engine.complete(task_id, time_s)
+                remaining -= 1
+                result.completed.append(
+                    CompletedTask(
+                        task_id=task_id,
+                        arrival_s=placement.request.arrival_s,
+                        start_s=self._start_times[task_id],
+                        finish_s=time_s,
+                        nodes=tuple(self._task_nodes.get(task_id, [])),
+                        energy_j=self._task_energy.get(task_id, 0.0),
+                        migrations=placement.migrations,
+                    )
+                )
+                # A freed node may unblock queued requests.
+                still_pending: List[TaskRequest] = []
+                for queued in pending:
+                    if not self._try_place(queued, time_s, result):
+                        still_pending.append(queued)
+                pending = still_pending
+            elif kind == self._RESCHEDULE:
+                self._apply_rescheduling(time_s)
+                if remaining > 0:
+                    self._push(time_s + self.rescheduling_interval_s, self._RESCHEDULE, None)
+
+        result.makespan_s = max((task.finish_s for task in result.completed), default=0.0)
+        result.idle_energy_j = self.cluster.total_idle_power_w() * result.makespan_s
+        result.migrations = list(self.engine.migrations)
+        result.unplaced.extend(request.task_id for request in pending)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Placement / migration helpers
+    # ------------------------------------------------------------------ #
+    def _try_place(self, request: TaskRequest, time_s: float, result: SimulationResult) -> bool:
+        node_name = self.scheduler.place(request, self.cluster, time_s)
+        if node_name is None:
+            return False
+        node = self.cluster.node(node_name)
+        if not node.can_host(request.cores, request.memory_gib):
+            return False
+        placement = self.engine.instantiate(request, node_name, time_s)
+        self._start_times[request.task_id] = time_s
+        self._segment_start[request.task_id] = (time_s, node_name)
+        self._task_nodes.setdefault(request.task_id, []).append(node_name)
+        version = self._completion_version.get(request.task_id, 0) + 1
+        self._completion_version[request.task_id] = version
+        self._push(placement.expected_finish_s, self._COMPLETION, (request.task_id, version))
+        return True
+
+    def _apply_rescheduling(self, time_s: float) -> None:
+        decisions = self.scheduler.reschedule(self.engine.running, self.cluster, time_s)
+        for task_id, target in decisions:
+            try:
+                placement = self.engine.placement(task_id)
+            except KeyError:
+                continue
+            request = placement.request
+            self._close_segment(task_id, time_s, request)
+            try:
+                event = self.engine.migrate(task_id, target, time_s)
+            except (ValueError, KeyError):
+                # Target filled up since the decision was computed; skip.
+                self._segment_start[task_id] = (time_s, placement.node)
+                continue
+            self._segment_start[task_id] = (event.time_s + event.downtime_s, target)
+            version = self._completion_version[task_id] + 1
+            self._completion_version[task_id] = version
+            self._push(placement.expected_finish_s, self._COMPLETION, (task_id, version))
+
+
+def run_policy_comparison(
+    cluster_factory,
+    scheduler_factory_map: Dict[str, object],
+    requests: Sequence[TaskRequest],
+) -> Dict[str, SimulationResult]:
+    """Run the same request stream under several policies on fresh clusters.
+
+    ``cluster_factory`` builds a fresh cluster per policy (node state is
+    mutable); ``scheduler_factory_map`` maps a policy name to a callable
+    taking the fresh cluster and returning a scheduler instance.
+    """
+    results: Dict[str, SimulationResult] = {}
+    for name, factory in scheduler_factory_map.items():
+        cluster = cluster_factory()
+        scheduler = factory(cluster)
+        simulator = ClusterSimulator(cluster, scheduler)
+        results[name] = simulator.run(requests)
+    return results

@@ -1,0 +1,39 @@
+"""Security-by-design: enclave-backed task execution.
+
+LEGaTO develops "energy-efficient security-by-design by leveraging
+instruction-level hardware support for security (SGX in x86 and TrustZone in
+ARM) to accelerate software-based security implementations" (Section I).
+The reproduction models the parts the rest of the stack interacts with:
+
+* :mod:`repro.security.enclave`     -- enclave lifecycle (create, load,
+  enter/exit) with SGX-like and TrustZone-like overhead profiles, sealed
+  storage, and EPC-paging penalties;
+* :mod:`repro.security.attestation` -- measurement and quote verification so
+  a workflow can check it is talking to the code it expects;
+* :mod:`repro.security.secure_task` -- running runtime tasks inside an
+  enclave, charging the overheads and exposing the security/energy
+  trade-off used by the project-goal benchmark.
+"""
+
+from repro.security.enclave import (
+    Enclave,
+    EnclaveKind,
+    EnclaveOverheadProfile,
+    SGX_PROFILE,
+    TRUSTZONE_PROFILE,
+)
+from repro.security.attestation import AttestationError, AttestationService, Quote
+from repro.security.secure_task import SecureExecutionReport, SecureTaskExecutor
+
+__all__ = [
+    "Enclave",
+    "EnclaveKind",
+    "EnclaveOverheadProfile",
+    "SGX_PROFILE",
+    "TRUSTZONE_PROFILE",
+    "AttestationError",
+    "AttestationService",
+    "Quote",
+    "SecureExecutionReport",
+    "SecureTaskExecutor",
+]

@@ -1,0 +1,103 @@
+"""Remote attestation: proving an enclave runs the expected code.
+
+A minimal measured-boot style flow: the attestation service knows the set of
+trusted measurements; an enclave produces a :class:`Quote` binding its
+measurement to a caller-supplied nonce (so quotes cannot be replayed); the
+service verifies the signature-equivalent (an HMAC keyed with the service's
+provisioning secret, standing in for the hardware key hierarchy) and the
+nonce before declaring the enclave trustworthy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.security.enclave import Enclave
+
+
+class AttestationError(RuntimeError):
+    """Raised when a quote fails verification."""
+
+
+@dataclass(frozen=True)
+class Quote:
+    """An attestation quote produced for one nonce."""
+
+    enclave_id: int
+    measurement: str
+    nonce: str
+    mac: str
+
+
+class AttestationService:
+    """Verifies enclave quotes against a whitelist of trusted measurements."""
+
+    def __init__(self, provisioning_secret: Optional[bytes] = None) -> None:
+        self._secret = provisioning_secret if provisioning_secret is not None else secrets.token_bytes(32)
+        self._trusted: Set[str] = set()
+        self._issued_nonces: Set[str] = set()
+        self._consumed_nonces: Set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # Provisioning
+    # ------------------------------------------------------------------ #
+    def trust(self, measurement: str) -> None:
+        if not measurement:
+            raise ValueError("measurement must be non-empty")
+        self._trusted.add(measurement)
+
+    def trust_enclave(self, enclave: Enclave) -> None:
+        self.trust(enclave.measurement)
+
+    def revoke(self, measurement: str) -> None:
+        self._trusted.discard(measurement)
+
+    def is_trusted(self, measurement: str) -> bool:
+        return measurement in self._trusted
+
+    # ------------------------------------------------------------------ #
+    # Quote lifecycle
+    # ------------------------------------------------------------------ #
+    def challenge(self) -> str:
+        """Issue a fresh nonce for a verification round."""
+        nonce = secrets.token_hex(16)
+        self._issued_nonces.add(nonce)
+        return nonce
+
+    def _mac(self, measurement: str, nonce: str) -> str:
+        message = f"{measurement}:{nonce}".encode("utf-8")
+        return hmac.new(self._secret, message, hashlib.sha256).hexdigest()
+
+    def quote(self, enclave: Enclave, nonce: str) -> Quote:
+        """Produce a quote (the hardware quoting enclave's role)."""
+        if nonce not in self._issued_nonces:
+            raise AttestationError("nonce was not issued by this service")
+        return Quote(
+            enclave_id=enclave.enclave_id,
+            measurement=enclave.measurement,
+            nonce=nonce,
+            mac=self._mac(enclave.measurement, nonce),
+        )
+
+    def verify(self, quote: Quote) -> bool:
+        """Verify a quote; raises :class:`AttestationError` on any failure."""
+        if quote.nonce not in self._issued_nonces:
+            raise AttestationError("unknown nonce")
+        if quote.nonce in self._consumed_nonces:
+            raise AttestationError("nonce already used (replay)")
+        expected = self._mac(quote.measurement, quote.nonce)
+        if not hmac.compare_digest(expected, quote.mac):
+            raise AttestationError("quote MAC mismatch")
+        if quote.measurement not in self._trusted:
+            raise AttestationError("measurement is not trusted")
+        self._consumed_nonces.add(quote.nonce)
+        return True
+
+    def attest(self, enclave: Enclave) -> bool:
+        """Full round trip: challenge, quote, verify."""
+        nonce = self.challenge()
+        return self.verify(self.quote(enclave, nonce))

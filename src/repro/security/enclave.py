@@ -1,0 +1,152 @@
+"""Enclave model: SGX-like and TrustZone-like trusted execution environments.
+
+The model captures the costs that determine whether enclave-backed execution
+is practical for a task: enclave creation, transition (ecall/ocall) latency,
+memory encryption bandwidth overhead, and the paging penalty once the
+protected memory (EPC on SGX) is exceeded.  The two built-in profiles use
+publicly reported magnitudes for the respective technologies; their ratio --
+SGX transitions are expensive but its protected memory is managed
+transparently, TrustZone transitions are cheap but the secure world is small
+-- is what the secure-task scheduler reacts to.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class EnclaveKind(str, enum.Enum):
+    """Hardware TEE flavours named in the paper."""
+
+    SGX = "sgx"            # Intel SGX on x86 microservers
+    TRUSTZONE = "trustzone"  # ARM TrustZone on ARM microservers
+
+
+@dataclass(frozen=True)
+class EnclaveOverheadProfile:
+    """Cost model of one TEE technology."""
+
+    kind: EnclaveKind
+    creation_s: float
+    transition_s: float            # one ecall/ocall round trip
+    memory_bandwidth_penalty: float  # fractional slowdown on protected memory
+    protected_memory_mib: float
+    paging_penalty_per_mib_s: float
+    energy_overhead_fraction: float  # extra energy per unit of protected work
+
+    def __post_init__(self) -> None:
+        if self.creation_s < 0 or self.transition_s < 0:
+            raise ValueError("latencies must be non-negative")
+        if not (0.0 <= self.memory_bandwidth_penalty < 1.0):
+            raise ValueError("bandwidth penalty must be a fraction in [0, 1)")
+        if self.protected_memory_mib <= 0:
+            raise ValueError("protected memory must be positive")
+        if self.paging_penalty_per_mib_s < 0 or self.energy_overhead_fraction < 0:
+            raise ValueError("penalties must be non-negative")
+
+
+#: SGX: slow transitions (~8 us), ~128 MiB usable EPC, costly paging.
+SGX_PROFILE = EnclaveOverheadProfile(
+    kind=EnclaveKind.SGX,
+    creation_s=0.02,
+    transition_s=8e-6,
+    memory_bandwidth_penalty=0.12,
+    protected_memory_mib=128.0,
+    paging_penalty_per_mib_s=0.4e-3,
+    energy_overhead_fraction=0.10,
+)
+
+#: TrustZone: cheap world switches, small secure world, no transparent paging
+#: (exceeding it is charged as an explicit staging penalty).
+TRUSTZONE_PROFILE = EnclaveOverheadProfile(
+    kind=EnclaveKind.TRUSTZONE,
+    creation_s=0.005,
+    transition_s=1.5e-6,
+    memory_bandwidth_penalty=0.05,
+    protected_memory_mib=32.0,
+    paging_penalty_per_mib_s=1.2e-3,
+    energy_overhead_fraction=0.06,
+)
+
+PROFILES: Dict[EnclaveKind, EnclaveOverheadProfile] = {
+    EnclaveKind.SGX: SGX_PROFILE,
+    EnclaveKind.TRUSTZONE: TRUSTZONE_PROFILE,
+}
+
+
+@dataclass
+class SealedBlob:
+    """Data sealed to an enclave measurement."""
+
+    measurement: str
+    payload: bytes
+
+
+class Enclave:
+    """One enclave instance bound to a code identity (its measurement)."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, code_identity: str, profile: EnclaveOverheadProfile) -> None:
+        if not code_identity:
+            raise ValueError("enclave needs a code identity")
+        self.enclave_id = next(self._ids)
+        self.profile = profile
+        self.measurement = hashlib.sha256(code_identity.encode("utf-8")).hexdigest()
+        self._sealed: Dict[str, SealedBlob] = {}
+        self.transitions = 0
+        self.created = True
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+    def execution_overhead_s(
+        self,
+        plain_time_s: float,
+        working_set_mib: float,
+        transitions: int = 2,
+    ) -> float:
+        """Extra time for running a computation of ``plain_time_s`` inside.
+
+        The overhead has three parts: ecall/ocall transitions, the memory
+        encryption slowdown, and paging once the working set exceeds the
+        protected memory.
+        """
+        if plain_time_s < 0 or working_set_mib < 0 or transitions < 0:
+            raise ValueError("arguments must be non-negative")
+        self.transitions += transitions
+        transition_cost = transitions * self.profile.transition_s
+        bandwidth_cost = plain_time_s * self.profile.memory_bandwidth_penalty
+        spill_mib = max(0.0, working_set_mib - self.profile.protected_memory_mib)
+        paging_cost = spill_mib * self.profile.paging_penalty_per_mib_s
+        return transition_cost + bandwidth_cost + paging_cost
+
+    def energy_overhead_j(self, plain_energy_j: float) -> float:
+        if plain_energy_j < 0:
+            raise ValueError("energy must be non-negative")
+        return plain_energy_j * self.profile.energy_overhead_fraction
+
+    # ------------------------------------------------------------------ #
+    # Sealed storage
+    # ------------------------------------------------------------------ #
+    def seal(self, name: str, payload: bytes) -> SealedBlob:
+        """Seal data to this enclave's measurement."""
+        blob = SealedBlob(measurement=self.measurement, payload=bytes(payload))
+        self._sealed[name] = blob
+        return blob
+
+    def unseal(self, name: str) -> bytes:
+        """Unseal previously sealed data; fails if the measurement differs."""
+        if name not in self._sealed:
+            raise KeyError(f"no sealed blob named {name!r}")
+        blob = self._sealed[name]
+        if blob.measurement != self.measurement:
+            raise PermissionError("sealed blob was bound to a different enclave identity")
+        return blob.payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Enclave(id={self.enclave_id}, kind={self.profile.kind.value})"

@@ -1,0 +1,171 @@
+"""Running runtime tasks inside enclaves and accounting the cost.
+
+The executor takes tasks marked ``secure`` (either by the programmer or by
+the compiler front end), places them on an enclave-capable device, attests
+the enclave before first use, and charges the enclave overhead model on top
+of the plain execution cost.  Non-secure tasks run unmodified, so the report
+exposes exactly how much the security guarantee costs -- the quantity behind
+the project's "10x security at bounded overhead" goal tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.microserver import DeviceKind
+from repro.runtime.devices import ExecutionDevice
+from repro.runtime.energy import EnergyPolicy, pick_device
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import Task
+from repro.security.attestation import AttestationService
+from repro.security.enclave import (
+    PROFILES,
+    Enclave,
+    EnclaveKind,
+    EnclaveOverheadProfile,
+)
+
+#: which enclave technology each CPU kind provides.
+_TEE_OF_KIND: Dict[DeviceKind, EnclaveKind] = {
+    DeviceKind.CPU_X86: EnclaveKind.SGX,
+    DeviceKind.CPU_ARM: EnclaveKind.TRUSTZONE,
+}
+
+
+@dataclass(frozen=True)
+class SecureTaskOutcome:
+    """Cost breakdown for one executed task."""
+
+    task_name: str
+    secure: bool
+    device: str
+    enclave_kind: Optional[str]
+    plain_time_s: float
+    overhead_time_s: float
+    plain_energy_j: float
+    overhead_energy_j: float
+
+    @property
+    def total_time_s(self) -> float:
+        return self.plain_time_s + self.overhead_time_s
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.plain_energy_j + self.overhead_energy_j
+
+
+@dataclass
+class SecureExecutionReport:
+    """Aggregate of a secure run."""
+
+    outcomes: List[SecureTaskOutcome] = field(default_factory=list)
+    attestations: int = 0
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(o.total_time_s for o in self.outcomes)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(o.total_energy_j for o in self.outcomes)
+
+    @property
+    def security_time_overhead_fraction(self) -> float:
+        plain = sum(o.plain_time_s for o in self.outcomes)
+        if plain == 0:
+            return 0.0
+        return sum(o.overhead_time_s for o in self.outcomes) / plain
+
+    @property
+    def security_energy_overhead_fraction(self) -> float:
+        plain = sum(o.plain_energy_j for o in self.outcomes)
+        if plain == 0:
+            return 0.0
+        return sum(o.overhead_energy_j for o in self.outcomes) / plain
+
+    @property
+    def secured_task_fraction(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.secure) / len(self.outcomes)
+
+
+class SecureTaskExecutor:
+    """Executes a task graph with enclave protection for secure tasks."""
+
+    def __init__(
+        self,
+        devices: Sequence[ExecutionDevice],
+        attestation: Optional[AttestationService] = None,
+        energy_policy: EnergyPolicy = EnergyPolicy.ENERGY,
+    ) -> None:
+        if not devices:
+            raise ValueError("secure execution needs at least one device")
+        if not any(device.kind in _TEE_OF_KIND for device in devices):
+            raise ValueError("no enclave-capable (CPU) device available for secure tasks")
+        self.devices = list(devices)
+        self.attestation = attestation if attestation is not None else AttestationService()
+        self.energy_policy = energy_policy
+        self._enclaves: Dict[str, Enclave] = {}
+
+    # ------------------------------------------------------------------ #
+    # Enclave management
+    # ------------------------------------------------------------------ #
+    def _enclave_for(self, device: ExecutionDevice, report: SecureExecutionReport) -> Enclave:
+        """Get (creating and attesting on first use) the device's enclave."""
+        if device.name in self._enclaves:
+            return self._enclaves[device.name]
+        tee_kind = _TEE_OF_KIND[device.kind]
+        enclave = Enclave(code_identity=f"legato-runtime@{device.name}", profile=PROFILES[tee_kind])
+        self.attestation.trust_enclave(enclave)
+        self.attestation.attest(enclave)
+        report.attestations += 1
+        self._enclaves[device.name] = enclave
+        return enclave
+
+    def _pick_secure_device(self, task: Task) -> ExecutionDevice:
+        capable = [device for device in self.devices if device.kind in _TEE_OF_KIND]
+        eligible = [device for device in capable if device.supports(task)]
+        if not eligible:
+            raise ValueError(
+                f"secure task {task.name!r} cannot run: no enclave-capable device supports it"
+            )
+        return pick_device(task, eligible, policy=self.energy_policy)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def execute(self, graph: TaskGraph) -> SecureExecutionReport:
+        report = SecureExecutionReport()
+        for task in graph.topological_order():
+            secure = task.requirements.secure
+            if secure:
+                device = self._pick_secure_device(task)
+            else:
+                device = pick_device(task, self.devices, policy=self.energy_policy)
+            plain_time = device.estimate_time_s(task)
+            plain_energy = device.estimate_energy_j(task)
+            overhead_time = 0.0
+            overhead_energy = 0.0
+            enclave_kind: Optional[str] = None
+            if secure:
+                enclave = self._enclave_for(device, report)
+                working_set_mib = task.requirements.memory_gib * 1024.0
+                overhead_time = enclave.execution_overhead_s(plain_time, working_set_mib)
+                overhead_energy = enclave.energy_overhead_j(plain_energy)
+                enclave_kind = enclave.profile.kind.value
+            device.execute(task)
+            report.outcomes.append(
+                SecureTaskOutcome(
+                    task_name=task.name,
+                    secure=secure,
+                    device=device.name,
+                    enclave_kind=enclave_kind,
+                    plain_time_s=plain_time,
+                    overhead_time_s=overhead_time,
+                    plain_energy_j=plain_energy,
+                    overhead_energy_j=overhead_energy,
+                )
+            )
+        return report

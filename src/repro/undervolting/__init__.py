@@ -1,0 +1,59 @@
+"""Aggressive FPGA BRAM undervolting (paper Section III, Fig. 5).
+
+Supply-voltage underscaling below the nominal level is one of the most
+effective power knobs because dynamic power is quadratic in voltage, and
+vendors add a large guardband below nominal.  The paper characterises four
+Xilinx platforms (VC707, two KC705 samples, ZC702) and finds three voltage
+regions when lowering ``VCCBRAM`` below the 1.0 V nominal:
+
+* the **guardband region** down to ``Vmin`` -- no faults, free power saving;
+* the **critical region** down to ``Vcrash`` -- the device still works but
+  BRAM content suffers bit-flips whose rate grows exponentially, reaching
+  652 / 254 / 60 / 153 faults/Mbit at ``Vcrash`` on VC707, KC705-A, KC705-B
+  and ZC702 respectively;
+* the **crash region** below ``Vcrash`` -- the device stops responding.
+
+This subpackage provides the per-platform calibration, the voltage-region /
+fault-rate / power-saving models, fault injection into the
+:class:`~repro.hardware.fpga.BramArray`, the characterisation experiment
+that regenerates Fig. 5, and the ML-resilience study of Section III.C.
+"""
+
+from repro.undervolting.platforms import (
+    PLATFORMS,
+    PlatformCalibration,
+    get_platform,
+    make_platform_device,
+)
+from repro.undervolting.voltage import (
+    VoltageRegion,
+    VoltageRegionModel,
+    classify_voltage,
+)
+from repro.undervolting.faults import FaultRateModel, UndervoltFaultInjector
+from repro.undervolting.experiment import (
+    UndervoltingExperiment,
+    UndervoltSweepPoint,
+    sweep_platform,
+)
+from repro.undervolting.mlresilience import (
+    UndervoltedInferenceStudy,
+    VoltageAccuracyPoint,
+)
+
+__all__ = [
+    "PLATFORMS",
+    "PlatformCalibration",
+    "get_platform",
+    "make_platform_device",
+    "VoltageRegion",
+    "VoltageRegionModel",
+    "classify_voltage",
+    "FaultRateModel",
+    "UndervoltFaultInjector",
+    "UndervoltingExperiment",
+    "UndervoltSweepPoint",
+    "sweep_platform",
+    "UndervoltedInferenceStudy",
+    "VoltageAccuracyPoint",
+]

@@ -1,0 +1,177 @@
+"""The undervolting characterisation experiment that regenerates Fig. 5.
+
+The experimental methodology of Section III.A: write a known pattern into
+all BRAMs, lower ``VCCBRAM`` in small steps from the nominal 1.0 V, and at
+each step read the memory back, count bit-flips, and record board power.
+The outputs per voltage step are
+
+* the operating region (guardband / critical / crash),
+* the fault density in faults/Mbit,
+* the BRAM power saving relative to the nominal voltage,
+
+which together are exactly the two curves of Fig. 5 (power/reliability
+trade-off) plus the per-platform voltage-margin summary quoted in the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.fpga import FpgaDevice
+from repro.undervolting.faults import FaultRateModel, UndervoltFaultInjector
+from repro.undervolting.platforms import PlatformCalibration, get_platform, make_platform_device
+from repro.undervolting.voltage import VoltageRegion, VoltageRegionModel
+
+
+@dataclass(frozen=True)
+class UndervoltSweepPoint:
+    """One voltage step of the characterisation sweep."""
+
+    voltage_v: float
+    region: VoltageRegion
+    faults_per_mbit: float
+    observed_faults: int
+    bram_power_w: float
+    power_saving_fraction: float
+
+    @property
+    def is_operational(self) -> bool:
+        return self.region is not VoltageRegion.CRASH
+
+
+@dataclass
+class UndervoltSweepResult:
+    """Full sweep result for one platform, with the summary corners."""
+
+    platform: PlatformCalibration
+    points: List[UndervoltSweepPoint] = field(default_factory=list)
+
+    @property
+    def vmin(self) -> float:
+        """First voltage at which faults were observed (end of guardband)."""
+        for point in self.points:
+            if point.region is VoltageRegion.CRITICAL and point.faults_per_mbit > 0:
+                return point.voltage_v
+        return self.platform.vmin
+
+    @property
+    def vcrash(self) -> float:
+        """Last voltage at which the device still responded."""
+        operational = [p.voltage_v for p in self.points if p.is_operational]
+        return min(operational) if operational else self.platform.vcrash
+
+    @property
+    def max_faults_per_mbit(self) -> float:
+        return max((p.faults_per_mbit for p in self.points), default=0.0)
+
+    @property
+    def max_power_saving_fraction(self) -> float:
+        return max(
+            (p.power_saving_fraction for p in self.points if p.is_operational), default=0.0
+        )
+
+    def guardband_points(self) -> List[UndervoltSweepPoint]:
+        return [p for p in self.points if p.region is VoltageRegion.GUARDBAND]
+
+    def critical_points(self) -> List[UndervoltSweepPoint]:
+        return [p for p in self.points if p.region is VoltageRegion.CRITICAL]
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Rows suitable for tabular printing in the benchmark harness."""
+        return [
+            {
+                "voltage_v": p.voltage_v,
+                "region": p.region.value,
+                "faults_per_mbit": p.faults_per_mbit,
+                "power_saving_pct": 100.0 * p.power_saving_fraction,
+            }
+            for p in self.points
+        ]
+
+
+class UndervoltingExperiment:
+    """Drives the Section III.A methodology on one calibrated platform."""
+
+    def __init__(
+        self,
+        platform: str | PlatformCalibration,
+        step_v: float = 0.01,
+        seed: int = 1912,
+        deterministic: bool = True,
+        test_pattern: int = 0x55,
+    ) -> None:
+        self.calibration = (
+            platform if isinstance(platform, PlatformCalibration) else get_platform(platform)
+        )
+        self.step_v = step_v
+        self.test_pattern = test_pattern
+        self._rng = np.random.default_rng(seed)
+        self.device: FpgaDevice = make_platform_device(self.calibration.name, rng=self._rng)
+        self.region_model = VoltageRegionModel(self.calibration)
+        self.rate_model = FaultRateModel(self.calibration)
+        self.injector = UndervoltFaultInjector(
+            self.rate_model, rng=self._rng, deterministic=deterministic
+        )
+
+    def run(self, floor_v: float = 0.50) -> UndervoltSweepResult:
+        """Run the downward voltage sweep and return the per-step record."""
+        result = UndervoltSweepResult(platform=self.calibration)
+        nominal_bram_power = self.calibration.bram_dynamic_power_w
+        for voltage in self.region_model.sweep_points(step_v=self.step_v, floor_v=floor_v):
+            region = self.region_model.region(voltage)
+            if region is VoltageRegion.CRASH:
+                self.device.crash()
+                result.points.append(
+                    UndervoltSweepPoint(
+                        voltage_v=voltage,
+                        region=region,
+                        faults_per_mbit=float("nan"),
+                        observed_faults=-1,
+                        bram_power_w=0.0,
+                        power_saving_fraction=1.0,
+                    )
+                )
+                continue
+            # Re-arm the device and memory pattern for this trial.
+            self.device.reset()
+            self.device.bram.write_pattern(self.test_pattern)
+            observed = self.injector.inject(self.device, voltage)
+            mismatches = self.device.bram.count_mismatches(self.test_pattern)
+            faults_per_mbit = mismatches / self.device.bram.total_mbits
+            bram_power = self.device.bram_power_w()
+            saving = 1.0 - bram_power / nominal_bram_power if nominal_bram_power else 0.0
+            result.points.append(
+                UndervoltSweepPoint(
+                    voltage_v=voltage,
+                    region=region,
+                    faults_per_mbit=faults_per_mbit,
+                    observed_faults=observed,
+                    bram_power_w=bram_power,
+                    power_saving_fraction=saving,
+                )
+            )
+        return result
+
+
+def sweep_platform(
+    name: str, step_v: float = 0.01, seed: int = 1912, deterministic: bool = True
+) -> UndervoltSweepResult:
+    """Convenience wrapper: build and run the experiment for one platform."""
+    experiment = UndervoltingExperiment(
+        name, step_v=step_v, seed=seed, deterministic=deterministic
+    )
+    return experiment.run()
+
+
+def sweep_all_platforms(
+    step_v: float = 0.01, seed: int = 1912
+) -> Dict[str, UndervoltSweepResult]:
+    """Run the characterisation on every calibrated platform (Fig. 5 + text)."""
+    from repro.undervolting.platforms import PLATFORMS
+
+    return {
+        name: sweep_platform(name, step_v=step_v, seed=seed) for name in sorted(PLATFORMS)
+    }

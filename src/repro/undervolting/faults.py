@@ -1,0 +1,139 @@
+"""Fault-rate model and fault injector for undervolted BRAMs (Section III.B).
+
+The paper reports that inside the critical region the BRAM fault rate
+*increases exponentially* as the voltage approaches ``Vcrash``, reaching a
+platform-specific corner value there (652 / 254 / 60 / 153 faults/Mbit).
+:class:`FaultRateModel` implements exactly that: zero faults in the
+guardband, an exponential ramp across the critical region anchored at a
+small onset rate at ``Vmin`` and the measured corner at ``Vcrash``.
+
+:class:`UndervoltFaultInjector` turns the rate into concrete bit-flips in a
+:class:`~repro.hardware.fpga.BramArray`, which is how the ML-resilience study
+(Section III.C) corrupts model weights.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.fpga import BramArray, FpgaDevice
+from repro.undervolting.platforms import PlatformCalibration
+from repro.undervolting.voltage import VoltageRegion, classify_voltage
+
+#: fault rate (faults/Mbit) right at the onset of the critical region.  The
+#: characterisation study observes isolated single-bit faults when crossing
+#: Vmin; one fault in a few Mbit is the right order of magnitude.
+ONSET_FAULTS_PER_MBIT = 0.5
+
+
+@dataclass(frozen=True)
+class FaultRateModel:
+    """Exponential fault-rate model for one calibrated platform.
+
+    The rate is ``onset * exp(k * (vmin - v))`` inside the critical region,
+    with ``k`` chosen so the rate equals the platform's measured corner at
+    ``Vcrash``.  Outside the critical region the rate is zero (guardband /
+    nominal) or undefined (crash -- the device no longer answers, so a rate
+    is meaningless; callers should check :meth:`operational` first).
+    """
+
+    calibration: PlatformCalibration
+    onset_faults_per_mbit: float = ONSET_FAULTS_PER_MBIT
+
+    def __post_init__(self) -> None:
+        if self.onset_faults_per_mbit <= 0:
+            raise ValueError("onset fault rate must be positive")
+        if self.onset_faults_per_mbit >= self.calibration.faults_per_mbit_at_vcrash:
+            raise ValueError(
+                "onset rate must be below the corner rate at Vcrash "
+                f"({self.calibration.faults_per_mbit_at_vcrash})"
+            )
+
+    @property
+    def growth_constant(self) -> float:
+        """The exponent ``k`` (per volt) of the exponential ramp."""
+        span = self.calibration.vmin - self.calibration.vcrash
+        return math.log(
+            self.calibration.faults_per_mbit_at_vcrash / self.onset_faults_per_mbit
+        ) / span
+
+    def operational(self, voltage: float) -> bool:
+        return classify_voltage(voltage, self.calibration) is not VoltageRegion.CRASH
+
+    def faults_per_mbit(self, voltage: float) -> float:
+        """Expected fault density at a rail voltage (0 in the safe regions)."""
+        region = classify_voltage(voltage, self.calibration)
+        if region in (VoltageRegion.NOMINAL, VoltageRegion.GUARDBAND):
+            return 0.0
+        if region is VoltageRegion.CRASH:
+            raise ValueError(
+                f"{self.calibration.name} does not respond below Vcrash="
+                f"{self.calibration.vcrash} V (requested {voltage} V)"
+            )
+        return self.onset_faults_per_mbit * math.exp(
+            self.growth_constant * (self.calibration.vmin - voltage)
+        )
+
+    def expected_faults(self, voltage: float, mbits: float) -> float:
+        """Expected absolute fault count for a memory of ``mbits`` megabits."""
+        if mbits < 0:
+            raise ValueError("memory size must be non-negative")
+        return self.faults_per_mbit(voltage) * mbits
+
+
+class UndervoltFaultInjector:
+    """Samples concrete fault counts and injects bit-flips into a BRAM array.
+
+    Fault counts are Poisson-distributed around the model's expectation,
+    which matches the per-trial variability the characterisation study
+    reports; a deterministic mode (``deterministic=True``) uses the rounded
+    expectation instead, which the benchmarks use so their output is stable.
+    """
+
+    def __init__(
+        self,
+        model: FaultRateModel,
+        rng: Optional[np.random.Generator] = None,
+        deterministic: bool = False,
+    ) -> None:
+        self.model = model
+        self.rng = rng if rng is not None else np.random.default_rng(1912)
+        self.deterministic = deterministic
+        self._history: List[Tuple[float, int]] = []
+
+    def sample_fault_count(self, voltage: float, mbits: float) -> int:
+        """Draw the number of faults for one trial at the given voltage."""
+        expectation = self.model.expected_faults(voltage, mbits)
+        if self.deterministic:
+            count = int(round(expectation))
+        else:
+            count = int(self.rng.poisson(expectation))
+        self._history.append((voltage, count))
+        return count
+
+    def inject(self, device: FpgaDevice, voltage: float) -> int:
+        """Set the rail, inject the sampled faults into the device's BRAMs.
+
+        Returns the injected fault count.  If the requested voltage is in the
+        crash region the device is marked unresponsive and ``-1`` is
+        returned (mirroring the DONE-pin behaviour: there is no fault count
+        to read back from a crashed board).
+        """
+        region = classify_voltage(voltage, self.model.calibration)
+        if region is VoltageRegion.CRASH:
+            device.set_vccbram(max(voltage, 0.5))
+            device.crash()
+            return -1
+        device.set_vccbram(voltage)
+        count = self.sample_fault_count(voltage, device.bram.total_mbits)
+        if count > 0:
+            device.bram.inject_bit_flips(count)
+        return count
+
+    @property
+    def history(self) -> List[Tuple[float, int]]:
+        return list(self._history)

@@ -1,0 +1,223 @@
+"""ML resilience to undervolting-induced BRAM faults (paper Section III.C).
+
+The paper's ongoing work exploits the inherent resilience of ML models to
+push undervolting *below* the guardband: bit-flips in on-chip weight
+memories barely affect classification accuracy until the fault rate becomes
+large, so most of the critical-region power saving is available to DNN
+accelerators essentially for free.
+
+The study here makes that concrete with a small quantised multi-layer
+perceptron whose weights live in the FPGA's BRAM model:
+
+1. train (closed-form ridge-regression readout; no SGD needed) a 2-layer
+   network on a synthetic classification task,
+2. quantise the weights to int8 and pack them into BRAM blocks,
+3. for each operating voltage, inject the fault model's bit-flips into the
+   packed weights, unpack, and measure test accuracy and BRAM power saving,
+4. optionally apply a simple fault-mitigation (weight clipping), which is
+   the kind of low-cost mitigation the cited SBAC-PAD'18 study evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.undervolting.faults import FaultRateModel
+from repro.undervolting.platforms import PlatformCalibration, get_platform
+from repro.undervolting.voltage import VoltageRegion, VoltageRegionModel
+
+
+@dataclass(frozen=True)
+class VoltageAccuracyPoint:
+    """Accuracy / power operating point of the undervolted accelerator."""
+
+    voltage_v: float
+    region: VoltageRegion
+    faults_per_mbit: float
+    injected_bit_flips: int
+    accuracy: float
+    power_saving_fraction: float
+    mitigated: bool
+
+
+def _make_synthetic_classification(
+    n_samples: int, n_features: int, n_classes: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gaussian-blob classification data with class-dependent means."""
+    centers = rng.normal(scale=3.0, size=(n_classes, n_features))
+    labels = rng.integers(0, n_classes, size=n_samples)
+    features = centers[labels] + rng.normal(size=(n_samples, n_features))
+    return features.astype(np.float64), labels.astype(np.int64)
+
+
+class _QuantisedMlp:
+    """A tiny 2-layer MLP with int8-quantised weights stored as raw bytes."""
+
+    def __init__(
+        self,
+        n_features: int,
+        n_hidden: int,
+        n_classes: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.rng = rng
+        self.n_features = n_features
+        self.n_hidden = n_hidden
+        self.n_classes = n_classes
+        # Random projection first layer (echo-state style), ridge-trained readout.
+        self.w1 = rng.normal(scale=1.0 / np.sqrt(n_features), size=(n_features, n_hidden))
+        self.w2 = np.zeros((n_hidden, n_classes))
+        self._scale1 = 1.0
+        self._scale2 = 1.0
+
+    def _hidden(self, features: np.ndarray, w1: Optional[np.ndarray] = None) -> np.ndarray:
+        weights = self.w1 if w1 is None else w1
+        return np.tanh(features @ weights)
+
+    def train(self, features: np.ndarray, labels: np.ndarray, ridge: float = 1e-2) -> None:
+        hidden = self._hidden(features)
+        targets = np.eye(self.n_classes)[labels]
+        gram = hidden.T @ hidden + ridge * np.eye(self.n_hidden)
+        self.w2 = np.linalg.solve(gram, hidden.T @ targets)
+
+    # -------------------------- quantisation -------------------------- #
+    def quantise(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return int8-quantised copies of both weight matrices."""
+        self._scale1 = float(np.max(np.abs(self.w1))) or 1.0
+        self._scale2 = float(np.max(np.abs(self.w2))) or 1.0
+        q1 = np.clip(np.round(self.w1 / self._scale1 * 127.0), -127, 127).astype(np.int8)
+        q2 = np.clip(np.round(self.w2 / self._scale2 * 127.0), -127, 127).astype(np.int8)
+        return q1, q2
+
+    def dequantise(self, q1: np.ndarray, q2: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        w1 = q1.astype(np.float64) / 127.0 * self._scale1
+        w2 = q2.astype(np.float64) / 127.0 * self._scale2
+        return w1, w2
+
+    def accuracy(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        w1: Optional[np.ndarray] = None,
+        w2: Optional[np.ndarray] = None,
+    ) -> float:
+        weights1 = self.w1 if w1 is None else w1
+        weights2 = self.w2 if w2 is None else w2
+        scores = np.tanh(features @ weights1) @ weights2
+        predictions = np.argmax(scores, axis=1)
+        return float(np.mean(predictions == labels))
+
+
+class UndervoltedInferenceStudy:
+    """Accuracy-vs-voltage study of a BRAM-resident quantised DNN."""
+
+    def __init__(
+        self,
+        platform: str | PlatformCalibration = "VC707",
+        n_samples: int = 2000,
+        n_features: int = 24,
+        n_hidden: int = 96,
+        n_classes: int = 6,
+        seed: int = 7,
+    ) -> None:
+        self.calibration = (
+            platform if isinstance(platform, PlatformCalibration) else get_platform(platform)
+        )
+        self.region_model = VoltageRegionModel(self.calibration)
+        self.rate_model = FaultRateModel(self.calibration)
+        self.rng = np.random.default_rng(seed)
+        features, labels = _make_synthetic_classification(
+            n_samples, n_features, n_classes, self.rng
+        )
+        split = int(0.7 * n_samples)
+        self.train_x, self.test_x = features[:split], features[split:]
+        self.train_y, self.test_y = labels[:split], labels[split:]
+        self.model = _QuantisedMlp(n_features, n_hidden, n_classes, self.rng)
+        self.model.train(self.train_x, self.train_y)
+        self.baseline_accuracy = self.model.accuracy(self.test_x, self.test_y)
+
+    # ------------------------------------------------------------------ #
+    # Fault injection into packed weights
+    # ------------------------------------------------------------------ #
+    def _weights_mbits(self, q1: np.ndarray, q2: np.ndarray) -> float:
+        return (q1.size + q2.size) * 8 / 1e6
+
+    def _flip_bits(self, packed: np.ndarray, num_flips: int) -> np.ndarray:
+        """Flip ``num_flips`` random bits in an int8 weight buffer."""
+        corrupted = packed.copy().view(np.uint8).reshape(-1)
+        if num_flips <= 0:
+            return corrupted.view(np.int8).reshape(packed.shape)
+        positions = self.rng.integers(0, corrupted.size, size=num_flips)
+        bits = self.rng.integers(0, 8, size=num_flips)
+        for position, bit in zip(positions, bits):
+            corrupted[position] ^= np.uint8(1 << bit)
+        return corrupted.view(np.int8).reshape(packed.shape)
+
+    def evaluate_voltage(self, voltage: float, mitigate: bool = False) -> VoltageAccuracyPoint:
+        """Accuracy and power saving at one BRAM operating voltage."""
+        region = self.region_model.region(voltage)
+        if region is VoltageRegion.CRASH:
+            return VoltageAccuracyPoint(
+                voltage_v=voltage,
+                region=region,
+                faults_per_mbit=float("nan"),
+                injected_bit_flips=-1,
+                accuracy=0.0,
+                power_saving_fraction=1.0,
+                mitigated=mitigate,
+            )
+        q1, q2 = self.model.quantise()
+        rate = self.rate_model.faults_per_mbit(voltage)
+        mbits = self._weights_mbits(q1, q2)
+        flips = int(round(rate * mbits))
+        # Split the flips between the two weight buffers by size.
+        flips1 = int(round(flips * q1.size / (q1.size + q2.size)))
+        flips2 = flips - flips1
+        corrupted1 = self._flip_bits(q1, flips1)
+        corrupted2 = self._flip_bits(q2, flips2)
+        if mitigate:
+            # Mitigation: clip dequantised weights to the trained dynamic
+            # range, which suppresses the high-magnitude outliers that
+            # sign/MSB flips create (the dominant accuracy killer).
+            corrupted1 = np.clip(corrupted1, -100, 100)
+            corrupted2 = np.clip(corrupted2, -100, 100)
+        from repro.hardware.fpga import POWER_SCALING_EXPONENT
+
+        w1, w2 = self.model.dequantise(corrupted1, corrupted2)
+        accuracy = self.model.accuracy(self.test_x, self.test_y, w1=w1, w2=w2)
+        saving = 1.0 - (voltage / self.calibration.vnom) ** POWER_SCALING_EXPONENT
+        return VoltageAccuracyPoint(
+            voltage_v=voltage,
+            region=region,
+            faults_per_mbit=rate,
+            injected_bit_flips=flips,
+            accuracy=accuracy,
+            power_saving_fraction=saving,
+            mitigated=mitigate,
+        )
+
+    def sweep(
+        self, step_v: float = 0.02, mitigate: bool = False, floor_v: float = 0.52
+    ) -> List[VoltageAccuracyPoint]:
+        """Sweep the operating voltage downwards and record accuracy/power."""
+        floor = max(floor_v, self.calibration.vcrash)
+        return [
+            self.evaluate_voltage(voltage, mitigate=mitigate)
+            for voltage in self.region_model.sweep_points(step_v=step_v, floor_v=floor)
+        ]
+
+    def recommended_operating_point(
+        self, max_accuracy_drop: float = 0.01, mitigate: bool = True
+    ) -> VoltageAccuracyPoint:
+        """Lowest-voltage point whose accuracy stays within the allowed drop."""
+        candidates = [
+            point
+            for point in self.sweep(step_v=0.01, mitigate=mitigate)
+            if point.accuracy >= self.baseline_accuracy - max_accuracy_drop
+        ]
+        if not candidates:
+            raise RuntimeError("no operating point satisfies the accuracy constraint")
+        return min(candidates, key=lambda point: point.voltage_v)

@@ -1,0 +1,184 @@
+"""Per-platform calibration for the undervolting study (paper Section III.A/B).
+
+The paper evaluates four boards, all 28 nm parts with a nominal
+``VCCBRAM`` of 1.0 V:
+
+=========  =======================  ==========================================
+Board      Device class             Role in the study
+=========  =======================  ==========================================
+VC707      Virtex-7 (performance)   headline Fig. 5 curve, 652 faults/Mbit
+KC705-A    Kintex-7 (power)         254 faults/Mbit at Vcrash
+KC705-B    Kintex-7 (power)         60 faults/Mbit at Vcrash (sample-to-sample
+                                    variation versus the identical KC705-A)
+ZC702      Zynq-7000 (CPU + logic)  153 faults/Mbit at Vcrash
+=========  =======================  ==========================================
+
+The paper gives the fault rates at ``Vcrash`` explicitly and states that the
+voltage margins differ slightly between boards (even between the two
+identical KC705 samples).  The exact ``Vmin`` / ``Vcrash`` values are taken
+from the companion MICRO'18 characterisation the section cites ([7]): the
+guardband ends around 0.59-0.61 V and the boards crash around 0.53-0.56 V.
+Those corners plus the fault-rate corner fully determine the exponential
+fault-rate model in :mod:`repro.undervolting.faults`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hardware.fpga import BramArray, FpgaDevice, FpgaFabricRegion
+
+
+@dataclass(frozen=True)
+class PlatformCalibration:
+    """Calibration constants for one evaluated FPGA board.
+
+    Attributes:
+        name: board name as used in the paper.
+        family: marketing family (Virtex-7 / Kintex-7 / Zynq-7000).
+        vnom: nominal BRAM rail voltage (1.0 V on all studied parts).
+        vmin: minimum safe voltage -- end of the guardband region.
+        vcrash: voltage at which the board stops responding.
+        faults_per_mbit_at_vcrash: measured fault rate just above the crash
+            point (the paper's corner value).
+        bram_blocks: number of 36 kbit BRAM blocks on the device.
+        bram_dynamic_power_w: BRAM subsystem power at the nominal rail.
+        static_power_w: non-BRAM board power used by the device model.
+        luts / flip_flops / dsp_slices: fabric resources for the HLS model.
+    """
+
+    name: str
+    family: str
+    vnom: float
+    vmin: float
+    vcrash: float
+    faults_per_mbit_at_vcrash: float
+    bram_blocks: int
+    bram_dynamic_power_w: float
+    static_power_w: float
+    luts: int
+    flip_flops: int
+    dsp_slices: int
+
+    def __post_init__(self) -> None:
+        if not (self.vcrash < self.vmin < self.vnom):
+            raise ValueError(
+                f"{self.name}: expected vcrash < vmin < vnom, got "
+                f"{self.vcrash} / {self.vmin} / {self.vnom}"
+            )
+        if self.faults_per_mbit_at_vcrash <= 0:
+            raise ValueError("fault rate at Vcrash must be positive")
+        if self.bram_blocks <= 0:
+            raise ValueError("platform must have BRAM blocks")
+
+    @property
+    def guardband_width_v(self) -> float:
+        """Width of the vendor guardband (Vnom - Vmin)."""
+        return self.vnom - self.vmin
+
+    @property
+    def critical_width_v(self) -> float:
+        """Width of the critical region (Vmin - Vcrash)."""
+        return self.vmin - self.vcrash
+
+    @property
+    def bram_mbits(self) -> float:
+        return self.bram_blocks * 36 / 1024.0
+
+
+#: Calibrated boards.  Fault-rate corners are the paper's §III.B numbers;
+#: voltage corners follow the cited MICRO'18 characterisation; BRAM counts
+#: are the Xilinx datasheet values (VC707/XC7VX485T: 1030 blocks,
+#: KC705/XC7K325T: 445, ZC702/XC7Z020: 140).
+PLATFORMS: Dict[str, PlatformCalibration] = {
+    "VC707": PlatformCalibration(
+        name="VC707",
+        family="Virtex-7",
+        vnom=1.0,
+        vmin=0.61,
+        vcrash=0.54,
+        faults_per_mbit_at_vcrash=652.0,
+        bram_blocks=1030,
+        bram_dynamic_power_w=2.4,
+        static_power_w=6.0,
+        luts=303_600,
+        flip_flops=607_200,
+        dsp_slices=2_800,
+    ),
+    "KC705-A": PlatformCalibration(
+        name="KC705-A",
+        family="Kintex-7",
+        vnom=1.0,
+        vmin=0.60,
+        vcrash=0.53,
+        faults_per_mbit_at_vcrash=254.0,
+        bram_blocks=445,
+        bram_dynamic_power_w=1.3,
+        static_power_w=4.0,
+        luts=203_800,
+        flip_flops=407_600,
+        dsp_slices=840,
+    ),
+    "KC705-B": PlatformCalibration(
+        name="KC705-B",
+        family="Kintex-7",
+        vnom=1.0,
+        vmin=0.59,
+        vcrash=0.52,
+        faults_per_mbit_at_vcrash=60.0,
+        bram_blocks=445,
+        bram_dynamic_power_w=1.3,
+        static_power_w=4.0,
+        luts=203_800,
+        flip_flops=407_600,
+        dsp_slices=840,
+    ),
+    "ZC702": PlatformCalibration(
+        name="ZC702",
+        family="Zynq-7000",
+        vnom=1.0,
+        vmin=0.58,
+        vcrash=0.51,
+        faults_per_mbit_at_vcrash=153.0,
+        bram_blocks=140,
+        bram_dynamic_power_w=0.6,
+        static_power_w=2.5,
+        luts=53_200,
+        flip_flops=106_400,
+        dsp_slices=220,
+    ),
+}
+
+
+def get_platform(name: str) -> PlatformCalibration:
+    """Look up a platform calibration by board name (case-insensitive)."""
+    key = name.upper()
+    for known, calibration in PLATFORMS.items():
+        if known.upper() == key:
+            return calibration
+    known_names = ", ".join(sorted(PLATFORMS))
+    raise KeyError(f"unknown platform {name!r}; known platforms: {known_names}")
+
+
+def make_platform_device(
+    name: str, rng: Optional[np.random.Generator] = None
+) -> FpgaDevice:
+    """Instantiate an :class:`FpgaDevice` matching a calibrated platform."""
+    calibration = get_platform(name)
+    bram = BramArray(num_blocks=calibration.bram_blocks, rng=rng)
+    fabric = FpgaFabricRegion(
+        luts=calibration.luts,
+        flip_flops=calibration.flip_flops,
+        dsp_slices=calibration.dsp_slices,
+        bram_blocks=calibration.bram_blocks,
+    )
+    return FpgaDevice(
+        name=calibration.name,
+        fabric=fabric,
+        bram=bram,
+        static_power_w=calibration.static_power_w,
+        bram_dynamic_power_w_nominal=calibration.bram_dynamic_power_w,
+    )

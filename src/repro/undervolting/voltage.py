@@ -1,0 +1,107 @@
+"""Voltage-region model for BRAM undervolting (paper Fig. 5, left axis).
+
+Lowering ``VCCBRAM`` below nominal traverses three regions:
+
+* **guardband**: between ``Vnom`` and ``Vmin`` -- the vendor margin for
+  worst-case process/environment conditions; data is retrieved safely.
+* **critical**: between ``Vmin`` and ``Vcrash`` -- the FPGA is still
+  accessible but some BRAM content experiences bit-flips.
+* **crash**: below ``Vcrash`` -- the DONE pin is unset and the device no
+  longer responds to any request.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.undervolting.platforms import PlatformCalibration
+
+
+class VoltageRegion(str, enum.Enum):
+    """The three operating regions identified in Section III.B."""
+
+    NOMINAL = "nominal"      # at or above the nominal rail voltage
+    GUARDBAND = "guardband"  # Vmin <= V < Vnom: safe, free power saving
+    CRITICAL = "critical"    # Vcrash <= V < Vmin: bit-flips appear
+    CRASH = "crash"          # V < Vcrash: device unresponsive
+
+
+def classify_voltage(voltage: float, calibration: PlatformCalibration) -> VoltageRegion:
+    """Classify a rail voltage into its operating region for one platform."""
+    if voltage <= 0:
+        raise ValueError("voltage must be positive")
+    if voltage >= calibration.vnom:
+        return VoltageRegion.NOMINAL
+    if voltage >= calibration.vmin:
+        return VoltageRegion.GUARDBAND
+    if voltage >= calibration.vcrash:
+        return VoltageRegion.CRITICAL
+    return VoltageRegion.CRASH
+
+
+@dataclass(frozen=True)
+class VoltageRegionModel:
+    """Region boundaries plus convenience queries for one platform."""
+
+    calibration: PlatformCalibration
+
+    def region(self, voltage: float) -> VoltageRegion:
+        return classify_voltage(voltage, self.calibration)
+
+    def is_safe(self, voltage: float) -> bool:
+        """Safe = no bit-flips: nominal or guardband region."""
+        return self.region(voltage) in (VoltageRegion.NOMINAL, VoltageRegion.GUARDBAND)
+
+    def is_operational(self, voltage: float) -> bool:
+        """Operational = the device still responds (anything above Vcrash)."""
+        return self.region(voltage) is not VoltageRegion.CRASH
+
+    @property
+    def vmin(self) -> float:
+        return self.calibration.vmin
+
+    @property
+    def vcrash(self) -> float:
+        return self.calibration.vcrash
+
+    @property
+    def vnom(self) -> float:
+        return self.calibration.vnom
+
+    def guardband_saving_fraction(self, exponent: float | None = None) -> float:
+        """Power saving available for free by eliminating the guardband.
+
+        Uses the same voltage-scaling exponent as the device power model
+        (:data:`repro.hardware.fpga.POWER_SCALING_EXPONENT`) unless an
+        explicit exponent is supplied.
+        """
+        from repro.hardware.fpga import POWER_SCALING_EXPONENT
+
+        scaling = POWER_SCALING_EXPONENT if exponent is None else exponent
+        return 1.0 - (self.vmin / self.vnom) ** scaling
+
+    def sweep_points(self, step_v: float = 0.01, floor_v: float = 0.50) -> List[float]:
+        """Voltage points from Vnom down to ``floor_v`` (inclusive-ish), descending.
+
+        The default 10 mV step matches the experimental methodology of the
+        cited characterisation study.
+        """
+        if step_v <= 0:
+            raise ValueError("step must be positive")
+        if floor_v <= 0 or floor_v >= self.vnom:
+            raise ValueError("floor must be positive and below Vnom")
+        points: List[float] = []
+        voltage = self.vnom
+        while voltage >= floor_v - 1e-12:
+            points.append(round(voltage, 6))
+            voltage -= step_v
+        return points
+
+    def region_boundaries(self) -> List[Tuple[VoltageRegion, float, float]]:
+        """(region, upper_v, lower_v) triples covering Vnom down to Vcrash."""
+        return [
+            (VoltageRegion.GUARDBAND, self.vnom, self.vmin),
+            (VoltageRegion.CRITICAL, self.vmin, self.vcrash),
+        ]

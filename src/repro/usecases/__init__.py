@@ -1,0 +1,54 @@
+"""LEGaTO use cases (paper Section II.F and VI).
+
+The project develops and optimises several real applications with the
+LEGaTO workflow: Smart Home, Smart City, Infection Research, Machine
+Learning, and a Secure IoT Gateway, with the **Smart Mirror** (Section VI)
+described in detail.  Each use case here is a runnable application built on
+the public API of the other subpackages, sized so the examples and
+benchmarks can execute it end to end:
+
+* :mod:`repro.usecases.smartmirror`  -- the detection + Kalman/Hungarian
+  tracking pipeline mapped onto the edge server (Figs. 8-9).
+* :mod:`repro.usecases.smarthome`    -- a sensor-fusion / automation task
+  graph for the Smart Home scenario.
+* :mod:`repro.usecases.ml_inference` -- a DNN-inference service used by the
+  goal benchmark and the undervolting ablation.
+* :mod:`repro.usecases.infection`    -- an epidemiological clustering
+  workload standing in for the Infection Research use case.
+* :mod:`repro.usecases.iot_gateway`  -- the Secure IoT Gateway built on the
+  enclave layer.
+"""
+
+from repro.usecases.smartmirror import (
+    Detection,
+    DetectionModel,
+    HungarianSolver,
+    KalmanTrack,
+    MultiObjectTracker,
+    PipelineConfiguration,
+    PipelineReport,
+    SceneSimulator,
+    SmartMirrorPipeline,
+)
+from repro.usecases.smarthome import SmartHomeWorkload
+from repro.usecases.ml_inference import InferenceService, InferenceServiceReport
+from repro.usecases.infection import InfectionClusteringStudy
+from repro.usecases.iot_gateway import SecureIotGateway, GatewayReport
+
+__all__ = [
+    "Detection",
+    "DetectionModel",
+    "HungarianSolver",
+    "KalmanTrack",
+    "MultiObjectTracker",
+    "PipelineConfiguration",
+    "PipelineReport",
+    "SceneSimulator",
+    "SmartMirrorPipeline",
+    "SmartHomeWorkload",
+    "InferenceService",
+    "InferenceServiceReport",
+    "InfectionClusteringStudy",
+    "SecureIotGateway",
+    "GatewayReport",
+]

@@ -1,0 +1,199 @@
+"""Infection Research use case: outbreak clustering of pathogen profiles.
+
+The Infection Research partner (HZI) analyses pathogen typing data to detect
+outbreak clusters.  The reproduction implements a representative analysis:
+pairwise-distance computation over genetic marker profiles followed by
+single-linkage clustering at an outbreak threshold, expressed as a task
+graph (distance blocks in parallel, then a merge task) so it exercises the
+runtime like the real pipeline would, while the clustering result itself is
+computed for real and validated in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.hardware.microserver import WorkloadKind
+from repro.runtime.ompss import ExecutionTrace, OmpSsRuntime, SchedulingPolicy
+from repro.runtime.task import Task, make_task
+
+
+@dataclass
+class ClusteringResult:
+    """Clusters of sample indices plus bookkeeping."""
+
+    labels: np.ndarray
+    num_clusters: int
+    outbreak_clusters: List[Set[int]]
+    threshold: float
+
+
+class InfectionClusteringStudy:
+    """Synthetic cgMLST-style profiles with planted outbreak clusters."""
+
+    def __init__(
+        self,
+        num_samples: int = 120,
+        num_markers: int = 50,
+        planted_outbreaks: int = 3,
+        outbreak_size: int = 8,
+        mutation_rate: float = 0.02,
+        seed: int = 11,
+    ) -> None:
+        if num_samples <= 0 or num_markers <= 0:
+            raise ValueError("sample and marker counts must be positive")
+        if planted_outbreaks < 0 or outbreak_size <= 1:
+            raise ValueError("outbreaks must have at least two members")
+        if planted_outbreaks * outbreak_size > num_samples:
+            raise ValueError("planted outbreaks exceed the sample count")
+        self.num_samples = num_samples
+        self.num_markers = num_markers
+        self.planted_outbreaks = planted_outbreaks
+        self.outbreak_size = outbreak_size
+        self.mutation_rate = mutation_rate
+        self.rng = np.random.default_rng(seed)
+        self.profiles, self.true_outbreaks = self._generate_profiles()
+
+    # ------------------------------------------------------------------ #
+    # Data generation
+    # ------------------------------------------------------------------ #
+    def _generate_profiles(self) -> Tuple[np.ndarray, List[Set[int]]]:
+        """Allele profiles: sporadic samples random, outbreaks near-identical."""
+        profiles = self.rng.integers(0, 40, size=(self.num_samples, self.num_markers))
+        outbreaks: List[Set[int]] = []
+        cursor = 0
+        for _ in range(self.planted_outbreaks):
+            members = set(range(cursor, cursor + self.outbreak_size))
+            seed_profile = self.rng.integers(0, 40, size=self.num_markers)
+            for member in members:
+                profile = seed_profile.copy()
+                mutations = self.rng.random(self.num_markers) < self.mutation_rate
+                profile[mutations] = self.rng.integers(0, 40, size=int(mutations.sum()))
+                profiles[member] = profile
+            outbreaks.append(members)
+            cursor += self.outbreak_size
+        return profiles, outbreaks
+
+    # ------------------------------------------------------------------ #
+    # Analysis (the real computation)
+    # ------------------------------------------------------------------ #
+    def distance_matrix(self) -> np.ndarray:
+        """Pairwise Hamming distances between allele profiles."""
+        profiles = self.profiles
+        return np.count_nonzero(profiles[:, None, :] != profiles[None, :, :], axis=2)
+
+    def cluster(self, threshold: Optional[float] = None) -> ClusteringResult:
+        """Single-linkage clustering at an allele-difference threshold."""
+        if threshold is None:
+            # Classic outbreak threshold: a small fraction of markers differing.
+            threshold = max(2.0, 0.1 * self.num_markers)
+        distances = self.distance_matrix()
+        labels = np.arange(self.num_samples)
+
+        def find(index: int) -> int:
+            while labels[index] != index:
+                labels[index] = labels[labels[index]]
+                index = labels[index]
+            return index
+
+        def union(a: int, b: int) -> None:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                labels[max(root_a, root_b)] = min(root_a, root_b)
+
+        for i in range(self.num_samples):
+            for j in range(i + 1, self.num_samples):
+                if distances[i, j] <= threshold:
+                    union(i, j)
+
+        roots = np.array([find(i) for i in range(self.num_samples)])
+        clusters: Dict[int, Set[int]] = {}
+        for index, root in enumerate(roots):
+            clusters.setdefault(int(root), set()).add(index)
+        outbreak_clusters = [members for members in clusters.values() if len(members) >= 2]
+        canonical = np.zeros(self.num_samples, dtype=int)
+        for new_label, root in enumerate(sorted(clusters)):
+            for member in clusters[root]:
+                canonical[member] = new_label
+        return ClusteringResult(
+            labels=canonical,
+            num_clusters=len(clusters),
+            outbreak_clusters=sorted(outbreak_clusters, key=len, reverse=True),
+            threshold=float(threshold),
+        )
+
+    def recovered_outbreak_fraction(self, result: Optional[ClusteringResult] = None) -> float:
+        """Fraction of planted outbreaks recovered as (subsets of) clusters."""
+        if not self.true_outbreaks:
+            return 1.0
+        result = result if result is not None else self.cluster()
+        recovered = 0
+        for outbreak in self.true_outbreaks:
+            for cluster in result.outbreak_clusters:
+                if outbreak <= cluster:
+                    recovered += 1
+                    break
+        return recovered / len(self.true_outbreaks)
+
+    # ------------------------------------------------------------------ #
+    # Task-graph expression for the runtime
+    # ------------------------------------------------------------------ #
+    def build_tasks(self, block_size: int = 40) -> List[Task]:
+        """Distance blocks in parallel, then clustering, then reporting."""
+        if block_size <= 0:
+            raise ValueError("block size must be positive")
+        blocks = [
+            (start, min(start + block_size, self.num_samples))
+            for start in range(0, self.num_samples, block_size)
+        ]
+        tasks: List[Task] = []
+        block_regions: List[str] = []
+        for index, (start, end) in enumerate(blocks):
+            region = f"distances/block{index}"
+            block_regions.append(region)
+            rows = end - start
+            gops = rows * self.num_samples * self.num_markers / 1e9 * 2.0
+            tasks.append(
+                make_task(
+                    name=f"distance-block-{index}",
+                    workload=WorkloadKind.DATA_PARALLEL,
+                    gops=max(gops, 0.01),
+                    memory_gib=0.2,
+                    inputs=["profiles"],
+                    outputs=[region],
+                    region_size_bytes=rows * self.num_samples * 4,
+                )
+            )
+        tasks.append(
+            make_task(
+                name="single-linkage-clustering",
+                workload=WorkloadKind.SCALAR,
+                gops=max(self.num_samples**2 / 1e9 * 5.0, 0.01),
+                memory_gib=0.2,
+                inputs=block_regions,
+                outputs=["clusters"],
+                reliability_critical=True,
+                region_size_bytes=self.num_samples * 8,
+            )
+        )
+        tasks.append(
+            make_task(
+                name="outbreak-report",
+                workload=WorkloadKind.SCALAR,
+                gops=0.01,
+                memory_gib=0.05,
+                inputs=["clusters"],
+                outputs=["report"],
+                region_size_bytes=16_384,
+            )
+        )
+        return tasks
+
+    def run_on_runtime(
+        self, policy: SchedulingPolicy = SchedulingPolicy.ENERGY
+    ) -> ExecutionTrace:
+        runtime = OmpSsRuntime(policy=policy)
+        return runtime.run(self.build_tasks())

@@ -1,0 +1,169 @@
+"""Machine Learning use case: a DNN-inference service on the LEGaTO stack.
+
+The ML use case (Section II.F) serves batches of DNN-inference requests.
+It is the workload the project goal benchmark uses (energy with and without
+the LEGaTO optimisations) and the one the undervolting ablation pairs with
+the FPGA accelerator, because the paper singles out ML's inherent fault
+resilience as the enabler for sub-guardband operation (Section III.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.microserver import DeviceKind, WorkloadKind
+from repro.runtime.devices import ExecutionDevice, build_devices
+from repro.runtime.energy import EnergyPolicy
+from repro.runtime.ompss import ExecutionTrace, OmpSsRuntime, SchedulingPolicy
+from repro.runtime.task import Task, make_task
+from repro.undervolting.mlresilience import UndervoltedInferenceStudy
+
+
+@dataclass(frozen=True)
+class InferenceRequestBatch:
+    """One batch of inference requests."""
+
+    batch_id: int
+    requests: int
+    gops_per_request: float = 3.0
+    memory_gib: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.requests <= 0 or self.gops_per_request <= 0:
+            raise ValueError("batch must contain positive work")
+
+    @property
+    def total_gops(self) -> float:
+        return self.requests * self.gops_per_request
+
+
+@dataclass
+class InferenceServiceReport:
+    """Outcome of serving a request stream."""
+
+    trace: ExecutionTrace
+    batches: int
+    requests: int
+
+    @property
+    def throughput_requests_per_s(self) -> float:
+        if self.trace.makespan_s <= 0:
+            return 0.0
+        return self.requests / self.trace.makespan_s
+
+    @property
+    def energy_per_request_j(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.trace.total_energy_j / self.requests
+
+    @property
+    def requests_per_joule(self) -> float:
+        energy = self.trace.total_energy_j
+        return self.requests / energy if energy > 0 else 0.0
+
+
+class InferenceService:
+    """Serves inference batches through the OmpSs-like runtime."""
+
+    def __init__(
+        self,
+        device_models: Sequence[str] = ("xeon-d-x86", "gtx1080-gpu", "kintex-fpga"),
+        policy: SchedulingPolicy = SchedulingPolicy.ENERGY,
+        preprocessing: bool = True,
+    ) -> None:
+        self.device_models = tuple(device_models)
+        self.policy = policy
+        self.preprocessing = preprocessing
+
+    # ------------------------------------------------------------------ #
+    # Workload construction
+    # ------------------------------------------------------------------ #
+    def make_batches(
+        self, num_batches: int, requests_per_batch: int = 64, seed: int = 5
+    ) -> List[InferenceRequestBatch]:
+        if num_batches <= 0 or requests_per_batch <= 0:
+            raise ValueError("batch counts must be positive")
+        rng = np.random.default_rng(seed)
+        return [
+            InferenceRequestBatch(
+                batch_id=i,
+                requests=int(rng.integers(requests_per_batch // 2, requests_per_batch + 1)),
+            )
+            for i in range(num_batches)
+        ]
+
+    def build_tasks(self, batches: Sequence[InferenceRequestBatch]) -> List[Task]:
+        tasks: List[Task] = []
+        for batch in batches:
+            raw = f"batch{batch.batch_id}/raw"
+            prepared = f"batch{batch.batch_id}/prepared"
+            result = f"batch{batch.batch_id}/result"
+            if self.preprocessing:
+                tasks.append(
+                    make_task(
+                        name=f"preprocess-{batch.batch_id}",
+                        workload=WorkloadKind.SCALAR,
+                        gops=0.2 * batch.requests,
+                        memory_gib=batch.memory_gib,
+                        inputs=[raw],
+                        outputs=[prepared],
+                        region_size_bytes=batch.requests * 150_000,
+                    )
+                )
+                inference_input = prepared
+            else:
+                inference_input = raw
+            tasks.append(
+                make_task(
+                    name=f"infer-{batch.batch_id}",
+                    workload=WorkloadKind.DNN_INFERENCE,
+                    gops=batch.total_gops,
+                    memory_gib=batch.memory_gib,
+                    inputs=[inference_input],
+                    outputs=[result],
+                    region_size_bytes=batch.requests * 4_096,
+                )
+            )
+            tasks.append(
+                make_task(
+                    name=f"postprocess-{batch.batch_id}",
+                    workload=WorkloadKind.SCALAR,
+                    gops=0.05 * batch.requests,
+                    memory_gib=0.1,
+                    inputs=[result],
+                    outputs=[f"batch{batch.batch_id}/response"],
+                    region_size_bytes=batch.requests * 512,
+                )
+            )
+        return tasks
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def serve(self, num_batches: int = 8, requests_per_batch: int = 64) -> InferenceServiceReport:
+        batches = self.make_batches(num_batches, requests_per_batch)
+        runtime = OmpSsRuntime(devices=build_devices(self.device_models), policy=self.policy)
+        trace = runtime.run(self.build_tasks(batches))
+        return InferenceServiceReport(
+            trace=trace,
+            batches=len(batches),
+            requests=sum(batch.requests for batch in batches),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Undervolted-accelerator coupling (Section III.C)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def undervolted_accuracy_energy(
+        platform: str = "VC707", mitigate: bool = True
+    ) -> List[Tuple[float, float, float]]:
+        """(voltage, accuracy, power-saving) points for the FPGA accelerator."""
+        study = UndervoltedInferenceStudy(platform=platform)
+        return [
+            (point.voltage_v, point.accuracy, point.power_saving_fraction)
+            for point in study.sweep(mitigate=mitigate)
+        ]

@@ -1,0 +1,133 @@
+"""Smart Home use case: a sensor-fusion and automation task graph.
+
+The Smart Home scenario (Section II.F) continuously fuses readings from
+many in-home sensors, derives occupancy and comfort state, and drives
+actuators (heating, lighting) plus anomaly alarms -- a periodic, soft
+real-time workload with a mix of tiny scalar tasks and a few heavier
+inference tasks.  The class below builds the per-period task graph so the
+runtime, the scheduler and the ecosystem facade can execute it, and exposes
+knobs (number of rooms / sensors, inference depth) used by tests and
+examples to scale the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.microserver import DeviceKind, WorkloadKind
+from repro.runtime.graph import TaskGraph
+from repro.runtime.ompss import ExecutionTrace, OmpSsRuntime, SchedulingPolicy
+from repro.runtime.task import Task, make_task
+
+
+@dataclass(frozen=True)
+class SmartHomeWorkload:
+    """Parameterised Smart Home control-loop workload."""
+
+    rooms: int = 6
+    sensors_per_room: int = 4
+    periods: int = 1
+    anomaly_detection: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rooms <= 0 or self.sensors_per_room <= 0 or self.periods <= 0:
+            raise ValueError("workload dimensions must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Task-graph construction
+    # ------------------------------------------------------------------ #
+    def build_tasks(self) -> List[Task]:
+        """The task list for all control periods, in submission order."""
+        tasks: List[Task] = []
+        for period in range(self.periods):
+            prefix = f"p{period}"
+            fused_regions: List[str] = []
+            for room in range(self.rooms):
+                sensor_regions = []
+                for sensor in range(self.sensors_per_room):
+                    region = f"{prefix}/room{room}/sensor{sensor}"
+                    sensor_regions.append(region)
+                    tasks.append(
+                        make_task(
+                            name=f"{prefix}-read-r{room}-s{sensor}",
+                            workload=WorkloadKind.SCALAR,
+                            gops=0.05,
+                            memory_gib=0.01,
+                            outputs=[region],
+                            region_size_bytes=4_096,
+                        )
+                    )
+                fused = f"{prefix}/room{room}/state"
+                fused_regions.append(fused)
+                tasks.append(
+                    make_task(
+                        name=f"{prefix}-fuse-r{room}",
+                        workload=WorkloadKind.SCALAR,
+                        gops=0.5,
+                        memory_gib=0.05,
+                        inputs=sensor_regions,
+                        outputs=[fused],
+                        region_size_bytes=16_384,
+                    )
+                )
+            occupancy = f"{prefix}/occupancy"
+            tasks.append(
+                make_task(
+                    name=f"{prefix}-occupancy-inference",
+                    workload=WorkloadKind.DNN_INFERENCE,
+                    gops=40.0,
+                    memory_gib=0.5,
+                    inputs=fused_regions,
+                    outputs=[occupancy],
+                    region_size_bytes=65_536,
+                )
+            )
+            if self.anomaly_detection:
+                tasks.append(
+                    make_task(
+                        name=f"{prefix}-anomaly-detection",
+                        workload=WorkloadKind.DATA_PARALLEL,
+                        gops=25.0,
+                        memory_gib=0.5,
+                        inputs=fused_regions,
+                        outputs=[f"{prefix}/anomalies"],
+                        reliability_critical=True,
+                        region_size_bytes=65_536,
+                    )
+                )
+            tasks.append(
+                make_task(
+                    name=f"{prefix}-actuate",
+                    workload=WorkloadKind.SCALAR,
+                    gops=0.2,
+                    memory_gib=0.01,
+                    inputs=[occupancy],
+                    outputs=[f"{prefix}/commands"],
+                    reliability_critical=True,
+                    region_size_bytes=4_096,
+                )
+            )
+        return tasks
+
+    def build_graph(self) -> TaskGraph:
+        graph = TaskGraph()
+        graph.add_tasks(self.build_tasks())
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Execution helpers
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        runtime: Optional[OmpSsRuntime] = None,
+        policy: SchedulingPolicy = SchedulingPolicy.ENERGY,
+    ) -> ExecutionTrace:
+        runtime = runtime if runtime is not None else OmpSsRuntime(policy=policy)
+        return runtime.run(self.build_tasks())
+
+    def expected_task_count(self) -> int:
+        per_period = self.rooms * self.sensors_per_room + self.rooms + 2
+        if self.anomaly_detection:
+            per_period += 1
+        return per_period * self.periods

@@ -1,0 +1,140 @@
+"""Detection stage: a calibrated stand-in for the YOLOv3 detectors.
+
+The Smart Mirror runs several neural-network detectors (object, gesture,
+face; speech runs separately) on every camera frame.  Running real YOLOv3 is
+out of scope, so :class:`DetectionModel` does two things:
+
+* **behaviour**: given the frame's ground truth it produces noisy
+  detections -- jittered boxes, missed detections, false positives -- with
+  rates typical of a well-trained detector, so the downstream tracker is
+  exercised realistically;
+* **cost**: it reports the compute cost (Gop/frame) of the detector suite,
+  calibrated so that the full-size suite on two GTX-1080-class GPUs yields
+  the paper's 21 FPS and the optimised suite on the low-power edge devices
+  lands near the 10 FPS target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: compute cost of one full-resolution YOLOv3-class inference (Gop).
+FULL_DETECTOR_GOPS = 190.0
+
+#: the detector suite: object, gesture and face recognition streams
+#: (speech recognition runs on the CPU and is part of the CPU stage cost).
+DETECTOR_STREAMS = ("object", "gesture", "face", "object_secondary")
+
+
+@dataclass(frozen=True)
+class GroundTruthObject:
+    """One true object present in a frame."""
+
+    object_id: int
+    category: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detection emitted by the detector suite."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+    category: str
+    confidence: float
+    true_object_id: Optional[int] = None  # None for false positives
+
+    @property
+    def center(self) -> np.ndarray:
+        return np.array([self.x, self.y])
+
+
+class DetectionModel:
+    """Noisy detection behaviour plus the calibrated compute-cost model."""
+
+    def __init__(
+        self,
+        recall: float = 0.92,
+        false_positives_per_frame: float = 0.3,
+        position_noise_px: float = 6.0,
+        optimisation_factor: float = 1.0,
+        seed: int = 17,
+    ) -> None:
+        if not (0.0 < recall <= 1.0):
+            raise ValueError("recall must be in (0, 1]")
+        if false_positives_per_frame < 0:
+            raise ValueError("false-positive rate must be non-negative")
+        if not (0.0 < optimisation_factor <= 1.0):
+            raise ValueError("optimisation factor must be in (0, 1]")
+        self.recall = recall
+        self.false_positives_per_frame = false_positives_per_frame
+        self.position_noise_px = position_noise_px
+        self.optimisation_factor = optimisation_factor
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+    @property
+    def gops_per_frame(self) -> float:
+        """Total detector compute per frame across all streams.
+
+        The optimisation factor models the "optimizations on the
+        implementation and algorithmic level" (smaller input resolutions,
+        pruned/quantised models) the paper plans for the edge target.
+        """
+        return FULL_DETECTOR_GOPS * len(DETECTOR_STREAMS) * self.optimisation_factor
+
+    @property
+    def streams(self) -> Tuple[str, ...]:
+        return DETECTOR_STREAMS
+
+    # ------------------------------------------------------------------ #
+    # Behaviour
+    # ------------------------------------------------------------------ #
+    def detect(self, truths: Sequence[GroundTruthObject]) -> List[Detection]:
+        """Produce noisy detections for one frame's ground truth."""
+        detections: List[Detection] = []
+        for truth in truths:
+            if self.rng.random() > self.recall:
+                continue  # missed detection
+            jitter = self.rng.normal(0.0, self.position_noise_px, size=2)
+            size_jitter = self.rng.normal(1.0, 0.05, size=2)
+            detections.append(
+                Detection(
+                    x=truth.x + float(jitter[0]),
+                    y=truth.y + float(jitter[1]),
+                    width=max(4.0, truth.width * float(size_jitter[0])),
+                    height=max(4.0, truth.height * float(size_jitter[1])),
+                    category=truth.category,
+                    confidence=float(self.rng.uniform(0.6, 0.99)),
+                    true_object_id=truth.object_id,
+                )
+            )
+        num_false = int(self.rng.poisson(self.false_positives_per_frame))
+        for _ in range(num_false):
+            detections.append(
+                Detection(
+                    x=float(self.rng.uniform(0, 1920)),
+                    y=float(self.rng.uniform(0, 1080)),
+                    width=float(self.rng.uniform(30, 150)),
+                    height=float(self.rng.uniform(30, 150)),
+                    category=str(self.rng.choice(["person", "hand", "object"])),
+                    confidence=float(self.rng.uniform(0.3, 0.6)),
+                    true_object_id=None,
+                )
+            )
+        return detections

@@ -1,0 +1,119 @@
+"""Hungarian (Kuhn-Munkres) assignment solver, implemented from scratch.
+
+The Smart Mirror uses the Hungarian algorithm to associate detections with
+existing tracks every frame.  The solver here implements the O(n^3)
+potential-based (Jonker-Volgenant style) formulation of the Hungarian
+algorithm for rectangular cost matrices; the property-based tests check it
+against brute force on small instances and against
+``scipy.optimize.linear_sum_assignment`` on larger random ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class HungarianSolver:
+    """Minimum-cost assignment on a rectangular cost matrix."""
+
+    def solve(self, cost: np.ndarray) -> List[Tuple[int, int]]:
+        """Return the optimal (row, column) assignment pairs.
+
+        Every row of an ``n x m`` matrix with ``n <= m`` is assigned to a
+        distinct column; when ``n > m`` the matrix is transposed internally
+        and the pairs are swapped back, so at most ``min(n, m)`` pairs are
+        returned in all cases.
+        """
+        matrix = np.asarray(cost, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("cost must be a 2-D matrix")
+        if matrix.size == 0:
+            return []
+        if not np.all(np.isfinite(matrix)):
+            raise ValueError("cost matrix must be finite")
+        transposed = False
+        if matrix.shape[0] > matrix.shape[1]:
+            matrix = matrix.T
+            transposed = True
+        rows, cols = matrix.shape
+
+        # Potential-based Hungarian algorithm (1-indexed internals; column 0
+        # is the virtual "unassigned" column holding the row being inserted).
+        INF = math.inf
+        u = [0.0] * (rows + 1)
+        v = [0.0] * (cols + 1)
+        match = [0] * (cols + 1)  # match[j] = row assigned to column j
+
+        for i in range(1, rows + 1):
+            match[0] = i
+            links = [0] * (cols + 1)
+            mins = [INF] * (cols + 1)
+            visited = [False] * (cols + 1)
+            current_j = 0
+            while True:
+                visited[current_j] = True
+                row = match[current_j]
+                delta = INF
+                next_j = 0
+                for j in range(1, cols + 1):
+                    if visited[j]:
+                        continue
+                    reduced = matrix[row - 1][j - 1] - u[row] - v[j]
+                    if reduced < mins[j]:
+                        mins[j] = reduced
+                        links[j] = current_j
+                    if mins[j] < delta:
+                        delta = mins[j]
+                        next_j = j
+                # Update potentials along the alternating tree.
+                for j in range(cols + 1):
+                    if visited[j]:
+                        u[match[j]] += delta
+                        v[j] -= delta
+                    else:
+                        mins[j] -= delta
+                current_j = next_j
+                if match[current_j] == 0:
+                    break
+            # Augment along the alternating path back to the virtual column.
+            while current_j != 0:
+                previous_j = links[current_j]
+                match[current_j] = match[previous_j]
+                current_j = previous_j
+
+        pairs: List[Tuple[int, int]] = []
+        for j in range(1, cols + 1):
+            if match[j] != 0:
+                row_index, col_index = match[j] - 1, j - 1
+                pairs.append((col_index, row_index) if transposed else (row_index, col_index))
+        pairs.sort()
+        return pairs
+
+    def solve_with_threshold(
+        self, cost: np.ndarray, max_cost: float
+    ) -> Tuple[List[Tuple[int, int]], List[int], List[int]]:
+        """Assignment where pairs above ``max_cost`` are rejected.
+
+        Returns (accepted pairs, unmatched rows, unmatched columns) -- the
+        form the tracker consumes: rejected and unmatched detections spawn
+        new tracks, unmatched tracks accumulate misses.
+        """
+        matrix = np.asarray(cost, dtype=float)
+        if matrix.size == 0:
+            rows = matrix.shape[0] if matrix.ndim == 2 else 0
+            cols = matrix.shape[1] if matrix.ndim == 2 else 0
+            return [], list(range(rows)), list(range(cols))
+        pairs = self.solve(matrix)
+        accepted = [(r, c) for r, c in pairs if matrix[r, c] <= max_cost]
+        matched_rows = {r for r, _ in accepted}
+        matched_cols = {c for _, c in accepted}
+        unmatched_rows = [r for r in range(matrix.shape[0]) if r not in matched_rows]
+        unmatched_cols = [c for c in range(matrix.shape[1]) if c not in matched_cols]
+        return accepted, unmatched_rows, unmatched_cols
+
+    def assignment_cost(self, cost: np.ndarray, pairs: Sequence[Tuple[int, int]]) -> float:
+        matrix = np.asarray(cost, dtype=float)
+        return float(sum(matrix[r, c] for r, c in pairs))

@@ -1,0 +1,123 @@
+"""Constant-velocity Kalman filter used by the Smart Mirror tracker.
+
+Each track keeps a 4-dimensional state ``[x, y, vx, vy]`` updated from
+2-dimensional position measurements (detection centres).  The implementation
+is the standard predict/update cycle with explicit matrices so the tests can
+verify textbook properties (covariance contraction on update, growth on
+predict, convergence of the gain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class KalmanTrack:
+    """One tracked object with a constant-velocity Kalman state."""
+
+    track_id: int
+    initial_position: Tuple[float, float]
+    dt: float = 1.0
+    process_noise: float = 1.0
+    measurement_noise: float = 8.0
+    initial_velocity: Tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError("time step must be positive")
+        if self.process_noise <= 0 or self.measurement_noise <= 0:
+            raise ValueError("noise parameters must be positive")
+        x0, y0 = self.initial_position
+        vx0, vy0 = self.initial_velocity
+        self.state = np.array([x0, y0, vx0, vy0], dtype=float)
+        # Large initial uncertainty on velocity, moderate on position.
+        self.covariance = np.diag([25.0, 25.0, 100.0, 100.0])
+        self.transition = np.array(
+            [
+                [1.0, 0.0, self.dt, 0.0],
+                [0.0, 1.0, 0.0, self.dt],
+                [0.0, 0.0, 1.0, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        self.observation = np.array(
+            [
+                [1.0, 0.0, 0.0, 0.0],
+                [0.0, 1.0, 0.0, 0.0],
+            ]
+        )
+        q = self.process_noise
+        dt = self.dt
+        # Piecewise-constant white acceleration model.
+        self.process_covariance = q * np.array(
+            [
+                [dt**4 / 4, 0.0, dt**3 / 2, 0.0],
+                [0.0, dt**4 / 4, 0.0, dt**3 / 2],
+                [dt**3 / 2, 0.0, dt**2, 0.0],
+                [0.0, dt**3 / 2, 0.0, dt**2],
+            ]
+        )
+        self.measurement_covariance = (self.measurement_noise**2) * np.eye(2)
+        self.age = 0
+        self.hits = 1
+        self.misses = 0
+        self.time_since_update = 0
+
+    # ------------------------------------------------------------------ #
+    # Filter cycle
+    # ------------------------------------------------------------------ #
+    def predict(self) -> np.ndarray:
+        """Advance the state one time step; returns the predicted position."""
+        self.state = self.transition @ self.state
+        self.covariance = (
+            self.transition @ self.covariance @ self.transition.T + self.process_covariance
+        )
+        self.age += 1
+        self.time_since_update += 1
+        return self.position
+
+    def update(self, measurement: np.ndarray) -> np.ndarray:
+        """Fuse a position measurement; returns the corrected position."""
+        measurement = np.asarray(measurement, dtype=float).reshape(2)
+        innovation = measurement - self.observation @ self.state
+        innovation_cov = (
+            self.observation @ self.covariance @ self.observation.T + self.measurement_covariance
+        )
+        gain = self.covariance @ self.observation.T @ np.linalg.inv(innovation_cov)
+        self.state = self.state + gain @ innovation
+        identity = np.eye(4)
+        self.covariance = (identity - gain @ self.observation) @ self.covariance
+        self.hits += 1
+        self.time_since_update = 0
+        return self.position
+
+    def mark_missed(self) -> None:
+        self.misses += 1
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def position(self) -> np.ndarray:
+        return self.state[:2].copy()
+
+    @property
+    def velocity(self) -> np.ndarray:
+        return self.state[2:].copy()
+
+    def gating_distance(self, measurement: np.ndarray) -> float:
+        """Squared Mahalanobis distance of a measurement from the prediction."""
+        measurement = np.asarray(measurement, dtype=float).reshape(2)
+        innovation = measurement - self.observation @ self.state
+        innovation_cov = (
+            self.observation @ self.covariance @ self.observation.T + self.measurement_covariance
+        )
+        return float(innovation.T @ np.linalg.inv(innovation_cov) @ innovation)
+
+    def position_uncertainty(self) -> float:
+        """Trace of the positional covariance block."""
+        return float(np.trace(self.covariance[:2, :2]))

@@ -1,0 +1,223 @@
+"""The Smart Mirror processing pipeline mapped onto hardware (Figs. 8-9).
+
+Per camera frame the pipeline runs three stages:
+
+* **capture / pre-processing, speech recognition and overlay rendering** on
+  the CPU microserver (which owns the cameras and the display),
+* **detection** (the neural-network suite) distributed across the
+  accelerator microservers proportionally to their DNN throughput,
+* **tracking** (Kalman + Hungarian) on the CPU microserver.
+
+The achievable frame rate is set by the slowest stage (the stages pipeline
+across consecutive frames), capped by the camera rate; power is the sum of
+each device's idle power plus its dynamic power scaled by how busy the
+stage keeps it.  With the calibrated detector costs this reproduces the
+Section VI corner points: ~21 FPS at ~400 W for the two-GTX1080 workstation
+and ~10 FPS under 50 W for the optimised low-power edge composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.microserver import (
+    MICROSERVER_CATALOG,
+    Microserver,
+    MicroserverSpec,
+    WorkloadKind,
+    make_microserver,
+)
+from repro.usecases.smartmirror.detector import DetectionModel
+from repro.usecases.smartmirror.scenes import SceneSimulator
+from repro.usecases.smartmirror.tracker import MultiObjectTracker, TrackingMetrics
+
+#: the RGBD cameras deliver at most 30 frames per second.
+CAMERA_FPS_CAP = 30.0
+
+#: CPU-stage work per frame (capture, speech recognition, overlay), in Gop.
+CPU_STAGE_GOPS = 2.0
+
+
+@dataclass(frozen=True)
+class PipelineConfiguration:
+    """One hardware composition running the Smart Mirror pipeline."""
+
+    name: str
+    cpu_model: str
+    accelerator_models: Tuple[str, ...]
+    optimisation_factor: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cpu_model not in MICROSERVER_CATALOG:
+            raise KeyError(f"unknown CPU microserver model {self.cpu_model!r}")
+        for model in self.accelerator_models:
+            if model not in MICROSERVER_CATALOG:
+                raise KeyError(f"unknown accelerator model {model!r}")
+        if not self.accelerator_models:
+            raise ValueError("the pipeline needs at least one accelerator")
+        if not (0.0 < self.optimisation_factor <= 1.0):
+            raise ValueError("optimisation factor must be in (0, 1]")
+
+    # -------------------------- presets -------------------------------- #
+    @staticmethod
+    def workstation_prototype() -> "PipelineConfiguration":
+        """The original prototype: workstation with two GTX-1080 GPUs."""
+        return PipelineConfiguration(
+            name="workstation-2xGTX1080",
+            cpu_model="xeon-d-x86",
+            accelerator_models=("gtx1080-gpu", "gtx1080-gpu"),
+            optimisation_factor=1.0,
+            description="high-end workstation prototype (paper: 21 FPS at 400 W)",
+        )
+
+    @staticmethod
+    def edge_cpu_2gpu() -> "PipelineConfiguration":
+        """Edge server: 1x CPU + 2x GPU SoC with optimised models."""
+        return PipelineConfiguration(
+            name="edge-cpu+2gpu-soc",
+            cpu_model="xeon-d-x86",
+            accelerator_models=("jetson-gpu-soc", "jetson-gpu-soc"),
+            optimisation_factor=0.25,
+            description="COM-HPC edge server, 1x CPU + 2x GPU SoC",
+        )
+
+    @staticmethod
+    def edge_low_power() -> "PipelineConfiguration":
+        """Edge server: ARM CPU + GPU SoC + FPGA SoC, the 50 W / 10 FPS target."""
+        return PipelineConfiguration(
+            name="edge-arm+gpu+fpga",
+            cpu_model="apalis-arm-soc",
+            accelerator_models=("jetson-gpu-soc", "zynq-fpga-soc"),
+            optimisation_factor=0.25,
+            description="optimised low-power edge target (paper goal: 10 FPS at 50 W)",
+        )
+
+
+@dataclass
+class PipelineReport:
+    """Measured behaviour of one pipeline configuration."""
+
+    configuration: PipelineConfiguration
+    fps: float
+    power_w: float
+    energy_per_frame_j: float
+    detection_time_s: float
+    cpu_stage_time_s: float
+    frames_processed: int
+    tracking: TrackingMetrics
+    device_utilisation: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def fps_per_watt(self) -> float:
+        return self.fps / self.power_w if self.power_w > 0 else 0.0
+
+
+class SmartMirrorPipeline:
+    """Runs the detection + tracking pipeline on one hardware composition."""
+
+    def __init__(
+        self,
+        configuration: PipelineConfiguration,
+        detector: Optional[DetectionModel] = None,
+        tracker: Optional[MultiObjectTracker] = None,
+        scene: Optional[SceneSimulator] = None,
+    ) -> None:
+        self.configuration = configuration
+        self.detector = detector if detector is not None else DetectionModel(
+            optimisation_factor=configuration.optimisation_factor
+        )
+        self.tracker = tracker if tracker is not None else MultiObjectTracker()
+        self.scene = scene if scene is not None else SceneSimulator()
+        self.cpu: Microserver = make_microserver(configuration.cpu_model)
+        self.accelerators: List[Microserver] = [
+            make_microserver(model) for model in configuration.accelerator_models
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Stage timing model
+    # ------------------------------------------------------------------ #
+    def detection_time_s(self) -> float:
+        """Per-frame detection latency with work split by DNN throughput."""
+        total_gops = self.detector.gops_per_frame
+        throughputs = [
+            accelerator.spec.throughput_gops[WorkloadKind.DNN_INFERENCE]
+            for accelerator in self.accelerators
+        ]
+        aggregate = sum(throughputs)
+        # Perfectly balanced split: every accelerator finishes simultaneously.
+        return total_gops / aggregate
+
+    def cpu_stage_time_s(self, num_tracks: int = 5) -> float:
+        """Per-frame CPU work: capture, speech, overlay plus tracking.
+
+        The CPU-side work shrinks with the same optimisation factor as the
+        detectors (lower camera resolution, lighter speech model) -- part of
+        the "optimizations on the implementation and algorithmic level" the
+        paper plans for the edge target.
+        """
+        gops = (
+            CPU_STAGE_GOPS * self.configuration.optimisation_factor
+            + self.tracker.gops_per_frame(num_tracks)
+        )
+        return self.cpu.spec.execution_time_s(WorkloadKind.SCALAR, gops)
+
+    def frame_period_s(self) -> float:
+        """The pipeline's steady-state frame period (bottleneck stage)."""
+        bottleneck = max(self.detection_time_s(), self.cpu_stage_time_s(), 1.0 / CAMERA_FPS_CAP)
+        return bottleneck
+
+    # ------------------------------------------------------------------ #
+    # Power model
+    # ------------------------------------------------------------------ #
+    def device_utilisation(self) -> Dict[str, float]:
+        """Busy fraction of every device at the steady-state frame rate."""
+        period = self.frame_period_s()
+        utilisation: Dict[str, float] = {
+            self.cpu.node_id: min(1.0, self.cpu_stage_time_s() / period)
+        }
+        detection = self.detection_time_s()
+        for accelerator in self.accelerators:
+            utilisation[accelerator.node_id] = min(1.0, detection / period)
+        return utilisation
+
+    def power_w(self) -> float:
+        utilisation = self.device_utilisation()
+        total = self.cpu.spec.active_power_w(utilisation[self.cpu.node_id])
+        for accelerator in self.accelerators:
+            total += accelerator.spec.active_power_w(utilisation[accelerator.node_id])
+        return total
+
+    # ------------------------------------------------------------------ #
+    # End-to-end run
+    # ------------------------------------------------------------------ #
+    def run(self, frames: int = 120) -> PipelineReport:
+        """Process ``frames`` simulated frames and report FPS / power / MOT."""
+        if frames <= 0:
+            raise ValueError("frame count must be positive")
+        for _ in range(frames):
+            truths = self.scene.step()
+            detections = self.detector.detect(truths)
+            self.tracker.step(detections, ground_truth=truths)
+        period = self.frame_period_s()
+        fps = 1.0 / period
+        power = self.power_w()
+        return PipelineReport(
+            configuration=self.configuration,
+            fps=fps,
+            power_w=power,
+            energy_per_frame_j=power * period,
+            detection_time_s=self.detection_time_s(),
+            cpu_stage_time_s=self.cpu_stage_time_s(),
+            frames_processed=frames,
+            tracking=self.tracker.metrics,
+            device_utilisation=self.device_utilisation(),
+        )
+
+
+def compare_configurations(
+    configurations: Sequence[PipelineConfiguration], frames: int = 120
+) -> List[PipelineReport]:
+    """Run the pipeline on several compositions (the Section VI comparison)."""
+    return [SmartMirrorPipeline(configuration).run(frames) for configuration in configurations]

@@ -1,0 +1,136 @@
+"""Synthetic scene generation for the Smart Mirror tracking pipeline.
+
+The real system observes a living room through two RGBD cameras.  Here a
+:class:`SceneSimulator` produces ground-truth object trajectories (people
+and hands moving through the field of view with roughly constant velocity
+plus process noise, entering and leaving over time), from which the
+detection model derives noisy detections and against which the tracker's
+output is scored.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.usecases.smartmirror.detector import GroundTruthObject
+
+#: field-of-view bounds in pixels (1080p camera frame).
+FRAME_WIDTH = 1920
+FRAME_HEIGHT = 1080
+
+
+@dataclass
+class _MovingObject:
+    object_id: int
+    category: str
+    position: np.ndarray  # (x, y)
+    velocity: np.ndarray  # (vx, vy) pixels/frame
+    size: Tuple[float, float]
+    frames_remaining: int
+
+
+class SceneSimulator:
+    """Generates per-frame ground truth for a configurable number of objects."""
+
+    CATEGORIES = ("person", "hand", "object")
+
+    def __init__(
+        self,
+        mean_objects: float = 3.0,
+        mean_lifetime_frames: int = 120,
+        process_noise_px: float = 1.5,
+        seed: int = 99,
+    ) -> None:
+        if mean_objects <= 0:
+            raise ValueError("mean object count must be positive")
+        if mean_lifetime_frames <= 1:
+            raise ValueError("object lifetime must exceed one frame")
+        self.mean_objects = mean_objects
+        self.mean_lifetime_frames = mean_lifetime_frames
+        self.process_noise_px = process_noise_px
+        self.rng = np.random.default_rng(seed)
+        self._ids = itertools.count(1)
+        self._objects: List[_MovingObject] = []
+
+    # ------------------------------------------------------------------ #
+    # Object lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn(self) -> _MovingObject:
+        category = str(self.rng.choice(self.CATEGORIES))
+        # Objects enter from a frame edge and drift across the scene.
+        edge = int(self.rng.integers(0, 4))
+        if edge == 0:  # left
+            position = np.array([0.0, self.rng.uniform(0, FRAME_HEIGHT)])
+            velocity = np.array([self.rng.uniform(2.0, 8.0), self.rng.uniform(-2.0, 2.0)])
+        elif edge == 1:  # right
+            position = np.array([float(FRAME_WIDTH), self.rng.uniform(0, FRAME_HEIGHT)])
+            velocity = np.array([-self.rng.uniform(2.0, 8.0), self.rng.uniform(-2.0, 2.0)])
+        elif edge == 2:  # top
+            position = np.array([self.rng.uniform(0, FRAME_WIDTH), 0.0])
+            velocity = np.array([self.rng.uniform(-2.0, 2.0), self.rng.uniform(2.0, 8.0)])
+        else:  # bottom
+            position = np.array([self.rng.uniform(0, FRAME_WIDTH), float(FRAME_HEIGHT)])
+            velocity = np.array([self.rng.uniform(-2.0, 2.0), -self.rng.uniform(2.0, 8.0)])
+        size = (
+            float(self.rng.uniform(60, 240)),
+            float(self.rng.uniform(120, 480)) if category == "person" else float(self.rng.uniform(40, 160)),
+        )
+        lifetime = max(10, int(self.rng.exponential(self.mean_lifetime_frames)))
+        return _MovingObject(
+            object_id=next(self._ids),
+            category=category,
+            position=position,
+            velocity=velocity,
+            size=size,
+            frames_remaining=lifetime,
+        )
+
+    def _maintain_population(self) -> None:
+        expected = self.mean_objects
+        while len(self._objects) < expected:
+            self._objects.append(self._spawn())
+        # Occasionally spawn an extra object so the population fluctuates.
+        if self.rng.random() < 0.05:
+            self._objects.append(self._spawn())
+
+    # ------------------------------------------------------------------ #
+    # Frame generation
+    # ------------------------------------------------------------------ #
+    def step(self) -> List[GroundTruthObject]:
+        """Advance one frame and return the visible ground-truth objects."""
+        self._maintain_population()
+        survivors: List[_MovingObject] = []
+        truths: List[GroundTruthObject] = []
+        for obj in self._objects:
+            obj.position = obj.position + obj.velocity + self.rng.normal(
+                0.0, self.process_noise_px, size=2
+            )
+            obj.frames_remaining -= 1
+            inside = (
+                -obj.size[0] <= obj.position[0] <= FRAME_WIDTH + obj.size[0]
+                and -obj.size[1] <= obj.position[1] <= FRAME_HEIGHT + obj.size[1]
+            )
+            if obj.frames_remaining > 0 and inside:
+                survivors.append(obj)
+                truths.append(
+                    GroundTruthObject(
+                        object_id=obj.object_id,
+                        category=obj.category,
+                        x=float(obj.position[0]),
+                        y=float(obj.position[1]),
+                        width=obj.size[0],
+                        height=obj.size[1],
+                    )
+                )
+        self._objects = survivors
+        return truths
+
+    def run(self, frames: int) -> List[List[GroundTruthObject]]:
+        """Ground truth for ``frames`` consecutive frames."""
+        if frames <= 0:
+            raise ValueError("frame count must be positive")
+        return [self.step() for _ in range(frames)]

@@ -1,0 +1,160 @@
+"""Tests for Heat2D, the Fig. 6 experiment driver, and the MTBF model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.fti import CheckpointStrategy
+from repro.checkpoint.heat2d import (
+    Heat2dConfig,
+    Heat2dSimulation,
+    run_fig6_experiment,
+    run_fig6_point,
+)
+from repro.checkpoint.mtbf import (
+    CheckpointEfficiencyModel,
+    optimal_interval_young,
+    sustainable_mtbf_ratio,
+)
+
+
+class TestHeat2dNumerics:
+    def test_stencil_diffuses_heat_inwards(self):
+        config = Heat2dConfig(ranks=2, rows_per_rank=16, cols=16, iterations=30)
+        simulation = Heat2dSimulation(config)
+        interior_before = simulation.grid(0)[4:-4, 4:-4].mean()
+        simulation.run()
+        interior_after = simulation.grid(0)[4:-4, 4:-4].mean()
+        assert interior_after > interior_before
+
+    def test_boundary_conditions_preserved(self):
+        config = Heat2dConfig(ranks=2, rows_per_rank=8, cols=12, iterations=10)
+        simulation = Heat2dSimulation(config)
+        simulation.run()
+        assert np.all(simulation.grid(0)[:, 0] == 100.0)
+
+    def test_residual_decreases_towards_steady_state(self):
+        config = Heat2dConfig(ranks=1, rows_per_rank=12, cols=12, iterations=5)
+        short = Heat2dSimulation(config).run()
+        config_long = Heat2dConfig(ranks=1, rows_per_rank=12, cols=12, iterations=200)
+        long = Heat2dSimulation(config_long).run()
+        assert long.final_residual < short.final_residual
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(ValueError):
+            Heat2dConfig(ranks=0)
+        with pytest.raises(ValueError):
+            Heat2dConfig(rows_per_rank=1)
+        with pytest.raises(ValueError):
+            Heat2dConfig(alpha=0.5)
+
+    def test_synthetic_mode_does_not_materialise_grid(self):
+        config = Heat2dConfig(ranks=1, iterations=2, synthetic_bytes_per_rank=1 << 30)
+        simulation = Heat2dSimulation(config)
+        with pytest.raises(RuntimeError):
+            simulation.grid(0)
+
+
+class TestHeat2dCheckpointing:
+    def test_checkpoints_taken_on_interval(self):
+        config = Heat2dConfig(ranks=2, rows_per_rank=8, cols=8, iterations=20, snapshot_interval_iters=5)
+        result = Heat2dSimulation(config).run()
+        # 4 checkpoint rounds x 2 ranks.
+        assert result.checkpoints_taken == 8
+        assert result.recoveries_performed == 0
+
+    def test_failure_injection_triggers_recovery(self):
+        config = Heat2dConfig(ranks=2, rows_per_rank=8, cols=8, iterations=20, snapshot_interval_iters=5)
+        result = Heat2dSimulation(config).run(inject_failure_at=12)
+        assert result.recoveries_performed == 2
+        assert result.max_recovery_time_s > 0
+
+    def test_elapsed_time_accumulates(self):
+        config = Heat2dConfig(ranks=2, rows_per_rank=8, cols=8, iterations=10)
+        result = Heat2dSimulation(config).run()
+        assert result.elapsed_s > 0
+
+
+class TestFig6Experiment:
+    def test_async_roughly_order_of_magnitude_cheaper(self):
+        initial = run_fig6_point(1, 16.0, CheckpointStrategy.INITIAL)
+        asynchronous = run_fig6_point(1, 16.0, CheckpointStrategy.ASYNC)
+        ratio = initial.checkpoint_time_s / asynchronous.checkpoint_time_s
+        assert 8.0 < ratio < 20.0  # paper: 12.05x
+
+    def test_recover_speedup_around_five_x(self):
+        initial = run_fig6_point(1, 16.0, CheckpointStrategy.INITIAL)
+        asynchronous = run_fig6_point(1, 16.0, CheckpointStrategy.ASYNC)
+        ratio = initial.recover_time_s / asynchronous.recover_time_s
+        assert 3.0 < ratio < 8.0  # paper: 5.13x
+
+    def test_weak_scaling_keeps_checkpoint_cost_flat(self):
+        """Fig. 6's key message: cost does not grow with the node count."""
+        small = run_fig6_point(1, 16.0, CheckpointStrategy.ASYNC)
+        large = run_fig6_point(8, 16.0, CheckpointStrategy.ASYNC)
+        assert large.checkpoint_time_s == pytest.approx(small.checkpoint_time_s, rel=0.05)
+
+    def test_doubling_problem_size_doubles_cost(self):
+        small = run_fig6_point(1, 16.0, CheckpointStrategy.INITIAL)
+        large = run_fig6_point(1, 32.0, CheckpointStrategy.INITIAL)
+        assert large.checkpoint_time_s == pytest.approx(2 * small.checkpoint_time_s, rel=0.1)
+
+    def test_total_checkpointed_data_matches_paper_totals(self):
+        point = run_fig6_point(16, 16.0, CheckpointStrategy.ASYNC)
+        # 16 nodes x 4 ranks x 16 GiB = 1 TiB.
+        assert point.total_checkpointed_tib == pytest.approx(1.0, rel=0.01)
+        point32 = run_fig6_point(16, 32.0, CheckpointStrategy.ASYNC)
+        assert point32.total_checkpointed_tib == pytest.approx(2.0, rel=0.01)
+
+    def test_full_experiment_covers_all_bars(self):
+        points = run_fig6_experiment(node_counts=(1, 4), gib_per_rank_options=(16.0,))
+        assert len(points) == 4  # 2 node counts x 2 strategies
+        strategies = {p.strategy for p in points}
+        assert strategies == {CheckpointStrategy.INITIAL, CheckpointStrategy.ASYNC}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            run_fig6_point(0, 16.0, CheckpointStrategy.ASYNC)
+        with pytest.raises(ValueError):
+            run_fig6_point(1, -1.0, CheckpointStrategy.ASYNC)
+
+
+class TestMtbfModel:
+    def test_young_interval_formula(self):
+        assert optimal_interval_young(10.0, 1000.0) == pytest.approx((2 * 10 * 1000) ** 0.5)
+        with pytest.raises(ValueError):
+            optimal_interval_young(0.0, 100.0)
+
+    def test_overhead_decreases_with_mtbf(self):
+        model = CheckpointEfficiencyModel(checkpoint_cost_s=10.0, recovery_cost_s=20.0)
+        assert model.overhead_fraction(1e5) < model.overhead_fraction(1e4)
+
+    def test_efficiency_complement(self):
+        model = CheckpointEfficiencyModel(checkpoint_cost_s=5.0, recovery_cost_s=5.0)
+        mtbf = 1e5
+        assert model.efficiency(mtbf) == pytest.approx(1.0 - model.overhead_fraction(mtbf))
+
+    def test_sustainable_mtbf_monotone_in_budget(self):
+        model = CheckpointEfficiencyModel(checkpoint_cost_s=10.0, recovery_cost_s=20.0)
+        strict = model.sustainable_mtbf_s(overhead_budget=0.02)
+        relaxed = model.sustainable_mtbf_s(overhead_budget=0.10)
+        assert strict > relaxed
+
+    def test_budget_validation(self):
+        model = CheckpointEfficiencyModel(checkpoint_cost_s=10.0, recovery_cost_s=0.0)
+        with pytest.raises(ValueError):
+            model.sustainable_mtbf_s(overhead_budget=0.0)
+        with pytest.raises(ValueError):
+            model.sustainable_mtbf_s(overhead_budget=1.5)
+
+    def test_mtbf_ratio_in_paper_ballpark(self):
+        """The paper estimates the async path sustains ~7x smaller MTBF."""
+        initial = run_fig6_point(1, 16.0, CheckpointStrategy.INITIAL)
+        asynchronous = run_fig6_point(1, 16.0, CheckpointStrategy.ASYNC)
+        ratio = sustainable_mtbf_ratio(
+            CheckpointEfficiencyModel(initial.checkpoint_time_s, initial.recover_time_s),
+            CheckpointEfficiencyModel(asynchronous.checkpoint_time_s, asynchronous.recover_time_s),
+            overhead_budget=0.05,
+        )
+        assert 4.0 < ratio < 20.0

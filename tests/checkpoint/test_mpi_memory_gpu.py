@@ -1,0 +1,193 @@
+"""Tests for the simulated MPI world, protected buffers and GPU model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.gpu import CudaStream, SimulatedGpu, TransferModel
+from repro.checkpoint.memory import FtiDataType, MemoryKind, ProtectedBuffer
+from repro.checkpoint.mpi import MpiWorld
+
+
+class TestMpiWorld:
+    def test_topology_four_ranks_per_node(self):
+        world = MpiWorld(num_ranks=16, ranks_per_node=4)
+        assert world.num_nodes == 4
+        assert world.node_of(0) == 0
+        assert world.node_of(7) == 1
+        assert world.same_node(4, 7)
+        assert not world.same_node(3, 4)
+
+    def test_partner_rank_on_next_node(self):
+        world = MpiWorld(num_ranks=8, ranks_per_node=4)
+        assert world.node_of(world.partner_rank(0)) == 1
+        assert world.node_of(world.partner_rank(5)) == 0
+
+    def test_clock_advancement_categories(self):
+        world = MpiWorld(num_ranks=2)
+        clock = world.clock(0)
+        clock.advance(1.0, "compute")
+        clock.advance(0.5, "io")
+        clock.advance(0.25, "comm")
+        assert clock.time_s == pytest.approx(1.75)
+        assert clock.compute_s == pytest.approx(1.0)
+        assert clock.io_s == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            clock.advance(1.0, "weird")
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_barrier_synchronises_clocks(self):
+        world = MpiWorld(num_ranks=4)
+        world.clock(2).advance(5.0)
+        latest = world.comm_world.barrier()
+        assert latest == pytest.approx(5.0)
+        assert all(world.clock(r).time_s == pytest.approx(5.0) for r in range(4))
+
+    def test_allreduce_ops(self):
+        world = MpiWorld(num_ranks=3)
+        values = {0: 1.0, 1: 2.0, 2: 3.0}
+        assert world.comm_world.allreduce(values, "sum") == pytest.approx(6.0)
+        assert world.comm_world.allreduce(values, "max") == pytest.approx(3.0)
+        assert world.comm_world.allreduce(values, "min") == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            world.comm_world.allreduce(values, "prod")
+
+    def test_allreduce_missing_rank_raises(self):
+        world = MpiWorld(num_ranks=2)
+        with pytest.raises(KeyError):
+            world.comm_world.allreduce({0: 1.0})
+
+    def test_exchange_charges_both_ranks(self):
+        world = MpiWorld(num_ranks=2)
+        duration = world.comm_world.exchange(0, 1, 1e6)
+        assert duration > 0
+        assert world.clock(0).comm_s == pytest.approx(duration)
+        assert world.clock(1).comm_s == pytest.approx(duration)
+
+    def test_split_communicator_translation(self):
+        world = MpiWorld(num_ranks=8)
+        comm = world.split([2, 4, 6], name="sub")
+        assert comm.size == 3
+        assert comm.translate(4) == 1
+        with pytest.raises(KeyError):
+            comm.translate(3)
+
+    def test_invalid_world_sizes(self):
+        with pytest.raises(ValueError):
+            MpiWorld(num_ranks=0)
+        with pytest.raises(IndexError):
+            MpiWorld(num_ranks=2).clock(5)
+
+
+class TestProtectedBuffer:
+    def test_from_array_roundtrip(self):
+        data = np.arange(16, dtype=np.float64)
+        buffer = ProtectedBuffer.from_array(1, data, MemoryKind.HOST)
+        snapshot = buffer.snapshot_content()
+        buffer.data[:] = 0.0
+        buffer.restore_content(snapshot)
+        assert np.array_equal(buffer.data, np.arange(16, dtype=np.float64))
+
+    def test_nbytes_from_dtype(self):
+        data = np.zeros(10, dtype=np.int32)
+        buffer = ProtectedBuffer.from_array(0, data, MemoryKind.HOST)
+        assert buffer.dtype is FtiDataType.FTI_INTG
+        assert buffer.nbytes == 40
+
+    def test_synthetic_region_reports_logical_size(self):
+        buffer = ProtectedBuffer.synthetic_region(2, MemoryKind.UVM, nbytes=1 << 30)
+        assert buffer.nbytes == pytest.approx(1 << 30, rel=0.01)
+        assert buffer.witness_nbytes < buffer.nbytes
+        assert buffer.synthetic
+
+    def test_mismatched_count_rejected_for_real_buffers(self):
+        with pytest.raises(ValueError):
+            ProtectedBuffer(
+                protect_id=0,
+                kind=MemoryKind.HOST,
+                dtype=FtiDataType.FTI_DBLE,
+                count=100,
+                data=np.zeros(10),
+            )
+
+    def test_restore_shape_mismatch_rejected(self):
+        buffer = ProtectedBuffer.from_array(0, np.zeros(4), MemoryKind.HOST)
+        with pytest.raises(ValueError):
+            buffer.restore_content(np.zeros(8))
+
+    def test_digest_changes_with_content(self):
+        buffer = ProtectedBuffer.from_array(0, np.zeros(4), MemoryKind.HOST)
+        before = buffer.content_digest()
+        buffer.data[0] = 1.0
+        assert buffer.content_digest() != before
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            ProtectedBuffer.from_array(0, np.zeros(4, dtype=np.complex128), MemoryKind.HOST)
+
+
+class TestTransferModel:
+    def test_async_faster_than_sync(self):
+        model = TransferModel()
+        size = 8 * 1024**3
+        assert model.async_copy_time_s(size) < model.sync_copy_time_s(size)
+
+    def test_chunk_count(self):
+        model = TransferModel(chunk_bytes=1024)
+        assert model.num_chunks(4096) == 4
+        assert model.num_chunks(1) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TransferModel(pcie_gbps=0)
+        with pytest.raises(ValueError):
+            TransferModel(chunk_bytes=0)
+
+
+class TestSimulatedGpu:
+    def test_allocation_kinds(self):
+        gpu = SimulatedGpu(memory_gib=1.0)
+        device_handle = gpu.malloc(1024)
+        uvm_handle = gpu.malloc_managed(2048)
+        assert gpu.kind_of(device_handle) is MemoryKind.DEVICE
+        assert gpu.kind_of(uvm_handle) is MemoryKind.UVM
+        assert gpu.allocated_bytes() == 3072
+        gpu.free(device_handle)
+        assert gpu.allocated_bytes() == 2048
+
+    def test_out_of_memory(self):
+        gpu = SimulatedGpu(memory_gib=1.0)
+        with pytest.raises(MemoryError):
+            gpu.malloc(2 * 1024**3)
+
+    def test_uvm_does_not_count_against_device_memory(self):
+        gpu = SimulatedGpu(memory_gib=1.0)
+        gpu.malloc_managed(4 * 1024**3)  # UVM can oversubscribe
+        assert gpu.allocated_bytes(device_only=True) == 0
+
+    def test_unknown_handle_errors(self):
+        gpu = SimulatedGpu()
+        with pytest.raises(KeyError):
+            gpu.free(99)
+        with pytest.raises(KeyError):
+            gpu.kind_of(99)
+
+    def test_stream_serialises_copies(self):
+        gpu = SimulatedGpu()
+        stream = gpu.create_stream()
+        _, finish1 = stream.memcpy_async(1 << 30, start_s=0.0)
+        start2, finish2 = stream.memcpy_async(1 << 30, start_s=0.0)
+        assert start2 == pytest.approx(finish1)
+        assert finish2 > finish1
+        assert stream.synchronize(0.0) == pytest.approx(finish2)
+
+    def test_copy_accounting(self):
+        gpu = SimulatedGpu()
+        gpu.memcpy_sync(1000)
+        stream = gpu.create_stream()
+        stream.memcpy_async(2000, start_s=0.0)
+        assert gpu.bytes_copied() == pytest.approx(3000)
+        assert gpu.bytes_copied(asynchronous=True) == pytest.approx(2000)
+        assert gpu.bytes_copied(asynchronous=False) == pytest.approx(1000)

@@ -1,0 +1,205 @@
+"""Tests for the storage hierarchy and the FTI-style checkpoint API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.fti import CheckpointStrategy, FtiConfig, FtiContext
+from repro.checkpoint.memory import MemoryKind, ProtectedBuffer
+from repro.checkpoint.mpi import MpiWorld
+from repro.checkpoint.storage import (
+    CheckpointLevel,
+    FailureScope,
+    LocalNvme,
+    ParallelFileSystem,
+    PartnerCopy,
+    ReedSolomonEncoded,
+    StorageHierarchy,
+    StoredCheckpoint,
+)
+
+
+class TestStorageLevels:
+    def test_nvme_write_read_costs_scale_with_sharers(self):
+        nvme = LocalNvme("nvme", write_gbps=8.0)
+        assert nvme.write_time_s(8e9, sharers=4) == pytest.approx(4 * nvme.write_time_s(8e9, sharers=1))
+
+    def test_partner_copy_cost_dominated_by_network(self):
+        partner = PartnerCopy("p", network_gbps=5.0)
+        assert partner.write_time_s(5e9) == pytest.approx(1.0)
+
+    def test_rs_encoding_overhead(self):
+        rs = ReedSolomonEncoded("rs", group_size=4, parity=2)
+        assert rs.storage_overhead == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            ReedSolomonEncoded("bad", group_size=2, parity=2)
+
+    def test_pfs_shares_aggregate_bandwidth(self):
+        pfs = ParallelFileSystem("pfs", aggregate_write_gbps=40.0)
+        assert pfs.write_time_s(1e9, sharers=40) == pytest.approx(1.0)
+
+    def test_put_get_roundtrip_and_stats(self):
+        nvme = LocalNvme("nvme")
+        record = StoredCheckpoint(rank=0, checkpoint_id=1, nbytes=100.0, payload={})
+        nvme.put(record)
+        assert nvme.has(0, 1)
+        assert nvme.get(0, 1) is record
+        assert nvme.bytes_written == 100.0
+        assert nvme.bytes_read == 100.0
+        with pytest.raises(KeyError):
+            nvme.get(1, 1)
+
+    def test_drop_rank_simulates_node_loss(self):
+        nvme = LocalNvme("nvme")
+        nvme.put(StoredCheckpoint(rank=0, checkpoint_id=1, nbytes=10.0))
+        nvme.put(StoredCheckpoint(rank=0, checkpoint_id=2, nbytes=10.0))
+        nvme.put(StoredCheckpoint(rank=1, checkpoint_id=1, nbytes=10.0))
+        assert nvme.drop_rank(0) == 2
+        assert not nvme.has(0, 2)
+        assert nvme.has(1, 1)
+
+    def test_latest_id(self):
+        nvme = LocalNvme("nvme")
+        assert nvme.latest_id(0) is None
+        nvme.put(StoredCheckpoint(rank=0, checkpoint_id=3, nbytes=1.0))
+        nvme.put(StoredCheckpoint(rank=0, checkpoint_id=7, nbytes=1.0))
+        assert nvme.latest_id(0) == 7
+
+
+class TestStorageHierarchy:
+    def test_recovery_level_mapping(self):
+        hierarchy = StorageHierarchy()
+        assert hierarchy.recovery_level_for(FailureScope.PROCESS).level is CheckpointLevel.L1_LOCAL
+        assert hierarchy.recovery_level_for(FailureScope.SINGLE_NODE).level is CheckpointLevel.L2_PARTNER
+        assert hierarchy.recovery_level_for(FailureScope.FULL_SYSTEM).level is CheckpointLevel.L4_PFS
+
+    def test_can_recover_depends_on_scope_and_level(self):
+        hierarchy = StorageHierarchy()
+        hierarchy.store(CheckpointLevel.L1_LOCAL, StoredCheckpoint(rank=0, checkpoint_id=1, nbytes=1.0))
+        assert hierarchy.can_recover(0, 1, FailureScope.PROCESS)
+        # L1-only checkpoint cannot survive losing the node.
+        assert not hierarchy.can_recover(0, 1, FailureScope.SINGLE_NODE)
+        hierarchy.store(CheckpointLevel.L2_PARTNER, StoredCheckpoint(rank=0, checkpoint_id=1, nbytes=1.0))
+        assert hierarchy.can_recover(0, 1, FailureScope.SINGLE_NODE)
+
+
+def _make_context(strategy: CheckpointStrategy, ranks: int = 4) -> FtiContext:
+    world = MpiWorld(num_ranks=ranks, ranks_per_node=4)
+    context = FtiContext(world, config=FtiConfig(strategy=strategy, snapshot_interval_iters=2))
+    context.init()
+    return context
+
+
+class TestFtiLifecycle:
+    def test_requires_init(self):
+        world = MpiWorld(num_ranks=1)
+        context = FtiContext(world)
+        with pytest.raises(RuntimeError):
+            context.checkpoint(0)
+
+    def test_double_init_rejected(self):
+        context = _make_context(CheckpointStrategy.ASYNC, ranks=1)
+        with pytest.raises(RuntimeError):
+            context.init()
+
+    def test_finalize_waits_for_background_writes(self):
+        context = _make_context(CheckpointStrategy.ASYNC, ranks=1)
+        data = np.zeros(1024, dtype=np.float64)
+        context.protect_array(0, 1, data, MemoryKind.UVM)
+        context.checkpoint(0)
+        clock_before = context.world.clock(0).time_s
+        context.finalize()
+        assert context.finalised
+        assert context.world.clock(0).time_s >= clock_before
+
+
+class TestProtectAndCheckpoint:
+    def test_protect_mixed_kinds_accounted(self):
+        context = _make_context(CheckpointStrategy.ASYNC, ranks=1)
+        context.protect_array(0, 0, np.zeros(4, dtype=np.int32), MemoryKind.HOST)
+        context.protect(0, ProtectedBuffer.synthetic_region(1, MemoryKind.UVM, nbytes=1 << 20))
+        context.protect(0, ProtectedBuffer.synthetic_region(2, MemoryKind.DEVICE, nbytes=1 << 20))
+        totals = context.protected_bytes(0)
+        assert totals[MemoryKind.HOST] == 16
+        assert totals[MemoryKind.UVM] == pytest.approx(1 << 20, rel=0.01)
+        assert totals[MemoryKind.DEVICE] == pytest.approx(1 << 20, rel=0.01)
+
+    def test_reprotect_same_id_updates_registration(self):
+        context = _make_context(CheckpointStrategy.ASYNC, ranks=1)
+        context.protect_array(0, 0, np.zeros(4), MemoryKind.HOST)
+        context.protect_array(0, 0, np.zeros(8), MemoryKind.HOST)
+        assert context.protected_bytes(0)[MemoryKind.HOST] == 64
+
+    def test_snapshot_checkpoints_on_interval(self):
+        context = _make_context(CheckpointStrategy.ASYNC, ranks=1)
+        context.protect_array(0, 0, np.zeros(16), MemoryKind.HOST)
+        performed = [context.snapshot(0) for _ in range(6)]
+        # Interval is 2 iterations: checkpoints at iterations 2, 4, 6.
+        assert performed == [False, True, False, True, False, True]
+        assert len(context.checkpoint_records(0)) == 3
+
+    def test_checkpoint_record_fields(self):
+        context = _make_context(CheckpointStrategy.INITIAL, ranks=1)
+        context.protect(0, ProtectedBuffer.synthetic_region(1, MemoryKind.DEVICE, nbytes=1 << 30))
+        record = context.checkpoint(0)
+        assert record.strategy is CheckpointStrategy.INITIAL
+        assert record.device_bytes == pytest.approx(1 << 30, rel=0.01)
+        assert record.blocking_overhead_s > 0
+        assert record.total_completion_s >= record.blocking_overhead_s or pytest.approx(
+            record.total_completion_s
+        ) == record.blocking_overhead_s
+
+
+class TestRecovery:
+    def test_content_roundtrip_after_failure(self):
+        context = _make_context(CheckpointStrategy.ASYNC, ranks=1)
+        data = np.arange(64, dtype=np.float64)
+        context.protect_array(0, 1, data, MemoryKind.UVM)
+        context.checkpoint(0)
+        data[:] = -1.0  # corruption after the checkpoint
+        context.mark_failed(0)
+        assert context.snapshot(0)  # snapshot performs the recovery
+        assert np.array_equal(data, np.arange(64, dtype=np.float64))
+
+    def test_recover_without_checkpoint_raises(self):
+        context = _make_context(CheckpointStrategy.ASYNC, ranks=1)
+        context.protect_array(0, 1, np.zeros(4), MemoryKind.HOST)
+        with pytest.raises(RuntimeError):
+            context.recover(0)
+
+    def test_recovery_restores_latest_checkpoint(self):
+        context = _make_context(CheckpointStrategy.INITIAL, ranks=1)
+        data = np.zeros(8, dtype=np.float64)
+        context.protect_array(0, 1, data, MemoryKind.HOST)
+        context.checkpoint(0)
+        data[:] = 5.0
+        context.checkpoint(0)
+        data[:] = 9.0
+        context.recover(0)
+        assert np.all(data == 5.0)
+
+    def test_async_strategy_has_lower_blocking_overhead(self):
+        results = {}
+        for strategy in (CheckpointStrategy.INITIAL, CheckpointStrategy.ASYNC):
+            context = _make_context(strategy, ranks=4)
+            for rank in range(4):
+                context.protect(
+                    rank, ProtectedBuffer.synthetic_region(1, MemoryKind.UVM, nbytes=4 << 30)
+                )
+                context.checkpoint(rank)
+            results[strategy] = context.max_checkpoint_overhead_s()
+        assert results[CheckpointStrategy.ASYNC] < results[CheckpointStrategy.INITIAL] / 5
+
+    def test_async_recovery_faster_than_initial(self):
+        times = {}
+        for strategy in (CheckpointStrategy.INITIAL, CheckpointStrategy.ASYNC):
+            context = _make_context(strategy, ranks=4)
+            for rank in range(4):
+                context.protect(
+                    rank, ProtectedBuffer.synthetic_region(1, MemoryKind.UVM, nbytes=4 << 30)
+                )
+                context.checkpoint(rank)
+                context.recover(rank)
+            times[strategy] = context.max_recovery_time_s()
+        assert times[CheckpointStrategy.ASYNC] < times[CheckpointStrategy.INITIAL]

@@ -1,0 +1,128 @@
+"""Tests for the pragma front end and the dataflow IR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.frontend import ParseError, parse_program
+from repro.compiler.ir import DataflowGraph
+from repro.hardware.microserver import DeviceKind, WorkloadKind
+
+PIPELINE_SOURCE = """
+// A three-stage pipeline with a side branch.
+#pragma legato task out(frames) workload(scalar) gops(5) size(1000000)
+kernel capture
+
+#pragma legato task in(frames) out(detections) workload(dnn_inference) gops(400) \\
+        device(gpu, fpga) memory(2.0)
+kernel detect
+
+#pragma legato task in(frames) out(audio) workload(streaming) gops(50)
+kernel listen
+
+#pragma legato task in(detections, audio) out(overlay) workload(scalar) gops(2) critical
+kernel render
+
+#pragma legato task in(overlay) out(log) workload(crypto) gops(1) secure
+kernel audit
+"""
+
+
+class TestFrontend:
+    def test_parses_all_kernels_in_order(self):
+        kernels = parse_program(PIPELINE_SOURCE)
+        assert [k.name for k in kernels] == ["capture", "detect", "listen", "render", "audit"]
+
+    def test_clauses_parsed(self):
+        kernels = {k.name: k for k in parse_program(PIPELINE_SOURCE)}
+        detect = kernels["detect"]
+        assert detect.workload is WorkloadKind.DNN_INFERENCE
+        assert detect.gops == 400.0
+        assert detect.memory_gib == 2.0
+        assert detect.devices == frozenset({DeviceKind.GPU, DeviceKind.FPGA})
+        assert kernels["render"].critical
+        assert kernels["audit"].secure
+        assert kernels["capture"].region_size_bytes == 1_000_000
+
+    def test_line_continuation_joined(self):
+        kernels = {k.name: k for k in parse_program(PIPELINE_SOURCE)}
+        assert kernels["detect"].devices is not None
+
+    def test_kernel_without_pragma_gets_defaults(self):
+        kernels = parse_program("kernel plain")
+        assert kernels[0].workload is WorkloadKind.SCALAR
+        assert kernels[0].gops == 1.0
+
+    def test_width_clause(self):
+        kernels = parse_program(
+            "#pragma legato task out(x) width(2:8)\nkernel elastic"
+        )
+        assert kernels[0].min_width == 2
+        assert kernels[0].max_width == 8
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "#pragma legato task out(x)\n#pragma legato task out(y)\nkernel k",  # orphan pragma
+            "#pragma legato task workload(quantum)\nkernel k",  # unknown workload
+            "#pragma legato task gops(-1)\nkernel k",  # non-positive gops
+            "#pragma legato task device(tpu)\nkernel k",  # unknown device
+            "#pragma legato task width(4)\nkernel k",  # malformed width
+            "#pragma legato task frobnicate(1)\nkernel k",  # unknown clause
+            "kernel a\nkernel a",  # duplicate names
+            "kernel too many words",  # malformed declaration
+            "something else",  # unknown statement
+            "",  # empty program
+            "#pragma legato task out(x)\n",  # pragma at EOF
+        ],
+    )
+    def test_malformed_programs_rejected(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+    def test_parse_error_carries_line_number(self):
+        try:
+            parse_program("kernel ok\nbroken statement")
+        except ParseError as error:
+            assert error.line_number == 2
+        else:  # pragma: no cover - the parse must fail
+            pytest.fail("expected a ParseError")
+
+
+class TestDataflowGraph:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return DataflowGraph(parse_program(PIPELINE_SOURCE))
+
+    def test_edges_follow_producer_consumer(self, graph):
+        names = {(e.producer.name, e.consumer.name, e.region) for e in graph.edges}
+        assert ("capture", "detect", "frames") in names
+        assert ("detect", "render", "detections") in names
+        assert ("listen", "render", "audio") in names
+        assert ("render", "audit", "overlay") in names
+
+    def test_sources_and_sinks(self, graph):
+        assert [n.name for n in graph.sources()] == ["capture"]
+        assert [n.name for n in graph.sinks()] == ["audit"]
+
+    def test_stage_levels(self, graph):
+        levels = {node.name: level for node, level in graph.stage_levels().items()}
+        assert levels["capture"] == 0
+        assert levels["detect"] == 1
+        assert levels["render"] == 2
+        assert levels["audit"] == 3
+
+    def test_critical_path_and_total_work(self, graph):
+        assert graph.total_gops() == pytest.approx(5 + 400 + 50 + 2 + 1)
+        assert graph.critical_path_gops() == pytest.approx(5 + 400 + 2 + 1)
+
+    def test_external_outputs(self, graph):
+        assert "log" in graph.external_outputs()
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            DataflowGraph([])
+
+    def test_topological_order_respects_edges(self, graph):
+        order = [n.name for n in graph.topological_order()]
+        assert order.index("capture") < order.index("detect") < order.index("render")

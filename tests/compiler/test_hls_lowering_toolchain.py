@@ -1,0 +1,152 @@
+"""Tests for HLS estimation, lowering and the end-to-end toolchain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.frontend import ParsedKernel, parse_program
+from repro.compiler.hls import HlsEstimator
+from repro.compiler.ir import DataflowGraph
+from repro.compiler.lowering import lower_to_tasks
+from repro.compiler.toolchain import Toolchain
+from repro.hardware.fpga import FpgaFabricRegion
+from repro.hardware.microserver import DeviceKind, WorkloadKind
+from repro.undervolting.platforms import get_platform
+
+
+def kernel(name="k", workload=WorkloadKind.DNN_INFERENCE, gops=100.0, **kwargs) -> ParsedKernel:
+    return ParsedKernel(name=name, workload=workload, gops=gops, outputs=("out",), **kwargs)
+
+
+def kc705_fabric() -> FpgaFabricRegion:
+    calibration = get_platform("KC705-A")
+    return FpgaFabricRegion(
+        luts=calibration.luts,
+        flip_flops=calibration.flip_flops,
+        dsp_slices=calibration.dsp_slices,
+        bram_blocks=calibration.bram_blocks,
+    )
+
+
+class TestHlsEstimator:
+    def test_resources_grow_with_unroll(self):
+        estimator = HlsEstimator(kc705_fabric())
+        small = estimator.estimate_resources(kernel(), unroll=1)
+        large = estimator.estimate_resources(kernel(), unroll=8)
+        assert large.luts > small.luts
+        assert large.dsp_slices > small.dsp_slices
+
+    def test_small_kernel_fits_large_device(self):
+        estimator = HlsEstimator(kc705_fabric())
+        estimate = estimator.synthesise(kernel(gops=10.0), unroll=1)
+        assert estimate.fits
+        assert estimate.clock_mhz > 0
+        assert estimate.throughput_gops > 0
+
+    def test_huge_kernel_does_not_fit_small_device(self):
+        tiny = FpgaFabricRegion(luts=5_000, flip_flops=8_000, dsp_slices=20, bram_blocks=40)
+        estimator = HlsEstimator(tiny)
+        estimate = estimator.best_unroll(kernel(gops=10_000.0))
+        assert not estimate.fits
+
+    def test_best_unroll_prefers_larger_fitting_factor(self):
+        estimator = HlsEstimator(kc705_fabric())
+        best = estimator.best_unroll(kernel(gops=50.0), max_unroll=32)
+        assert best.fits
+        assert best.unroll >= 4
+        assert best.throughput_gops >= estimator.synthesise(kernel(gops=50.0), 1).throughput_gops
+
+    def test_clock_derates_with_congestion(self):
+        estimator = HlsEstimator(kc705_fabric())
+        low = estimator.synthesise(kernel(gops=20.0), unroll=1)
+        # Find a heavily utilised configuration by pushing unroll high.
+        high = estimator.synthesise(kernel(gops=5000.0), unroll=32)
+        if high.fits:
+            assert high.clock_mhz <= low.clock_mhz
+
+    def test_kernel_time_finite_when_fits(self):
+        estimator = HlsEstimator(kc705_fabric())
+        estimate = estimator.synthesise(kernel(gops=10.0), unroll=4)
+        assert estimate.kernel_time_s > 0
+
+    def test_invalid_arguments(self):
+        estimator = HlsEstimator(kc705_fabric())
+        with pytest.raises(ValueError):
+            estimator.synthesise(kernel(), unroll=0)
+        with pytest.raises(ValueError):
+            estimator.best_unroll(kernel(), max_unroll=0)
+        with pytest.raises(ValueError):
+            HlsEstimator(kc705_fabric(), base_clock_mhz=0)
+
+
+PROGRAM = """
+#pragma legato task out(a) workload(scalar) gops(5)
+kernel produce
+#pragma legato task in(a) out(b) workload(dnn_inference) gops(200) memory(1.0)
+kernel infer
+#pragma legato task in(b) out(c) workload(crypto) gops(2) secure
+kernel sign
+"""
+
+
+class TestLowering:
+    def test_lowered_tasks_carry_dependences(self):
+        graph = DataflowGraph(parse_program(PROGRAM))
+        program = lower_to_tasks(graph, fabric=kc705_fabric())
+        tasks = program.tasks
+        assert len(tasks) == 3
+        infer_task = program.kernel("infer").task
+        assert "a" in infer_task.reads and "b" in infer_task.writes
+
+    def test_secure_kernel_restricted_to_cpus(self):
+        graph = DataflowGraph(parse_program(PROGRAM))
+        program = lower_to_tasks(graph, fabric=kc705_fabric())
+        sign = program.kernel("sign")
+        assert sign.task.requirements.secure
+        assert all(kind.is_cpu for kind in sign.allowed_devices)
+
+    def test_fpga_capable_kernels_have_hls_estimates(self):
+        graph = DataflowGraph(parse_program(PROGRAM))
+        program = lower_to_tasks(graph, fabric=kc705_fabric())
+        infer = program.kernel("infer")
+        assert infer.hls is not None and infer.hls.fits
+        assert infer in program.fpga_kernels()
+
+    def test_without_fabric_no_fpga_targets(self):
+        graph = DataflowGraph(parse_program(PROGRAM))
+        program = lower_to_tasks(graph, fabric=None)
+        infer = program.kernel("infer")
+        assert not any(kind.is_fpga for kind in infer.allowed_devices)
+
+    def test_unknown_kernel_lookup_raises(self):
+        graph = DataflowGraph(parse_program(PROGRAM))
+        program = lower_to_tasks(graph)
+        with pytest.raises(KeyError):
+            program.kernel("missing")
+
+
+class TestToolchain:
+    def test_compile_produces_report(self):
+        toolchain = Toolchain(fpga_platform="KC705-A")
+        result = toolchain.compile(PROGRAM)
+        report = result.report()
+        assert report["kernels"] == 3
+        assert "infer" in report["fpga_capable_kernels"]
+        assert report["secure_kernels"] == ["sign"]
+
+    def test_compile_and_run_executes_all_tasks(self):
+        toolchain = Toolchain(fpga_platform="KC705-A")
+        trace = toolchain.compile_and_run(PROGRAM)
+        assert len(trace.executions) == 3
+        assert trace.makespan_s > 0
+
+    def test_secure_task_lands_on_cpu_device(self):
+        toolchain = Toolchain(fpga_platform="KC705-A")
+        trace = toolchain.compile_and_run(PROGRAM)
+        sign = next(e for e in trace.executions if e.task.name.startswith("sign"))
+        assert DeviceKind(sign.device_kind).is_cpu
+
+    def test_toolchain_without_fpga(self):
+        toolchain = Toolchain(fpga_platform=None)
+        result = toolchain.compile(PROGRAM)
+        assert result.lowered.fpga_kernels() == []

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.microserver import make_microserver
+from repro.runtime.devices import build_devices
+from repro.scheduler.cluster import Cluster
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_devices():
+    """A CPU + GPU + FPGA device trio used across runtime tests."""
+    return build_devices(["xeon-d-x86", "gtx1080-gpu", "kintex-fpga"])
+
+
+@pytest.fixture
+def heterogeneous_cluster() -> Cluster:
+    """A small heterogeneous cluster for scheduler tests."""
+    return Cluster.from_models(
+        {"xeon-d-x86": 2, "arm64-server": 2, "jetson-gpu-soc": 2, "apalis-arm-soc": 2}
+    )
+
+
+@pytest.fixture
+def xeon():
+    return make_microserver("xeon-d-x86")
+
+
+@pytest.fixture
+def jetson():
+    return make_microserver("jetson-gpu-soc")

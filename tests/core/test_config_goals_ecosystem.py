@@ -1,0 +1,172 @@
+"""Tests for the configuration, goal metrics and the ecosystem facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LegatoConfig, OptimisationFlags
+from repro.core.ecosystem import LegatoSystem
+from repro.core.goals import PROJECT_TARGETS, GoalReport, make_assessment
+from repro.hardware.microserver import DeviceKind, WorkloadKind
+from repro.runtime.fault_tolerance import ReplicationPolicy
+from repro.runtime.graph import TaskGraph
+from repro.runtime.ompss import SchedulingPolicy
+from repro.runtime.task import make_task
+
+
+class TestOptimisationFlags:
+    def test_baseline_disables_everything(self):
+        assert OptimisationFlags.baseline().enabled_count() == 0
+        assert OptimisationFlags.all_enabled().enabled_count() == 6
+
+
+class TestLegatoConfig:
+    def test_default_config_enables_energy_policy(self):
+        config = LegatoConfig.default()
+        assert config.effective_scheduling_policy is SchedulingPolicy.ENERGY
+        assert config.effective_replication_policy is ReplicationPolicy.SELECTIVE
+
+    def test_baseline_variant_downgrades_policies(self):
+        baseline = LegatoConfig.default().as_baseline()
+        assert baseline.effective_scheduling_policy is SchedulingPolicy.PERFORMANCE
+        assert baseline.effective_replication_policy is ReplicationPolicy.NONE
+        assert baseline.optimisations.enabled_count() == 0
+
+    def test_device_models_restricted_without_offload(self):
+        config = LegatoConfig.default().with_optimisations(heterogeneous_offload=False)
+        models = config.device_models()
+        assert all(model.startswith(("xeon", "arm64", "apalis")) for model in models)
+        full = LegatoConfig.default().device_models()
+        assert any("gpu" in model or "fpga" in model for model in full)
+
+    def test_with_optimisations_overrides_single_flag(self):
+        config = LegatoConfig.default().with_optimisations(fpga_undervolting=False)
+        assert not config.optimisations.fpga_undervolting
+        assert config.optimisations.enclave_security
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LegatoConfig(name="")
+        with pytest.raises(ValueError):
+            LegatoConfig(undervolt_max_accuracy_drop=2.0)
+
+
+class TestGoalMetrics:
+    def test_targets_match_paper(self):
+        assert PROJECT_TARGETS == {
+            "energy": 10.0,
+            "security": 10.0,
+            "reliability": 5.0,
+            "productivity": 5.0,
+        }
+
+    def test_cost_metric_improvement_ratio(self):
+        assessment = make_assessment("energy", baseline_value=100.0, optimised_value=10.0, metric="J")
+        assert assessment.achieved_factor == pytest.approx(10.0)
+        assert assessment.met
+
+    def test_benefit_metric_improvement_ratio(self):
+        assessment = make_assessment(
+            "reliability", baseline_value=1.0, optimised_value=7.0, metric="x", higher_is_better=True
+        )
+        assert assessment.achieved_factor == pytest.approx(7.0)
+        assert assessment.met
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(KeyError):
+            make_assessment("speed", 1.0, 1.0, metric="x")
+
+    def test_non_positive_values_rejected(self):
+        with pytest.raises(ValueError):
+            make_assessment("energy", 0.0, 1.0, metric="J")
+
+    def test_report_lookup_and_rows(self):
+        report = GoalReport(workload="w")
+        report.assessments.append(make_assessment("energy", 10.0, 2.0, metric="J"))
+        assert report.assessment("energy").achieved_factor == pytest.approx(5.0)
+        assert report.dimensions == ["energy"]
+        assert report.as_rows()[0]["dimension"] == "energy"
+        with pytest.raises(KeyError):
+            report.assessment("security")
+
+    def test_progress_fraction_capped(self):
+        assessment = make_assessment("productivity", 100.0, 1.0, metric="loc")
+        assert assessment.progress_fraction == 1.0
+
+
+class TestLegatoSystem:
+    @pytest.fixture(scope="class")
+    def system(self) -> LegatoSystem:
+        return LegatoSystem()
+
+    def test_describe_reports_population_and_policies(self, system):
+        description = system.describe()
+        assert description["scheduling_policy"] == "energy"
+        assert description["microservers"]["fpga"] >= 1
+        assert description["peak_power_w"] > 0
+
+    def test_run_program_end_to_end(self, system):
+        source = """
+#pragma legato task out(data) workload(scalar) gops(10)
+kernel load
+#pragma legato task in(data) out(model) workload(dnn_inference) gops(300)
+kernel train
+"""
+        trace = system.run_program(source)
+        assert len(trace.executions) == 2
+        assert trace.total_energy_j > 0
+
+    def test_undervolting_reduces_fpga_task_energy(self):
+        optimised = LegatoSystem(LegatoConfig.default())
+        no_undervolt = LegatoSystem(
+            LegatoConfig.default().with_optimisations(fpga_undervolting=False)
+        )
+        tasks = lambda: [
+            make_task(
+                "dnn",
+                workload=WorkloadKind.DNN_INFERENCE,
+                gops=500,
+                allowed_devices=[DeviceKind.FPGA],
+            )
+        ]
+        energy_with = optimised.run_tasks(tasks()).total_energy_j
+        energy_without = no_undervolt.run_tasks(tasks()).total_energy_j
+        assert energy_with < energy_without
+
+    def test_undervolting_operating_point_cached_and_safe(self, system):
+        point = system.undervolting_operating_point()
+        again = system.undervolting_operating_point()
+        assert point is again
+        assert point.voltage_v < 1.0
+
+    def test_run_resilient_uses_configured_policy(self, system):
+        graph = TaskGraph()
+        graph.add_task(make_task("critical", outputs=["x"], reliability_critical=True))
+        graph.add_task(make_task("normal", inputs=["x"], outputs=["y"]))
+        report = system.run_resilient(graph, fault_probability=0.0)
+        by_name = {o.task.name: o.replicas for o in report.outcomes}
+        assert by_name["critical"] == 2
+        assert by_name["normal"] == 1
+
+    def test_run_secure_requires_flag(self):
+        system = LegatoSystem(LegatoConfig.default().with_optimisations(enclave_security=False))
+        graph = TaskGraph()
+        graph.add_task(make_task("sec", outputs=["x"], secure=True))
+        with pytest.raises(RuntimeError):
+            system.run_secure(graph)
+
+    def test_run_secure_protects_secure_tasks(self, system):
+        graph = TaskGraph()
+        graph.add_task(make_task("sec", outputs=["x"], secure=True, workload=WorkloadKind.CRYPTO))
+        report = system.run_secure(graph)
+        assert report.outcomes[0].secure
+
+    def test_goal_evaluation_produces_all_dimensions(self, system):
+        report = system.evaluate_goals(num_batches=2)
+        assert set(report.dimensions) == set(PROJECT_TARGETS)
+        energy = report.assessment("energy")
+        assert energy.achieved_factor > 2.0  # LEGaTO clearly beats the baseline
+        reliability = report.assessment("reliability")
+        assert reliability.achieved_factor > 3.0
+        productivity = report.assessment("productivity")
+        assert productivity.met

@@ -1,0 +1,95 @@
+"""Unit tests for carrier composition rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.carrier import Carrier, CarrierKind
+from repro.hardware.microserver import make_microserver
+
+
+def make_carrier(kind=CarrierKind.LOW_POWER):
+    return Carrier(kind=kind, carrier_id=f"test-{kind.value}")
+
+
+class TestSlotLimits:
+    def test_low_power_carrier_has_sixteen_slots(self):
+        assert make_carrier(CarrierKind.LOW_POWER).slots == 16
+
+    def test_high_performance_carrier_has_three_slots(self):
+        assert make_carrier(CarrierKind.HIGH_PERFORMANCE).slots == 3
+
+    def test_install_fills_slots(self):
+        carrier = make_carrier(CarrierKind.HIGH_PERFORMANCE)
+        for _ in range(3):
+            carrier.install(make_microserver("xeon-d-x86"))
+        assert carrier.free_slots == 0
+        with pytest.raises(ValueError):
+            carrier.install(make_microserver("xeon-d-x86"))
+
+
+class TestFormFactorRules:
+    def test_low_power_carrier_rejects_com_express(self):
+        carrier = make_carrier(CarrierKind.LOW_POWER)
+        assert not carrier.accepts(make_microserver("xeon-d-x86"))
+        with pytest.raises(ValueError):
+            carrier.install(make_microserver("xeon-d-x86"))
+
+    def test_low_power_carrier_accepts_jetson(self):
+        carrier = make_carrier(CarrierKind.LOW_POWER)
+        jetson = make_microserver("jetson-gpu-soc")
+        carrier.install(jetson)
+        assert carrier.find(jetson.node_id) is jetson
+
+    def test_high_performance_carrier_rejects_low_power_module(self):
+        carrier = make_carrier(CarrierKind.HIGH_PERFORMANCE)
+        assert not carrier.accepts(make_microserver("apalis-arm-soc"))
+
+
+class TestPowerBudget:
+    def test_power_budget_enforced(self):
+        carrier = make_carrier(CarrierKind.PCIE_EXPANSION)
+        carrier.install(make_microserver("gtx1080-gpu"))
+        carrier.install(make_microserver("gtx1080-gpu"))
+        # 2 x 180 W = 360 W < 400 W cap, but slots are now exhausted.
+        assert carrier.free_slots == 0
+
+    def test_remove_releases_power(self):
+        carrier = make_carrier(CarrierKind.HIGH_PERFORMANCE)
+        node = make_microserver("xeon-d-x86")
+        carrier.install(node)
+        before = carrier.power_budget.headroom_w
+        carrier.remove(node.node_id)
+        assert carrier.power_budget.headroom_w > before
+
+    def test_remove_unknown_raises(self):
+        carrier = make_carrier()
+        with pytest.raises(KeyError):
+            carrier.remove("nope")
+
+
+class TestAggregates:
+    def test_power_and_energy_aggregation(self):
+        carrier = make_carrier(CarrierKind.LOW_POWER)
+        a = make_microserver("jetson-gpu-soc")
+        b = make_microserver("zynq-fpga-soc")
+        carrier.install(a)
+        carrier.install(b)
+        assert carrier.peak_power_w() == pytest.approx(
+            a.spec.peak_power_w + b.spec.peak_power_w
+        )
+        assert carrier.idle_power_w() == pytest.approx(a.spec.idle_power_w + b.spec.idle_power_w)
+        a.energy.charge(10.0)
+        b.energy.charge(5.0)
+        assert carrier.total_energy_j() == pytest.approx(15.0)
+
+    def test_iteration_and_len(self):
+        carrier = make_carrier(CarrierKind.LOW_POWER)
+        carrier.install(make_microserver("jetson-gpu-soc"))
+        carrier.install(make_microserver("apalis-arm-soc"))
+        assert len(carrier) == 2
+        assert len(list(carrier)) == 2
+
+    def test_find_returns_none_for_unknown(self):
+        carrier = make_carrier()
+        assert carrier.find("missing") is None

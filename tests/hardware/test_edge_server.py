@@ -1,0 +1,54 @@
+"""Unit tests for the three-slot edge server (Fig. 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.edge_server import EDGE_SLOTS, EdgeServer, EdgeServerConfig
+
+
+class TestComposition:
+    def test_smart_mirror_compositions_have_three_slots(self):
+        for config in (
+            EdgeServerConfig.smart_mirror_cpu_2gpu(),
+            EdgeServerConfig.smart_mirror_cpu_gpu_fpga(),
+            EdgeServerConfig.low_power_arm(),
+        ):
+            server = EdgeServer(config)
+            assert len(server) == EDGE_SLOTS
+
+    def test_invalid_slot_count_rejected(self):
+        config = EdgeServerConfig(name="bad", slots=("xeon-d-x86", "jetson-gpu-soc"))  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            EdgeServer(config)
+
+    def test_cpu_node_owns_io(self):
+        server = EdgeServer(EdgeServerConfig.smart_mirror_cpu_gpu_fpga())
+        assert server.cpu_node.spec.kind.is_cpu
+        assert len(server.accelerators) == 2
+
+    def test_host_to_host_mesh(self):
+        server = EdgeServer(EdgeServerConfig.smart_mirror_cpu_2gpu())
+        nodes = [m.node_id for m in server.microservers]
+        for i in range(len(nodes)):
+            for j in range(i + 1, len(nodes)):
+                assert server.fabric.is_bridged(nodes[i], nodes[j])
+
+    def test_power_budget_allocated_per_slot(self):
+        server = EdgeServer(EdgeServerConfig.low_power_arm())
+        assert server.power_budget.allocated_w == pytest.approx(server.peak_power_w())
+
+
+class TestPower:
+    def test_low_power_composition_under_50w_peak(self):
+        server = EdgeServer(EdgeServerConfig.low_power_arm())
+        assert server.peak_power_w() < 50.0
+
+    def test_active_power_between_idle_and_peak(self):
+        server = EdgeServer(EdgeServerConfig.smart_mirror_cpu_2gpu())
+        partial = server.active_power_w({m.node_id: 0.5 for m in server.microservers})
+        assert server.idle_power_w() < partial < server.peak_power_w()
+
+    def test_energy_starts_at_zero(self):
+        server = EdgeServer(EdgeServerConfig.smart_mirror_cpu_2gpu())
+        assert server.total_energy_j() == 0.0

@@ -1,0 +1,121 @@
+"""Unit tests for the FPGA device, BRAM array and fabric model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.fpga import (
+    BRAM_BLOCK_KBITS,
+    POWER_SCALING_EXPONENT,
+    BramArray,
+    FpgaDevice,
+    FpgaFabricRegion,
+)
+from repro.undervolting.platforms import make_platform_device
+
+
+class TestFabricRegion:
+    def test_fits_and_utilisation(self):
+        budget = FpgaFabricRegion(luts=1000, flip_flops=2000, dsp_slices=10, bram_blocks=20)
+        demand = FpgaFabricRegion(luts=500, flip_flops=500, dsp_slices=5, bram_blocks=10)
+        assert budget.fits(demand)
+        assert budget.utilisation(demand) == pytest.approx(0.5)
+
+    def test_does_not_fit_when_any_resource_exceeds(self):
+        budget = FpgaFabricRegion(luts=1000, flip_flops=2000, dsp_slices=10, bram_blocks=20)
+        demand = FpgaFabricRegion(luts=500, flip_flops=500, dsp_slices=50, bram_blocks=10)
+        assert not budget.fits(demand)
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(ValueError):
+            FpgaFabricRegion(luts=-1, flip_flops=0, dsp_slices=0, bram_blocks=0)
+
+    def test_utilisation_infinite_when_budget_zero(self):
+        budget = FpgaFabricRegion(luts=100, flip_flops=100, dsp_slices=0, bram_blocks=10)
+        demand = FpgaFabricRegion(luts=10, flip_flops=10, dsp_slices=1, bram_blocks=1)
+        assert budget.utilisation(demand) == float("inf")
+
+
+class TestBramArray:
+    def test_capacity_accounting(self):
+        bram = BramArray(num_blocks=10)
+        assert bram.total_kbits == 10 * BRAM_BLOCK_KBITS
+        assert bram.total_mbits == pytest.approx(10 * BRAM_BLOCK_KBITS / 1024)
+
+    def test_pattern_roundtrip(self):
+        bram = BramArray(num_blocks=4)
+        bram.write_pattern(0xA5)
+        assert bram.count_mismatches(0xA5) == 0
+        assert bram.count_mismatches(0x5A) > 0
+
+    def test_fault_injection_counts(self):
+        bram = BramArray(num_blocks=4, rng=np.random.default_rng(0))
+        bram.write_pattern(0x55)
+        locations = bram.inject_bit_flips(100)
+        assert len(locations) == 100
+        # Some flips may land on the same bit twice and cancel out, so the
+        # mismatch count is at most the injected count and close to it.
+        mismatches = bram.count_mismatches(0x55)
+        assert 0 < mismatches <= 100
+
+    def test_clear_faults(self):
+        bram = BramArray(num_blocks=2)
+        bram.inject_bit_flips(5)
+        assert len(bram.fault_log) == 5
+        bram.clear_faults()
+        assert len(bram.fault_log) == 0
+
+    def test_block_read_write(self):
+        bram = BramArray(num_blocks=2)
+        data = np.arange(100, dtype=np.uint8)
+        bram.write_block(1, data)
+        read = bram.read_block(1)
+        assert np.array_equal(read[:100], data)
+
+    def test_block_bounds_checked(self):
+        bram = BramArray(num_blocks=2)
+        with pytest.raises(IndexError):
+            bram.read_block(5)
+
+    def test_negative_fault_count_rejected(self):
+        with pytest.raises(ValueError):
+            BramArray(num_blocks=1).inject_bit_flips(-1)
+
+
+class TestFpgaDevice:
+    def make_device(self) -> FpgaDevice:
+        return make_platform_device("VC707")
+
+    def test_power_decreases_with_voltage(self):
+        device = self.make_device()
+        nominal = device.bram_power_w()
+        device.set_vccbram(0.7)
+        assert device.bram_power_w() < nominal
+
+    def test_power_saving_exceeds_90_percent_at_crash_voltage(self):
+        device = self.make_device()
+        device.set_vccbram(0.54)
+        assert device.bram_power_saving_fraction() > 0.90
+
+    def test_scaling_exponent_is_super_quadratic(self):
+        assert POWER_SCALING_EXPONENT > 2.0
+
+    def test_voltage_regulator_range_enforced(self):
+        device = self.make_device()
+        with pytest.raises(ValueError):
+            device.set_vccbram(0.3)
+        with pytest.raises(ValueError):
+            device.set_vccbram(1.5)
+
+    def test_crash_and_reset(self):
+        device = self.make_device()
+        device.crash()
+        assert not device.responsive
+        device.reset()
+        assert device.responsive
+        assert device.vccbram == pytest.approx(1.0)
+
+    def test_total_power_includes_static(self):
+        device = self.make_device()
+        assert device.total_power_w() > device.bram_power_w()

@@ -1,0 +1,167 @@
+"""Unit tests for the microserver catalogue and execution model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.microserver import (
+    MICROSERVER_CATALOG,
+    DeviceKind,
+    Microserver,
+    MicroserverSpec,
+    WorkloadKind,
+    make_microserver,
+    most_efficient_for,
+)
+
+
+class TestCatalog:
+    def test_all_specs_have_every_workload(self):
+        for spec in MICROSERVER_CATALOG.values():
+            for kind in WorkloadKind:
+                assert spec.throughput_gops[kind] > 0
+
+    def test_catalog_contains_all_device_classes(self):
+        kinds = {spec.kind for spec in MICROSERVER_CATALOG.values()}
+        assert DeviceKind.CPU_X86 in kinds
+        assert DeviceKind.GPU in kinds
+        assert DeviceKind.FPGA in kinds
+        assert DeviceKind.DFE in kinds
+
+    def test_gpu_dominates_dnn_throughput(self):
+        gpu = MICROSERVER_CATALOG["gtx1080-gpu"]
+        cpu = MICROSERVER_CATALOG["xeon-d-x86"]
+        assert gpu.throughput_gops[WorkloadKind.DNN_INFERENCE] > cpu.throughput_gops[
+            WorkloadKind.DNN_INFERENCE
+        ]
+
+    def test_fpga_most_efficient_for_streaming(self):
+        best = most_efficient_for(WorkloadKind.STREAMING)
+        assert best.kind.is_fpga
+
+    def test_low_power_modules_have_low_idle(self):
+        for name in ("apalis-arm-soc", "zynq-fpga-soc", "jetson-gpu-soc"):
+            assert MICROSERVER_CATALOG[name].idle_power_w < 10.0
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            make_microserver("does-not-exist")
+
+
+class TestSpecValidation:
+    def _base_kwargs(self):
+        spec = MICROSERVER_CATALOG["xeon-d-x86"]
+        return dict(
+            model="x",
+            kind=spec.kind,
+            cores=spec.cores,
+            memory_gib=spec.memory_gib,
+            idle_power_w=spec.idle_power_w,
+            peak_power_w=spec.peak_power_w,
+            throughput_gops=dict(spec.throughput_gops),
+        )
+
+    def test_rejects_zero_cores(self):
+        kwargs = self._base_kwargs()
+        kwargs["cores"] = 0
+        with pytest.raises(ValueError):
+            MicroserverSpec(**kwargs)
+
+    def test_rejects_idle_above_peak(self):
+        kwargs = self._base_kwargs()
+        kwargs["idle_power_w"] = 200.0
+        with pytest.raises(ValueError):
+            MicroserverSpec(**kwargs)
+
+    def test_rejects_missing_workload(self):
+        kwargs = self._base_kwargs()
+        throughput = dict(kwargs["throughput_gops"])
+        throughput.pop(WorkloadKind.CRYPTO)
+        kwargs["throughput_gops"] = throughput
+        with pytest.raises(ValueError):
+            MicroserverSpec(**kwargs)
+
+    def test_rejects_bad_form_factor(self):
+        kwargs = self._base_kwargs()
+        kwargs["form_factor"] = "rackmount"
+        with pytest.raises(ValueError):
+            MicroserverSpec(**kwargs)
+
+
+class TestSpecDerivedFigures:
+    def test_execution_time_scales_inversely_with_throughput(self):
+        spec = MICROSERVER_CATALOG["xeon-d-x86"]
+        t1 = spec.execution_time_s(WorkloadKind.SCALAR, 120.0)
+        t2 = spec.execution_time_s(WorkloadKind.SCALAR, 240.0)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_active_power_interpolates(self):
+        spec = MICROSERVER_CATALOG["xeon-d-x86"]
+        assert spec.active_power_w(0.0) == spec.idle_power_w
+        assert spec.active_power_w(1.0) == spec.peak_power_w
+        mid = spec.active_power_w(0.5)
+        assert spec.idle_power_w < mid < spec.peak_power_w
+
+    def test_active_power_rejects_out_of_range(self):
+        spec = MICROSERVER_CATALOG["xeon-d-x86"]
+        with pytest.raises(ValueError):
+            spec.active_power_w(1.5)
+
+    def test_energy_is_time_times_power(self):
+        spec = MICROSERVER_CATALOG["kintex-fpga"]
+        time = spec.execution_time_s(WorkloadKind.DNN_INFERENCE, 100.0)
+        assert spec.energy_j(WorkloadKind.DNN_INFERENCE, 100.0) == pytest.approx(
+            time * spec.peak_power_w
+        )
+
+    def test_efficiency_ordering_matches_expectation(self):
+        fpga = MICROSERVER_CATALOG["kintex-fpga"]
+        cpu = MICROSERVER_CATALOG["xeon-d-x86"]
+        assert fpga.efficiency_gops_per_w(WorkloadKind.DNN_INFERENCE) > cpu.efficiency_gops_per_w(
+            WorkloadKind.DNN_INFERENCE
+        )
+
+
+class TestMicroserverInstance:
+    def test_unique_node_ids(self):
+        a = make_microserver("xeon-d-x86")
+        b = make_microserver("xeon-d-x86")
+        assert a.node_id != b.node_id
+
+    def test_execute_advances_busy_time_and_charges_energy(self, xeon):
+        finish, energy = xeon.execute(WorkloadKind.SCALAR, 120.0, start_s=0.0)
+        assert finish == pytest.approx(1.0)
+        assert energy > 0
+        assert xeon.energy.total_energy_j() == pytest.approx(energy)
+
+    def test_execute_serialises_work(self, xeon):
+        finish1, _ = xeon.execute(WorkloadKind.SCALAR, 120.0, start_s=0.0)
+        finish2, _ = xeon.execute(WorkloadKind.SCALAR, 120.0, start_s=0.0)
+        assert finish2 == pytest.approx(finish1 + 1.0)
+
+    def test_memory_reservation_limits(self, xeon):
+        xeon.reserve_memory(60.0)
+        assert not xeon.can_fit(10.0)
+        with pytest.raises(ValueError):
+            xeon.reserve_memory(10.0)
+        xeon.release_memory(60.0)
+        assert xeon.can_fit(10.0)
+
+    def test_release_never_goes_negative(self, xeon):
+        xeon.release_memory(5.0)
+        assert xeon.allocated_memory_gib == 0.0
+
+    def test_idle_energy_charges_account(self, xeon):
+        energy = xeon.idle_energy_j(10.0)
+        assert energy == pytest.approx(xeon.spec.idle_power_w * 10.0)
+        assert xeon.energy.total_energy_j() == pytest.approx(energy)
+
+    def test_idle_energy_rejects_negative_duration(self, xeon):
+        with pytest.raises(ValueError):
+            xeon.idle_energy_j(-1.0)
+
+    def test_is_idle_at(self, xeon):
+        assert xeon.is_idle_at(0.0)
+        xeon.execute(WorkloadKind.SCALAR, 120.0, start_s=0.0)
+        assert not xeon.is_idle_at(0.5)
+        assert xeon.is_idle_at(2.0)

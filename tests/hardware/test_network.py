@@ -1,0 +1,95 @@
+"""Unit tests for the interconnect models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.network import (
+    ComputeNetwork,
+    HighSpeedLink,
+    ManagementNetwork,
+    NetworkFabric,
+)
+
+
+class TestLinks:
+    def test_transfer_time_includes_latency_and_bandwidth(self):
+        link = ComputeNetwork("eth")
+        one_gb = 1e9
+        expected = link.latency_s + one_gb * 8 / (link.bandwidth_gbps * 1e9)
+        assert link.transfer(one_gb) == pytest.approx(expected)
+
+    def test_high_speed_link_is_faster_than_compute(self):
+        hs = HighSpeedLink("hs")
+        eth = ComputeNetwork("eth")
+        size = 100e6
+        assert hs.transfer(size) < eth.transfer(size)
+
+    def test_stats_accumulate(self):
+        link = HighSpeedLink("hs")
+        link.transfer(1e6)
+        link.transfer(2e6)
+        assert link.stats.messages == 2
+        assert link.stats.bytes_moved == pytest.approx(3e6)
+        assert link.stats.energy_j > 0
+
+    def test_reset_clears_stats(self):
+        link = ComputeNetwork("eth")
+        link.transfer(1e6)
+        link.reset()
+        assert link.stats.messages == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeNetwork("eth").transfer(-1)
+
+    def test_management_telemetry(self):
+        mgmt = ManagementNetwork("mgmt")
+        duration = mgmt.telemetry()
+        assert duration > 0
+        assert mgmt.stats.bytes_moved == mgmt.telemetry_bytes
+
+
+class TestFabricRouting:
+    def make_fabric(self):
+        fabric = NetworkFabric()
+        fabric.register_node("a", "carrier0")
+        fabric.register_node("b", "carrier0")
+        fabric.register_node("c", "carrier1")
+        return fabric
+
+    def test_same_carrier_uses_high_speed(self):
+        fabric = self.make_fabric()
+        assert fabric.route("a", "b") is fabric.high_speed
+
+    def test_cross_carrier_uses_compute_network(self):
+        fabric = self.make_fabric()
+        assert fabric.route("a", "c") is fabric.compute
+
+    def test_bridged_pair_uses_high_speed(self):
+        fabric = self.make_fabric()
+        fabric.bridge("a", "c")
+        assert fabric.is_bridged("c", "a")
+        assert fabric.route("a", "c") is fabric.high_speed
+
+    def test_bridge_to_self_rejected(self):
+        fabric = self.make_fabric()
+        with pytest.raises(ValueError):
+            fabric.bridge("a", "a")
+
+    def test_local_transfer_is_free(self):
+        fabric = self.make_fabric()
+        assert fabric.transfer("a", "a", 1e9) == 0.0
+
+    def test_broadcast_serialises_transfers(self):
+        fabric = self.make_fabric()
+        single = fabric.transfer("a", "c", 1e6)
+        total = fabric.broadcast("a", ["b", "c"], 1e6)
+        assert total > single
+
+    def test_energy_and_bytes_aggregate(self):
+        fabric = self.make_fabric()
+        fabric.transfer("a", "b", 1e6)
+        fabric.transfer("a", "c", 1e6)
+        assert fabric.total_bytes() == pytest.approx(2e6)
+        assert fabric.total_energy_j() > 0

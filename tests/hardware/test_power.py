@@ -1,0 +1,178 @@
+"""Unit tests for power metering and energy accounting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hardware.power import (
+    EnergyAccount,
+    PowerBudget,
+    PowerDistributionUnit,
+    PowerSample,
+    PowerSpy,
+    aggregate_energy,
+    derive_power_trace,
+    joules_to_kwh,
+)
+
+
+class TestPowerSample:
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            PowerSample(time_s=0.0, watts=-1.0)
+
+    def test_rejects_non_finite_power(self):
+        with pytest.raises(ValueError):
+            PowerSample(time_s=0.0, watts=math.inf)
+
+    def test_holds_fields(self):
+        sample = PowerSample(time_s=1.5, watts=42.0, source="node")
+        assert sample.time_s == 1.5
+        assert sample.watts == 42.0
+        assert sample.source == "node"
+
+
+class TestEnergyAccount:
+    def test_trapezoidal_integration_constant_power(self):
+        account = EnergyAccount()
+        account.record(0.0, 100.0)
+        account.record(10.0, 100.0)
+        assert account.sampled_energy_j() == pytest.approx(1000.0)
+
+    def test_trapezoidal_integration_ramp(self):
+        account = EnergyAccount()
+        account.record(0.0, 0.0)
+        account.record(10.0, 100.0)
+        assert account.sampled_energy_j() == pytest.approx(500.0)
+
+    def test_rejects_out_of_order_samples(self):
+        account = EnergyAccount()
+        account.record(5.0, 10.0)
+        with pytest.raises(ValueError):
+            account.record(1.0, 10.0)
+
+    def test_charge_adds_to_total(self):
+        account = EnergyAccount()
+        account.charge(250.0)
+        account.charge(250.0)
+        assert account.total_energy_j() == pytest.approx(500.0)
+
+    def test_charge_rejects_negative(self):
+        account = EnergyAccount()
+        with pytest.raises(ValueError):
+            account.charge(-1.0)
+
+    def test_average_power(self):
+        account = EnergyAccount()
+        account.record(0.0, 50.0)
+        account.record(2.0, 150.0)
+        assert account.average_power_w() == pytest.approx(100.0)
+
+    def test_average_power_single_sample(self):
+        account = EnergyAccount()
+        account.record(0.0, 70.0)
+        assert account.average_power_w() == 70.0
+
+    def test_peak_power(self):
+        account = EnergyAccount()
+        for t, w in [(0.0, 10.0), (1.0, 90.0), (2.0, 30.0)]:
+            account.record(t, w)
+        assert account.peak_power_w() == 90.0
+
+    def test_window_extracts_subrange(self):
+        account = EnergyAccount()
+        for t in range(10):
+            account.record(float(t), 10.0)
+        window = account.window(2.0, 5.0)
+        assert len(window.samples) == 4
+        assert window.samples[0].time_s == 2.0
+
+    def test_window_rejects_inverted_range(self):
+        account = EnergyAccount()
+        with pytest.raises(ValueError):
+            account.window(5.0, 2.0)
+
+    def test_reset_clears_state(self):
+        account = EnergyAccount()
+        account.record(0.0, 5.0)
+        account.charge(10.0)
+        account.reset()
+        assert account.total_energy_j() == 0.0
+        assert len(account.samples) == 0
+
+
+class TestPowerMeters:
+    def test_pdu_quantises_to_one_watt(self):
+        pdu = PowerDistributionUnit("pdu")
+        sample = pdu.sample(0.0, 123.4)
+        assert sample is not None
+        assert sample.watts == pytest.approx(123.0)
+
+    def test_powerspy_higher_resolution(self):
+        spy = PowerSpy("spy")
+        sample = spy.sample(0.0, 12.342)
+        assert sample is not None
+        assert sample.watts == pytest.approx(12.34, abs=1e-6)
+
+    def test_meter_skips_samples_faster_than_period(self):
+        pdu = PowerDistributionUnit("pdu")
+        assert pdu.sample(0.0, 100.0) is not None
+        assert pdu.sample(0.5, 100.0) is None
+        assert pdu.sample(1.0, 100.0) is not None
+
+    def test_meter_energy_integrates(self):
+        spy = PowerSpy("spy")
+        for i in range(11):
+            spy.sample(i * 0.05, 20.0)
+        assert spy.energy_j() == pytest.approx(20.0 * 0.5, rel=1e-6)
+
+
+class TestPowerBudget:
+    def test_allocate_and_release(self):
+        budget = PowerBudget(cap_w=100.0)
+        budget.allocate("a", 60.0)
+        assert budget.headroom_w == pytest.approx(40.0)
+        assert budget.release("a") == 60.0
+        assert budget.headroom_w == pytest.approx(100.0)
+
+    def test_over_allocation_rejected(self):
+        budget = PowerBudget(cap_w=100.0)
+        budget.allocate("a", 80.0)
+        with pytest.raises(ValueError):
+            budget.allocate("b", 30.0)
+
+    def test_duplicate_owner_rejected(self):
+        budget = PowerBudget(cap_w=100.0)
+        budget.allocate("a", 10.0)
+        with pytest.raises(KeyError):
+            budget.allocate("a", 10.0)
+
+    def test_release_unknown_owner_rejected(self):
+        budget = PowerBudget(cap_w=100.0)
+        with pytest.raises(KeyError):
+            budget.release("ghost")
+
+    def test_non_positive_cap_rejected(self):
+        with pytest.raises(ValueError):
+            PowerBudget(cap_w=0.0)
+
+
+class TestHelpers:
+    def test_aggregate_energy(self):
+        accounts = []
+        for i in range(3):
+            account = EnergyAccount(str(i))
+            account.charge(100.0)
+            accounts.append(account)
+        assert aggregate_energy(accounts) == pytest.approx(300.0)
+
+    def test_joules_to_kwh(self):
+        assert joules_to_kwh(3.6e6) == pytest.approx(1.0)
+
+    def test_derive_power_trace_orders_events(self):
+        trace = derive_power_trace([(2.0, 50.0), (1.0, 30.0)], idle_w=5.0)
+        times = [sample.time_s for sample in trace]
+        assert times == sorted(times)
+        assert trace[0].watts == 5.0

@@ -1,0 +1,84 @@
+"""Unit tests for the RECS|BOX enclosure model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.carrier import CarrierKind
+from repro.hardware.microserver import DeviceKind, make_microserver
+from repro.hardware.recsbox import MAX_CARRIERS, MAX_MICROSERVERS, RecsBox, RecsBoxConfig
+
+
+class TestConstruction:
+    def test_balanced_demo_builds(self):
+        box = RecsBox.from_config(RecsBoxConfig.balanced_demo())
+        assert box.microserver_count == 7
+        inventory = box.inventory()
+        assert inventory["cpu_x86"] == 1
+        assert inventory["gpu"] == 1
+
+    def test_full_rack_scales(self):
+        box = RecsBox.from_config(RecsBoxConfig.full_rack(replication=2))
+        assert box.microserver_count == 14
+
+    def test_config_respects_carrier_slot_limits(self):
+        # 5 COM Express modules need two high-performance carriers (3 slots each).
+        config = RecsBoxConfig(
+            name="tight",
+            carriers={CarrierKind.HIGH_PERFORMANCE: ["xeon-d-x86"] * 5},
+        )
+        box = RecsBox.from_config(config)
+        assert len(box.carriers) == 2
+        assert box.microserver_count == 5
+
+    def test_backplane_carrier_limit(self):
+        box = RecsBox("limit")
+        for _ in range(MAX_CARRIERS):
+            box.add_carrier(CarrierKind.LOW_POWER)
+        with pytest.raises(ValueError):
+            box.add_carrier(CarrierKind.LOW_POWER)
+
+    def test_install_rejects_foreign_carrier(self):
+        box = RecsBox("a")
+        other = RecsBox("b")
+        foreign_carrier = other.add_carrier(CarrierKind.HIGH_PERFORMANCE)
+        with pytest.raises(ValueError):
+            box.install(foreign_carrier, make_microserver("xeon-d-x86"))
+
+
+class TestQueries:
+    def setup_method(self):
+        self.box = RecsBox.from_config(RecsBoxConfig.balanced_demo())
+
+    def test_nodes_of_kind(self):
+        fpgas = self.box.nodes_of_kind(DeviceKind.FPGA)
+        assert len(fpgas) == 1
+        assert fpgas[0].spec.model == "kintex-fpga"
+
+    def test_find_by_node_id(self):
+        node = self.box.microservers[0]
+        assert self.box.find(node.node_id) is node
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            self.box.find("unknown")
+
+    def test_iteration_covers_all(self):
+        assert len(list(self.box)) == self.box.microserver_count
+
+    def test_network_registration(self):
+        nodes = self.box.microservers
+        assert all(node.node_id in self.box.fabric.carrier_of for node in nodes)
+
+    def test_power_aggregates(self):
+        assert self.box.peak_power_w() > self.box.idle_power_w() > 0
+
+    def test_sample_power_records_pdu(self):
+        self.box.sample_power(0.0)
+        self.box.sample_power(2.0)
+        assert len(self.box.pdu.account.samples) == 2
+
+    def test_total_energy_includes_fabric(self):
+        node_a, node_b = self.box.microservers[:2]
+        self.box.fabric.transfer(node_a.node_id, node_b.node_id, 1e9)
+        assert self.box.total_energy_j() > 0

@@ -1,0 +1,127 @@
+"""Tests for the embedded management firmware model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.recsbox import RecsBox, RecsBoxConfig
+from repro.middleware.firmware import (
+    MISSED_HEARTBEAT_LIMIT,
+    OVERHEAT_THRESHOLD_C,
+    BoardSensors,
+    ManagementController,
+    NodePowerState,
+)
+from repro.hardware.microserver import make_microserver
+
+
+@pytest.fixture
+def controller() -> ManagementController:
+    box = RecsBox.from_config(RecsBoxConfig.balanced_demo())
+    return ManagementController(box)
+
+
+class TestPowerSequencing:
+    def test_nodes_start_off(self, controller):
+        assert all(
+            controller.power_state(m.node_id) is NodePowerState.OFF
+            for m in controller.box.microservers
+        )
+
+    def test_power_on_off_cycle(self, controller):
+        node = controller.box.microservers[0].node_id
+        controller.power_on(node)
+        assert controller.power_state(node) is NodePowerState.ON
+        controller.standby(node)
+        assert controller.power_state(node) is NodePowerState.STANDBY
+        controller.power_off(node)
+        assert controller.power_state(node) is NodePowerState.OFF
+        assert controller.events_for(node) == ["power-on", "standby", "power-off"]
+
+    def test_power_on_all(self, controller):
+        controller.power_on_all()
+        assert len(controller.nodes_in_state(NodePowerState.ON)) == controller.box.microserver_count
+
+    def test_unknown_node_rejected(self, controller):
+        with pytest.raises(KeyError):
+            controller.power_on("ghost")
+
+    def test_faulted_node_needs_clearing(self, controller):
+        node = controller.box.microservers[0].node_id
+        controller.power_on(node)
+        controller.heartbeat(0.0, responding=[])
+        controller.heartbeat(1.0, responding=[])
+        controller.heartbeat(2.0, responding=[])
+        assert controller.power_state(node) is NodePowerState.FAULT
+        with pytest.raises(RuntimeError):
+            controller.power_on(node)
+        controller.clear_fault(node)
+        controller.power_on(node)
+        assert controller.power_state(node) is NodePowerState.ON
+
+
+class TestSensors:
+    def test_reading_scales_with_utilisation(self):
+        sensors = BoardSensors(make_microserver("xeon-d-x86"))
+        idle = sensors.read(0.0, 0.0)
+        busy = sensors.read(1.0, 1.0)
+        assert busy.power_w > idle.power_w
+        assert busy.temperature_c > idle.temperature_c
+        assert busy.fan_rpm > idle.fan_rpm
+
+    def test_invalid_utilisation_rejected(self):
+        sensors = BoardSensors(make_microserver("xeon-d-x86"))
+        with pytest.raises(ValueError):
+            sensors.read(0.0, 1.5)
+
+    def test_poll_only_covers_powered_nodes(self, controller):
+        first = controller.box.microservers[0].node_id
+        controller.power_on(first)
+        readings = controller.poll_sensors(0.0)
+        assert [r.node_id for r in readings] == [first]
+        assert controller.last_reading(first) is not None
+
+    def test_poll_charges_management_network(self, controller):
+        controller.power_on_all()
+        before = controller.management_net.stats.messages
+        controller.poll_sensors(0.0)
+        assert controller.management_net.stats.messages == before + controller.box.microserver_count
+
+    def test_overheat_flags_fault(self, controller):
+        node = controller.box.microservers[0].node_id
+        controller.power_on(node)
+        # Force an extreme ambient temperature so the rise crosses the limit.
+        record = controller._nodes[node]
+        record.sensors.ambient_c = OVERHEAT_THRESHOLD_C
+        controller.poll_sensors(0.0, utilisations={node: 1.0})
+        assert controller.power_state(node) is NodePowerState.FAULT
+        assert "overheat-shutdown" in controller.events_for(node)
+
+
+class TestHeartbeatAndConsole:
+    def test_heartbeat_failure_after_limit(self, controller):
+        node = controller.box.microservers[0].node_id
+        controller.power_on(node)
+        failed = []
+        for round_index in range(MISSED_HEARTBEAT_LIMIT):
+            failed = controller.heartbeat(float(round_index), responding=[])
+        assert failed == [node]
+
+    def test_responding_node_resets_counter(self, controller):
+        node = controller.box.microservers[0].node_id
+        controller.power_on(node)
+        controller.heartbeat(0.0, responding=[])
+        controller.heartbeat(1.0, responding=[node])
+        controller.heartbeat(2.0, responding=[])
+        controller.heartbeat(3.0, responding=[])
+        assert controller.power_state(node) is NodePowerState.ON
+
+    def test_console_requires_power(self, controller):
+        node = controller.box.microservers[0].node_id
+        with pytest.raises(RuntimeError):
+            controller.attach_console(node)
+        controller.power_on(node)
+        controller.attach_console(node)
+        assert controller.console_attached(node)
+        controller.detach_console(node)
+        assert not controller.console_attached(node)

@@ -1,0 +1,120 @@
+"""Tests for the OpenStack-like IaaS layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.microserver import DeviceKind
+from repro.hardware.recsbox import RecsBox, RecsBoxConfig
+from repro.middleware.firmware import ManagementController
+from repro.middleware.iaas import Flavor, IaasManager, Quota, QuotaExceededError
+
+
+@pytest.fixture
+def iaas() -> IaasManager:
+    box = RecsBox.from_config(RecsBoxConfig.balanced_demo())
+    firmware = ManagementController(box)
+    firmware.power_on_all()
+    manager = IaasManager(box, firmware=firmware)
+    manager.create_project("tenant-a")
+    return manager
+
+
+class TestProjectsAndQuotas:
+    def test_duplicate_project_rejected(self, iaas):
+        with pytest.raises(ValueError):
+            iaas.create_project("tenant-a")
+
+    def test_unknown_project_rejected(self, iaas):
+        with pytest.raises(KeyError):
+            iaas.project("ghost")
+
+    def test_quota_enforced_on_instances(self, iaas):
+        iaas.create_project("small", quota=Quota(vcpus=2, memory_gib=4.0, instances=1))
+        iaas.spawn("small", "m1.small")
+        with pytest.raises(QuotaExceededError):
+            iaas.spawn("small", "m1.tiny")
+
+    def test_quota_released_on_delete(self, iaas):
+        iaas.create_project("small", quota=Quota(vcpus=2, memory_gib=4.0, instances=1))
+        instance = iaas.spawn("small", "m1.small")
+        iaas.delete(instance.instance_id)
+        assert iaas.project("small").used_vcpus == 0
+        iaas.spawn("small", "m1.small")
+
+    def test_invalid_quota_rejected(self):
+        with pytest.raises(ValueError):
+            Quota(vcpus=0)
+
+
+class TestScheduling:
+    def test_spawn_places_on_powered_host(self, iaas):
+        instance = iaas.spawn("tenant-a", "m1.small")
+        assert instance.node_id in iaas.host_utilisation()
+        assert iaas.instance_of(instance.instance_id) is instance
+
+    def test_accelerator_flavor_filters_hosts(self, iaas):
+        instance = iaas.spawn("tenant-a", "f1.fpga")
+        host = iaas.box.find(instance.node_id)
+        assert host.spec.kind is DeviceKind.FPGA
+
+    def test_gpu_soc_flavor(self, iaas):
+        instance = iaas.spawn("tenant-a", "g1.gpu")
+        assert iaas.box.find(instance.node_id).spec.kind is DeviceKind.GPU_SOC
+
+    def test_unknown_flavor_rejected(self, iaas):
+        with pytest.raises(KeyError):
+            iaas.spawn("tenant-a", "xl.monster")
+
+    def test_powered_off_hosts_excluded(self):
+        box = RecsBox.from_config(RecsBoxConfig.balanced_demo())
+        firmware = ManagementController(box)  # nothing powered on
+        manager = IaasManager(box, firmware=firmware)
+        manager.create_project("t")
+        with pytest.raises(RuntimeError):
+            manager.spawn("t", "m1.tiny")
+
+    def test_capacity_exhaustion(self, iaas):
+        iaas.create_project("big", quota=Quota(vcpus=10_000, memory_gib=10_000, instances=10_000))
+        spawned = 0
+        with pytest.raises(RuntimeError):
+            for _ in range(10_000):
+                iaas.spawn("big", "m1.large")
+                spawned += 1
+        assert spawned > 0
+
+    def test_packing_objective_fills_hosts(self, iaas):
+        a = iaas.spawn("tenant-a", "m1.tiny")
+        b = iaas.spawn("tenant-a", "m1.tiny")
+        assert a.node_id == b.node_id
+
+    def test_efficiency_objective_prefers_efficient_hosts(self):
+        box = RecsBox.from_config(RecsBoxConfig.balanced_demo())
+        firmware = ManagementController(box)
+        firmware.power_on_all()
+        manager = IaasManager(box, firmware=firmware, placement_objective="efficiency")
+        manager.create_project("t")
+        instance = manager.spawn("t", "m1.tiny")
+        chosen = box.find(instance.node_id).spec
+        # The chosen host is at least as efficient as every other CPU host.
+        assert chosen.efficiency_gops_per_w is not None
+
+    def test_invalid_objective_rejected(self, iaas):
+        with pytest.raises(ValueError):
+            IaasManager(iaas.box, placement_objective="random")
+
+    def test_delete_unknown_instance(self, iaas):
+        with pytest.raises(KeyError):
+            iaas.delete("inst-999")
+
+    def test_instances_filtered_by_project(self, iaas):
+        iaas.create_project("tenant-b")
+        iaas.spawn("tenant-a", "m1.tiny")
+        iaas.spawn("tenant-b", "m1.tiny")
+        assert len(iaas.instances("tenant-a")) == 1
+        assert len(iaas.instances()) == 2
+
+    def test_host_utilisation_increases_after_spawn(self, iaas):
+        before = sum(iaas.host_utilisation().values())
+        iaas.spawn("tenant-a", "m1.large")
+        assert sum(iaas.host_utilisation().values()) > before

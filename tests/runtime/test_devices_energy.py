@@ -1,0 +1,117 @@
+"""Tests for execution devices and the energy-aware selection policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.microserver import DeviceKind, WorkloadKind
+from repro.runtime.devices import (
+    ExecutionDevice,
+    TargetKind,
+    build_devices,
+    build_devices_from_microservers,
+)
+from repro.runtime.energy import EnergyPolicy, diverse_devices, pick_device, rank_devices
+from repro.runtime.task import make_task
+from repro.hardware.microserver import make_microserver
+
+
+class TestTargetMapping:
+    def test_target_kind_per_device_class(self):
+        assert TargetKind.for_device(DeviceKind.CPU_X86) is TargetKind.SMP
+        assert TargetKind.for_device(DeviceKind.GPU) is TargetKind.CUDA
+        assert TargetKind.for_device(DeviceKind.GPU_SOC) is TargetKind.OPENCL
+        assert TargetKind.for_device(DeviceKind.FPGA) is TargetKind.FPGA
+
+    def test_build_devices_from_microservers(self):
+        devices = build_devices_from_microservers([make_microserver("xeon-d-x86")])
+        assert devices[0].target is TargetKind.SMP
+
+
+class TestDeviceCostModel:
+    def test_supports_checks_allow_list_and_memory(self):
+        devices = build_devices(["xeon-d-x86", "gtx1080-gpu"])
+        gpu_only = make_task("g", allowed_devices=[DeviceKind.GPU], workload=WorkloadKind.DNN_INFERENCE)
+        big = make_task("big", memory_gib=512)
+        assert not devices[0].supports(gpu_only)
+        assert devices[1].supports(gpu_only)
+        assert not devices[1].supports(big)
+
+    def test_staging_cost_only_for_accelerators(self):
+        cpu, gpu = build_devices(["xeon-d-x86", "gtx1080-gpu"])
+        task = make_task("t", inputs=["x"], region_size_bytes=1e9)
+        assert cpu.staging_time_s(task) == 0.0
+        assert gpu.staging_time_s(task) > 0.0
+
+    def test_fpga_reconfiguration_charged_on_kernel_switch(self):
+        (fpga,) = build_devices(["kintex-fpga"])
+        task_a = make_task("a", workload=WorkloadKind.STREAMING)
+        task_b = make_task("b", workload=WorkloadKind.STREAMING)
+        fpga.execute(task_a)
+        assert fpga.reconfiguration_time_s(task_a) == 0.0  # already loaded
+        assert fpga.reconfiguration_time_s(task_b) > 0.0
+
+    def test_execute_serialises_and_charges_energy(self):
+        (cpu,) = build_devices(["xeon-d-x86"])
+        task = make_task("t", gops=120.0)
+        start1, finish1, energy1 = cpu.execute(task)
+        task2 = make_task("t2", gops=120.0)
+        start2, _, _ = cpu.execute(task2)
+        assert start2 == pytest.approx(finish1)
+        assert cpu.consumed_energy_j == pytest.approx(energy1 * 2, rel=0.01)
+        assert cpu.executed_tasks == ("t", "t2")
+
+    def test_execute_unsupported_task_raises(self):
+        (cpu,) = build_devices(["xeon-d-x86"])
+        gpu_task = make_task("g", allowed_devices=[DeviceKind.GPU])
+        with pytest.raises(ValueError):
+            cpu.execute(gpu_task)
+
+
+class TestEnergyPolicies:
+    def test_energy_policy_prefers_fpga_for_inference(self, small_devices):
+        task = make_task("dnn", workload=WorkloadKind.DNN_INFERENCE, gops=500)
+        chosen = pick_device(task, small_devices, policy=EnergyPolicy.ENERGY)
+        assert chosen.kind.is_fpga
+
+    def test_performance_policy_prefers_gpu_for_inference(self, small_devices):
+        task = make_task("dnn", workload=WorkloadKind.DNN_INFERENCE, gops=500)
+        chosen = pick_device(task, small_devices, policy=EnergyPolicy.PERFORMANCE)
+        assert chosen.kind is DeviceKind.GPU
+
+    def test_scalar_work_stays_on_cpu_for_performance(self, small_devices):
+        task = make_task("ctrl", workload=WorkloadKind.SCALAR, gops=50)
+        chosen = pick_device(task, small_devices, policy=EnergyPolicy.PERFORMANCE)
+        assert chosen.kind.is_cpu
+
+    def test_no_supporting_device_raises(self, small_devices):
+        task = make_task("huge", memory_gib=1e6)
+        with pytest.raises(ValueError):
+            pick_device(task, small_devices)
+
+    def test_rank_devices_sorted_best_first(self, small_devices):
+        task = make_task("dnn", workload=WorkloadKind.DNN_INFERENCE, gops=500)
+        ranking = rank_devices(task, small_devices, policy=EnergyPolicy.ENERGY)
+        scores = [score for _, score in ranking]
+        assert scores == sorted(scores)
+
+    def test_edp_policy_balances(self, small_devices):
+        task = make_task("dnn", workload=WorkloadKind.DNN_INFERENCE, gops=500)
+        chosen = pick_device(task, small_devices, policy=EnergyPolicy.EDP)
+        assert chosen.kind in (DeviceKind.GPU, DeviceKind.FPGA)
+
+    def test_diverse_devices_picks_distinct_kinds(self, small_devices):
+        task = make_task("crit", workload=WorkloadKind.DATA_PARALLEL, gops=100)
+        picked = diverse_devices(task, small_devices, 3)
+        kinds = [device.kind for device in picked]
+        assert len(set(kinds)) == 3
+
+    def test_diverse_devices_falls_back_to_same_kind(self):
+        devices = build_devices(["xeon-d-x86", "xeon-d-x86"])
+        task = make_task("t", gops=10)
+        picked = diverse_devices(task, devices, 2)
+        assert len(picked) == 2
+
+    def test_diverse_devices_rejects_zero_count(self, small_devices):
+        with pytest.raises(ValueError):
+            diverse_devices(make_task("t"), small_devices, 0)

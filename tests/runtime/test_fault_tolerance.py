@@ -1,0 +1,160 @@
+"""Tests for selective replication, fault detection and error propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.microserver import WorkloadKind
+from repro.runtime.devices import build_devices
+from repro.runtime.fault_tolerance import (
+    FaultInjector,
+    ReplicationPolicy,
+    ResilientExecutor,
+    failure_root_candidates,
+    propagate_errors,
+)
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import make_task
+
+
+def mixed_graph() -> TaskGraph:
+    graph = TaskGraph()
+    graph.add_task(make_task("load", outputs=["raw"], gops=10))
+    graph.add_task(
+        make_task("critical-transform", inputs=["raw"], outputs=["clean"], gops=50, reliability_critical=True)
+    )
+    graph.add_task(make_task("analyse", inputs=["clean"], outputs=["result"], gops=100))
+    graph.add_task(make_task("report", inputs=["result"], outputs=["summary"], gops=5))
+    return graph
+
+
+class TestReplicationPolicy:
+    def test_replica_counts(self):
+        critical = make_task("c", reliability_critical=True)
+        normal = make_task("n")
+        assert ReplicationPolicy.NONE.replicas_for(critical) == 1
+        assert ReplicationPolicy.FULL.replicas_for(normal) == 2
+        assert ReplicationPolicy.SELECTIVE.replicas_for(critical) == 2
+        assert ReplicationPolicy.SELECTIVE.replicas_for(normal) == 1
+        assert ReplicationPolicy.TRIPLE_CRITICAL.replicas_for(critical) == 3
+
+
+class TestFaultInjector:
+    def test_probability_bounds_validated(self):
+        with pytest.raises(ValueError):
+            FaultInjector(fault_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(systematic_fraction=-0.1)
+
+    def test_zero_probability_never_faults(self):
+        injector = FaultInjector(fault_probability=0.0)
+        assert all(not injector.draw_fault()[0] for _ in range(100))
+
+    def test_full_probability_always_faults(self):
+        injector = FaultInjector(fault_probability=1.0, systematic_fraction=0.0)
+        faults = [injector.draw_fault() for _ in range(50)]
+        assert all(faulty for faulty, _ in faults)
+        assert all(not systematic for _, systematic in faults)
+
+
+class TestResilientExecutor:
+    def test_selective_replication_only_replicates_critical(self, small_devices):
+        executor = ResilientExecutor(
+            small_devices, policy=ReplicationPolicy.SELECTIVE, injector=FaultInjector(0.0)
+        )
+        report = executor.execute(mixed_graph())
+        by_name = {o.task.name: o for o in report.outcomes}
+        assert by_name["critical-transform"].replicas == 2
+        assert by_name["analyse"].replicas == 1
+
+    def test_replicas_run_on_diverse_device_kinds(self, small_devices):
+        executor = ResilientExecutor(
+            small_devices, policy=ReplicationPolicy.FULL, injector=FaultInjector(0.0)
+        )
+        report = executor.execute(mixed_graph())
+        for outcome in report.outcomes:
+            assert len(set(outcome.device_kinds)) == len(outcome.device_kinds)
+
+    def test_no_replication_detects_nothing(self, small_devices):
+        executor = ResilientExecutor(
+            small_devices,
+            policy=ReplicationPolicy.NONE,
+            injector=FaultInjector(fault_probability=0.5, seed=1),
+        )
+        report = executor.execute(mixed_graph())
+        assert report.injected_faults > 0
+        assert report.detected_faults == 0
+        assert report.detection_coverage == 0.0
+
+    def test_full_replication_detects_most_faults(self, small_devices):
+        injector = FaultInjector(fault_probability=0.6, systematic_fraction=0.0, seed=7)
+        executor = ResilientExecutor(small_devices, policy=ReplicationPolicy.FULL, injector=injector)
+        # Larger graph for statistics.
+        graph = TaskGraph()
+        for i in range(40):
+            graph.add_task(make_task(f"t{i}", outputs=[f"o{i}"], gops=10, reliability_critical=True))
+        report = executor.execute(graph)
+        assert report.injected_faults > 0
+        assert report.detection_coverage > 0.9
+
+    def test_replication_costs_more_energy(self, small_devices):
+        graph_a, graph_b = mixed_graph(), mixed_graph()
+        none_report = ResilientExecutor(
+            small_devices, ReplicationPolicy.NONE, FaultInjector(0.0)
+        ).execute(graph_a)
+        full_report = ResilientExecutor(
+            build_devices(["xeon-d-x86", "gtx1080-gpu", "kintex-fpga"]),
+            ReplicationPolicy.FULL,
+            FaultInjector(0.0),
+        ).execute(graph_b)
+        assert full_report.total_energy_j > none_report.total_energy_j
+
+    def test_selective_cheaper_than_full(self, small_devices):
+        full = ResilientExecutor(
+            build_devices(["xeon-d-x86", "gtx1080-gpu", "kintex-fpga"]),
+            ReplicationPolicy.FULL,
+            FaultInjector(0.0),
+        ).execute(mixed_graph())
+        selective = ResilientExecutor(
+            build_devices(["xeon-d-x86", "gtx1080-gpu", "kintex-fpga"]),
+            ReplicationPolicy.SELECTIVE,
+            FaultInjector(0.0),
+        ).execute(mixed_graph())
+        assert selective.total_energy_j < full.total_energy_j
+
+    def test_executor_needs_devices(self):
+        with pytest.raises(ValueError):
+            ResilientExecutor([], ReplicationPolicy.NONE)
+
+    def test_critical_coverage_metric(self, small_devices):
+        injector = FaultInjector(fault_probability=1.0, systematic_fraction=0.0, seed=3)
+        executor = ResilientExecutor(small_devices, ReplicationPolicy.SELECTIVE, injector)
+        report = executor.execute(mixed_graph())
+        assert 0.0 <= report.critical_coverage() <= 1.0
+
+
+class TestErrorPropagation:
+    def test_propagation_follows_dataflow(self):
+        graph = mixed_graph()
+        tasks = {t.name: t for t in graph.tasks}
+        result = propagate_errors(graph, tasks["critical-transform"])
+        assert result["task_names"] == {"analyse", "report"}
+        assert "clean" in result["regions"]
+
+    def test_leaf_corruption_propagates_nowhere(self):
+        graph = mixed_graph()
+        tasks = {t.name: t for t in graph.tasks}
+        result = propagate_errors(graph, tasks["report"])
+        assert result["task_names"] == set()
+
+    def test_unknown_task_rejected(self):
+        graph = mixed_graph()
+        with pytest.raises(KeyError):
+            propagate_errors(graph, make_task("stranger"))
+
+    def test_root_cause_candidates_ordered(self):
+        graph = mixed_graph()
+        tasks = {t.name: t for t in graph.tasks}
+        candidates = failure_root_candidates(graph, tasks["report"])
+        names = [t.name for t in candidates]
+        assert names == ["load", "critical-transform", "analyse"]

@@ -1,0 +1,188 @@
+"""Tests for the OmpSs-like dataflow runtime and the XiTAO elastic runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.microserver import MICROSERVER_CATALOG, DeviceKind, WorkloadKind
+from repro.runtime.devices import build_devices
+from repro.runtime.ompss import (
+    ExecutionTrace,
+    OmpSsRuntime,
+    SchedulingPolicy,
+    compare_policies,
+)
+from repro.runtime.task import make_task
+from repro.runtime.xitao import (
+    ElasticTask,
+    ResourcePartition,
+    XitaoRuntime,
+    partitions_from_spec,
+)
+
+
+def chain_tasks(n: int = 4, gops: float = 100.0):
+    tasks = []
+    for i in range(n):
+        inputs = [f"d{i - 1}"] if i > 0 else []
+        tasks.append(
+            make_task(
+                f"stage{i}",
+                workload=WorkloadKind.DATA_PARALLEL,
+                gops=gops,
+                inputs=inputs,
+                outputs=[f"d{i}"],
+            )
+        )
+    return tasks
+
+
+class TestOmpSsRuntime:
+    def test_dependences_respected_in_trace(self, small_devices):
+        runtime = OmpSsRuntime(devices=small_devices)
+        trace = runtime.run(chain_tasks(4))
+        finishes = {}
+        for execution in trace.executions:
+            for predecessor in runtime.graph.predecessors(execution.task):
+                assert execution.start_s >= finishes[predecessor.name] - 1e-9
+            finishes[execution.task.name] = execution.finish_s
+
+    def test_all_tasks_executed_once(self, small_devices):
+        runtime = OmpSsRuntime(devices=small_devices)
+        tasks = chain_tasks(6)
+        trace = runtime.run(tasks)
+        assert len(trace.executions) == 6
+        assert {e.task.name for e in trace.executions} == {t.name for t in tasks}
+
+    def test_incremental_submission_and_taskwait(self, small_devices):
+        runtime = OmpSsRuntime(devices=small_devices)
+        first = make_task("first", outputs=["x"], gops=10)
+        runtime.submit(first)
+        runtime.taskwait()
+        second = make_task("second", inputs=["x"], gops=10)
+        runtime.submit(second)
+        trace = runtime.taskwait()
+        assert len(trace.executions) == 2
+
+    def test_energy_policy_consumes_less_energy_than_performance(self):
+        def factory():
+            return [
+                make_task(f"dnn{i}", workload=WorkloadKind.DNN_INFERENCE, gops=400, outputs=[f"r{i}"])
+                for i in range(6)
+            ]
+
+        results = compare_policies(
+            factory,
+            ["xeon-d-x86", "gtx1080-gpu", "kintex-fpga"],
+            [SchedulingPolicy.PERFORMANCE, SchedulingPolicy.ENERGY],
+        )
+        assert (
+            results[SchedulingPolicy.ENERGY].total_energy_j
+            <= results[SchedulingPolicy.PERFORMANCE].total_energy_j
+        )
+
+    def test_performance_policy_has_lower_or_equal_makespan(self):
+        def factory():
+            return [
+                make_task(f"dnn{i}", workload=WorkloadKind.DNN_INFERENCE, gops=400, outputs=[f"r{i}"])
+                for i in range(6)
+            ]
+
+        results = compare_policies(
+            factory,
+            ["xeon-d-x86", "gtx1080-gpu", "kintex-fpga"],
+            [SchedulingPolicy.PERFORMANCE, SchedulingPolicy.ENERGY],
+        )
+        assert (
+            results[SchedulingPolicy.PERFORMANCE].makespan_s
+            <= results[SchedulingPolicy.ENERGY].makespan_s + 1e-9
+        )
+
+    def test_trace_reports(self, small_devices):
+        runtime = OmpSsRuntime(devices=small_devices)
+        trace = runtime.run(chain_tasks(3))
+        assert trace.makespan_s > 0
+        assert trace.total_energy_j > 0
+        assert trace.energy_delay_product > 0
+        assert trace.average_power_w() > 0
+        assert sum(trace.tasks_per_device_kind().values()) == 3
+        assert sum(trace.device_utilisation().values()) > 0
+        with pytest.raises(KeyError):
+            trace.execution_of("missing")
+
+    def test_runtime_requires_devices(self):
+        with pytest.raises(ValueError):
+            OmpSsRuntime(devices=[])
+
+
+class TestElasticTask:
+    def test_amdahl_speedup(self):
+        task = ElasticTask("t", work_gops=100, parallel_fraction=0.5)
+        assert task.speedup(1) == pytest.approx(1.0)
+        assert task.speedup(1000) < 2.0  # limited by the serial half
+        assert task.efficiency(4) < 1.0
+
+    def test_execution_time_decreases_with_width(self):
+        task = ElasticTask("t", work_gops=100, parallel_fraction=0.95)
+        assert task.execution_time_s(8, core_gops=10) < task.execution_time_s(1, core_gops=10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElasticTask("t", work_gops=0)
+        with pytest.raises(ValueError):
+            ElasticTask("t", work_gops=1, parallel_fraction=1.5)
+        with pytest.raises(ValueError):
+            ElasticTask("t", work_gops=1, min_width=4, max_width=2)
+
+
+class TestXitaoRuntime:
+    def test_partitions_from_spec(self):
+        partitions = partitions_from_spec(MICROSERVER_CATALOG["xeon-d-x86"], groups=4)
+        assert len(partitions) == 4
+        assert all(p.cores == 4 for p in partitions)
+
+    def test_schedule_distributes_across_partitions(self):
+        runtime = XitaoRuntime()
+        tasks = [ElasticTask(f"t{i}", work_gops=50, max_width=4) for i in range(8)]
+        trace = runtime.schedule(tasks)
+        partitions_used = {p.partition for p in trace.placements}
+        assert len(partitions_used) > 1
+        assert trace.makespan_s > 0
+        assert trace.total_energy_j > 0
+
+    def test_dependencies_enforce_ordering(self):
+        runtime = XitaoRuntime()
+        tasks = [ElasticTask("a", work_gops=50), ElasticTask("b", work_gops=50)]
+        trace = runtime.schedule(tasks, dependencies={"b": ["a"]})
+        a = next(p for p in trace.placements if p.task.name == "a")
+        b = next(p for p in trace.placements if p.task.name == "b")
+        assert b.start_s >= a.finish_s - 1e-9
+
+    def test_unscheduled_dependency_raises(self):
+        runtime = XitaoRuntime()
+        tasks = [ElasticTask("b", work_gops=10)]
+        with pytest.raises(ValueError):
+            runtime.schedule(tasks, dependencies={"b": ["a"]})
+
+    def test_wide_task_uses_more_than_one_core(self):
+        runtime = XitaoRuntime()
+        task = ElasticTask("wide", work_gops=200, parallel_fraction=0.99, max_width=8)
+        trace = runtime.schedule([task])
+        assert trace.placements[0].width > 1
+        assert trace.width_histogram()[trace.placements[0].width] == 1
+
+    def test_energy_objective_prefers_narrower_widths(self):
+        time_runtime = XitaoRuntime(objective="time")
+        energy_runtime = XitaoRuntime(objective="energy")
+        task = ElasticTask("t", work_gops=200, parallel_fraction=0.7, max_width=4)
+        wide = time_runtime.schedule([ElasticTask("t", work_gops=200, parallel_fraction=0.7, max_width=4)])
+        narrow = energy_runtime.schedule([task])
+        assert narrow.placements[0].width <= wide.placements[0].width
+
+    def test_invalid_objective(self):
+        with pytest.raises(ValueError):
+            XitaoRuntime(objective="speed")
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            ResourcePartition(name="p", cores=0, core_gops=1.0, core_power_w=1.0)

@@ -1,0 +1,152 @@
+"""Tests for the task model and dependency-graph construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.microserver import DeviceKind, WorkloadKind
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import (
+    AccessMode,
+    DataAccess,
+    Task,
+    TaskRequirements,
+    make_task,
+)
+
+
+class TestAccessModes:
+    def test_reads_and_writes_flags(self):
+        assert AccessMode.IN.reads and not AccessMode.IN.writes
+        assert AccessMode.OUT.writes and not AccessMode.OUT.reads
+        assert AccessMode.INOUT.reads and AccessMode.INOUT.writes
+
+    def test_data_access_validation(self):
+        with pytest.raises(ValueError):
+            DataAccess("", AccessMode.IN)
+        with pytest.raises(ValueError):
+            DataAccess("x", AccessMode.IN, size_bytes=-1)
+
+
+class TestTaskRequirements:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskRequirements(gops=0)
+        with pytest.raises(ValueError):
+            TaskRequirements(min_width=3, max_width=2)
+        with pytest.raises(ValueError):
+            TaskRequirements(memory_gib=-1)
+
+    def test_device_allow_list(self):
+        requirements = TaskRequirements(allowed_devices=frozenset({DeviceKind.GPU}))
+        assert requirements.allows(DeviceKind.GPU)
+        assert not requirements.allows(DeviceKind.CPU_X86)
+        unrestricted = TaskRequirements()
+        assert unrestricted.allows(DeviceKind.FPGA)
+
+
+class TestTaskConstruction:
+    def test_make_task_builds_accesses(self):
+        task = make_task("t", inputs=["a"], outputs=["b"], inouts=["c"], region_size_bytes=10)
+        assert task.reads == {"a", "c"}
+        assert task.writes == {"b", "c"}
+        assert task.footprint_bytes == 30
+        assert task.checkpoint_payload() == {"b", "c"}
+
+    def test_duplicate_regions_rejected(self):
+        with pytest.raises(ValueError):
+            make_task("t", inputs=["a"], outputs=["a"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Task(name="")
+
+    def test_unique_ids_and_function_execution(self):
+        results = []
+        task = make_task("f", function=lambda: results.append(1) or "done")
+        other = make_task("g")
+        assert task.task_id != other.task_id
+        assert task.run() == "done"
+        assert other.run() is None
+        assert results == [1]
+
+
+class TestDependencyDerivation:
+    def test_raw_dependence(self):
+        graph = TaskGraph()
+        producer = graph.add_task(make_task("produce", outputs=["x"]))
+        consumer = graph.add_task(make_task("consume", inputs=["x"]))
+        assert consumer in graph.successors(producer)
+        assert graph.edge_region(producer, consumer) == "x"
+
+    def test_waw_and_war_dependences(self):
+        graph = TaskGraph()
+        w1 = graph.add_task(make_task("w1", outputs=["x"]))
+        reader = graph.add_task(make_task("r", inputs=["x"]))
+        w2 = graph.add_task(make_task("w2", outputs=["x"]))
+        assert w2 in graph.successors(w1)      # WAW
+        assert w2 in graph.successors(reader)  # WAR
+
+    def test_independent_tasks_have_no_edges(self):
+        graph = TaskGraph()
+        graph.add_task(make_task("a", outputs=["x"]))
+        graph.add_task(make_task("b", outputs=["y"]))
+        assert graph.num_edges == 0
+
+    def test_duplicate_submission_rejected(self):
+        graph = TaskGraph()
+        task = make_task("a", outputs=["x"])
+        graph.add_task(task)
+        with pytest.raises(ValueError):
+            graph.add_task(task)
+
+    def test_roots_and_leaves(self):
+        graph = TaskGraph()
+        a = graph.add_task(make_task("a", outputs=["x"]))
+        b = graph.add_task(make_task("b", inputs=["x"], outputs=["y"]))
+        c = graph.add_task(make_task("c", inputs=["y"]))
+        assert graph.roots() == [a]
+        assert graph.leaves() == [c]
+        assert graph.ancestors(c) == {a, b}
+        assert graph.descendants(a) == {b, c}
+
+
+class TestGraphAnalyses:
+    def build_diamond(self):
+        graph = TaskGraph()
+        a = graph.add_task(make_task("a", outputs=["x"], gops=1))
+        b = graph.add_task(make_task("b", inputs=["x"], outputs=["y"], gops=2))
+        c = graph.add_task(make_task("c", inputs=["x"], outputs=["z"], gops=3))
+        d = graph.add_task(make_task("d", inputs=["y", "z"], outputs=["w"], gops=1))
+        return graph, (a, b, c, d)
+
+    def test_topological_order_respects_dependences(self):
+        graph, (a, b, c, d) = self.build_diamond()
+        order = graph.topological_order()
+        assert order.index(a) < order.index(b) < order.index(d)
+        assert order.index(a) < order.index(c) < order.index(d)
+
+    def test_waves_group_independent_tasks(self):
+        graph, (a, b, c, d) = self.build_diamond()
+        waves = graph.waves()
+        assert waves[0] == [a]
+        assert set(waves[1]) == {b, c}
+        assert waves[2] == [d]
+        assert graph.parallelism_profile() == [1, 2, 1]
+
+    def test_critical_path_follows_heaviest_chain(self):
+        graph, (a, b, c, d) = self.build_diamond()
+        path, length = graph.critical_path()
+        assert path == [a, c, d]
+        assert length == pytest.approx(5.0)
+
+    def test_empty_graph_critical_path(self):
+        graph = TaskGraph()
+        path, length = graph.critical_path()
+        assert path == [] and length == 0.0
+
+    def test_to_networkx_is_a_copy(self):
+        graph, (a, *_rest) = self.build_diamond()
+        copy = graph.to_networkx()
+        copy.remove_node(a)
+        assert graph.num_tasks == 4

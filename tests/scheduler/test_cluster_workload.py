@@ -1,0 +1,151 @@
+"""Tests for the cluster model and workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.microserver import WorkloadKind
+from repro.scheduler.cluster import Cluster, ClusterNode, NodeResources
+from repro.scheduler.workload import TaskRequest, WorkloadGenerator, WorkloadMix
+from repro.hardware.microserver import MICROSERVER_CATALOG
+
+
+class TestNodeResources:
+    def test_fits_minus_plus(self):
+        resources = NodeResources(cores=8, memory_gib=16.0)
+        assert resources.fits(4, 8.0)
+        reduced = resources.minus(4, 8.0)
+        assert reduced.cores == 4 and reduced.memory_gib == pytest.approx(8.0)
+        restored = reduced.plus(4, 8.0)
+        assert restored.cores == 8
+
+    def test_minus_beyond_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            NodeResources(cores=2, memory_gib=4.0).minus(4, 1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NodeResources(cores=-1, memory_gib=1.0)
+
+    def test_zero_free_resources_allowed(self):
+        resources = NodeResources(cores=4, memory_gib=4.0)
+        empty = resources.minus(4, 4.0)
+        assert empty.cores == 0 and empty.memory_gib == pytest.approx(0.0)
+
+
+class TestClusterNode:
+    def make_node(self) -> ClusterNode:
+        return ClusterNode(name="n0", spec=MICROSERVER_CATALOG["xeon-d-x86"])
+
+    def test_reserve_and_release(self):
+        node = self.make_node()
+        node.reserve("t1", 4, 8.0)
+        assert node.utilisation == pytest.approx(4 / 16)
+        assert not node.can_host(13, 1.0)
+        node.release("t1")
+        assert node.utilisation == 0.0
+
+    def test_duplicate_and_missing_task_errors(self):
+        node = self.make_node()
+        node.reserve("t1", 1, 1.0)
+        with pytest.raises(KeyError):
+            node.reserve("t1", 1, 1.0)
+        with pytest.raises(KeyError):
+            node.release("t2")
+
+    def test_over_reservation_rejected(self):
+        node = self.make_node()
+        with pytest.raises(ValueError):
+            node.reserve("big", 100, 1.0)
+
+    def test_execution_time_scales_with_core_share(self):
+        node = self.make_node()
+        full = node.execution_time_s(WorkloadKind.SCALAR, 100, node.spec.cores)
+        half = node.execution_time_s(WorkloadKind.SCALAR, 100, node.spec.cores // 2)
+        assert half == pytest.approx(2 * full)
+
+    def test_power_tracks_utilisation(self):
+        node = self.make_node()
+        idle_power = node.power_w()
+        node.reserve("t", 8, 1.0)
+        assert node.power_w() > idle_power
+
+    def test_energy_positive(self):
+        node = self.make_node()
+        assert node.energy_for(WorkloadKind.SCALAR, 100, 4) > 0
+
+
+class TestCluster:
+    def test_from_models_and_access(self, heterogeneous_cluster):
+        assert len(heterogeneous_cluster) == 8
+        node = heterogeneous_cluster.nodes[0]
+        assert heterogeneous_cluster.node(node.name) is node
+        with pytest.raises(KeyError):
+            heterogeneous_cluster.node("ghost")
+
+    def test_duplicate_names_rejected(self):
+        spec = MICROSERVER_CATALOG["xeon-d-x86"]
+        with pytest.raises(ValueError):
+            Cluster([ClusterNode("a", spec), ClusterNode("a", spec)])
+
+    def test_feasible_nodes_filtering(self, heterogeneous_cluster):
+        # Only the xeon nodes have 64 GiB of memory.
+        feasible = heterogeneous_cluster.feasible_nodes(cores=1, memory_gib=40.0)
+        assert feasible
+        assert all(node.spec.model == "xeon-d-x86" for node in feasible)
+
+    def test_locate_running_task(self, heterogeneous_cluster):
+        node = heterogeneous_cluster.nodes[0]
+        node.reserve("job", 1, 0.5)
+        assert heterogeneous_cluster.locate("job") is node
+        assert heterogeneous_cluster.locate("nothing") is None
+
+    def test_heats_testbed_is_heterogeneous(self):
+        cluster = Cluster.heats_testbed()
+        models = {node.spec.model for node in cluster}
+        assert len(models) == 4
+
+
+class TestWorkloadGeneration:
+    def test_requests_reproducible_with_seed(self):
+        a = WorkloadGenerator(seed=1).generate(20)
+        b = WorkloadGenerator(seed=1).generate(20)
+        assert [r.gops for r in a] == [r.gops for r in b]
+
+    def test_arrivals_monotone(self):
+        requests = WorkloadGenerator(seed=2).generate(50)
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            TaskRequest("t", arrival_s=-1, workload=WorkloadKind.SCALAR, gops=1, cores=1, memory_gib=1)
+        with pytest.raises(ValueError):
+            TaskRequest("t", arrival_s=0, workload=WorkloadKind.SCALAR, gops=1, cores=1, memory_gib=1, energy_weight=2.0)
+        with pytest.raises(ValueError):
+            TaskRequest("t", arrival_s=5, workload=WorkloadKind.SCALAR, gops=1, cores=1, memory_gib=1, deadline_s=1.0)
+
+    def test_mix_probabilities_respected_roughly(self):
+        mix = WorkloadMix({WorkloadKind.DNN_INFERENCE: 1.0})
+        requests = WorkloadGenerator(mix=mix, seed=3).generate(30)
+        assert all(r.workload is WorkloadKind.DNN_INFERENCE for r in requests)
+
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadMix({})
+        with pytest.raises(ValueError):
+            WorkloadMix({WorkloadKind.SCALAR: -1.0})
+
+    def test_batch_at_fixed_arrival(self):
+        requests = WorkloadGenerator(seed=4).generate_batch_at(10, arrival_s=0.0)
+        assert all(r.arrival_s == 0.0 for r in requests)
+
+    def test_energy_weight_propagated(self):
+        requests = WorkloadGenerator(seed=5, energy_weight=0.9).generate(5)
+        assert all(r.energy_weight == 0.9 for r in requests)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(mean_interarrival_s=0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator().generate(0)

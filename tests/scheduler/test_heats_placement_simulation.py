@@ -1,0 +1,236 @@
+"""Tests for HEATS scoring, placement/migration and the cluster simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.microserver import WorkloadKind
+from repro.scheduler.baselines import (
+    EnergyGreedyScheduler,
+    PerformanceBestFitScheduler,
+    RoundRobinScheduler,
+)
+from repro.scheduler.cluster import Cluster
+from repro.scheduler.heats import HeatsConfig, HeatsScheduler
+from repro.scheduler.modeling import ProfilingCampaign
+from repro.scheduler.placement import PlacementEngine
+from repro.scheduler.simulation import ClusterSimulator, run_policy_comparison
+from repro.scheduler.workload import TaskRequest, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def cluster_and_models():
+    cluster = Cluster.heats_testbed(scale=1)
+    models = ProfilingCampaign(cluster, noise_fraction=0.02, seed=4).run().fit()
+    return cluster, models
+
+
+def fresh_cluster() -> Cluster:
+    return Cluster.heats_testbed(scale=1)
+
+
+def request(task_id="t0", energy_weight=0.5, workload=WorkloadKind.DNN_INFERENCE, cores=2):
+    return TaskRequest(
+        task_id=task_id,
+        arrival_s=0.0,
+        workload=workload,
+        gops=500.0,
+        cores=cores,
+        memory_gib=1.0,
+        energy_weight=energy_weight,
+    )
+
+
+class TestHeatsScoring:
+    def test_scores_normalised_and_sorted(self, cluster_and_models):
+        cluster, models = cluster_and_models
+        scheduler = HeatsScheduler(models)
+        scores = scheduler.score_candidates(request(), cluster.nodes)
+        assert scores == sorted(scores, key=lambda s: s.score)
+        assert all(0.0 <= s.normalised_time <= 1.0 for s in scores)
+        assert all(0.0 <= s.normalised_energy <= 1.0 for s in scores)
+
+    def test_performance_weight_picks_fastest_node(self, cluster_and_models):
+        cluster, models = cluster_and_models
+        scheduler = HeatsScheduler(models)
+        best = scheduler.score_candidates(request(energy_weight=0.0), cluster.nodes)[0]
+        predicted = {s.node: s.predicted_time_s for s in scheduler.score_candidates(request(), cluster.nodes)}
+        assert best.predicted_time_s == min(predicted.values())
+
+    def test_energy_weight_picks_cheapest_node(self, cluster_and_models):
+        cluster, models = cluster_and_models
+        scheduler = HeatsScheduler(models)
+        best = scheduler.score_candidates(request(energy_weight=1.0), cluster.nodes)[0]
+        predicted = {s.node: s.predicted_energy_j for s in scheduler.score_candidates(request(), cluster.nodes)}
+        assert best.predicted_energy_j == min(predicted.values())
+
+    def test_place_returns_feasible_node(self, cluster_and_models):
+        cluster, models = cluster_and_models
+        scheduler = HeatsScheduler(models)
+        node_name = scheduler.place(request(cores=2), cluster, 0.0)
+        assert node_name is not None
+        assert cluster.node(node_name).can_host(2, 1.0)
+
+    def test_place_returns_none_when_nothing_fits(self, cluster_and_models):
+        cluster, models = cluster_and_models
+        scheduler = HeatsScheduler(models)
+        impossible = TaskRequest("x", 0.0, WorkloadKind.SCALAR, gops=1, cores=512, memory_gib=1.0)
+        assert scheduler.place(impossible, cluster, 0.0) is None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HeatsConfig(rescheduling_interval_s=0)
+        with pytest.raises(ValueError):
+            HeatsConfig(migration_improvement_threshold=1.5)
+
+
+class TestPlacementEngine:
+    def test_instantiate_reserves_and_complete_releases(self):
+        cluster = fresh_cluster()
+        engine = PlacementEngine(cluster)
+        req = request()
+        placement = engine.instantiate(req, cluster.nodes[0].name, 0.0)
+        assert placement.expected_finish_s > 0
+        assert cluster.locate(req.task_id) is cluster.nodes[0]
+        engine.complete(req.task_id, placement.expected_finish_s)
+        assert cluster.locate(req.task_id) is None
+
+    def test_duplicate_instantiation_rejected(self):
+        cluster = fresh_cluster()
+        engine = PlacementEngine(cluster)
+        req = request()
+        engine.instantiate(req, cluster.nodes[0].name, 0.0)
+        with pytest.raises(KeyError):
+            engine.instantiate(req, cluster.nodes[1].name, 0.0)
+
+    def test_migration_moves_reservation_and_charges_downtime(self):
+        cluster = fresh_cluster()
+        engine = PlacementEngine(cluster)
+        req = request()
+        slow_node = next(n for n in cluster if n.spec.model == "apalis-arm-soc")
+        fast_node = next(n for n in cluster if n.spec.model == "xeon-d-x86")
+        placement = engine.instantiate(req, slow_node.name, 0.0)
+        original_finish = placement.expected_finish_s
+        event = engine.migrate(req.task_id, fast_node.name, time_s=1.0)
+        assert event.downtime_s > 0
+        assert cluster.locate(req.task_id) is fast_node
+        assert engine.placement(req.task_id).expected_finish_s < original_finish
+        assert placement.migrations == 1
+
+    def test_migration_to_same_node_rejected(self):
+        cluster = fresh_cluster()
+        engine = PlacementEngine(cluster)
+        req = request()
+        engine.instantiate(req, cluster.nodes[0].name, 0.0)
+        with pytest.raises(ValueError):
+            engine.migrate(req.task_id, cluster.nodes[0].name, 1.0)
+
+    def test_unknown_task_operations_rejected(self):
+        engine = PlacementEngine(fresh_cluster())
+        with pytest.raises(KeyError):
+            engine.complete("ghost", 0.0)
+        with pytest.raises(KeyError):
+            engine.migrate("ghost", "anywhere", 0.0)
+
+
+class TestClusterSimulator:
+    def make_schedulers(self, models):
+        return {
+            "heats": lambda cluster: HeatsScheduler(models),
+            "round_robin": lambda cluster: RoundRobinScheduler(models),
+            "perf": lambda cluster: PerformanceBestFitScheduler(models),
+            "energy": lambda cluster: EnergyGreedyScheduler(models),
+        }
+
+    def test_all_tasks_complete_under_every_policy(self, cluster_and_models):
+        _, models = cluster_and_models
+        requests = WorkloadGenerator(seed=8, mean_interarrival_s=20.0).generate(30)
+        results = run_policy_comparison(fresh_cluster, self.make_schedulers(models), requests)
+        for result in results.values():
+            assert len(result.completed) == 30
+            assert not result.unplaced
+            assert result.makespan_s > 0
+            assert result.total_energy_j > 0
+
+    def test_energy_weighted_heats_saves_task_energy_vs_round_robin(self, cluster_and_models):
+        _, models = cluster_and_models
+        requests = WorkloadGenerator(seed=8, mean_interarrival_s=20.0, energy_weight=1.0).generate(30)
+        results = run_policy_comparison(
+            fresh_cluster,
+            {
+                "heats": lambda c: HeatsScheduler(models),
+                "round_robin": lambda c: RoundRobinScheduler(models),
+            },
+            requests,
+        )
+        assert results["heats"].task_energy_j < results["round_robin"].task_energy_j
+
+    def test_perf_weighted_heats_matches_best_fit_turnaround(self, cluster_and_models):
+        _, models = cluster_and_models
+        requests = WorkloadGenerator(seed=9, mean_interarrival_s=30.0, energy_weight=0.0).generate(20)
+        results = run_policy_comparison(
+            fresh_cluster,
+            {
+                "heats": lambda c: HeatsScheduler(models),
+                "perf": lambda c: PerformanceBestFitScheduler(models),
+                "energy": lambda c: EnergyGreedyScheduler(models),
+            },
+            requests,
+        )
+        assert results["heats"].mean_turnaround_s <= results["energy"].mean_turnaround_s * 1.05
+
+    def test_completed_task_accounting(self, cluster_and_models):
+        _, models = cluster_and_models
+        requests = WorkloadGenerator(seed=10, mean_interarrival_s=10.0).generate(10)
+        simulator = ClusterSimulator(fresh_cluster(), HeatsScheduler(models))
+        result = simulator.run(requests)
+        for task in result.completed:
+            assert task.finish_s >= task.start_s >= task.arrival_s
+            assert task.energy_j > 0
+            assert len(task.nodes) >= 1
+        summary = result.summary()
+        assert summary["tasks"] == 10
+
+    def test_queueing_when_cluster_saturated(self, cluster_and_models):
+        _, models = cluster_and_models
+        # A burst of wide tasks cannot all start immediately on the small cluster.
+        burst = WorkloadGenerator(seed=11, mean_interarrival_s=0.01).generate_batch_at(40, 0.0)
+        simulator = ClusterSimulator(fresh_cluster(), HeatsScheduler(models))
+        result = simulator.run(burst)
+        assert len(result.completed) == 40
+        assert result.mean_waiting_s > 0.0
+
+    def test_monitoring_samples_collected(self, cluster_and_models):
+        _, models = cluster_and_models
+        requests = WorkloadGenerator(seed=12, mean_interarrival_s=60.0).generate(10)
+        simulator = ClusterSimulator(fresh_cluster(), HeatsScheduler(models), monitoring_period_s=30.0)
+        simulator.run(requests)
+        assert len(simulator.monitor.history) > 0
+
+
+class TestBaselines:
+    def test_round_robin_cycles(self, cluster_and_models):
+        cluster, models = cluster_and_models
+        scheduler = RoundRobinScheduler(models)
+        placements = {scheduler.place(request(task_id=f"t{i}", cores=1), cluster, 0.0) for i in range(8)}
+        assert len(placements) > 1
+
+    def test_baselines_never_migrate(self, cluster_and_models):
+        cluster, models = cluster_and_models
+        for scheduler in (
+            RoundRobinScheduler(models),
+            PerformanceBestFitScheduler(models),
+            EnergyGreedyScheduler(models),
+        ):
+            assert scheduler.reschedule([], cluster, 0.0) == []
+            assert scheduler.supports_rescheduling is False
+
+    def test_energy_greedy_picks_lowest_energy_prediction(self, cluster_and_models):
+        cluster, models = cluster_and_models
+        scheduler = EnergyGreedyScheduler(models)
+        node = scheduler.place(request(cores=1), cluster, 0.0)
+        energies = {
+            n.name: models.predict(n.name, request(cores=1))[1]
+            for n in cluster.feasible_nodes(1, 1.0)
+        }
+        assert node == min(energies, key=energies.get)

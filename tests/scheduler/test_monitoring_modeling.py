@@ -1,0 +1,119 @@
+"""Tests for cluster monitoring and the learned performance/energy models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.microserver import WorkloadKind
+from repro.scheduler.cluster import Cluster
+from repro.scheduler.modeling import NodeModel, PredictionModelSet, ProfilingCampaign
+from repro.scheduler.monitoring import ClusterMonitor
+from repro.scheduler.workload import TaskRequest
+
+
+class TestMonitoring:
+    def test_sample_covers_all_nodes(self, heterogeneous_cluster):
+        monitor = ClusterMonitor(heterogeneous_cluster)
+        snapshot = monitor.sample(0.0)
+        assert len(snapshot) == len(heterogeneous_cluster)
+        assert all(t.power_w > 0 for t in snapshot)
+
+    def test_latest_returns_most_recent(self, heterogeneous_cluster):
+        monitor = ClusterMonitor(heterogeneous_cluster)
+        monitor.sample(0.0)
+        node = heterogeneous_cluster.nodes[0]
+        node.reserve("t", 2, 1.0)
+        monitor.sample(10.0)
+        latest = monitor.latest(node.name)
+        assert latest is not None
+        assert latest.time_s == 10.0
+        assert latest.running_tasks == 1
+
+    def test_latest_unknown_node_is_none(self, heterogeneous_cluster):
+        monitor = ClusterMonitor(heterogeneous_cluster)
+        monitor.sample(0.0)
+        assert monitor.latest("ghost") is None
+
+    def test_history_bounded(self, heterogeneous_cluster):
+        monitor = ClusterMonitor(heterogeneous_cluster, history_limit=10)
+        for t in range(10):
+            monitor.sample(float(t))
+        assert len(monitor.history) == 10
+
+    def test_cluster_power_rises_with_load(self, heterogeneous_cluster):
+        monitor = ClusterMonitor(heterogeneous_cluster)
+        before = monitor.cluster_power_w()
+        heterogeneous_cluster.nodes[0].reserve("t", 4, 1.0)
+        assert monitor.cluster_power_w() > before
+
+    def test_node_energy_accumulates(self, heterogeneous_cluster):
+        monitor = ClusterMonitor(heterogeneous_cluster)
+        node = heterogeneous_cluster.nodes[0].name
+        for t in range(5):
+            monitor.sample(float(t))
+        assert monitor.node_energy_j(node) > 0
+
+    def test_utilisation_summary(self, heterogeneous_cluster):
+        monitor = ClusterMonitor(heterogeneous_cluster)
+        summary = monitor.utilisation_summary()
+        assert set(summary) == {node.name for node in heterogeneous_cluster}
+
+
+class TestProfilingAndModels:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        cluster = Cluster.heats_testbed(scale=1)
+        campaign = ProfilingCampaign(cluster, noise_fraction=0.02, seed=9).run()
+        return cluster, campaign, campaign.fit()
+
+    def test_models_exist_for_every_node(self, fitted):
+        cluster, _, models = fitted
+        assert set(models.nodes()) == {node.name for node in cluster}
+
+    def test_predictions_close_to_ground_truth(self, fitted):
+        cluster, campaign, models = fitted
+        errors = campaign.prediction_error(models)
+        assert all(error < 0.15 for error in errors.values())
+
+    def test_prediction_scales_with_work(self, fitted):
+        cluster, _, models = fitted
+        node = cluster.nodes[0].name
+        small = TaskRequest("a", 0.0, WorkloadKind.SCALAR, gops=50, cores=1, memory_gib=1)
+        large = TaskRequest("b", 0.0, WorkloadKind.SCALAR, gops=500, cores=1, memory_gib=1)
+        t_small, e_small = models.predict(node, small)
+        t_large, e_large = models.predict(node, large)
+        assert t_large > t_small
+        assert e_large > e_small
+
+    def test_faster_node_predicted_faster(self, fitted):
+        cluster, _, models = fitted
+        xeon = next(n for n in cluster if n.spec.model == "xeon-d-x86").name
+        apalis = next(n for n in cluster if n.spec.model == "apalis-arm-soc").name
+        request = TaskRequest("r", 0.0, WorkloadKind.DATA_PARALLEL, gops=200, cores=2, memory_gib=1)
+        assert models.predict(xeon, request)[0] < models.predict(apalis, request)[0]
+
+    def test_efficient_node_predicted_cheaper(self, fitted):
+        cluster, _, models = fitted
+        xeon = next(n for n in cluster if n.spec.model == "xeon-d-x86").name
+        jetson = next(n for n in cluster if n.spec.model == "jetson-gpu-soc").name
+        request = TaskRequest("r", 0.0, WorkloadKind.DNN_INFERENCE, gops=500, cores=2, memory_gib=1)
+        assert models.predict(jetson, request)[1] < models.predict(xeon, request)[1]
+
+    def test_unknown_node_or_workload_raises(self, fitted):
+        _, _, models = fitted
+        request = TaskRequest("r", 0.0, WorkloadKind.SCALAR, gops=1, cores=1, memory_gib=1)
+        with pytest.raises(KeyError):
+            models.predict("ghost", request)
+        model = NodeModel(node="partial", node_cores=4)
+        with pytest.raises(KeyError):
+            model.predict_time_s(request)
+
+    def test_fit_requires_probing(self):
+        cluster = Cluster.heats_testbed(scale=1)
+        campaign = ProfilingCampaign(cluster)
+        with pytest.raises(RuntimeError):
+            campaign.fit()
+
+    def test_empty_model_set_rejected(self):
+        with pytest.raises(ValueError):
+            PredictionModelSet({})

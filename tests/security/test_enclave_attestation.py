@@ -1,0 +1,123 @@
+"""Tests for the enclave model and attestation service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.security.attestation import AttestationError, AttestationService
+from repro.security.enclave import (
+    PROFILES,
+    SGX_PROFILE,
+    TRUSTZONE_PROFILE,
+    Enclave,
+    EnclaveKind,
+)
+
+
+class TestEnclaveProfiles:
+    def test_both_technologies_available(self):
+        assert set(PROFILES) == {EnclaveKind.SGX, EnclaveKind.TRUSTZONE}
+
+    def test_sgx_transitions_more_expensive_than_trustzone(self):
+        assert SGX_PROFILE.transition_s > TRUSTZONE_PROFILE.transition_s
+
+    def test_trustzone_has_smaller_protected_memory(self):
+        assert TRUSTZONE_PROFILE.protected_memory_mib < SGX_PROFILE.protected_memory_mib
+
+
+class TestEnclave:
+    def test_measurement_deterministic_per_identity(self):
+        a = Enclave("code-v1", SGX_PROFILE)
+        b = Enclave("code-v1", SGX_PROFILE)
+        c = Enclave("code-v2", SGX_PROFILE)
+        assert a.measurement == b.measurement
+        assert a.measurement != c.measurement
+        assert a.enclave_id != b.enclave_id
+
+    def test_overhead_components(self):
+        enclave = Enclave("code", SGX_PROFILE)
+        base = enclave.execution_overhead_s(plain_time_s=1.0, working_set_mib=10.0)
+        paged = enclave.execution_overhead_s(plain_time_s=1.0, working_set_mib=1024.0)
+        assert paged > base  # EPC paging kicks in above the protected size
+        longer = enclave.execution_overhead_s(plain_time_s=10.0, working_set_mib=10.0)
+        assert longer > base  # bandwidth penalty scales with run time
+
+    def test_energy_overhead_fraction(self):
+        enclave = Enclave("code", SGX_PROFILE)
+        assert enclave.energy_overhead_j(100.0) == pytest.approx(
+            100.0 * SGX_PROFILE.energy_overhead_fraction
+        )
+
+    def test_overhead_rejects_negative_inputs(self):
+        enclave = Enclave("code", SGX_PROFILE)
+        with pytest.raises(ValueError):
+            enclave.execution_overhead_s(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            enclave.energy_overhead_j(-1.0)
+
+    def test_sealed_storage_roundtrip(self):
+        enclave = Enclave("code", TRUSTZONE_PROFILE)
+        enclave.seal("state", b"secret bytes")
+        assert enclave.unseal("state") == b"secret bytes"
+        with pytest.raises(KeyError):
+            enclave.unseal("missing")
+
+    def test_empty_identity_rejected(self):
+        with pytest.raises(ValueError):
+            Enclave("", SGX_PROFILE)
+
+
+class TestAttestation:
+    def test_full_attestation_roundtrip(self):
+        service = AttestationService()
+        enclave = Enclave("trusted-code", SGX_PROFILE)
+        service.trust_enclave(enclave)
+        assert service.attest(enclave)
+
+    def test_untrusted_measurement_rejected(self):
+        service = AttestationService()
+        enclave = Enclave("unknown-code", SGX_PROFILE)
+        nonce = service.challenge()
+        quote = service.quote(enclave, nonce)
+        with pytest.raises(AttestationError):
+            service.verify(quote)
+
+    def test_replayed_nonce_rejected(self):
+        service = AttestationService()
+        enclave = Enclave("code", SGX_PROFILE)
+        service.trust_enclave(enclave)
+        nonce = service.challenge()
+        quote = service.quote(enclave, nonce)
+        assert service.verify(quote)
+        with pytest.raises(AttestationError):
+            service.verify(quote)
+
+    def test_foreign_nonce_rejected(self):
+        service = AttestationService()
+        enclave = Enclave("code", SGX_PROFILE)
+        with pytest.raises(AttestationError):
+            service.quote(enclave, "not-issued")
+
+    def test_tampered_quote_rejected(self):
+        service = AttestationService()
+        enclave = Enclave("code", SGX_PROFILE)
+        service.trust_enclave(enclave)
+        nonce = service.challenge()
+        quote = service.quote(enclave, nonce)
+        forged = type(quote)(
+            enclave_id=quote.enclave_id,
+            measurement=quote.measurement,
+            nonce=quote.nonce,
+            mac="0" * 64,
+        )
+        with pytest.raises(AttestationError):
+            service.verify(forged)
+
+    def test_revocation(self):
+        service = AttestationService()
+        enclave = Enclave("code", SGX_PROFILE)
+        service.trust_enclave(enclave)
+        service.revoke(enclave.measurement)
+        assert not service.is_trusted(enclave.measurement)
+        with pytest.raises(AttestationError):
+            service.attest(enclave)

@@ -1,0 +1,81 @@
+"""Tests for enclave-backed task execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.microserver import DeviceKind, WorkloadKind
+from repro.runtime.devices import build_devices
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import make_task
+from repro.security.secure_task import SecureTaskExecutor
+
+
+def secure_graph() -> TaskGraph:
+    graph = TaskGraph()
+    graph.add_task(make_task("ingest", outputs=["raw"], gops=10, region_size_bytes=1e6))
+    graph.add_task(
+        make_task("decrypt", inputs=["raw"], outputs=["plain"], gops=20, secure=True,
+                  workload=WorkloadKind.CRYPTO, region_size_bytes=1e6)
+    )
+    graph.add_task(
+        make_task("analyse", inputs=["plain"], outputs=["result"], gops=200,
+                  workload=WorkloadKind.DNN_INFERENCE, region_size_bytes=1e6)
+    )
+    graph.add_task(
+        make_task("sign", inputs=["result"], outputs=["sealed"], gops=5, secure=True,
+                  workload=WorkloadKind.CRYPTO, region_size_bytes=1e5)
+    )
+    return graph
+
+
+class TestSecureTaskExecutor:
+    def test_requires_enclave_capable_device(self):
+        gpu_only = build_devices(["gtx1080-gpu"])
+        with pytest.raises(ValueError):
+            SecureTaskExecutor(gpu_only)
+
+    def test_secure_tasks_run_on_cpu_with_overhead(self, small_devices):
+        executor = SecureTaskExecutor(small_devices)
+        report = executor.execute(secure_graph())
+        by_name = {o.task_name: o for o in report.outcomes}
+        for name in ("decrypt", "sign"):
+            outcome = by_name[name]
+            assert outcome.secure
+            assert outcome.enclave_kind in ("sgx", "trustzone")
+            assert outcome.overhead_time_s > 0
+            assert outcome.overhead_energy_j > 0
+
+    def test_non_secure_tasks_pay_no_overhead(self, small_devices):
+        executor = SecureTaskExecutor(small_devices)
+        report = executor.execute(secure_graph())
+        analyse = next(o for o in report.outcomes if o.task_name == "analyse")
+        assert not analyse.secure
+        assert analyse.overhead_time_s == 0.0
+
+    def test_enclave_attested_once_per_device(self, small_devices):
+        executor = SecureTaskExecutor(small_devices)
+        report = executor.execute(secure_graph())
+        # Both secure tasks land on the same (x86) device, so one attestation.
+        assert report.attestations >= 1
+        assert report.attestations <= 2
+
+    def test_report_overhead_fractions_bounded(self, small_devices):
+        executor = SecureTaskExecutor(small_devices)
+        report = executor.execute(secure_graph())
+        assert 0.0 <= report.security_time_overhead_fraction < 1.0
+        assert 0.0 <= report.security_energy_overhead_fraction < 1.0
+        assert 0.0 < report.secured_task_fraction < 1.0
+
+    def test_arm_devices_use_trustzone(self):
+        devices = build_devices(["arm64-server", "jetson-gpu-soc"])
+        executor = SecureTaskExecutor(devices)
+        report = executor.execute(secure_graph())
+        secure_outcomes = [o for o in report.outcomes if o.secure]
+        assert all(o.enclave_kind == "trustzone" for o in secure_outcomes)
+
+    def test_totals_accumulate(self, small_devices):
+        executor = SecureTaskExecutor(small_devices)
+        report = executor.execute(secure_graph())
+        assert report.total_time_s > 0
+        assert report.total_energy_j > 0

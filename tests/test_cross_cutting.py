@@ -1,0 +1,162 @@
+"""Cross-cutting edge-case tests spanning several subsystems.
+
+These tests cover interactions and corner cases that the per-module suites
+do not: optimisation-flag combinations on the ecosystem facade, scheduler
+behaviour under unusual workload mixes, compiler/runtime round trips with
+every clause, and platform boundary conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.toolchain import Toolchain
+from repro.core.config import LegatoConfig, OptimisationFlags
+from repro.core.ecosystem import LegatoSystem
+from repro.hardware.carrier import CarrierKind
+from repro.hardware.microserver import MICROSERVER_CATALOG, DeviceKind, WorkloadKind
+from repro.hardware.recsbox import RecsBox, RecsBoxConfig
+from repro.runtime.devices import build_devices
+from repro.runtime.ompss import OmpSsRuntime, SchedulingPolicy
+from repro.runtime.task import make_task
+from repro.runtime.xitao import ElasticTask, XitaoRuntime, partitions_from_spec
+from repro.scheduler.cluster import Cluster
+from repro.scheduler.heats import HeatsScheduler
+from repro.scheduler.simulation import ClusterSimulator
+from repro.scheduler.workload import WorkloadGenerator, WorkloadMix
+from repro.undervolting.experiment import sweep_platform
+from repro.usecases.ml_inference import InferenceService
+
+
+class TestOptimisationFlagCombinations:
+    """Each LEGaTO optimisation can be toggled independently on the facade."""
+
+    def _energy_for(self, **flags) -> float:
+        config = LegatoConfig.default().with_optimisations(**flags)
+        system = LegatoSystem(config)
+        service = InferenceService()
+        tasks = service.build_tasks(service.make_batches(2, seed=9))
+        return system.run_tasks(tasks).total_energy_j
+
+    def test_offload_is_the_dominant_energy_lever(self):
+        with_offload = self._energy_for()
+        without_offload = self._energy_for(heterogeneous_offload=False)
+        assert with_offload < without_offload
+
+    def test_undervolting_adds_on_top_of_offload(self):
+        with_uv = self._energy_for()
+        without_uv = self._energy_for(fpga_undervolting=False)
+        assert with_uv <= without_uv
+
+    def test_undervolting_alone_changes_nothing_without_fpga_offload(self):
+        only_uv = self._energy_for(heterogeneous_offload=False, fpga_undervolting=True)
+        neither = self._energy_for(heterogeneous_offload=False, fpga_undervolting=False)
+        assert only_uv == pytest.approx(neither)
+
+    def test_every_flag_combination_still_executes(self):
+        # A smoke sweep over a representative subset of the 2^6 combinations.
+        for flags in (
+            {"energy_aware_scheduling": False},
+            {"selective_replication": False, "task_checkpointing": False},
+            {"enclave_security": False, "fpga_undervolting": False},
+            {"heterogeneous_offload": False, "energy_aware_scheduling": False},
+        ):
+            assert self._energy_for(**flags) > 0
+
+
+class TestWorkloadMixBehaviour:
+    def test_ml_heavy_mix_prefers_accelerator_rich_nodes(self):
+        cluster = Cluster.heats_testbed(scale=2)
+        scheduler = HeatsScheduler.with_learned_models(cluster, seed=3)
+        requests = WorkloadGenerator(
+            mix=WorkloadMix.ml_heavy(), seed=3, mean_interarrival_s=20.0, energy_weight=1.0
+        ).generate(20)
+        result = ClusterSimulator(cluster, scheduler).run(requests)
+        used_models = {
+            node.split("-", 2)[-1] for task in result.completed for node in task.nodes
+        }
+        assert any("jetson" in model for model in used_models)
+
+    def test_single_kind_mix_generates_only_that_kind(self):
+        mix = WorkloadMix({WorkloadKind.CRYPTO: 2.0})
+        requests = WorkloadGenerator(mix=mix, seed=4).generate(15)
+        assert {r.workload for r in requests} == {WorkloadKind.CRYPTO}
+
+
+class TestCompilerRuntimeRoundTrip:
+    FULL_FEATURE_PROGRAM = """
+#pragma legato task out(a) workload(memory_bound) gops(20) memory(4.0) size(1048576)
+kernel producer
+#pragma legato task in(a) out(b) workload(data_parallel) gops(150) width(2:8)
+kernel transform
+#pragma legato task in(a) out(c) workload(crypto) gops(3) secure critical
+kernel protect
+#pragma legato task in(b, c) inout(state) workload(scalar) gops(1)
+kernel merge
+"""
+
+    def test_every_clause_survives_to_the_runtime_task(self):
+        toolchain = Toolchain(fpga_platform="VC707")
+        result = toolchain.compile(self.FULL_FEATURE_PROGRAM)
+        tasks = {t.name.split("#")[0]: t for t in result.lowered.tasks}
+        assert tasks["producer"].requirements.memory_gib == 4.0
+        assert tasks["producer"].footprint_bytes == 1048576
+        assert tasks["transform"].requirements.max_width == 8
+        assert tasks["protect"].requirements.secure
+        assert tasks["protect"].requirements.reliability_critical
+        assert tasks["merge"].reads == {"b", "c", "state"}
+        assert tasks["merge"].writes == {"state"}
+
+    def test_round_trip_executes_under_every_policy(self):
+        for policy in SchedulingPolicy:
+            toolchain = Toolchain(fpga_platform="VC707")
+            trace = toolchain.compile_and_run(self.FULL_FEATURE_PROGRAM, policy=policy)
+            assert len(trace.executions) == 4
+
+    def test_elastic_width_kernels_can_feed_xitao(self):
+        toolchain = Toolchain(fpga_platform=None)
+        result = toolchain.compile(self.FULL_FEATURE_PROGRAM)
+        wide = next(k for k in result.kernels if k.name == "transform")
+        elastic = ElasticTask(
+            name=wide.name,
+            work_gops=wide.gops,
+            min_width=wide.min_width,
+            max_width=wide.max_width,
+        )
+        runtime = XitaoRuntime(partitions_from_spec(MICROSERVER_CATALOG["xeon-d-x86"], groups=2))
+        trace = runtime.schedule([elastic])
+        assert trace.placements[0].width >= wide.min_width
+
+
+class TestPlatformBoundaries:
+    def test_sweep_with_floor_above_vcrash_never_crashes(self):
+        result = sweep_platform("VC707", step_v=0.02)
+        operational = [p for p in result.points if p.voltage_v >= 0.55]
+        assert all(p.is_operational for p in operational)
+
+    def test_recsbox_rejects_overpopulation(self):
+        box = RecsBox("tiny")
+        carrier = box.add_carrier(CarrierKind.LOW_POWER)
+        from repro.hardware.microserver import make_microserver
+
+        for _ in range(16):
+            box.install(carrier, make_microserver("apalis-arm-soc"))
+        with pytest.raises(ValueError):
+            box.install(carrier, make_microserver("apalis-arm-soc"))
+
+    def test_runtime_handles_single_device_cluster(self):
+        runtime = OmpSsRuntime(
+            devices=build_devices(["apalis-arm-soc"]), policy=SchedulingPolicy.ENERGY
+        )
+        tasks = [make_task(f"t{i}", gops=5, outputs=[f"o{i}"]) for i in range(4)]
+        trace = runtime.run(tasks)
+        assert len({e.device_name for e in trace.executions}) == 1
+
+    def test_deterministic_repeatability_of_ecosystem_goals(self):
+        a = LegatoSystem(LegatoConfig.default()).evaluate_goals(num_batches=2)
+        b = LegatoSystem(LegatoConfig.default()).evaluate_goals(num_batches=2)
+        for dim in a.dimensions:
+            assert a.assessment(dim).achieved_factor == pytest.approx(
+                b.assessment(dim).achieved_factor, rel=1e-6
+            )

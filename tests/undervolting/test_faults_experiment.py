@@ -1,0 +1,155 @@
+"""Tests for the fault-rate model, injector and Fig. 5 experiment."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.undervolting.experiment import (
+    UndervoltingExperiment,
+    sweep_all_platforms,
+    sweep_platform,
+)
+from repro.undervolting.faults import FaultRateModel, UndervoltFaultInjector
+from repro.undervolting.platforms import PLATFORMS, get_platform, make_platform_device
+from repro.undervolting.voltage import VoltageRegion
+
+
+class TestFaultRateModel:
+    def setup_method(self):
+        self.calibration = get_platform("VC707")
+        self.model = FaultRateModel(self.calibration)
+
+    def test_zero_faults_in_guardband(self):
+        assert self.model.faults_per_mbit(0.95) == 0.0
+        assert self.model.faults_per_mbit(self.calibration.vmin) == 0.0
+
+    def test_corner_value_at_vcrash(self):
+        rate = self.model.faults_per_mbit(self.calibration.vcrash)
+        assert rate == pytest.approx(652.0, rel=1e-6)
+
+    def test_exponential_growth_in_critical_region(self):
+        v_hi = self.calibration.vmin - 0.01
+        v_mid = (self.calibration.vmin + self.calibration.vcrash) / 2
+        v_lo = self.calibration.vcrash
+        r_hi, r_mid, r_lo = (
+            self.model.faults_per_mbit(v_hi),
+            self.model.faults_per_mbit(v_mid),
+            self.model.faults_per_mbit(v_lo),
+        )
+        assert r_hi < r_mid < r_lo
+        # Exponential: log-rate is linear in voltage.
+        k = self.model.growth_constant
+        assert math.log(r_lo / r_mid) == pytest.approx(k * (v_mid - v_lo), rel=1e-6)
+
+    def test_crash_region_raises(self):
+        with pytest.raises(ValueError):
+            self.model.faults_per_mbit(0.50)
+
+    def test_expected_faults_scale_with_memory(self):
+        v = self.calibration.vcrash
+        assert self.model.expected_faults(v, 2.0) == pytest.approx(
+            2 * self.model.expected_faults(v, 1.0)
+        )
+
+    def test_invalid_onset_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRateModel(self.calibration, onset_faults_per_mbit=0.0)
+        with pytest.raises(ValueError):
+            FaultRateModel(self.calibration, onset_faults_per_mbit=1e6)
+
+    def test_platform_ordering_at_vcrash(self):
+        """VC707 > KC705-A > ZC702 > KC705-B, as in the paper's text."""
+        rates = {
+            name: FaultRateModel(cal).faults_per_mbit(cal.vcrash)
+            for name, cal in PLATFORMS.items()
+        }
+        assert rates["VC707"] > rates["KC705-A"] > rates["ZC702"] > rates["KC705-B"]
+
+
+class TestFaultInjector:
+    def test_deterministic_mode_matches_expectation(self):
+        calibration = get_platform("ZC702")
+        model = FaultRateModel(calibration)
+        injector = UndervoltFaultInjector(model, deterministic=True)
+        count = injector.sample_fault_count(calibration.vcrash, 1.0)
+        assert count == round(model.faults_per_mbit(calibration.vcrash))
+
+    def test_poisson_mode_is_reproducible_with_seed(self):
+        calibration = get_platform("ZC702")
+        model = FaultRateModel(calibration)
+        a = UndervoltFaultInjector(model, rng=np.random.default_rng(3))
+        b = UndervoltFaultInjector(model, rng=np.random.default_rng(3))
+        v = calibration.vcrash + 0.01
+        assert a.sample_fault_count(v, 4.0) == b.sample_fault_count(v, 4.0)
+
+    def test_inject_crash_marks_device_unresponsive(self):
+        calibration = get_platform("ZC702")
+        device = make_platform_device("ZC702")
+        injector = UndervoltFaultInjector(FaultRateModel(calibration), deterministic=True)
+        result = injector.inject(device, 0.50)
+        assert result == -1
+        assert not device.responsive
+
+    def test_inject_guardband_leaves_memory_clean(self):
+        device = make_platform_device("KC705-B")
+        calibration = get_platform("KC705-B")
+        injector = UndervoltFaultInjector(FaultRateModel(calibration), deterministic=True)
+        device.bram.write_pattern(0x55)
+        count = injector.inject(device, 0.8)
+        assert count == 0
+        assert device.bram.count_mismatches(0x55) == 0
+
+
+class TestFig5Experiment:
+    def test_vc707_sweep_reproduces_corners(self):
+        result = sweep_platform("VC707", step_v=0.01)
+        assert result.vmin == pytest.approx(0.60, abs=0.011)
+        assert result.vcrash == pytest.approx(0.54, abs=0.011)
+        assert result.max_faults_per_mbit == pytest.approx(652.0, rel=0.05)
+        assert result.max_power_saving_fraction > 0.90
+
+    def test_regions_appear_in_order(self):
+        result = sweep_platform("KC705-A", step_v=0.01)
+        regions = [p.region for p in result.points]
+        # Nominal first, then guardband, then critical, then crash.
+        order = [VoltageRegion.NOMINAL, VoltageRegion.GUARDBAND, VoltageRegion.CRITICAL, VoltageRegion.CRASH]
+        indices = [regions.index(region) for region in order if region in regions]
+        assert indices == sorted(indices)
+
+    def test_guardband_points_have_no_faults(self):
+        result = sweep_platform("KC705-B", step_v=0.01)
+        assert all(p.faults_per_mbit == 0 for p in result.guardband_points())
+
+    def test_fault_rate_monotone_in_critical_region(self):
+        result = sweep_platform("VC707", step_v=0.01)
+        rates = [p.faults_per_mbit for p in result.critical_points()]
+        assert all(rates[i] <= rates[i + 1] + 1e-9 for i in range(len(rates) - 1))
+
+    def test_power_saving_monotone_while_operational(self):
+        result = sweep_platform("VC707", step_v=0.01)
+        savings = [p.power_saving_fraction for p in result.points if p.is_operational]
+        assert all(savings[i] <= savings[i + 1] + 1e-12 for i in range(len(savings) - 1))
+
+    def test_all_platforms_sweep(self):
+        results = sweep_all_platforms(step_v=0.02)
+        assert set(results) == set(PLATFORMS)
+        for name, result in results.items():
+            # With a 20 mV step the lowest operational point may sit slightly
+            # above Vcrash, so the observed maximum is bounded by the paper's
+            # corner value but must still be well inside the critical region.
+            corner = PLATFORMS[name].faults_per_mbit_at_vcrash
+            assert 0 < result.max_faults_per_mbit <= corner * 1.1
+            assert result.max_faults_per_mbit > corner * 0.05
+
+    def test_rows_exportable(self):
+        result = sweep_platform("ZC702", step_v=0.05)
+        rows = result.as_rows()
+        assert rows and {"voltage_v", "region", "faults_per_mbit", "power_saving_pct"} <= set(rows[0])
+
+    def test_experiment_accepts_calibration_object(self):
+        experiment = UndervoltingExperiment(get_platform("ZC702"), step_v=0.05)
+        result = experiment.run()
+        assert result.platform.name == "ZC702"

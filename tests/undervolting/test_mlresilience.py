@@ -1,0 +1,73 @@
+"""Tests for the undervolted-DNN resilience study (Section III.C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.undervolting.mlresilience import UndervoltedInferenceStudy
+from repro.undervolting.voltage import VoltageRegion
+
+
+@pytest.fixture(scope="module")
+def study() -> UndervoltedInferenceStudy:
+    return UndervoltedInferenceStudy(platform="VC707", n_samples=1200, seed=3)
+
+
+class TestBaselineModel:
+    def test_baseline_accuracy_is_high(self, study):
+        assert study.baseline_accuracy > 0.85
+
+    def test_guardband_operation_preserves_accuracy(self, study):
+        point = study.evaluate_voltage(0.8)
+        assert point.region is VoltageRegion.GUARDBAND
+        assert point.injected_bit_flips == 0
+        assert point.accuracy == pytest.approx(
+            study.model.accuracy(study.test_x, study.test_y), abs=0.02
+        )
+
+
+class TestUndervoltedAccuracy:
+    def test_crash_point_reports_zero_accuracy(self, study):
+        point = study.evaluate_voltage(0.50)
+        assert point.region is VoltageRegion.CRASH
+        assert point.accuracy == 0.0
+        assert point.power_saving_fraction == 1.0
+
+    def test_power_saving_grows_as_voltage_drops(self, study):
+        high = study.evaluate_voltage(0.9)
+        low = study.evaluate_voltage(0.6)
+        assert low.power_saving_fraction > high.power_saving_fraction
+
+    def test_critical_region_injects_faults(self, study):
+        point = study.evaluate_voltage(0.56)
+        assert point.region is VoltageRegion.CRITICAL
+        assert point.injected_bit_flips >= 0
+        assert point.faults_per_mbit > 0
+
+    def test_sweep_is_ordered_and_complete(self, study):
+        points = study.sweep(step_v=0.04)
+        voltages = [p.voltage_v for p in points]
+        assert voltages == sorted(voltages, reverse=True)
+        assert points[0].voltage_v == pytest.approx(1.0)
+
+    def test_mitigation_never_reduces_accuracy_substantially(self, study):
+        """Weight clipping should help (or at least not hurt) at low voltage."""
+        raw = study.evaluate_voltage(0.55, mitigate=False)
+        mitigated = study.evaluate_voltage(0.55, mitigate=True)
+        assert mitigated.accuracy >= raw.accuracy - 0.05
+
+
+class TestOperatingPointSelection:
+    def test_recommended_point_is_below_nominal(self, study):
+        point = study.recommended_operating_point(max_accuracy_drop=0.02)
+        assert point.voltage_v < 1.0
+        assert point.accuracy >= study.baseline_accuracy - 0.02
+
+    def test_recommended_point_saves_power(self, study):
+        point = study.recommended_operating_point(max_accuracy_drop=0.02)
+        assert point.power_saving_fraction > 0.3
+
+    def test_tighter_budget_gives_higher_voltage(self, study):
+        tight = study.recommended_operating_point(max_accuracy_drop=0.001)
+        loose = study.recommended_operating_point(max_accuracy_drop=0.05)
+        assert tight.voltage_v >= loose.voltage_v

@@ -1,0 +1,98 @@
+"""Tests for platform calibration and the voltage-region model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.undervolting.platforms import PLATFORMS, get_platform, make_platform_device
+from repro.undervolting.voltage import VoltageRegion, VoltageRegionModel, classify_voltage
+
+
+class TestPlatformCalibration:
+    def test_all_four_paper_platforms_present(self):
+        assert set(PLATFORMS) == {"VC707", "KC705-A", "KC705-B", "ZC702"}
+
+    def test_fault_rate_corners_match_paper(self):
+        assert PLATFORMS["VC707"].faults_per_mbit_at_vcrash == 652.0
+        assert PLATFORMS["KC705-A"].faults_per_mbit_at_vcrash == 254.0
+        assert PLATFORMS["KC705-B"].faults_per_mbit_at_vcrash == 60.0
+        assert PLATFORMS["ZC702"].faults_per_mbit_at_vcrash == 153.0
+
+    def test_voltage_ordering_vcrash_vmin_vnom(self):
+        for calibration in PLATFORMS.values():
+            assert calibration.vcrash < calibration.vmin < calibration.vnom == 1.0
+
+    def test_kc705_samples_differ_slightly(self):
+        a, b = PLATFORMS["KC705-A"], PLATFORMS["KC705-B"]
+        assert a.vmin != b.vmin or a.vcrash != b.vcrash
+        assert abs(a.vmin - b.vmin) < 0.05
+
+    def test_guardband_and_critical_widths_positive(self):
+        for calibration in PLATFORMS.values():
+            assert calibration.guardband_width_v > 0
+            assert calibration.critical_width_v > 0
+
+    def test_lookup_case_insensitive(self):
+        assert get_platform("vc707").name == "VC707"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_platform("VC709")
+
+    def test_device_factory_matches_calibration(self):
+        device = make_platform_device("ZC702")
+        assert device.bram.num_blocks == PLATFORMS["ZC702"].bram_blocks
+        assert device.fabric.dsp_slices == PLATFORMS["ZC702"].dsp_slices
+
+
+class TestVoltageRegions:
+    def setup_method(self):
+        self.calibration = get_platform("VC707")
+        self.model = VoltageRegionModel(self.calibration)
+
+    def test_nominal_region(self):
+        assert classify_voltage(1.0, self.calibration) is VoltageRegion.NOMINAL
+        assert classify_voltage(1.05, self.calibration) is VoltageRegion.NOMINAL
+
+    def test_guardband_region(self):
+        assert classify_voltage(0.8, self.calibration) is VoltageRegion.GUARDBAND
+        assert classify_voltage(self.calibration.vmin, self.calibration) is VoltageRegion.GUARDBAND
+
+    def test_critical_region(self):
+        mid = (self.calibration.vmin + self.calibration.vcrash) / 2
+        assert classify_voltage(mid, self.calibration) is VoltageRegion.CRITICAL
+
+    def test_crash_region(self):
+        assert classify_voltage(0.50, self.calibration) is VoltageRegion.CRASH
+
+    def test_zero_voltage_rejected(self):
+        with pytest.raises(ValueError):
+            classify_voltage(0.0, self.calibration)
+
+    def test_safe_and_operational_predicates(self):
+        assert self.model.is_safe(0.95)
+        assert not self.model.is_safe(0.58)
+        assert self.model.is_operational(0.58)
+        assert not self.model.is_operational(0.50)
+
+    def test_sweep_points_descending_with_step(self):
+        points = self.model.sweep_points(step_v=0.05, floor_v=0.6)
+        assert points[0] == pytest.approx(1.0)
+        assert all(points[i] > points[i + 1] for i in range(len(points) - 1))
+        assert min(points) >= 0.6 - 1e-9
+
+    def test_sweep_points_validation(self):
+        with pytest.raises(ValueError):
+            self.model.sweep_points(step_v=0.0)
+        with pytest.raises(ValueError):
+            self.model.sweep_points(floor_v=1.5)
+
+    def test_guardband_saving_is_substantial(self):
+        # Eliminating the guardband alone already saves a large fraction of
+        # the BRAM power (the "free" part of Fig. 5's message).
+        assert 0.3 < self.model.guardband_saving_fraction() < 1.0
+
+    def test_region_boundaries_cover_guardband_and_critical(self):
+        boundaries = self.model.region_boundaries()
+        regions = [b[0] for b in boundaries]
+        assert regions == [VoltageRegion.GUARDBAND, VoltageRegion.CRITICAL]

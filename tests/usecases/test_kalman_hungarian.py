@@ -1,0 +1,151 @@
+"""Tests for the Kalman filter and the from-scratch Hungarian solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.usecases.smartmirror.hungarian import HungarianSolver
+from repro.usecases.smartmirror.kalman import KalmanTrack
+
+
+class TestKalmanTrack:
+    def test_initial_state_matches_detection(self):
+        track = KalmanTrack(track_id=1, initial_position=(100.0, 200.0))
+        assert np.allclose(track.position, [100.0, 200.0])
+        assert np.allclose(track.velocity, [0.0, 0.0])
+
+    def test_predict_moves_with_velocity(self):
+        track = KalmanTrack(track_id=1, initial_position=(0.0, 0.0), initial_velocity=(5.0, -2.0))
+        track.predict()
+        assert np.allclose(track.position, [5.0, -2.0])
+
+    def test_predict_grows_uncertainty_update_shrinks_it(self):
+        track = KalmanTrack(track_id=1, initial_position=(0.0, 0.0))
+        initial = track.position_uncertainty()
+        track.predict()
+        grown = track.position_uncertainty()
+        assert grown > initial
+        track.update(np.array([1.0, 1.0]))
+        assert track.position_uncertainty() < grown
+
+    def test_update_pulls_state_towards_measurement(self):
+        track = KalmanTrack(track_id=1, initial_position=(0.0, 0.0))
+        track.predict()
+        track.update(np.array([10.0, 10.0]))
+        assert 0.0 < track.position[0] <= 10.0
+
+    def test_filter_converges_on_constant_velocity_target(self):
+        rng = np.random.default_rng(0)
+        track = KalmanTrack(
+            track_id=1, initial_position=(0.0, 0.0), measurement_noise=4.0, process_noise=0.05
+        )
+        errors = []
+        for step in range(1, 60):
+            truth = np.array([3.0 * step, 1.5 * step])
+            track.predict()
+            track.update(truth + rng.normal(0, 4.0, size=2))
+            errors.append(np.linalg.norm(track.position - truth))
+        assert np.mean(errors[-10:]) < np.mean(errors[:10])
+        # The filter should also have learned the velocity.
+        assert track.velocity[0] == pytest.approx(3.0, abs=1.0)
+
+    def test_gating_distance_smaller_for_closer_measurements(self):
+        track = KalmanTrack(track_id=1, initial_position=(0.0, 0.0))
+        near = track.gating_distance(np.array([1.0, 1.0]))
+        far = track.gating_distance(np.array([50.0, 50.0]))
+        assert near < far
+
+    def test_miss_bookkeeping(self):
+        track = KalmanTrack(track_id=1, initial_position=(0.0, 0.0))
+        track.predict()
+        track.mark_missed()
+        assert track.time_since_update == 1
+        assert track.misses == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KalmanTrack(track_id=1, initial_position=(0, 0), dt=0)
+        with pytest.raises(ValueError):
+            KalmanTrack(track_id=1, initial_position=(0, 0), process_noise=0)
+
+
+def brute_force_cost(matrix: np.ndarray) -> float:
+    from itertools import permutations
+
+    rows, cols = matrix.shape
+    best = np.inf
+    for perm in permutations(range(cols), rows):
+        best = min(best, sum(matrix[i, j] for i, j in enumerate(perm)))
+    return best
+
+
+class TestHungarianSolver:
+    def setup_method(self):
+        self.solver = HungarianSolver()
+
+    def test_identity_preference(self):
+        cost = np.array([[1.0, 10.0], [10.0, 1.0]])
+        pairs = self.solver.solve(cost)
+        assert pairs == [(0, 0), (1, 1)]
+
+    def test_anti_diagonal_preference(self):
+        cost = np.array([[10.0, 1.0], [1.0, 10.0]])
+        assert self.solver.solve(cost) == [(0, 1), (1, 0)]
+
+    def test_matches_scipy_on_random_square_matrices(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            matrix = rng.random((6, 6)) * 100
+            ours = self.solver.assignment_cost(matrix, self.solver.solve(matrix))
+            rows, cols = linear_sum_assignment(matrix)
+            assert ours == pytest.approx(matrix[rows, cols].sum(), rel=1e-9)
+
+    def test_matches_scipy_on_rectangular_matrices(self):
+        rng = np.random.default_rng(3)
+        for shape in [(3, 7), (7, 3), (1, 5), (5, 1)]:
+            matrix = rng.random(shape) * 10
+            pairs = self.solver.solve(matrix)
+            assert len(pairs) == min(shape)
+            ours = self.solver.assignment_cost(matrix, pairs)
+            rows, cols = linear_sum_assignment(matrix)
+            assert ours == pytest.approx(matrix[rows, cols].sum(), rel=1e-9)
+
+    def test_matches_brute_force_on_small_instances(self):
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            matrix = rng.integers(0, 20, size=(4, 5)).astype(float)
+            pairs = self.solver.solve(matrix)
+            assert self.solver.assignment_cost(matrix, pairs) == pytest.approx(
+                brute_force_cost(matrix)
+            )
+
+    def test_rows_and_columns_assigned_at_most_once(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.random((8, 8))
+        pairs = self.solver.solve(matrix)
+        rows = [r for r, _ in pairs]
+        cols = [c for _, c in pairs]
+        assert len(set(rows)) == len(rows)
+        assert len(set(cols)) == len(cols)
+
+    def test_empty_matrix(self):
+        assert self.solver.solve(np.zeros((0, 0))) == []
+
+    def test_invalid_matrices_rejected(self):
+        with pytest.raises(ValueError):
+            self.solver.solve(np.zeros(3))
+        with pytest.raises(ValueError):
+            self.solver.solve(np.array([[np.inf, 1.0], [1.0, 2.0]]))
+
+    def test_threshold_rejects_expensive_pairs(self):
+        cost = np.array([[1.0, 100.0], [100.0, 100.0]])
+        accepted, unmatched_rows, unmatched_cols = self.solver.solve_with_threshold(cost, 50.0)
+        assert accepted == [(0, 0)]
+        assert unmatched_rows == [1]
+        assert unmatched_cols == [1]
+
+    def test_threshold_with_empty_matrix(self):
+        accepted, rows, cols = self.solver.solve_with_threshold(np.zeros((0, 3)), 1.0)
+        assert accepted == [] and rows == [] and cols == [0, 1, 2]

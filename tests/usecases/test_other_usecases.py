@@ -1,0 +1,135 @@
+"""Tests for the Smart Home, ML inference, infection research and IoT gateway use cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.microserver import DeviceKind
+from repro.runtime.ompss import SchedulingPolicy
+from repro.usecases.infection import InfectionClusteringStudy
+from repro.usecases.iot_gateway import SecureIotGateway
+from repro.usecases.ml_inference import InferenceService
+from repro.usecases.smarthome import SmartHomeWorkload
+
+
+class TestSmartHome:
+    def test_task_count_matches_expectation(self):
+        workload = SmartHomeWorkload(rooms=3, sensors_per_room=2, periods=2)
+        tasks = workload.build_tasks()
+        assert len(tasks) == workload.expected_task_count()
+
+    def test_graph_is_connected_per_period(self):
+        workload = SmartHomeWorkload(rooms=2, sensors_per_room=2, periods=1)
+        graph = workload.build_graph()
+        # occupancy inference depends on every fused room state.
+        inference = next(t for t in graph.tasks if "occupancy" in t.name)
+        assert len(graph.ancestors(inference)) == 2 * 2 + 2  # reads + fuses
+
+    def test_critical_tasks_marked(self):
+        workload = SmartHomeWorkload(rooms=2, sensors_per_room=2)
+        tasks = workload.build_tasks()
+        critical = [t for t in tasks if t.requirements.reliability_critical]
+        assert {t.name.split("-", 1)[1] for t in critical} == {"anomaly-detection", "actuate"}
+
+    def test_runs_on_runtime(self):
+        workload = SmartHomeWorkload(rooms=2, sensors_per_room=2)
+        trace = workload.run()
+        assert len(trace.executions) == workload.expected_task_count()
+        assert trace.total_energy_j > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmartHomeWorkload(rooms=0)
+
+
+class TestInferenceService:
+    def test_serving_produces_throughput_and_energy(self):
+        service = InferenceService()
+        report = service.serve(num_batches=3, requests_per_batch=32)
+        assert report.batches == 3
+        assert report.requests > 0
+        assert report.throughput_requests_per_s > 0
+        assert report.energy_per_request_j > 0
+        assert report.requests_per_joule > 0
+
+    def test_energy_policy_uses_accelerators(self):
+        service = InferenceService(policy=SchedulingPolicy.ENERGY)
+        report = service.serve(num_batches=3)
+        kinds = report.trace.tasks_per_device_kind()
+        accelerated = sum(
+            count for kind, count in kinds.items() if DeviceKind(kind).is_fpga or DeviceKind(kind).is_gpu
+        )
+        assert accelerated > 0
+
+    def test_energy_policy_cheaper_than_performance(self):
+        energy_report = InferenceService(policy=SchedulingPolicy.ENERGY).serve(num_batches=3)
+        perf_report = InferenceService(policy=SchedulingPolicy.PERFORMANCE).serve(num_batches=3)
+        assert energy_report.trace.total_energy_j <= perf_report.trace.total_energy_j
+
+    def test_undervolted_accuracy_energy_curve(self):
+        points = InferenceService.undervolted_accuracy_energy(platform="KC705-B")
+        voltages = [p[0] for p in points]
+        assert voltages == sorted(voltages, reverse=True)
+        assert all(0.0 <= accuracy <= 1.0 for _, accuracy, _ in points)
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            InferenceService().make_batches(0)
+
+
+class TestInfectionResearch:
+    def test_planted_outbreaks_recovered(self):
+        study = InfectionClusteringStudy(num_samples=80, planted_outbreaks=3, outbreak_size=6, seed=2)
+        assert study.recovered_outbreak_fraction() == pytest.approx(1.0)
+
+    def test_distance_matrix_properties(self):
+        study = InfectionClusteringStudy(num_samples=30, seed=3)
+        distances = study.distance_matrix()
+        assert distances.shape == (30, 30)
+        assert (distances.diagonal() == 0).all()
+        assert (distances == distances.T).all()
+
+    def test_threshold_controls_cluster_granularity(self):
+        study = InfectionClusteringStudy(num_samples=60, seed=4)
+        strict = study.cluster(threshold=1.0)
+        loose = study.cluster(threshold=study.num_markers)
+        assert strict.num_clusters >= loose.num_clusters
+
+    def test_task_graph_runs_on_runtime(self):
+        study = InfectionClusteringStudy(num_samples=50, seed=5)
+        trace = study.run_on_runtime()
+        assert any("clustering" in e.task.name for e in trace.executions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InfectionClusteringStudy(num_samples=5, planted_outbreaks=2, outbreak_size=4)
+
+
+class TestSecureIotGateway:
+    def test_processing_reports_throughput_and_overhead(self):
+        gateway = SecureIotGateway(messages_per_window=500)
+        report = gateway.process(windows=2)
+        assert report.messages == 1000
+        assert report.throughput_messages_per_s > 0
+        assert report.messages_per_joule > 0
+        # Enclave protection costs real time (EPC paging dominates for the
+        # larger windows) but must stay within a small single-digit factor.
+        assert 0.0 < report.security_overhead_fraction < 5.0
+
+    def test_crypto_stages_marked_secure(self):
+        gateway = SecureIotGateway()
+        graph = gateway.build_graph(windows=1)
+        secure_names = {t.name for t in graph.tasks if t.requirements.secure}
+        assert secure_names == {"decrypt-0", "validate-0", "sign-and-forward-0"}
+
+    def test_window_dependencies_chain(self):
+        gateway = SecureIotGateway()
+        graph = gateway.build_graph(windows=1)
+        tasks = {t.name: t for t in graph.tasks}
+        assert tasks["aggregate-0"] in graph.successors(tasks["validate-0"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SecureIotGateway(messages_per_window=0)
+        with pytest.raises(ValueError):
+            SecureIotGateway().build_tasks(0)

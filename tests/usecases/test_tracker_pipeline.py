@@ -1,0 +1,174 @@
+"""Tests for the multi-object tracker, scene/detector models and pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.usecases.smartmirror.detector import Detection, DetectionModel
+from repro.usecases.smartmirror.pipeline import (
+    CAMERA_FPS_CAP,
+    PipelineConfiguration,
+    SmartMirrorPipeline,
+    compare_configurations,
+)
+from repro.usecases.smartmirror.scenes import SceneSimulator
+from repro.usecases.smartmirror.tracker import MultiObjectTracker
+
+
+class TestSceneSimulator:
+    def test_population_roughly_matches_mean(self):
+        scene = SceneSimulator(mean_objects=4, seed=1)
+        counts = [len(frame) for frame in scene.run(50)]
+        assert 2 <= np.mean(counts) <= 7
+
+    def test_objects_move_between_frames(self):
+        scene = SceneSimulator(mean_objects=2, seed=2)
+        first = {o.object_id: o.center for o in scene.step()}
+        second = {o.object_id: o.center for o in scene.step()}
+        moved = [
+            np.linalg.norm(np.array(second[i]) - np.array(first[i]))
+            for i in first
+            if i in second
+        ]
+        assert moved and all(d > 0 for d in moved)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SceneSimulator(mean_objects=0)
+        with pytest.raises(ValueError):
+            SceneSimulator().run(0)
+
+
+class TestDetectionModel:
+    def test_detections_follow_ground_truth(self):
+        scene = SceneSimulator(mean_objects=3, seed=3)
+        detector = DetectionModel(recall=1.0, false_positives_per_frame=0.0, seed=3)
+        truths = scene.step()
+        detections = detector.detect(truths)
+        assert len(detections) == len(truths)
+        assert all(d.true_object_id is not None for d in detections)
+
+    def test_recall_controls_misses(self):
+        scene = SceneSimulator(mean_objects=5, seed=4)
+        truths = scene.step()
+        detector = DetectionModel(recall=0.01, false_positives_per_frame=0.0, seed=4)
+        total = sum(len(detector.detect(truths)) for _ in range(50))
+        assert total < 50 * len(truths) * 0.2
+
+    def test_false_positive_rate(self):
+        detector = DetectionModel(recall=1.0, false_positives_per_frame=2.0, seed=5)
+        detections = detector.detect([])
+        assert all(d.true_object_id is None for d in detections)
+
+    def test_cost_scales_with_optimisation_factor(self):
+        full = DetectionModel(optimisation_factor=1.0)
+        optimised = DetectionModel(optimisation_factor=0.25)
+        assert optimised.gops_per_frame == pytest.approx(full.gops_per_frame * 0.25)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DetectionModel(recall=0.0)
+        with pytest.raises(ValueError):
+            DetectionModel(optimisation_factor=0.0)
+
+
+class TestMultiObjectTracker:
+    def run_tracking(self, frames=60, recall=0.95):
+        scene = SceneSimulator(mean_objects=3, seed=6)
+        detector = DetectionModel(recall=recall, false_positives_per_frame=0.2, seed=6)
+        tracker = MultiObjectTracker()
+        for _ in range(frames):
+            truths = scene.step()
+            tracker.step(detector.detect(truths), ground_truth=truths)
+        return tracker
+
+    def test_tracker_achieves_reasonable_mota(self):
+        tracker = self.run_tracking()
+        assert tracker.metrics.mota > 0.6
+        assert tracker.metrics.recall > 0.7
+
+    def test_tracks_survive_single_missed_detections(self):
+        tracker = MultiObjectTracker(max_misses=3)
+        detection = Detection(x=100, y=100, width=50, height=50, category="person", confidence=0.9, true_object_id=1)
+        tracker.step([detection])
+        tracker.step([Detection(x=105, y=102, width=50, height=50, category="person", confidence=0.9, true_object_id=1)])
+        assert len(tracker.confirmed_tracks()) == 1
+        tracker.step([])  # missed frame
+        assert len(tracker.tracks) == 1
+        moved = Detection(x=115, y=106, width=50, height=50, category="person", confidence=0.9, true_object_id=1)
+        tracker.step([moved])
+        assert len(tracker.confirmed_tracks()) == 1
+
+    def test_stale_tracks_deleted(self):
+        tracker = MultiObjectTracker(max_misses=2)
+        tracker.step([Detection(x=10, y=10, width=5, height=5, category="hand", confidence=0.8, true_object_id=2)])
+        for _ in range(4):
+            tracker.step([])
+        assert len(tracker.tracks) == 0
+
+    def test_distant_detection_starts_new_track(self):
+        tracker = MultiObjectTracker(gating_distance_px=50)
+        tracker.step([Detection(x=0, y=0, width=5, height=5, category="hand", confidence=0.9, true_object_id=1)])
+        tracker.step([Detection(x=1000, y=1000, width=5, height=5, category="hand", confidence=0.9, true_object_id=3)])
+        assert len(tracker.tracks) == 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MultiObjectTracker(gating_distance_px=0)
+        with pytest.raises(ValueError):
+            MultiObjectTracker(max_misses=0)
+
+    def test_tracking_cost_is_negligible(self):
+        tracker = MultiObjectTracker()
+        assert tracker.gops_per_frame(10) < 0.01
+
+
+class TestSmartMirrorPipeline:
+    def test_workstation_reproduces_paper_prototype_corner(self):
+        report = SmartMirrorPipeline(PipelineConfiguration.workstation_prototype()).run(frames=40)
+        assert report.fps == pytest.approx(21.0, rel=0.15)
+        assert report.power_w == pytest.approx(400.0, rel=0.15)
+
+    def test_optimised_edge_reaches_project_target(self):
+        report = SmartMirrorPipeline(PipelineConfiguration.edge_low_power()).run(frames=40)
+        assert report.fps >= 9.0
+        assert report.power_w < 50.0
+
+    def test_edge_is_far_more_efficient_than_workstation(self):
+        workstation = SmartMirrorPipeline(PipelineConfiguration.workstation_prototype()).run(frames=30)
+        edge = SmartMirrorPipeline(PipelineConfiguration.edge_low_power()).run(frames=30)
+        assert edge.fps_per_watt > 4 * workstation.fps_per_watt
+
+    def test_fps_capped_by_camera(self):
+        config = PipelineConfiguration(
+            name="overkill",
+            cpu_model="xeon-d-x86",
+            accelerator_models=("gtx1080-gpu", "gtx1080-gpu", "gtx1080-gpu", "gtx1080-gpu"),
+            optimisation_factor=0.25,
+        )
+        report = SmartMirrorPipeline(config).run(frames=10)
+        assert report.fps <= CAMERA_FPS_CAP + 1e-6
+
+    def test_tracking_quality_maintained_on_edge(self):
+        report = SmartMirrorPipeline(PipelineConfiguration.edge_low_power()).run(frames=80)
+        assert report.tracking.mota > 0.5
+
+    def test_device_utilisation_bounded(self):
+        report = SmartMirrorPipeline(PipelineConfiguration.edge_cpu_2gpu()).run(frames=10)
+        assert all(0.0 <= u <= 1.0 for u in report.device_utilisation.values())
+
+    def test_compare_configurations_returns_one_report_each(self):
+        reports = compare_configurations(
+            [PipelineConfiguration.workstation_prototype(), PipelineConfiguration.edge_low_power()],
+            frames=10,
+        )
+        assert len(reports) == 2
+
+    def test_configuration_validation(self):
+        with pytest.raises(KeyError):
+            PipelineConfiguration(name="x", cpu_model="missing", accelerator_models=("gtx1080-gpu",))
+        with pytest.raises(ValueError):
+            PipelineConfiguration(name="x", cpu_model="xeon-d-x86", accelerator_models=())
+        with pytest.raises(ValueError):
+            SmartMirrorPipeline(PipelineConfiguration.edge_low_power()).run(frames=0)
