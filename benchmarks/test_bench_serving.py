@@ -1,0 +1,173 @@
+"""SERVING: the multi-tenant front-end under increasing offered load.
+
+Not a paper figure: this benchmark measures the cluster-as-a-service layer
+the ROADMAP asks for.  Two experiments:
+
+1. **Offered-load sweep** -- the same two tenants offer 3 traffic levels;
+   reported per level: ops/sec actually served, p50/p99 end-to-end latency,
+   admission rejection rate, and energy per request.  Throughput must rise
+   with offered load and the tenants' rate limits must start rejecting at
+   the highest level.
+2. **Score-cache ablation** -- the identical workload replayed with the
+   HEATS prediction-score cache on vs off (same learned models, fresh
+   cluster per run).  The cached run must be measurably faster while
+   serving the same number of requests.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import LegatoSystem, ServingWorkload
+from repro.scheduler.cluster import Cluster
+from repro.scheduler.heats import HeatsScheduler
+from repro.scheduler.modeling import ProfilingCampaign
+from repro.serving import (
+    BatchPolicy,
+    PredictionScoreCache,
+    RequestGateway,
+    ServingLoop,
+    Tenant,
+)
+
+LOAD_LEVELS_RPS = (8.0, 24.0, 72.0)
+DURATION_S = 30.0
+CLUSTER_SCALE = 4
+#: capped batch size keeps per-batch service time bounded, so the post-arrival
+#: drain tail is comparable across load levels.
+SWEEP_BATCH_POLICY = BatchPolicy(max_batch_size=8, max_delay_s=2.0)
+
+
+def _tenants():
+    return [
+        Tenant(name="perf-tenant", rate_limit_rps=20.0, burst=20, energy_weight=0.1,
+               latency_slo_s=180.0),
+        Tenant(name="eco-tenant", rate_limit_rps=20.0, burst=20, energy_weight=0.9),
+    ]
+
+
+def _mix():
+    return {
+        "perf-tenant": {"ml_inference": 0.6, "smartmirror": 0.4},
+        "eco-tenant": {"iot_gateway": 0.7, "ml_inference": 0.3},
+    }
+
+
+def _workload(offered_rps: float, seed: int = 17) -> ServingWorkload:
+    return ServingWorkload.synthetic(
+        _tenants(), _mix(), offered_rps=offered_rps, duration_s=DURATION_S, seed=seed
+    )
+
+
+def run_load_sweep():
+    system = LegatoSystem()
+    return {
+        rps: system.serve(
+            _workload(rps), cluster_scale=CLUSTER_SCALE, batch_policy=SWEEP_BATCH_POLICY
+        )
+        for rps in LOAD_LEVELS_RPS
+    }
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_offered_load_sweep(benchmark, report_table):
+    reports = benchmark(run_load_sweep)
+
+    rows = []
+    for rps, report in reports.items():
+        rows.append(
+            [
+                f"{rps:.0f}",
+                report.offered,
+                report.completed,
+                f"{report.ops_per_sec:.2f}",
+                f"{report.p50_latency_s:.2f}",
+                f"{report.p99_latency_s:.2f}",
+                f"{report.rejection_rate:.3f}",
+                f"{report.energy_per_request_j:.2f}",
+            ]
+        )
+    report_table(
+        "serving_load",
+        "Serving front-end -- two tenants, HEATS backend, rising offered load",
+        ["offered rps", "offered", "completed", "ops/sec", "p50 (s)", "p99 (s)",
+         "reject rate", "J/request"],
+        rows,
+    )
+
+    low, mid, high = (reports[rps] for rps in LOAD_LEVELS_RPS)
+    # Everything admitted completes (round-trip conservation) at every level.
+    for report in (low, mid, high):
+        assert report.completed > 0
+        assert report.admitted == report.completed + report.dropped
+        assert report.p99_latency_s >= report.p50_latency_s > 0
+    # Served throughput rises with offered load.
+    assert low.ops_per_sec < mid.ops_per_sec < high.ops_per_sec
+    # The 20 rps/tenant token buckets bite only at the highest level.
+    assert low.rejection_rate == 0.0
+    assert high.rejection_rate > mid.rejection_rate
+    assert high.rejection_rate > 0.2
+
+
+def _ablation_run(models, workload, use_cache: bool):
+    cluster = Cluster.heats_testbed(scale=CLUSTER_SCALE)
+    scheduler = HeatsScheduler(
+        models, score_cache=PredictionScoreCache() if use_cache else None
+    )
+    loop = ServingLoop(cluster, scheduler, RequestGateway(workload.tenants))
+    start = time.perf_counter()
+    report = loop.run(workload.requests)
+    return time.perf_counter() - start, report
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_score_cache_ablation(report_table):
+    # High request volume on generous limits: the scoring hot path dominates.
+    tenants = [
+        Tenant(name="perf-tenant", rate_limit_rps=500.0, burst=200, energy_weight=0.1),
+        Tenant(name="eco-tenant", rate_limit_rps=500.0, burst=200, energy_weight=0.9),
+    ]
+    workload = ServingWorkload.synthetic(
+        tenants, _mix(), offered_rps=150.0, duration_s=DURATION_S, seed=23
+    )
+    models = ProfilingCampaign(
+        Cluster.heats_testbed(scale=CLUSTER_SCALE), seed=7
+    ).run().fit()
+
+    repeats = 5
+    timings = {True: [], False: []}
+    reports = {}
+    for _ in range(repeats):
+        for use_cache in (True, False):
+            elapsed, report = _ablation_run(models, workload, use_cache)
+            timings[use_cache].append(elapsed)
+            reports[use_cache] = report
+    cached_s, uncached_s = min(timings[True]), min(timings[False])
+    speedup = uncached_s / cached_s if cached_s > 0 else float("inf")
+    hit_rate = reports[True].cache_stats.hit_rate
+
+    report_table(
+        "serving_cache_ablation",
+        "Serving front-end -- HEATS score cache ablation (min of "
+        f"{repeats} runs, {len(workload.requests)} requests)",
+        ["score cache", "loop time (ms)", "hit rate", "completed", "ops/sec"],
+        [
+            ["on", f"{cached_s * 1e3:.1f}", f"{hit_rate:.2f}",
+             reports[True].completed, f"{reports[True].ops_per_sec:.2f}"],
+            ["off", f"{uncached_s * 1e3:.1f}", "-",
+             reports[False].completed, f"{reports[False].ops_per_sec:.2f}"],
+            ["speedup", f"{speedup:.2f}x", "", "", ""],
+        ],
+    )
+
+    # The cache serves the same traffic...
+    assert reports[True].offered == reports[False].offered
+    assert reports[True].completed == reports[False].completed > 0
+    # ...absorbs most scoring work (deterministic)...
+    assert hit_rate > 0.5
+    # ...and the min-of-N cached run beats the min-of-N uncached run.
+    # (Typical margin is ~1.4x; the assertion is deliberately loose so a
+    # noisy shared CI runner cannot flip it.)
+    assert speedup > 1.0

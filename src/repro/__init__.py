@@ -20,13 +20,22 @@ platforms.  This package reproduces the stack on top of simulated hardware:
 * :mod:`repro.security`      -- enclave-backed secure task execution.
 * :mod:`repro.usecases`      -- Smart Mirror and the other LEGaTO use cases
   (Section VI).
+* :mod:`repro.serving`       -- multi-tenant request-serving front-end over
+  the HEATS cluster (admission, batching, score cache, SLA telemetry).
 * :mod:`repro.core`          -- the integrated LEGaTO ecosystem facade and
   project-goal metrics.
 """
 
 from repro.core.config import LegatoConfig
 from repro.core.ecosystem import LegatoSystem
+from repro.serving.loop import ServingReport, ServingWorkload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["LegatoSystem", "LegatoConfig", "__version__"]
+__all__ = [
+    "LegatoSystem",
+    "LegatoConfig",
+    "ServingReport",
+    "ServingWorkload",
+    "__version__",
+]

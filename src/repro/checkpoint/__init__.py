@@ -43,8 +43,17 @@ from repro.checkpoint.fti import (
     FtiContext,
     FtiDataType,
 )
-from repro.checkpoint.heat2d import Heat2dSimulation, Heat2dConfig
-from repro.checkpoint.mtbf import CheckpointEfficiencyModel, optimal_interval_young
+from repro.checkpoint.heat2d import (
+    Heat2dSimulation,
+    Heat2dConfig,
+    run_fig6_experiment,
+    run_fig6_point,
+)
+from repro.checkpoint.mtbf import (
+    CheckpointEfficiencyModel,
+    optimal_interval_young,
+    sustainable_mtbf_ratio,
+)
 
 __all__ = [
     "MpiWorld",
@@ -67,6 +76,9 @@ __all__ = [
     "FtiDataType",
     "Heat2dSimulation",
     "Heat2dConfig",
+    "run_fig6_experiment",
+    "run_fig6_point",
     "CheckpointEfficiencyModel",
     "optimal_interval_young",
+    "sustainable_mtbf_ratio",
 ]

@@ -33,7 +33,13 @@ from repro.runtime.fault_tolerance import (
 from repro.runtime.graph import TaskGraph
 from repro.runtime.ompss import ExecutionTrace, OmpSsRuntime, SchedulingPolicy
 from repro.runtime.task import Task
+from repro.scheduler.cluster import Cluster
+from repro.scheduler.heats import HeatsConfig, HeatsScheduler
 from repro.security.secure_task import SecureExecutionReport, SecureTaskExecutor
+from repro.serving.batching import BatchPolicy
+from repro.serving.cache import PredictionScoreCache
+from repro.serving.gateway import RequestGateway
+from repro.serving.loop import ServingLoop, ServingReport, ServingWorkload
 from repro.undervolting.mlresilience import UndervoltedInferenceStudy, VoltageAccuracyPoint
 from repro.usecases.iot_gateway import SecureIotGateway
 from repro.usecases.ml_inference import InferenceService
@@ -133,6 +139,39 @@ class LegatoSystem:
             )
         executor = SecureTaskExecutor(devices=self.devices())
         return executor.execute(graph)
+
+    # ------------------------------------------------------------------ #
+    # Request serving (cluster-as-a-service front-end)
+    # ------------------------------------------------------------------ #
+    def serve(
+        self,
+        workload: ServingWorkload,
+        cluster_scale: int = 1,
+        use_score_cache: bool = True,
+        batch_policy: Optional[BatchPolicy] = None,
+        heats_config: Optional[HeatsConfig] = None,
+        seed: int = 7,
+    ) -> ServingReport:
+        """Serve a multi-tenant request stream on a HEATS-scheduled cluster.
+
+        The round trip is admission (per-tenant rate limits and bounded
+        queues) -> batching (coalescing compatible requests) -> HEATS
+        placement on a fresh ``heats_testbed`` cluster (with the
+        prediction-score cache on the scoring hot path unless disabled) ->
+        per-tenant SLA report.
+        """
+        if cluster_scale <= 0:
+            raise ValueError("cluster scale must be positive")
+        cluster = Cluster.heats_testbed(scale=cluster_scale)
+        scheduler = HeatsScheduler.with_learned_models(
+            cluster,
+            config=heats_config,
+            seed=seed,
+            score_cache=PredictionScoreCache() if use_score_cache else None,
+        )
+        gateway = RequestGateway(workload.tenants)
+        loop = ServingLoop(cluster, scheduler, gateway, batch_policy=batch_policy)
+        return loop.run(workload.requests)
 
     # ------------------------------------------------------------------ #
     # Undervolting coupling

@@ -26,13 +26,17 @@ from repro.scheduler.workload import TaskRequest, WorkloadGenerator, WorkloadMix
 from repro.scheduler.monitoring import ClusterMonitor, NodeTelemetry
 from repro.scheduler.modeling import NodeModel, ProfilingCampaign, PredictionModelSet
 from repro.scheduler.placement import Placement, PlacementEngine, MigrationEvent
-from repro.scheduler.heats import HeatsScheduler, HeatsConfig
+from repro.scheduler.heats import HeatsScheduler, HeatsConfig, NodeScore
 from repro.scheduler.baselines import (
     EnergyGreedyScheduler,
     PerformanceBestFitScheduler,
     RoundRobinScheduler,
 )
-from repro.scheduler.simulation import ClusterSimulator, SimulationResult
+from repro.scheduler.simulation import (
+    ClusterSimulator,
+    SimulationResult,
+    run_policy_comparison,
+)
 
 __all__ = [
     "Cluster",
@@ -51,9 +55,11 @@ __all__ = [
     "MigrationEvent",
     "HeatsScheduler",
     "HeatsConfig",
+    "NodeScore",
     "RoundRobinScheduler",
     "PerformanceBestFitScheduler",
     "EnergyGreedyScheduler",
     "ClusterSimulator",
     "SimulationResult",
+    "run_policy_comparison",
 ]

@@ -19,7 +19,7 @@ the task is migrated to the new host.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 from repro.scheduler.cluster import Cluster, ClusterNode
 from repro.scheduler.modeling import PredictionModelSet, ProfilingCampaign
@@ -57,6 +57,25 @@ class NodeScore:
     score: float
 
 
+class ScoreCacheProtocol(Protocol):
+    """What the scheduler needs from a prediction-score cache.
+
+    Implemented by :class:`repro.serving.cache.PredictionScoreCache`; kept
+    as a protocol so the scheduler does not depend on the serving layer.
+    """
+
+    def key_for(
+        self, request: TaskRequest, candidate_names: Sequence[str], energy_weight: float
+    ) -> object:
+        ...
+
+    def get(self, key: object) -> Optional[Tuple[NodeScore, ...]]:
+        ...
+
+    def put(self, key: object, scores: Sequence[NodeScore]) -> None:
+        ...
+
+
 class HeatsScheduler:
     """Heterogeneity- and energy-aware scheduler."""
 
@@ -67,9 +86,11 @@ class HeatsScheduler:
         self,
         models: PredictionModelSet,
         config: Optional[HeatsConfig] = None,
+        score_cache: Optional[ScoreCacheProtocol] = None,
     ) -> None:
         self.models = models
         self.config = config if config is not None else HeatsConfig()
+        self.score_cache = score_cache
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -80,10 +101,23 @@ class HeatsScheduler:
         candidates: Sequence[ClusterNode],
         energy_weight: Optional[float] = None,
     ) -> List[NodeScore]:
-        """Score all candidate nodes for one request, best (lowest) first."""
+        """Score all candidate nodes for one request, best (lowest) first.
+
+        When a score cache is attached, the ranked list is memoised under a
+        (task kind, resource shape, candidate set) key so repeated serving
+        traffic skips the per-node model predictions.
+        """
         if not candidates:
             return []
         weight = request.energy_weight if energy_weight is None else energy_weight
+        cache_key: Optional[object] = None
+        if self.score_cache is not None:
+            cache_key = self.score_cache.key_for(
+                request, [node.name for node in candidates], weight
+            )
+            cached = self.score_cache.get(cache_key)
+            if cached is not None:
+                return list(cached)
         predictions: List[Tuple[ClusterNode, float, float]] = []
         for node in candidates:
             if node.name not in self.models:
@@ -109,7 +143,10 @@ class HeatsScheduler:
                     score=score,
                 )
             )
-        return sorted(scores, key=lambda s: (s.score, s.node))
+        scores.sort(key=lambda s: (s.score, s.node))
+        if self.score_cache is not None and cache_key is not None:
+            self.score_cache.put(cache_key, scores)
+        return scores
 
     # ------------------------------------------------------------------ #
     # Scheduler interface used by the cluster simulator
@@ -164,7 +201,8 @@ class HeatsScheduler:
         config: Optional[HeatsConfig] = None,
         noise_fraction: float = 0.05,
         seed: int = 7,
+        score_cache: Optional[ScoreCacheProtocol] = None,
     ) -> "HeatsScheduler":
         """Run the profiling campaign on the cluster and build the scheduler."""
         campaign = ProfilingCampaign(cluster, noise_fraction=noise_fraction, seed=seed).run()
-        return cls(models=campaign.fit(), config=config)
+        return cls(models=campaign.fit(), config=config, score_cache=score_cache)

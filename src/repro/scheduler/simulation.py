@@ -124,13 +124,21 @@ class ClusterSimulator:
         scheduler: SchedulerProtocol,
         monitor: Optional[ClusterMonitor] = None,
         monitoring_period_s: float = 30.0,
-        rescheduling_interval_s: float = 60.0,
+        rescheduling_interval_s: Optional[float] = None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
         self.monitor = monitor if monitor is not None else ClusterMonitor(cluster)
         self.monitoring_period_s = monitoring_period_s
-        self.rescheduling_interval_s = rescheduling_interval_s
+        if rescheduling_interval_s is None:
+            # Default to the policy's own cadence (e.g. HeatsConfig) when it
+            # declares one, so configured intervals are honoured everywhere.
+            rescheduling_interval_s = getattr(
+                getattr(scheduler, "config", None), "rescheduling_interval_s", None
+            )
+        self.rescheduling_interval_s = (
+            60.0 if rescheduling_interval_s is None else rescheduling_interval_s
+        )
         self.engine = PlacementEngine(cluster)
         self._events: List[Tuple[float, int, int, object]] = []
         self._sequence = itertools.count()
@@ -184,7 +192,13 @@ class ClusterSimulator:
 
             if kind == self._ARRIVAL:
                 request = payload  # type: ignore[assignment]
-                if not self._try_place(request, time_s, result):
+                if not self._can_ever_fit(request):
+                    # No node's *total* resources suffice: queueing would
+                    # never help, so reject immediately instead of waiting
+                    # for a completion that cannot unblock the request.
+                    result.unplaced.append(request.task_id)
+                    remaining -= 1
+                elif not self._try_place(request, time_s, result):
                     pending.append(request)
             elif kind == self._COMPLETION:
                 task_id, version = payload  # type: ignore[misc]
@@ -213,7 +227,11 @@ class ClusterSimulator:
                 pending = still_pending
             elif kind == self._RESCHEDULE:
                 self._apply_rescheduling(time_s)
-                if remaining > 0:
+                # Re-arm only while progress is still possible: something is
+                # running, or other events (arrivals/completions) are due.
+                # Otherwise pending-but-unplaceable requests would keep the
+                # reschedule heartbeat (and the event loop) alive forever.
+                if remaining > 0 and (self.engine.running or self._events):
                     self._push(time_s + self.rescheduling_interval_s, self._RESCHEDULE, None)
 
         result.makespan_s = max((task.finish_s for task in result.completed), default=0.0)
@@ -225,6 +243,12 @@ class ClusterSimulator:
     # ------------------------------------------------------------------ #
     # Placement / migration helpers
     # ------------------------------------------------------------------ #
+    def _can_ever_fit(self, request: TaskRequest) -> bool:
+        """Whether any node could host the request even when fully idle."""
+        return any(
+            node.total.fits(request.cores, request.memory_gib) for node in self.cluster
+        )
+
     def _try_place(self, request: TaskRequest, time_s: float, result: SimulationResult) -> bool:
         node_name = self.scheduler.place(request, self.cluster, time_s)
         if node_name is None:

@@ -1,0 +1,147 @@
+"""Batcher: coalesce compatible serving requests into schedulable tasks.
+
+Placing every user request as its own cluster task would drown the
+scheduler in per-task overhead (scoring, placement bookkeeping, container
+start).  The batcher coalesces *compatible* requests -- same tenant, same
+use case, same resource shape -- into one :class:`TaskRequest` whose work is
+the sum of its members' work.  A batch flushes when it reaches the size
+cap, when its oldest member has waited ``max_delay_s``, or when holding it
+any longer would endanger a member's deadline (the deadline-aware part).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.microserver import WorkloadKind
+from repro.scheduler.workload import TaskRequest
+from repro.serving.gateway import ServingRequest
+
+#: batch key: (tenant, use case, workload kind, cores, memory bucket)
+BatchKey = Tuple[str, str, WorkloadKind, int, int]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Tunables of the coalescing policy."""
+
+    max_batch_size: int = 16
+    max_delay_s: float = 2.0
+    #: requests whose memory demand falls in the same bucket share a batch.
+    memory_bucket_gib: float = 0.5
+    #: safety margin subtracted from a member's deadline slack before flush.
+    deadline_margin_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        if self.max_delay_s < 0:
+            raise ValueError("max delay must be non-negative")
+        if self.memory_bucket_gib <= 0:
+            raise ValueError("memory bucket must be positive")
+        if self.deadline_margin_s < 0:
+            raise ValueError("deadline margin must be non-negative")
+
+
+@dataclass
+class Batch:
+    """A group of compatible requests flushed as one cluster task."""
+
+    batch_id: str
+    key: BatchKey
+    requests: List[ServingRequest]
+    opened_s: float
+    flushed_s: Optional[float] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def total_gops(self) -> float:
+        return sum(request.gops for request in self.requests)
+
+    @property
+    def earliest_deadline_s(self) -> Optional[float]:
+        deadlines = [r.deadline_s for r in self.requests if r.deadline_s is not None]
+        return min(deadlines) if deadlines else None
+
+    def to_task_request(self, flush_s: float, energy_weight: float) -> TaskRequest:
+        """The schedulable task this batch becomes when flushed."""
+        head = self.requests[0]
+        # A member deadline that already passed by flush time cannot be
+        # carried on the task (arrival would be at/after it); the batch
+        # still runs, and the SLA tracker scores the miss per member.
+        deadline = self.earliest_deadline_s
+        if deadline is not None and deadline <= flush_s:
+            deadline = None
+        return TaskRequest(
+            task_id=self.batch_id,
+            arrival_s=flush_s,
+            workload=head.workload,
+            gops=self.total_gops,
+            cores=max(r.cores for r in self.requests),
+            memory_gib=max(r.memory_gib for r in self.requests),
+            energy_weight=energy_weight,
+            deadline_s=deadline,
+        )
+
+
+class Batcher:
+    """Open-batch table keyed by (tenant, use case, resource shape)."""
+
+    def __init__(self, policy: Optional[BatchPolicy] = None) -> None:
+        self.policy = policy if policy is not None else BatchPolicy()
+        self._open: Dict[BatchKey, Batch] = {}
+        self._ids = itertools.count()
+
+    def _key(self, request: ServingRequest) -> BatchKey:
+        bucket = int(request.memory_gib / self.policy.memory_bucket_gib)
+        return (request.tenant, request.use_case, request.workload, request.cores, bucket)
+
+    @property
+    def open_batches(self) -> List[Batch]:
+        return list(self._open.values())
+
+    # ------------------------------------------------------------------ #
+    # Filling and flushing
+    # ------------------------------------------------------------------ #
+    def add(self, request: ServingRequest, now_s: float) -> List[Batch]:
+        """Append a request; returns any batches this add caused to flush."""
+        key = self._key(request)
+        batch = self._open.get(key)
+        if batch is None:
+            batch = Batch(
+                batch_id=f"batch-{next(self._ids)}-{request.tenant}-{request.use_case}",
+                key=key,
+                requests=[],
+                opened_s=now_s,
+            )
+            self._open[key] = batch
+        batch.requests.append(request)
+        if batch.size >= self.policy.max_batch_size:
+            return [self._flush(key, now_s)]
+        return []
+
+    def flush_ready(self, now_s: float) -> List[Batch]:
+        """Flush batches that are stale or whose deadline slack ran out."""
+        flushed: List[Batch] = []
+        for key, batch in list(self._open.items()):
+            if now_s - batch.opened_s >= self.policy.max_delay_s:
+                flushed.append(self._flush(key, now_s))
+                continue
+            deadline = batch.earliest_deadline_s
+            if deadline is not None and now_s >= deadline - self.policy.deadline_margin_s:
+                flushed.append(self._flush(key, now_s))
+        return flushed
+
+    def flush_all(self, now_s: float) -> List[Batch]:
+        """Drain every open batch (end of stream)."""
+        return [self._flush(key, now_s) for key in list(self._open)]
+
+    def _flush(self, key: BatchKey, now_s: float) -> Batch:
+        batch = self._open.pop(key)
+        batch.flushed_s = now_s
+        return batch

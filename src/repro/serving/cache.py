@@ -1,0 +1,121 @@
+"""LRU prediction-score cache for the HEATS hot path.
+
+Serving traffic is highly repetitive: thousands of requests per minute
+share a handful of (use case, resource shape) combinations, and the
+feasible node set only changes when load shifts.  Re-running the HEATS
+scoring pipeline (per-node model prediction, normalisation, ranking) for
+every placement is therefore mostly recomputation.  The cache memoises the
+ranked :class:`~repro.scheduler.heats.NodeScore` list under a key built
+from the task kind, the request's resource shape (work and weight
+quantised into buckets), and the candidate node set -- which encodes the
+cluster load, since feasibility is what load changes.
+
+Quantising work into geometric buckets trades a bounded scoring error
+(within one bucket the ranking of candidate nodes is nearly always
+identical, because predicted time is linear and predicted energy affine in
+the work amount) for a high hit rate.  Predictions are only used to *rank*
+nodes; actual execution time and energy always come from the cluster
+model, so a cache hit never corrupts the simulation accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence, Tuple
+
+from repro.scheduler.workload import TaskRequest
+
+CacheKey = Tuple[Hashable, ...]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PredictionScoreCache:
+    """Bounded LRU map from (task kind, shape, load) keys to ranked scores."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        gops_bucket_ratio: float = 1.25,
+        weight_buckets: int = 20,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        if gops_bucket_ratio <= 1.0:
+            raise ValueError("gops bucket ratio must exceed 1")
+        if weight_buckets <= 0:
+            raise ValueError("weight buckets must be positive")
+        self.capacity = capacity
+        self._log_ratio = math.log(gops_bucket_ratio)
+        self.weight_buckets = weight_buckets
+        self._entries: "OrderedDict[CacheKey, Tuple[object, ...]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Keys
+    # ------------------------------------------------------------------ #
+    def gops_bucket(self, gops: float) -> int:
+        """Geometric bucket index: requests within ~one ratio share a bucket."""
+        # floor, not int(): truncation toward zero would make the buckets
+        # around gops=1 double-width and break the one-ratio error bound.
+        return math.floor(math.log(max(gops, 1e-9)) / self._log_ratio)
+
+    def key_for(
+        self,
+        request: TaskRequest,
+        candidate_names: Sequence[str],
+        energy_weight: float,
+    ) -> CacheKey:
+        return (
+            request.workload,
+            request.cores,
+            self.gops_bucket(request.gops),
+            int(energy_weight * self.weight_buckets),
+            tuple(candidate_names),
+        )
+
+    # ------------------------------------------------------------------ #
+    # LRU mechanics
+    # ------------------------------------------------------------------ #
+    def get(self, key: CacheKey) -> Optional[Tuple[object, ...]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, scores: Sequence[object]) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = tuple(scores)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries

@@ -1,0 +1,144 @@
+"""Servable endpoints: the LEGaTO use cases as request shapes.
+
+Each endpoint describes what one user request of a use case costs the
+cluster: the workload kind the schedulers' models understand, the work per
+request, and the resource shape the batch will reserve.  The figures are
+derived from the use-case modules (``InferenceRequestBatch`` for ML
+inference, the Smart Mirror frame pipeline, the IoT gateway's per-window
+message processing) so a served request is comparable to one unit of the
+corresponding standalone workload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.microserver import WorkloadKind
+from repro.serving.gateway import ServingRequest, Tenant
+
+
+@dataclass(frozen=True)
+class ServableEndpoint:
+    """Request shape of one use case exposed through the front-end."""
+
+    name: str
+    workload: WorkloadKind
+    gops_per_request: float
+    cores: int
+    memory_gib: float
+    #: default end-to-end latency bound attached to requests (None = best effort).
+    default_deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.gops_per_request <= 0:
+            raise ValueError("per-request work must be positive")
+        if self.cores <= 0 or self.memory_gib <= 0:
+            raise ValueError("resource shape must be positive")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+
+
+#: the use cases reachable through ``LegatoSystem.serve``.
+SERVABLE_ENDPOINTS: Dict[str, ServableEndpoint] = {
+    # One DNN-inference request (InferenceRequestBatch.gops_per_request).
+    "ml_inference": ServableEndpoint(
+        name="ml_inference",
+        workload=WorkloadKind.DNN_INFERENCE,
+        gops_per_request=3.0,
+        cores=2,
+        memory_gib=0.5,
+        default_deadline_s=60.0,
+    ),
+    # One Smart Mirror camera frame through detection + tracking.
+    "smartmirror": ServableEndpoint(
+        name="smartmirror",
+        workload=WorkloadKind.STREAMING,
+        gops_per_request=8.0,
+        cores=2,
+        memory_gib=1.0,
+        default_deadline_s=30.0,
+    ),
+    # One Secure IoT Gateway message window (decrypt/validate/aggregate/sign).
+    "iot_gateway": ServableEndpoint(
+        name="iot_gateway",
+        workload=WorkloadKind.CRYPTO,
+        gops_per_request=1.5,
+        cores=1,
+        memory_gib=0.5,
+        default_deadline_s=120.0,
+    ),
+}
+
+
+def endpoint(name: str) -> ServableEndpoint:
+    if name not in SERVABLE_ENDPOINTS:
+        raise KeyError(
+            f"no servable endpoint {name!r}; available: {sorted(SERVABLE_ENDPOINTS)}"
+        )
+    return SERVABLE_ENDPOINTS[name]
+
+
+def synthesize_traffic(
+    tenants: Sequence[Tenant],
+    endpoint_mix: Dict[str, Dict[str, float]],
+    offered_rps: float,
+    duration_s: float,
+    seed: int = 2020,
+    with_deadlines: bool = True,
+) -> List[ServingRequest]:
+    """Poisson request streams for several tenants sharing one front door.
+
+    ``endpoint_mix`` maps tenant name -> {endpoint name: weight}; the
+    offered load is split evenly across tenants and each tenant draws its
+    endpoints from its own mix.  Arrivals are merged and sorted so the
+    stream can be replayed in time order.
+    """
+    if offered_rps <= 0:
+        raise ValueError("offered load must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if not tenants:
+        raise ValueError("traffic needs at least one tenant")
+    rng = np.random.default_rng(seed)
+    ids = itertools.count()
+    per_tenant_rps = offered_rps / len(tenants)
+    requests: List[ServingRequest] = []
+    for tenant in tenants:
+        mix = endpoint_mix.get(tenant.name)
+        if not mix:
+            raise ValueError(f"tenant {tenant.name!r} has no endpoint mix")
+        names = sorted(mix)
+        weights = np.array([mix[n] for n in names], dtype=float)
+        if (weights < 0).any() or weights.sum() <= 0:
+            raise ValueError(f"tenant {tenant.name!r} has an invalid endpoint mix")
+        probabilities = weights / weights.sum()
+        time_s = 0.0
+        while True:
+            time_s += float(rng.exponential(1.0 / per_tenant_rps))
+            if time_s > duration_s:
+                break
+            chosen = endpoint(names[int(rng.choice(len(names), p=probabilities))])
+            deadline = (
+                time_s + chosen.default_deadline_s
+                if with_deadlines and chosen.default_deadline_s is not None
+                else None
+            )
+            requests.append(
+                ServingRequest(
+                    request_id=f"req-{next(ids)}",
+                    tenant=tenant.name,
+                    use_case=chosen.name,
+                    arrival_s=time_s,
+                    workload=chosen.workload,
+                    gops=chosen.gops_per_request,
+                    cores=chosen.cores,
+                    memory_gib=chosen.memory_gib,
+                    deadline_s=deadline,
+                )
+            )
+    requests.sort(key=lambda r: (r.arrival_s, r.request_id))
+    return requests

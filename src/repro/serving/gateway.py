@@ -1,0 +1,212 @@
+"""Request gateway: per-tenant admission control for the serving front-end.
+
+Every tenant registers with an SLA describing its traffic contract: a
+token-bucket rate limit (sustained requests/s plus a burst allowance), a
+bounded ingress queue, and the energy/performance weight its batches carry
+into HEATS scoring.  The gateway admits or rejects each offered request at
+its arrival instant and hands admitted requests downstream in round-robin
+order across tenants so one noisy tenant cannot starve the others.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.hardware.microserver import WorkloadKind
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """One user-facing request offered to the serving front-end."""
+
+    request_id: str
+    tenant: str
+    use_case: str
+    arrival_s: float
+    workload: WorkloadKind
+    gops: float
+    cores: int
+    memory_gib: float
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival time must be non-negative")
+        if self.gops <= 0:
+            raise ValueError("request work must be positive")
+        if self.cores <= 0 or self.memory_gib <= 0:
+            raise ValueError("resource demands must be positive")
+        if self.deadline_s is not None and self.deadline_s <= self.arrival_s:
+            raise ValueError("deadline must be after arrival")
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One customer of the cluster-as-a-service front-end."""
+
+    name: str
+    rate_limit_rps: float = 50.0
+    burst: int = 20
+    max_queue_depth: int = 256
+    energy_weight: float = 0.5
+    latency_slo_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a name")
+        if self.rate_limit_rps <= 0:
+            raise ValueError("rate limit must be positive")
+        if self.burst <= 0:
+            raise ValueError("burst must be positive")
+        if self.max_queue_depth <= 0:
+            raise ValueError("queue depth must be positive")
+        if not (0.0 <= self.energy_weight <= 1.0):
+            raise ValueError("energy weight must be within [0, 1]")
+        if self.latency_slo_s is not None and self.latency_slo_s <= 0:
+            raise ValueError("latency SLO must be positive")
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill, ``burst`` capacity."""
+
+    def __init__(self, rate_per_s: float, burst: int) -> None:
+        if rate_per_s <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate_per_s = rate_per_s
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_refill_s = 0.0
+
+    def available(self, now_s: float) -> float:
+        self._refill(now_s)
+        return self._tokens
+
+    def try_consume(self, now_s: float, tokens: float = 1.0) -> bool:
+        self._refill(now_s)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def _refill(self, now_s: float) -> None:
+        if now_s < self._last_refill_s:
+            raise ValueError("token bucket observed time going backwards")
+        elapsed = now_s - self._last_refill_s
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
+        self._last_refill_s = now_s
+
+
+class AdmissionDecision(Enum):
+    """Outcome of offering one request to the gateway."""
+
+    ADMITTED = "admitted"
+    REJECTED_RATE_LIMIT = "rejected_rate_limit"
+    REJECTED_QUEUE_FULL = "rejected_queue_full"
+    REJECTED_UNKNOWN_TENANT = "rejected_unknown_tenant"
+
+    @property
+    def admitted(self) -> bool:
+        return self is AdmissionDecision.ADMITTED
+
+
+@dataclass
+class GatewayStats:
+    """Per-tenant admission accounting."""
+
+    offered: int = 0
+    admitted: int = 0
+    rejected_rate_limit: int = 0
+    rejected_queue_full: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_rate_limit + self.rejected_queue_full
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0
+
+
+class RequestGateway:
+    """Admission control front door: one token bucket + queue per tenant."""
+
+    def __init__(self, tenants: Sequence[Tenant] = ()) -> None:
+        self._tenants: Dict[str, Tenant] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._queues: Dict[str, Deque[ServingRequest]] = {}
+        self._stats: Dict[str, GatewayStats] = {}
+        for tenant in tenants:
+            self.register(tenant)
+
+    # ------------------------------------------------------------------ #
+    # Tenant management
+    # ------------------------------------------------------------------ #
+    def register(self, tenant: Tenant) -> None:
+        if tenant.name in self._tenants:
+            raise ValueError(f"tenant {tenant.name!r} is already registered")
+        self._tenants[tenant.name] = tenant
+        self._buckets[tenant.name] = TokenBucket(tenant.rate_limit_rps, tenant.burst)
+        self._queues[tenant.name] = deque()
+        self._stats[tenant.name] = GatewayStats()
+
+    def tenant(self, name: str) -> Tenant:
+        if name not in self._tenants:
+            raise KeyError(f"no tenant named {name!r}")
+        return self._tenants[name]
+
+    @property
+    def tenants(self) -> List[Tenant]:
+        return list(self._tenants.values())
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    def offer(self, request: ServingRequest, now_s: Optional[float] = None) -> AdmissionDecision:
+        """Admit or reject one request at time ``now_s`` (its arrival by default)."""
+        now = request.arrival_s if now_s is None else now_s
+        if request.tenant not in self._tenants:
+            return AdmissionDecision.REJECTED_UNKNOWN_TENANT
+        stats = self._stats[request.tenant]
+        stats.offered += 1
+        # Check queue capacity before consuming a token so a queue-full
+        # rejection does not also burn the tenant's rate budget.
+        queue = self._queues[request.tenant]
+        if len(queue) >= self._tenants[request.tenant].max_queue_depth:
+            stats.rejected_queue_full += 1
+            return AdmissionDecision.REJECTED_QUEUE_FULL
+        if not self._buckets[request.tenant].try_consume(now):
+            stats.rejected_rate_limit += 1
+            return AdmissionDecision.REJECTED_RATE_LIMIT
+        queue.append(request)
+        stats.admitted += 1
+        return AdmissionDecision.ADMITTED
+
+    def drain(self, limit: Optional[int] = None) -> List[ServingRequest]:
+        """Pop admitted requests, round-robin across tenants for fairness."""
+        drained: List[ServingRequest] = []
+        queues = [q for q in self._queues.values() if q]
+        while queues and (limit is None or len(drained) < limit):
+            for queue in list(queues):
+                if limit is not None and len(drained) >= limit:
+                    break
+                drained.append(queue.popleft())
+                if not queue:
+                    queues.remove(queue)
+        return drained
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def queue_depth(self, tenant: str) -> int:
+        return len(self._queues[tenant])
+
+    def stats(self, tenant: str) -> GatewayStats:
+        if tenant not in self._stats:
+            raise KeyError(f"no tenant named {tenant!r}")
+        return self._stats[tenant]
+
+    def all_stats(self) -> Dict[str, GatewayStats]:
+        return dict(self._stats)

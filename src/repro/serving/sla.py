@@ -1,0 +1,180 @@
+"""SLA tracking and per-tenant serving telemetry.
+
+The serving layer is judged the way a production front-end is judged:
+latency percentiles (p50/p95/p99 of request arrival to batch completion),
+throughput, rejection rate at admission, deadline hit rate, and energy per
+served request.  The tracker accumulates raw observations during a serving
+run and renders them into per-tenant reports at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile; 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass
+class TenantSlaReport:
+    """Rendered serving telemetry for one tenant."""
+
+    tenant: str
+    offered: int
+    admitted: int
+    rejected: int
+    completed: int
+    dropped: int
+    horizon_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    mean_latency_s: float
+    deadline_hits: int
+    deadline_misses: int
+    energy_j: float
+    latency_slo_s: Optional[float] = None
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.horizon_s if self.horizon_s > 0 else 0.0
+
+    @property
+    def energy_per_request_j(self) -> float:
+        return self.energy_j / self.completed if self.completed else 0.0
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        total = self.deadline_hits + self.deadline_misses
+        return self.deadline_hits / total if total else 1.0
+
+    @property
+    def slo_met(self) -> bool:
+        """Whether the tenant's p99 latency SLO (if any) was met.
+
+        Dropped (admitted-but-never-served) traffic violates a latency SLO
+        outright: with zero completions the p99 of an empty sample is 0.0
+        and would otherwise pass vacuously.
+        """
+        if self.latency_slo_s is None:
+            return True
+        if self.dropped:
+            return False
+        if self.completed == 0:
+            return True  # nothing served, but nothing dropped either
+        return self.p99_latency_s <= self.latency_slo_s
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "tenant": self.tenant,
+            "offered": self.offered,
+            "completed": self.completed,
+            "rejection_rate": round(self.rejection_rate, 4),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "p50_latency_s": round(self.p50_latency_s, 3),
+            "p95_latency_s": round(self.p95_latency_s, 3),
+            "p99_latency_s": round(self.p99_latency_s, 3),
+            "deadline_hit_rate": round(self.deadline_hit_rate, 4),
+            "energy_per_request_j": round(self.energy_per_request_j, 2),
+            "slo_met": self.slo_met,
+        }
+
+
+@dataclass
+class _TenantAccumulator:
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    dropped: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+    deadline_hits: int = 0
+    deadline_misses: int = 0
+    energy_j: float = 0.0
+
+
+class SlaTracker:
+    """Accumulates serving observations and renders per-tenant reports."""
+
+    def __init__(self) -> None:
+        self._tenants: Dict[str, _TenantAccumulator] = {}
+        self._slos: Dict[str, Optional[float]] = {}
+
+    def _acc(self, tenant: str) -> _TenantAccumulator:
+        if tenant not in self._tenants:
+            self._tenants[tenant] = _TenantAccumulator()
+        return self._tenants[tenant]
+
+    # ------------------------------------------------------------------ #
+    # Observations
+    # ------------------------------------------------------------------ #
+    def set_latency_slo(self, tenant: str, slo_s: Optional[float]) -> None:
+        self._acc(tenant)  # a registered tenant reports even with zero traffic
+        self._slos[tenant] = slo_s
+
+    def record_offered(self, tenant: str, admitted: bool) -> None:
+        acc = self._acc(tenant)
+        acc.offered += 1
+        if admitted:
+            acc.admitted += 1
+        else:
+            acc.rejected += 1
+
+    def record_completion(
+        self,
+        tenant: str,
+        latency_s: float,
+        energy_j: float,
+        deadline_met: Optional[bool] = None,
+    ) -> None:
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        acc = self._acc(tenant)
+        acc.latencies_s.append(latency_s)
+        acc.energy_j += energy_j
+        if deadline_met is True:
+            acc.deadline_hits += 1
+        elif deadline_met is False:
+            acc.deadline_misses += 1
+
+    def record_dropped(self, tenant: str, count: int = 1) -> None:
+        """Requests admitted but never completed (batch unplaceable)."""
+        self._acc(tenant).dropped += count
+
+    # ------------------------------------------------------------------ #
+    # Reports
+    # ------------------------------------------------------------------ #
+    def report(self, tenant: str, horizon_s: float) -> TenantSlaReport:
+        acc = self._acc(tenant)
+        return TenantSlaReport(
+            tenant=tenant,
+            offered=acc.offered,
+            admitted=acc.admitted,
+            rejected=acc.rejected,
+            completed=len(acc.latencies_s),
+            dropped=acc.dropped,
+            horizon_s=horizon_s,
+            p50_latency_s=percentile(acc.latencies_s, 50),
+            p95_latency_s=percentile(acc.latencies_s, 95),
+            p99_latency_s=percentile(acc.latencies_s, 99),
+            mean_latency_s=(
+                float(np.mean(acc.latencies_s)) if acc.latencies_s else 0.0
+            ),
+            deadline_hits=acc.deadline_hits,
+            deadline_misses=acc.deadline_misses,
+            energy_j=acc.energy_j,
+            latency_slo_s=self._slos.get(tenant),
+        )
+
+    def reports(self, horizon_s: float) -> Dict[str, TenantSlaReport]:
+        return {name: self.report(name, horizon_s) for name in sorted(self._tenants)}

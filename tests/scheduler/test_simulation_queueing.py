@@ -1,0 +1,186 @@
+"""Queueing and migration-accounting edge cases of the cluster simulator.
+
+Covers two behaviours the serving front-end depends on:
+
+* a request that can never fit any node must end up reported in
+  ``unplaced`` (not spin the event loop forever), while feasible requests
+  keep completing;
+* the energy charged to a migrated task must equal the sum of the energy
+  of each node share it occupied (one segment per hosting node, migration
+  downtime uncharged).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.microserver import WorkloadKind
+from repro.scheduler.cluster import Cluster
+from repro.scheduler.simulation import ClusterSimulator
+from repro.scheduler.workload import TaskRequest
+
+
+def make_request(task_id, gops=100.0, cores=1, memory_gib=1.0, arrival_s=0.0):
+    return TaskRequest(
+        task_id=task_id,
+        arrival_s=arrival_s,
+        workload=WorkloadKind.SCALAR,
+        gops=gops,
+        cores=cores,
+        memory_gib=memory_gib,
+    )
+
+
+class FirstFitScheduler:
+    """Minimal policy: first node with room, no migrations."""
+
+    name = "first_fit"
+    supports_rescheduling = False
+
+    def place(self, request, cluster, time_s):
+        for node in cluster:
+            if node.can_host(request.cores, request.memory_gib):
+                return node.name
+        return None
+
+    def reschedule(self, running, cluster, time_s):
+        return []
+
+
+class ForcedMigrationScheduler:
+    """Places everything on ``source`` and migrates it to ``target`` once."""
+
+    name = "forced_migration"
+    supports_rescheduling = True
+
+    def __init__(self, source: str, target: str) -> None:
+        self.source = source
+        self.target = target
+        self.migrated: set = set()
+
+    def place(self, request, cluster, time_s):
+        node = cluster.node(self.source)
+        return self.source if node.can_host(request.cores, request.memory_gib) else None
+
+    def reschedule(self, running, cluster, time_s):
+        decisions: List[Tuple[str, str]] = []
+        for placement in running:
+            if placement.node == self.source and placement.request.task_id not in self.migrated:
+                self.migrated.add(placement.request.task_id)
+                decisions.append((placement.request.task_id, self.target))
+        return decisions
+
+
+def _segment_power_w(node, request) -> float:
+    share = min(1.0, request.cores / node.spec.cores)
+    return (node.spec.peak_power_w - node.spec.idle_power_w) * share + node.spec.idle_power_w * share
+
+
+class TestImpossibleRequests:
+    def test_never_fitting_request_is_reported_not_queued_forever(self):
+        cluster = Cluster.from_models({"apalis-arm-soc": 2})
+        impossible = make_request("giant", cores=64, memory_gib=512.0)
+        feasible = make_request("ok", gops=10.0, arrival_s=1.0)
+        result = ClusterSimulator(cluster, FirstFitScheduler()).run([impossible, feasible])
+        assert result.unplaced == ["giant"]
+        assert [task.task_id for task in result.completed] == ["ok"]
+
+    def test_only_impossible_requests_still_terminates(self):
+        cluster = Cluster.from_models({"apalis-arm-soc": 1})
+        requests = [
+            make_request(f"giant-{i}", cores=100, memory_gib=999.0, arrival_s=float(i))
+            for i in range(3)
+        ]
+        result = ClusterSimulator(cluster, FirstFitScheduler()).run(requests)
+        assert sorted(result.unplaced) == ["giant-0", "giant-1", "giant-2"]
+        assert result.completed == []
+        assert result.makespan_s == 0.0
+
+    def test_impossible_request_terminates_under_rescheduling_policy(self):
+        """Regression: with a rescheduling scheduler (HEATS), an unplaceable
+        pending request used to re-arm the reschedule heartbeat forever and
+        hang the event loop."""
+        from repro.scheduler.heats import HeatsScheduler
+        from repro.scheduler.modeling import ProfilingCampaign
+
+        cluster = Cluster.from_models({"apalis-arm-soc": 1})
+        scheduler = HeatsScheduler(ProfilingCampaign(cluster, seed=5).run().fit())
+        impossible = make_request("giant", cores=64, memory_gib=512.0)
+        feasible = make_request("ok", gops=10.0, arrival_s=1.0)
+        result = ClusterSimulator(cluster, scheduler).run([impossible, feasible])
+        assert result.unplaced == ["giant"]
+        assert [task.task_id for task in result.completed] == ["ok"]
+
+    def test_simulator_defaults_to_scheduler_cadence(self):
+        from repro.scheduler.heats import HeatsConfig, HeatsScheduler
+        from repro.scheduler.modeling import ProfilingCampaign
+
+        cluster = Cluster.from_models({"apalis-arm-soc": 1})
+        models = ProfilingCampaign(cluster, seed=5).run().fit()
+        configured = HeatsScheduler(models, HeatsConfig(rescheduling_interval_s=12.5))
+        assert ClusterSimulator(cluster, configured).rescheduling_interval_s == 12.5
+        # Explicit argument still wins; config-less policies keep the default.
+        assert (
+            ClusterSimulator(cluster, configured, rescheduling_interval_s=5.0)
+            .rescheduling_interval_s == 5.0
+        )
+        assert ClusterSimulator(cluster, FirstFitScheduler()).rescheduling_interval_s == 60.0
+
+    def test_queued_request_runs_once_a_node_frees(self):
+        cluster = Cluster.from_models({"apalis-arm-soc": 1})
+        # First request fills all 4 cores; second must wait for it.
+        hog = make_request("hog", gops=50.0, cores=4, memory_gib=1.0)
+        waiter = make_request("waiter", gops=10.0, cores=4, memory_gib=1.0, arrival_s=0.5)
+        result = ClusterSimulator(cluster, FirstFitScheduler()).run([hog, waiter])
+        assert result.unplaced == []
+        by_id = {task.task_id: task for task in result.completed}
+        assert by_id["waiter"].start_s == pytest.approx(by_id["hog"].finish_s)
+        assert by_id["waiter"].waiting_s > 0
+
+
+class TestMigrationEnergyAccounting:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        gops=st.floats(min_value=700.0, max_value=4000.0),
+        cores=st.integers(min_value=1, max_value=4),
+        memory_gib=st.floats(min_value=0.25, max_value=3.5),
+    )
+    def test_energy_sums_across_node_shares(self, gops, cores, memory_gib):
+        """Property: migrated-task energy == sum of per-node segment energies."""
+        cluster = Cluster.from_models({"apalis-arm-soc": 1, "xeon-d-x86": 1})
+        source = next(n for n in cluster if n.spec.model == "apalis-arm-soc")
+        target = next(n for n in cluster if n.spec.model == "xeon-d-x86")
+        scheduler = ForcedMigrationScheduler(source.name, target.name)
+        simulator = ClusterSimulator(cluster, scheduler)
+        request = make_request("mig", gops=gops, cores=cores, memory_gib=memory_gib)
+        # Slow enough on the source to still be running at the first
+        # reschedule tick (>= 700 Gop at <= 10 Gop/s per full share).
+        assert source.execution_time_s(request.workload, gops, cores) > 60.0
+
+        result = simulator.run([request])
+        assert result.unplaced == []
+        [task] = result.completed
+        assert task.migrations == 1
+        assert task.nodes == (source.name, target.name)
+        [event] = result.migrations
+
+        segment_1 = (event.time_s - task.start_s) * _segment_power_w(source, request)
+        resume_s = event.time_s + event.downtime_s
+        segment_2 = (task.finish_s - resume_s) * _segment_power_w(target, request)
+        assert task.energy_j == pytest.approx(segment_1 + segment_2, rel=1e-9)
+        # Both shares contribute: neither segment is degenerate.
+        assert segment_1 > 0 and segment_2 > 0
+
+    def test_unmigrated_task_energy_is_single_segment(self):
+        cluster = Cluster.from_models({"xeon-d-x86": 1})
+        request = make_request("plain", gops=120.0, cores=2)
+        result = ClusterSimulator(cluster, FirstFitScheduler()).run([request])
+        [task] = result.completed
+        node = cluster.nodes[0]
+        expected = (task.finish_s - task.start_s) * _segment_power_w(node, request)
+        assert task.energy_j == pytest.approx(expected, rel=1e-9)
+        assert task.migrations == 0

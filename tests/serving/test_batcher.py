@@ -1,0 +1,123 @@
+"""Batcher unit tests: coalescing, size/delay/deadline flushing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.microserver import WorkloadKind
+from repro.serving.batching import Batcher, BatchPolicy
+from repro.serving.gateway import ServingRequest
+
+
+def make_request(
+    request_id: str,
+    tenant: str = "acme",
+    use_case: str = "ml_inference",
+    arrival_s: float = 0.0,
+    gops: float = 3.0,
+    cores: int = 2,
+    memory_gib: float = 0.5,
+    deadline_s=None,
+    workload: WorkloadKind = WorkloadKind.DNN_INFERENCE,
+) -> ServingRequest:
+    return ServingRequest(
+        request_id=request_id,
+        tenant=tenant,
+        use_case=use_case,
+        arrival_s=arrival_s,
+        workload=workload,
+        gops=gops,
+        cores=cores,
+        memory_gib=memory_gib,
+        deadline_s=deadline_s,
+    )
+
+
+def test_compatible_requests_share_a_batch():
+    batcher = Batcher(BatchPolicy(max_batch_size=8))
+    for i in range(3):
+        assert batcher.add(make_request(f"r{i}"), now_s=0.0) == []
+    assert len(batcher.open_batches) == 1
+    assert batcher.open_batches[0].size == 3
+
+
+def test_incompatible_requests_get_separate_batches():
+    batcher = Batcher(BatchPolicy(max_batch_size=8))
+    batcher.add(make_request("r0"), now_s=0.0)
+    batcher.add(make_request("r1", tenant="beta"), now_s=0.0)
+    batcher.add(make_request("r2", use_case="smartmirror"), now_s=0.0)
+    batcher.add(make_request("r3", cores=4), now_s=0.0)
+    batcher.add(make_request("r4", memory_gib=3.0), now_s=0.0)
+    batcher.add(make_request("r5", workload=WorkloadKind.CRYPTO), now_s=0.0)
+    assert len(batcher.open_batches) == 6
+
+
+def test_size_cap_flushes_immediately():
+    batcher = Batcher(BatchPolicy(max_batch_size=2))
+    assert batcher.add(make_request("r0"), now_s=0.0) == []
+    flushed = batcher.add(make_request("r1"), now_s=0.5)
+    assert len(flushed) == 1
+    assert flushed[0].size == 2
+    assert flushed[0].flushed_s == 0.5
+    assert batcher.open_batches == []
+
+
+def test_stale_batch_flushes_after_max_delay():
+    batcher = Batcher(BatchPolicy(max_batch_size=8, max_delay_s=2.0))
+    batcher.add(make_request("r0"), now_s=1.0)
+    assert batcher.flush_ready(2.5) == []
+    flushed = batcher.flush_ready(3.0)
+    assert len(flushed) == 1
+
+
+def test_deadline_forces_early_flush():
+    policy = BatchPolicy(max_batch_size=8, max_delay_s=100.0, deadline_margin_s=0.5)
+    batcher = Batcher(policy)
+    batcher.add(make_request("r0", arrival_s=0.0, deadline_s=5.0), now_s=0.0)
+    assert batcher.flush_ready(4.0) == []
+    flushed = batcher.flush_ready(4.6)  # within margin of the 5s deadline
+    assert len(flushed) == 1
+
+
+def test_flush_all_drains_everything():
+    batcher = Batcher()
+    batcher.add(make_request("r0"), now_s=0.0)
+    batcher.add(make_request("r1", tenant="beta"), now_s=0.0)
+    flushed = batcher.flush_all(9.0)
+    assert len(flushed) == 2
+    assert all(b.flushed_s == 9.0 for b in flushed)
+    assert batcher.open_batches == []
+
+
+def test_to_task_request_aggregates_members():
+    batcher = Batcher(BatchPolicy(max_batch_size=3, memory_bucket_gib=1.0))
+    batcher.add(make_request("r0", gops=2.0, memory_gib=0.4, deadline_s=50.0), 0.0)
+    batcher.add(make_request("r1", gops=3.0, memory_gib=0.6, deadline_s=20.0), 0.0)
+    [batch] = batcher.add(make_request("r2", gops=5.0, memory_gib=0.5), 1.0)
+    task = batch.to_task_request(flush_s=1.0, energy_weight=0.8)
+    assert task.task_id == batch.batch_id
+    assert task.arrival_s == 1.0
+    assert task.gops == pytest.approx(10.0)
+    assert task.cores == 2
+    assert task.memory_gib == pytest.approx(0.6)  # max over members
+    assert task.energy_weight == 0.8
+    assert task.deadline_s == 20.0  # earliest member deadline
+
+
+def test_expired_deadline_is_dropped_from_task_not_crashing():
+    batcher = Batcher(BatchPolicy(max_batch_size=2))
+    batcher.add(make_request("r0", arrival_s=0.0, deadline_s=1.0), 0.0)
+    [batch] = batcher.flush_all(5.0)  # flushed after the member deadline passed
+    task = batch.to_task_request(flush_s=5.0, energy_weight=0.5)
+    assert task.deadline_s is None  # expired deadline cannot precede arrival
+    live = batch.to_task_request(flush_s=0.5, energy_weight=0.5)
+    assert live.deadline_s == 1.0  # still carried while it is ahead
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        BatchPolicy(max_batch_size=0)
+    with pytest.raises(ValueError):
+        BatchPolicy(max_delay_s=-1.0)
+    with pytest.raises(ValueError):
+        BatchPolicy(memory_bucket_gib=0.0)

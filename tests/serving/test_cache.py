@@ -1,0 +1,124 @@
+"""Prediction-score cache unit tests: LRU mechanics and scheduler hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.microserver import WorkloadKind
+from repro.scheduler.cluster import Cluster
+from repro.scheduler.heats import HeatsScheduler
+from repro.scheduler.modeling import ProfilingCampaign
+from repro.scheduler.workload import TaskRequest
+from repro.serving.cache import PredictionScoreCache
+
+
+def make_request(task_id="t0", gops=100.0, cores=2, weight=0.5) -> TaskRequest:
+    return TaskRequest(
+        task_id=task_id,
+        arrival_s=0.0,
+        workload=WorkloadKind.DNN_INFERENCE,
+        gops=gops,
+        cores=cores,
+        memory_gib=1.0,
+        energy_weight=weight,
+    )
+
+
+class TestLruMechanics:
+    def test_hit_miss_stats(self):
+        cache = PredictionScoreCache(capacity=4)
+        key = cache.key_for(make_request(), ["a", "b"], 0.5)
+        assert cache.get(key) is None
+        cache.put(key, ("score",))
+        assert cache.get(key) == ("score",)
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = PredictionScoreCache(capacity=2)
+        k1 = cache.key_for(make_request(gops=10.0), ["a"], 0.5)
+        k2 = cache.key_for(make_request(gops=1000.0), ["a"], 0.5)
+        k3 = cache.key_for(make_request(gops=100000.0), ["a"], 0.5)
+        cache.put(k1, (1,))
+        cache.put(k2, (2,))
+        cache.get(k1)  # refresh k1 so k2 is LRU
+        cache.put(k3, (3,))
+        assert k1 in cache and k3 in cache and k2 not in cache
+        assert cache.stats.evictions == 1
+
+    def test_clear(self):
+        cache = PredictionScoreCache(capacity=2)
+        cache.put(cache.key_for(make_request(), ["a"], 0.5), (1,))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestKeying:
+    def test_nearby_gops_share_a_bucket(self):
+        cache = PredictionScoreCache(gops_bucket_ratio=1.25)
+        base = cache.key_for(make_request(gops=100.0), ["a", "b"], 0.5)
+        near = cache.key_for(make_request(gops=102.0), ["a", "b"], 0.5)
+        far = cache.key_for(make_request(gops=200.0), ["a", "b"], 0.5)
+        assert base == near
+        assert base != far
+
+    def test_key_distinguishes_shape_weight_and_candidates(self):
+        cache = PredictionScoreCache()
+        base = cache.key_for(make_request(), ["a", "b"], 0.5)
+        assert base != cache.key_for(make_request(cores=4), ["a", "b"], 0.5)
+        assert base != cache.key_for(make_request(), ["a", "b"], 0.9)
+        assert base != cache.key_for(make_request(), ["a"], 0.5)
+
+    def test_buckets_are_uniformly_geometric_below_one(self):
+        cache = PredictionScoreCache(gops_bucket_ratio=1.25)
+        # 0.81 and 1.24 are ~1.53x apart: more than one ratio, so they must
+        # not share a bucket (int() truncation used to merge them).
+        assert cache.gops_bucket(0.81) != cache.gops_bucket(1.24)
+        assert cache.gops_bucket(1.0) == cache.gops_bucket(1.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictionScoreCache(capacity=0)
+        with pytest.raises(ValueError):
+            PredictionScoreCache(gops_bucket_ratio=1.0)
+
+
+class TestSchedulerHook:
+    @pytest.fixture
+    def scored_pair(self, heterogeneous_cluster):
+        models = ProfilingCampaign(heterogeneous_cluster, seed=3).run().fit()
+        cache = PredictionScoreCache()
+        cached = HeatsScheduler(models, score_cache=cache)
+        plain = HeatsScheduler(models)
+        return heterogeneous_cluster, cached, plain, cache
+
+    def test_cached_ranking_matches_uncached(self, scored_pair):
+        cluster, cached, plain, cache = scored_pair
+        request = make_request()
+        candidates = cluster.feasible_nodes(request.cores, request.memory_gib)
+        expected = plain.score_candidates(request, candidates)
+        first = cached.score_candidates(request, candidates)
+        second = cached.score_candidates(request, candidates)
+        assert first == expected
+        assert second == expected
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_place_uses_cache_across_requests(self, scored_pair):
+        cluster, cached, plain, cache = scored_pair
+        # Same shape, slightly different work: second placement is a hit.
+        first = make_request(task_id="t0", gops=100.0)
+        second = make_request(task_id="t1", gops=101.0)
+        assert cached.place(first, cluster, 0.0) == plain.place(first, cluster, 0.0)
+        assert cached.place(second, cluster, 0.0) == plain.place(second, cluster, 0.0)
+        assert cache.stats.hits >= 1
+
+    def test_cache_key_tracks_cluster_load(self, scored_pair):
+        cluster, cached, _, cache = scored_pair
+        request = make_request()
+        cached.place(request, cluster, 0.0)
+        misses = cache.stats.misses
+        # Occupy a node: the feasible set changes, so the key must change.
+        busy = cluster.nodes[0]
+        busy.reserve("occupier", busy.total.cores, 0.1)
+        cached.place(make_request(task_id="t1"), cluster, 1.0)
+        assert cache.stats.misses == misses + 1
