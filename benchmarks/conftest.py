@@ -31,6 +31,12 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
 
 
 @pytest.fixture
+def smoke(request) -> bool:
+    """Whether the run was started with ``--smoke`` (reduced benchmark load)."""
+    return bool(request.config.getoption("--smoke"))
+
+
+@pytest.fixture
 def report_table():
     """Print a reproduced table and persist it under benchmarks/results/."""
 

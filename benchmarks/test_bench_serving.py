@@ -1,7 +1,7 @@
 """SERVING: the multi-tenant front-end under increasing offered load.
 
 Not a paper figure: this benchmark measures the cluster-as-a-service layer
-the ROADMAP asks for.  Two experiments:
+the ROADMAP asks for.  Three experiments:
 
 1. **Offered-load sweep** -- the same two tenants offer 3 traffic levels;
    reported per level: ops/sec actually served, p50/p99 end-to-end latency,
@@ -12,6 +12,13 @@ the ROADMAP asks for.  Two experiments:
    HEATS prediction-score cache on vs off (same learned models, fresh
    cluster per run).  The cached run must be measurably faster while
    serving the same number of requests.
+3. **Federation shard sweep** -- the identical workload served by 1, 2,
+   and 4 shards at a fixed total node count (1 shard = today's single
+   HEATS cluster).  Per-request placement latency is measured around the
+   scheduler's ``place`` calls; the 4-shard federation must place at least
+   as fast as the single-cluster baseline because node-level scoring only
+   ever runs over one shard's nodes.  Written to
+   ``benchmarks/results/federation_sweep.txt``.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import time
 import pytest
 
 from repro import LegatoSystem, ServingWorkload
+from repro.federation import Federation
 from repro.scheduler.cluster import Cluster
 from repro.scheduler.heats import HeatsScheduler
 from repro.scheduler.modeling import ProfilingCampaign
@@ -171,3 +179,142 @@ def test_serving_score_cache_ablation(report_table):
     # (Typical margin is ~1.4x; the assertion is deliberately loose so a
     # noisy shared CI runner cannot flip it.)
     assert speedup > 1.0
+
+
+# --------------------------------------------------------------------- #
+# Federation shard sweep
+# --------------------------------------------------------------------- #
+
+#: fixed fleet size: heats_testbed scale 8 = 32 heterogeneous nodes.
+FEDERATION_TOTAL_SCALE = 8
+FEDERATION_SHARD_COUNTS = (1, 2, 4)
+
+
+class _PlacementTimer:
+    """Delegating scheduler wrapper timing every ``place`` call."""
+
+    def __init__(self, scheduler):
+        self._scheduler = scheduler
+        self.place_time_s = 0.0
+        self.place_calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._scheduler, name)
+
+    def place(self, request, cluster, time_s):
+        start = time.perf_counter()
+        node = self._scheduler.place(request, cluster, time_s)
+        self.place_time_s += time.perf_counter() - start
+        self.place_calls += 1
+        return node
+
+    def reschedule(self, running, cluster, time_s):
+        return self._scheduler.reschedule(running, cluster, time_s)
+
+    @property
+    def mean_place_latency_s(self) -> float:
+        return self.place_time_s / self.place_calls if self.place_calls else 0.0
+
+
+def _federation_run(workload, num_shards: int):
+    """One serving run; returns (timer, report, federation stats or None)."""
+    gateway_tenants = workload.tenants
+    from repro.serving import RequestGateway as _Gateway
+
+    if num_shards == 1:
+        # Today's path: one HEATS scheduler over the whole 32-node fleet.
+        cluster = Cluster.heats_testbed(scale=FEDERATION_TOTAL_SCALE)
+        scheduler = HeatsScheduler.with_learned_models(
+            cluster, seed=7, score_cache=PredictionScoreCache()
+        )
+        timer = _PlacementTimer(scheduler)
+        loop = ServingLoop(cluster, timer, _Gateway(gateway_tenants))
+        report = loop.run(workload.requests)
+        return timer, report, None
+    federation = Federation.build(
+        num_shards=num_shards,
+        shard_scale=FEDERATION_TOTAL_SCALE // num_shards,
+        seed=7,
+    )
+    for tenant in gateway_tenants:
+        if tenant.region is not None:
+            federation.scheduler.register_tenant_region(tenant.name, tenant.region)
+    timer = _PlacementTimer(federation.scheduler)
+    loop = ServingLoop(federation.cluster, timer, _Gateway(gateway_tenants))
+    report = loop.run(workload.requests)
+    return timer, report, federation.stats
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_federation_shard_sweep(report_table, smoke):
+    tenants = [
+        Tenant(name="perf-tenant", rate_limit_rps=500.0, burst=200, energy_weight=0.1),
+        Tenant(name="eco-tenant", rate_limit_rps=500.0, burst=200, energy_weight=0.9,
+               region="eu-north"),
+    ]
+    offered_rps, duration_s, repeats = (40.0, 10.0, 2) if smoke else (120.0, 30.0, 3)
+    workload = ServingWorkload.synthetic(
+        tenants, _mix(), offered_rps=offered_rps, duration_s=duration_s, seed=29
+    )
+
+    best = {}
+    reports = {}
+    stats = {}
+    for _ in range(repeats):
+        for num_shards in FEDERATION_SHARD_COUNTS:
+            timer, report, fed_stats = _federation_run(workload, num_shards)
+            latency = timer.mean_place_latency_s
+            if num_shards not in best or latency < best[num_shards][0]:
+                best[num_shards] = (latency, timer.place_calls)
+                reports[num_shards] = report
+                stats[num_shards] = fed_stats
+
+    rows = []
+    for num_shards in FEDERATION_SHARD_COUNTS:
+        latency, calls = best[num_shards]
+        report = reports[num_shards]
+        fed_stats = stats[num_shards]
+        rows.append(
+            [
+                f"{num_shards}" + (" (single)" if num_shards == 1 else ""),
+                4 * FEDERATION_TOTAL_SCALE,
+                report.completed,
+                calls,
+                f"{latency * 1e6:.1f}",
+                f"{report.ops_per_sec:.2f}",
+                f"{fed_stats.affinity_hit_rate:.2f}" if fed_stats else "-",
+                fed_stats.cross_shard_migrations if fed_stats else "-",
+            ]
+        )
+    report_table(
+        "federation_sweep",
+        "Federation shard sweep -- same workload, fixed 32-node fleet "
+        f"(min of {repeats} runs, {len(workload.requests)} requests"
+        f"{', smoke' if smoke else ''})",
+        ["shards", "nodes", "completed", "place calls", "place latency (us)",
+         "ops/sec", "affinity hits", "x-shard migr"],
+        rows,
+    )
+
+    single, two, four = (reports[n] for n in FEDERATION_SHARD_COUNTS)
+    # Identical traffic is served at every shard count...
+    assert single.offered == two.offered == four.offered > 0
+    for report in (single, two, four):
+        assert report.completed > 0
+        assert report.admitted == report.completed + report.dropped
+    # ...routing telemetry is consistent (every placement has a shard)...
+    for num_shards in (2, 4):
+        assert stats[num_shards].placements == sum(
+            stats[num_shards].placements_by_shard.values()
+        )
+        assert len(stats[num_shards].placements_by_shard) <= num_shards
+    # ...region seeding was exercised (eco-tenant carries a region)...
+    for num_shards in (2, 4):
+        assert stats[num_shards].region_seeded >= 1
+    # ...and sharding makes per-request placement cheaper, not dearer:
+    # scoring runs over one shard's nodes instead of the whole fleet.
+    # Smoke mode (CI, single short run on a shared runner) gets timing
+    # slack so scheduler noise cannot flip the build; the full run is the
+    # strict acceptance gate.
+    slack = 1.5 if smoke else 1.0
+    assert best[4][0] <= best[1][0] * slack

@@ -1,0 +1,19 @@
+"""Repo-root pytest configuration.
+
+Registers the ``--smoke`` flag CI's docs job uses to run the heavier
+benchmarks (the federation shard sweep in particular) at a reduced load so
+regressions in the federation path fail fast without paying the full
+benchmark cost.
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser):
+    """Register the repo-wide ``--smoke`` benchmark-shrinking flag."""
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run benchmarks in smoke mode: reduced load/repeats, same assertions",
+    )

@@ -22,17 +22,22 @@ platforms.  This package reproduces the stack on top of simulated hardware:
   (Section VI).
 * :mod:`repro.serving`       -- multi-tenant request-serving front-end over
   the HEATS cluster (admission, batching, score cache, SLA telemetry).
+* :mod:`repro.federation`    -- federated multi-cluster scheduling: many
+  HEATS shards behind one two-level scheduler with tenant affinity and
+  cross-shard migration.
 * :mod:`repro.core`          -- the integrated LEGaTO ecosystem facade and
   project-goal metrics.
 """
 
 from repro.core.config import LegatoConfig
 from repro.core.ecosystem import LegatoSystem
+from repro.federation.federation import Federation
 from repro.serving.loop import ServingReport, ServingWorkload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Federation",
     "LegatoSystem",
     "LegatoConfig",
     "ServingReport",

@@ -90,12 +90,18 @@ class LegatoConfig:
 
     @property
     def effective_replication_policy(self) -> ReplicationPolicy:
+        """Baseline systems run without replication."""
         if self.optimisations.selective_replication:
             return self.replication_policy
         return ReplicationPolicy.NONE
 
     def device_models(self) -> Tuple[str, ...]:
-        """The microserver models the runtime may schedule onto."""
+        """The microserver models the runtime may schedule onto.
+
+        Returns:
+            Catalogue model names, restricted to CPU models when
+            heterogeneous offload is disabled.
+        """
         models = []
         for kind_models in self.hardware.carriers.values():
             models.extend(kind_models)
@@ -108,13 +114,30 @@ class LegatoConfig:
     # Variants
     # ------------------------------------------------------------------ #
     def as_baseline(self) -> "LegatoConfig":
-        """The same deployment with every optimisation disabled."""
+        """The same deployment with every optimisation disabled.
+
+        Returns:
+            A ``-baseline``-suffixed copy with all flags off.
+        """
         return replace(self, name=f"{self.name}-baseline", optimisations=OptimisationFlags.baseline())
 
     def with_optimisations(self, **flags: bool) -> "LegatoConfig":
-        """A copy with individual optimisation flags overridden."""
+        """A copy with individual optimisation flags overridden.
+
+        Args:
+            **flags: ``OptimisationFlags`` field names mapped to new values.
+
+        Returns:
+            The updated configuration copy.
+        """
         return replace(self, optimisations=replace(self.optimisations, **flags))
 
     @staticmethod
     def default() -> "LegatoConfig":
+        """The fully optimised demo deployment.
+
+        Returns:
+            A configuration with every optimisation enabled on the
+            balanced demo hardware population.
+        """
         return LegatoConfig()

@@ -13,7 +13,11 @@ deployment of the same hardware.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.federation.federation import Federation
+    from repro.federation.policy import FederationConfig
 
 from repro.compiler.toolchain import CompilationResult, Toolchain
 from repro.core.config import LegatoConfig
@@ -75,10 +79,20 @@ class LegatoSystem:
     # Building blocks
     # ------------------------------------------------------------------ #
     def devices(self) -> List[ExecutionDevice]:
-        """Fresh execution devices matching the configured population."""
+        """Fresh execution devices matching the configured population.
+
+        Returns:
+            One :class:`ExecutionDevice` per configured microserver model.
+        """
         return build_devices(list(self.config.device_models()))
 
     def runtime(self) -> OmpSsRuntime:
+        """A fresh OmpSs-like runtime over the configured devices.
+
+        Returns:
+            The runtime, using the configuration's effective scheduling
+            policy.
+        """
         return OmpSsRuntime(
             devices=self.devices(), policy=self.config.effective_scheduling_policy
         )
@@ -87,6 +101,14 @@ class LegatoSystem:
     # Compilation and execution
     # ------------------------------------------------------------------ #
     def compile(self, source: str) -> CompilationResult:
+        """Compile an annotated source program with the LEGaTO toolchain.
+
+        Args:
+            source: pragma-annotated task program text.
+
+        Returns:
+            The compilation result (lowered task graph plus diagnostics).
+        """
         return self.toolchain.compile(source)
 
     def run_tasks(self, tasks: Sequence[Task]) -> ExecutionTrace:
@@ -95,6 +117,12 @@ class LegatoSystem:
         When FPGA undervolting is enabled the energy of FPGA-executed tasks
         is reduced by the selected operating point's saving applied to the
         BRAM share of the board power.
+
+        Args:
+            tasks: the tasks to execute.
+
+        Returns:
+            The execution trace with undervolting-adjusted energies.
         """
         trace = self.runtime().run(list(tasks))
         if self.config.optimisations.fpga_undervolting:
@@ -119,11 +147,27 @@ class LegatoSystem:
         return trace
 
     def run_program(self, source: str) -> ExecutionTrace:
-        """Compile an annotated program and run it."""
+        """Compile an annotated program and run it.
+
+        Args:
+            source: pragma-annotated task program text.
+
+        Returns:
+            The execution trace of the compiled tasks.
+        """
         result = self.compile(source)
         return self.run_tasks(result.lowered.tasks)
 
     def run_resilient(self, graph: TaskGraph, fault_probability: float = 0.05) -> ResilienceReport:
+        """Execute a task graph under fault injection with replication.
+
+        Args:
+            graph: the task graph to run.
+            fault_probability: per-task fault injection probability.
+
+        Returns:
+            The resilience report (failures, recoveries, overhead).
+        """
         executor = ResilientExecutor(
             devices=self.devices(),
             policy=self.config.effective_replication_policy,
@@ -132,6 +176,14 @@ class LegatoSystem:
         return executor.execute(graph)
 
     def run_secure(self, graph: TaskGraph) -> SecureExecutionReport:
+        """Execute a task graph with enclave protection for secure tasks.
+
+        Args:
+            graph: the task graph to run.
+
+        Returns:
+            The secure-execution report (attestation, exposure accounting).
+        """
         if not self.config.optimisations.enclave_security:
             raise RuntimeError(
                 "enclave security is disabled in this configuration; "
@@ -151,17 +203,48 @@ class LegatoSystem:
         batch_policy: Optional[BatchPolicy] = None,
         heats_config: Optional[HeatsConfig] = None,
         seed: int = 7,
+        num_shards: int = 1,
     ) -> ServingReport:
-        """Serve a multi-tenant request stream on a HEATS-scheduled cluster.
+        """Serve a multi-tenant request stream on a HEATS-scheduled backend.
 
         The round trip is admission (per-tenant rate limits and bounded
         queues) -> batching (coalescing compatible requests) -> HEATS
-        placement on a fresh ``heats_testbed`` cluster (with the
-        prediction-score cache on the scoring hot path unless disabled) ->
-        per-tenant SLA report.
+        placement (with the prediction-score cache on the scoring hot path
+        unless disabled) -> per-tenant SLA report.  With ``num_shards > 1``
+        the backend is a federation of shards at the same total node
+        count, built via :meth:`federate`.
+
+        Args:
+            workload: tenants plus their request stream.
+            cluster_scale: total ``heats_testbed`` scale (4 * scale nodes);
+                must be divisible by ``num_shards``.
+            use_score_cache: attach prediction-score cache(s).
+            batch_policy: optional batching override.
+            heats_config: node-level scheduler tunables.
+            seed: profiling seed (shards derive independent seeds).
+            num_shards: number of federation shards; 1 = single cluster.
+
+        Returns:
+            The :class:`ServingReport` for the run.
         """
         if cluster_scale <= 0:
             raise ValueError("cluster scale must be positive")
+        if num_shards <= 0:
+            raise ValueError("shard count must be positive")
+        if num_shards > 1:
+            if cluster_scale % num_shards:
+                raise ValueError(
+                    "cluster scale must be divisible by the shard count so "
+                    "shards are equally sized"
+                )
+            federation = self.federate(
+                num_shards=num_shards,
+                shard_scale=cluster_scale // num_shards,
+                use_score_cache=use_score_cache,
+                heats_config=heats_config,
+                seed=seed,
+            )
+            return federation.serve(workload, batch_policy=batch_policy)
         cluster = Cluster.heats_testbed(scale=cluster_scale)
         scheduler = HeatsScheduler.with_learned_models(
             cluster,
@@ -173,11 +256,56 @@ class LegatoSystem:
         loop = ServingLoop(cluster, scheduler, gateway, batch_policy=batch_policy)
         return loop.run(workload.requests)
 
+    def federate(
+        self,
+        num_shards: int = 2,
+        shard_scale: int = 1,
+        use_score_cache: bool = True,
+        heats_config: Optional[HeatsConfig] = None,
+        federation_config: Optional["FederationConfig"] = None,
+        seed: int = 7,
+    ) -> "Federation":
+        """Build a federation of HEATS shards behind one scheduler.
+
+        Each shard is an independent HEATS deployment (own cluster, own
+        profiling seed, own scheduler-config copy, own score cache) in a
+        distinct energy region; requests are routed shard-first from O(1)
+        capacity aggregates, then placed by the shard's HEATS scheduler.
+
+        Args:
+            num_shards: number of member shards.
+            shard_scale: ``heats_testbed`` scale per shard.
+            use_score_cache: attach per-shard prediction-score caches.
+            heats_config: node-level scheduler tunables, copied per shard.
+            federation_config: shard-selection and migration tunables.
+            seed: federation base seed; shard ``i`` profiles with
+                ``seed + 101 * i``.
+
+        Returns:
+            A :class:`~repro.federation.federation.Federation` ready to
+            serve one workload.
+        """
+        from repro.federation.federation import Federation
+
+        return Federation.build(
+            num_shards=num_shards,
+            shard_scale=shard_scale,
+            heats_config=heats_config,
+            federation_config=federation_config,
+            use_score_cache=use_score_cache,
+            seed=seed,
+        )
+
     # ------------------------------------------------------------------ #
     # Undervolting coupling
     # ------------------------------------------------------------------ #
     def undervolting_operating_point(self) -> VoltageAccuracyPoint:
-        """The lowest safe-accuracy VCCBRAM operating point (cached)."""
+        """The lowest safe-accuracy VCCBRAM operating point (cached).
+
+        Returns:
+            The operating point whose accuracy drop stays within the
+            configured budget.
+        """
         if self._undervolt_point is None:
             study = UndervoltedInferenceStudy(platform=self.config.undervolt_platform)
             self._undervolt_point = study.recommended_operating_point(
@@ -196,6 +324,12 @@ class LegatoSystem:
         uses the Secure IoT Gateway's sensitive-data accounting, reliability
         the checkpoint efficiency model plus selective replication coverage,
         and productivity the compiler front end's annotation counts.
+
+        Args:
+            num_batches: size of the reference ML-inference workload.
+
+        Returns:
+            The four-dimension :class:`GoalReport` against the baseline.
         """
         baseline_system = LegatoSystem(self.config.as_baseline())
         report = GoalReport(workload=f"ml-inference x{num_batches} batches")
@@ -287,7 +421,11 @@ class LegatoSystem:
     # Reporting
     # ------------------------------------------------------------------ #
     def describe(self) -> Dict[str, object]:
-        """A compact description of the deployment (used by examples)."""
+        """A compact description of the deployment (used by examples).
+
+        Returns:
+            Name, inventory, optimisation flags, policies, and peak power.
+        """
         return {
             "name": self.config.name,
             "microservers": self.recsbox.inventory(),

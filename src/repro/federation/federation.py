@@ -1,0 +1,558 @@
+"""Federated multi-cluster scheduling over sharded HEATS deployments.
+
+The federation is the layer the ROADMAP's "millions of users" north star
+needs above a single cluster: N independently operated HEATS shards behind
+one scheduler.  Placement is two-level -- a cheap shard pick from O(1)
+capacity aggregates (free CPU/memory, thermal headroom, regional energy
+price), then the existing node-level HEATS scoring *inside* the chosen
+shard only -- so per-request placement work shrinks as the fleet is cut
+into more shards.  Tenant affinity keeps each tenant's traffic on one
+shard (re-routing only when it saturates) so the per-shard prediction
+score caches stay hot, and a cross-shard rescheduling pass drains
+saturated shards into shards with headroom.
+
+:class:`FederatedScheduler` implements the same ``SchedulerProtocol`` the
+discrete-event :class:`~repro.scheduler.simulation.ClusterSimulator`
+drives, over a :class:`FederatedCluster` that unions the shard clusters
+(sharing node objects, so both views stay incrementally indexed).  The
+whole simulator machinery -- queueing, completions, migration accounting,
+energy -- therefore works unchanged on a federation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.federation.policy import (
+    DEFAULT_SHARD_PROFILES,
+    FederationConfig,
+    ShardProfile,
+    ShardScore,
+    score_shards,
+)
+from repro.federation.shard import ClusterShard
+from repro.scheduler.cluster import Cluster
+from repro.scheduler.heats import HeatsConfig
+from repro.scheduler.placement import Placement
+from repro.scheduler.workload import TaskRequest
+
+
+@dataclass
+class FederationStats:
+    """Routing telemetry accumulated by a federated scheduler."""
+
+    placements_by_shard: Dict[str, int] = field(default_factory=dict)
+    affinity_hits: int = 0
+    affinity_misses: int = 0
+    region_seeded: int = 0
+    cross_shard_migrations: int = 0
+    unplaced_requests: int = 0
+
+    @property
+    def placements(self) -> int:
+        """Total number of successful placements across all shards."""
+        return sum(self.placements_by_shard.values())
+
+    @property
+    def affinity_hit_rate(self) -> float:
+        """Fraction of pinned-tenant placements that stayed on the pin."""
+        attempts = self.affinity_hits + self.affinity_misses
+        return self.affinity_hits / attempts if attempts else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """A compact dict rendering of the routing telemetry.
+
+        Returns:
+            Placement counts per shard plus affinity and migration totals.
+        """
+        return {
+            "placements_by_shard": dict(self.placements_by_shard),
+            "affinity_hit_rate": round(self.affinity_hit_rate, 4),
+            "affinity_hits": self.affinity_hits,
+            "affinity_misses": self.affinity_misses,
+            "region_seeded": self.region_seeded,
+            "cross_shard_migrations": self.cross_shard_migrations,
+            "unplaced_requests": self.unplaced_requests,
+        }
+
+
+class FederatedCluster(Cluster):
+    """The union view of all shard clusters.
+
+    Shares the shard clusters' node objects, so reservations made through
+    either view keep both capacity indices up to date (nodes notify every
+    subscribed cluster).  The placement engine and simulator operate on
+    this view; the shard schedulers operate on their shard's view.  The
+    union index costs one extra listener update per reserve/release; it is
+    kept (rather than lazily skipped) so the union view stays a fully
+    functional ``Cluster`` for any consumer -- stale aggregates would be a
+    silent trap.
+    """
+
+    def __init__(self, shards: Sequence[ClusterShard]) -> None:
+        if not shards:
+            raise ValueError("a federation needs at least one shard")
+        super().__init__(
+            node for shard in shards for node in shard.cluster
+        )
+        self._shard_of_node: Dict[str, str] = {
+            node.name: shard.name for shard in shards for node in shard.cluster
+        }
+
+    def shard_of(self, node_name: str) -> str:
+        """Name of the shard that owns a node.
+
+        Args:
+            node_name: a node of any member shard.
+
+        Returns:
+            The owning shard's name.
+        """
+        if node_name not in self._shard_of_node:
+            raise KeyError(f"no shard owns node {node_name!r}")
+        return self._shard_of_node[node_name]
+
+
+class FederatedScheduler:
+    """Two-level scheduler: shard selection, then in-shard HEATS placement."""
+
+    name = "federated_heats"
+    supports_rescheduling = True
+
+    def __init__(
+        self,
+        shards: Sequence[ClusterShard],
+        config: Optional[FederationConfig] = None,
+    ) -> None:
+        """Wire the shards into one scheduling domain.
+
+        Args:
+            shards: member shards; names and node names must be unique
+                across the federation (each shard must be an independent
+                cluster -- shared node objects across shards would corrupt
+                both capacity indices).
+            config: federation tunables; defaults to ``FederationConfig()``.
+        """
+        if not shards:
+            raise ValueError("a federation needs at least one shard")
+        names = [shard.name for shard in shards]
+        if len(set(names)) != len(names):
+            raise ValueError("shard names must be unique")
+        self.shards: List[ClusterShard] = list(shards)
+        self._by_name: Dict[str, ClusterShard] = {s.name: s for s in self.shards}
+        self.config = config if config is not None else FederationConfig()
+        self._node_shard: Dict[str, str] = {}
+        for shard in self.shards:
+            for node in shard.cluster:
+                if node.name in self._node_shard:
+                    raise ValueError(
+                        f"node {node.name!r} appears in more than one shard"
+                    )
+                self._node_shard[node.name] = shard.name
+        self._affinity: Dict[str, str] = {}
+        self._tenant_regions: Dict[str, str] = {}
+        self.federation_stats = FederationStats()
+        # Hot-path constants: profiles are static, so normalise prices and
+        # weight sums once instead of per placement.
+        max_price = max(s.profile.energy_price_per_kwh for s in self.shards)
+        self._price_norm: Dict[str, float] = {
+            s.name: s.profile.energy_price_per_kwh / max_price for s in self.shards
+        }
+        self._perf_weight_total = self.config.cpu_weight + self.config.memory_weight
+        self._energy_weight_total = self.config.thermal_weight + self.config.price_weight
+
+    # ------------------------------------------------------------------ #
+    # Tenant affinity
+    # ------------------------------------------------------------------ #
+    def register_tenant_region(self, tenant: str, region: str) -> None:
+        """Seed a tenant's shard affinity from a preferred energy region.
+
+        Args:
+            tenant: tenant name as it appears on task requests.
+            region: region name matched against the shard profiles; the
+                first matching shard becomes the tenant's initial pin.
+        """
+        self._tenant_regions[tenant] = region
+
+    def affinity_shard(self, tenant: str) -> Optional[str]:
+        """The shard a tenant is currently pinned to, if any.
+
+        Args:
+            tenant: tenant name.
+
+        Returns:
+            The pinned shard's name, or None when the tenant is unpinned.
+        """
+        return self._affinity.get(tenant)
+
+    def _region_shard(self, tenant: str) -> Optional[ClusterShard]:
+        region = self._tenant_regions.get(tenant)
+        if region is None:
+            return None
+        for shard in self.shards:
+            if shard.profile.region == region:
+                return shard
+        return None
+
+    def _shard_score(self, shard: ClusterShard, energy_weight: float) -> float:
+        """The aggregate shard score without building score objects.
+
+        Same formula as :func:`~repro.federation.policy.score_shards`, but
+        kept allocation-free (it runs once per shard per placement) and
+        with prices normalised against *all* member shards -- every
+        routing decision (placement and migration) therefore scores a
+        shard identically for identical cluster state, regardless of
+        which subset of shards is under consideration.
+        """
+        config = self.config
+        capacity = shard.cluster.capacity()
+        perf_pressure = (
+            config.cpu_weight * (1.0 - capacity.free_core_fraction)
+            + config.memory_weight * (1.0 - capacity.free_memory_fraction)
+        ) / self._perf_weight_total
+        energy_pressure = (
+            config.thermal_weight * (1.0 - capacity.thermal_headroom)
+            + config.price_weight * self._price_norm[shard.name]
+        ) / self._energy_weight_total
+        return (1.0 - energy_weight) * perf_pressure + energy_weight * energy_pressure
+
+    def _routing_order(self, request: TaskRequest) -> Tuple[List[ClusterShard], Optional[str]]:
+        """Shards to try in order, plus the tenant's pinned shard name."""
+        weight = request.energy_weight
+        order = sorted(
+            self.shards, key=lambda shard: (self._shard_score(shard, weight), shard.name)
+        )
+        pinned: Optional[str] = None
+        if request.tenant is not None and self.config.sticky_affinity:
+            pinned = self._affinity.get(request.tenant)
+            preferred: Optional[ClusterShard] = None
+            if pinned is not None:
+                shard = self._by_name[pinned]
+                if not shard.is_saturated(self.config.saturation_free_core_fraction):
+                    preferred = shard
+            else:
+                seeded = self._region_shard(request.tenant)
+                if seeded is not None and not seeded.is_saturated(
+                    self.config.saturation_free_core_fraction
+                ):
+                    preferred = seeded
+                    self.federation_stats.region_seeded += 1
+            if preferred is not None:
+                order = [preferred] + [s for s in order if s.name != preferred.name]
+        return order, pinned
+
+    # ------------------------------------------------------------------ #
+    # SchedulerProtocol: placement
+    # ------------------------------------------------------------------ #
+    def place(self, request: TaskRequest, cluster: Cluster, time_s: float) -> Optional[str]:
+        """Pick a node for a request: shard first, then HEATS inside it.
+
+        Args:
+            request: the task to place.
+            cluster: the federated (union) cluster the simulator drives;
+                placement itself descends into the shard clusters.
+            time_s: simulation time of the placement attempt.
+
+        Returns:
+            The chosen node name, or None when no shard can host the
+            request right now.
+        """
+        order, pinned = self._routing_order(request)
+        for shard in order:
+            # Aggregate pre-check only: a shard with fewer free cores (or
+            # less free memory) in total than requested can never host, so
+            # skip it without touching its node index.
+            capacity = shard.cluster.capacity()
+            if capacity.free_cores < request.cores or (
+                capacity.free_memory_gib < request.memory_gib
+            ):
+                continue
+            node = shard.scheduler.place(request, shard.cluster, time_s)
+            if node is None:
+                continue
+            stats = self.federation_stats
+            stats.placements_by_shard[shard.name] = (
+                stats.placements_by_shard.get(shard.name, 0) + 1
+            )
+            if request.tenant is not None:
+                if pinned is not None:
+                    if shard.name == pinned:
+                        stats.affinity_hits += 1
+                    else:
+                        stats.affinity_misses += 1
+                # (Re-)pin so the tenant's next request follows its traffic.
+                self._affinity[request.tenant] = shard.name
+            return node
+        self.federation_stats.unplaced_requests += 1
+        return None
+
+    # ------------------------------------------------------------------ #
+    # SchedulerProtocol: rescheduling / cross-shard migration
+    # ------------------------------------------------------------------ #
+    def reschedule(
+        self,
+        running: Sequence[Placement],
+        cluster: Cluster,
+        time_s: float,
+    ) -> List[Tuple[str, str]]:
+        """Intra-shard HEATS rescheduling plus saturation-driven drains.
+
+        Each shard's own scheduler proposes its usual in-shard migrations
+        first.  Then every saturated shard (free-core fraction below the
+        configured floor) drains up to ``max_migrations_per_cycle`` of its
+        running tasks into shards with migration headroom, choosing the
+        target shard by aggregate score and the target node by that
+        shard's HEATS scoring.
+
+        Args:
+            running: all running placements across the federation.
+            cluster: the federated cluster (unused; shards are authoritative).
+            time_s: simulation time of the rescheduling pass.
+
+        Returns:
+            (task_id, target_node) pairs; target nodes may live in a
+            different shard than the task's current host.
+        """
+        decisions: List[Tuple[str, str]] = []
+        moved: Set[str] = set()
+        by_shard: Dict[str, List[Placement]] = {}
+        for placement in running:
+            shard_name = self._node_shard.get(placement.node)
+            if shard_name is not None:
+                by_shard.setdefault(shard_name, []).append(placement)
+
+        for shard in self.shards:
+            group = by_shard.get(shard.name, [])
+            if not group:
+                continue
+            for task_id, target in shard.scheduler.reschedule(
+                group, shard.cluster, time_s
+            ):
+                decisions.append((task_id, target))
+                moved.add(task_id)
+
+        # Planned-load overlay: target selection does not reserve anything,
+        # so without it every drain decision in one pass would pick the
+        # same (currently emptiest) node and all but the first would be
+        # dropped by the placement engine -- overcounting the stats and
+        # under-draining the shard.
+        planned: Dict[str, Tuple[int, float]] = {}
+
+        def fits_with_planned(node, cores: int, memory_gib: float) -> bool:
+            planned_cores, planned_memory = planned.get(node.name, (0, 0.0))
+            return node.available.fits(cores + planned_cores, memory_gib + planned_memory)
+
+        for shard in self.shards:
+            if not shard.is_saturated(self.config.saturation_free_core_fraction):
+                continue
+            candidates = [
+                placement
+                for placement in by_shard.get(shard.name, [])
+                if placement.request.task_id not in moved
+            ]
+            if not candidates:
+                continue
+            # Cheapest-to-move first: migration downtime grows with the
+            # task's memory footprint.
+            candidates.sort(key=lambda p: (p.request.memory_gib, p.request.task_id))
+            budget = self.config.max_migrations_per_cycle
+            for placement in candidates:
+                if budget <= 0:
+                    break
+                request = placement.request
+                targets = sorted(
+                    (
+                        other
+                        for other in self.shards
+                        if other.name != shard.name
+                        and other.capacity().free_core_fraction
+                        >= self.config.migration_headroom_fraction
+                    ),
+                    # Rank with the same federation-wide score placement
+                    # uses, so migration and placement agree on shard
+                    # preference for identical cluster state.
+                    key=lambda other: (
+                        self._shard_score(other, request.energy_weight),
+                        other.name,
+                    ),
+                )
+                if not targets:
+                    break
+                for target_shard in targets:
+                    nodes = [
+                        node
+                        for node in target_shard.cluster.feasible_nodes(
+                            request.cores, request.memory_gib
+                        )
+                        if fits_with_planned(node, request.cores, request.memory_gib)
+                    ]
+                    scored = target_shard.scheduler.score_candidates(request, nodes)
+                    if not scored:
+                        continue
+                    node_name = scored[0].node
+                    planned_cores, planned_memory = planned.get(node_name, (0, 0.0))
+                    planned[node_name] = (
+                        planned_cores + request.cores,
+                        planned_memory + request.memory_gib,
+                    )
+                    decisions.append((request.task_id, node_name))
+                    moved.add(request.task_id)
+                    self.federation_stats.cross_shard_migrations += 1
+                    budget -= 1
+                    break
+        return decisions
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def shard(self, name: str) -> ClusterShard:
+        """Look up a member shard by name.
+
+        Args:
+            name: shard name.
+
+        Returns:
+            The shard.
+        """
+        if name not in self._by_name:
+            raise KeyError(f"no shard named {name!r}")
+        return self._by_name[name]
+
+    def shard_of_node(self, node_name: str) -> str:
+        """Name of the shard owning a node.
+
+        Args:
+            node_name: node of any member shard.
+
+        Returns:
+            The owning shard's name.
+        """
+        if node_name not in self._node_shard:
+            raise KeyError(f"no shard owns node {node_name!r}")
+        return self._node_shard[node_name]
+
+
+class Federation:
+    """A built federation: shards, union cluster, scheduler, serving entry.
+
+    Like a :class:`~repro.serving.loop.ServingLoop`, a federation carries
+    mutable cluster state; build a fresh one per serving run.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ClusterShard],
+        config: Optional[FederationConfig] = None,
+    ) -> None:
+        """Assemble a federation from pre-built shards.
+
+        Args:
+            shards: member shards with federation-unique node names.
+            config: federation tunables; defaults to ``FederationConfig()``.
+        """
+        self.shards: List[ClusterShard] = list(shards)
+        self.scheduler = FederatedScheduler(self.shards, config=config)
+        self.cluster = FederatedCluster(self.shards)
+        self._served = False
+
+    @classmethod
+    def build(
+        cls,
+        num_shards: int = 2,
+        shard_scale: int = 1,
+        heats_config: Optional[HeatsConfig] = None,
+        federation_config: Optional[FederationConfig] = None,
+        use_score_cache: bool = True,
+        seed: int = 7,
+        profiles: Optional[Sequence[ShardProfile]] = None,
+    ) -> "Federation":
+        """Build a federation of HEATS testbed shards.
+
+        Every shard gets an independent profiling seed (``seed + 101 * i``)
+        and its own copy of the scheduler config, so no RNG stream, config
+        object, or cache is ever shared between shards.
+
+        Args:
+            num_shards: number of member shards.
+            shard_scale: ``heats_testbed`` scale per shard (4 * scale nodes
+                each).
+            heats_config: node-level scheduler tunables, copied per shard.
+            federation_config: shard-selection / migration tunables.
+            use_score_cache: attach a per-shard prediction-score cache.
+            seed: federation-level base seed.
+            profiles: regional profiles; defaults to cycling
+                ``DEFAULT_SHARD_PROFILES``.
+
+        Returns:
+            A ready-to-serve :class:`Federation`.
+        """
+        if num_shards <= 0:
+            raise ValueError("a federation needs at least one shard")
+        if shard_scale <= 0:
+            raise ValueError("shard scale must be positive")
+        catalogue = tuple(profiles) if profiles else DEFAULT_SHARD_PROFILES
+        profile_cycle = itertools.cycle(catalogue)
+        shards = [
+            ClusterShard.build(
+                index,
+                next(profile_cycle),
+                scale=shard_scale,
+                base_seed=seed,
+                heats_config=heats_config,
+                use_score_cache=use_score_cache,
+            )
+            for index in range(num_shards)
+        ]
+        return cls(shards, config=federation_config)
+
+    @property
+    def stats(self) -> FederationStats:
+        """The scheduler's routing telemetry."""
+        return self.scheduler.federation_stats
+
+    def shard_scores(self, energy_weight: float = 0.5) -> List[ShardScore]:
+        """Current shard ranking for a given energy weight.
+
+        Args:
+            energy_weight: energy/performance trade-off in [0, 1].
+
+        Returns:
+            Shard scores sorted best first.
+        """
+        return score_shards(self.shards, energy_weight, self.scheduler.config)
+
+    def serve(self, workload, batch_policy=None):
+        """Serve a multi-tenant workload through the federation.
+
+        Builds the gateway over the workload's tenants (registering their
+        preferred regions as affinity seeds) and runs the serving loop
+        with the federated cluster and scheduler as the backend.
+
+        Args:
+            workload: a :class:`~repro.serving.loop.ServingWorkload`.
+            batch_policy: optional
+                :class:`~repro.serving.batching.BatchPolicy` override.
+
+        Returns:
+            The :class:`~repro.serving.loop.ServingReport`, with
+            ``federation_stats`` populated.
+        """
+        from repro.serving.gateway import RequestGateway
+        from repro.serving.loop import ServingLoop
+
+        if self._served:
+            raise RuntimeError(
+                "a Federation can only serve once; shard cluster state "
+                "carries the previous run -- build a fresh federation"
+            )
+        self._served = True
+        gateway = RequestGateway(workload.tenants)
+        for tenant in workload.tenants:
+            if tenant.region is not None:
+                self.scheduler.register_tenant_region(tenant.name, tenant.region)
+        loop = ServingLoop(
+            self.cluster, self.scheduler, gateway, batch_policy=batch_policy
+        )
+        return loop.run(workload.requests)

@@ -1,0 +1,167 @@
+"""Two-level placement policy: pick a shard cheaply, then place inside it.
+
+Level one never looks at individual nodes.  Every shard is scored from its
+cluster's O(1) :class:`~repro.scheduler.cluster.CapacitySnapshot`
+aggregates -- free CPU, free memory, thermal headroom -- plus the shard
+profile's regional energy price, mirroring the HEATS score shape: a
+performance-pressure term and an energy-pressure term blended by the
+request's energy weight.  Level two is the existing node-level HEATS
+scoring inside the chosen shard, so the per-node model predictions only
+ever run over one shard's nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.federation.shard import ClusterShard
+
+
+@dataclass(frozen=True)
+class ShardProfile:
+    """Static description of the region a shard is deployed in.
+
+    Args:
+        region: region name (e.g. ``eu-north``); tenants with a matching
+            ``Tenant.region`` are affinity-seeded to this shard.
+        energy_price_per_kwh: regional electricity price used by the
+            shard-selection score (energy-leaning traffic prefers cheap
+            regions).
+        description: free-form note shown in reports.
+    """
+
+    region: str
+    energy_price_per_kwh: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.region:
+            raise ValueError("shard profile needs a region name")
+        if self.energy_price_per_kwh <= 0:
+            raise ValueError("energy price must be positive")
+
+
+#: default regional catalogue cycled over when building a federation; the
+#: price spread is what makes the energy term of the shard score meaningful.
+DEFAULT_SHARD_PROFILES = (
+    ShardProfile("eu-north", 0.08, "hydro-powered, cheapest energy"),
+    ShardProfile("us-east", 0.12, "mixed grid"),
+    ShardProfile("eu-central", 0.18, "industrial grid"),
+    ShardProfile("apac-east", 0.22, "most expensive energy"),
+)
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Tunables of the federated placement policy.
+
+    Args:
+        saturation_free_core_fraction: a shard whose free-core fraction
+            drops below this is saturated -- affinity stops pinning to it
+            and the rescheduler starts draining it.
+        migration_headroom_fraction: minimum free-core fraction a shard
+            must have to receive cross-shard migrations.
+        max_migrations_per_cycle: cap on cross-shard moves per
+            rescheduling pass, bounding migration churn.
+        cpu_weight / memory_weight: relative weights of the free-CPU and
+            free-memory pressure inside the performance term.
+        thermal_weight / price_weight: relative weights of thermal
+            pressure and energy price inside the energy term.
+        rescheduling_interval_s: cadence of the federation's rescheduling
+            pass (honoured by the cluster simulator).
+        sticky_affinity: when True, a tenant's requests keep routing to
+            its pinned shard until that shard saturates.
+    """
+
+    saturation_free_core_fraction: float = 0.125
+    migration_headroom_fraction: float = 0.25
+    max_migrations_per_cycle: int = 4
+    cpu_weight: float = 0.6
+    memory_weight: float = 0.4
+    thermal_weight: float = 0.5
+    price_weight: float = 0.5
+    rescheduling_interval_s: float = 60.0
+    sticky_affinity: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.saturation_free_core_fraction < 1.0):
+            raise ValueError("saturation fraction must be in [0, 1)")
+        if not (0.0 <= self.migration_headroom_fraction <= 1.0):
+            raise ValueError("migration headroom must be in [0, 1]")
+        if self.max_migrations_per_cycle < 0:
+            raise ValueError("migration cap must be non-negative")
+        for name in ("cpu_weight", "memory_weight", "thermal_weight", "price_weight"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.cpu_weight + self.memory_weight <= 0:
+            raise ValueError("performance term needs a positive weight")
+        if self.thermal_weight + self.price_weight <= 0:
+            raise ValueError("energy term needs a positive weight")
+        if self.rescheduling_interval_s <= 0:
+            raise ValueError("rescheduling interval must be positive")
+
+
+@dataclass(frozen=True)
+class ShardScore:
+    """Score breakdown for one candidate shard (lower is better)."""
+
+    shard: str
+    free_core_fraction: float
+    free_memory_fraction: float
+    thermal_headroom: float
+    price_normalised: float
+    score: float
+
+
+def score_shards(
+    shards: Sequence["ClusterShard"],
+    energy_weight: float,
+    config: Optional[FederationConfig] = None,
+) -> List[ShardScore]:
+    """Rank shards for a request, best (lowest score) first.
+
+    Args:
+        shards: candidate shards (typically those that can host the
+            request's resource shape).
+        energy_weight: the request's energy/performance trade-off in
+            [0, 1]; blends the performance-pressure and energy-pressure
+            terms exactly like the node-level HEATS score.
+        config: federation tunables; defaults to ``FederationConfig()``.
+
+    Returns:
+        One :class:`ShardScore` per shard, sorted ascending by score with
+        the shard name as deterministic tie-break.
+    """
+    if not shards:
+        return []
+    config = config if config is not None else FederationConfig()
+    max_price = max(shard.profile.energy_price_per_kwh for shard in shards)
+    perf_total = config.cpu_weight + config.memory_weight
+    energy_total = config.thermal_weight + config.price_weight
+    scores: List[ShardScore] = []
+    for shard in shards:
+        capacity = shard.cluster.capacity()
+        price_norm = shard.profile.energy_price_per_kwh / max_price
+        perf_pressure = (
+            config.cpu_weight * (1.0 - capacity.free_core_fraction)
+            + config.memory_weight * (1.0 - capacity.free_memory_fraction)
+        ) / perf_total
+        energy_pressure = (
+            config.thermal_weight * (1.0 - capacity.thermal_headroom)
+            + config.price_weight * price_norm
+        ) / energy_total
+        score = (1.0 - energy_weight) * perf_pressure + energy_weight * energy_pressure
+        scores.append(
+            ShardScore(
+                shard=shard.name,
+                free_core_fraction=capacity.free_core_fraction,
+                free_memory_fraction=capacity.free_memory_fraction,
+                thermal_headroom=capacity.thermal_headroom,
+                price_normalised=price_norm,
+                score=score,
+            )
+        )
+    scores.sort(key=lambda s: (s.score, s.shard))
+    return scores

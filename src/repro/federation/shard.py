@@ -1,0 +1,135 @@
+"""One shard of the federation: a cluster plus its own HEATS scheduler.
+
+A shard is an independently operated HEATS deployment: its own cluster,
+its own profiling campaign (independent RNG seed, so measurement noise is
+uncorrelated across shards), its own scheduler-config *copy* (so tuning
+one shard can never drift into another), and its own prediction-score
+cache (so tenant affinity keeps each shard's cache hot for the tenants it
+serves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.federation.policy import ShardProfile
+from repro.scheduler.cluster import CapacitySnapshot, Cluster
+from repro.scheduler.heats import HeatsConfig, HeatsScheduler
+from repro.serving.cache import PredictionScoreCache
+
+#: prime stride between shard seeds so derived per-shard RNG streams never
+#: collide for any realistic shard count.
+_SEED_STRIDE = 101
+
+
+@dataclass
+class ClusterShard:
+    """One member cluster of a federation.
+
+    Args:
+        name: unique shard name within the federation.
+        cluster: the shard's own cluster (node names must be unique across
+            the whole federation).
+        scheduler: the shard's own HEATS scheduler with models learned on
+            this cluster.
+        profile: regional profile (energy price) used by shard selection.
+        seed: the RNG seed the shard's profiling campaign ran with.
+    """
+
+    name: str
+    cluster: Cluster
+    scheduler: HeatsScheduler
+    profile: ShardProfile
+    seed: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("shard needs a name")
+
+    @classmethod
+    def build(
+        cls,
+        index: int,
+        profile: ShardProfile,
+        scale: int = 1,
+        base_seed: int = 7,
+        heats_config: Optional[HeatsConfig] = None,
+        use_score_cache: bool = True,
+        noise_fraction: float = 0.05,
+    ) -> "ClusterShard":
+        """Build shard ``index`` with an independent seed and config copy.
+
+        Args:
+            index: position of the shard in the federation; determines the
+                node-name prefix and the derived profiling seed.
+            profile: regional profile assigned to the shard.
+            scale: ``heats_testbed`` scale (4 * scale nodes per shard).
+            base_seed: federation-level seed; the shard profiles with
+                ``base_seed + 101 * index`` so shards draw from disjoint
+                noise streams instead of replaying identical measurements.
+            heats_config: scheduler tunables; *copied* per shard so no two
+                shards ever share a config object.
+            use_score_cache: attach a per-shard prediction-score cache.
+            noise_fraction: profiling measurement noise.
+
+        Returns:
+            A ready-to-route :class:`ClusterShard`.
+        """
+        if index < 0:
+            raise ValueError("shard index must be non-negative")
+        seed = base_seed + _SEED_STRIDE * index
+        cluster = Cluster.heats_testbed(scale=scale, prefix=f"shard{index}")
+        config = replace(heats_config) if heats_config is not None else HeatsConfig()
+        scheduler = HeatsScheduler.with_learned_models(
+            cluster,
+            config=config,
+            noise_fraction=noise_fraction,
+            seed=seed,
+            score_cache=PredictionScoreCache() if use_score_cache else None,
+        )
+        return cls(
+            name=f"shard-{index}-{profile.region}",
+            cluster=cluster,
+            scheduler=scheduler,
+            profile=profile,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Capacity views used by the routing policy
+    # ------------------------------------------------------------------ #
+    def capacity(self) -> CapacitySnapshot:
+        """The shard cluster's O(1) free-capacity aggregates."""
+        return self.cluster.capacity()
+
+    def is_saturated(self, free_core_fraction_floor: float) -> bool:
+        """Whether the shard's free-core fraction fell below the floor.
+
+        Args:
+            free_core_fraction_floor: saturation threshold in [0, 1).
+
+        Returns:
+            True when the shard should shed rather than attract load.
+        """
+        return self.capacity().free_core_fraction < free_core_fraction_floor
+
+    def can_host(self, cores: int, memory_gib: float) -> bool:
+        """Cheap pre-check: could *any* node of this shard fit the shape?
+
+        Uses the aggregate snapshot first (a shard with fewer total free
+        cores than requested can never fit), falling back to the indexed
+        feasibility scan only when the aggregates cannot rule the shard
+        out.
+
+        Args:
+            cores: requested cores.
+            memory_gib: requested memory.
+
+        Returns:
+            True when at least one node currently fits the request.
+        """
+        capacity = self.capacity()
+        if capacity.free_cores < cores or capacity.free_memory_gib < memory_gib:
+            return False
+        return bool(self.cluster.feasible_nodes(cores, memory_gib))

@@ -5,12 +5,31 @@ or one server built from them).  Nodes expose countable resources (cores,
 memory) that tasks reserve, plus a performance/energy profile derived from
 the microserver catalogue so different nodes genuinely differ in speed and
 efficiency -- the heterogeneity HEATS exploits.
+
+The cluster maintains an incrementally-updated free-capacity index: nodes
+are bucketed by free core count and per-node free memory and reserved
+power are tracked as running aggregates, updated on every reserve/release
+instead of rescanned per request.  ``feasible_nodes`` (the placement hot
+path) only touches buckets that can satisfy the request, and
+``capacity()`` exposes the O(1) cluster-level aggregates the federation
+layer uses to pick a shard without looking at individual nodes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.hardware.microserver import (
     MICROSERVER_CATALOG,
@@ -65,10 +84,24 @@ class ClusterNode:
     def __post_init__(self) -> None:
         self.total = NodeResources(cores=self.spec.cores, memory_gib=self.spec.memory_gib)
         self.available = self.total
+        self._listeners: List[Callable[["ClusterNode"], None]] = []
 
     # ------------------------------------------------------------------ #
     # Capacity
     # ------------------------------------------------------------------ #
+    def subscribe(self, listener: Callable[["ClusterNode"], None]) -> None:
+        """Register a callback invoked after every capacity change.
+
+        Clusters (and federated clusters, which share node objects with
+        their shard view) subscribe here to keep their free-capacity
+        indices incremental instead of rescanning nodes.
+        """
+        self._listeners.append(listener)
+
+    def _notify_capacity_change(self) -> None:
+        for listener in self._listeners:
+            listener(self)
+
     def can_host(self, cores: int, memory_gib: float) -> bool:
         return self.available.fits(cores, memory_gib)
 
@@ -83,12 +116,14 @@ class ClusterNode:
             )
         self.available = self.available.minus(cores, memory_gib)
         self.running[task_id] = (cores, memory_gib)
+        self._notify_capacity_change()
 
     def release(self, task_id: str) -> None:
         if task_id not in self.running:
             raise KeyError(f"task {task_id!r} not running on {self.name}")
         cores, memory = self.running.pop(task_id)
         self.available = self.available.plus(cores, memory)
+        self._notify_capacity_change()
 
     @property
     def utilisation(self) -> float:
@@ -126,8 +161,48 @@ class ClusterNode:
         return f"ClusterNode({self.name}, {self.spec.model})"
 
 
+@dataclass(frozen=True)
+class CapacitySnapshot:
+    """O(1) cluster-level free-capacity aggregates.
+
+    Maintained incrementally by the cluster's capacity index, so reading a
+    snapshot never scans the nodes.  The federation layer scores whole
+    shards with these numbers before descending into node-level HEATS
+    placement.
+    """
+
+    free_cores: int
+    total_cores: int
+    free_memory_gib: float
+    total_memory_gib: float
+    reserved_power_w: float
+    dynamic_power_w: float
+
+    @property
+    def free_core_fraction(self) -> float:
+        """Fraction of the cluster's cores currently unreserved."""
+        return self.free_cores / self.total_cores if self.total_cores else 0.0
+
+    @property
+    def free_memory_fraction(self) -> float:
+        """Fraction of the cluster's memory currently unreserved."""
+        return self.free_memory_gib / self.total_memory_gib if self.total_memory_gib else 0.0
+
+    @property
+    def thermal_headroom(self) -> float:
+        """Fraction of the cluster's dynamic power envelope still unused.
+
+        A proxy for thermal slack: reserved core shares draw their share of
+        each node's dynamic (peak minus idle) power, so a cluster running
+        close to its aggregate dynamic envelope has little headroom left.
+        """
+        if self.dynamic_power_w <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.reserved_power_w / self.dynamic_power_w)
+
+
 class Cluster:
-    """A named collection of heterogeneous nodes."""
+    """A named collection of heterogeneous nodes with a capacity index."""
 
     def __init__(self, nodes: Iterable[ClusterNode]) -> None:
         self._nodes: Dict[str, ClusterNode] = {}
@@ -137,6 +212,88 @@ class Cluster:
             self._nodes[node.name] = node
         if not self._nodes:
             raise ValueError("a cluster needs at least one node")
+        # Incremental free-capacity index: nodes bucketed by free cores,
+        # per-node free memory and reserved dynamic power tracked so the
+        # hot path and the aggregates never rescan all nodes.
+        self._order: Dict[str, int] = {
+            name: index for index, name in enumerate(self._nodes)
+        }
+        self._free_cores: Dict[str, int] = {}
+        self._free_memory: Dict[str, float] = {}
+        self._reserved_power: Dict[str, float] = {}
+        self._buckets: Dict[int, Set[str]] = {}
+        self._free_cores_total = 0
+        self._free_memory_total = 0.0
+        self._reserved_power_total = 0.0
+        self._capacity_cache: Optional[CapacitySnapshot] = None
+        self._total_cores = sum(node.total.cores for node in self._nodes.values())
+        self._total_memory = sum(node.total.memory_gib for node in self._nodes.values())
+        self._dynamic_power_total = sum(
+            node.spec.peak_power_w - node.spec.idle_power_w for node in self._nodes.values()
+        )
+        for node in self._nodes.values():
+            self._index_node(node)
+            node.subscribe(self._on_capacity_change)
+
+    # ------------------------------------------------------------------ #
+    # Capacity index maintenance
+    # ------------------------------------------------------------------ #
+    def _node_reserved_power_w(self, node: ClusterNode) -> float:
+        used_fraction = 1.0 - node.available.cores / node.total.cores
+        return (node.spec.peak_power_w - node.spec.idle_power_w) * used_fraction
+
+    def _index_node(self, node: ClusterNode) -> None:
+        free_cores = node.available.cores
+        free_memory = node.available.memory_gib
+        reserved_power = self._node_reserved_power_w(node)
+        self._free_cores[node.name] = free_cores
+        self._free_memory[node.name] = free_memory
+        self._reserved_power[node.name] = reserved_power
+        self._buckets.setdefault(free_cores, set()).add(node.name)
+        self._free_cores_total += free_cores
+        self._free_memory_total += free_memory
+        self._reserved_power_total += reserved_power
+
+    def _on_capacity_change(self, node: ClusterNode) -> None:
+        self._capacity_cache = None
+        old_free = self._free_cores[node.name]
+        new_free = node.available.cores
+        if new_free != old_free:
+            bucket = self._buckets[old_free]
+            bucket.discard(node.name)
+            if not bucket:
+                del self._buckets[old_free]
+            self._buckets.setdefault(new_free, set()).add(node.name)
+            self._free_cores_total += new_free - old_free
+            self._free_cores[node.name] = new_free
+        old_memory = self._free_memory[node.name]
+        new_memory = node.available.memory_gib
+        if new_memory != old_memory:
+            self._free_memory_total += new_memory - old_memory
+            self._free_memory[node.name] = new_memory
+        old_power = self._reserved_power[node.name]
+        new_power = self._node_reserved_power_w(node)
+        if new_power != old_power:
+            self._reserved_power_total += new_power - old_power
+            self._reserved_power[node.name] = new_power
+
+    def capacity(self) -> CapacitySnapshot:
+        """The cluster's free-capacity aggregates, read in O(1).
+
+        The snapshot is memoised between capacity changes, so repeated
+        reads on the routing hot path (shard scoring touches it several
+        times per request) cost a dict hit, not an object build.
+        """
+        if self._capacity_cache is None:
+            self._capacity_cache = CapacitySnapshot(
+                free_cores=self._free_cores_total,
+                total_cores=self._total_cores,
+                free_memory_gib=self._free_memory_total,
+                total_memory_gib=self._total_memory,
+                reserved_power_w=max(0.0, self._reserved_power_total),
+                dynamic_power_w=self._dynamic_power_total,
+            )
+        return self._capacity_cache
 
     @classmethod
     def from_models(cls, models: Mapping[str, int], prefix: str = "node") -> "Cluster":
@@ -151,15 +308,25 @@ class Cluster:
         return cls(nodes)
 
     @classmethod
-    def heats_testbed(cls, scale: int = 2) -> "Cluster":
-        """A mixed x86 / ARM / low-power cluster like the HEATS evaluation's."""
+    def heats_testbed(cls, scale: int = 2, prefix: str = "node") -> "Cluster":
+        """A mixed x86 / ARM / low-power cluster like the HEATS evaluation's.
+
+        Args:
+            scale: number of nodes of each of the four catalogue models.
+            prefix: node-name prefix; shards of a federation pass distinct
+                prefixes so node names stay unique across the federation.
+
+        Returns:
+            A fresh ``Cluster`` with ``4 * scale`` heterogeneous nodes.
+        """
         return cls.from_models(
             {
                 "xeon-d-x86": scale,
                 "arm64-server": scale,
                 "jetson-gpu-soc": scale,
                 "apalis-arm-soc": scale,
-            }
+            },
+            prefix=prefix,
         )
 
     # ------------------------------------------------------------------ #
@@ -181,8 +348,23 @@ class Cluster:
         return len(self._nodes)
 
     def feasible_nodes(self, cores: int, memory_gib: float) -> List[ClusterNode]:
-        """Nodes with enough free resources for a request."""
-        return [node for node in self._nodes.values() if node.can_host(cores, memory_gib)]
+        """Nodes with enough free resources for a request.
+
+        Served from the incremental capacity index: only the free-core
+        buckets that can satisfy the request are examined (a loaded
+        cluster skips its saturated nodes entirely), then filtered by free
+        memory.  The result keeps the cluster's node-insertion order so
+        placement stays deterministic.
+        """
+        names: List[str] = []
+        for free_cores, bucket in self._buckets.items():
+            if free_cores < cores:
+                continue
+            for name in bucket:
+                if self._free_memory[name] >= memory_gib:
+                    names.append(name)
+        names.sort(key=self._order.__getitem__)
+        return [self._nodes[name] for name in names]
 
     def total_idle_power_w(self) -> float:
         return sum(node.spec.idle_power_w for node in self._nodes.values())

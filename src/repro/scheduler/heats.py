@@ -152,7 +152,22 @@ class HeatsScheduler:
     # Scheduler interface used by the cluster simulator
     # ------------------------------------------------------------------ #
     def place(self, request: TaskRequest, cluster: Cluster, time_s: float) -> Optional[str]:
-        """Pick a node for a new request; None when nothing can host it now."""
+        """Pick a node for a new request; None when nothing can host it now.
+
+        Candidate discovery goes through the cluster's incrementally
+        maintained free-capacity index (nodes bucketed by free cores,
+        updated on every reserve/release), so a loaded cluster is not
+        rescanned node-by-node per request -- the placement hot path the
+        serving benchmarks exercise.
+
+        Args:
+            request: the task to place.
+            cluster: the cluster to place into.
+            time_s: simulation time of the placement attempt.
+
+        Returns:
+            The best-scoring feasible node's name, or None.
+        """
         candidates = cluster.feasible_nodes(request.cores, request.memory_gib)
         scored = self.score_candidates(request, candidates)
         if not scored:

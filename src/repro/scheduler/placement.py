@@ -131,6 +131,7 @@ class PlacementEngine:
             memory_gib=request.memory_gib,
             energy_weight=request.energy_weight,
             deadline_s=request.deadline_s,
+            tenant=request.tenant,
         )
         new_duration = target.execution_time_s(
             remaining_request.workload, remaining_request.gops, remaining_request.cores

@@ -147,6 +147,7 @@ class ClusterSimulator:
         self._segment_start: Dict[str, Tuple[float, str]] = {}
         self._start_times: Dict[str, float] = {}
         self._completion_version: Dict[str, int] = {}
+        self._consumed = False
 
     # ------------------------------------------------------------------ #
     # Event plumbing
@@ -171,6 +172,15 @@ class ClusterSimulator:
     # Main loop
     # ------------------------------------------------------------------ #
     def run(self, requests: Sequence[TaskRequest]) -> SimulationResult:
+        if self._consumed:
+            # The cluster's node reservations, the engine's placements, and
+            # the per-task bookkeeping dicts all carry the previous run;
+            # silently reusing them drifts every accounting number.
+            raise RuntimeError(
+                "a ClusterSimulator can only run once; build a fresh "
+                "simulator (and cluster) per request stream"
+            )
+        self._consumed = True
         result = SimulationResult(scheduler=self.scheduler.name)
         pending: List[TaskRequest] = []
         remaining = len(requests)

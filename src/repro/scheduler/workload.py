@@ -22,7 +22,13 @@ from repro.hardware.microserver import WorkloadKind
 
 @dataclass(frozen=True)
 class TaskRequest:
-    """One schedulable request submitted to the cluster."""
+    """One schedulable request submitted to the cluster.
+
+    ``tenant`` identifies the serving customer the request belongs to (None
+    for anonymous benchmark streams); the federation layer uses it to keep
+    a tenant's traffic on its affinity shard so per-shard prediction-score
+    caches stay hot.
+    """
 
     task_id: str
     arrival_s: float
@@ -32,6 +38,7 @@ class TaskRequest:
     memory_gib: float
     energy_weight: float = 0.5
     deadline_s: Optional[float] = None
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -160,6 +167,7 @@ class WorkloadGenerator:
                 cores=request.cores,
                 memory_gib=request.memory_gib,
                 energy_weight=request.energy_weight,
+                tenant=request.tenant,
             )
             for request in requests
         ]

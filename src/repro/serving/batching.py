@@ -86,6 +86,7 @@ class Batch:
             memory_gib=max(r.memory_gib for r in self.requests),
             energy_weight=energy_weight,
             deadline_s=deadline,
+            tenant=head.tenant,
         )
 
 

@@ -75,6 +75,14 @@ SERVABLE_ENDPOINTS: Dict[str, ServableEndpoint] = {
 
 
 def endpoint(name: str) -> ServableEndpoint:
+    """Look up a servable endpoint by name.
+
+    Args:
+        name: key into ``SERVABLE_ENDPOINTS``.
+
+    Returns:
+        The endpoint's request shape.
+    """
     if name not in SERVABLE_ENDPOINTS:
         raise KeyError(
             f"no servable endpoint {name!r}; available: {sorted(SERVABLE_ENDPOINTS)}"

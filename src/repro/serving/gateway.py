@@ -45,7 +45,13 @@ class ServingRequest:
 
 @dataclass(frozen=True)
 class Tenant:
-    """One customer of the cluster-as-a-service front-end."""
+    """One customer of the cluster-as-a-service front-end.
+
+    ``region`` optionally names the energy region the tenant prefers (for
+    data locality or contractual energy pricing); when the backend is a
+    federation, the tenant's shard affinity is seeded from the shard whose
+    profile matches this region.
+    """
 
     name: str
     rate_limit_rps: float = 50.0
@@ -53,10 +59,13 @@ class Tenant:
     max_queue_depth: int = 256
     energy_weight: float = 0.5
     latency_slo_s: Optional[float] = None
+    region: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("tenant needs a name")
+        if self.region is not None and not self.region:
+            raise ValueError("region must be a non-empty name when given")
         if self.rate_limit_rps <= 0:
             raise ValueError("rate limit must be positive")
         if self.burst <= 0:

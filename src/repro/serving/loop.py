@@ -1,13 +1,15 @@
-"""The serving loop: admission -> batching -> HEATS placement -> SLA report.
+"""The serving loop: admission -> batching -> placement -> SLA report.
 
 ``ServingLoop.run`` replays a time-ordered stream of user requests through
 the front-end: each request is admitted (or rejected) by the gateway at
 its arrival instant, admitted requests are coalesced by the batcher, and
 flushed batches become :class:`TaskRequest` tasks replayed on the existing
 discrete-event :class:`~repro.scheduler.simulation.ClusterSimulator` under
-whatever scheduling policy the loop was built with (HEATS, optionally with
-the prediction-score cache attached).  Completions are mapped back to the
-member requests to produce per-tenant SLA telemetry.
+whatever placement backend the loop was built with -- a single HEATS
+cluster, or a :class:`~repro.federation.federation.Federation`'s union
+cluster and federated scheduler (in which case the report additionally
+carries the federation's routing telemetry).  Completions are mapped back
+to the member requests to produce per-tenant SLA telemetry.
 """
 
 from __future__ import annotations
@@ -50,6 +52,18 @@ class ServingWorkload:
         duration_s: float = 60.0,
         seed: int = 2020,
     ) -> "ServingWorkload":
+        """Generate a reproducible Poisson traffic stream for the tenants.
+
+        Args:
+            tenants: the tenants offering traffic.
+            endpoint_mix: per-tenant endpoint-name -> relative weight.
+            offered_rps: aggregate offered request rate.
+            duration_s: length of the arrival window.
+            seed: RNG seed for the traffic generator.
+
+        Returns:
+            A workload pairing the tenants with the generated requests.
+        """
         from repro.serving.endpoints import synthesize_traffic
 
         requests = synthesize_traffic(
@@ -72,38 +86,55 @@ class ServingReport:
     dropped: int
     latencies_s: List[float] = field(default_factory=list)
     cache_stats: Optional[CacheStats] = None
+    #: routing telemetry when the backend is a federation (a
+    #: :class:`~repro.federation.federation.FederationStats`), else None.
+    federation_stats: Optional[object] = None
 
     @property
     def rejected(self) -> int:
+        """Requests the gateway turned away at admission."""
         return self.offered - self.admitted
 
     @property
     def rejection_rate(self) -> float:
+        """Fraction of offered requests rejected at admission."""
         return self.rejected / self.offered if self.offered else 0.0
 
     @property
     def ops_per_sec(self) -> float:
+        """Completed requests per second over the serving horizon."""
         return self.completed / self.horizon_s if self.horizon_s > 0 else 0.0
 
     @property
     def p50_latency_s(self) -> float:
+        """Median end-to-end request latency in seconds."""
         return percentile(self.latencies_s, 50)
 
     @property
     def p95_latency_s(self) -> float:
+        """95th-percentile end-to-end request latency in seconds."""
         return percentile(self.latencies_s, 95)
 
     @property
     def p99_latency_s(self) -> float:
+        """99th-percentile end-to-end request latency in seconds."""
         return percentile(self.latencies_s, 99)
 
     @property
     def energy_per_request_j(self) -> float:
+        """Task energy spent per completed request, in joules."""
         if not self.completed:
             return 0.0
         return self.simulation.task_energy_j / self.completed
 
     def summary(self) -> Dict[str, object]:
+        """Render the overall and per-tenant outcome as one dict.
+
+        Returns:
+            Counts, rates, latency percentiles, energy per request, the
+            per-tenant sub-summaries, and -- when the backend was a
+            federation -- its routing telemetry.
+        """
         return {
             "offered": self.offered,
             "admitted": self.admitted,
@@ -116,6 +147,11 @@ class ServingReport:
             "p99_latency_s": round(self.p99_latency_s, 3),
             "energy_per_request_j": round(self.energy_per_request_j, 2),
             "tenants": {name: r.summary() for name, r in self.tenant_reports.items()},
+            **(
+                {"federation": self.federation_stats.summary()}
+                if self.federation_stats is not None
+                else {}
+            ),
         }
 
 
@@ -192,6 +228,15 @@ class ServingLoop:
     # Full round trip
     # ------------------------------------------------------------------ #
     def run(self, requests: Sequence[ServingRequest]) -> ServingReport:
+        """Replay a request stream through the full serving round trip.
+
+        Args:
+            requests: time-ordered user requests to offer to the gateway.
+
+        Returns:
+            The :class:`ServingReport` for the run (per-tenant SLA
+            telemetry, simulation outcome, cache and federation stats).
+        """
         if self._consumed:
             # Gateway buckets, tracker accumulators, and cluster state all
             # carry the previous run; reusing them would corrupt the report.
@@ -250,4 +295,5 @@ class ServingLoop:
             dropped=dropped,
             latencies_s=latencies,
             cache_stats=getattr(cache, "stats", None),
+            federation_stats=getattr(self.scheduler, "federation_stats", None),
         )

@@ -1,0 +1,175 @@
+"""Cross-cluster migration and affinity invariants (property tests).
+
+The two invariants the ISSUE pins down:
+
+* **No double placement** -- however traffic is routed, re-routed, and
+  migrated, a task is never running on two nodes, and every submitted
+  task is accounted for exactly once (completed or unplaced).
+* **Migration conserves tasks** -- a rescheduling pass (including
+  cross-shard drains of a saturated shard) moves tasks, it never creates
+  or destroys them.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federation import Federation, FederationConfig
+from repro.hardware.microserver import WorkloadKind
+from repro.scheduler.placement import PlacementEngine
+from repro.scheduler.simulation import ClusterSimulator
+from repro.scheduler.workload import TaskRequest
+
+
+def _request(task_id, arrival_s=0.0, cores=1, memory=0.5, gops=50.0, tenant=None):
+    return TaskRequest(
+        task_id=task_id,
+        arrival_s=arrival_s,
+        workload=WorkloadKind.SCALAR,
+        gops=gops,
+        cores=cores,
+        memory_gib=memory,
+        energy_weight=0.5,
+        tenant=tenant,
+    )
+
+
+def _running_census(cluster):
+    """task_id -> list of hosting nodes, straight from node state."""
+    census = {}
+    for node in cluster:
+        for task_id in node.running:
+            census.setdefault(task_id, []).append(node.name)
+    return census
+
+
+request_streams = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=120.0),  # arrival
+        st.integers(min_value=1, max_value=6),  # cores
+        st.floats(min_value=0.1, max_value=8.0),  # memory GiB
+        st.floats(min_value=10.0, max_value=800.0),  # gops
+        st.sampled_from(["acme", "globex", None]),  # tenant
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestNoDoublePlacement:
+    @settings(max_examples=25, deadline=None)
+    @given(stream=request_streams)
+    def test_every_task_accounted_exactly_once(self, stream):
+        federation = Federation.build(num_shards=2, shard_scale=1, seed=13)
+        requests = [
+            _request(f"task-{i}", arrival_s=a, cores=c, memory=round(m, 2), gops=g, tenant=t)
+            for i, (a, c, m, g, t) in enumerate(stream)
+        ]
+        simulator = ClusterSimulator(federation.cluster, federation.scheduler)
+        result = simulator.run(requests)
+
+        completed_ids = [task.task_id for task in result.completed]
+        assert len(completed_ids) == len(set(completed_ids)), "task completed twice"
+        assert len(result.completed) + len(result.unplaced) == len(requests)
+        # Nothing may still be holding resources anywhere in the federation.
+        assert _running_census(federation.cluster) == {}
+        for shard in federation.shards:
+            assert _running_census(shard.cluster) == {}
+
+    @settings(max_examples=25, deadline=None)
+    @given(stream=request_streams)
+    def test_shard_view_and_union_view_agree_mid_run(self, stream):
+        # Place (without completing) through the scheduler + engine and
+        # check a task is hosted by exactly one node of exactly one shard.
+        federation = Federation.build(num_shards=2, shard_scale=1, seed=17)
+        engine = PlacementEngine(federation.cluster)
+        placed = 0
+        for index, (a, c, m, g, t) in enumerate(stream):
+            request = _request(
+                f"task-{index}", cores=c, memory=round(m, 2), gops=g, tenant=t
+            )
+            node = federation.scheduler.place(request, federation.cluster, 0.0)
+            if node is None:
+                continue
+            engine.instantiate(request, node, 0.0)
+            placed += 1
+        census = _running_census(federation.cluster)
+        assert len(census) == placed
+        assert all(len(hosts) == 1 for hosts in census.values())
+        shard_census = {}
+        for shard in federation.shards:
+            for task_id, hosts in _running_census(shard.cluster).items():
+                assert task_id not in shard_census, "task visible in two shards"
+                shard_census[task_id] = hosts
+        assert shard_census == census
+
+
+class TestMigrationConservation:
+    @staticmethod
+    def _saturated_federation():
+        """Shard 0 nearly full of real placements, shard 1 idle."""
+        federation = Federation.build(
+            num_shards=2,
+            shard_scale=1,
+            seed=19,
+            federation_config=FederationConfig(
+                saturation_free_core_fraction=0.5,
+                migration_headroom_fraction=0.5,
+                max_migrations_per_cycle=8,
+            ),
+        )
+        engine = PlacementEngine(federation.cluster)
+        hot = federation.shards[0]
+        # One whole-node task per host: drops the shard's free-core
+        # fraction to 0 (saturated) while each task still fits its idle
+        # twin node in the other shard.
+        for index, node in enumerate(hot.cluster):
+            request = _request(
+                f"hot-{index}", cores=node.available.cores, memory=0.25, gops=400.0
+            )
+            engine.instantiate(request, node.name, 0.0)
+        return federation, engine
+
+    def test_cross_shard_drain_conserves_running_tasks(self):
+        federation, engine = self._saturated_federation()
+        before = _running_census(federation.cluster)
+        total_before = len(before)
+        assert total_before > 0
+
+        decisions = federation.scheduler.reschedule(
+            engine.running, federation.cluster, time_s=10.0
+        )
+        assert decisions, "saturated shard should propose migrations"
+        applied = 0
+        for task_id, target in decisions:
+            try:
+                engine.migrate(task_id, target, time_s=10.0)
+            except (ValueError, KeyError):
+                continue  # target filled up; simulator skips these too
+            applied += 1
+
+        after = _running_census(federation.cluster)
+        assert len(after) == total_before, "migration created or destroyed a task"
+        assert all(len(hosts) == 1 for hosts in after.values())
+        assert applied > 0
+
+    def test_drain_targets_the_other_shard_and_is_counted(self):
+        federation, engine = self._saturated_federation()
+        hot, cold = federation.shards
+        cold_nodes = {node.name for node in cold.cluster}
+        decisions = federation.scheduler.reschedule(
+            engine.running, federation.cluster, time_s=10.0
+        )
+        cross = [target for _, target in decisions if target in cold_nodes]
+        assert cross, "expected cross-shard migration targets"
+        assert federation.scheduler.federation_stats.cross_shard_migrations == len(cross)
+
+    def test_migration_budget_is_respected(self):
+        federation, engine = self._saturated_federation()
+        cold_nodes = {node.name for node in federation.shards[1].cluster}
+        decisions = federation.scheduler.reschedule(
+            engine.running, federation.cluster, time_s=10.0
+        )
+        cross = [target for _, target in decisions if target in cold_nodes]
+        assert len(cross) <= federation.scheduler.config.max_migrations_per_cycle

@@ -1,0 +1,97 @@
+"""The cluster's incremental free-capacity index must never drift.
+
+The index (free-core buckets, free-memory map, reserved-power aggregate)
+is updated on every reserve/release instead of recomputed; these property
+tests drive random reserve/release sequences and compare every indexed
+answer against a brute-force rescan of the node state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduler.cluster import Cluster
+
+
+def _naive_feasible(cluster, cores, memory_gib):
+    return [node.name for node in cluster.nodes if node.can_host(cores, memory_gib)]
+
+
+def _assert_index_consistent(cluster):
+    capacity = cluster.capacity()
+    assert capacity.free_cores == sum(n.available.cores for n in cluster)
+    # The memory total is accumulated incrementally, so it may differ from
+    # a fresh sum by float rounding noise (never by a real amount).
+    assert abs(capacity.free_memory_gib - sum(n.available.memory_gib for n in cluster)) < 1e-6
+    assert capacity.total_cores == sum(n.total.cores for n in cluster)
+    expected_power = sum(
+        (n.spec.peak_power_w - n.spec.idle_power_w)
+        * (1.0 - n.available.cores / n.total.cores)
+        for n in cluster
+    )
+    assert abs(capacity.reserved_power_w - expected_power) < 1e-6
+    assert 0.0 <= capacity.thermal_headroom <= 1.0
+    for cores in (1, 2, 4, 8):
+        for memory in (0.5, 2.0, 8.0):
+            indexed = [n.name for n in cluster.feasible_nodes(cores, memory)]
+            assert indexed == _naive_feasible(cluster, cores, memory)
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["reserve", "release"]),
+        st.integers(min_value=0, max_value=7),  # node pick (mod len)
+        st.integers(min_value=1, max_value=6),  # cores
+        st.floats(min_value=0.1, max_value=6.0),  # memory
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestCapacityIndex:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_index_matches_brute_force_under_churn(self, ops):
+        cluster = Cluster.heats_testbed(scale=1)
+        nodes = cluster.nodes
+        live = {}  # task_id -> node name
+        counter = 0
+        for action, pick, cores, memory in ops:
+            node = nodes[pick % len(nodes)]
+            if action == "reserve":
+                if node.can_host(cores, memory):
+                    task_id = f"task-{counter}"
+                    counter += 1
+                    node.reserve(task_id, cores, round(memory, 2))
+                    live[task_id] = node.name
+            elif live:
+                task_id, node_name = next(iter(live.items()))
+                cluster.node(node_name).release(task_id)
+                del live[task_id]
+            _assert_index_consistent(cluster)
+
+    def test_feasible_nodes_preserves_insertion_order(self):
+        cluster = Cluster.heats_testbed(scale=1)
+        expected = [n.name for n in cluster.nodes if n.can_host(1, 0.5)]
+        assert [n.name for n in cluster.feasible_nodes(1, 0.5)] == expected
+
+    def test_snapshot_is_memoised_until_capacity_changes(self):
+        cluster = Cluster.heats_testbed(scale=1)
+        first = cluster.capacity()
+        assert cluster.capacity() is first
+        node = cluster.nodes[0]
+        node.reserve("task", 1, 0.5)
+        second = cluster.capacity()
+        assert second is not first
+        assert second.free_cores == first.free_cores - 1
+        node.release("task")
+        assert cluster.capacity().free_cores == first.free_cores
+
+    def test_thermal_headroom_shrinks_under_load(self):
+        cluster = Cluster.heats_testbed(scale=1)
+        idle = cluster.capacity().thermal_headroom
+        for index, node in enumerate(cluster.nodes):
+            node.reserve(f"task-{index}", node.available.cores, 0.1)
+        assert cluster.capacity().thermal_headroom < idle

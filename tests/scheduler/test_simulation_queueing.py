@@ -80,6 +80,17 @@ def _segment_power_w(node, request) -> float:
     return (node.spec.peak_power_w - node.spec.idle_power_w) * share + node.spec.idle_power_w * share
 
 
+class TestSimulatorReuse:
+    def test_simulator_refuses_a_second_run(self):
+        # Cluster reservations, engine placements, and per-task bookkeeping
+        # all survive run(); a silent rerun would drift every number.
+        cluster = Cluster.from_models({"apalis-arm-soc": 2})
+        simulator = ClusterSimulator(cluster, FirstFitScheduler())
+        simulator.run([make_request("one")])
+        with pytest.raises(RuntimeError):
+            simulator.run([make_request("two")])
+
+
 class TestImpossibleRequests:
     def test_never_fitting_request_is_reported_not_queued_forever(self):
         cluster = Cluster.from_models({"apalis-arm-soc": 2})

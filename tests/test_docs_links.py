@@ -1,0 +1,67 @@
+"""Docs integrity: every internal markdown link must resolve.
+
+Walks ``README.md`` and everything under ``docs/``, extracts markdown
+links, and asserts that relative targets (files in this repo) exist.
+External links (with a URL scheme) and pure in-page anchors are skipped.
+CI's docs job runs this before the smoke benchmarks, so a renamed or
+deleted doc breaks the build instead of silently 404ing readers.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+
+REQUIRED_DOCS = ["architecture.md", "serving.md", "federation.md", "scheduler.md"]
+
+
+def _doc_files():
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted(DOCS_DIR.glob("*.md")))
+    return files
+
+
+def _links():
+    triples = []
+    for path in _doc_files():
+        for target in _LINK.findall(path.read_text()):
+            target = target.strip()
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            triples.append((path, target))
+    return triples
+
+
+def test_docs_tree_is_complete():
+    assert DOCS_DIR.is_dir()
+    for name in REQUIRED_DOCS:
+        assert (DOCS_DIR / name).is_file(), f"docs/{name} is missing"
+
+
+def test_readme_links_into_docs():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/architecture.md" in readme, "README must link the docs tree"
+
+
+@pytest.mark.parametrize(
+    "source, target",
+    _links(),
+    ids=lambda value: str(value.name) if isinstance(value, Path) else str(value),
+)
+def test_internal_link_resolves(source, target):
+    # Strip an in-page anchor: docs/foo.md#section -> docs/foo.md
+    path_part = target.split("#", 1)[0]
+    if not path_part:
+        return
+    resolved = (source.parent / path_part).resolve()
+    assert resolved.exists(), f"{source.name}: broken link -> {target}"
+    assert REPO_ROOT.resolve() in resolved.parents or resolved == REPO_ROOT.resolve(), (
+        f"{source.name}: link escapes the repository -> {target}"
+    )
