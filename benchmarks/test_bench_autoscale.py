@@ -1,0 +1,171 @@
+"""AUTOSCALE: step load, static over-provisioning vs elastic capacity.
+
+Not a paper figure: this benchmark measures the telemetry + autoscale
+layer closing the ROADMAP's energy-efficiency loop at the fleet level.
+The same quiet / 5x-spike / quiet request stream is served twice:
+
+1. **Static** -- a two-shard federation provisioned for the spike (8
+   nodes for the whole run), PR 2's deployment model.
+2. **Autoscaled** -- a one-shard federation (4 nodes) plus the control
+   loop: telemetry-driven scale-up through the spike, lossless drain
+   back down afterwards.
+
+Reported per run: SLA-violation rate (missed deadlines + drops over
+served traffic) and node-seconds consumed.  The elastic run must meet
+the SLA of the statically over-provisioned one on measurably fewer
+node-seconds -- otherwise the control loop is not earning its keep.
+Written to ``benchmarks/results/autoscale_step_load.txt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import LegatoSystem, ServingWorkload
+from repro.autoscale import ScalingAction
+from repro.serving import BatchPolicy, Tenant
+
+BATCH_POLICY = BatchPolicy(max_batch_size=8, max_delay_s=1.0)
+#: the static baseline's fleet: 2 shards x 4 nodes, sized for the spike.
+STATIC_SHARDS, STATIC_SCALE = 2, 1
+#: the elastic run starts at half that and must earn the rest.
+AUTO_SHARDS, AUTO_SCALE = 1, 1
+
+
+def _tenants():
+    return [
+        Tenant(name="dashboards", rate_limit_rps=400.0, burst=200,
+               energy_weight=0.2, latency_slo_s=120.0),
+        Tenant(name="sensors", rate_limit_rps=400.0, burst=200,
+               energy_weight=0.8, region="eu-north"),
+    ]
+
+
+def step_load(base_rps: float, spike_rps: float, segment_s: float, seed: int):
+    """Quiet -> spike -> quiet, stitched from three Poisson segments."""
+    mix = {
+        "dashboards": {"ml_inference": 0.6, "smartmirror": 0.4},
+        "sensors": {"iot_gateway": 0.8, "ml_inference": 0.2},
+    }
+    tenants = _tenants()
+    requests = []
+    for index, rps in enumerate((base_rps, spike_rps, base_rps)):
+        segment = ServingWorkload.synthetic(
+            tenants, mix, offered_rps=rps, duration_s=segment_s, seed=seed + index
+        )
+        offset = index * segment_s
+        requests.extend(
+            replace(
+                request,
+                request_id=f"s{index}-{request.request_id}",
+                arrival_s=request.arrival_s + offset,
+                deadline_s=(
+                    request.deadline_s + offset
+                    if request.deadline_s is not None
+                    else None
+                ),
+            )
+            for request in segment.requests
+        )
+    requests.sort(key=lambda request: (request.arrival_s, request.request_id))
+    return ServingWorkload(tenants=tuple(tenants), requests=tuple(requests))
+
+
+def sla_violation_rate(report) -> float:
+    """Missed deadlines plus drops, over everything the backend owed."""
+    misses = sum(r.deadline_misses for r in report.tenant_reports.values())
+    owed = report.completed + report.dropped
+    return (misses + report.dropped) / owed if owed else 0.0
+
+
+@pytest.mark.benchmark(group="autoscale")
+def test_autoscale_step_load(report_table, smoke):
+    # Smoke keeps the full-load *rates* (the pressure that makes the
+    # controller act) and shortens the segments instead.
+    base_rps, spike_rps, segment_s = (20.0, 120.0, 8.0) if smoke else (20.0, 120.0, 25.0)
+
+    static_report = LegatoSystem().serve(
+        step_load(base_rps, spike_rps, segment_s, seed=101),
+        cluster_scale=STATIC_SHARDS * STATIC_SCALE,
+        num_shards=STATIC_SHARDS,
+        batch_policy=BATCH_POLICY,
+    )
+    static_nodes = 4 * STATIC_SHARDS * STATIC_SCALE
+    static_node_seconds = static_nodes * static_report.horizon_s
+
+    auto_report = LegatoSystem().serve(
+        step_load(base_rps, spike_rps, segment_s, seed=101),
+        cluster_scale=AUTO_SHARDS * AUTO_SCALE,
+        num_shards=AUTO_SHARDS,
+        autoscale=True,
+        batch_policy=BATCH_POLICY,
+    )
+    auto = auto_report.autoscale_report
+
+    rows = [
+        [
+            "static 2-shard",
+            f"{static_nodes}",
+            static_report.completed,
+            static_report.dropped,
+            f"{sla_violation_rate(static_report):.4f}",
+            f"{static_report.p99_latency_s:.1f}",
+            f"{static_node_seconds:.0f}",
+            "-",
+        ],
+        [
+            "autoscaled",
+            f"{auto.min_nodes}..{auto.peak_nodes}",
+            auto_report.completed,
+            auto_report.dropped,
+            f"{sla_violation_rate(auto_report):.4f}",
+            f"{auto_report.p99_latency_s:.1f}",
+            f"{auto.node_seconds:.0f}",
+            " ".join(
+                f"{action.value}x{auto.action_count(action)}"
+                for action in ScalingAction
+                if auto.action_count(action)
+            ),
+        ],
+        [
+            "saving",
+            "",
+            "",
+            "",
+            "",
+            "",
+            f"{100 * (1 - auto.node_seconds / static_node_seconds):.0f}%",
+            "",
+        ],
+    ]
+    report_table(
+        "autoscale_step_load",
+        "Autoscale step load -- quiet / 5x spike / quiet "
+        f"({len(_tenants())} tenants, {3 * segment_s:.0f} s of arrivals"
+        f"{', smoke' if smoke else ''})",
+        ["backend", "nodes", "completed", "dropped", "SLA viol rate",
+         "p99 (s)", "node-seconds", "scaling actions"],
+        rows,
+    )
+
+    # Identical traffic is owed by both backends, and both conserve it.
+    assert static_report.offered == auto_report.offered > 0
+    for report in (static_report, auto_report):
+        assert report.admitted == report.completed + report.dropped
+    # The control loop actually flexed: capacity rose for the spike and
+    # drained back down afterwards.
+    assert auto.peak_nodes > auto.min_nodes
+    assert auto.action_count(ScalingAction.GROW_NODE) + auto.action_count(
+        ScalingAction.ADD_SHARD
+    ) >= 1
+    assert auto.action_count(ScalingAction.SHRINK_NODE) + auto.action_count(
+        ScalingAction.REMOVE_SHARD
+    ) >= 1
+    assert auto.final_nodes < auto.peak_nodes
+    # Acceptance: the elastic run meets the static run's SLA on measurably
+    # fewer node-seconds (the small tolerance keeps scheduler noise from
+    # flipping the build on shared CI runners).
+    assert sla_violation_rate(auto_report) <= sla_violation_rate(static_report) + 0.02
+    assert auto.node_seconds < 0.85 * static_node_seconds

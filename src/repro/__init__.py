@@ -25,21 +25,33 @@ platforms.  This package reproduces the stack on top of simulated hardware:
 * :mod:`repro.federation`    -- federated multi-cluster scheduling: many
   HEATS shards behind one two-level scheduler with tenant affinity and
   cross-shard migration.
+* :mod:`repro.telemetry`     -- cluster-wide metrics pipeline: O(1)
+  counters/gauges/histograms on the hot paths, windowed EWMA/quantile
+  rollups, pluggable exporters.
+* :mod:`repro.autoscale`     -- elastic shard/node autoscaling: a control
+  loop over the telemetry signals with Holt-Winters demand forecasting.
 * :mod:`repro.core`          -- the integrated LEGaTO ecosystem facade and
   project-goal metrics.
 """
 
+from repro.autoscale.controller import Autoscaler, AutoscaleReport
+from repro.autoscale.policy import AutoscaleConfig
 from repro.core.config import LegatoConfig
 from repro.core.ecosystem import LegatoSystem
 from repro.federation.federation import Federation
 from repro.serving.loop import ServingReport, ServingWorkload
+from repro.telemetry.registry import MetricsRegistry
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "Autoscaler",
+    "AutoscaleConfig",
+    "AutoscaleReport",
     "Federation",
     "LegatoSystem",
     "LegatoConfig",
+    "MetricsRegistry",
     "ServingReport",
     "ServingWorkload",
     "__version__",

@@ -1,0 +1,168 @@
+"""Per-tenant arrival-rate forecasting for predictive scaling.
+
+Reactive autoscaling always pays one control interval of SLA damage before
+capacity catches up with a traffic step.  The controller therefore feeds
+each tenant's observed demand rate into a forecaster and scales on the
+*predicted* near-term rate: a rising trend triggers growth before the
+saturation signal does, and a falling trend lets scale-down start while
+stragglers finish.
+
+Two forecasters, matching the two shapes serving traffic takes:
+
+* :class:`EwmaForecaster` -- exponential smoothing of the level only; the
+  robust default for noisy, trendless traffic.
+* :class:`HoltWintersForecaster` -- Holt's linear (level + trend) method,
+  optionally extended with an additive seasonal component (full
+  Holt-Winters) for traffic with a known period in control ticks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class EwmaForecaster:
+    """Exponentially smoothed level; forecasts are flat at the level."""
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        """Create an empty forecaster.
+
+        Args:
+            alpha: smoothing factor in (0, 1]; larger tracks faster.
+        """
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._level: Optional[float] = None
+
+    @property
+    def level(self) -> float:
+        """The current smoothed level (0.0 before any observation)."""
+        return self._level if self._level is not None else 0.0
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the smoothed level.
+
+        Args:
+            value: the observed rate (or any non-negative signal).
+        """
+        if self._level is None:
+            self._level = value
+        else:
+            self._level = self.alpha * value + (1.0 - self.alpha) * self._level
+
+    def forecast(self, steps: int = 1) -> float:
+        """Predict the signal ``steps`` observations ahead.
+
+        Args:
+            steps: forecasting horizon in observation intervals.
+
+        Returns:
+            The flat-level forecast, floored at zero.
+        """
+        if steps <= 0:
+            raise ValueError("forecast horizon must be positive")
+        return max(0.0, self.level)
+
+
+class HoltWintersForecaster:
+    """Holt's linear trend method with optional additive seasonality.
+
+    With ``season_period=None`` this is double exponential smoothing
+    (level + trend).  With a period ``m`` it is full additive Holt-Winters:
+    a ring of ``m`` seasonal offsets is updated alongside level and trend,
+    and forecasts add the offset of the target step's position in the
+    cycle.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        beta: float = 0.3,
+        gamma: float = 0.2,
+        season_period: Optional[int] = None,
+    ) -> None:
+        """Create an empty forecaster.
+
+        Args:
+            alpha: level smoothing factor in (0, 1].
+            beta: trend smoothing factor in [0, 1].
+            gamma: seasonal smoothing factor in [0, 1]; ignored without a
+                season period.
+            season_period: length of the seasonal cycle in observations;
+                None disables the seasonal component.
+        """
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("alpha must be in (0, 1]")
+        if not (0.0 <= beta <= 1.0):
+            raise ValueError("beta must be in [0, 1]")
+        if not (0.0 <= gamma <= 1.0):
+            raise ValueError("gamma must be in [0, 1]")
+        if season_period is not None and season_period < 2:
+            raise ValueError("a seasonal cycle needs at least two steps")
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.season_period = season_period
+        self._level: Optional[float] = None
+        self._trend = 0.0
+        self._season: List[float] = (
+            [0.0] * season_period if season_period is not None else []
+        )
+        self._step = 0
+
+    @property
+    def level(self) -> float:
+        """The current smoothed level (0.0 before any observation)."""
+        return self._level if self._level is not None else 0.0
+
+    @property
+    def trend(self) -> float:
+        """The current smoothed per-step trend."""
+        return self._trend
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into level, trend, and seasonal state.
+
+        Args:
+            value: the observed rate at this control tick.
+        """
+        position = self._step % self.season_period if self.season_period else 0
+        seasonal = self._season[position] if self.season_period else 0.0
+        if self._level is None:
+            self._level = value - seasonal
+        else:
+            previous_level = self._level
+            self._level = (
+                self.alpha * (value - seasonal)
+                + (1.0 - self.alpha) * (self._level + self._trend)
+            )
+            self._trend = (
+                self.beta * (self._level - previous_level)
+                + (1.0 - self.beta) * self._trend
+            )
+        if self.season_period:
+            self._season[position] = (
+                self.gamma * (value - self._level) + (1.0 - self.gamma) * seasonal
+            )
+        self._step += 1
+
+    def forecast(self, steps: int = 1) -> float:
+        """Predict the signal ``steps`` observations ahead.
+
+        Args:
+            steps: forecasting horizon in observation intervals.
+
+        Returns:
+            ``level + steps * trend`` plus the target step's seasonal
+            offset, floored at zero (rates cannot be negative).
+        """
+        if steps <= 0:
+            raise ValueError("forecast horizon must be positive")
+        if self._level is None:
+            return 0.0
+        seasonal = 0.0
+        if self.season_period:
+            position = (self._step + steps - 1) % self.season_period
+            seasonal = self._season[position]
+        return max(0.0, self._level + steps * self._trend + seasonal)

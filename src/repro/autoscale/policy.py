@@ -1,0 +1,119 @@
+"""Autoscaling policy: knobs, actions, and decision records.
+
+The controller's behaviour is fully described by :class:`AutoscaleConfig`:
+when to consider the federation under pressure (utilisation, SLA, thermal
+floors), how fast it may react (cooldowns), and how far it may scale
+(shard/node bounds).  Every actuation is recorded as a
+:class:`ScalingDecision` so a serving run's elastic history is auditable
+after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+
+class ScalingAction(Enum):
+    """One kind of elastic actuation."""
+
+    GROW_NODE = "grow_node"
+    SHRINK_NODE = "shrink_node"
+    ADD_SHARD = "add_shard"
+    BEGIN_DRAIN = "begin_drain"
+    CANCEL_DRAIN = "cancel_drain"
+    REMOVE_SHARD = "remove_shard"
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """One actuation taken by the control loop."""
+
+    time_s: float
+    action: ScalingAction
+    target: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Tunables of the elastic control loop.
+
+    Args:
+        control_interval_s: cadence of the control loop; also becomes the
+            federation's rescheduling interval so control, drain
+            migration, and rebalancing share one heartbeat.
+        scale_up_utilisation: federation-wide core utilisation at (or
+            predicted to reach) which capacity is added.
+        scale_down_utilisation: utilisation at or below which capacity may
+            be removed.
+        sla_violation_rate_high: fraction of recent placements whose
+            queueing delay exceeded ``queue_delay_slo_s`` that counts as
+            SLA pressure.
+        queue_delay_slo_s: queueing delay (placement time minus batch
+            arrival) treated as an SLA violation.
+        thermal_headroom_floor: minimum aggregate thermal headroom; going
+            below it is scale-up pressure even at moderate utilisation.
+        scale_up_cooldown_s: minimum time between scale-up actuations.
+        scale_down_cooldown_s: minimum time between scale-down actuations
+            (longer than scale-up: adding late is cheaper than flapping).
+        min_shards / max_shards: bounds on non-draining member shards.
+        min_nodes_per_shard / max_nodes_per_shard: bounds on per-shard
+            node counts for node-level grow/shrink.
+        grow_node_models: microserver catalogue models cycled when growing
+            nodes into a shard.
+        forecast_alpha / forecast_beta: Holt smoothing factors for the
+            per-tenant demand forecasters.
+        forecast_horizon_ticks: how many control intervals ahead the
+            demand forecast looks.
+        forecast_ratio_clamp: bound on the predicted/current demand ratio
+            used to project utilisation, so a cold-start forecast cannot
+            swing capacity wildly.
+    """
+
+    control_interval_s: float = 2.0
+    scale_up_utilisation: float = 0.70
+    scale_down_utilisation: float = 0.30
+    sla_violation_rate_high: float = 0.10
+    queue_delay_slo_s: float = 5.0
+    thermal_headroom_floor: float = 0.05
+    scale_up_cooldown_s: float = 4.0
+    scale_down_cooldown_s: float = 20.0
+    min_shards: int = 1
+    max_shards: int = 4
+    min_nodes_per_shard: int = 4
+    max_nodes_per_shard: int = 12
+    grow_node_models: Tuple[str, ...] = ("xeon-d-x86", "arm64-server")
+    forecast_alpha: float = 0.5
+    forecast_beta: float = 0.3
+    forecast_horizon_ticks: int = 1
+    forecast_ratio_clamp: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.control_interval_s <= 0:
+            raise ValueError("control interval must be positive")
+        if not (0.0 < self.scale_up_utilisation <= 1.0):
+            raise ValueError("scale-up utilisation must be in (0, 1]")
+        if not (0.0 <= self.scale_down_utilisation < self.scale_up_utilisation):
+            raise ValueError(
+                "scale-down utilisation must be below the scale-up threshold"
+            )
+        if not (0.0 <= self.sla_violation_rate_high <= 1.0):
+            raise ValueError("SLA violation threshold must be in [0, 1]")
+        if self.queue_delay_slo_s <= 0:
+            raise ValueError("queue-delay SLO must be positive")
+        if not (0.0 <= self.thermal_headroom_floor < 1.0):
+            raise ValueError("thermal floor must be in [0, 1)")
+        if self.scale_up_cooldown_s < 0 or self.scale_down_cooldown_s < 0:
+            raise ValueError("cooldowns must be non-negative")
+        if not (1 <= self.min_shards <= self.max_shards):
+            raise ValueError("shard bounds must satisfy 1 <= min <= max")
+        if not (1 <= self.min_nodes_per_shard <= self.max_nodes_per_shard):
+            raise ValueError("node bounds must satisfy 1 <= min <= max")
+        if not self.grow_node_models:
+            raise ValueError("growing nodes needs at least one catalogue model")
+        if self.forecast_horizon_ticks <= 0:
+            raise ValueError("forecast horizon must be positive")
+        if self.forecast_ratio_clamp < 1.0:
+            raise ValueError("forecast ratio clamp must be at least 1")

@@ -1,0 +1,160 @@
+"""Signal extraction: turn raw telemetry into one control-loop input.
+
+The controller never reads cluster internals directly; everything it acts
+on is either an O(1) capacity aggregate (per-shard saturation and thermal
+headroom, maintained incrementally by the clusters) or a windowed rollup
+of hot-path metrics the serving stack emitted into the shared
+:class:`~repro.telemetry.registry.MetricsRegistry` (queueing delay,
+placement demand, unplaced attempts).  :func:`collect_signals` samples
+both into an immutable :class:`FederationSignals` per control tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.federation import FederatedScheduler
+    from repro.telemetry.registry import MetricsRegistry
+
+#: metric names the router emits and the controller subscribes to.
+ROUTER_PLACE_CALLS = "router.place_calls"
+ROUTER_PLACEMENTS = "router.placements"
+ROUTER_UNPLACED = "router.unplaced"
+ROUTER_QUEUE_DELAY = "router.queue_delay_s"
+ROUTER_DEMAND_PREFIX = "router.demand."
+
+
+@dataclass(frozen=True)
+class ShardSignals:
+    """One shard's health at a control tick (from O(1) aggregates)."""
+
+    shard: str
+    nodes: int
+    utilisation: float
+    thermal_headroom: float
+    draining: bool
+
+
+@dataclass(frozen=True)
+class FederationSignals:
+    """Everything one control decision is based on."""
+
+    time_s: float
+    shards: Tuple[ShardSignals, ...]
+    total_nodes: int
+    #: core utilisation over the *non-draining* shards (a draining shard's
+    #: free capacity is unroutable, so it must not dilute the pressure).
+    utilisation: float
+    #: minimum thermal headroom across the non-draining shards.
+    thermal_headroom: float
+    #: placement attempts per second since the previous tick (demand proxy:
+    #: retries of queued work count as sustained pressure, as they should).
+    demand_rate_rps: float
+    #: per-tenant share of that demand rate.
+    tenant_demand_rps: Dict[str, float]
+    #: placement attempts that found no shard since the previous tick.
+    unplaced_delta: float
+    #: windowed p99 of queueing delay (placement time minus batch arrival).
+    queue_delay_p99_s: float
+    #: fraction of *this tick's* placements whose queueing delay exceeded
+    #: the configured SLO (time-scoped: stale spike-era samples must not
+    #: keep blocking scale-down through a quiet tail).
+    late_fraction: float
+
+
+def collect_signals(
+    scheduler: "FederatedScheduler",
+    metrics: "MetricsRegistry",
+    time_s: float,
+    last_time_s: float,
+    last_counters: Dict[str, float],
+    queue_delay_slo_s: float,
+) -> FederationSignals:
+    """Sample the federation into one immutable control-loop input.
+
+    Args:
+        scheduler: the federated scheduler (shard list and capacity views).
+        metrics: the shared telemetry bus the hot paths record into.
+        time_s: current control-tick time.
+        last_time_s: previous control-tick time (for rate deltas).
+        last_counters: counter totals at the previous tick; *mutated* in
+            place to the current totals so the caller can hand the same
+            dict back next tick.
+        queue_delay_slo_s: queueing delay counted as an SLA violation.
+
+    Returns:
+        The :class:`FederationSignals` snapshot for this tick.
+    """
+    shard_signals = []
+    total_cores = 0
+    free_cores = 0
+    headrooms = []
+    for shard in scheduler.shards:
+        capacity = shard.capacity()
+        draining = scheduler.is_draining(shard.name)
+        shard_signals.append(
+            ShardSignals(
+                shard=shard.name,
+                nodes=len(shard.cluster),
+                utilisation=1.0 - capacity.free_core_fraction,
+                thermal_headroom=capacity.thermal_headroom,
+                draining=draining,
+            )
+        )
+        if draining:
+            # A draining shard's free capacity is unroutable: counting it
+            # would understate the pressure on the shards actually
+            # receiving traffic (and its headroom cannot be relieved by
+            # scaling -- it is already on the way out).
+            continue
+        total_cores += capacity.total_cores
+        free_cores += capacity.free_cores
+        headrooms.append(capacity.thermal_headroom)
+
+    interval = max(time_s - last_time_s, 1e-9)
+    # Counters only: a full snapshot would roll up (sort) every histogram
+    # window each control tick for values this function never reads.
+    counters = metrics.counter_values()
+
+    def delta(name: str) -> float:
+        current = counters.get(name, 0.0)
+        previous = last_counters.get(name, 0.0)
+        last_counters[name] = current
+        return max(0.0, current - previous)
+
+    demand_delta = delta(ROUTER_PLACE_CALLS)
+    unplaced_delta = delta(ROUTER_UNPLACED)
+    placements_delta = delta(ROUTER_PLACEMENTS)
+    tenant_demand = {
+        name[len(ROUTER_DEMAND_PREFIX) :]: delta(name) / interval
+        for name in counters
+        if name.startswith(ROUTER_DEMAND_PREFIX)
+    }
+
+    delay = metrics.histogram(ROUTER_QUEUE_DELAY)
+    window = delay.window_values()
+    # Time-scope the lateness signal to *this tick's* placements (the
+    # newest samples of the insertion-ordered window): a sample-count
+    # window would otherwise keep spike-era delays alive long into a quiet
+    # tail and pin the fleet at peak size.
+    recent = window[-int(placements_delta) :] if placements_delta > 0 else []
+    late = (
+        sum(1 for value in recent if value > queue_delay_slo_s) / len(recent)
+        if recent
+        else 0.0
+    )
+
+    return FederationSignals(
+        time_s=time_s,
+        shards=tuple(shard_signals),
+        total_nodes=sum(s.nodes for s in shard_signals),
+        utilisation=1.0 - (free_cores / total_cores if total_cores else 0.0),
+        thermal_headroom=min(headrooms) if headrooms else 1.0,
+        demand_rate_rps=demand_delta / interval,
+        tenant_demand_rps=tenant_demand,
+        unplaced_delta=unplaced_delta,
+        queue_delay_p99_s=delay.quantile(0.99),
+        late_fraction=late,
+    )

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
+from repro.autoscale.policy import AutoscaleConfig
 from repro.hardware.recsbox import RecsBoxConfig
 from repro.runtime.fault_tolerance import ReplicationPolicy
 from repro.runtime.ompss import SchedulingPolicy
@@ -71,6 +72,9 @@ class LegatoConfig:
     replication_policy: ReplicationPolicy = ReplicationPolicy.SELECTIVE
     undervolt_platform: str = "VC707"
     undervolt_max_accuracy_drop: float = 0.01
+    #: elastic-scaling knobs used when serving with ``autoscale=True``; the
+    #: deployment-wide default ``serve(autoscale_config=...)`` overrides.
+    autoscale: AutoscaleConfig = field(default_factory=AutoscaleConfig)
 
     def __post_init__(self) -> None:
         if not self.name:

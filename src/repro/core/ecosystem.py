@@ -16,8 +16,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.autoscale.controller import Autoscaler
+    from repro.autoscale.policy import AutoscaleConfig
     from repro.federation.federation import Federation
     from repro.federation.policy import FederationConfig
+    from repro.telemetry.registry import MetricsRegistry
 
 from repro.compiler.toolchain import CompilationResult, Toolchain
 from repro.core.config import LegatoConfig
@@ -204,6 +207,8 @@ class LegatoSystem:
         heats_config: Optional[HeatsConfig] = None,
         seed: int = 7,
         num_shards: int = 1,
+        autoscale: bool = False,
+        autoscale_config: Optional["AutoscaleConfig"] = None,
     ) -> ServingReport:
         """Serve a multi-tenant request stream on a HEATS-scheduled backend.
 
@@ -212,7 +217,12 @@ class LegatoSystem:
         placement (with the prediction-score cache on the scoring hot path
         unless disabled) -> per-tenant SLA report.  With ``num_shards > 1``
         the backend is a federation of shards at the same total node
-        count, built via :meth:`federate`.
+        count, built via :meth:`federate`.  With ``autoscale=True`` the
+        backend is an elastically scaled federation: ``num_shards`` /
+        ``cluster_scale`` describe the *initial* topology, an
+        :class:`~repro.autoscale.controller.Autoscaler` grows and shrinks
+        it with the traffic, and the report carries the elastic history in
+        ``autoscale_report``.
 
         Args:
             workload: tenants plus their request stream.
@@ -222,7 +232,11 @@ class LegatoSystem:
             batch_policy: optional batching override.
             heats_config: node-level scheduler tunables.
             seed: profiling seed (shards derive independent seeds).
-            num_shards: number of federation shards; 1 = single cluster.
+            num_shards: number of federation shards; 1 = single cluster
+                (an autoscaled run treats 1 as a one-shard federation).
+            autoscale: attach the elastic control loop.
+            autoscale_config: control-loop tunables; defaults to the
+                deployment configuration's ``autoscale`` section.
 
         Returns:
             The :class:`ServingReport` for the run.
@@ -231,12 +245,22 @@ class LegatoSystem:
             raise ValueError("cluster scale must be positive")
         if num_shards <= 0:
             raise ValueError("shard count must be positive")
+        if cluster_scale % num_shards:
+            raise ValueError(
+                "cluster scale must be divisible by the shard count so "
+                "shards are equally sized"
+            )
+        if autoscale:
+            scaler = self.autoscaler(
+                num_shards=num_shards,
+                shard_scale=cluster_scale // num_shards,
+                autoscale_config=autoscale_config,
+                use_score_cache=use_score_cache,
+                heats_config=heats_config,
+                seed=seed,
+            )
+            return scaler.federation.serve(workload, batch_policy=batch_policy)
         if num_shards > 1:
-            if cluster_scale % num_shards:
-                raise ValueError(
-                    "cluster scale must be divisible by the shard count so "
-                    "shards are equally sized"
-                )
             federation = self.federate(
                 num_shards=num_shards,
                 shard_scale=cluster_scale // num_shards,
@@ -264,6 +288,7 @@ class LegatoSystem:
         heats_config: Optional[HeatsConfig] = None,
         federation_config: Optional["FederationConfig"] = None,
         seed: int = 7,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> "Federation":
         """Build a federation of HEATS shards behind one scheduler.
 
@@ -280,6 +305,8 @@ class LegatoSystem:
             federation_config: shard-selection and migration tunables.
             seed: federation base seed; shard ``i`` profiles with
                 ``seed + 101 * i``.
+            metrics: optional telemetry bus wired through the routing,
+                admission, and batching hot paths.
 
         Returns:
             A :class:`~repro.federation.federation.Federation` ready to
@@ -294,7 +321,62 @@ class LegatoSystem:
             federation_config=federation_config,
             use_score_cache=use_score_cache,
             seed=seed,
+            metrics=metrics,
         )
+
+    def autoscaler(
+        self,
+        num_shards: int = 1,
+        shard_scale: int = 1,
+        autoscale_config: Optional["AutoscaleConfig"] = None,
+        use_score_cache: bool = True,
+        heats_config: Optional[HeatsConfig] = None,
+        federation_config: Optional["FederationConfig"] = None,
+        seed: int = 7,
+    ) -> "Autoscaler":
+        """Build an elastically scaled federation and its control loop.
+
+        The federation is built around a fresh telemetry bus (the gateway,
+        batcher, HEATS, and routing hot paths all record into it), its
+        rescheduling heartbeat is aligned with the control interval, and
+        the returned controller is already attached -- serving through
+        ``autoscaler.federation.serve(workload)`` runs elastically.
+
+        Args:
+            num_shards: initial shard count.
+            shard_scale: initial ``heats_testbed`` scale per shard.
+            autoscale_config: control-loop tunables; defaults to the
+                deployment configuration's ``autoscale`` section.
+            use_score_cache: attach per-shard prediction-score caches.
+            heats_config: node-level scheduler tunables, copied per shard.
+            federation_config: shard-selection and migration tunables; its
+                rescheduling interval is overridden by the control
+                interval so control and migration share one heartbeat.
+            seed: federation base seed.
+
+        Returns:
+            The attached :class:`~repro.autoscale.controller.Autoscaler`.
+        """
+        from dataclasses import replace
+
+        from repro.autoscale.controller import Autoscaler
+        from repro.federation.policy import FederationConfig
+        from repro.telemetry.registry import MetricsRegistry
+
+        config = autoscale_config if autoscale_config is not None else self.config.autoscale
+        base = federation_config if federation_config is not None else FederationConfig()
+        federation = self.federate(
+            num_shards=num_shards,
+            shard_scale=shard_scale,
+            use_score_cache=use_score_cache,
+            heats_config=heats_config,
+            federation_config=replace(
+                base, rescheduling_interval_s=config.control_interval_s
+            ),
+            seed=seed,
+            metrics=MetricsRegistry(),
+        )
+        return Autoscaler(federation, config=config)
 
     # ------------------------------------------------------------------ #
     # Undervolting coupling

@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import MetricsRegistry
 
 from repro.federation.policy import (
     DEFAULT_SHARD_PROFILES,
@@ -49,6 +52,8 @@ class FederationStats:
     region_seeded: int = 0
     cross_shard_migrations: int = 0
     unplaced_requests: int = 0
+    drain_migrations: int = 0
+    affinity_rebalanced: int = 0
 
     @property
     def placements(self) -> int:
@@ -75,6 +80,8 @@ class FederationStats:
             "region_seeded": self.region_seeded,
             "cross_shard_migrations": self.cross_shard_migrations,
             "unplaced_requests": self.unplaced_requests,
+            "drain_migrations": self.drain_migrations,
+            "affinity_rebalanced": self.affinity_rebalanced,
         }
 
 
@@ -114,6 +121,49 @@ class FederatedCluster(Cluster):
             raise KeyError(f"no shard owns node {node_name!r}")
         return self._shard_of_node[node_name]
 
+    # ------------------------------------------------------------------ #
+    # Elastic membership (kept in lockstep with the federated scheduler)
+    # ------------------------------------------------------------------ #
+    def add_shard(self, shard: ClusterShard) -> None:
+        """Union in a new shard's nodes (elastic scale-up).
+
+        Args:
+            shard: the joining shard; node names must be federation-unique.
+        """
+        for node in shard.cluster:
+            self.add_node(node)
+            self._shard_of_node[node.name] = shard.name
+
+    def remove_shard(self, shard: ClusterShard) -> None:
+        """Drop a drained shard's nodes from the union (elastic scale-down).
+
+        Args:
+            shard: the departing shard; all of its nodes must be idle
+                (the drain hook migrates running tasks away first).
+        """
+        for node in list(shard.cluster):
+            self.remove_node(node.name)
+            del self._shard_of_node[node.name]
+
+    def attach_node(self, shard_name: str, node) -> None:
+        """Index a node grown into a member shard.
+
+        Args:
+            shard_name: the shard the node was grown into.
+            node: the new :class:`~repro.scheduler.cluster.ClusterNode`.
+        """
+        self.add_node(node)
+        self._shard_of_node[node.name] = shard_name
+
+    def detach_node(self, node_name: str) -> None:
+        """Drop a node shrunk out of a member shard.
+
+        Args:
+            node_name: the departing (idle) node.
+        """
+        self.remove_node(node_name)
+        del self._shard_of_node[node_name]
+
 
 class FederatedScheduler:
     """Two-level scheduler: shard selection, then in-shard HEATS placement."""
@@ -125,6 +175,7 @@ class FederatedScheduler:
         self,
         shards: Sequence[ClusterShard],
         config: Optional[FederationConfig] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         """Wire the shards into one scheduling domain.
 
@@ -134,6 +185,10 @@ class FederatedScheduler:
                 cluster -- shared node objects across shards would corrupt
                 both capacity indices).
             config: federation tunables; defaults to ``FederationConfig()``.
+            metrics: optional telemetry bus; when given, the routing hot
+                path emits O(1) signals (placements, unplaced attempts,
+                queueing delay, per-tenant demand) the autoscale
+                controller subscribes to.
         """
         if not shards:
             raise ValueError("a federation needs at least one shard")
@@ -153,15 +208,182 @@ class FederatedScheduler:
                 self._node_shard[node.name] = shard.name
         self._affinity: Dict[str, str] = {}
         self._tenant_regions: Dict[str, str] = {}
+        self._draining: Set[str] = set()
+        #: elastic control loop attached via Autoscaler; consulted at the
+        #: top of every rescheduling pass when present.
+        self.autoscaler = None
         self.federation_stats = FederationStats()
-        # Hot-path constants: profiles are static, so normalise prices and
-        # weight sums once instead of per placement.
-        max_price = max(s.profile.energy_price_per_kwh for s in self.shards)
-        self._price_norm: Dict[str, float] = {
-            s.name: s.profile.energy_price_per_kwh / max_price for s in self.shards
-        }
         self._perf_weight_total = self.config.cpu_weight + self.config.memory_weight
         self._energy_weight_total = self.config.thermal_weight + self.config.price_weight
+        self._price_norm: Dict[str, float] = {}
+        self._rebuild_price_norm()
+        # Hot-path instruments are bound once here; recording is a float
+        # add / ring write per event, never a registry lookup.
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_place_calls = metrics.counter("router.place_calls")
+            self._m_placements = metrics.counter("router.placements")
+            self._m_unplaced = metrics.counter("router.unplaced")
+            self._m_queue_delay = metrics.histogram("router.queue_delay_s")
+            self._m_demand: Dict[str, object] = {}
+        else:
+            self._m_place_calls = None
+            self._m_placements = None
+            self._m_unplaced = None
+            self._m_queue_delay = None
+            self._m_demand = {}
+
+    def _rebuild_price_norm(self) -> None:
+        """Re-normalise regional prices; runs on every membership change.
+
+        Prices are normalised against the *current* member shards, so the
+        shard score stays in [0, 1] as shards come and go.
+        """
+        max_price = max(s.profile.energy_price_per_kwh for s in self.shards)
+        self._price_norm = {
+            s.name: s.profile.energy_price_per_kwh / max_price for s in self.shards
+        }
+
+    # ------------------------------------------------------------------ #
+    # Elastic shard membership
+    # ------------------------------------------------------------------ #
+    def add_shard(self, shard: ClusterShard) -> None:
+        """Admit a new shard into the scheduling domain (scale-up).
+
+        Args:
+            shard: the joining shard; its name and node names must be
+                unique across the federation.
+        """
+        if shard.name in self._by_name:
+            raise ValueError(f"shard {shard.name!r} is already a member")
+        for node in shard.cluster:
+            if node.name in self._node_shard:
+                raise ValueError(f"node {node.name!r} appears in more than one shard")
+        self.shards.append(shard)
+        self._by_name[shard.name] = shard
+        for node in shard.cluster:
+            self._node_shard[node.name] = shard.name
+        self._rebuild_price_norm()
+
+    def remove_shard(self, name: str) -> ClusterShard:
+        """Retire a fully drained shard (scale-down, last step).
+
+        The drain protocol is: :meth:`begin_drain` (stop routing to the
+        shard, rebalance pinned tenants away), let rescheduling passes
+        migrate its running tasks out, then remove once empty.  Removing a
+        shard that still hosts tasks is refused -- that is exactly the
+        request-loss bug the drain hook exists to prevent.
+
+        Args:
+            name: the shard to retire.
+
+        Returns:
+            The detached shard.
+        """
+        shard = self.shard(name)
+        if len(self.shards) == 1:
+            raise ValueError("a federation needs at least one shard")
+        if shard.has_running_tasks():
+            raise ValueError(
+                f"shard {name!r} still hosts running tasks; drain it first"
+            )
+        self.shards.remove(shard)
+        del self._by_name[name]
+        for node in shard.cluster:
+            del self._node_shard[node.name]
+        self._draining.discard(name)
+        # Any pin still pointing at the removed shard would silently count
+        # an affinity miss per request forever; drop the stale pins.
+        for tenant, pinned in list(self._affinity.items()):
+            if pinned == name:
+                del self._affinity[tenant]
+        self._rebuild_price_norm()
+        return shard
+
+    def begin_drain(self, name: str) -> None:
+        """Mark a shard draining: no new placements, pins rebalanced away.
+
+        Queued (not yet placed) requests stop routing to the shard from
+        this call on; running placements are migrated out by the following
+        rescheduling passes, and :meth:`remove_shard` completes the
+        scale-down once the shard is empty.
+
+        Args:
+            name: the shard to drain.
+        """
+        shard = self.shard(name)
+        active = [s for s in self.shards if s.name not in self._draining]
+        if len(active) <= 1 and shard.name in {s.name for s in active}:
+            raise ValueError("cannot drain the last active shard")
+        self._draining.add(name)
+        self.rebalance_affinity(name)
+
+    def cancel_drain(self, name: str) -> None:
+        """Un-retire a draining shard (scale-up pressure mid-drain).
+
+        The shard immediately rejoins the routing order; tenants re-pin to
+        it organically as their traffic lands there again.
+
+        Args:
+            name: the draining shard to reinstate.
+        """
+        if name not in self._draining:
+            raise ValueError(f"shard {name!r} is not draining")
+        self._draining.discard(name)
+
+    def is_draining(self, name: str) -> bool:
+        """Whether a shard is currently draining.
+
+        Args:
+            name: shard name.
+
+        Returns:
+            True between :meth:`begin_drain` and :meth:`remove_shard`.
+        """
+        return name in self._draining
+
+    @property
+    def draining_shards(self) -> List[str]:
+        """Names of shards currently draining."""
+        return sorted(self._draining)
+
+    def rebalance_affinity(self, from_shard: str) -> int:
+        """Re-pin tenants away from a shard about to be retired.
+
+        Each affected tenant moves to the best-scoring non-draining shard
+        (neutral energy weight: no request is in hand), so its next
+        request routes straight to the new home instead of paying an
+        affinity miss against a vanishing pin.
+
+        Args:
+            from_shard: the shard whose pins are being evacuated.
+
+        Returns:
+            Number of tenants re-pinned.
+        """
+        targets = [
+            shard
+            for shard in self.shards
+            if shard.name != from_shard and shard.name not in self._draining
+        ]
+        # Re-pinning does not change any shard's score, so one ranking
+        # serves every evacuated tenant.
+        best = (
+            min(targets, key=lambda shard: (self._shard_score(shard, 0.5), shard.name))
+            if targets
+            else None
+        )
+        moved = 0
+        for tenant, pinned in list(self._affinity.items()):
+            if pinned != from_shard:
+                continue
+            if best is not None:
+                self._affinity[tenant] = best.name
+            else:
+                del self._affinity[tenant]
+            moved += 1
+        self.federation_stats.affinity_rebalanced += moved
+        return moved
 
     # ------------------------------------------------------------------ #
     # Tenant affinity
@@ -219,23 +441,37 @@ class FederatedScheduler:
         return (1.0 - energy_weight) * perf_pressure + energy_weight * energy_pressure
 
     def _routing_order(self, request: TaskRequest) -> Tuple[List[ClusterShard], Optional[str]]:
-        """Shards to try in order, plus the tenant's pinned shard name."""
+        """Shards to try in order, plus the tenant's pinned shard name.
+
+        Draining shards are excluded outright: anything not yet placed
+        (queued requests included) must land on a shard that will still
+        exist when the task finishes.
+        """
         weight = request.energy_weight
+        candidates = (
+            [s for s in self.shards if s.name not in self._draining]
+            if self._draining
+            else self.shards
+        )
         order = sorted(
-            self.shards, key=lambda shard: (self._shard_score(shard, weight), shard.name)
+            candidates, key=lambda shard: (self._shard_score(shard, weight), shard.name)
         )
         pinned: Optional[str] = None
         if request.tenant is not None and self.config.sticky_affinity:
             pinned = self._affinity.get(request.tenant)
             preferred: Optional[ClusterShard] = None
-            if pinned is not None:
+            if pinned is not None and pinned not in self._draining:
                 shard = self._by_name[pinned]
                 if not shard.is_saturated(self.config.saturation_free_core_fraction):
                     preferred = shard
-            else:
+            elif pinned is None:
                 seeded = self._region_shard(request.tenant)
-                if seeded is not None and not seeded.is_saturated(
-                    self.config.saturation_free_core_fraction
+                if (
+                    seeded is not None
+                    and seeded.name not in self._draining
+                    and not seeded.is_saturated(
+                        self.config.saturation_free_core_fraction
+                    )
                 ):
                     preferred = seeded
                     self.federation_stats.region_seeded += 1
@@ -259,6 +495,14 @@ class FederatedScheduler:
             The chosen node name, or None when no shard can host the
             request right now.
         """
+        if self._m_place_calls is not None:
+            self._m_place_calls.inc()
+            if request.tenant is not None:
+                demand = self._m_demand.get(request.tenant)
+                if demand is None:
+                    demand = self.metrics.counter(f"router.demand.{request.tenant}")
+                    self._m_demand[request.tenant] = demand
+                demand.inc()
         order, pinned = self._routing_order(request)
         for shard in order:
             # Aggregate pre-check only: a shard with fewer free cores (or
@@ -284,8 +528,13 @@ class FederatedScheduler:
                         stats.affinity_misses += 1
                 # (Re-)pin so the tenant's next request follows its traffic.
                 self._affinity[request.tenant] = shard.name
+            if self._m_placements is not None:
+                self._m_placements.inc()
+                self._m_queue_delay.record(max(0.0, time_s - request.arrival_s))
             return node
         self.federation_stats.unplaced_requests += 1
+        if self._m_unplaced is not None:
+            self._m_unplaced.inc()
         return None
 
     # ------------------------------------------------------------------ #
@@ -297,14 +546,21 @@ class FederatedScheduler:
         cluster: Cluster,
         time_s: float,
     ) -> List[Tuple[str, str]]:
-        """Intra-shard HEATS rescheduling plus saturation-driven drains.
+        """Elastic control, drain evacuation, then the usual rebalancing.
 
-        Each shard's own scheduler proposes its usual in-shard migrations
-        first.  Then every saturated shard (free-core fraction below the
-        configured floor) drains up to ``max_migrations_per_cycle`` of its
-        running tasks into shards with migration headroom, choosing the
-        target shard by aggregate score and the target node by that
-        shard's HEATS scoring.
+        Four stages per pass:
+
+        1. when an autoscaler is attached, it observes the telemetry
+           signals and may mutate the topology (add shards, begin drains,
+           grow/shrink nodes, retire empty draining shards);
+        2. each *non-draining* shard's own scheduler proposes its usual
+           in-shard migrations;
+        3. every draining shard evacuates up to
+           ``drain_migrations_per_cycle`` running tasks into non-draining
+           shards (the drain hook: a shard is only removable once this
+           emptied it, so scale-down can never lose a placed request);
+        4. every saturated shard drains up to ``max_migrations_per_cycle``
+           tasks into shards with migration headroom.
 
         Args:
             running: all running placements across the federation.
@@ -315,6 +571,8 @@ class FederatedScheduler:
             (task_id, target_node) pairs; target nodes may live in a
             different shard than the task's current host.
         """
+        if self.autoscaler is not None:
+            self.autoscaler.control(time_s, running)
         decisions: List[Tuple[str, str]] = []
         moved: Set[str] = set()
         by_shard: Dict[str, List[Placement]] = {}
@@ -324,6 +582,10 @@ class FederatedScheduler:
                 by_shard.setdefault(shard_name, []).append(placement)
 
         for shard in self.shards:
+            if shard.name in self._draining:
+                # In-shard moves on a vanishing shard are pure churn; the
+                # drain stage below moves these tasks out instead.
+                continue
             group = by_shard.get(shard.name, [])
             if not group:
                 continue
@@ -344,20 +606,18 @@ class FederatedScheduler:
             planned_cores, planned_memory = planned.get(node.name, (0, 0.0))
             return node.available.fits(cores + planned_cores, memory_gib + planned_memory)
 
-        for shard in self.shards:
-            if not shard.is_saturated(self.config.saturation_free_core_fraction):
-                continue
+        def evacuate(shard: ClusterShard, budget: int, draining: bool) -> None:
+            """Move tasks off a shard into the best other shards."""
             candidates = [
                 placement
                 for placement in by_shard.get(shard.name, [])
                 if placement.request.task_id not in moved
             ]
             if not candidates:
-                continue
+                return
             # Cheapest-to-move first: migration downtime grows with the
             # task's memory footprint.
             candidates.sort(key=lambda p: (p.request.memory_gib, p.request.task_id))
-            budget = self.config.max_migrations_per_cycle
             for placement in candidates:
                 if budget <= 0:
                     break
@@ -367,8 +627,16 @@ class FederatedScheduler:
                         other
                         for other in self.shards
                         if other.name != shard.name
-                        and other.capacity().free_core_fraction
-                        >= self.config.migration_headroom_fraction
+                        and other.name not in self._draining
+                        and (
+                            # A drain evacuates wherever there is room; the
+                            # saturation rebalancer additionally demands
+                            # real headroom so it does not just move the
+                            # hot spot around.
+                            draining
+                            or other.capacity().free_core_fraction
+                            >= self.config.migration_headroom_fraction
+                        )
                     ),
                     # Rank with the same federation-wide score placement
                     # uses, so migration and placement agree on shard
@@ -399,9 +667,22 @@ class FederatedScheduler:
                     )
                     decisions.append((request.task_id, node_name))
                     moved.add(request.task_id)
-                    self.federation_stats.cross_shard_migrations += 1
+                    if draining:
+                        self.federation_stats.drain_migrations += 1
+                    else:
+                        self.federation_stats.cross_shard_migrations += 1
                     budget -= 1
                     break
+
+        for name in sorted(self._draining):
+            evacuate(self._by_name[name], self.config.drain_migrations_per_cycle, True)
+
+        for shard in self.shards:
+            if shard.name in self._draining:
+                continue
+            if not shard.is_saturated(self.config.saturation_free_core_fraction):
+                continue
+            evacuate(shard, self.config.max_migrations_per_cycle, False)
         return decisions
 
     # ------------------------------------------------------------------ #
@@ -445,17 +726,33 @@ class Federation:
         self,
         shards: Sequence[ClusterShard],
         config: Optional[FederationConfig] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         """Assemble a federation from pre-built shards.
 
         Args:
             shards: member shards with federation-unique node names.
             config: federation tunables; defaults to ``FederationConfig()``.
+            metrics: optional telemetry bus shared by the router (and, via
+                :meth:`serve`, the gateway and batcher hot paths).
         """
-        self.shards: List[ClusterShard] = list(shards)
-        self.scheduler = FederatedScheduler(self.shards, config=config)
-        self.cluster = FederatedCluster(self.shards)
+        self.metrics = metrics
+        self.scheduler = FederatedScheduler(shards, config=config, metrics=metrics)
+        self.cluster = FederatedCluster(self.scheduler.shards)
         self._served = False
+        # Build parameters for shards added later by the autoscaler; the
+        # defaults match ClusterShard.build and are overridden by build().
+        self.base_seed = 7
+        self.default_shard_scale = 1
+        self.default_heats_config: Optional[HeatsConfig] = None
+        self.default_use_score_cache = True
+        self.profile_catalogue: Tuple[ShardProfile, ...] = DEFAULT_SHARD_PROFILES
+        self.next_shard_index = len(self.scheduler.shards)
+
+    @property
+    def shards(self) -> List[ClusterShard]:
+        """The current member shards (the scheduler's list is authoritative)."""
+        return self.scheduler.shards
 
     @classmethod
     def build(
@@ -467,6 +764,7 @@ class Federation:
         use_score_cache: bool = True,
         seed: int = 7,
         profiles: Optional[Sequence[ShardProfile]] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> "Federation":
         """Build a federation of HEATS testbed shards.
 
@@ -484,6 +782,7 @@ class Federation:
             seed: federation-level base seed.
             profiles: regional profiles; defaults to cycling
                 ``DEFAULT_SHARD_PROFILES``.
+            metrics: optional telemetry bus for the routing hot path.
 
         Returns:
             A ready-to-serve :class:`Federation`.
@@ -502,15 +801,134 @@ class Federation:
                 base_seed=seed,
                 heats_config=heats_config,
                 use_score_cache=use_score_cache,
+                metrics=metrics,
             )
             for index in range(num_shards)
         ]
-        return cls(shards, config=federation_config)
+        federation = cls(shards, config=federation_config, metrics=metrics)
+        federation.base_seed = seed
+        federation.default_shard_scale = shard_scale
+        federation.default_heats_config = heats_config
+        federation.default_use_score_cache = use_score_cache
+        federation.profile_catalogue = catalogue
+        return federation
 
     @property
     def stats(self) -> FederationStats:
         """The scheduler's routing telemetry."""
         return self.scheduler.federation_stats
+
+    # ------------------------------------------------------------------ #
+    # Elastic topology (the autoscaler's actuation surface)
+    # ------------------------------------------------------------------ #
+    @property
+    def total_nodes(self) -> int:
+        """Current node count across all member shards."""
+        return len(self.cluster)
+
+    def add_shard(self, shard: Optional[ClusterShard] = None) -> ClusterShard:
+        """Admit a shard, keeping scheduler and union cluster in lockstep.
+
+        Args:
+            shard: a pre-built shard; when None, a new one is built with
+                the federation's build parameters (next profile in the
+                catalogue, derived seed, config copy).
+
+        Returns:
+            The admitted shard.
+        """
+        if shard is None:
+            profile = self.profile_catalogue[
+                self.next_shard_index % len(self.profile_catalogue)
+            ]
+            shard = ClusterShard.build(
+                self.next_shard_index,
+                profile,
+                scale=self.default_shard_scale,
+                base_seed=self.base_seed,
+                heats_config=self.default_heats_config,
+                use_score_cache=self.default_use_score_cache,
+                metrics=self.metrics,
+            )
+        self.scheduler.add_shard(shard)
+        self.cluster.add_shard(shard)
+        self.next_shard_index += 1
+        return shard
+
+    def begin_drain(self, shard_name: str) -> None:
+        """Start retiring a shard: reroute, rebalance pins, evacuate.
+
+        Args:
+            shard_name: the shard to drain.
+        """
+        self.scheduler.begin_drain(shard_name)
+
+    def cancel_drain(self, shard_name: str) -> None:
+        """Reinstate a draining shard.
+
+        Args:
+            shard_name: the draining shard to bring back into routing.
+        """
+        self.scheduler.cancel_drain(shard_name)
+
+    def finalize_drain(self, shard_name: str) -> Optional[ClusterShard]:
+        """Remove a draining shard once it is empty.
+
+        Args:
+            shard_name: the draining shard.
+
+        Returns:
+            The removed shard, or None while it still hosts tasks (call
+            again after further rescheduling passes).
+        """
+        shard = self.scheduler.shard(shard_name)
+        if shard.has_running_tasks():
+            return None
+        removed = self.scheduler.remove_shard(shard_name)
+        self.cluster.remove_shard(removed)
+        return removed
+
+    def grow_node(self, shard_name: str, model: str) -> str:
+        """Grow one node inside a shard (profiled before it is placeable).
+
+        Args:
+            shard_name: the shard to grow.
+            model: microserver catalogue model for the new node.
+
+        Returns:
+            The new node's name.
+        """
+        node = self.scheduler.shard(shard_name).grow_node(model)
+        self.cluster.attach_node(shard_name, node)
+        return node.name
+
+    def shrink_node(self, shard_name: str, node_name: Optional[str] = None) -> Optional[str]:
+        """Remove one idle node from a shard.
+
+        Args:
+            shard_name: the shard to shrink.
+            node_name: the node to remove; when None, the last fully idle
+                node is chosen via the shard's capacity index.
+
+        Returns:
+            The removed node's name, or None when the shard has no idle
+            node (or only one node) to give up.
+        """
+        shard = self.scheduler.shard(shard_name)
+        if node_name is None:
+            idle = shard.cluster.idle_nodes()
+            if not idle or len(shard.cluster) <= 1:
+                return None
+            # Latest-added first: elastic growth is undone before the
+            # shard's original build population is touched.
+            node_name = idle[-1].name
+        # Shard first: it validates membership, idleness, and the
+        # one-node floor before anything is mutated; only then does the
+        # union view (which cannot fail on a node the shard just released)
+        # drop it, so an invalid request never splits the two indices.
+        shard.release_node(node_name)
+        self.cluster.detach_node(node_name)
+        return node_name
 
     def shard_scores(self, energy_weight: float = 0.5) -> List[ShardScore]:
         """Current shard ranking for a given energy weight.
@@ -528,7 +946,11 @@ class Federation:
 
         Builds the gateway over the workload's tenants (registering their
         preferred regions as affinity seeds) and runs the serving loop
-        with the federated cluster and scheduler as the backend.
+        with the federated cluster and scheduler as the backend.  When the
+        federation carries a telemetry bus, the gateway and batcher hot
+        paths record into it, and when an autoscaler is attached to the
+        scheduler the report additionally carries its
+        :class:`~repro.autoscale.controller.AutoscaleReport`.
 
         Args:
             workload: a :class:`~repro.serving.loop.ServingWorkload`.
@@ -548,11 +970,15 @@ class Federation:
                 "carries the previous run -- build a fresh federation"
             )
         self._served = True
-        gateway = RequestGateway(workload.tenants)
+        gateway = RequestGateway(workload.tenants, metrics=self.metrics)
         for tenant in workload.tenants:
             if tenant.region is not None:
                 self.scheduler.register_tenant_region(tenant.name, tenant.region)
         loop = ServingLoop(
-            self.cluster, self.scheduler, gateway, batch_policy=batch_policy
+            self.cluster,
+            self.scheduler,
+            gateway,
+            batch_policy=batch_policy,
+            metrics=self.metrics,
         )
         return loop.run(workload.requests)

@@ -65,6 +65,9 @@ class FederationConfig:
             must have to receive cross-shard migrations.
         max_migrations_per_cycle: cap on cross-shard moves per
             rescheduling pass, bounding migration churn.
+        drain_migrations_per_cycle: separate (larger) cap on moves out of
+            a *draining* shard per pass -- draining wants to finish fast,
+            saturation rebalancing wants to avoid churn.
         cpu_weight / memory_weight: relative weights of the free-CPU and
             free-memory pressure inside the performance term.
         thermal_weight / price_weight: relative weights of thermal
@@ -78,6 +81,7 @@ class FederationConfig:
     saturation_free_core_fraction: float = 0.125
     migration_headroom_fraction: float = 0.25
     max_migrations_per_cycle: int = 4
+    drain_migrations_per_cycle: int = 16
     cpu_weight: float = 0.6
     memory_weight: float = 0.4
     thermal_weight: float = 0.5
@@ -92,6 +96,8 @@ class FederationConfig:
             raise ValueError("migration headroom must be in [0, 1]")
         if self.max_migrations_per_cycle < 0:
             raise ValueError("migration cap must be non-negative")
+        if self.drain_migrations_per_cycle <= 0:
+            raise ValueError("drain migration cap must be positive")
         for name in ("cpu_weight", "memory_weight", "thermal_weight", "price_weight"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")

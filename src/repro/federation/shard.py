@@ -10,13 +10,18 @@ serves).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
 
 from repro.federation.policy import ShardProfile
-from repro.scheduler.cluster import CapacitySnapshot, Cluster
+from repro.hardware.microserver import MICROSERVER_CATALOG
+from repro.scheduler.cluster import CapacitySnapshot, Cluster, ClusterNode
 from repro.scheduler.heats import HeatsConfig, HeatsScheduler
+from repro.scheduler.modeling import ProfilingCampaign
 from repro.serving.cache import PredictionScoreCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import MetricsRegistry
 
 #: prime stride between shard seeds so derived per-shard RNG streams never
 #: collide for any realistic shard count.
@@ -42,6 +47,9 @@ class ClusterShard:
     scheduler: HeatsScheduler
     profile: ShardProfile
     seed: int
+    #: nodes grown into the shard since it was built (names/seeds derive
+    #: from this counter so elastic additions stay unique and reproducible).
+    grown_nodes: int = field(default=0)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -57,6 +65,7 @@ class ClusterShard:
         heats_config: Optional[HeatsConfig] = None,
         use_score_cache: bool = True,
         noise_fraction: float = 0.05,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> "ClusterShard":
         """Build shard ``index`` with an independent seed and config copy.
 
@@ -72,6 +81,8 @@ class ClusterShard:
                 shards ever share a config object.
             use_score_cache: attach a per-shard prediction-score cache.
             noise_fraction: profiling measurement noise.
+            metrics: optional shared telemetry bus; shard schedulers
+                aggregate their placement signals into it.
 
         Returns:
             A ready-to-route :class:`ClusterShard`.
@@ -87,6 +98,7 @@ class ClusterShard:
             noise_fraction=noise_fraction,
             seed=seed,
             score_cache=PredictionScoreCache() if use_score_cache else None,
+            metrics=metrics,
         )
         return cls(
             name=f"shard-{index}-{profile.region}",
@@ -95,6 +107,55 @@ class ClusterShard:
             profile=profile,
             seed=seed,
         )
+
+    # ------------------------------------------------------------------ #
+    # Elastic node membership (used by the autoscaler)
+    # ------------------------------------------------------------------ #
+    def grow_node(self, model: str, noise_fraction: float = 0.05) -> ClusterNode:
+        """Add one catalogue node to the shard, learning its models first.
+
+        The new node is probed and fitted *before* it joins the capacity
+        index, so the HEATS scheduler can score it from the moment it
+        becomes placeable (a node without learned models would silently
+        never be chosen).  The probing seed derives from the shard seed and
+        the grow counter, so repeated growth is reproducible and disjoint
+        from the original campaign.
+
+        Args:
+            model: microserver catalogue model name for the new node.
+            noise_fraction: profiling measurement noise for the probes.
+
+        Returns:
+            The attached node.
+        """
+        if model not in MICROSERVER_CATALOG:
+            raise KeyError(f"no catalogue model {model!r}")
+        node = ClusterNode(
+            name=f"{self.name}-auto{self.grown_nodes}-{model}",
+            spec=MICROSERVER_CATALOG[model],
+        )
+        campaign = ProfilingCampaign(
+            [node],
+            noise_fraction=noise_fraction,
+            seed=self.seed + 1009 * (self.grown_nodes + 1),
+        ).run()
+        self.scheduler.models.add(campaign.fit().model(node.name))
+        self.cluster.add_node(node)
+        self.grown_nodes += 1
+        return node
+
+    def release_node(self, name: str) -> ClusterNode:
+        """Remove an idle node from the shard, dropping its learned models.
+
+        Args:
+            name: the node to remove; must be hosting nothing.
+
+        Returns:
+            The detached node.
+        """
+        node = self.cluster.remove_node(name)
+        self.scheduler.models.remove(name)
+        return node
 
     # ------------------------------------------------------------------ #
     # Capacity views used by the routing policy
@@ -133,3 +194,15 @@ class ClusterShard:
         if capacity.free_cores < cores or capacity.free_memory_gib < memory_gib:
             return False
         return bool(self.cluster.feasible_nodes(cores, memory_gib))
+
+    def has_running_tasks(self) -> bool:
+        """Whether any node of the shard is still hosting a task.
+
+        O(1) via the capacity aggregates: the shard is busy exactly when
+        some of its cores are reserved (every task reserves at least one).
+
+        Returns:
+            True while the shard cannot be retired.
+        """
+        capacity = self.capacity()
+        return capacity.free_cores < capacity.total_cores

@@ -98,6 +98,15 @@ class ClusterNode:
         """
         self._listeners.append(listener)
 
+    def unsubscribe(self, listener: Callable[["ClusterNode"], None]) -> None:
+        """Remove a previously subscribed capacity listener.
+
+        Clusters call this when a node is removed from their view (elastic
+        scale-down), so a retired view no longer receives updates for a
+        node it stopped indexing.
+        """
+        self._listeners.remove(listener)
+
     def _notify_capacity_change(self) -> None:
         for listener in self._listeners:
             listener(self)
@@ -206,18 +215,11 @@ class Cluster:
 
     def __init__(self, nodes: Iterable[ClusterNode]) -> None:
         self._nodes: Dict[str, ClusterNode] = {}
-        for node in nodes:
-            if node.name in self._nodes:
-                raise ValueError(f"duplicate node name {node.name!r}")
-            self._nodes[node.name] = node
-        if not self._nodes:
-            raise ValueError("a cluster needs at least one node")
         # Incremental free-capacity index: nodes bucketed by free cores,
         # per-node free memory and reserved dynamic power tracked so the
         # hot path and the aggregates never rescan all nodes.
-        self._order: Dict[str, int] = {
-            name: index for index, name in enumerate(self._nodes)
-        }
+        self._order: Dict[str, int] = {}
+        self._next_order = 0
         self._free_cores: Dict[str, int] = {}
         self._free_memory: Dict[str, float] = {}
         self._reserved_power: Dict[str, float] = {}
@@ -226,14 +228,15 @@ class Cluster:
         self._free_memory_total = 0.0
         self._reserved_power_total = 0.0
         self._capacity_cache: Optional[CapacitySnapshot] = None
-        self._total_cores = sum(node.total.cores for node in self._nodes.values())
-        self._total_memory = sum(node.total.memory_gib for node in self._nodes.values())
-        self._dynamic_power_total = sum(
-            node.spec.peak_power_w - node.spec.idle_power_w for node in self._nodes.values()
-        )
-        for node in self._nodes.values():
-            self._index_node(node)
-            node.subscribe(self._on_capacity_change)
+        self._total_cores = 0
+        self._total_memory = 0.0
+        self._dynamic_power_total = 0.0
+        self._idle_power_total = 0.0
+        self._idle: Set[str] = set()
+        for node in nodes:
+            self.add_node(node)
+        if not self._nodes:
+            raise ValueError("a cluster needs at least one node")
 
     # ------------------------------------------------------------------ #
     # Capacity index maintenance
@@ -253,6 +256,8 @@ class Cluster:
         self._free_cores_total += free_cores
         self._free_memory_total += free_memory
         self._reserved_power_total += reserved_power
+        if not node.running:
+            self._idle.add(node.name)
 
     def _on_capacity_change(self, node: ClusterNode) -> None:
         self._capacity_cache = None
@@ -276,6 +281,92 @@ class Cluster:
         if new_power != old_power:
             self._reserved_power_total += new_power - old_power
             self._reserved_power[node.name] = new_power
+        if node.running:
+            self._idle.discard(node.name)
+        else:
+            self._idle.add(node.name)
+
+    # ------------------------------------------------------------------ #
+    # Elastic membership
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: ClusterNode) -> None:
+        """Attach a node to the cluster and start indexing its capacity.
+
+        The elastic scale-up primitive: the node joins the free-capacity
+        index (buckets, aggregates) and the cluster subscribes to its
+        capacity changes, so ``feasible_nodes`` and ``capacity()`` see it
+        immediately without any rescan.
+
+        Args:
+            node: the node to attach; its name must be cluster-unique.
+        """
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        self._order[node.name] = self._next_order
+        self._next_order += 1
+        self._total_cores += node.total.cores
+        self._total_memory += node.total.memory_gib
+        self._dynamic_power_total += node.spec.peak_power_w - node.spec.idle_power_w
+        self._idle_power_total += node.spec.idle_power_w
+        self._index_node(node)
+        node.subscribe(self._on_capacity_change)
+        self._capacity_cache = None
+
+    def remove_node(self, name: str) -> ClusterNode:
+        """Detach an idle node from the cluster (elastic scale-down).
+
+        The node must not be hosting any task -- a caller scaling down must
+        drain or migrate first (:meth:`idle_nodes` lists removable nodes).
+        A cluster never shrinks to zero nodes.
+
+        Args:
+            name: the node to detach.
+
+        Returns:
+            The detached node (no longer indexed or subscribed).
+        """
+        if name not in self._nodes:
+            raise KeyError(f"no node named {name!r}")
+        node = self._nodes[name]
+        if node.running:
+            raise ValueError(
+                f"cannot remove node {name!r}: {len(node.running)} task(s) "
+                "still running -- drain or migrate them first"
+            )
+        if len(self._nodes) == 1:
+            raise ValueError("a cluster needs at least one node")
+        node.unsubscribe(self._on_capacity_change)
+        free_cores = self._free_cores.pop(name)
+        bucket = self._buckets[free_cores]
+        bucket.discard(name)
+        if not bucket:
+            del self._buckets[free_cores]
+        self._free_cores_total -= free_cores
+        self._free_memory_total -= self._free_memory.pop(name)
+        self._reserved_power_total -= self._reserved_power.pop(name)
+        self._total_cores -= node.total.cores
+        self._total_memory -= node.total.memory_gib
+        self._dynamic_power_total -= node.spec.peak_power_w - node.spec.idle_power_w
+        self._idle_power_total -= node.spec.idle_power_w
+        self._idle.discard(name)
+        del self._nodes[name]
+        del self._order[name]
+        self._capacity_cache = None
+        return node
+
+    def idle_nodes(self) -> List[ClusterNode]:
+        """Nodes hosting nothing at all (safe to remove).
+
+        Served from an incrementally maintained idle set (updated on every
+        reserve/release), so a busy cluster answers in O(idle nodes)
+        without scanning its loaded ones.
+
+        Returns:
+            Fully idle nodes in node-insertion order.
+        """
+        names = sorted(self._idle, key=self._order.__getitem__)
+        return [self._nodes[name] for name in names]
 
     def capacity(self) -> CapacitySnapshot:
         """The cluster's free-capacity aggregates, read in O(1).
@@ -367,7 +458,9 @@ class Cluster:
         return [self._nodes[name] for name in names]
 
     def total_idle_power_w(self) -> float:
-        return sum(node.spec.idle_power_w for node in self._nodes.values())
+        # Maintained incrementally on add/remove so the simulator can read
+        # it per event to account idle energy under elastic membership.
+        return self._idle_power_total
 
     def locate(self, task_id: str) -> Optional[ClusterNode]:
         for node in self._nodes.values():

@@ -19,7 +19,10 @@ the task is migrated to the new host.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import MetricsRegistry
 
 from repro.scheduler.cluster import Cluster, ClusterNode
 from repro.scheduler.modeling import PredictionModelSet, ProfilingCampaign
@@ -87,10 +90,19 @@ class HeatsScheduler:
         models: PredictionModelSet,
         config: Optional[HeatsConfig] = None,
         score_cache: Optional[ScoreCacheProtocol] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.models = models
         self.config = config if config is not None else HeatsConfig()
         self.score_cache = score_cache
+        # Placement instruments are bound once; shard schedulers sharing a
+        # registry aggregate into the same pair of instruments.
+        if metrics is not None:
+            self._m_place_calls = metrics.counter("heats.place_calls")
+            self._m_candidates = metrics.histogram("heats.candidates")
+        else:
+            self._m_place_calls = None
+            self._m_candidates = None
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -169,6 +181,9 @@ class HeatsScheduler:
             The best-scoring feasible node's name, or None.
         """
         candidates = cluster.feasible_nodes(request.cores, request.memory_gib)
+        if self._m_place_calls is not None:
+            self._m_place_calls.inc()
+            self._m_candidates.record(float(len(candidates)))
         scored = self.score_candidates(request, candidates)
         if not scored:
             return None
@@ -217,7 +232,13 @@ class HeatsScheduler:
         noise_fraction: float = 0.05,
         seed: int = 7,
         score_cache: Optional[ScoreCacheProtocol] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> "HeatsScheduler":
         """Run the profiling campaign on the cluster and build the scheduler."""
         campaign = ProfilingCampaign(cluster, noise_fraction=noise_fraction, seed=seed).run()
-        return cls(models=campaign.fit(), config=config, score_cache=score_cache)
+        return cls(
+            models=campaign.fit(),
+            config=config,
+            score_cache=score_cache,
+            metrics=metrics,
+        )

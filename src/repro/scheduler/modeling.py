@@ -86,6 +86,24 @@ class PredictionModelSet:
             raise KeyError(f"no learned model for node {node_name!r}")
         return self._models[node_name]
 
+    def add(self, model: NodeModel) -> None:
+        """Merge a newly learned node model (elastic scale-up).
+
+        Args:
+            model: the model for a node joining the cluster; replaces any
+                stale model recorded under the same node name.
+        """
+        self._models[model.node] = model
+
+    def remove(self, node_name: str) -> None:
+        """Drop a node's model (elastic scale-down).
+
+        Args:
+            node_name: the departing node; unknown names are ignored so
+                removal is idempotent.
+        """
+        self._models.pop(node_name, None)
+
     def __contains__(self, node_name: str) -> bool:
         return node_name in self._models
 
@@ -106,11 +124,14 @@ class ProfilingCampaign:
 
     def __init__(
         self,
-        cluster: Cluster,
+        cluster: "Cluster | Sequence[ClusterNode]",
         noise_fraction: float = 0.05,
         seed: int = 7,
         probe_cores: int = 1,
     ) -> None:
+        # ``cluster`` may be a Cluster or any iterable of nodes: probing a
+        # single node joining an elastic shard must not require wrapping it
+        # in a throwaway Cluster (which would subscribe a stray listener).
         if not (0.0 <= noise_fraction < 1.0):
             raise ValueError("noise fraction must be in [0, 1)")
         if probe_cores <= 0:

@@ -53,7 +53,13 @@ class ClusterMonitor:
         for node in self.cluster:
             power = node.power_w()
             rack_power += power
-            self._meters[node.name].sample(time_s, power)
+            meter = self._meters.get(node.name)
+            if meter is None:
+                # Elastic scale-up added this node after the monitor was
+                # built; attach a meter on first sight.
+                meter = PowerSpy(name=f"{node.name}-meter")
+                self._meters[node.name] = meter
+            meter.sample(time_s, power)
             telemetry = NodeTelemetry(
                 time_s=time_s,
                 node=node.name,

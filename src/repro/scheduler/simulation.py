@@ -112,6 +112,21 @@ class SimulationResult:
         }
 
 
+def _integrate_levels(levels: List[Tuple[float, float]], end_s: float) -> float:
+    """Integrate a piecewise-constant level history over [0, end_s].
+
+    With a single (static-topology) level this reduces exactly to
+    ``level * end_s``, the pre-elastic accounting.
+    """
+    total = 0.0
+    for index, (start, level) in enumerate(levels):
+        if start >= end_s:
+            break
+        segment_end = levels[index + 1][0] if index + 1 < len(levels) else end_s
+        total += level * (min(segment_end, end_s) - start)
+    return total
+
+
 class ClusterSimulator:
     """Event-driven execution of a request stream under one policy."""
 
@@ -192,6 +207,13 @@ class ClusterSimulator:
 
         last_monitor_sample = -float("inf")
         current_time = 0.0
+        # Idle power is piecewise constant: it only changes when the node
+        # population does (elastic autoscaling during a reschedule event).
+        # Track the level changes so idle energy can be integrated over
+        # the actual topology history instead of the end-of-run node set.
+        idle_power_levels: List[Tuple[float, float]] = [
+            (0.0, self.cluster.total_idle_power_w())
+        ]
 
         while self._events:
             time_s, kind, _, payload = heapq.heappop(self._events)
@@ -243,9 +265,12 @@ class ClusterSimulator:
                 # reschedule heartbeat (and the event loop) alive forever.
                 if remaining > 0 and (self.engine.running or self._events):
                     self._push(time_s + self.rescheduling_interval_s, self._RESCHEDULE, None)
+            idle_power = self.cluster.total_idle_power_w()
+            if idle_power != idle_power_levels[-1][1]:
+                idle_power_levels.append((time_s, idle_power))
 
         result.makespan_s = max((task.finish_s for task in result.completed), default=0.0)
-        result.idle_energy_j = self.cluster.total_idle_power_w() * result.makespan_s
+        result.idle_energy_j = _integrate_levels(idle_power_levels, result.makespan_s)
         result.migrations = list(self.engine.migrations)
         result.unplaced.extend(request.task_id for request in pending)
         return result

@@ -13,11 +13,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.hardware.microserver import WorkloadKind
 from repro.scheduler.workload import TaskRequest
 from repro.serving.gateway import ServingRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import MetricsRegistry
 
 #: batch key: (tenant, use case, workload kind, cores, memory bucket)
 BatchKey = Tuple[str, str, WorkloadKind, int, int]
@@ -93,10 +96,21 @@ class Batch:
 class Batcher:
     """Open-batch table keyed by (tenant, use case, resource shape)."""
 
-    def __init__(self, policy: Optional[BatchPolicy] = None) -> None:
+    def __init__(
+        self,
+        policy: Optional[BatchPolicy] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self.policy = policy if policy is not None else BatchPolicy()
         self._open: Dict[BatchKey, Batch] = {}
         self._ids = itertools.count()
+        # Bound once; each flush records one counter add + one ring write.
+        if metrics is not None:
+            self._m_flushes = metrics.counter("batcher.flushes")
+            self._m_batch_size = metrics.histogram("batcher.batch_size")
+        else:
+            self._m_flushes = None
+            self._m_batch_size = None
 
     def _key(self, request: ServingRequest) -> BatchKey:
         bucket = int(request.memory_gib / self.policy.memory_bucket_gib)
@@ -145,4 +159,7 @@ class Batcher:
     def _flush(self, key: BatchKey, now_s: float) -> Batch:
         batch = self._open.pop(key)
         batch.flushed_s = now_s
+        if self._m_flushes is not None:
+            self._m_flushes.inc()
+            self._m_batch_size.record(float(batch.size))
         return batch

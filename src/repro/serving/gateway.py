@@ -13,9 +13,12 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence
 
 from repro.hardware.microserver import WorkloadKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -103,7 +106,13 @@ class TokenBucket:
     def _refill(self, now_s: float) -> None:
         if now_s < self._last_refill_s:
             raise ValueError("token bucket observed time going backwards")
-        elapsed = now_s - self._last_refill_s
+        # Clamp the credited gap to the time a drained bucket needs to fill
+        # completely.  Any longer simulated-time jump (an idle tenant, a
+        # coarse replay tick, or a pathological horizon) is equivalent to a
+        # full bucket -- and the clamp keeps ``elapsed * rate`` finite, so
+        # an extreme jump can never over-credit past ``burst`` through
+        # float overflow of the refill product.
+        elapsed = min(now_s - self._last_refill_s, self.burst / self.rate_per_s)
         self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
         self._last_refill_s = now_s
 
@@ -142,11 +151,27 @@ class GatewayStats:
 class RequestGateway:
     """Admission control front door: one token bucket + queue per tenant."""
 
-    def __init__(self, tenants: Sequence[Tenant] = ()) -> None:
+    def __init__(
+        self,
+        tenants: Sequence[Tenant] = (),
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self._tenants: Dict[str, Tenant] = {}
         self._buckets: Dict[str, TokenBucket] = {}
         self._queues: Dict[str, Deque[ServingRequest]] = {}
         self._stats: Dict[str, GatewayStats] = {}
+        # Admission instruments are bound once; the per-offer hot path does
+        # a constant number of float adds, no registry lookups.
+        if metrics is not None:
+            self._m_offered = metrics.counter("gateway.offered")
+            self._m_admitted = metrics.counter("gateway.admitted")
+            self._m_rejected = metrics.counter("gateway.rejected")
+            self._m_queue_depth = metrics.gauge("gateway.queue_depth")
+        else:
+            self._m_offered = None
+            self._m_admitted = None
+            self._m_rejected = None
+            self._m_queue_depth = None
         for tenant in tenants:
             self.register(tenant)
 
@@ -180,17 +205,26 @@ class RequestGateway:
             return AdmissionDecision.REJECTED_UNKNOWN_TENANT
         stats = self._stats[request.tenant]
         stats.offered += 1
+        if self._m_offered is not None:
+            self._m_offered.inc()
         # Check queue capacity before consuming a token so a queue-full
         # rejection does not also burn the tenant's rate budget.
         queue = self._queues[request.tenant]
         if len(queue) >= self._tenants[request.tenant].max_queue_depth:
             stats.rejected_queue_full += 1
+            if self._m_rejected is not None:
+                self._m_rejected.inc()
             return AdmissionDecision.REJECTED_QUEUE_FULL
         if not self._buckets[request.tenant].try_consume(now):
             stats.rejected_rate_limit += 1
+            if self._m_rejected is not None:
+                self._m_rejected.inc()
             return AdmissionDecision.REJECTED_RATE_LIMIT
         queue.append(request)
         stats.admitted += 1
+        if self._m_admitted is not None:
+            self._m_admitted.inc()
+            self._m_queue_depth.add(1.0)
         return AdmissionDecision.ADMITTED
 
     def drain(self, limit: Optional[int] = None) -> List[ServingRequest]:
@@ -204,6 +238,8 @@ class RequestGateway:
                 drained.append(queue.popleft())
                 if not queue:
                     queues.remove(queue)
+        if self._m_queue_depth is not None and drained:
+            self._m_queue_depth.add(-float(len(drained)))
         return drained
 
     # ------------------------------------------------------------------ #

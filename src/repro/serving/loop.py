@@ -15,7 +15,10 @@ to the member requests to produce per-tenant SLA telemetry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import MetricsRegistry
 
 from repro.scheduler.cluster import Cluster
 from repro.scheduler.simulation import ClusterSimulator, SchedulerProtocol, SimulationResult
@@ -89,6 +92,9 @@ class ServingReport:
     #: routing telemetry when the backend is a federation (a
     #: :class:`~repro.federation.federation.FederationStats`), else None.
     federation_stats: Optional[object] = None
+    #: elastic-scaling telemetry when an autoscaler drove the run (an
+    #: :class:`~repro.autoscale.controller.AutoscaleReport`), else None.
+    autoscale_report: Optional[object] = None
 
     @property
     def rejected(self) -> int:
@@ -152,6 +158,11 @@ class ServingReport:
                 if self.federation_stats is not None
                 else {}
             ),
+            **(
+                {"autoscale": self.autoscale_report.summary()}
+                if self.autoscale_report is not None
+                else {}
+            ),
         }
 
 
@@ -166,13 +177,14 @@ class ServingLoop:
         batch_policy: Optional[BatchPolicy] = None,
         tracker: Optional[SlaTracker] = None,
         flush_tick_s: float = 0.5,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         if flush_tick_s <= 0:
             raise ValueError("flush tick must be positive")
         self.cluster = cluster
         self.scheduler = scheduler
         self.gateway = gateway
-        self.batcher = Batcher(batch_policy)
+        self.batcher = Batcher(batch_policy, metrics=metrics)
         self.tracker = tracker if tracker is not None else SlaTracker()
         self.flush_tick_s = flush_tick_s
         self._consumed = False
@@ -284,6 +296,7 @@ class ServingLoop:
         # overall numbers always agree with the per-tenant reports.
         tenant_reports = self.tracker.reports(horizon)
         cache = getattr(self.scheduler, "score_cache", None)
+        autoscaler = getattr(self.scheduler, "autoscaler", None)
         return ServingReport(
             tenant_reports=tenant_reports,
             simulation=simulation,
@@ -296,4 +309,7 @@ class ServingLoop:
             latencies_s=latencies,
             cache_stats=getattr(cache, "stats", None),
             federation_stats=getattr(self.scheduler, "federation_stats", None),
+            autoscale_report=(
+                autoscaler.report(horizon) if autoscaler is not None else None
+            ),
         )

@@ -1,0 +1,46 @@
+"""Cluster-wide metrics pipeline: record in O(1), roll up on demand.
+
+The serving and scheduling hot paths (gateway admission, batch flushes,
+HEATS placement, shard routing) emit observations into a shared
+:class:`MetricsRegistry`; consumers -- the autoscale control loop,
+exporters, benchmarks -- read windowed rollups without ever slowing the
+recording side down:
+
+* :mod:`repro.telemetry.metrics`  -- :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram` backed by a fixed-size :class:`RingBuffer`; recording
+  is O(1) with no per-event aggregation, rollups (windowed EWMA, linear
+  quantiles, means) run at read time.
+* :mod:`repro.telemetry.registry` -- the named-instrument bus and the
+  immutable :class:`MetricsSnapshot` view.
+* :mod:`repro.telemetry.export`   -- pluggable exporters: text rendering
+  for benchmark result files, in-memory history for tests/controllers.
+"""
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, RingBuffer
+from repro.telemetry.registry import (
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.telemetry.export import (
+    Exporter,
+    InMemoryExporter,
+    TextExporter,
+    export_text,
+    render_text,
+)
+
+__all__ = [
+    "Counter",
+    "Exporter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "InMemoryExporter",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "RingBuffer",
+    "TextExporter",
+    "export_text",
+    "render_text",
+]

@@ -1,0 +1,114 @@
+"""Pluggable exporters rendering metric snapshots off the hot path.
+
+An exporter consumes :class:`~repro.telemetry.registry.MetricsSnapshot`
+objects -- never live instruments -- so exporting can happen at any cadence
+without perturbing the recording paths.  Two concrete exporters cover the
+repo's needs: a text renderer for benchmark result files and human
+inspection, and an in-memory collector tests and the autoscale controller
+use to look at signal history.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+from repro.telemetry.registry import MetricsRegistry, MetricsSnapshot
+
+
+class Exporter(Protocol):
+    """What the telemetry layer needs from an exporter sink."""
+
+    def export(self, snapshot: MetricsSnapshot) -> None:
+        """Consume one point-in-time snapshot."""
+        ...
+
+
+class InMemoryExporter:
+    """Keeps every exported snapshot; the test/controller-facing sink."""
+
+    def __init__(self) -> None:
+        """Create the exporter with an empty history."""
+        self.snapshots: List[MetricsSnapshot] = []
+
+    def export(self, snapshot: MetricsSnapshot) -> None:
+        """Append one snapshot to the history.
+
+        Args:
+            snapshot: the snapshot to retain.
+        """
+        self.snapshots.append(snapshot)
+
+    @property
+    def latest(self) -> MetricsSnapshot:
+        """The most recently exported snapshot."""
+        if not self.snapshots:
+            raise LookupError("nothing exported yet")
+        return self.snapshots[-1]
+
+
+class TextExporter:
+    """Renders snapshots as fixed-width text (benchmark result files)."""
+
+    def __init__(self) -> None:
+        """Create the exporter with an empty buffer."""
+        self.lines: List[str] = []
+
+    def export(self, snapshot: MetricsSnapshot) -> None:
+        """Render one snapshot into the text buffer.
+
+        Args:
+            snapshot: the snapshot to render.
+        """
+        self.lines.append(render_text(snapshot))
+
+    @property
+    def text(self) -> str:
+        """All rendered snapshots, separated by blank lines."""
+        return "\n\n".join(self.lines)
+
+
+def render_text(snapshot: MetricsSnapshot) -> str:
+    """One snapshot as aligned ``name  kind  value`` text lines.
+
+    Args:
+        snapshot: the snapshot to render.
+
+    Returns:
+        The text block (deterministic order: counters, gauges, histograms,
+        each sorted by name).
+    """
+    rows: List[tuple] = []
+    for name in sorted(snapshot.counters):
+        rows.append((name, "counter", f"{snapshot.counters[name]:.6g}"))
+    for name in sorted(snapshot.gauges):
+        rows.append((name, "gauge", f"{snapshot.gauges[name]:.6g}"))
+    for name in sorted(snapshot.histograms):
+        h = snapshot.histograms[name]
+        rows.append(
+            (
+                name,
+                "histogram",
+                f"count={h.count} mean={h.window_mean:.4g} "
+                f"ewma={h.ewma:.4g} p50={h.p50:.4g} p99={h.p99:.4g}",
+            )
+        )
+    if not rows:
+        return "(no metrics)"
+    name_width = max(len(row[0]) for row in rows)
+    kind_width = max(len(row[1]) for row in rows)
+    return "\n".join(
+        f"{name.ljust(name_width)}  {kind.ljust(kind_width)}  {value}"
+        for name, kind, value in rows
+    )
+
+
+def export_text(registry: MetricsRegistry) -> str:
+    """Convenience: snapshot a registry and render it as text.
+
+    Args:
+        registry: the live registry to snapshot.
+
+    Returns:
+        The rendered text block.
+    """
+    return render_text(registry.snapshot())

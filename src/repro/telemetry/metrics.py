@@ -1,0 +1,259 @@
+"""Metric primitives: O(1) recording, windowed rollups computed at read time.
+
+The hot paths these metrics instrument (gateway admission, batch flushes,
+HEATS placement, shard routing) run once per request or per batch, so the
+recording side must stay O(1) and must not build intermediate aggregation
+objects.  Each primitive therefore does constant work per observation:
+
+* :class:`Counter` -- a monotone float add.
+* :class:`Gauge`   -- a float store.
+* :class:`Histogram` -- one write into a pre-allocated ring buffer (the
+  *window*) plus running count/sum updates.
+
+Everything allocation-heavy -- sorting for quantiles, EWMA smoothing,
+snapshot rendering -- happens in the *rollup* methods, which only run when
+a reader (an exporter, the autoscale controller, a test) asks.  A rollup
+always describes the current window: the last ``window`` recorded samples
+in insertion order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class RingBuffer:
+    """Fixed-size overwrite-oldest sample store with O(1) append.
+
+    The backing list is pre-allocated once; recording writes one slot and
+    bumps two integers, so a full buffer costs exactly as much to record
+    into as an empty one and never allocates on the hot path.
+    """
+
+    __slots__ = ("_slots", "_capacity", "_next", "_filled")
+
+    def __init__(self, capacity: int) -> None:
+        """Pre-allocate the sample slots.
+
+        Args:
+            capacity: window length; the buffer keeps the most recent
+                ``capacity`` samples.
+        """
+        if capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        self._slots: List[float] = [0.0] * capacity
+        self._capacity = capacity
+        self._next = 0
+        self._filled = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained samples."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._filled
+
+    def record(self, value: float) -> None:
+        """Append one sample, overwriting the oldest when full.
+
+        Args:
+            value: the observation to retain.
+        """
+        self._slots[self._next] = value
+        self._next += 1
+        if self._next == self._capacity:
+            self._next = 0
+        if self._filled < self._capacity:
+            self._filled += 1
+
+    def values(self) -> List[float]:
+        """The retained samples, oldest first (allocates; read path only).
+
+        Returns:
+            A fresh list of the window's samples in insertion order.
+        """
+        if self._filled < self._capacity:
+            return self._slots[: self._filled]
+        return self._slots[self._next :] + self._slots[: self._next]
+
+
+class Counter:
+    """Monotonically increasing total; recording is one float add."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        """Create the counter at zero.
+
+        Args:
+            name: registry-unique metric name.
+        """
+        self.name = name
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add to the total; negative increments are rejected.
+
+        Args:
+            amount: non-negative increment (default 1).
+        """
+        if amount < 0:
+            raise ValueError("counters are monotone; increment must be >= 0")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The accumulated total."""
+        return self._value
+
+
+class Gauge:
+    """Last-written value; recording is one float store."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        """Create the gauge at zero.
+
+        Args:
+            name: registry-unique metric name.
+        """
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Store the current level.
+
+        Args:
+            value: the new gauge reading.
+        """
+        self._value = value
+
+    def add(self, delta: float) -> None:
+        """Adjust the current level in place.
+
+        Args:
+            delta: signed adjustment.
+        """
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        """The most recent reading."""
+        return self._value
+
+
+class Histogram:
+    """Sample distribution over a fixed window, with O(1) recording.
+
+    Observations land in a pre-allocated :class:`RingBuffer`; lifetime
+    ``count`` and ``total`` are running scalars.  The distribution rollups
+    (:meth:`quantile`, :meth:`ewma`, :meth:`window_mean`) are computed from
+    the window on demand, never on the recording path.
+    """
+
+    __slots__ = ("name", "_ring", "_count", "_total")
+
+    #: default window length; ~1k samples bounds rollup cost while covering
+    #: several control intervals of serving traffic.
+    DEFAULT_WINDOW = 1024
+
+    def __init__(self, name: str, window: int = DEFAULT_WINDOW) -> None:
+        """Create the histogram with an empty window.
+
+        Args:
+            name: registry-unique metric name.
+            window: ring-buffer capacity (number of retained samples).
+        """
+        self.name = name
+        self._ring = RingBuffer(window)
+        self._count = 0
+        self._total = 0.0
+
+    def record(self, value: float) -> None:
+        """Record one observation in O(1).
+
+        Args:
+            value: the observation.
+        """
+        self._ring.record(value)
+        self._count += 1
+        self._total += value
+
+    @property
+    def count(self) -> int:
+        """Lifetime number of recorded observations."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Lifetime sum of recorded observations."""
+        return self._total
+
+    @property
+    def window(self) -> int:
+        """The configured window length."""
+        return self._ring.capacity
+
+    def window_values(self) -> List[float]:
+        """The windowed raw samples, oldest first.
+
+        Returns:
+            A fresh list (the rollup input; empty when nothing recorded).
+        """
+        return self._ring.values()
+
+    def window_mean(self) -> float:
+        """Arithmetic mean over the window (0.0 when empty).
+
+        Returns:
+            The windowed mean.
+        """
+        values = self._ring.values()
+        return sum(values) / len(values) if values else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile over the window (0.0 when empty).
+
+        Args:
+            q: quantile in [0, 1] (0.5 = median, 0.99 = p99).
+
+        Returns:
+            The windowed quantile.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ValueError("quantile must be in [0, 1]")
+        values = sorted(self._ring.values())
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return values[0]
+        position = q * (len(values) - 1)
+        low = int(position)
+        high = min(low + 1, len(values) - 1)
+        fraction = position - low
+        return values[low] * (1.0 - fraction) + values[high] * fraction
+
+    def ewma(self, alpha: float = 0.3) -> float:
+        """Exponentially weighted moving average over the window.
+
+        Smoothing walks the window oldest-to-newest, so the most recent
+        samples dominate -- the "current level" signal the autoscale
+        controller reads.
+
+        Args:
+            alpha: smoothing factor in (0, 1]; larger reacts faster.
+
+        Returns:
+            The windowed EWMA (0.0 when empty).
+        """
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("EWMA alpha must be in (0, 1]")
+        values = self._ring.values()
+        if not values:
+            return 0.0
+        level = values[0]
+        for value in values[1:]:
+            level = alpha * value + (1.0 - alpha) * level
+        return level

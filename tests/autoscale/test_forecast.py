@@ -1,0 +1,93 @@
+"""Forecaster tests: EWMA level tracking and Holt-Winters trend/season."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autoscale import EwmaForecaster, HoltWintersForecaster
+
+
+class TestEwmaForecaster:
+    def test_constant_series_converges_to_level(self):
+        forecaster = EwmaForecaster(alpha=0.5)
+        for _ in range(20):
+            forecaster.observe(40.0)
+        assert forecaster.forecast() == pytest.approx(40.0)
+
+    def test_empty_forecast_is_zero(self):
+        assert EwmaForecaster().forecast() == 0.0
+
+    def test_first_observation_seeds_level(self):
+        forecaster = EwmaForecaster(alpha=0.2)
+        forecaster.observe(12.0)
+        assert forecaster.level == pytest.approx(12.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaForecaster(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaForecaster().forecast(steps=0)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_level_stays_within_observed_range(self, values, alpha):
+        forecaster = EwmaForecaster(alpha=alpha)
+        for value in values:
+            forecaster.observe(value)
+        assert min(values) - 1e-6 <= forecaster.forecast() <= max(values) + 1e-6
+
+
+class TestHoltWintersForecaster:
+    def test_linear_trend_is_extrapolated(self):
+        forecaster = HoltWintersForecaster(alpha=0.8, beta=0.8)
+        for step in range(30):
+            forecaster.observe(10.0 + 5.0 * step)  # rate rising 5/tick
+        one_ahead = forecaster.forecast(1)
+        # The last observation was 10 + 5*29 = 155; the forecast must see
+        # the rise coming, not lag at the level.
+        assert one_ahead > 155.0
+        assert forecaster.forecast(4) > one_ahead
+
+    def test_constant_series_has_no_trend(self):
+        forecaster = HoltWintersForecaster()
+        for _ in range(25):
+            forecaster.observe(60.0)
+        assert forecaster.trend == pytest.approx(0.0, abs=1e-6)
+        assert forecaster.forecast(10) == pytest.approx(60.0, rel=0.01)
+
+    def test_forecast_is_floored_at_zero(self):
+        forecaster = HoltWintersForecaster(alpha=0.9, beta=0.9)
+        for value in (100.0, 50.0, 10.0, 0.0, 0.0):
+            forecaster.observe(value)
+        assert forecaster.forecast(10) == 0.0
+
+    def test_seasonal_cycle_is_learned(self):
+        period = 4
+        cycle = [10.0, 80.0, 10.0, 10.0]
+        forecaster = HoltWintersForecaster(
+            alpha=0.3, beta=0.1, gamma=0.6, season_period=period
+        )
+        for repeat in range(12):
+            for value in cycle:
+                forecaster.observe(value)
+        # Next step is the spike position of the cycle: the seasonal
+        # component must predict it well above the off-peak level.
+        assert forecaster.forecast(2) > forecaster.forecast(1) + 20.0
+
+    def test_empty_forecast_is_zero(self):
+        assert HoltWintersForecaster().forecast() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HoltWintersForecaster(alpha=1.5)
+        with pytest.raises(ValueError):
+            HoltWintersForecaster(beta=-0.1)
+        with pytest.raises(ValueError):
+            HoltWintersForecaster(season_period=1)
+        with pytest.raises(ValueError):
+            HoltWintersForecaster().forecast(steps=0)

@@ -1,0 +1,182 @@
+"""Elastic cluster membership: the capacity index under add/remove.
+
+The incremental free-capacity index was built for a fixed population; the
+autoscaler now adds and removes nodes mid-run.  These tests pin the index
+(buckets, aggregates, feasibility, idle lookup) to a from-scratch rebuild
+after arbitrary interleavings of membership changes and reservations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.microserver import MICROSERVER_CATALOG
+from repro.scheduler.cluster import Cluster, ClusterNode
+
+MODELS = sorted(MICROSERVER_CATALOG)
+
+
+def fresh_node(index, model="xeon-d-x86"):
+    return ClusterNode(name=f"elastic-{index}-{model}", spec=MICROSERVER_CATALOG[model])
+
+
+def assert_index_matches_rebuild(cluster):
+    """The live (incremental) aggregates must equal a from-scratch scan."""
+    capacity = cluster.capacity()
+    assert capacity.free_cores == sum(n.available.cores for n in cluster)
+    assert capacity.total_cores == sum(n.total.cores for n in cluster)
+    assert capacity.free_memory_gib == pytest.approx(
+        sum(n.available.memory_gib for n in cluster)
+    )
+    assert capacity.total_memory_gib == pytest.approx(
+        sum(n.total.memory_gib for n in cluster)
+    )
+    for cores, memory in ((1, 0.5), (4, 2.0), (16, 8.0)):
+        expected = [n.name for n in cluster if n.available.fits(cores, memory)]
+        assert [n.name for n in cluster.feasible_nodes(cores, memory)] == expected
+
+
+class TestAddNode:
+    def test_added_node_is_immediately_feasible(self):
+        cluster = Cluster.heats_testbed(scale=1)
+        node = fresh_node(0)
+        before = cluster.capacity().total_cores
+        cluster.add_node(node)
+        assert cluster.capacity().total_cores == before + node.total.cores
+        assert node in cluster.feasible_nodes(1, 0.1)
+        assert_index_matches_rebuild(cluster)
+
+    def test_added_node_updates_index_on_reserve(self):
+        cluster = Cluster.heats_testbed(scale=1)
+        node = fresh_node(0)
+        cluster.add_node(node)
+        node.reserve("t", node.total.cores, 1.0)
+        assert node not in cluster.feasible_nodes(1, 0.1)
+        assert_index_matches_rebuild(cluster)
+
+    def test_duplicate_name_rejected(self):
+        cluster = Cluster.heats_testbed(scale=1)
+        cluster.add_node(fresh_node(0))
+        with pytest.raises(ValueError, match="duplicate"):
+            cluster.add_node(fresh_node(0))
+
+
+class TestRemoveNode:
+    def test_removed_node_leaves_index_and_stops_notifying(self):
+        cluster = Cluster.heats_testbed(scale=1)
+        node = fresh_node(0)
+        cluster.add_node(node)
+        removed = cluster.remove_node(node.name)
+        assert removed is node
+        assert node.name not in [n.name for n in cluster]
+        assert_index_matches_rebuild(cluster)
+        # Reservations on a detached node must not corrupt the old index.
+        before = cluster.capacity()
+        node.reserve("t", 1, 0.5)
+        assert cluster.capacity() == before
+
+    def test_busy_node_cannot_be_removed(self):
+        cluster = Cluster.heats_testbed(scale=1)
+        node = cluster.nodes[0]
+        node.reserve("t", 1, 0.5)
+        with pytest.raises(ValueError, match="still running"):
+            cluster.remove_node(node.name)
+
+    def test_last_node_cannot_be_removed(self):
+        cluster = Cluster(
+            [ClusterNode(name="only", spec=MICROSERVER_CATALOG["xeon-d-x86"])]
+        )
+        with pytest.raises(ValueError, match="at least one node"):
+            cluster.remove_node("only")
+
+    def test_unknown_node_raises(self):
+        cluster = Cluster.heats_testbed(scale=1)
+        with pytest.raises(KeyError):
+            cluster.remove_node("ghost")
+
+
+class TestIdleNodes:
+    def test_only_fully_idle_nodes_are_listed(self):
+        cluster = Cluster.heats_testbed(scale=1)
+        busy = cluster.nodes[0]
+        busy.reserve("t", 1, 0.5)
+        idle_names = [n.name for n in cluster.idle_nodes()]
+        assert busy.name not in idle_names
+        assert len(idle_names) == len(cluster) - 1
+        busy.release("t")
+        assert len(cluster.idle_nodes()) == len(cluster)
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("add"), st.sampled_from(MODELS)),
+            st.tuples(st.just("remove"), st.integers(min_value=0, max_value=7)),
+            st.tuples(st.just("reserve"), st.integers(min_value=0, max_value=7)),
+            st.tuples(st.just("release"), st.integers(min_value=0, max_value=7)),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_index_survives_arbitrary_membership_and_load_interleavings(operations):
+    cluster = Cluster.heats_testbed(scale=1)
+    added = 0
+    task_ids = iter(range(10_000))
+    for op, arg in operations:
+        nodes = cluster.nodes
+        if op == "add":
+            cluster.add_node(fresh_node(added, arg))
+            added += 1
+        elif op == "remove":
+            node = nodes[arg % len(nodes)]
+            if not node.running and len(nodes) > 1:
+                cluster.remove_node(node.name)
+        elif op == "reserve":
+            node = nodes[arg % len(nodes)]
+            if node.available.cores >= 1 and node.available.memory_gib >= 0.5:
+                node.reserve(f"task-{next(task_ids)}", 1, 0.5)
+        elif op == "release":
+            node = nodes[arg % len(nodes)]
+            if node.running:
+                node.release(next(iter(node.running)))
+    assert_index_matches_rebuild(cluster)
+    idle = {n.name for n in cluster.idle_nodes()}
+    expected_idle = {n.name for n in cluster if not n.running}
+    assert idle == expected_idle
+
+
+class TestElasticIdlePower:
+    def test_total_idle_power_tracks_membership(self):
+        cluster = Cluster.heats_testbed(scale=1)
+        expected = sum(n.spec.idle_power_w for n in cluster)
+        assert cluster.total_idle_power_w() == pytest.approx(expected)
+        node = fresh_node(0)
+        cluster.add_node(node)
+        assert cluster.total_idle_power_w() == pytest.approx(
+            expected + node.spec.idle_power_w
+        )
+        cluster.remove_node(node.name)
+        assert cluster.total_idle_power_w() == pytest.approx(expected)
+
+
+class TestIdleEnergyIntegration:
+    def test_piecewise_integral_reduces_to_constant_for_static_topology(self):
+        from repro.scheduler.simulation import _integrate_levels
+
+        assert _integrate_levels([(0.0, 50.0)], 10.0) == pytest.approx(500.0)
+
+    def test_piecewise_integral_charges_each_topology_era(self):
+        from repro.scheduler.simulation import _integrate_levels
+
+        # 4 nodes' power for 10 s, 6 nodes' for 10 s, back to 4 for 10 s.
+        levels = [(0.0, 40.0), (10.0, 60.0), (20.0, 40.0)]
+        assert _integrate_levels(levels, 30.0) == pytest.approx(
+            40.0 * 10 + 60.0 * 10 + 40.0 * 10
+        )
+        # Integration clips at the makespan, ignoring later level changes.
+        assert _integrate_levels(levels, 15.0) == pytest.approx(40.0 * 10 + 60.0 * 5)
+        assert _integrate_levels(levels + [(40.0, 99.0)], 30.0) == pytest.approx(1400.0)

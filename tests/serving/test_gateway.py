@@ -156,3 +156,62 @@ class TestValidation:
                 memory_gib=1.0,
                 deadline_s=4.0,
             )
+
+
+class TestTokenBucketLargeTimeJump:
+    """Regression: a huge simulated-time gap must not over-credit a tenant."""
+
+    def test_large_tick_jump_refills_exactly_to_burst(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=5)
+        assert all(bucket.try_consume(0.0) for _ in range(5))  # drained
+        # A pathological horizon jump: the refill product would overflow
+        # without the elapsed clamp; the bucket must hold exactly `burst`.
+        assert bucket.available(1e308) == pytest.approx(5.0)
+        assert all(bucket.try_consume(1e308) for _ in range(5))
+        assert not bucket.try_consume(1e308)
+
+    def test_rate_resumes_normally_after_a_jump(self):
+        bucket = TokenBucket(rate_per_s=2.0, burst=4)
+        for _ in range(4):
+            assert bucket.try_consume(0.0)
+        assert bucket.available(1e6) == pytest.approx(4.0)
+        for _ in range(4):
+            assert bucket.try_consume(1e6)
+        # Post-jump refill proceeds at the configured rate, not more.
+        assert not bucket.try_consume(1e6 + 0.4)  # only 0.8 tokens back
+        assert bucket.try_consume(1e6 + 0.5)  # 1.0 token back
+
+    def test_gateway_admission_after_idle_gap_is_bounded_by_burst(self):
+        gateway = RequestGateway([Tenant(name="acme", rate_limit_rps=1.0, burst=3)])
+        for i in range(3):
+            assert gateway.offer(make_request(f"warm{i}", "acme", arrival_s=0.0)).admitted
+        gateway.drain()
+        # After a week of simulated idleness the tenant gets its burst
+        # back -- and not one request more.
+        idle_end = 7 * 24 * 3600.0
+        decisions = [
+            gateway.offer(make_request(f"cold{i}", "acme", arrival_s=idle_end))
+            for i in range(5)
+        ]
+        assert decisions.count(AdmissionDecision.ADMITTED) == 3
+        assert decisions.count(AdmissionDecision.REJECTED_RATE_LIMIT) == 2
+
+
+class TestGatewayMetrics:
+    def test_admission_hot_path_records_into_the_bus(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        gateway = RequestGateway(
+            [Tenant(name="acme", rate_limit_rps=1.0, burst=2, max_queue_depth=8)],
+            metrics=registry,
+        )
+        for i in range(4):
+            gateway.offer(make_request(f"r{i}", "acme", arrival_s=0.0))
+        snapshot = registry.snapshot()
+        assert snapshot.counter("gateway.offered") == 4.0
+        assert snapshot.counter("gateway.admitted") == 2.0
+        assert snapshot.counter("gateway.rejected") == 2.0
+        assert snapshot.gauges["gateway.queue_depth"] == 2.0
+        gateway.drain()
+        assert registry.snapshot().gauges["gateway.queue_depth"] == 0.0

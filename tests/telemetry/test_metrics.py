@@ -1,0 +1,177 @@
+"""Telemetry unit tests: instruments, registry, exporters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    InMemoryExporter,
+    MetricsRegistry,
+    RingBuffer,
+    TextExporter,
+    export_text,
+    render_text,
+)
+
+
+class TestRingBuffer:
+    def test_partial_fill_keeps_insertion_order(self):
+        ring = RingBuffer(4)
+        for value in (1.0, 2.0, 3.0):
+            ring.record(value)
+        assert ring.values() == [1.0, 2.0, 3.0]
+        assert len(ring) == 3
+
+    def test_overwrites_oldest_when_full(self):
+        ring = RingBuffer(3)
+        for value in range(6):
+            ring.record(float(value))
+        assert ring.values() == [3.0, 4.0, 5.0]
+        assert len(ring) == 3
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1.0)
+
+    def test_gauge_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(4.0)
+        gauge.add(-1.5)
+        assert gauge.value == pytest.approx(2.5)
+
+
+class TestHistogram:
+    def test_lifetime_count_survives_window_eviction(self):
+        histogram = Histogram("h", window=4)
+        for value in range(10):
+            histogram.record(float(value))
+        assert histogram.count == 10
+        assert histogram.total == pytest.approx(sum(range(10)))
+        assert histogram.window_values() == [6.0, 7.0, 8.0, 9.0]
+
+    def test_quantile_interpolates(self):
+        histogram = Histogram("h", window=8)
+        for value in (0.0, 10.0):
+            histogram.record(value)
+        assert histogram.quantile(0.5) == pytest.approx(5.0)
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(1.0) == 10.0
+
+    def test_empty_rollups_are_zero(self):
+        histogram = Histogram("h")
+        assert histogram.quantile(0.99) == 0.0
+        assert histogram.ewma() == 0.0
+        assert histogram.window_mean() == 0.0
+
+    def test_ewma_weighs_recent_samples(self):
+        histogram = Histogram("h", window=16)
+        for _ in range(8):
+            histogram.record(0.0)
+        for _ in range(8):
+            histogram.record(10.0)
+        assert histogram.ewma(alpha=0.5) > 9.0
+
+    def test_validation(self):
+        histogram = Histogram("h")
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.ewma(alpha=0.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_name_collision_across_kinds_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_snapshot_is_decoupled_from_live_instruments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        counter.inc(3)
+        snapshot = registry.snapshot()
+        counter.inc(5)
+        assert snapshot.counter("requests") == 3.0
+        assert registry.snapshot().counter("requests") == 8.0
+        assert snapshot.counter("missing", default=-1.0) == -1.0
+
+    def test_snapshot_rolls_up_histograms(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency", window=8)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.record(value)
+        rolled = registry.snapshot().histograms["latency"]
+        assert rolled.count == 4
+        assert rolled.window_mean == pytest.approx(2.5)
+        assert rolled.p50 == pytest.approx(2.5)
+
+    def test_names_sorted_across_kinds(self):
+        registry = MetricsRegistry()
+        registry.histogram("b")
+        registry.counter("c")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b", "c"]
+
+
+class TestExporters:
+    def test_in_memory_exporter_keeps_history(self):
+        registry = MetricsRegistry()
+        exporter = InMemoryExporter()
+        registry.counter("n").inc()
+        exporter.export(registry.snapshot())
+        registry.counter("n").inc()
+        exporter.export(registry.snapshot())
+        assert len(exporter.snapshots) == 2
+        assert exporter.latest.counter("n") == 2.0
+
+    def test_in_memory_exporter_empty_latest_raises(self):
+        with pytest.raises(LookupError):
+            InMemoryExporter().latest
+
+    def test_text_exporter_renders_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("gateway.offered").inc(7)
+        registry.gauge("queue.depth").set(3.0)
+        registry.histogram("delay", window=4).record(1.5)
+        text = export_text(registry)
+        assert "gateway.offered" in text
+        assert "counter" in text and "gauge" in text and "histogram" in text
+        exporter = TextExporter()
+        exporter.export(registry.snapshot())
+        assert exporter.text == text
+
+    def test_render_empty_snapshot(self):
+        assert render_text(MetricsRegistry().snapshot()) == "(no metrics)"
+
+
+class TestCounterValues:
+    def test_counter_values_reads_totals_without_rollups(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.counter("b").inc(3)
+        registry.histogram("h").record(1.0)
+        assert registry.counter_values() == {"a": 2.0, "b": 3.0}

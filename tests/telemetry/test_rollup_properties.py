@@ -1,0 +1,110 @@
+"""Property tests (hypothesis): windowed rollups match brute force.
+
+The histogram's rollups are served from a ring buffer updated in O(1) per
+record; these properties pin the ring/rollup machinery to an independent
+brute-force recompute over the raw record sequence for arbitrary inputs:
+the window must be exactly the last ``window`` samples in order, EWMA and
+quantiles over it must match recomputation from scratch, and counters must
+be monotone under arbitrary increment sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import Counter, Histogram
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=200,
+)
+windows = st.integers(min_value=1, max_value=64)
+
+
+def brute_force_window(values, window):
+    """The samples a ``window``-sized ring must retain, oldest first."""
+    return list(values[-window:])
+
+
+def brute_force_ewma(values, alpha):
+    level = values[0]
+    for value in values[1:]:
+        level = alpha * value + (1.0 - alpha) * level
+    return level
+
+
+@given(samples, windows)
+@settings(max_examples=150, deadline=None)
+def test_window_is_exactly_the_last_n_records(values, window):
+    histogram = Histogram("h", window=window)
+    for value in values:
+        histogram.record(value)
+    assert histogram.window_values() == brute_force_window(values, window)
+    assert histogram.count == len(values)
+    assert histogram.total == pytest.approx(sum(values), rel=1e-9, abs=1e-6)
+
+
+@given(samples, windows, st.floats(min_value=0.01, max_value=1.0))
+@settings(max_examples=150, deadline=None)
+def test_ewma_matches_brute_force_recompute(values, window, alpha):
+    histogram = Histogram("h", window=window)
+    for value in values:
+        histogram.record(value)
+    expected_window = brute_force_window(values, window)
+    if not expected_window:
+        assert histogram.ewma(alpha) == 0.0
+    else:
+        assert histogram.ewma(alpha) == pytest.approx(
+            brute_force_ewma(expected_window, alpha), rel=1e-9, abs=1e-9
+        )
+
+
+@given(samples, windows, st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=150, deadline=None)
+def test_quantile_matches_numpy_linear_interpolation(values, window, q):
+    histogram = Histogram("h", window=window)
+    for value in values:
+        histogram.record(value)
+    expected_window = brute_force_window(values, window)
+    if not expected_window:
+        assert histogram.quantile(q) == 0.0
+    else:
+        expected = float(np.percentile(np.asarray(expected_window), q * 100.0))
+        assert histogram.quantile(q) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+@given(samples, windows)
+@settings(max_examples=100, deadline=None)
+def test_window_mean_matches_brute_force(values, window):
+    histogram = Histogram("h", window=window)
+    for value in values:
+        histogram.record(value)
+    expected_window = brute_force_window(values, window)
+    if not expected_window:
+        assert histogram.window_mean() == 0.0
+    else:
+        assert histogram.window_mean() == pytest.approx(
+            sum(expected_window) / len(expected_window), rel=1e-9, abs=1e-9
+        )
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False), min_size=0, max_size=100
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_counter_is_monotone_and_exact(increments):
+    counter = Counter("c")
+    running = 0.0
+    previous = counter.value
+    for amount in increments:
+        counter.inc(amount)
+        running += amount
+        assert counter.value >= previous  # monotone under any sequence
+        previous = counter.value
+    assert counter.value == pytest.approx(running, rel=1e-12, abs=0.0)

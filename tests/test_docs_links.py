@@ -19,7 +19,13 @@ DOCS_DIR = REPO_ROOT / "docs"
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
 
-REQUIRED_DOCS = ["architecture.md", "serving.md", "federation.md", "scheduler.md"]
+REQUIRED_DOCS = [
+    "architecture.md",
+    "serving.md",
+    "federation.md",
+    "scheduler.md",
+    "autoscaling.md",
+]
 
 
 def _doc_files():

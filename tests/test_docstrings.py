@@ -22,6 +22,7 @@ import repro
 
 SUBPACKAGES = [
     "repro",
+    "repro.autoscale",
     "repro.checkpoint",
     "repro.compiler",
     "repro.core",
@@ -32,6 +33,7 @@ SUBPACKAGES = [
     "repro.scheduler",
     "repro.security",
     "repro.serving",
+    "repro.telemetry",
     "repro.undervolting",
     "repro.usecases",
 ]

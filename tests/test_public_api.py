@@ -18,15 +18,18 @@ EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 
 SUBPACKAGES = [
     "repro",
+    "repro.autoscale",
     "repro.checkpoint",
     "repro.compiler",
     "repro.core",
+    "repro.federation",
     "repro.hardware",
     "repro.middleware",
     "repro.runtime",
     "repro.scheduler",
     "repro.security",
     "repro.serving",
+    "repro.telemetry",
     "repro.undervolting",
     "repro.usecases",
 ]
