@@ -23,7 +23,8 @@ from dataclasses import replace
 
 import pytest
 
-from repro import LegatoSystem, ServingWorkload
+from repro import DeploymentSpec, LegatoSystem, ServingWorkload
+from repro.api import AutoscaleSpec, ServingSpec, TelemetrySpec, TopologySpec
 from repro.autoscale import ScalingAction
 from repro.serving import BatchPolicy, Tenant
 
@@ -86,21 +87,31 @@ def test_autoscale_step_load(report_table, smoke):
     # controller act) and shortens the segments instead.
     base_rps, spike_rps, segment_s = (20.0, 120.0, 8.0) if smoke else (20.0, 120.0, 25.0)
 
-    static_report = LegatoSystem().serve(
-        step_load(base_rps, spike_rps, segment_s, seed=101),
-        cluster_scale=STATIC_SHARDS * STATIC_SCALE,
-        num_shards=STATIC_SHARDS,
-        batch_policy=BATCH_POLICY,
+    serving = ServingSpec.from_batch_policy(BATCH_POLICY)
+    static_spec = DeploymentSpec(
+        name="static-federation",
+        topology=TopologySpec(
+            cluster_scale=STATIC_SHARDS * STATIC_SCALE, shards=STATIC_SHARDS
+        ),
+        serving=serving,
+    )
+    static_report = LegatoSystem().deploy(static_spec).serve(
+        step_load(base_rps, spike_rps, segment_s, seed=101)
     )
     static_nodes = 4 * STATIC_SHARDS * STATIC_SCALE
     static_node_seconds = static_nodes * static_report.horizon_s
 
-    auto_report = LegatoSystem().serve(
-        step_load(base_rps, spike_rps, segment_s, seed=101),
-        cluster_scale=AUTO_SHARDS * AUTO_SCALE,
-        num_shards=AUTO_SHARDS,
-        autoscale=True,
-        batch_policy=BATCH_POLICY,
+    auto_spec = DeploymentSpec(
+        name="autoscaled",
+        topology=TopologySpec(
+            cluster_scale=AUTO_SHARDS * AUTO_SCALE, shards=AUTO_SHARDS
+        ),
+        serving=serving,
+        autoscale=AutoscaleSpec(enabled=True),
+        telemetry=TelemetrySpec(enabled=True),
+    )
+    auto_report = LegatoSystem().deploy(auto_spec).serve(
+        step_load(base_rps, spike_rps, segment_s, seed=101)
     )
     auto = auto_report.autoscale_report
 

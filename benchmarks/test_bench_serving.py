@@ -27,7 +27,8 @@ import time
 
 import pytest
 
-from repro import LegatoSystem, ServingWorkload
+from repro import DeploymentSpec, LegatoSystem, ServingWorkload
+from repro.api import ServingSpec, TopologySpec
 from repro.federation import Federation
 from repro.scheduler.cluster import Cluster
 from repro.scheduler.heats import HeatsScheduler
@@ -70,13 +71,15 @@ def _workload(offered_rps: float, seed: int = 17) -> ServingWorkload:
 
 
 def run_load_sweep():
+    # One spec, one deployment per level: every load level replays on a
+    # fresh (cold-cache) backend so the levels stay comparable.
+    spec = DeploymentSpec(
+        name="load-sweep",
+        topology=TopologySpec(cluster_scale=CLUSTER_SCALE),
+        serving=ServingSpec.from_batch_policy(SWEEP_BATCH_POLICY),
+    )
     system = LegatoSystem()
-    return {
-        rps: system.serve(
-            _workload(rps), cluster_scale=CLUSTER_SCALE, batch_policy=SWEEP_BATCH_POLICY
-        )
-        for rps in LOAD_LEVELS_RPS
-    }
+    return {rps: system.deploy(spec).serve(_workload(rps)) for rps in LOAD_LEVELS_RPS}
 
 
 @pytest.mark.benchmark(group="serving")

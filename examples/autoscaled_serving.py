@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Autoscaled serving demo: a step load against an elastic federation.
+"""Autoscaled serving demo: a step load against an elastic deployment.
 
 Two tenants offer a quiet baseline, then a 5x traffic spike, then quiet
 again.  The backend starts as a single 4-node shard; the autoscale control
@@ -9,6 +9,10 @@ drains the extra capacity away once the rush is over -- every scaling
 decision is recorded and printed, along with the node-seconds the
 elasticity saved over static peak provisioning.
 
+The deployment is the ``autoscaled`` spec preset, re-batched; a second
+(quiet) workload is then served on the *same* session to show the
+elastic topology staying warm between runs.
+
 Run with:  PYTHONPATH=src python examples/autoscaled_serving.py
 """
 
@@ -17,7 +21,8 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro import LegatoSystem, ServingWorkload
-from repro.serving import BatchPolicy, Tenant
+from repro.api import DeploymentSpec, ServingSpec
+from repro.serving import Tenant
 
 
 def step_load_workload(tenants) -> ServingWorkload:
@@ -60,12 +65,12 @@ def main() -> None:
     print(f"=== step load: {len(workload.requests)} requests "
           "(quiet / 5x spike / quiet) ===")
 
-    report = LegatoSystem().serve(
-        workload,
-        cluster_scale=1,
-        autoscale=True,
-        batch_policy=BatchPolicy(max_batch_size=8, max_delay_s=1.0),
+    spec = replace(
+        DeploymentSpec.preset("autoscaled"),
+        serving=ServingSpec(max_batch_size=8, max_delay_s=1.0),
     )
+    deployment = LegatoSystem().deploy(spec)
+    report = deployment.serve(workload)
 
     print(f"\nserved {report.completed}/{report.offered} "
           f"({report.ops_per_sec:.1f} ops/sec, p99 {report.p99_latency_s:.1f} s, "
@@ -85,6 +90,24 @@ def main() -> None:
           f"{100 * (1 - auto.node_seconds / static_node_seconds):.0f}% saved")
     print(f"node envelope: {auto.min_nodes} min / {auto.peak_nodes} peak / "
           f"{auto.final_nodes} final, {auto.final_shards} shard(s) at the end")
+
+    # Same session, next workload: the (possibly grown) topology and every
+    # learned model stay warm; only the per-run controller is fresh.
+    quiet = ServingWorkload.synthetic(
+        tenants,
+        {"dashboards": {"ml_inference": 1.0}, "sensors": {"iot_gateway": 1.0}},
+        offered_rps=15.0,
+        duration_s=20.0,
+        seed=9,
+    )
+    follow_up = deployment.serve(quiet)
+    topology = deployment.snapshot()["topology"]
+    print(f"\nfollow-up quiet run on the warm session: "
+          f"{follow_up.completed}/{follow_up.offered} served on "
+          f"{topology['total_nodes']} node(s) across "
+          f"{len(topology['shards'])} shard(s); "
+          f"{deployment.metrics().counter('deployment.profiling_campaigns'):.0f} "
+          f"profiling campaign(s) total for the whole session")
 
 
 if __name__ == "__main__":

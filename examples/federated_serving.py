@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Federated serving demo: one workload, a sharded fleet, regional pricing.
+"""Federated serving demo: one spec, a sharded fleet, regional pricing.
 
 Three tenants share a 4-shard federation (16 nodes total): a
 latency-sensitive tenant, an energy-frugal tenant pinned by contract to
@@ -10,14 +10,21 @@ placement inside the chosen shard -- while tenant affinity keeps each
 tenant's traffic on one shard so the per-shard prediction-score caches
 stay hot.
 
+The whole fleet is declared as one ``DeploymentSpec`` (the ``federated``
+preset, re-batched) and the run streams through
+``Deployment.serve_iter`` -- the per-tick report stream a live dashboard
+would consume.
+
 Run with:  PYTHONPATH=src python examples/federated_serving.py
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro import LegatoSystem, ServingWorkload
-from repro.federation import Federation
-from repro.serving import BatchPolicy, Tenant
+from repro.api import DeploymentSpec, ServingSpec
+from repro.serving import Tenant
 
 
 def main() -> None:
@@ -41,18 +48,29 @@ def main() -> None:
         seed=41,
     )
 
-    federation: Federation = LegatoSystem().federate(num_shards=4, shard_scale=1)
-    print(f"=== {len(workload.requests)} requests from {len(tenants)} tenants "
-          f"across {len(federation.shards)} shards ===")
-    for shard in federation.shards:
-        print(f"  {shard.name:<22s} {len(shard.cluster)} nodes, "
-              f"{shard.profile.energy_price_per_kwh:.2f} $/kWh "
-              f"({shard.profile.description})")
-
-    report = federation.serve(
-        workload, batch_policy=BatchPolicy(max_batch_size=8, max_delay_s=1.5)
+    spec = replace(
+        DeploymentSpec.preset("federated"),
+        serving=ServingSpec(max_batch_size=8, max_delay_s=1.5),
     )
+    deployment = LegatoSystem().deploy(spec)
+    topology = deployment.snapshot()["topology"]
+    print(f"=== {len(workload.requests)} requests from {len(tenants)} tenants "
+          f"across {len(topology['shards'])} shards ===")
+    for shard in topology["shards"]:
+        print(f"  {shard['name']:<22s} {shard['nodes']} nodes, "
+              f"{shard['energy_price_per_kwh']:.2f} $/kWh "
+              f"(profiling seed {shard['seed']})")
 
+    print("\ndashboard stream (10 s ticks):")
+    print(f"  {'window':>12s} {'arrived':>8s} {'done':>6s} {'total':>6s} "
+          f"{'p95 (s)':>8s}")
+    for tick in deployment.serve_iter(workload, tick_s=10.0):
+        start, end = tick.start_s, tick.end_s
+        print(f"  {start:5.0f}-{end:<5.0f}s {tick.arrivals:>8d} "
+              f"{tick.completed:>6d} {tick.cumulative_completed:>6d} "
+              f"{tick.p95_latency_s:>8.2f}")
+
+    report = deployment.last_report
     print(f"\noverall: {report.completed}/{report.offered} served, "
           f"{report.ops_per_sec:.1f} ops/sec, p99 {report.p99_latency_s:.1f} s, "
           f"{report.energy_per_request_j:.2f} J/request")
@@ -66,6 +84,7 @@ def main() -> None:
     print(f"  region-seeded tenants  {stats.region_seeded}")
     print(f"  cross-shard migrations {stats.cross_shard_migrations}")
 
+    federation = deployment.backend.federation
     print(f"\n{'tenant':<16s} {'shard pin':>22s} {'served':>7s} "
           f"{'p99 (s)':>8s} {'J/req':>7s}")
     for name, tenant_report in report.tenant_reports.items():

@@ -9,16 +9,23 @@ into batches, placed by HEATS (with the prediction-score cache on the hot
 path), and reported per tenant as p50/p95/p99 latency, throughput,
 rejection rate, and energy per request.
 
+The deployment is declared as a :class:`DeploymentSpec` and served
+through a reusable :class:`Deployment` session: the cluster is profiled
+once, then *two* workloads (the evening rush, then an overnight lull)
+run against the same warm models and score cache -- the second serve
+pays no cold start, which the session's telemetry counters prove.
+
 Run with:  PYTHONPATH=src python examples/serving_frontend.py
 """
 
 from __future__ import annotations
 
 from repro import LegatoSystem, ServingWorkload
-from repro.serving import BatchPolicy, Tenant
+from repro.api import DeploymentSpec, ServingSpec, TopologySpec
+from repro.serving import Tenant
 
 
-def main() -> None:
+def make_workload(offered_rps: float, seed: int) -> ServingWorkload:
     tenants = [
         Tenant(
             name="video-analytics",  # pays for performance, enforces a p99 SLO
@@ -34,27 +41,20 @@ def main() -> None:
             energy_weight=0.9,
         ),
     ]
-    workload = ServingWorkload.synthetic(
+    return ServingWorkload.synthetic(
         tenants,
         endpoint_mix={
             "video-analytics": {"smartmirror": 0.6, "ml_inference": 0.4},
             "sensor-fleet": {"iot_gateway": 0.7, "ml_inference": 0.3},
         },
-        offered_rps=30.0,
+        offered_rps=offered_rps,
         duration_s=45.0,
-        seed=33,
-    )
-    print(f"=== Offering {len(workload.requests)} requests from "
-          f"{len(tenants)} tenants to one cluster ===")
-
-    system = LegatoSystem()
-    report = system.serve(
-        workload,
-        cluster_scale=2,
-        batch_policy=BatchPolicy(max_batch_size=8, max_delay_s=1.5),
+        seed=seed,
     )
 
-    print(f"\noverall: {report.completed}/{report.offered} served in "
+
+def print_report(report) -> None:
+    print(f"overall: {report.completed}/{report.offered} served in "
           f"{report.batches} batches, {report.ops_per_sec:.1f} ops/sec, "
           f"p99 {report.p99_latency_s:.1f} s, "
           f"rejection rate {report.rejection_rate:.1%}, "
@@ -75,6 +75,32 @@ def main() -> None:
             f"{tenant_report.energy_per_request_j:>7.2f} "
             f"{'met' if tenant_report.slo_met else 'MISS':>5s}"
         )
+
+
+def main() -> None:
+    spec = DeploymentSpec(
+        name="frontend-demo",
+        topology=TopologySpec(cluster_scale=2),
+        serving=ServingSpec(max_batch_size=8, max_delay_s=1.5),
+    )
+    print("=== Deployment spec (overrides vs defaults) ===")
+    for path, change in spec.diff().items():
+        print(f"  {path}: {change['baseline']} -> {change['value']}")
+
+    with LegatoSystem().deploy(spec) as deployment:
+        rush = make_workload(offered_rps=30.0, seed=33)
+        print(f"\n=== Evening rush: {len(rush.requests)} requests ===")
+        print_report(deployment.serve(rush))
+
+        lull = make_workload(offered_rps=6.0, seed=34)
+        print(f"\n=== Overnight lull: {len(lull.requests)} requests "
+              f"(same warm deployment) ===")
+        print_report(deployment.serve(lull))
+
+        metrics = deployment.metrics()
+        print(f"\nsession: {metrics.counter('deployment.serve_runs'):.0f} serves, "
+              f"{metrics.counter('deployment.profiling_campaigns'):.0f} profiling "
+              f"campaign(s) -- the second serve reused the warm models")
 
     print(
         "\nThe performance tenant gets fast nodes and low latency; the eco "

@@ -30,6 +30,10 @@ platforms.  This package reproduces the stack on top of simulated hardware:
   rollups, pluggable exporters.
 * :mod:`repro.autoscale`     -- elastic shard/node autoscaling: a control
   loop over the telemetry signals with Holt-Winters demand forecasting.
+* :mod:`repro.api`           -- the declarative deployment API:
+  :class:`DeploymentSpec` (validated, JSON/TOML-round-trippable section
+  tree), the backend protocol, and reusable :class:`Deployment` serving
+  sessions.
 * :mod:`repro.core`          -- the integrated LEGaTO ecosystem facade and
   project-goal metrics.
 """
@@ -38,21 +42,28 @@ from repro.autoscale.controller import Autoscaler, AutoscaleReport
 from repro.autoscale.policy import AutoscaleConfig
 from repro.core.config import LegatoConfig
 from repro.core.ecosystem import LegatoSystem
+from repro.core.seeding import SeedPolicy
 from repro.federation.federation import Federation
 from repro.serving.loop import ServingReport, ServingWorkload
 from repro.telemetry.registry import MetricsRegistry
+from repro.api.deployment import Deployment
+from repro.api.spec import DeploymentSpec, SpecValidationError
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Autoscaler",
     "AutoscaleConfig",
     "AutoscaleReport",
+    "Deployment",
+    "DeploymentSpec",
     "Federation",
     "LegatoSystem",
     "LegatoConfig",
     "MetricsRegistry",
+    "SeedPolicy",
     "ServingReport",
     "ServingWorkload",
+    "SpecValidationError",
     "__version__",
 ]

@@ -1,0 +1,163 @@
+"""Spec serialisation helpers: JSON via the stdlib, TOML self-contained.
+
+Deployment specs must round-trip through the two formats production
+config files actually use.  JSON is trivial (the spec dict is pure
+scalars, strings, and lists).  TOML needs more care: the stdlib gained a
+*parser* (``tomllib``) in Python 3.11 but never a writer, and this
+project adds no third-party dependencies -- so emission is implemented
+here for exactly the value shapes a spec dict contains (nested string
+-> value mappings whose leaves are bools, ints, floats, strings, or
+lists of those).  On interpreters without ``tomllib`` the loader raises
+a clear error instead of silently degrading.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Mapping, Tuple
+
+try:  # Python >= 3.11; the pyproject floor is 3.9.
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
+    tomllib = None  # type: ignore[assignment]
+
+
+def dumps_json(data: Mapping[str, Any]) -> str:
+    """Render a spec dict as pretty-printed JSON.
+
+    Args:
+        data: the nested spec dict (``DeploymentSpec.to_dict()`` shape).
+
+    Returns:
+        A JSON document with stable key order.
+    """
+    return json.dumps(data, indent=2, sort_keys=True)
+
+
+def loads_json(text: str) -> Dict[str, Any]:
+    """Parse a JSON spec document back into a dict.
+
+    Args:
+        text: a JSON document.
+
+    Returns:
+        The parsed dict.
+    """
+    parsed = json.loads(text)
+    if not isinstance(parsed, dict):
+        raise ValueError("a spec document must be a JSON object at top level")
+    return parsed
+
+
+#: short escapes TOML basic strings define for common control characters.
+_TOML_SHORT_ESCAPES = {
+    "\b": "\\b",
+    "\t": "\\t",
+    "\n": "\\n",
+    "\f": "\\f",
+    "\r": "\\r",
+    '"': '\\"',
+    "\\": "\\\\",
+}
+
+
+def _toml_string(value: str) -> str:
+    """A TOML basic-string literal.
+
+    Not ``json.dumps``: JSON escapes astral characters as surrogate
+    pairs (``\\ud801\\udc00``), which TOML rejects -- escapes must be
+    Unicode scalar values.  Non-control characters are emitted raw (the
+    document is UTF-8 text), control characters via their escapes.
+    """
+    rendered = ['"']
+    for char in value:
+        if char in _TOML_SHORT_ESCAPES:
+            rendered.append(_TOML_SHORT_ESCAPES[char])
+        elif ord(char) < 0x20 or ord(char) == 0x7F:
+            rendered.append(f"\\u{ord(char):04X}")
+        else:
+            rendered.append(char)
+    rendered.append('"')
+    return "".join(rendered)
+
+
+def _toml_scalar(value: Any) -> str:
+    """One TOML value literal; rejects shapes a spec never contains."""
+    if isinstance(value, bool):  # before int: bool subclasses int
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError("TOML cannot represent non-finite floats")
+        # A bare integral float would parse back as an int; keep the type.
+        return repr(value) if value != int(value) else f"{value:.1f}"
+    if isinstance(value, str):
+        return _toml_string(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_scalar(item) for item in value) + "]"
+    raise TypeError(f"cannot render {type(value).__name__} as a TOML value")
+
+
+def _split_tables(
+    data: Mapping[str, Any]
+) -> Tuple[List[Tuple[str, Any]], List[Tuple[str, Mapping[str, Any]]]]:
+    """Partition a mapping into scalar entries and sub-tables."""
+    scalars: List[Tuple[str, Any]] = []
+    tables: List[Tuple[str, Mapping[str, Any]]] = []
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            tables.append((key, value))
+        else:
+            scalars.append((key, value))
+    return scalars, tables
+
+
+def dumps_toml(data: Mapping[str, Any]) -> str:
+    """Render a nested spec dict as a TOML document.
+
+    Scalar keys become top-level assignments; nested mappings become
+    ``[dotted.tables]``, recursively.
+
+    Args:
+        data: the nested spec dict (``DeploymentSpec.to_dict()`` shape).
+
+    Returns:
+        A TOML document that ``tomllib`` parses back to an equal dict.
+    """
+    lines: List[str] = []
+
+    def emit(table: Mapping[str, Any], prefix: str) -> None:
+        scalars, tables = _split_tables(table)
+        if prefix and scalars:
+            lines.append(f"[{prefix}]")
+        for key, value in scalars:
+            lines.append(f"{key} = {_toml_scalar(value)}")
+        if scalars:
+            lines.append("")
+        for key, value in tables:
+            emit(value, f"{prefix}.{key}" if prefix else key)
+
+    emit(data, "")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def loads_toml(text: str) -> Dict[str, Any]:
+    """Parse a TOML spec document back into a dict.
+
+    Args:
+        text: a TOML document.
+
+    Returns:
+        The parsed dict.
+
+    Raises:
+        RuntimeError: on interpreters without ``tomllib`` (Python < 3.11).
+    """
+    if tomllib is None:  # pragma: no cover - exercised only on 3.9/3.10
+        raise RuntimeError(
+            "parsing TOML specs needs the stdlib tomllib (Python >= 3.11); "
+            "use the JSON round-trip on older interpreters"
+        )
+    return tomllib.loads(text)

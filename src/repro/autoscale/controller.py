@@ -116,6 +116,17 @@ class Autoscaler:
         self._grown_total = 0
         self.decisions: List[ScalingDecision] = []
 
+    def rebase_counters(self) -> None:
+        """Adopt the bus's current totals as this controller's zero point.
+
+        A deployment session reuses one telemetry bus across many serving
+        runs but attaches a *fresh* controller per run (cooldowns and
+        node-second accounting are per-run state).  Without rebasing, the
+        fresh controller's first tick would read the whole previous run's
+        counter totals as one giant delta and scale up spuriously.
+        """
+        self._last_counters.update(self.metrics.counter_values())
+
     # ------------------------------------------------------------------ #
     # Accounting
     # ------------------------------------------------------------------ #

@@ -13,6 +13,7 @@ productivity -- Section VII).
 from repro.core.config import LegatoConfig, OptimisationFlags
 from repro.core.goals import GoalAssessment, GoalReport, PROJECT_TARGETS
 from repro.core.ecosystem import LegatoSystem
+from repro.core.seeding import SeedPolicy
 
 __all__ = [
     "LegatoConfig",
@@ -21,4 +22,5 @@ __all__ = [
     "GoalReport",
     "PROJECT_TARGETS",
     "LegatoSystem",
+    "SeedPolicy",
 ]

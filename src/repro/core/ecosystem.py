@@ -12,10 +12,13 @@ deployment of the same hardware.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.api.deployment import Deployment
+    from repro.api.spec import DeploymentSpec
     from repro.autoscale.controller import Autoscaler
     from repro.autoscale.policy import AutoscaleConfig
     from repro.federation.federation import Federation
@@ -40,13 +43,10 @@ from repro.runtime.fault_tolerance import (
 from repro.runtime.graph import TaskGraph
 from repro.runtime.ompss import ExecutionTrace, OmpSsRuntime, SchedulingPolicy
 from repro.runtime.task import Task
-from repro.scheduler.cluster import Cluster
-from repro.scheduler.heats import HeatsConfig, HeatsScheduler
+from repro.scheduler.heats import HeatsConfig
 from repro.security.secure_task import SecureExecutionReport, SecureTaskExecutor
 from repro.serving.batching import BatchPolicy
-from repro.serving.cache import PredictionScoreCache
-from repro.serving.gateway import RequestGateway
-from repro.serving.loop import ServingLoop, ServingReport, ServingWorkload
+from repro.serving.loop import ServingReport, ServingWorkload
 from repro.undervolting.mlresilience import UndervoltedInferenceStudy, VoltageAccuracyPoint
 from repro.usecases.iot_gateway import SecureIotGateway
 from repro.usecases.ml_inference import InferenceService
@@ -198,6 +198,79 @@ class LegatoSystem:
     # ------------------------------------------------------------------ #
     # Request serving (cluster-as-a-service front-end)
     # ------------------------------------------------------------------ #
+    def deploy(self, spec: Optional["DeploymentSpec"] = None) -> "Deployment":
+        """Build a reusable serving session from a declarative spec.
+
+        This is the serving entry point: the spec is validated (every
+        problem reported at once, path-tagged), the backend -- single
+        cluster, federation, or autoscaled federation -- is built exactly
+        once, and the returned :class:`~repro.api.deployment.Deployment`
+        serves any number of workloads against the warm state (profiled
+        prediction models, score caches, affinity pins, telemetry bus,
+        elastically grown topology).
+
+        Args:
+            spec: the :class:`~repro.api.spec.DeploymentSpec` to deploy;
+                None deploys the ``"single"`` preset.
+
+        Returns:
+            The deployment session (also usable as a context manager).
+        """
+        from repro.api.deployment import Deployment
+        from repro.api.spec import DeploymentSpec
+
+        if spec is None:
+            spec = DeploymentSpec.preset("single")
+        return Deployment.from_spec(spec, system=self)
+
+    def _spec_from_serve_kwargs(
+        self,
+        cluster_scale: int,
+        use_score_cache: bool,
+        batch_policy: Optional[BatchPolicy],
+        heats_config: Optional[HeatsConfig],
+        seed: int,
+        num_shards: int,
+        autoscale: bool,
+        autoscale_config: Optional["AutoscaleConfig"],
+        telemetry: Optional[bool] = None,
+    ) -> "DeploymentSpec":
+        """Translate the legacy kwarg surface into one deployment spec.
+
+        The single translation point for all three deprecated shims
+        (``serve``/``federate``/``autoscaler``), so a knob added here is
+        automatically honoured by every shim.
+        """
+        from repro.api.spec import (
+            AutoscaleSpec,
+            DeploymentSpec,
+            SchedulerSpec,
+            ServingSpec,
+            TelemetrySpec,
+            TopologySpec,
+        )
+        from repro.core.seeding import SeedPolicy
+
+        return DeploymentSpec(
+            name=self.config.name,
+            topology=TopologySpec(
+                cluster_scale=cluster_scale,
+                shards=num_shards,
+                seed=SeedPolicy(base=seed),
+            ),
+            scheduler=SchedulerSpec.from_heats_config(
+                heats_config, score_cache=use_score_cache
+            ),
+            serving=ServingSpec.from_batch_policy(batch_policy),
+            autoscale=AutoscaleSpec.from_config(
+                autoscale_config if autoscale_config is not None else self.config.autoscale,
+                enabled=autoscale,
+            ),
+            telemetry=TelemetrySpec(
+                enabled=autoscale if telemetry is None else telemetry
+            ),
+        )
+
     def serve(
         self,
         workload: ServingWorkload,
@@ -210,19 +283,14 @@ class LegatoSystem:
         autoscale: bool = False,
         autoscale_config: Optional["AutoscaleConfig"] = None,
     ) -> ServingReport:
-        """Serve a multi-tenant request stream on a HEATS-scheduled backend.
+        """Serve one request stream (deprecated kwarg shim over deploy).
 
-        The round trip is admission (per-tenant rate limits and bounded
-        queues) -> batching (coalescing compatible requests) -> HEATS
-        placement (with the prediction-score cache on the scoring hot path
-        unless disabled) -> per-tenant SLA report.  With ``num_shards > 1``
-        the backend is a federation of shards at the same total node
-        count, built via :meth:`federate`.  With ``autoscale=True`` the
-        backend is an elastically scaled federation: ``num_shards`` /
-        ``cluster_scale`` describe the *initial* topology, an
-        :class:`~repro.autoscale.controller.Autoscaler` grows and shrinks
-        it with the traffic, and the report carries the elastic history in
-        ``autoscale_report``.
+        .. deprecated:: 1.4
+            This kwarg surface is frozen and will be removed one release
+            after 1.4; build a :class:`~repro.api.spec.DeploymentSpec`
+            and use ``deploy(spec).serve(workload)`` instead.  The shim
+            translates the kwargs into exactly that call, so reports are
+            bit-identical to the spec API.
 
         Args:
             workload: tenants plus their request stream.
@@ -241,44 +309,25 @@ class LegatoSystem:
         Returns:
             The :class:`ServingReport` for the run.
         """
-        if cluster_scale <= 0:
-            raise ValueError("cluster scale must be positive")
-        if num_shards <= 0:
-            raise ValueError("shard count must be positive")
-        if cluster_scale % num_shards:
-            raise ValueError(
-                "cluster scale must be divisible by the shard count so "
-                "shards are equally sized"
-            )
-        if autoscale:
-            scaler = self.autoscaler(
-                num_shards=num_shards,
-                shard_scale=cluster_scale // num_shards,
-                autoscale_config=autoscale_config,
-                use_score_cache=use_score_cache,
-                heats_config=heats_config,
-                seed=seed,
-            )
-            return scaler.federation.serve(workload, batch_policy=batch_policy)
-        if num_shards > 1:
-            federation = self.federate(
-                num_shards=num_shards,
-                shard_scale=cluster_scale // num_shards,
-                use_score_cache=use_score_cache,
-                heats_config=heats_config,
-                seed=seed,
-            )
-            return federation.serve(workload, batch_policy=batch_policy)
-        cluster = Cluster.heats_testbed(scale=cluster_scale)
-        scheduler = HeatsScheduler.with_learned_models(
-            cluster,
-            config=heats_config,
-            seed=seed,
-            score_cache=PredictionScoreCache() if use_score_cache else None,
+        warnings.warn(
+            "LegatoSystem.serve(**kwargs) is deprecated; build a "
+            "DeploymentSpec and serve through "
+            "LegatoSystem.deploy(spec).serve(workload) (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        gateway = RequestGateway(workload.tenants)
-        loop = ServingLoop(cluster, scheduler, gateway, batch_policy=batch_policy)
-        return loop.run(workload.requests)
+        spec = self._spec_from_serve_kwargs(
+            cluster_scale,
+            use_score_cache,
+            batch_policy,
+            heats_config,
+            seed,
+            num_shards,
+            autoscale,
+            autoscale_config,
+        )
+        with self.deploy(spec) as deployment:
+            return deployment.serve(workload)
 
     def federate(
         self,
@@ -290,12 +339,14 @@ class LegatoSystem:
         seed: int = 7,
         metrics: Optional["MetricsRegistry"] = None,
     ) -> "Federation":
-        """Build a federation of HEATS shards behind one scheduler.
+        """Build a federation of HEATS shards (deprecated kwarg shim).
 
-        Each shard is an independent HEATS deployment (own cluster, own
-        profiling seed, own scheduler-config copy, own score cache) in a
-        distinct energy region; requests are routed shard-first from O(1)
-        capacity aggregates, then placed by the shard's HEATS scheduler.
+        .. deprecated:: 1.4
+            Use a spec with ``topology.shards > 1`` and
+            ``deploy(spec)`` instead; the session keeps the federation
+            warm across workloads.  This shim translates its kwargs into
+            a spec and returns the backend's
+            :class:`~repro.federation.federation.Federation` unchanged.
 
         Args:
             num_shards: number of member shards.
@@ -303,8 +354,8 @@ class LegatoSystem:
             use_score_cache: attach per-shard prediction-score caches.
             heats_config: node-level scheduler tunables, copied per shard.
             federation_config: shard-selection and migration tunables.
-            seed: federation base seed; shard ``i`` profiles with
-                ``seed + 101 * i``.
+            seed: federation base seed; shard ``i`` profiles with the
+                seed policy's ``shard_seed(i)``.
             metrics: optional telemetry bus wired through the routing,
                 admission, and batching hot paths.
 
@@ -312,17 +363,30 @@ class LegatoSystem:
             A :class:`~repro.federation.federation.Federation` ready to
             serve one workload.
         """
-        from repro.federation.federation import Federation
+        from repro.api.backend import FederatedBackend
 
-        return Federation.build(
-            num_shards=num_shards,
-            shard_scale=shard_scale,
-            heats_config=heats_config,
-            federation_config=federation_config,
-            use_score_cache=use_score_cache,
-            seed=seed,
-            metrics=metrics,
+        warnings.warn(
+            "LegatoSystem.federate(**kwargs) is deprecated; use a "
+            "DeploymentSpec with topology.shards > 1 and "
+            "LegatoSystem.deploy(spec) (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        spec = self._spec_from_serve_kwargs(
+            cluster_scale=num_shards * shard_scale,
+            use_score_cache=use_score_cache,
+            batch_policy=None,
+            heats_config=heats_config,
+            seed=seed,
+            num_shards=num_shards,
+            autoscale=False,
+            autoscale_config=None,
+            telemetry=metrics is not None,
+        ).check()
+        backend = FederatedBackend(
+            spec, metrics=metrics, federation_config=federation_config
+        )
+        return backend.federation
 
     def autoscaler(
         self,
@@ -334,13 +398,14 @@ class LegatoSystem:
         federation_config: Optional["FederationConfig"] = None,
         seed: int = 7,
     ) -> "Autoscaler":
-        """Build an elastically scaled federation and its control loop.
+        """Build an elastic federation + control loop (deprecated shim).
 
-        The federation is built around a fresh telemetry bus (the gateway,
-        batcher, HEATS, and routing hot paths all record into it), its
-        rescheduling heartbeat is aligned with the control interval, and
-        the returned controller is already attached -- serving through
-        ``autoscaler.federation.serve(workload)`` runs elastically.
+        .. deprecated:: 1.4
+            Use a spec with ``autoscale.enabled`` and ``deploy(spec)``
+            instead; the session rebuilds a fresh controller per run
+            while keeping the elastic topology warm.  This shim
+            translates its kwargs into a spec and returns the backend's
+            attached :class:`~repro.autoscale.controller.Autoscaler`.
 
         Args:
             num_shards: initial shard count.
@@ -357,26 +422,34 @@ class LegatoSystem:
         Returns:
             The attached :class:`~repro.autoscale.controller.Autoscaler`.
         """
-        from dataclasses import replace
-
-        from repro.autoscale.controller import Autoscaler
-        from repro.federation.policy import FederationConfig
+        from repro.api.backend import AutoscaledBackend
         from repro.telemetry.registry import MetricsRegistry
 
-        config = autoscale_config if autoscale_config is not None else self.config.autoscale
-        base = federation_config if federation_config is not None else FederationConfig()
-        federation = self.federate(
-            num_shards=num_shards,
-            shard_scale=shard_scale,
-            use_score_cache=use_score_cache,
-            heats_config=heats_config,
-            federation_config=replace(
-                base, rescheduling_interval_s=config.control_interval_s
-            ),
-            seed=seed,
-            metrics=MetricsRegistry(),
+        warnings.warn(
+            "LegatoSystem.autoscaler(**kwargs) is deprecated; use a "
+            "DeploymentSpec with autoscale.enabled=True and "
+            "LegatoSystem.deploy(spec) (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return Autoscaler(federation, config=config)
+        spec = self._spec_from_serve_kwargs(
+            cluster_scale=num_shards * shard_scale,
+            use_score_cache=use_score_cache,
+            batch_policy=None,
+            heats_config=heats_config,
+            seed=seed,
+            num_shards=num_shards,
+            autoscale=True,
+            autoscale_config=autoscale_config,
+        ).check()
+        backend = AutoscaledBackend(
+            spec,
+            metrics=MetricsRegistry(
+                default_histogram_window=spec.telemetry.histogram_window
+            ),
+            federation_config=federation_config,
+        )
+        return backend.autoscaler
 
     # ------------------------------------------------------------------ #
     # Undervolting coupling
@@ -503,16 +576,36 @@ class LegatoSystem:
     # Reporting
     # ------------------------------------------------------------------ #
     def describe(self) -> Dict[str, object]:
-        """A compact description of the deployment (used by examples).
+        """A compact description of the whole stack (used by examples).
+
+        Beyond the PR-0 hardware view (inventory, optimisation flags,
+        policies, peak power), the description carries the package
+        version and the serving / federation / autoscale defaults this
+        system would deploy with, so one dict answers "what would run
+        here".  ``Deployment.snapshot()`` embeds this same view for
+        deployments created through :meth:`deploy`.
 
         Returns:
-            Name, inventory, optimisation flags, policies, and peak power.
+            Name, version, inventory, optimisation flags, policies, peak
+            power, and the serving/federation/autoscale default sections.
         """
+        from dataclasses import asdict
+
+        from repro import __version__
+        from repro.api.spec import AutoscaleSpec, ServingSpec
+        from repro.federation.policy import FederationConfig
+
         return {
             "name": self.config.name,
+            "version": __version__,
             "microservers": self.recsbox.inventory(),
             "optimisations": self.config.optimisations,
             "scheduling_policy": self.config.effective_scheduling_policy.value,
             "replication_policy": self.config.effective_replication_policy.value,
             "peak_power_w": self.recsbox.peak_power_w(),
+            "serving": asdict(ServingSpec()),
+            "federation": asdict(FederationConfig()),
+            "autoscale": asdict(
+                AutoscaleSpec.from_config(self.config.autoscale, enabled=False)
+            ),
         }

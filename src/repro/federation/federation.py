@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.registry import MetricsRegistry
 
+from repro.core.seeding import SeedPolicy
 from repro.federation.policy import (
     DEFAULT_SHARD_PROFILES,
     FederationConfig,
@@ -742,12 +743,18 @@ class Federation:
         self._served = False
         # Build parameters for shards added later by the autoscaler; the
         # defaults match ClusterShard.build and are overridden by build().
-        self.base_seed = 7
+        self.seed_policy = SeedPolicy()
         self.default_shard_scale = 1
         self.default_heats_config: Optional[HeatsConfig] = None
         self.default_use_score_cache = True
+        self.default_cache_capacity: Optional[int] = None
         self.profile_catalogue: Tuple[ShardProfile, ...] = DEFAULT_SHARD_PROFILES
         self.next_shard_index = len(self.scheduler.shards)
+
+    @property
+    def base_seed(self) -> int:
+        """The seed policy's base (kept for pre-SeedPolicy callers)."""
+        return self.seed_policy.base
 
     @property
     def shards(self) -> List[ClusterShard]:
@@ -765,12 +772,15 @@ class Federation:
         seed: int = 7,
         profiles: Optional[Sequence[ShardProfile]] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        seed_policy: Optional[SeedPolicy] = None,
+        cache_capacity: Optional[int] = None,
     ) -> "Federation":
         """Build a federation of HEATS testbed shards.
 
-        Every shard gets an independent profiling seed (``seed + 101 * i``)
-        and its own copy of the scheduler config, so no RNG stream, config
-        object, or cache is ever shared between shards.
+        Every shard gets an independent profiling seed (shard ``i``
+        profiles with ``seed_policy.shard_seed(i)``) and its own copy of
+        the scheduler config, so no RNG stream, config object, or cache
+        is ever shared between shards.
 
         Args:
             num_shards: number of member shards.
@@ -779,10 +789,14 @@ class Federation:
             heats_config: node-level scheduler tunables, copied per shard.
             federation_config: shard-selection / migration tunables.
             use_score_cache: attach a per-shard prediction-score cache.
-            seed: federation-level base seed.
+            seed: federation-level base seed; ignored when ``seed_policy``
+                is given, otherwise wrapped as ``SeedPolicy(base=seed)``.
             profiles: regional profiles; defaults to cycling
                 ``DEFAULT_SHARD_PROFILES``.
             metrics: optional telemetry bus for the routing hot path.
+            seed_policy: the deployment-wide seed-derivation rules.
+            cache_capacity: LRU bound of each shard's score cache; None
+                keeps the cache default.
 
         Returns:
             A ready-to-serve :class:`Federation`.
@@ -791,6 +805,7 @@ class Federation:
             raise ValueError("a federation needs at least one shard")
         if shard_scale <= 0:
             raise ValueError("shard scale must be positive")
+        policy = seed_policy if seed_policy is not None else SeedPolicy(base=seed)
         catalogue = tuple(profiles) if profiles else DEFAULT_SHARD_PROFILES
         profile_cycle = itertools.cycle(catalogue)
         shards = [
@@ -798,18 +813,20 @@ class Federation:
                 index,
                 next(profile_cycle),
                 scale=shard_scale,
-                base_seed=seed,
                 heats_config=heats_config,
                 use_score_cache=use_score_cache,
                 metrics=metrics,
+                seed_policy=policy,
+                cache_capacity=cache_capacity,
             )
             for index in range(num_shards)
         ]
         federation = cls(shards, config=federation_config, metrics=metrics)
-        federation.base_seed = seed
+        federation.seed_policy = policy
         federation.default_shard_scale = shard_scale
         federation.default_heats_config = heats_config
         federation.default_use_score_cache = use_score_cache
+        federation.default_cache_capacity = cache_capacity
         federation.profile_catalogue = catalogue
         return federation
 
@@ -845,10 +862,11 @@ class Federation:
                 self.next_shard_index,
                 profile,
                 scale=self.default_shard_scale,
-                base_seed=self.base_seed,
                 heats_config=self.default_heats_config,
                 use_score_cache=self.default_use_score_cache,
                 metrics=self.metrics,
+                seed_policy=self.seed_policy,
+                cache_capacity=self.default_cache_capacity,
             )
         self.scheduler.add_shard(shard)
         self.cluster.add_shard(shard)
@@ -942,7 +960,7 @@ class Federation:
         return score_shards(self.shards, energy_weight, self.scheduler.config)
 
     def serve(self, workload, batch_policy=None):
-        """Serve a multi-tenant workload through the federation.
+        """Serve a multi-tenant workload through the federation (one-shot).
 
         Builds the gateway over the workload's tenants (registering their
         preferred regions as affinity seeds) and runs the serving loop
@@ -951,6 +969,12 @@ class Federation:
         paths record into it, and when an autoscaler is attached to the
         scheduler the report additionally carries its
         :class:`~repro.autoscale.controller.AutoscaleReport`.
+
+        This is the one-shot entry: it refuses a second call because the
+        shard cluster state carries the previous run.  Deployment
+        sessions (:class:`repro.api.Deployment`) use
+        :meth:`run_workload`, which verifies the cluster drained back to
+        idle and serves again against the warm state.
 
         Args:
             workload: a :class:`~repro.serving.loop.ServingWorkload`.
@@ -961,15 +985,54 @@ class Federation:
             The :class:`~repro.serving.loop.ServingReport`, with
             ``federation_stats`` populated.
         """
-        from repro.serving.gateway import RequestGateway
-        from repro.serving.loop import ServingLoop
-
         if self._served:
             raise RuntimeError(
                 "a Federation can only serve once; shard cluster state "
-                "carries the previous run -- build a fresh federation"
+                "carries the previous run -- build a fresh federation, or "
+                "serve through a Deployment session (repro.api) to reuse "
+                "warm state"
             )
         self._served = True
+        return self._run_serving(workload, batch_policy, 0.5)
+
+    def run_workload(self, workload, batch_policy=None, flush_tick_s: float = 0.5):
+        """Serve a workload against warm state (repeatable session entry).
+
+        The profiled prediction models, score caches, tenant affinity
+        pins, and any elastically grown topology all stay warm between
+        calls -- only the per-run serving state (gateway, batcher, SLA
+        tracker, routing stats) is rebuilt.  The previous run must have
+        drained completely: every completed simulation releases all of
+        its reservations, so a non-idle cluster means the caller is
+        interleaving runs on shared state.
+
+        Args:
+            workload: a :class:`~repro.serving.loop.ServingWorkload`.
+            batch_policy: optional
+                :class:`~repro.serving.batching.BatchPolicy` override.
+            flush_tick_s: gateway-drain / batch-flush cadence.
+
+        Returns:
+            The :class:`~repro.serving.loop.ServingReport`, with
+            ``federation_stats`` holding *this run's* routing telemetry.
+        """
+        capacity = self.cluster.capacity()
+        if capacity.free_cores != capacity.total_cores:
+            raise RuntimeError(
+                "the federation still hosts running tasks from a previous "
+                "run; serve runs back-to-back, not interleaved"
+            )
+        self._served = True
+        # Routing telemetry is per-run in a session: the warm caches and
+        # pins carry over, the counters must not.
+        self.scheduler.federation_stats = FederationStats()
+        return self._run_serving(workload, batch_policy, flush_tick_s)
+
+    def _run_serving(self, workload, batch_policy, flush_tick_s: float):
+        """Shared serving body for :meth:`serve` and :meth:`run_workload`."""
+        from repro.serving.gateway import RequestGateway
+        from repro.serving.loop import ServingLoop
+
         gateway = RequestGateway(workload.tenants, metrics=self.metrics)
         for tenant in workload.tenants:
             if tenant.region is not None:
@@ -979,6 +1042,7 @@ class Federation:
             self.scheduler,
             gateway,
             batch_policy=batch_policy,
+            flush_tick_s=flush_tick_s,
             metrics=self.metrics,
         )
         return loop.run(workload.requests)

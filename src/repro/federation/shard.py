@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.seeding import SeedPolicy
 from repro.federation.policy import ShardProfile
 from repro.hardware.microserver import MICROSERVER_CATALOG
 from repro.scheduler.cluster import CapacitySnapshot, Cluster, ClusterNode
@@ -22,10 +23,6 @@ from repro.serving.cache import PredictionScoreCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.registry import MetricsRegistry
-
-#: prime stride between shard seeds so derived per-shard RNG streams never
-#: collide for any realistic shard count.
-_SEED_STRIDE = 101
 
 
 @dataclass
@@ -50,6 +47,9 @@ class ClusterShard:
     #: nodes grown into the shard since it was built (names/seeds derive
     #: from this counter so elastic additions stay unique and reproducible).
     grown_nodes: int = field(default=0)
+    #: the deployment-wide seed-derivation rules; elastic growth probes
+    #: with ``seed_policy.probe_seed(seed, grown_nodes)``.
+    seed_policy: SeedPolicy = field(default_factory=SeedPolicy)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -66,6 +66,8 @@ class ClusterShard:
         use_score_cache: bool = True,
         noise_fraction: float = 0.05,
         metrics: Optional["MetricsRegistry"] = None,
+        seed_policy: Optional[SeedPolicy] = None,
+        cache_capacity: Optional[int] = None,
     ) -> "ClusterShard":
         """Build shard ``index`` with an independent seed and config copy.
 
@@ -74,30 +76,44 @@ class ClusterShard:
                 node-name prefix and the derived profiling seed.
             profile: regional profile assigned to the shard.
             scale: ``heats_testbed`` scale (4 * scale nodes per shard).
-            base_seed: federation-level seed; the shard profiles with
-                ``base_seed + 101 * index`` so shards draw from disjoint
-                noise streams instead of replaying identical measurements.
+            base_seed: federation-level seed; ignored when ``seed_policy``
+                is given, otherwise wrapped as ``SeedPolicy(base=...)``.
             heats_config: scheduler tunables; *copied* per shard so no two
                 shards ever share a config object.
             use_score_cache: attach a per-shard prediction-score cache.
             noise_fraction: profiling measurement noise.
             metrics: optional shared telemetry bus; shard schedulers
                 aggregate their placement signals into it.
+            seed_policy: the deployment's seed-derivation rules; the shard
+                profiles with ``seed_policy.shard_seed(index)`` so shards
+                draw from disjoint noise streams instead of replaying
+                identical measurements.
+            cache_capacity: LRU bound of the score cache; None keeps the
+                cache's own default.
 
         Returns:
             A ready-to-route :class:`ClusterShard`.
         """
         if index < 0:
             raise ValueError("shard index must be non-negative")
-        seed = base_seed + _SEED_STRIDE * index
+        policy = seed_policy if seed_policy is not None else SeedPolicy(base=base_seed)
+        seed = policy.shard_seed(index)
         cluster = Cluster.heats_testbed(scale=scale, prefix=f"shard{index}")
         config = replace(heats_config) if heats_config is not None else HeatsConfig()
+        if use_score_cache:
+            cache = (
+                PredictionScoreCache(capacity=cache_capacity)
+                if cache_capacity is not None
+                else PredictionScoreCache()
+            )
+        else:
+            cache = None
         scheduler = HeatsScheduler.with_learned_models(
             cluster,
             config=config,
             noise_fraction=noise_fraction,
             seed=seed,
-            score_cache=PredictionScoreCache() if use_score_cache else None,
+            score_cache=cache,
             metrics=metrics,
         )
         return cls(
@@ -106,6 +122,7 @@ class ClusterShard:
             scheduler=scheduler,
             profile=profile,
             seed=seed,
+            seed_policy=policy,
         )
 
     # ------------------------------------------------------------------ #
@@ -117,9 +134,10 @@ class ClusterShard:
         The new node is probed and fitted *before* it joins the capacity
         index, so the HEATS scheduler can score it from the moment it
         becomes placeable (a node without learned models would silently
-        never be chosen).  The probing seed derives from the shard seed and
-        the grow counter, so repeated growth is reproducible and disjoint
-        from the original campaign.
+        never be chosen).  The probing seed derives from the shard seed
+        and the grow counter via the shard's
+        :class:`~repro.core.seeding.SeedPolicy`, so repeated growth is
+        reproducible and disjoint from the original campaign.
 
         Args:
             model: microserver catalogue model name for the new node.
@@ -137,7 +155,7 @@ class ClusterShard:
         campaign = ProfilingCampaign(
             [node],
             noise_fraction=noise_fraction,
-            seed=self.seed + 1009 * (self.grown_nodes + 1),
+            seed=self.seed_policy.probe_seed(self.seed, self.grown_nodes),
         ).run()
         self.scheduler.models.add(campaign.fit().model(node.name))
         self.cluster.add_node(node)

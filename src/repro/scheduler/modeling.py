@@ -116,6 +116,20 @@ class PredictionModelSet:
         return model.predict_time_s(request), model.predict_energy_j(request)
 
 
+#: process-wide count of probing campaigns run; deployment sessions record
+#: deltas of it so warm-model reuse ("no re-profiling") is assertable.
+_campaign_runs = 0
+
+
+def profiling_run_count() -> int:
+    """How many probing campaigns have run in this process.
+
+    Returns:
+        The process-wide :meth:`ProfilingCampaign.run` invocation count.
+    """
+    return _campaign_runs
+
+
 class ProfilingCampaign:
     """Runs the probing phase and fits the prediction models."""
 
@@ -169,6 +183,8 @@ class ProfilingCampaign:
 
     def run(self, workloads: Optional[Sequence[WorkloadKind]] = None) -> "ProfilingCampaign":
         """Probe every node for every workload kind."""
+        global _campaign_runs
+        _campaign_runs += 1
         workloads = list(workloads) if workloads is not None else list(WorkloadKind)
         for node in self.cluster:
             for workload in workloads:

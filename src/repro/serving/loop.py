@@ -88,6 +88,11 @@ class ServingReport:
     completed: int
     dropped: int
     latencies_s: List[float] = field(default_factory=list)
+    #: per-member completion instants, index-aligned with ``latencies_s``
+    #: (what ``Deployment.serve_iter`` buckets into its tick stream).
+    completions_s: List[float] = field(default_factory=list)
+    #: this run's score-cache delta (a snapshot -- later runs on a warm
+    #: session never mutate it); None when the scheduler has no cache.
     cache_stats: Optional[CacheStats] = None
     #: routing telemetry when the backend is a federation (a
     #: :class:`~repro.federation.federation.FederationStats`), else None.
@@ -257,6 +262,13 @@ class ServingLoop:
                 "(and cluster) per serving run"
             )
         self._consumed = True
+        # Baseline for the per-run cache delta: on a warm session the live
+        # CacheStats keeps accumulating across runs, and attaching the live
+        # object would let a later run retroactively mutate this report.
+        cache = getattr(self.scheduler, "score_cache", None)
+        cache_baseline = (
+            CacheStats(**vars(cache.stats)) if cache is not None else None
+        )
         for tenant in self.gateway.tenants:
             self.tracker.set_latency_slo(tenant.name, tenant.latency_slo_s)
         batches = self._ingest(requests)
@@ -267,6 +279,7 @@ class ServingLoop:
         simulation = simulator.run(tasks)
 
         latencies: List[float] = []
+        completions: List[float] = []
         completed_requests = 0
         for task in simulation.completed:
             batch = by_task_id[task.task_id]
@@ -282,6 +295,7 @@ class ServingLoop:
                     member.tenant, latency, energy_per_member, deadline_met
                 )
                 latencies.append(latency)
+                completions.append(task.finish_s)
                 completed_requests += 1
         dropped = 0
         for task_id in simulation.unplaced:
@@ -295,7 +309,14 @@ class ServingLoop:
         # unknown-tenant rejections the gateway keeps no stats for), so the
         # overall numbers always agree with the per-tenant reports.
         tenant_reports = self.tracker.reports(horizon)
-        cache = getattr(self.scheduler, "score_cache", None)
+        if cache is not None:
+            cache_stats = CacheStats(
+                hits=cache.stats.hits - cache_baseline.hits,
+                misses=cache.stats.misses - cache_baseline.misses,
+                evictions=cache.stats.evictions - cache_baseline.evictions,
+            )
+        else:
+            cache_stats = None
         autoscaler = getattr(self.scheduler, "autoscaler", None)
         return ServingReport(
             tenant_reports=tenant_reports,
@@ -307,7 +328,8 @@ class ServingLoop:
             completed=completed_requests,
             dropped=dropped,
             latencies_s=latencies,
-            cache_stats=getattr(cache, "stats", None),
+            completions_s=completions,
+            cache_stats=cache_stats,
             federation_stats=getattr(self.scheduler, "federation_stats", None),
             autoscale_report=(
                 autoscaler.report(horizon) if autoscaler is not None else None

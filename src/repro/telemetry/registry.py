@@ -57,8 +57,22 @@ class MetricsSnapshot:
 class MetricsRegistry:
     """Named metric instruments with get-or-create semantics."""
 
-    def __init__(self) -> None:
-        """Create an empty registry."""
+    def __init__(self, default_histogram_window: Optional[int] = None) -> None:
+        """Create an empty registry.
+
+        Args:
+            default_histogram_window: ring-buffer window applied to
+                histograms created without an explicit ``window``; None
+                keeps :attr:`Histogram.DEFAULT_WINDOW` (how deployment
+                specs plumb ``telemetry.histogram_window`` bus-wide).
+        """
+        if default_histogram_window is not None and default_histogram_window < 2:
+            raise ValueError("default histogram window must be at least 2")
+        self._default_histogram_window = (
+            default_histogram_window
+            if default_histogram_window is not None
+            else Histogram.DEFAULT_WINDOW
+        )
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -98,13 +112,14 @@ class MetricsRegistry:
             self._gauges[name] = instrument
         return instrument
 
-    def histogram(self, name: str, window: int = Histogram.DEFAULT_WINDOW) -> Histogram:
+    def histogram(self, name: str, window: Optional[int] = None) -> Histogram:
         """Get or create the histogram with this name.
 
         Args:
             name: metric name, unique per instrument kind.
             window: ring-buffer window for a newly created histogram (an
-                existing histogram keeps its original window).
+                existing histogram keeps its original window); None uses
+                the registry's default window.
 
         Returns:
             The (possibly pre-existing) histogram.
@@ -112,7 +127,10 @@ class MetricsRegistry:
         self._check_name(name, self._histograms)
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = Histogram(name, window=window)
+            instrument = Histogram(
+                name,
+                window=window if window is not None else self._default_histogram_window,
+            )
             self._histograms[name] = instrument
         return instrument
 

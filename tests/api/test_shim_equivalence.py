@@ -1,0 +1,171 @@
+"""Golden shim tests: old kwargs == new spec API, bit-identical reports.
+
+The deprecated ``LegatoSystem.serve/federate/autoscaler`` kwarg surface
+is now a shim translating into the spec API.  These tests pin the
+contract the migration relies on: for the same seed, the old call and
+the equivalent ``deploy(spec).serve(...)`` produce *identical* serving
+reports across all three backend shapes -- and the shims warn.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import Autoscaler, DeploymentSpec, Federation, LegatoSystem, ServingWorkload
+from repro.api import (
+    AutoscaleSpec,
+    SchedulerSpec,
+    ServingSpec,
+    TelemetrySpec,
+    TopologySpec,
+)
+from repro.core.seeding import SeedPolicy
+from repro.scheduler.heats import HeatsConfig
+from repro.serving import BatchPolicy, Tenant
+
+
+def _tenants():
+    return [
+        Tenant(name="video", rate_limit_rps=30.0, burst=30, energy_weight=0.1,
+               latency_slo_s=120.0),
+        Tenant(name="sensors", rate_limit_rps=12.0, burst=12, energy_weight=0.9,
+               region="eu-north"),
+    ]
+
+
+def _workload(seed: int = 21) -> ServingWorkload:
+    return ServingWorkload.synthetic(
+        _tenants(),
+        {
+            "video": {"smartmirror": 0.5, "ml_inference": 0.5},
+            "sensors": {"iot_gateway": 0.7, "ml_inference": 0.3},
+        },
+        offered_rps=14.0,
+        duration_s=15.0,
+        seed=seed,
+    )
+
+
+def _identical(old, new):
+    """Bit-identical serving outcomes, checked at every level we report."""
+    assert old.summary() == new.summary()
+    assert old.latencies_s == new.latencies_s
+    assert old.completions_s == new.completions_s
+    assert old.simulation.summary() == new.simulation.summary()
+    assert sorted(task.task_id for task in old.simulation.completed) == sorted(
+        task.task_id for task in new.simulation.completed
+    )
+
+
+class TestServeShim:
+    def test_single_cluster_golden(self):
+        workload = _workload()
+        with pytest.warns(DeprecationWarning, match="deploy"):
+            old = LegatoSystem().serve(
+                workload,
+                cluster_scale=2,
+                seed=11,
+                batch_policy=BatchPolicy(max_batch_size=8, max_delay_s=1.5),
+            )
+        spec = DeploymentSpec(
+            name="legato",
+            topology=TopologySpec(cluster_scale=2, seed=SeedPolicy(base=11)),
+            serving=ServingSpec.from_batch_policy(
+                BatchPolicy(max_batch_size=8, max_delay_s=1.5)
+            ),
+        )
+        new = LegatoSystem().deploy(spec).serve(workload)
+        _identical(old, new)
+
+    def test_federated_golden(self):
+        workload = _workload(seed=22)
+        with pytest.warns(DeprecationWarning):
+            old = LegatoSystem().serve(
+                workload, cluster_scale=4, num_shards=2, seed=13,
+                heats_config=HeatsConfig(migration_improvement_threshold=0.1),
+            )
+        spec = DeploymentSpec(
+            topology=TopologySpec(cluster_scale=4, shards=2, seed=SeedPolicy(base=13)),
+            scheduler=SchedulerSpec.from_heats_config(
+                HeatsConfig(migration_improvement_threshold=0.1)
+            ),
+        )
+        new = LegatoSystem().deploy(spec).serve(workload)
+        _identical(old, new)
+        assert new.federation_stats is not None
+        assert old.federation_stats.summary() == new.federation_stats.summary()
+
+    def test_autoscaled_golden(self):
+        workload = _workload(seed=23)
+        with pytest.warns(DeprecationWarning):
+            old = LegatoSystem().serve(
+                workload, cluster_scale=1, autoscale=True, seed=17
+            )
+        spec = DeploymentSpec(
+            topology=TopologySpec(cluster_scale=1, seed=SeedPolicy(base=17)),
+            autoscale=AutoscaleSpec(enabled=True),
+            telemetry=TelemetrySpec(enabled=True),
+        )
+        new = LegatoSystem().deploy(spec).serve(workload)
+        _identical(old, new)
+        assert old.autoscale_report.summary() == new.autoscale_report.summary()
+
+    def test_shim_rejects_what_the_spec_rejects(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="divisible"):
+                LegatoSystem().serve(_workload(), cluster_scale=3, num_shards=2)
+
+    def test_no_cache_flag_translates(self):
+        workload = _workload(seed=24)
+        with pytest.warns(DeprecationWarning):
+            old = LegatoSystem().serve(workload, use_score_cache=False)
+        spec = DeploymentSpec(scheduler=SchedulerSpec(score_cache=False))
+        new = LegatoSystem().deploy(spec).serve(workload)
+        _identical(old, new)
+        assert new.cache_stats is None
+
+
+class TestFederateShim:
+    def test_warns_and_builds_equivalent_federation(self):
+        with pytest.warns(DeprecationWarning, match="federate"):
+            federation = LegatoSystem().federate(num_shards=3, seed=31)
+        assert isinstance(federation, Federation)
+        assert len(federation.shards) == 3
+        # Seed derivation went through the centralised SeedPolicy.
+        policy = SeedPolicy(base=31)
+        assert [shard.seed for shard in federation.shards] == [
+            policy.shard_seed(index) for index in range(3)
+        ]
+        report = federation.serve(_workload(seed=25))
+        assert report.completed > 0
+        assert report.federation_stats.placements > 0
+
+
+class TestAutoscalerShim:
+    def test_warns_and_returns_attached_controller(self):
+        with pytest.warns(DeprecationWarning, match="autoscale"):
+            scaler = LegatoSystem().autoscaler(num_shards=2)
+        assert isinstance(scaler, Autoscaler)
+        assert scaler.federation.scheduler.autoscaler is scaler
+        assert len(scaler.federation.shards) == 2
+        report = scaler.federation.serve(_workload(seed=26))
+        assert report.autoscale_report is not None
+
+
+class TestSeedPolicyCentralisation:
+    def test_shard_seeds_match_the_historic_rule(self):
+        policy = SeedPolicy()
+        # The documented, centralised rules reproduce the magic numbers
+        # they replaced: base 7, shard stride 101, probe stride 1009.
+        assert [policy.shard_seed(index) for index in range(4)] == [7, 108, 209, 310]
+        assert policy.probe_seed(policy.shard_seed(1), 0) == 108 + 1009
+
+    def test_grow_node_probes_with_the_policy_seed(self):
+        deployment = LegatoSystem().deploy(DeploymentSpec.preset("federated"))
+        federation = deployment.backend.federation
+        shard = federation.shards[0]
+        node = shard.grow_node("xeon-d-x86")
+        assert node.name.endswith("auto0-xeon-d-x86")
+        assert shard.grown_nodes == 1

@@ -21,6 +21,7 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
 
 REQUIRED_DOCS = [
     "architecture.md",
+    "api.md",
     "serving.md",
     "federation.md",
     "scheduler.md",

@@ -22,6 +22,7 @@ import repro
 
 SUBPACKAGES = [
     "repro",
+    "repro.api",
     "repro.autoscale",
     "repro.checkpoint",
     "repro.compiler",

@@ -18,6 +18,7 @@ EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 
 SUBPACKAGES = [
     "repro",
+    "repro.api",
     "repro.autoscale",
     "repro.checkpoint",
     "repro.compiler",
