@@ -133,6 +133,7 @@ class SingleClusterBackend:
             ),
             flush_tick_s=self.spec.serving.flush_tick_s,
             metrics=self.metrics,
+            fast_path=self.spec.serving.fast_path,
         )
         return loop.run(workload.requests)
 
@@ -210,6 +211,7 @@ class FederatedBackend:
                 else self.spec.serving.to_batch_policy()
             ),
             flush_tick_s=self.spec.serving.flush_tick_s,
+            fast_path=self.spec.serving.fast_path,
         )
 
     def topology(self) -> Dict[str, object]:

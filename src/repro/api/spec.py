@@ -246,6 +246,19 @@ class ServingSpec:
             deadline slack before a deadline-driven flush.
         flush_tick_s: cadence at which the gateway drains into the
             batcher and stale batches flush.
+        fast_path: drive the serving loop event-driven (skip quiet flush
+            ticks) and the simulator through its capacity-gated retry
+            index.  ``False`` replays the pre-overhaul fixed tick scan
+            and full pending rescan; serving outcomes (placements,
+            latencies, energy, completions) are identical either way
+            for single-cluster and federated deployments, but
+            attempt-based telemetry (router place/unplaced counters,
+            per-tenant demand) counts only *real* placement attempts on
+            the fast path instead of the old retry-storm attempts --
+            and because an *autoscaled* deployment's controller reads
+            those very signals, its scaling decisions (and hence its
+            report) may differ slightly between the two paths.  Kept
+            only for A/B benchmarking of the hot path.
     """
 
     max_batch_size: int = 16
@@ -253,6 +266,7 @@ class ServingSpec:
     memory_bucket_gib: float = 0.5
     deadline_margin_s: float = 0.5
     flush_tick_s: float = 0.5
+    fast_path: bool = True
 
     def validate(self, path: str = "serving") -> List[SpecIssue]:
         """Collect every problem with this section.

@@ -993,9 +993,15 @@ class Federation:
                 "warm state"
             )
         self._served = True
-        return self._run_serving(workload, batch_policy, 0.5)
+        return self._run_serving(workload, batch_policy, 0.5, True)
 
-    def run_workload(self, workload, batch_policy=None, flush_tick_s: float = 0.5):
+    def run_workload(
+        self,
+        workload,
+        batch_policy=None,
+        flush_tick_s: float = 0.5,
+        fast_path: bool = True,
+    ):
         """Serve a workload against warm state (repeatable session entry).
 
         The profiled prediction models, score caches, tenant affinity
@@ -1011,6 +1017,12 @@ class Federation:
             batch_policy: optional
                 :class:`~repro.serving.batching.BatchPolicy` override.
             flush_tick_s: gateway-drain / batch-flush cadence.
+            fast_path: event-driven ingest + capacity-gated retry; False
+                keeps the pre-overhaul scan.  Same serving outcomes;
+                attempt-based routing counters (place calls, unplaced,
+                demand) count only real attempts on the fast path, so an
+                attached autoscaler reading them may act at slightly
+                different instants.  For A/B benchmarking.
 
         Returns:
             The :class:`~repro.serving.loop.ServingReport`, with
@@ -1026,9 +1038,9 @@ class Federation:
         # Routing telemetry is per-run in a session: the warm caches and
         # pins carry over, the counters must not.
         self.scheduler.federation_stats = FederationStats()
-        return self._run_serving(workload, batch_policy, flush_tick_s)
+        return self._run_serving(workload, batch_policy, flush_tick_s, fast_path)
 
-    def _run_serving(self, workload, batch_policy, flush_tick_s: float):
+    def _run_serving(self, workload, batch_policy, flush_tick_s: float, fast_path: bool):
         """Shared serving body for :meth:`serve` and :meth:`run_workload`."""
         from repro.serving.gateway import RequestGateway
         from repro.serving.loop import ServingLoop
@@ -1044,5 +1056,6 @@ class Federation:
             batch_policy=batch_policy,
             flush_tick_s=flush_tick_s,
             metrics=self.metrics,
+            fast_path=fast_path,
         )
         return loop.run(workload.requests)

@@ -233,6 +233,14 @@ class Cluster:
         self._dynamic_power_total = 0.0
         self._idle_power_total = 0.0
         self._idle: Set[str] = set()
+        # Per-bucket max free memory (lazily recomputed when the holder
+        # shrinks) and node *total* shape census (for O(1) can-ever-fit
+        # checks): the parts of the capacity index the simulator's
+        # capacity-gated retry path reads per completion.  ``None`` marks
+        # a stale bucket maximum.
+        self._bucket_max_memory: Dict[int, Optional[float]] = {}
+        self._shape_counts: Dict[Tuple[int, float], int] = {}
+        self._membership_version = 0
         for node in nodes:
             self.add_node(node)
         if not self._nodes:
@@ -253,27 +261,55 @@ class Cluster:
         self._free_memory[node.name] = free_memory
         self._reserved_power[node.name] = reserved_power
         self._buckets.setdefault(free_cores, set()).add(node.name)
+        self._raise_bucket_max_memory(free_cores, free_memory)
         self._free_cores_total += free_cores
         self._free_memory_total += free_memory
         self._reserved_power_total += reserved_power
         if not node.running:
             self._idle.add(node.name)
 
+    def _raise_bucket_max_memory(self, free_cores: int, memory_gib: float) -> None:
+        """A node with ``memory_gib`` free joined a bucket: raise its max.
+
+        A stale (``None``) entry stays stale -- the joining node's memory
+        alone says nothing about the other members, so only the lazy
+        recompute may turn stale back into a definite value.
+        """
+        if free_cores not in self._bucket_max_memory:
+            self._bucket_max_memory[free_cores] = memory_gib
+            return
+        cached = self._bucket_max_memory[free_cores]
+        if cached is not None and memory_gib > cached:
+            self._bucket_max_memory[free_cores] = memory_gib
+
+    def _drop_from_bucket_max_memory(self, free_cores: int, memory_gib: float) -> None:
+        """A node that had ``memory_gib`` free left a bucket (or shrank)."""
+        if free_cores not in self._buckets:
+            self._bucket_max_memory.pop(free_cores, None)
+        elif self._bucket_max_memory.get(free_cores) == memory_gib:
+            # The (possibly tied) holder left; recompute lazily on read.
+            self._bucket_max_memory[free_cores] = None
+
     def _on_capacity_change(self, node: ClusterNode) -> None:
         self._capacity_cache = None
         old_free = self._free_cores[node.name]
+        old_memory = self._free_memory[node.name]
         new_free = node.available.cores
+        new_memory = node.available.memory_gib
         if new_free != old_free:
             bucket = self._buckets[old_free]
             bucket.discard(node.name)
             if not bucket:
                 del self._buckets[old_free]
             self._buckets.setdefault(new_free, set()).add(node.name)
+            self._drop_from_bucket_max_memory(old_free, old_memory)
+            self._raise_bucket_max_memory(new_free, new_memory)
             self._free_cores_total += new_free - old_free
             self._free_cores[node.name] = new_free
-        old_memory = self._free_memory[node.name]
-        new_memory = node.available.memory_gib
         if new_memory != old_memory:
+            if new_free == old_free:
+                self._drop_from_bucket_max_memory(new_free, old_memory)
+                self._raise_bucket_max_memory(new_free, new_memory)
             self._free_memory_total += new_memory - old_memory
             self._free_memory[node.name] = new_memory
         old_power = self._reserved_power[node.name]
@@ -309,6 +345,9 @@ class Cluster:
         self._total_memory += node.total.memory_gib
         self._dynamic_power_total += node.spec.peak_power_w - node.spec.idle_power_w
         self._idle_power_total += node.spec.idle_power_w
+        shape = (node.total.cores, node.total.memory_gib)
+        self._shape_counts[shape] = self._shape_counts.get(shape, 0) + 1
+        self._membership_version += 1
         self._index_node(node)
         node.subscribe(self._on_capacity_change)
         self._capacity_cache = None
@@ -343,7 +382,14 @@ class Cluster:
         if not bucket:
             del self._buckets[free_cores]
         self._free_cores_total -= free_cores
-        self._free_memory_total -= self._free_memory.pop(name)
+        freed_memory = self._free_memory.pop(name)
+        self._drop_from_bucket_max_memory(free_cores, freed_memory)
+        shape = (node.total.cores, node.total.memory_gib)
+        self._shape_counts[shape] -= 1
+        if not self._shape_counts[shape]:
+            del self._shape_counts[shape]
+        self._membership_version += 1
+        self._free_memory_total -= freed_memory
         self._reserved_power_total -= self._reserved_power.pop(name)
         self._total_cores -= node.total.cores
         self._total_memory -= node.total.memory_gib
@@ -385,6 +431,71 @@ class Cluster:
                 dynamic_power_w=self._dynamic_power_total,
             )
         return self._capacity_cache
+
+    @property
+    def membership_version(self) -> int:
+        """Monotone counter bumped by every node add/remove.
+
+        An exact, O(1) topology-change fingerprint: two reads differ if
+        and only if the node population mutated in between (a same-size
+        swap of different models is still two bumps).  The simulator
+        compares it around reschedule events to decide whether queued
+        requests and the idle-power level need revisiting.
+        """
+        return self._membership_version
+
+    def _bucket_max_memory_gib(self, free_cores: int) -> float:
+        """Max free memory among the nodes of one free-core bucket."""
+        cached = self._bucket_max_memory.get(free_cores)
+        if cached is None:
+            cached = max(
+                self._free_memory[name] for name in self._buckets[free_cores]
+            )
+            self._bucket_max_memory[free_cores] = cached
+        return cached
+
+    def has_feasible_node(self, cores: int, memory_gib: float) -> bool:
+        """Whether some node currently has both the cores and the memory.
+
+        The exact feasibility oracle behind the simulator's capacity-gated
+        retry: equivalent to ``bool(feasible_nodes(cores, memory_gib))``
+        but answered from the free-core buckets and their (lazily
+        memoised) per-bucket max free memory -- O(distinct free-core
+        counts) instead of a node scan, which is what makes retrying a
+        deep pending queue per completion affordable.
+
+        Args:
+            cores: requested core count.
+            memory_gib: requested memory.
+
+        Returns:
+            True when at least one node can host the demand right now.
+        """
+        for free_cores in self._buckets:
+            if free_cores >= cores and (
+                self._bucket_max_memory_gib(free_cores) >= memory_gib
+            ):
+                return True
+        return False
+
+    def fits_any_node_total(self, cores: int, memory_gib: float) -> bool:
+        """Whether any node could host the demand even when fully idle.
+
+        Served from a census of distinct node *total* shapes (a handful of
+        catalogue models), so arrival-time feasibility screening is O(1)
+        instead of a node scan.
+
+        Args:
+            cores: requested core count.
+            memory_gib: requested memory.
+
+        Returns:
+            True when at least one node's total resources suffice.
+        """
+        return any(
+            cores <= total_cores and memory_gib <= total_memory
+            for total_cores, total_memory in self._shape_counts
+        )
 
     @classmethod
     def from_models(cls, models: Mapping[str, int], prefix: str = "node") -> "Cluster":

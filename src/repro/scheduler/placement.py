@@ -30,6 +30,9 @@ class Placement:
     start_s: float
     expected_finish_s: float
     work_done_gops: float = 0.0
+    #: work already banked when the current hosting segment began; progress
+    #: on the current node accrues on top of this, never instead of it.
+    segment_base_gops: float = 0.0
     migrations: int = 0
 
     @property
@@ -89,14 +92,22 @@ class PlacementEngine:
     # Migration
     # ------------------------------------------------------------------ #
     def advance_progress(self, task_id: str, time_s: float) -> float:
-        """Update a task's completed work as of ``time_s``; returns remaining Gop."""
+        """Update a task's completed work as of ``time_s``; returns remaining Gop.
+
+        Progress is accounted from the post-migration baseline: work done on
+        the current node accrues on top of ``segment_base_gops`` (everything
+        banked before the segment began), so a task migrated several times
+        never loses the progress of its earlier hosting segments.
+        """
         placement = self._require(task_id)
         node = self.cluster.node(placement.node)
         elapsed = max(0.0, time_s - placement.start_s)
         rate = placement.request.gops / node.execution_time_s(
             placement.request.workload, placement.request.gops, placement.request.cores
         )
-        placement.work_done_gops = min(placement.request.gops, rate * elapsed + placement.work_done_gops * 0.0)
+        placement.work_done_gops = min(
+            placement.request.gops, placement.segment_base_gops + rate * elapsed
+        )
         return placement.remaining_gops
 
     def migration_downtime_s(self, request: TaskRequest) -> float:
@@ -148,6 +159,7 @@ class PlacementEngine:
         placement.start_s = time_s + downtime
         placement.expected_finish_s = time_s + downtime + new_duration
         placement.work_done_gops = request.gops - remaining
+        placement.segment_base_gops = placement.work_done_gops
         placement.migrations += 1
         self._migrations.append(event)
         return event

@@ -112,6 +112,77 @@ class SimulationResult:
         }
 
 
+class _PendingQueue:
+    """FIFO retry queue indexed by resource shape (cores, memory).
+
+    The old hot path retried *every* queued request through the scheduler
+    on *every* completion -- O(pending x nodes) per event.  Serving queues
+    are shape-degenerate (batches come in a handful of (cores, memory)
+    shapes), so the queue is bucketed by exact shape: a completion gates
+    each *shape* once against the cluster's free-capacity index and only
+    surfaces requests whose shape some node can host right now.  FIFO
+    order across shapes is preserved via a monotone sequence number, so
+    placement outcomes are identical to the full rescan.
+    """
+
+    def __init__(self) -> None:
+        self._seq = itertools.count()
+        self._by_shape: Dict[Tuple[int, float], List[Tuple[int, TaskRequest]]] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, request: TaskRequest) -> None:
+        self._by_shape.setdefault((request.cores, request.memory_gib), []).append(
+            (next(self._seq), request)
+        )
+        self._count += 1
+
+    def candidates(self, shape_fits) -> List[Tuple[int, TaskRequest]]:
+        """Queued requests whose shape passes the gate, oldest first.
+
+        Args:
+            shape_fits: ``(cores, memory_gib) -> bool`` feasibility oracle
+                (typically ``Cluster.has_feasible_node``), consulted once
+                per distinct shape.
+        """
+        out: List[Tuple[int, TaskRequest]] = []
+        for (cores, memory_gib), bucket in self._by_shape.items():
+            if shape_fits(cores, memory_gib):
+                out.extend(bucket)
+        out.sort()
+        return out
+
+    def all_entries(self) -> List[Tuple[int, TaskRequest]]:
+        """Every queued request, oldest first (the legacy full rescan)."""
+        out: List[Tuple[int, TaskRequest]] = []
+        for bucket in self._by_shape.values():
+            out.extend(bucket)
+        out.sort()
+        return out
+
+    def remove(self, placed: Dict[Tuple[int, float], set]) -> None:
+        """Drop placed entries, rebuilding only the affected shape buckets.
+
+        Args:
+            placed: per-shape sets of placed sequence numbers; shapes not
+                present are untouched (the deep gated-out tail costs
+                nothing here).
+        """
+        for shape, seqs in placed.items():
+            bucket = [e for e in self._by_shape[shape] if e[0] not in seqs]
+            if bucket:
+                self._by_shape[shape] = bucket
+            else:
+                del self._by_shape[shape]
+            self._count -= len(seqs)
+
+    def drain_ids(self) -> List[str]:
+        """Task ids of everything still queued, oldest first."""
+        return [request.task_id for _, request in self.all_entries()]
+
+
 def _integrate_levels(levels: List[Tuple[float, float]], end_s: float) -> float:
     """Integrate a piecewise-constant level history over [0, end_s].
 
@@ -133,6 +204,36 @@ class ClusterSimulator:
     #: event kinds, ordered so completions release resources before arrivals.
     _COMPLETION, _ARRIVAL, _RESCHEDULE = 0, 1, 2
 
+    #: floor on the consecutive no-progress reschedule heartbeats an
+    #: *elastic* run with queued work keeps alive before giving up.  An
+    #: autoscaler in a cooldown needs later heartbeats to grow capacity
+    #: for a queued request nothing else will unblock; the actual window
+    #: stretches to cover the attached controller's configured cooldowns
+    #: (see :meth:`_elastic_grace_heartbeats`), and the bound keeps a
+    #: controller that never acts from spinning the event loop forever.
+    _ELASTIC_GRACE_HEARTBEATS = 8
+
+    def _elastic_grace_heartbeats(self) -> int:
+        """No-progress heartbeats to keep alive while elastic work queues.
+
+        At least :attr:`_ELASTIC_GRACE_HEARTBEATS`; stretched so the
+        window outlasts the attached autoscaler's longest configured
+        cooldown (plus one interval of slack) when that is discoverable,
+        so queued work is never abandoned moments before the controller
+        was finally allowed to act.
+        """
+        floor = self._ELASTIC_GRACE_HEARTBEATS
+        config = getattr(
+            getattr(self.scheduler, "autoscaler", None), "config", None
+        )
+        if config is None or self.rescheduling_interval_s <= 0:
+            return floor
+        cooldown = max(
+            getattr(config, "scale_up_cooldown_s", 0.0),
+            getattr(config, "scale_down_cooldown_s", 0.0),
+        )
+        return max(floor, int(cooldown / self.rescheduling_interval_s) + 2)
+
     def __init__(
         self,
         cluster: Cluster,
@@ -140,9 +241,30 @@ class ClusterSimulator:
         monitor: Optional[ClusterMonitor] = None,
         monitoring_period_s: float = 30.0,
         rescheduling_interval_s: Optional[float] = None,
+        fast_path: bool = True,
     ) -> None:
+        """Wire a simulator over a cluster and a policy.
+
+        Args:
+            cluster: the cluster the requests are replayed against.
+            scheduler: the placement policy driving the run.
+            monitor: optional pre-built monitor; one is created otherwise.
+            monitoring_period_s: minimum simulated time between samples.
+            rescheduling_interval_s: reschedule heartbeat; defaults to the
+                policy's configured cadence, else 60 s.
+            fast_path: use the capacity-gated retry index and
+                topology-change-only idle-power accounting.  ``False``
+                keeps the pre-overhaul full pending rescan per completion
+                -- identical :class:`SimulationResult`, with one caveat:
+                the scheduler's attempt-based counters see fewer
+                (real-only) placement attempts on the fast path, so a
+                policy that *acts* on those counters (an attached
+                autoscaler) may mutate topology at slightly different
+                instants.  Kept for A/B benchmarking and property tests.
+        """
         self.cluster = cluster
         self.scheduler = scheduler
+        self.fast_path = fast_path
         self.monitor = monitor if monitor is not None else ClusterMonitor(cluster)
         self.monitoring_period_s = monitoring_period_s
         if rescheduling_interval_s is None:
@@ -197,8 +319,12 @@ class ClusterSimulator:
             )
         self._consumed = True
         result = SimulationResult(scheduler=self.scheduler.name)
-        pending: List[TaskRequest] = []
+        pending = _PendingQueue()
         remaining = len(requests)
+        # An elastic topology (an autoscaler attached to the policy) may
+        # grow nodes mid-run, so "no node could ever host this" is not a
+        # final verdict there -- such arrivals queue instead of rejecting.
+        elastic = getattr(self.scheduler, "autoscaler", None) is not None
 
         for request in requests:
             self._push(request.arrival_s, self._ARRIVAL, request)
@@ -206,18 +332,19 @@ class ClusterSimulator:
             self._push(self.rescheduling_interval_s, self._RESCHEDULE, None)
 
         last_monitor_sample = -float("inf")
-        current_time = 0.0
+        idle_heartbeats = 0
         # Idle power is piecewise constant: it only changes when the node
         # population does (elastic autoscaling during a reschedule event).
         # Track the level changes so idle energy can be integrated over
         # the actual topology history instead of the end-of-run node set.
+        # On the fast path the level is re-read only after reschedule
+        # events (the sole place topology mutates) instead of per event.
         idle_power_levels: List[Tuple[float, float]] = [
             (0.0, self.cluster.total_idle_power_w())
         ]
 
         while self._events:
             time_s, kind, _, payload = heapq.heappop(self._events)
-            current_time = time_s
             if time_s - last_monitor_sample >= self.monitoring_period_s:
                 self.monitor.sample(time_s)
                 last_monitor_sample = time_s
@@ -225,13 +352,17 @@ class ClusterSimulator:
             if kind == self._ARRIVAL:
                 request = payload  # type: ignore[assignment]
                 if not self._can_ever_fit(request):
-                    # No node's *total* resources suffice: queueing would
-                    # never help, so reject immediately instead of waiting
-                    # for a completion that cannot unblock the request.
-                    result.unplaced.append(request.task_id)
-                    remaining -= 1
+                    if elastic:
+                        pending.push(request)
+                    else:
+                        # No node's *total* resources suffice and the
+                        # topology is fixed: queueing would never help, so
+                        # reject immediately instead of waiting for a
+                        # completion that cannot unblock the request.
+                        result.unplaced.append(request.task_id)
+                        remaining -= 1
                 elif not self._try_place(request, time_s, result):
-                    pending.append(request)
+                    pending.push(request)
             elif kind == self._COMPLETION:
                 task_id, version = payload  # type: ignore[misc]
                 if self._completion_version.get(task_id) != version:
@@ -251,28 +382,50 @@ class ClusterSimulator:
                         migrations=placement.migrations,
                     )
                 )
-                # A freed node may unblock queued requests.
-                still_pending: List[TaskRequest] = []
-                for queued in pending:
-                    if not self._try_place(queued, time_s, result):
-                        still_pending.append(queued)
-                pending = still_pending
+                # The freed node may unblock queued requests.
+                self._retry_pending(pending, time_s, result)
             elif kind == self._RESCHEDULE:
+                topology_before = self.cluster.membership_version
                 self._apply_rescheduling(time_s)
+                topology_changed = topology_before != self.cluster.membership_version
+                if topology_changed:
+                    # Nodes grown by an autoscaler must be able to unblock
+                    # queued requests *now*, not at the next unrelated
+                    # completion (and requests no node could ever host may
+                    # have just become feasible).
+                    self._retry_pending(pending, time_s, result)
+                if not self.fast_path or topology_changed:
+                    idle_power = self.cluster.total_idle_power_w()
+                    if idle_power != idle_power_levels[-1][1]:
+                        idle_power_levels.append((time_s, idle_power))
                 # Re-arm only while progress is still possible: something is
                 # running, or other events (arrivals/completions) are due.
                 # Otherwise pending-but-unplaceable requests would keep the
                 # reschedule heartbeat (and the event loop) alive forever.
+                # An elastic run additionally gets a bounded grace window:
+                # queued work nothing hosts *yet* must survive an autoscaler
+                # cooldown spanning several heartbeats.
+                if self.engine.running or topology_changed:
+                    idle_heartbeats = 0
                 if remaining > 0 and (self.engine.running or self._events):
                     self._push(time_s + self.rescheduling_interval_s, self._RESCHEDULE, None)
-            idle_power = self.cluster.total_idle_power_w()
-            if idle_power != idle_power_levels[-1][1]:
-                idle_power_levels.append((time_s, idle_power))
+                elif (
+                    remaining > 0
+                    and elastic
+                    and len(pending)
+                    and idle_heartbeats < self._elastic_grace_heartbeats()
+                ):
+                    idle_heartbeats += 1
+                    self._push(time_s + self.rescheduling_interval_s, self._RESCHEDULE, None)
+            if not self.fast_path:
+                idle_power = self.cluster.total_idle_power_w()
+                if idle_power != idle_power_levels[-1][1]:
+                    idle_power_levels.append((time_s, idle_power))
 
         result.makespan_s = max((task.finish_s for task in result.completed), default=0.0)
         result.idle_energy_j = _integrate_levels(idle_power_levels, result.makespan_s)
         result.migrations = list(self.engine.migrations)
-        result.unplaced.extend(request.task_id for request in pending)
+        result.unplaced.extend(pending.drain_ids())
         return result
 
     # ------------------------------------------------------------------ #
@@ -280,9 +433,46 @@ class ClusterSimulator:
     # ------------------------------------------------------------------ #
     def _can_ever_fit(self, request: TaskRequest) -> bool:
         """Whether any node could host the request even when fully idle."""
-        return any(
-            node.total.fits(request.cores, request.memory_gib) for node in self.cluster
-        )
+        return self.cluster.fits_any_node_total(request.cores, request.memory_gib)
+
+    def _retry_pending(
+        self, pending: _PendingQueue, time_s: float, result: SimulationResult
+    ) -> None:
+        """Retry queued requests that some node could actually host.
+
+        On the fast path each distinct queued shape is gated once against
+        the cluster's feasibility oracle (a node with both the cores and
+        the memory exists) and only passing shapes are surfaced -- a shape
+        no node can host would fail scheduler placement anyway, so
+        skipping it cannot change the outcome.  Each surfaced request is
+        re-gated before its attempt because successful placements shrink
+        capacity.  The legacy path replays the pre-overhaul full rescan.
+        """
+        if not len(pending):
+            return
+        if self.fast_path:
+            entries = pending.candidates(self.cluster.has_feasible_node)
+        else:
+            entries = pending.all_entries()
+        placed: Dict[Tuple[int, float], set] = {}
+        # Feasibility memo per shape, valid until a placement shrinks
+        # capacity: surfacing a long shape queue costs one oracle read,
+        # not one per queued request.
+        feasible: Dict[Tuple[int, float], bool] = {}
+        for seq, request in entries:
+            shape = (request.cores, request.memory_gib)
+            if self.fast_path:
+                fits = feasible.get(shape)
+                if fits is None:
+                    fits = self.cluster.has_feasible_node(*shape)
+                    feasible[shape] = fits
+                if not fits:
+                    continue
+            if self._try_place(request, time_s, result):
+                placed.setdefault(shape, set()).add(seq)
+                feasible.clear()
+        if placed:
+            pending.remove(placed)
 
     def _try_place(self, request: TaskRequest, time_s: float, result: SimulationResult) -> bool:
         node_name = self.scheduler.place(request, self.cluster, time_s)

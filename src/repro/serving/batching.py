@@ -104,6 +104,7 @@ class Batcher:
         self.policy = policy if policy is not None else BatchPolicy()
         self._open: Dict[BatchKey, Batch] = {}
         self._ids = itertools.count()
+        self._last_now_s = float("-inf")
         # Bound once; each flush records one counter add + one ring write.
         if metrics is not None:
             self._m_flushes = metrics.counter("batcher.flushes")
@@ -116,6 +117,41 @@ class Batcher:
         bucket = int(request.memory_gib / self.policy.memory_bucket_gib)
         return (request.tenant, request.use_case, request.workload, request.cores, bucket)
 
+    def _observe_clock(self, now_s: float) -> None:
+        """Enforce the monotone-clock contract of the batching timeline.
+
+        A batch must never flush earlier than any of its members was
+        added; rejecting a backwards clock at the door makes that
+        invariant structural instead of an accident of the caller's tick
+        arithmetic.
+        """
+        if now_s < self._last_now_s:
+            raise ValueError(
+                f"batcher observed time going backwards "
+                f"({now_s} after {self._last_now_s})"
+            )
+        self._last_now_s = now_s
+
+    def next_flush_due_s(self) -> Optional[float]:
+        """Earliest instant any open batch becomes flushable, or None.
+
+        The staleness rule fires a batch at ``opened + max_delay`` and the
+        deadline rule at ``deadline - margin``; the minimum over open
+        batches is the next time a time-driven flush can possibly happen,
+        which lets an event-driven serving loop skip every quiet tick
+        before it.  Size-cap flushes happen inside :meth:`add` and need no
+        clock.
+        """
+        due: Optional[float] = None
+        for batch in self._open.values():
+            batch_due = batch.opened_s + self.policy.max_delay_s
+            deadline = batch.earliest_deadline_s
+            if deadline is not None:
+                batch_due = min(batch_due, deadline - self.policy.deadline_margin_s)
+            if due is None or batch_due < due:
+                due = batch_due
+        return due
+
     @property
     def open_batches(self) -> List[Batch]:
         return list(self._open.values())
@@ -125,6 +161,7 @@ class Batcher:
     # ------------------------------------------------------------------ #
     def add(self, request: ServingRequest, now_s: float) -> List[Batch]:
         """Append a request; returns any batches this add caused to flush."""
+        self._observe_clock(now_s)
         key = self._key(request)
         batch = self._open.get(key)
         if batch is None:
@@ -142,6 +179,7 @@ class Batcher:
 
     def flush_ready(self, now_s: float) -> List[Batch]:
         """Flush batches that are stale or whose deadline slack ran out."""
+        self._observe_clock(now_s)
         flushed: List[Batch] = []
         for key, batch in list(self._open.items()):
             if now_s - batch.opened_s >= self.policy.max_delay_s:
@@ -154,6 +192,7 @@ class Batcher:
 
     def flush_all(self, now_s: float) -> List[Batch]:
         """Drain every open batch (end of stream)."""
+        self._observe_clock(now_s)
         return [self._flush(key, now_s) for key in list(self._open)]
 
     def _flush(self, key: BatchKey, now_s: float) -> Batch:

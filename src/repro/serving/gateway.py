@@ -160,6 +160,7 @@ class RequestGateway:
         self._buckets: Dict[str, TokenBucket] = {}
         self._queues: Dict[str, Deque[ServingRequest]] = {}
         self._stats: Dict[str, GatewayStats] = {}
+        self._queued_total = 0
         # Admission instruments are bound once; the per-offer hot path does
         # a constant number of float adds, no registry lookups.
         if metrics is not None:
@@ -221,6 +222,7 @@ class RequestGateway:
                 self._m_rejected.inc()
             return AdmissionDecision.REJECTED_RATE_LIMIT
         queue.append(request)
+        self._queued_total += 1
         stats.admitted += 1
         if self._m_admitted is not None:
             self._m_admitted.inc()
@@ -238,6 +240,7 @@ class RequestGateway:
                 drained.append(queue.popleft())
                 if not queue:
                     queues.remove(queue)
+        self._queued_total -= len(drained)
         if self._m_queue_depth is not None and drained:
             self._m_queue_depth.add(-float(len(drained)))
         return drained
@@ -245,6 +248,15 @@ class RequestGateway:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    @property
+    def queued_count(self) -> int:
+        """Admitted requests currently waiting to be drained, across tenants.
+
+        Maintained as a running counter on offer/drain so the serving
+        loop's event-driven tick derivation reads it in O(1).
+        """
+        return self._queued_total
+
     def queue_depth(self, tenant: str) -> int:
         return len(self._queues[tenant])
 

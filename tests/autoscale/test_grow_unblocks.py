@@ -1,0 +1,167 @@
+"""Elastic-topology unblocking regressions for the cluster simulator.
+
+Pre-overhaul, ``ClusterSimulator`` retried its pending queue only when a
+completion fired: nodes grown by an autoscaler during a reschedule pass
+could not unblock queued requests until some unrelated task finished, and
+an arrival that no *current* node could ever host was rejected outright
+even though a later grow would have made it feasible.  These tests pin
+the fixed behaviour with a deterministic elastic policy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.hardware.microserver import MICROSERVER_CATALOG, WorkloadKind
+from repro.scheduler.cluster import Cluster, ClusterNode
+from repro.scheduler.simulation import ClusterSimulator
+from repro.scheduler.workload import TaskRequest
+
+
+def make_request(task_id, gops=200.0, cores=4, memory_gib=1.0, arrival_s=0.0):
+    return TaskRequest(
+        task_id=task_id,
+        arrival_s=arrival_s,
+        workload=WorkloadKind.SCALAR,
+        gops=gops,
+        cores=cores,
+        memory_gib=memory_gib,
+    )
+
+
+class GrowOnReschedule:
+    """First-fit policy that grows one node at a chosen reschedule pass.
+
+    Carries a truthy ``autoscaler`` marker so the simulator treats the
+    topology as elastic (arrivals too large for every current node queue
+    instead of being rejected outright).  ``cooldown_passes`` no-op
+    heartbeats run before the grow, mimicking a controller cooldown;
+    ``cooldown_passes=None`` never grows at all.
+    """
+
+    name = "grow_on_reschedule"
+    supports_rescheduling = True
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        model: str = "apalis-arm-soc",
+        cooldown_passes: int = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.model = model
+        self.cooldown_passes = cooldown_passes
+        self.autoscaler = object()  # marks the topology as elastic
+        self.passes = 0
+        self.grow_times: List[float] = []
+
+    def place(self, request, cluster, time_s):
+        for node in cluster.feasible_nodes(request.cores, request.memory_gib):
+            return node.name
+        return None
+
+    def reschedule(self, running, cluster, time_s) -> List[Tuple[str, str]]:
+        self.passes += 1
+        if (
+            self.cooldown_passes is not None
+            and not self.grow_times
+            and self.passes > self.cooldown_passes
+        ):
+            self.cluster.add_node(
+                ClusterNode(
+                    name=f"grown-{len(self.grow_times)}-{self.model}",
+                    spec=MICROSERVER_CATALOG[self.model],
+                )
+            )
+            self.grow_times.append(time_s)
+        return []
+
+
+class TestGrowUnblocksQueued:
+    def test_grown_node_unblocks_queued_request_at_the_reschedule(self):
+        """A request queued behind a full cluster must start on the grown
+        node at the reschedule instant, not wait for the hog to finish."""
+        cluster = Cluster.from_models({"apalis-arm-soc": 1})
+        scheduler = GrowOnReschedule(cluster)
+        hog = make_request("hog", gops=500.0, cores=4)
+        waiter = make_request("waiter", gops=50.0, cores=4, arrival_s=1.0)
+        result = ClusterSimulator(
+            cluster, scheduler, rescheduling_interval_s=5.0
+        ).run([hog, waiter])
+
+        assert result.unplaced == []
+        by_id = {task.task_id: task for task in result.completed}
+        [grow_time] = scheduler.grow_times
+        assert by_id["waiter"].start_s == pytest.approx(grow_time)
+        assert by_id["waiter"].start_s < by_id["hog"].finish_s
+        assert by_id["waiter"].nodes == ("grown-0-apalis-arm-soc",)
+
+    def test_arrival_too_big_for_any_current_node_waits_for_a_grow(self):
+        """Under an elastic policy, 'no node could ever host this' is not a
+        final verdict: the request queues and lands on the grown node."""
+        cluster = Cluster.from_models({"apalis-arm-soc": 1})  # 4 cores
+        scheduler = GrowOnReschedule(cluster, model="xeon-d-x86")  # 8 cores
+        big = make_request("big", gops=100.0, cores=8, memory_gib=4.0)
+        result = ClusterSimulator(
+            cluster, scheduler, rescheduling_interval_s=5.0
+        ).run([big])
+
+        assert result.unplaced == []
+        [task] = result.completed
+        assert task.nodes == ("grown-0-xeon-d-x86",)
+        assert task.start_s == pytest.approx(scheduler.grow_times[0])
+
+    def test_queued_work_survives_a_controller_cooldown(self):
+        """A grow on the *third* heartbeat (cooldown) must still unblock a
+        queued request with nothing else running: the elastic grace window
+        keeps the heartbeat armed across no-progress passes."""
+        cluster = Cluster.from_models({"apalis-arm-soc": 1})  # 4 cores
+        scheduler = GrowOnReschedule(
+            cluster, model="xeon-d-x86", cooldown_passes=2
+        )
+        big = make_request("big", gops=100.0, cores=8, memory_gib=4.0)
+        result = ClusterSimulator(
+            cluster, scheduler, rescheduling_interval_s=5.0
+        ).run([big])
+
+        assert result.unplaced == []
+        [task] = result.completed
+        assert task.start_s == pytest.approx(scheduler.grow_times[0])
+        assert scheduler.passes >= 3
+
+    def test_elastic_run_terminates_when_the_controller_never_grows(self):
+        """The grace window is bounded: a controller that never acts must
+        not keep the heartbeat (and the event loop) alive forever."""
+        cluster = Cluster.from_models({"apalis-arm-soc": 1})
+        scheduler = GrowOnReschedule(cluster, cooldown_passes=None)
+        big = make_request("big", gops=100.0, cores=8, memory_gib=64.0)
+        result = ClusterSimulator(
+            cluster, scheduler, rescheduling_interval_s=5.0
+        ).run([big])
+
+        assert result.unplaced == ["big"]
+        assert result.completed == []
+        assert scheduler.passes <= ClusterSimulator._ELASTIC_GRACE_HEARTBEATS + 1
+
+    def test_static_policy_still_rejects_impossible_arrivals(self):
+        """Without an autoscaler the fixed-topology fast reject stays."""
+        cluster = Cluster.from_models({"apalis-arm-soc": 1})
+
+        class FirstFit:
+            name = "first_fit"
+            supports_rescheduling = False
+
+            def place(self, request, cluster, time_s):
+                for node in cluster.feasible_nodes(request.cores, request.memory_gib):
+                    return node.name
+                return None
+
+            def reschedule(self, running, cluster, time_s):
+                return []
+
+        result = ClusterSimulator(cluster, FirstFit()).run(
+            [make_request("big", cores=64, memory_gib=128.0)]
+        )
+        assert result.unplaced == ["big"]

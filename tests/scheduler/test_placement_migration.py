@@ -1,0 +1,131 @@
+"""Migration progress accounting regressions (PlacementEngine).
+
+The double-migration bug: ``advance_progress`` used to recompute a task's
+completed work from the *current* segment only, silently discarding the
+work banked before the previous migration.  A task migrated twice then
+overstated its remaining work, finish time, and energy.  These tests pin
+the fixed accounting: progress accrues on top of the post-migration
+baseline, and the total work executed across all hosting segments equals
+exactly the work the request asked for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.hardware.microserver import WorkloadKind
+from repro.scheduler.cluster import Cluster, ClusterNode
+from repro.scheduler.placement import PlacementEngine
+from repro.scheduler.simulation import ClusterSimulator
+from repro.scheduler.workload import TaskRequest
+
+
+def make_request(gops: float = 5000.0, cores: int = 2, memory_gib: float = 0.5):
+    return TaskRequest(
+        task_id="hop",
+        arrival_s=0.0,
+        workload=WorkloadKind.SCALAR,
+        gops=gops,
+        cores=cores,
+        memory_gib=memory_gib,
+    )
+
+
+def _rate(node: ClusterNode, request: TaskRequest) -> float:
+    """Executed Gop/s of the request on a node (full-request run time)."""
+    return request.gops / node.execution_time_s(
+        request.workload, request.gops, request.cores
+    )
+
+
+class HopTwiceScheduler:
+    """Places on the first node, then migrates to the second, then third."""
+
+    name = "hop_twice"
+    supports_rescheduling = True
+
+    def __init__(self, hops: List[str]) -> None:
+        self.hops = hops
+        self._next = 1
+
+    def place(self, request, cluster, time_s):
+        node = cluster.node(self.hops[0])
+        return node.name if node.can_host(request.cores, request.memory_gib) else None
+
+    def reschedule(self, running, cluster, time_s) -> List[Tuple[str, str]]:
+        if not running or self._next >= len(self.hops):
+            return []
+        target = self.hops[self._next]
+        self._next += 1
+        return [(running[0].request.task_id, target)]
+
+
+class TestDoubleMigrationProgress:
+    def test_second_migration_keeps_first_segment_progress(self):
+        """Engine-level regression: remaining work after hop 2 must reflect
+        the work done on *both* earlier hosts, not just the latest one."""
+        cluster = Cluster.from_models({"xeon-d-x86": 3})
+        first, second, third = cluster.nodes
+        engine = PlacementEngine(cluster)
+        request = make_request()
+        engine.instantiate(request, first.name, 0.0)
+
+        event_1 = engine.migrate("hop", second.name, 10.0)
+        work_1 = _rate(first, request) * 10.0
+        assert event_1.remaining_gops == pytest.approx(request.gops - work_1)
+
+        resume_1 = 10.0 + event_1.downtime_s
+        event_2 = engine.migrate("hop", third.name, resume_1 + 10.0)
+        work_2 = _rate(second, request) * 10.0
+        # Pre-fix, advance_progress zeroed the banked work_1 here.
+        assert event_2.remaining_gops == pytest.approx(
+            request.gops - work_1 - work_2
+        )
+        placement = engine.placement("hop")
+        assert placement.work_done_gops == pytest.approx(work_1 + work_2)
+        assert placement.migrations == 2
+
+    def test_twice_migrated_task_executes_exactly_its_gops(self):
+        """End-to-end: across three hosting segments the executed work sums
+        to the requested Gop, i.e. the finish time is consistent with the
+        per-node rates and no progress was lost or double counted."""
+        cluster = Cluster.from_models(
+            {"xeon-d-x86": 1, "arm64-server": 1, "jetson-gpu-soc": 1}
+        )
+        names = [node.name for node in cluster.nodes]
+        scheduler = HopTwiceScheduler(names)
+        request = make_request(gops=4000.0)
+        simulator = ClusterSimulator(
+            cluster, scheduler, rescheduling_interval_s=20.0
+        )
+        result = simulator.run([request])
+
+        [task] = result.completed
+        assert task.migrations == 2
+        assert [event.task_id for event in result.migrations] == ["hop", "hop"]
+        event_1, event_2 = result.migrations
+        nodes = {node.name: node for node in cluster.nodes}
+
+        executed = _rate(nodes[names[0]], request) * (event_1.time_s - task.start_s)
+        executed += _rate(nodes[names[1]], request) * (
+            event_2.time_s - (event_1.time_s + event_1.downtime_s)
+        )
+        executed += _rate(nodes[names[2]], request) * (
+            task.finish_s - (event_2.time_s + event_2.downtime_s)
+        )
+        assert executed == pytest.approx(request.gops, rel=1e-9)
+
+    def test_migration_remaining_matches_engine_progress_after_one_hop(self):
+        """One migration stays exact too (the pre-fix behaviour happened to
+        be correct for a single hop; keep it pinned)."""
+        cluster = Cluster.from_models({"xeon-d-x86": 2})
+        first, second = cluster.nodes
+        engine = PlacementEngine(cluster)
+        request = make_request()
+        engine.instantiate(request, first.name, 0.0)
+        event = engine.migrate("hop", second.name, 25.0)
+        assert event.remaining_gops == pytest.approx(
+            request.gops - _rate(first, request) * 25.0
+        )

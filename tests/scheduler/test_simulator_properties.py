@@ -1,0 +1,154 @@
+"""Conservation and monotonicity properties of the simulator core.
+
+Run against both event-loop variants -- the capacity-gated fast path and
+the old-equivalent full-rescan path (``fast_path=False``) -- under random
+request streams and a migration-happy policy:
+
+* every offered request is accounted exactly once
+  (completed + unplaced == offered);
+* per-task event times are monotone (arrival <= start <= finish);
+* task energy is never negative;
+* the migration count on each ``CompletedTask`` matches the per-task
+  events in ``SimulationResult.migrations``;
+* both paths produce identical results for the same stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.microserver import WorkloadKind
+from repro.scheduler.cluster import Cluster
+from repro.scheduler.simulation import ClusterSimulator, SimulationResult
+from repro.scheduler.workload import TaskRequest
+
+
+class RoundRobinMigrator:
+    """Deterministic policy that keeps tasks moving between nodes.
+
+    Places first-fit and, on every reschedule pass, proposes moving each
+    running task to the next node (by index) that can host it -- enough
+    churn to exercise multi-migration accounting without randomness.
+    """
+
+    name = "round_robin_migrator"
+    supports_rescheduling = True
+
+    def place(self, request, cluster, time_s):
+        for node in cluster.feasible_nodes(request.cores, request.memory_gib):
+            return node.name
+        return None
+
+    def reschedule(self, running, cluster, time_s) -> List[Tuple[str, str]]:
+        nodes = cluster.nodes
+        order = {node.name: index for index, node in enumerate(nodes)}
+        decisions: List[Tuple[str, str]] = []
+        for placement in running:
+            start = order[placement.node]
+            for offset in range(1, len(nodes)):
+                candidate = nodes[(start + offset) % len(nodes)]
+                if candidate.can_host(
+                    placement.request.cores, placement.request.memory_gib
+                ):
+                    decisions.append((placement.request.task_id, candidate.name))
+                    break
+        return decisions
+
+
+requests_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=120.0),   # arrival
+        st.floats(min_value=10.0, max_value=3000.0),  # gops
+        st.integers(min_value=1, max_value=10),       # cores (8 max per node)
+        st.floats(min_value=0.25, max_value=40.0),    # memory (some never fit)
+    ),
+    min_size=1,
+    max_size=18,
+)
+
+
+def build_requests(raw) -> List[TaskRequest]:
+    return [
+        TaskRequest(
+            task_id=f"task-{index}",
+            arrival_s=arrival,
+            workload=WorkloadKind.SCALAR,
+            gops=gops,
+            cores=cores,
+            memory_gib=memory,
+        )
+        for index, (arrival, gops, cores, memory) in enumerate(raw)
+    ]
+
+
+def run_stream(raw, fast_path: bool) -> Tuple[SimulationResult, List[TaskRequest]]:
+    requests = build_requests(raw)
+    cluster = Cluster.from_models({"apalis-arm-soc": 2, "xeon-d-x86": 1})
+    simulator = ClusterSimulator(
+        cluster, RoundRobinMigrator(), rescheduling_interval_s=15.0,
+        fast_path=fast_path,
+    )
+    return simulator.run(requests), requests
+
+
+@pytest.mark.parametrize("fast_path", [True, False], ids=["fast", "old-equivalent"])
+class TestSimulatorProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(raw=requests_strategy)
+    def test_conservation_every_request_accounted_once(self, fast_path, raw):
+        result, requests = run_stream(raw, fast_path)
+        completed_ids = [task.task_id for task in result.completed]
+        assert len(result.completed) + len(result.unplaced) == len(requests)
+        assert sorted(completed_ids + list(result.unplaced)) == sorted(
+            request.task_id for request in requests
+        )
+        assert len(set(completed_ids)) == len(completed_ids)
+
+    @settings(max_examples=30, deadline=None)
+    @given(raw=requests_strategy)
+    def test_event_times_monotone_and_energy_non_negative(self, fast_path, raw):
+        result, _ = run_stream(raw, fast_path)
+        for task in result.completed:
+            assert task.arrival_s <= task.start_s <= task.finish_s
+            assert task.energy_j >= 0.0
+        assert result.task_energy_j >= 0.0
+        assert result.idle_energy_j >= 0.0
+        for earlier, later in zip(result.migrations, result.migrations[1:]):
+            assert earlier.time_s <= later.time_s
+
+    @settings(max_examples=30, deadline=None)
+    @given(raw=requests_strategy)
+    def test_migration_counts_match_the_event_log(self, fast_path, raw):
+        result, _ = run_stream(raw, fast_path)
+        events_by_task: dict = {}
+        for event in result.migrations:
+            events_by_task[event.task_id] = events_by_task.get(event.task_id, 0) + 1
+        for task in result.completed:
+            assert task.migrations == events_by_task.get(task.task_id, 0)
+        assert sum(task.migrations for task in result.completed) == len(
+            result.migrations
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(raw=requests_strategy)
+def test_fast_and_old_equivalent_paths_agree(raw):
+    """The capacity-gated retry index must not change any outcome."""
+    fast, _ = run_stream(raw, fast_path=True)
+    slow, _ = run_stream(raw, fast_path=False)
+    assert fast.summary() == slow.summary()
+    assert [task.task_id for task in fast.completed] == [
+        task.task_id for task in slow.completed
+    ]
+    assert fast.unplaced == slow.unplaced
+    assert [
+        (task.start_s, task.finish_s, task.nodes, task.energy_j)
+        for task in fast.completed
+    ] == [
+        (task.start_s, task.finish_s, task.nodes, task.energy_j)
+        for task in slow.completed
+    ]

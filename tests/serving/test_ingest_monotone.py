@@ -1,0 +1,150 @@
+"""Monotone-clock regressions for the serving ingest path.
+
+The batching timeline must never run backwards: a batch may not flush at
+an instant earlier than any of its members was added, even when arrivals
+land mid-tick (between two grid points of the flush cadence) and the
+end-of-stream drain stamps them at the raw arrival instant rather than a
+grid tick.  The batcher now enforces the invariant structurally, and the
+event-driven ingest must walk exactly the same grid as the legacy scan.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.hardware.microserver import WorkloadKind
+from repro.scheduler.cluster import Cluster
+from repro.serving.batching import Batcher, BatchPolicy
+from repro.serving.gateway import RequestGateway, ServingRequest, Tenant
+from repro.serving.loop import ServingLoop
+
+
+class NullScheduler:
+    name = "null"
+    supports_rescheduling = False
+
+    def place(self, request, cluster, time_s):
+        return None
+
+    def reschedule(self, running, cluster, time_s):
+        return []
+
+
+class RecordingBatcher(Batcher):
+    """Batcher that logs every clock instant it observes."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.observed: List[Tuple[str, float]] = []
+
+    def add(self, request, now_s):
+        self.observed.append(("add", now_s))
+        return super().add(request, now_s)
+
+    def flush_ready(self, now_s):
+        self.observed.append(("flush_ready", now_s))
+        return super().flush_ready(now_s)
+
+    def flush_all(self, now_s):
+        self.observed.append(("flush_all", now_s))
+        return super().flush_all(now_s)
+
+
+def make_request(request_id: str, arrival_s: float, deadline_s=None, tenant="t"):
+    return ServingRequest(
+        request_id=request_id,
+        tenant=tenant,
+        use_case="unit",
+        arrival_s=arrival_s,
+        workload=WorkloadKind.SCALAR,
+        gops=1.0,
+        cores=1,
+        memory_gib=0.5,
+        deadline_s=deadline_s,
+    )
+
+
+def build_loop(fast_path: bool, flush_tick_s: float = 0.5, policy=None):
+    gateway = RequestGateway([Tenant(name="t", rate_limit_rps=100.0, burst=64)])
+    loop = ServingLoop(
+        Cluster.from_models({"apalis-arm-soc": 1}),
+        NullScheduler(),
+        gateway,
+        batch_policy=policy,
+        flush_tick_s=flush_tick_s,
+        fast_path=fast_path,
+    )
+    recording = RecordingBatcher(loop.batcher.policy)
+    loop.batcher = recording
+    return loop, recording
+
+
+MID_TICK_ARRIVALS = [0.2, 0.74, 0.74, 1.9, 2.26, 2.26, 5.13]
+
+
+@pytest.mark.parametrize("fast_path", [True, False], ids=["event-driven", "tick-scan"])
+class TestMonotoneIngest:
+    def test_mid_tick_arrivals_keep_the_batcher_clock_monotone(self, fast_path):
+        loop, recording = build_loop(fast_path)
+        requests = [
+            make_request(f"r{index}", arrival)
+            for index, arrival in enumerate(MID_TICK_ARRIVALS)
+        ]
+        batches = loop._ingest(requests)
+        times = [instant for _, instant in recording.observed]
+        assert times == sorted(times)
+        # Every member was admitted and flushed, none behind its add time.
+        assert sum(batch.size for batch in batches) == len(requests)
+        for batch in batches:
+            for member in batch.requests:
+                assert batch.flushed_s >= member.arrival_s
+
+    def test_deadline_flushes_stay_monotone_with_mid_tick_arrivals(self, fast_path):
+        loop, recording = build_loop(
+            fast_path,
+            policy=BatchPolicy(max_batch_size=16, max_delay_s=4.0,
+                               deadline_margin_s=0.5),
+        )
+        requests = [
+            make_request("a", 0.3, deadline_s=2.1),
+            make_request("b", 0.85, deadline_s=6.0),
+            make_request("c", 3.33),
+        ]
+        batches = loop._ingest(requests)
+        times = [instant for _, instant in recording.observed]
+        assert times == sorted(times)
+        assert sum(batch.size for batch in batches) == len(requests)
+        for batch in batches:
+            for member in batch.requests:
+                assert batch.flushed_s >= member.arrival_s
+
+
+def test_event_driven_ingest_matches_the_tick_scan_exactly():
+    """Skipping quiet ticks must not move any flush: same batches, same
+    membership, same flush instants as the exhaustive scan."""
+    requests = [
+        make_request(f"r{index}", arrival)
+        for index, arrival in enumerate(MID_TICK_ARRIVALS)
+    ] + [make_request("late", 14.05, deadline_s=17.0)]
+    fast_loop, _ = build_loop(True)
+    slow_loop, _ = build_loop(False)
+    fast = fast_loop._ingest(requests)
+    slow = slow_loop._ingest(requests)
+    assert [
+        (batch.flushed_s, [member.request_id for member in batch.requests])
+        for batch in fast
+    ] == [
+        (batch.flushed_s, [member.request_id for member in batch.requests])
+        for batch in slow
+    ]
+
+
+def test_batcher_rejects_a_backwards_clock():
+    batcher = Batcher(BatchPolicy())
+    batcher.add(make_request("r0", 1.0), now_s=2.0)
+    with pytest.raises(ValueError, match="backwards"):
+        batcher.flush_ready(1.5)
+    with pytest.raises(ValueError, match="backwards"):
+        batcher.add(make_request("r1", 1.0), now_s=0.5)
