@@ -1,33 +1,23 @@
 """Shared helpers for the benchmark harness.
 
-Every benchmark regenerates one table or figure of the paper, prints the
-reproduced rows/series, and writes them to ``benchmarks/results/<name>.txt``
-so the numbers are inspectable after a ``--benchmark-only`` run (where
-captured stdout is not shown).
+Every benchmark regenerates one table or figure of the paper and records
+its headline numbers through :mod:`harness` (see ``benchmarks/harness.py``):
+the JSON artefact ``BENCH_<name>.json`` at the repository root is the
+source of truth, and the ``benchmarks/results/*.txt`` tables are rendered
+from it.  ``python benchmarks/harness.py check`` gates the emitted numbers
+against the pinned baselines in ``benchmarks/baselines/``.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 import pytest
 
+from harness import BenchRun, format_table  # noqa: F401  (re-exported helper)
+
 RESULTS_DIR = Path(__file__).parent / "results"
-
-
-def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
-    """Fixed-width text table."""
-    rows = [[str(cell) for cell in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in rows:
-        for index, cell in enumerate(row):
-            widths[index] = max(widths[index], len(cell))
-    def fmt(row):
-        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
-    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
-    lines.extend(fmt(row) for row in rows)
-    return "\n".join(lines)
 
 
 @pytest.fixture
@@ -37,14 +27,48 @@ def smoke(request) -> bool:
 
 
 @pytest.fixture
-def report_table():
-    """Print a reproduced table and persist it under benchmarks/results/."""
+def bench(request, smoke):
+    """Factory for :class:`harness.BenchRun` records, finished at teardown.
 
-    def _report(name: str, title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
-        table = f"{title}\n{format_table(headers, rows)}\n"
-        print("\n" + table)
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / f"{name}.txt").write_text(table)
-        return table
+    Usage::
+
+        def test_bench_x(bench):
+            run = bench("core_speed")
+            run.metric("ops_per_sec", 123.0, direction="higher")
+            run.table("core_speed", "Table 1: ...", headers, rows)
+
+    Each named run writes ``BENCH_<name>.json`` at the repository root and
+    renders its tables to ``benchmarks/results/`` when the test finishes.
+    The run's tier is ``smoke`` or ``full`` depending on ``--smoke``.
+    """
+    runs = []
+
+    def _bench(name: str) -> BenchRun:
+        run = BenchRun(name, tier="smoke" if smoke else "full")
+        runs.append(run)
+        return run
+
+    yield _bench
+    for run in runs:
+        run.finish(quiet=False)
+
+
+@pytest.fixture
+def report_table(bench):
+    """Print a reproduced table and persist it (JSON-backed).
+
+    Back-compat shim over the ``bench`` fixture: tables recorded here ride
+    along in a ``BENCH_<name>.json`` artefact and are rendered to
+    ``benchmarks/results/<name>.txt`` from it.
+    """
+
+    def _report(
+        name: str,
+        title: str,
+        headers: Sequence[str],
+        rows: Iterable[Sequence[object]],
+    ) -> str:
+        run = bench(name)
+        return run.table(name, title, headers, rows)
 
     return _report

@@ -14,7 +14,8 @@ Reported per run: SLA-violation rate (missed deadlines + drops over
 served traffic) and node-seconds consumed.  The elastic run must meet
 the SLA of the statically over-provisioned one on measurably fewer
 node-seconds -- otherwise the control loop is not earning its keep.
-Written to ``benchmarks/results/autoscale_step_load.txt``.
+Emitted to ``BENCH_autoscale_step_load.json``; the table renders to
+``benchmarks/results/autoscale_step_load.txt``.
 """
 
 from __future__ import annotations
@@ -82,7 +83,7 @@ def sla_violation_rate(report) -> float:
 
 
 @pytest.mark.benchmark(group="autoscale")
-def test_autoscale_step_load(report_table, smoke):
+def test_autoscale_step_load(bench, smoke):
     # Smoke keeps the full-load *rates* (the pressure that makes the
     # controller act) and shortens the segments instead.
     base_rps, spike_rps, segment_s = (20.0, 120.0, 8.0) if smoke else (20.0, 120.0, 25.0)
@@ -110,7 +111,8 @@ def test_autoscale_step_load(report_table, smoke):
         autoscale=AutoscaleSpec(enabled=True),
         telemetry=TelemetrySpec(enabled=True),
     )
-    auto_report = LegatoSystem().deploy(auto_spec).serve(
+    auto_deployment = LegatoSystem().deploy(auto_spec)
+    auto_report = auto_deployment.serve(
         step_load(base_rps, spike_rps, segment_s, seed=101)
     )
     auto = auto_report.autoscale_report
@@ -151,7 +153,28 @@ def test_autoscale_step_load(report_table, smoke):
             "",
         ],
     ]
-    report_table(
+    run = bench("autoscale_step_load")
+    run.metric("ops_per_sec", auto_report.ops_per_sec, direction="higher",
+               tolerance=0.05)
+    run.metric("p50_latency_s", auto_report.p50_latency_s, direction="lower",
+               tolerance=0.05)
+    run.metric("p99_latency_s", auto_report.p99_latency_s, direction="lower",
+               tolerance=0.05)
+    run.metric("node_seconds", auto.node_seconds, direction="lower",
+               tolerance=0.05)
+    run.metric(
+        "node_seconds_saving_pct",
+        100 * (1 - auto.node_seconds / static_node_seconds),
+        direction="higher", tolerance=0.10, abs_tolerance=3.0,
+    )
+    run.metric("sla_violation_rate", sla_violation_rate(auto_report),
+               direction="lower", abs_tolerance=0.02)
+    run.metric("completed", auto_report.completed, direction="higher",
+               tolerance=0.01)
+    run.metric("static_node_seconds", static_node_seconds, direction="lower",
+               gate=False)
+    run.attach_counters(auto_deployment.metrics().counters)
+    run.table(
         "autoscale_step_load",
         "Autoscale step load -- quiet / 5x spike / quiet "
         f"({len(_tenants())} tenants, {3 * segment_s:.0f} s of arrivals"

@@ -19,14 +19,17 @@ over identical fresh clusters:
    probe instead of a scheduler invocation.
 
 Both paths must produce bit-identical serving reports; the overhauled
-path must finish the 10k-request / 64-node run at least 3x faster.
-Written to ``benchmarks/results/core_speed.txt``.
+path must finish the 10k-request / 64-node run at least 3x faster.  A
+third, *traced* run (same stream, ``fast_path=True`` plus an enabled
+:class:`~repro.telemetry.trace.Tracer`) measures what request-scoped
+tracing costs on the hot path.  Emitted to ``BENCH_core_speed.json``;
+the table renders to ``benchmarks/results/core_speed.txt``.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +40,7 @@ from repro.serving.batching import BatchPolicy
 from repro.serving.cache import PredictionScoreCache
 from repro.serving.gateway import RequestGateway, ServingRequest, Tenant
 from repro.serving.loop import ServingLoop
+from repro.telemetry.trace import Tracer
 
 #: minimum wall-clock speedup the overhaul must show on the full run.
 REQUIRED_SPEEDUP = 3.0
@@ -87,6 +91,7 @@ def timed_run(
     tenants: List[Tenant],
     requests: List[ServingRequest],
     scale: int,
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[object, float]:
     """Serve the stream on a fresh cluster; returns (report, seconds)."""
     cluster = Cluster.heats_testbed(scale=scale)
@@ -99,13 +104,14 @@ def timed_run(
         RequestGateway(tenants),
         batch_policy=BATCH_POLICY,
         fast_path=fast_path,
+        tracer=tracer,
     )
     start = time.perf_counter()
     report = loop.run(requests)
     return report, time.perf_counter() - start
 
 
-def test_core_hot_path_speedup(report_table, smoke):
+def test_core_hot_path_speedup(bench, smoke):
     if smoke:
         count, duration_s, scale = 1500, 15.0, 4
     else:
@@ -115,6 +121,9 @@ def test_core_hot_path_speedup(report_table, smoke):
 
     fast_report, fast_s = timed_run(True, tenants, requests, scale)
     old_report, old_s = timed_run(False, tenants, requests, scale)
+    traced_report, traced_s = timed_run(
+        True, tenants, requests, scale, tracer=Tracer(enabled=True)
+    )
 
     # The overhaul must be invisible in the results: identical reports at
     # every level we render.
@@ -123,14 +132,40 @@ def test_core_hot_path_speedup(report_table, smoke):
     assert fast_report.completions_s == old_report.completions_s
     assert fast_report.simulation.summary() == old_report.simulation.summary()
     assert fast_report.dropped == 0 and fast_report.rejected == 0
+    # Tracing must not perturb the simulation, only observe it: the traced
+    # summary is the untraced one plus its "trace" section.
+    traced_summary = traced_report.summary()
+    traced_summary.pop("trace")
+    assert traced_summary == fast_report.summary()
+    assert traced_report.trace_spans and fast_report.trace_spans is None
 
     speedup = old_s / fast_s if fast_s > 0 else float("inf")
-    report_table(
+    tracing_overhead = traced_s / fast_s if fast_s > 0 else float("inf")
+    run = bench("core_speed")
+    # Wall-clock ratios carry loose tolerances (shared-runner noise);
+    # simulated quantities are deterministic and gated tightly.
+    run.metric("speedup", speedup, direction="higher", tolerance=0.40)
+    run.metric("tracing_overhead", tracing_overhead, direction="lower",
+               tolerance=0.50, abs_tolerance=0.50)
+    run.metric("wall_clock_s", fast_s, direction="lower", gate=False)
+    run.metric("old_path_wall_clock_s", old_s, direction="lower", gate=False)
+    run.metric("ops_per_sec", fast_report.ops_per_sec, direction="higher",
+               tolerance=0.02)
+    run.metric("p50_latency_s", fast_report.p50_latency_s, direction="lower",
+               tolerance=0.02)
+    run.metric("p99_latency_s", fast_report.p99_latency_s, direction="lower",
+               tolerance=0.02)
+    run.metric("node_seconds", 4 * scale * fast_report.horizon_s,
+               direction="lower", tolerance=0.02)
+    run.metric("completed", fast_report.completed, direction="higher",
+               tolerance=0.01)
+    run.attach_trace(traced_report.trace_summary())
+    run.table(
         "core_speed",
         "Core hot-path overhaul: old-equivalent vs event-driven + retry index"
         + (" (smoke)" if smoke else ""),
         ["requests", "nodes", "batches", "old_s", "new_s", "speedup",
-         "identical_reports"],
+         "traced_overhead", "identical_reports"],
         [[
             len(requests),
             4 * scale,
@@ -138,6 +173,7 @@ def test_core_hot_path_speedup(report_table, smoke):
             f"{old_s:.2f}",
             f"{fast_s:.2f}",
             f"{speedup:.2f}x",
+            f"{tracing_overhead:.2f}x",
             "yes",
         ]],
     )

@@ -17,8 +17,12 @@ the ROADMAP asks for.  Three experiments:
    HEATS cluster).  Per-request placement latency is measured around the
    scheduler's ``place`` calls; the 4-shard federation must place at least
    as fast as the single-cluster baseline because node-level scoring only
-   ever runs over one shard's nodes.  Written to
-   ``benchmarks/results/federation_sweep.txt``.
+   ever runs over one shard's nodes.
+
+The sweep emits ``BENCH_serving.json`` and the shard sweep
+``BENCH_federation_sweep.json``; their tables render to
+``benchmarks/results/serving_load.txt`` /
+``benchmarks/results/federation_sweep.txt``.
 """
 
 from __future__ import annotations
@@ -64,13 +68,15 @@ def _mix():
     }
 
 
-def _workload(offered_rps: float, seed: int = 17) -> ServingWorkload:
+def _workload(
+    offered_rps: float, seed: int = 17, duration_s: float = DURATION_S
+) -> ServingWorkload:
     return ServingWorkload.synthetic(
-        _tenants(), _mix(), offered_rps=offered_rps, duration_s=DURATION_S, seed=seed
+        _tenants(), _mix(), offered_rps=offered_rps, duration_s=duration_s, seed=seed
     )
 
 
-def run_load_sweep():
+def run_load_sweep(duration_s: float = DURATION_S):
     # One spec, one deployment per level: every load level replays on a
     # fresh (cold-cache) backend so the levels stay comparable.
     spec = DeploymentSpec(
@@ -79,12 +85,20 @@ def run_load_sweep():
         serving=ServingSpec.from_batch_policy(SWEEP_BATCH_POLICY),
     )
     system = LegatoSystem()
-    return {rps: system.deploy(spec).serve(_workload(rps)) for rps in LOAD_LEVELS_RPS}
+    return {
+        rps: system.deploy(spec).serve(_workload(rps, duration_s=duration_s))
+        for rps in LOAD_LEVELS_RPS
+    }
 
 
 @pytest.mark.benchmark(group="serving")
-def test_serving_offered_load_sweep(benchmark, report_table):
-    reports = benchmark(run_load_sweep)
+def test_serving_offered_load_sweep(bench, smoke):
+    # Smoke keeps the rate levels (the admission pressure that makes the
+    # token buckets bite) and shortens the arrival window instead.
+    duration_s = 10.0 if smoke else DURATION_S
+    start = time.perf_counter()
+    reports = run_load_sweep(duration_s)
+    sweep_wall_s = time.perf_counter() - start
 
     rows = []
     for rps, report in reports.items():
@@ -100,15 +114,34 @@ def test_serving_offered_load_sweep(benchmark, report_table):
                 f"{report.energy_per_request_j:.2f}",
             ]
         )
-    report_table(
+    low, mid, high = (reports[rps] for rps in LOAD_LEVELS_RPS)
+    run = bench("serving")
+    # The headline metrics come from the highest load level -- the regime
+    # that exercises admission control and the placement hot path.
+    run.metric("ops_per_sec", high.ops_per_sec, direction="higher",
+               tolerance=0.05)
+    run.metric("p50_latency_s", high.p50_latency_s, direction="lower",
+               tolerance=0.05)
+    run.metric("p99_latency_s", high.p99_latency_s, direction="lower",
+               tolerance=0.05)
+    run.metric("node_seconds", 4 * CLUSTER_SCALE * high.horizon_s,
+               direction="lower", tolerance=0.05)
+    run.metric("completed_total",
+               sum(report.completed for report in reports.values()),
+               direction="higher", tolerance=0.01)
+    run.metric("energy_per_request_j", high.energy_per_request_j,
+               direction="lower", tolerance=0.05)
+    run.metric("rejection_rate_high", high.rejection_rate, direction="lower",
+               gate=False)
+    run.metric("wall_clock_s", sweep_wall_s, direction="lower", gate=False)
+    run.table(
         "serving_load",
-        "Serving front-end -- two tenants, HEATS backend, rising offered load",
+        "Serving front-end -- two tenants, HEATS backend, rising offered load"
+        + (" (smoke)" if smoke else ""),
         ["offered rps", "offered", "completed", "ops/sec", "p50 (s)", "p99 (s)",
          "reject rate", "J/request"],
         rows,
     )
-
-    low, mid, high = (reports[rps] for rps in LOAD_LEVELS_RPS)
     # Everything admitted completes (round-trip conservation) at every level.
     for report in (low, mid, high):
         assert report.completed > 0
@@ -134,7 +167,7 @@ def _ablation_run(models, workload, use_cache: bool):
 
 
 @pytest.mark.benchmark(group="serving")
-def test_serving_score_cache_ablation(report_table):
+def test_serving_score_cache_ablation(bench):
     # High request volume on generous limits: the scoring hot path dominates.
     tenants = [
         Tenant(name="perf-tenant", rate_limit_rps=500.0, burst=200, energy_weight=0.1),
@@ -159,7 +192,14 @@ def test_serving_score_cache_ablation(report_table):
     speedup = uncached_s / cached_s if cached_s > 0 else float("inf")
     hit_rate = reports[True].cache_stats.hit_rate
 
-    report_table(
+    run = bench("serving_cache_ablation")
+    run.metric("cache_speedup", speedup, direction="higher",
+               tolerance=0.50, abs_tolerance=0.40)
+    run.metric("hit_rate", hit_rate, direction="higher", tolerance=0.05)
+    run.metric("completed", reports[True].completed, direction="higher",
+               tolerance=0.01)
+    run.metric("wall_clock_s", cached_s, direction="lower", gate=False)
+    run.table(
         "serving_cache_ablation",
         "Serving front-end -- HEATS score cache ablation (min of "
         f"{repeats} runs, {len(workload.requests)} requests)",
@@ -249,7 +289,7 @@ def _federation_run(workload, num_shards: int):
 
 
 @pytest.mark.benchmark(group="serving")
-def test_serving_federation_shard_sweep(report_table, smoke):
+def test_serving_federation_shard_sweep(bench, smoke):
     tenants = [
         Tenant(name="perf-tenant", rate_limit_rps=500.0, burst=200, energy_weight=0.1),
         Tenant(name="eco-tenant", rate_limit_rps=500.0, burst=200, energy_weight=0.9,
@@ -289,7 +329,30 @@ def test_serving_federation_shard_sweep(report_table, smoke):
                 fed_stats.cross_shard_migrations if fed_stats else "-",
             ]
         )
-    report_table(
+    single, two, four = (reports[n] for n in FEDERATION_SHARD_COUNTS)
+    run = bench("federation_sweep")
+    place_speedup = (
+        best[1][0] / best[4][0] if best[4][0] > 0 else float("inf")
+    )
+    # Per-place latency ratios are wall-clock: gated loosely.
+    run.metric("place_latency_speedup_4shard", place_speedup,
+               direction="higher", tolerance=0.50)
+    run.metric("place_latency_us_1shard", best[1][0] * 1e6, direction="lower",
+               gate=False)
+    run.metric("place_latency_us_4shard", best[4][0] * 1e6, direction="lower",
+               gate=False)
+    run.metric("ops_per_sec", four.ops_per_sec, direction="higher",
+               tolerance=0.05)
+    run.metric("p50_latency_s", four.p50_latency_s, direction="lower",
+               tolerance=0.05)
+    run.metric("p99_latency_s", four.p99_latency_s, direction="lower",
+               tolerance=0.05)
+    run.metric("node_seconds", 4 * FEDERATION_TOTAL_SCALE * four.horizon_s,
+               direction="lower", tolerance=0.05)
+    run.metric("completed", four.completed, direction="higher", tolerance=0.01)
+    run.metric("affinity_hit_rate_4shard", stats[4].affinity_hit_rate,
+               direction="higher", gate=False)
+    run.table(
         "federation_sweep",
         "Federation shard sweep -- same workload, fixed 32-node fleet "
         f"(min of {repeats} runs, {len(workload.requests)} requests"
@@ -298,8 +361,6 @@ def test_serving_federation_shard_sweep(report_table, smoke):
          "ops/sec", "affinity hits", "x-shard migr"],
         rows,
     )
-
-    single, two, four = (reports[n] for n in FEDERATION_SHARD_COUNTS)
     # Identical traffic is served at every shard count...
     assert single.offered == two.offered == four.offered > 0
     for report in (single, two, four):

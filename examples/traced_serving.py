@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Traced serving demo: where did each request's latency go?
+
+Serves a two-tenant workload on a deployment with request-scoped tracing
+enabled (``TelemetrySpec(enabled=True, tracing=True)``) and then reads
+the trace three ways:
+
+1. the per-stage latency breakdown with critical-path attribution
+   (``report.trace_summary()``) -- which seam of
+   gateway -> batcher -> scheduler -> node the latency actually sits in;
+2. the dashboard tick stream (``deployment.serve_iter``), where each
+   window now counts the spans that ended inside it per stage;
+3. a few raw spans of the slowest completed request, following the
+   ``request`` root to its linked ``task`` trace.
+
+Run with:  PYTHONPATH=src python examples/traced_serving.py
+"""
+
+from __future__ import annotations
+
+from repro import LegatoSystem, ServingWorkload
+from repro.api import DeploymentSpec, ServingSpec, TelemetrySpec, TopologySpec
+from repro.serving import Tenant
+
+
+def main() -> None:
+    tenants = [
+        Tenant(name="acme", rate_limit_rps=25.0, burst=25, energy_weight=0.2,
+               latency_slo_s=120.0),
+        Tenant(name="globex", rate_limit_rps=25.0, burst=25, energy_weight=0.8),
+    ]
+    mix = {
+        "acme": {"ml_inference": 0.7, "smartmirror": 0.3},
+        "globex": {"iot_gateway": 0.8, "ml_inference": 0.2},
+    }
+    workload = ServingWorkload.synthetic(
+        tenants, mix, offered_rps=40.0, duration_s=30.0, seed=11
+    )
+
+    spec = DeploymentSpec(
+        name="traced-demo",
+        topology=TopologySpec(cluster_scale=4),
+        serving=ServingSpec(max_batch_size=8, max_delay_s=2.0),
+        telemetry=TelemetrySpec(enabled=True, tracing=True),
+    )
+    deployment = LegatoSystem().deploy(spec)
+    report = deployment.serve(workload)
+    print(f"=== {report.completed}/{report.offered} served, "
+          f"{report.rejected} rejected, p99 {report.p99_latency_s:.1f} s ===\n")
+
+    # 1. Per-stage breakdown: counts, p50/p99, critical-path shares.
+    summary = report.trace_summary()
+    print(summary.format())
+
+    # 2. The tick stream now carries per-window span activity.
+    print("\ndashboard ticks (spans ended per window):")
+    for tick in deployment.serve_iter(workload, tick_s=10.0):
+        stages = ", ".join(
+            f"{name}={count}" for name, count in sorted((tick.stage_spans or {}).items())
+        )
+        print(f"  t=[{tick.start_s:5.1f}, {tick.end_s:5.1f})  "
+              f"completed={tick.completed:<4d} {stages}")
+
+    # 3. Follow the slowest completed request through its spans.
+    report = deployment.last_report
+    roots = [
+        span for span in report.trace_spans
+        if span.name == "request" and span.annotations.get("verdict") == "completed"
+    ]
+    slowest = max(roots, key=lambda span: span.duration_s)
+    linked = {slowest.trace_id, slowest.annotations.get("task_id")}
+    print(f"\nslowest completed request {slowest.trace_id!r} "
+          f"({slowest.duration_s:.2f} s end to end):")
+    for span in report.trace_spans:
+        if span.trace_id in linked and span.ended:
+            notes = {k: v for k, v in span.annotations.items()
+                     if k in ("node", "verdict", "requeues", "batch_id")}
+            print(f"  {span.name:<20s} [{span.start_s:7.2f} .. {span.end_s:7.2f}] "
+                  f"{span.duration_s:6.2f} s  {notes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.autoscale.controller import Autoscaler
     from repro.serving.batching import BatchPolicy
     from repro.telemetry.registry import MetricsRegistry
+    from repro.telemetry.trace import Tracer
 
 
 @runtime_checkable
@@ -83,7 +84,10 @@ class SingleClusterBackend:
     name = "single"
 
     def __init__(
-        self, spec: DeploymentSpec, metrics: Optional["MetricsRegistry"] = None
+        self,
+        spec: DeploymentSpec,
+        metrics: Optional["MetricsRegistry"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         """Build the cluster and learn its prediction models (once).
 
@@ -91,9 +95,12 @@ class SingleClusterBackend:
             spec: a validated deployment spec with ``topology.shards == 1``.
             metrics: optional telemetry bus wired through the placement
                 and (per-run) admission/batching hot paths.
+            tracer: optional request-scoped tracer threaded into every
+                serving run (None or disabled costs nothing).
         """
         self.spec = spec
         self.metrics = metrics
+        self.tracer = tracer
         self.cluster = Cluster.heats_testbed(scale=spec.topology.cluster_scale)
         self.scheduler = HeatsScheduler.with_learned_models(
             self.cluster,
@@ -134,6 +141,7 @@ class SingleClusterBackend:
             flush_tick_s=self.spec.serving.flush_tick_s,
             metrics=self.metrics,
             fast_path=self.spec.serving.fast_path,
+            tracer=self.tracer,
         )
         return loop.run(workload.requests)
 
@@ -160,6 +168,7 @@ class FederatedBackend:
         spec: DeploymentSpec,
         metrics: Optional["MetricsRegistry"] = None,
         federation_config: Optional[FederationConfig] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         """Build all shards (one profiling campaign each) and the router.
 
@@ -172,9 +181,12 @@ class FederatedBackend:
             federation_config: routing/migration tunables; None derives
                 one from the spec (the scheduler section's rescheduling
                 interval becomes the federation heartbeat).
+            tracer: optional request-scoped tracer threaded into every
+                serving run (None or disabled costs nothing).
         """
         self.spec = spec
         self.metrics = metrics
+        self.tracer = tracer
         if federation_config is None:
             federation_config = FederationConfig(
                 rescheduling_interval_s=spec.scheduler.rescheduling_interval_s
@@ -212,6 +224,7 @@ class FederatedBackend:
             ),
             flush_tick_s=self.spec.serving.flush_tick_s,
             fast_path=self.spec.serving.fast_path,
+            tracer=self.tracer,
         )
 
     def topology(self) -> Dict[str, object]:
@@ -254,6 +267,7 @@ class AutoscaledBackend(FederatedBackend):
         spec: DeploymentSpec,
         metrics: "MetricsRegistry",
         federation_config: Optional[FederationConfig] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         """Build the initial federation and attach the first controller.
 
@@ -277,9 +291,10 @@ class AutoscaledBackend(FederatedBackend):
             federation_config=replace(
                 base, rescheduling_interval_s=self._autoscale_config.control_interval_s
             ),
+            tracer=tracer,
         )
         self.autoscaler: "Autoscaler" = Autoscaler(
-            self.federation, config=self._autoscale_config
+            self.federation, config=self._autoscale_config, tracer=tracer
         )
         self._runs = 0
 
@@ -303,7 +318,7 @@ class AutoscaledBackend(FederatedBackend):
             # the previous run's counter totals do not read as one giant
             # first-tick delta.
             self.autoscaler = Autoscaler(
-                self.federation, config=self._autoscale_config
+                self.federation, config=self._autoscale_config, tracer=self.tracer
             )
             self.autoscaler.rebase_counters()
         self._runs += 1
@@ -327,7 +342,9 @@ class AutoscaledBackend(FederatedBackend):
 
 
 def build_backend(
-    spec: DeploymentSpec, metrics: Optional["MetricsRegistry"]
+    spec: DeploymentSpec,
+    metrics: Optional["MetricsRegistry"],
+    tracer: Optional["Tracer"] = None,
 ) -> Backend:
     """The one polymorphic build step: spec shape -> backend instance.
 
@@ -336,6 +353,8 @@ def build_backend(
         metrics: the deployment's telemetry bus, or None when telemetry
             is disabled (autoscaled specs always carry one -- validation
             enforces it).
+        tracer: the deployment's request-scoped tracer, or None when
+            tracing is disabled.
 
     Returns:
         The built backend, profiled and ready to serve many workloads.
@@ -346,7 +365,7 @@ def build_backend(
                 "an autoscaled deployment needs a telemetry bus; spec "
                 "validation should have rejected this"
             )
-        return AutoscaledBackend(spec, metrics=metrics)
+        return AutoscaledBackend(spec, metrics=metrics, tracer=tracer)
     if spec.topology.shards > 1:
-        return FederatedBackend(spec, metrics=metrics)
-    return SingleClusterBackend(spec, metrics=metrics)
+        return FederatedBackend(spec, metrics=metrics, tracer=tracer)
+    return SingleClusterBackend(spec, metrics=metrics, tracer=tracer)

@@ -22,6 +22,7 @@ from repro.scheduler.modeling import profiling_run_count
 from repro.serving.loop import ServingReport, ServingWorkload
 from repro.serving.sla import percentile
 from repro.telemetry.registry import MetricsRegistry, MetricsSnapshot
+from repro.telemetry.trace import Tracer
 
 #: session-counter names recorded on every deployment's bus.
 SERVE_RUNS_METRIC = "deployment.serve_runs"
@@ -45,14 +46,18 @@ class ServingTick:
     cumulative_completed: int
     p50_latency_s: float
     p95_latency_s: float
+    #: spans that *ended* inside this window, counted per stage name --
+    #: populated only when the deployment traces (``telemetry.tracing``).
+    stage_spans: Optional[Dict[str, int]] = None
 
     def summary(self) -> Dict[str, object]:
         """A compact dict rendering (one dashboard row).
 
         Returns:
-            The tick's window bounds, counts, and latency percentiles.
+            The tick's window bounds, counts, latency percentiles, and
+            (when the run was traced) per-stage span counts.
         """
-        return {
+        rendered: Dict[str, object] = {
             "tick": self.index,
             "window_s": (round(self.start_s, 3), round(self.end_s, 3)),
             "arrivals": self.arrivals,
@@ -61,6 +66,9 @@ class ServingTick:
             "p50_latency_s": round(self.p50_latency_s, 3),
             "p95_latency_s": round(self.p95_latency_s, 3),
         }
+        if self.stage_spans is not None:
+            rendered["stage_spans"] = dict(sorted(self.stage_spans.items()))
+        return rendered
 
 
 class Deployment:
@@ -90,6 +98,9 @@ class Deployment:
         self._system = system
         self._closed = False
         self._last_report: Optional[ServingReport] = None
+        #: the session's tracer; disabled (a no-op) unless the spec sets
+        #: ``telemetry.tracing``.
+        self.tracer: Tracer = getattr(backend, "tracer", None) or Tracer.disabled()
         self._serve_runs = metrics.counter(SERVE_RUNS_METRIC)
         self._profilings = metrics.counter(PROFILING_METRIC)
 
@@ -115,8 +126,11 @@ class Deployment:
             default_histogram_window=spec.telemetry.histogram_window
         )
         before = profiling_run_count()
+        tracer = Tracer(enabled=spec.telemetry.tracing)
         backend = build_backend(
-            spec, metrics if spec.telemetry.enabled else None
+            spec,
+            metrics if spec.telemetry.enabled else None,
+            tracer=tracer if spec.telemetry.tracing else None,
         )
         deployment = cls(spec, backend, metrics, system=system)
         deployment._profilings.inc(profiling_run_count() - before)
@@ -221,6 +235,19 @@ class Deployment:
             completed: List[Tuple[float, float]] = sorted(
                 zip(report.completions_s, report.latencies_s)
             )
+            # When the run was traced, bucket span *end* instants into the
+            # same windows so each tick carries its per-stage activity.
+            traced = report.trace_spans is not None
+            stage_events: List[Tuple[float, str]] = (
+                sorted(
+                    (span.end_s, span.name)
+                    for span in report.trace_spans
+                    if span.end_s is not None
+                )
+                if traced
+                else []
+            )
+            stage_pos = 0
             horizon = max(
                 report.horizon_s,
                 arrivals[-1] if arrivals else 0.0,
@@ -251,6 +278,15 @@ class Deployment:
                     window_latencies.append(completed[completed_pos][1])
                     completed_pos += 1
                 cumulative += len(window_latencies)
+                stage_spans: Optional[Dict[str, int]] = None
+                if traced:
+                    stage_spans = {}
+                    while stage_pos < len(stage_events) and (
+                        last or stage_events[stage_pos][0] < end
+                    ):
+                        name = stage_events[stage_pos][1]
+                        stage_spans[name] = stage_spans.get(name, 0) + 1
+                        stage_pos += 1
                 yield ServingTick(
                     index=index,
                     start_s=start,
@@ -260,6 +296,7 @@ class Deployment:
                     cumulative_completed=cumulative,
                     p50_latency_s=percentile(window_latencies, 50),
                     p95_latency_s=percentile(window_latencies, 95),
+                    stage_spans=stage_spans,
                 )
                 index += 1
 

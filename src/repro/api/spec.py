@@ -529,10 +529,18 @@ class TelemetrySpec:
             autoscaling is enabled.
         histogram_window: ring-buffer window of histograms created on
             the deployment's bus.
+        tracing: additionally record request-scoped spans (admission,
+            batching, placement, migration, autoscale actuations) through
+            a per-deployment :class:`~repro.telemetry.trace.Tracer`,
+            surfaced on ``ServingReport.trace_spans`` /
+            ``trace_summary()``.  Requires ``enabled`` (tracing rides the
+            telemetry wiring); off by default so the serving hot path
+            pays nothing.
     """
 
     enabled: bool = False
     histogram_window: int = 1024
+    tracing: bool = False
 
     def validate(self, path: str = "telemetry") -> List[SpecIssue]:
         """Collect every problem with this section.
@@ -546,6 +554,10 @@ class TelemetrySpec:
         issues: List[SpecIssue] = []
         if self.histogram_window < 2:
             issues.append(SpecIssue(f"{path}.histogram_window", "must be >= 2"))
+        if self.tracing and not self.enabled:
+            issues.append(
+                SpecIssue(f"{path}.tracing", "tracing requires telemetry.enabled")
+            )
         return issues
 
 

@@ -31,6 +31,7 @@ from repro.autoscale.signals import FederationSignals, ShardSignals, collect_sig
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.federation.federation import Federation
     from repro.scheduler.placement import Placement
+    from repro.telemetry.trace import Tracer
 
 
 @dataclass
@@ -84,6 +85,7 @@ class Autoscaler:
         self,
         federation: "Federation",
         config: Optional[AutoscaleConfig] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         """Attach the controller to a federation.
 
@@ -93,6 +95,9 @@ class Autoscaler:
                 acts on flows through it.
             config: control-loop tunables; defaults to
                 ``AutoscaleConfig()``.
+            tracer: optional request-scoped tracer; when enabled every
+                actuation is recorded as a zero-length
+                ``autoscale.<action>`` event span.
         """
         if federation.metrics is None:
             raise ValueError(
@@ -115,6 +120,8 @@ class Autoscaler:
         self._ticks = 0
         self._grown_total = 0
         self.decisions: List[ScalingDecision] = []
+        self.tracer = tracer
+        self._trace = tracer is not None and tracer.enabled
 
     def rebase_counters(self) -> None:
         """Adopt the bus's current totals as this controller's zero point.
@@ -146,6 +153,14 @@ class Autoscaler:
         self.decisions.append(
             ScalingDecision(time_s=time_s, action=action, target=target, reason=reason)
         )
+        if self._trace:
+            self.tracer.event(
+                f"autoscale.{action.value}",
+                time_s,
+                trace_id="autoscale",
+                target=target,
+                reason=reason,
+            )
         self._track_envelope()
 
     # ------------------------------------------------------------------ #

@@ -993,7 +993,7 @@ class Federation:
                 "warm state"
             )
         self._served = True
-        return self._run_serving(workload, batch_policy, 0.5, True)
+        return self._run_serving(workload, batch_policy, 0.5, True, None)
 
     def run_workload(
         self,
@@ -1001,6 +1001,7 @@ class Federation:
         batch_policy=None,
         flush_tick_s: float = 0.5,
         fast_path: bool = True,
+        tracer=None,
     ):
         """Serve a workload against warm state (repeatable session entry).
 
@@ -1023,6 +1024,11 @@ class Federation:
                 demand) count only real attempts on the fast path, so an
                 attached autoscaler reading them may act at slightly
                 different instants.  For A/B benchmarking.
+            tracer: optional
+                :class:`~repro.telemetry.trace.Tracer`; when enabled the
+                run records request-scoped spans (admission, batching,
+                placement with shard annotations, migration, completion)
+                surfaced on ``ServingReport.trace_spans``.
 
         Returns:
             The :class:`~repro.serving.loop.ServingReport`, with
@@ -1038,9 +1044,11 @@ class Federation:
         # Routing telemetry is per-run in a session: the warm caches and
         # pins carry over, the counters must not.
         self.scheduler.federation_stats = FederationStats()
-        return self._run_serving(workload, batch_policy, flush_tick_s, fast_path)
+        return self._run_serving(workload, batch_policy, flush_tick_s, fast_path, tracer)
 
-    def _run_serving(self, workload, batch_policy, flush_tick_s: float, fast_path: bool):
+    def _run_serving(
+        self, workload, batch_policy, flush_tick_s: float, fast_path: bool, tracer
+    ):
         """Shared serving body for :meth:`serve` and :meth:`run_workload`."""
         from repro.serving.gateway import RequestGateway
         from repro.serving.loop import ServingLoop
@@ -1057,5 +1065,6 @@ class Federation:
             flush_tick_s=flush_tick_s,
             metrics=self.metrics,
             fast_path=fast_path,
+            tracer=tracer,
         )
         return loop.run(workload.requests)

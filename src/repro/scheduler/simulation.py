@@ -26,6 +26,7 @@ from repro.scheduler.cluster import Cluster, ClusterNode
 from repro.scheduler.monitoring import ClusterMonitor
 from repro.scheduler.placement import MigrationEvent, PlacementEngine
 from repro.scheduler.workload import TaskRequest
+from repro.telemetry.trace import Span, Tracer
 
 
 class SchedulerProtocol(Protocol):
@@ -242,6 +243,7 @@ class ClusterSimulator:
         monitoring_period_s: float = 30.0,
         rescheduling_interval_s: Optional[float] = None,
         fast_path: bool = True,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         """Wire a simulator over a cluster and a policy.
 
@@ -261,10 +263,25 @@ class ClusterSimulator:
                 policy that *acts* on those counters (an attached
                 autoscaler) may mutate topology at slightly different
                 instants.  Kept for A/B benchmarking and property tests.
+            tracer: optional request-scoped tracer; when enabled the run
+                records ``task`` / ``task.pending`` / ``task.execute`` /
+                ``task.migrate`` spans (annotated with node, shard and
+                retry-index requeue counts).  ``None`` costs nothing.
         """
         self.cluster = cluster
         self.scheduler = scheduler
         self.fast_path = fast_path
+        self.tracer = tracer
+        #: cached boolean: every instrumentation site is one branch when
+        #: tracing is off, preserving the fast-path numbers exactly.
+        self._trace = tracer is not None and tracer.enabled
+        #: federated schedulers expose ``shard_of_node``; a single-cluster
+        #: policy has no shard notion, so spans are annotated with None.
+        self._shard_lookup = getattr(scheduler, "shard_of_node", None)
+        self._t_root: Dict[str, "Span"] = {}
+        self._t_pending: Dict[str, "Span"] = {}
+        self._t_exec: Dict[str, "Span"] = {}
+        self._t_requeues: Dict[str, int] = {}
         self.monitor = monitor if monitor is not None else ClusterMonitor(cluster)
         self.monitoring_period_s = monitoring_period_s
         if rescheduling_interval_s is None:
@@ -304,6 +321,103 @@ class ClusterSimulator:
         self._task_energy[task_id] = self._task_energy.get(task_id, 0.0) + duration * self._segment_power_w(node, request)
         if not self._task_nodes.get(task_id) or self._task_nodes[task_id][-1] != node_name:
             self._task_nodes.setdefault(task_id, []).append(node_name)
+
+    # ------------------------------------------------------------------ #
+    # Tracing seams (only reached when ``self._trace`` is set)
+    # ------------------------------------------------------------------ #
+    def _trace_shard(self, node_name: str) -> Optional[str]:
+        """Shard name hosting ``node_name`` (None for single clusters)."""
+        if self._shard_lookup is None:
+            return None
+        try:
+            return self._shard_lookup(node_name)
+        except KeyError:
+            return None
+
+    def _trace_arrival(self, request: TaskRequest) -> None:
+        """Open the task root + pending spans at the arrival instant."""
+        root = self.tracer.start_span(
+            "task", request.arrival_s, request.task_id, tenant=request.tenant
+        )
+        self._t_root[request.task_id] = root
+        self._t_pending[request.task_id] = self.tracer.start_span(
+            "task.pending", request.arrival_s, request.task_id, parent=root
+        )
+
+    def _trace_unplaced(self, task_id: str, time_s: float, reason: str) -> None:
+        """Terminate a task trace that never reached a node."""
+        pend = self._t_pending.pop(task_id, None)
+        if pend is not None:
+            pend.end(max(time_s, pend.start_s), requeues=self._t_requeues.get(task_id, 0))
+        root = self._t_root.pop(task_id, None)
+        if root is not None:
+            root.annotate("terminal", True)
+            root.end(max(time_s, root.start_s), verdict="unplaced", reason=reason)
+
+    def _trace_placement(self, task_id: str, node_name: str, time_s: float) -> None:
+        """Close the pending span and open the first execute segment."""
+        shard = self._trace_shard(node_name)
+        pend = self._t_pending.pop(task_id, None)
+        if pend is not None:
+            pend.end(
+                time_s,
+                node=node_name,
+                shard=shard,
+                requeues=self._t_requeues.get(task_id, 0),
+            )
+        self._t_exec[task_id] = self.tracer.start_span(
+            "task.execute",
+            time_s,
+            task_id,
+            parent=self._t_root.get(task_id),
+            node=node_name,
+            shard=shard,
+        )
+
+    def _trace_migration(
+        self, task_id: str, source: str, target: str, time_s: float, downtime_s: float
+    ) -> None:
+        """Close the old segment, record downtime, open the new segment."""
+        segment = self._t_exec.pop(task_id, None)
+        if segment is not None:
+            segment.end(time_s)
+        root = self._t_root.get(task_id)
+        source_shard = self._trace_shard(source)
+        target_shard = self._trace_shard(target)
+        migrate = self.tracer.start_span(
+            "task.migrate",
+            time_s,
+            task_id,
+            parent=root,
+            source=source,
+            target=target,
+            source_shard=source_shard,
+            target_shard=target_shard,
+            cross_shard=(
+                source_shard != target_shard
+                if source_shard is not None and target_shard is not None
+                else False
+            ),
+        )
+        migrate.end(time_s + downtime_s)
+        self._t_exec[task_id] = self.tracer.start_span(
+            "task.execute",
+            time_s + downtime_s,
+            task_id,
+            parent=root,
+            node=target,
+            shard=target_shard,
+        )
+
+    def _trace_completion(self, task_id: str, time_s: float, migrations: int) -> None:
+        """Terminate a task trace at its completion instant."""
+        segment = self._t_exec.pop(task_id, None)
+        if segment is not None:
+            segment.end(time_s)
+        root = self._t_root.pop(task_id, None)
+        if root is not None:
+            root.annotate("terminal", True)
+            root.end(time_s, verdict="completed", migrations=migrations)
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -351,6 +465,8 @@ class ClusterSimulator:
 
             if kind == self._ARRIVAL:
                 request = payload  # type: ignore[assignment]
+                if self._trace:
+                    self._trace_arrival(request)
                 if not self._can_ever_fit(request):
                     if elastic:
                         pending.push(request)
@@ -361,6 +477,8 @@ class ClusterSimulator:
                         # completion that cannot unblock the request.
                         result.unplaced.append(request.task_id)
                         remaining -= 1
+                        if self._trace:
+                            self._trace_unplaced(request.task_id, time_s, "never_fits")
                 elif not self._try_place(request, time_s, result):
                     pending.push(request)
             elif kind == self._COMPLETION:
@@ -382,6 +500,8 @@ class ClusterSimulator:
                         migrations=placement.migrations,
                     )
                 )
+                if self._trace:
+                    self._trace_completion(task_id, time_s, placement.migrations)
                 # The freed node may unblock queued requests.
                 self._retry_pending(pending, time_s, result)
             elif kind == self._RESCHEDULE:
@@ -425,7 +545,11 @@ class ClusterSimulator:
         result.makespan_s = max((task.finish_s for task in result.completed), default=0.0)
         result.idle_energy_j = _integrate_levels(idle_power_levels, result.makespan_s)
         result.migrations = list(self.engine.migrations)
-        result.unplaced.extend(pending.drain_ids())
+        leftover = pending.drain_ids()
+        result.unplaced.extend(leftover)
+        if self._trace:
+            for task_id in leftover:
+                self._trace_unplaced(task_id, result.makespan_s, "queued_at_end")
         return result
 
     # ------------------------------------------------------------------ #
@@ -471,6 +595,14 @@ class ClusterSimulator:
             if self._try_place(request, time_s, result):
                 placed.setdefault(shape, set()).add(seq)
                 feasible.clear()
+            elif self._trace:
+                # Surfaced from the retry index but still not placeable:
+                # one more requeue (annotation only, so fast/legacy paths
+                # keep identical span counts even though the legacy scan
+                # surfaces more guaranteed-failure attempts).
+                self._t_requeues[request.task_id] = (
+                    self._t_requeues.get(request.task_id, 0) + 1
+                )
         if placed:
             pending.remove(placed)
 
@@ -485,6 +617,8 @@ class ClusterSimulator:
         self._start_times[request.task_id] = time_s
         self._segment_start[request.task_id] = (time_s, node_name)
         self._task_nodes.setdefault(request.task_id, []).append(node_name)
+        if self._trace:
+            self._trace_placement(request.task_id, node_name, time_s)
         version = self._completion_version.get(request.task_id, 0) + 1
         self._completion_version[request.task_id] = version
         self._push(placement.expected_finish_s, self._COMPLETION, (request.task_id, version))
@@ -506,6 +640,10 @@ class ClusterSimulator:
                 self._segment_start[task_id] = (time_s, placement.node)
                 continue
             self._segment_start[task_id] = (event.time_s + event.downtime_s, target)
+            if self._trace:
+                self._trace_migration(
+                    task_id, event.source, event.target, time_s, event.downtime_s
+                )
             version = self._completion_version[task_id] + 1
             self._completion_version[task_id] = version
             self._push(placement.expected_finish_s, self._COMPLETION, (task_id, version))

@@ -25,8 +25,9 @@ from repro.scheduler.simulation import ClusterSimulator, SchedulerProtocol, Simu
 from repro.scheduler.workload import TaskRequest
 from repro.serving.batching import Batch, Batcher, BatchPolicy
 from repro.serving.cache import CacheStats
-from repro.serving.gateway import RequestGateway, ServingRequest, Tenant
+from repro.serving.gateway import AdmissionDecision, RequestGateway, ServingRequest, Tenant
 from repro.serving.sla import SlaTracker, TenantSlaReport, percentiles
+from repro.telemetry.trace import Span, Tracer, TraceSummary, summarize_trace
 
 
 @dataclass(frozen=True)
@@ -100,10 +101,17 @@ class ServingReport:
     #: elastic-scaling telemetry when an autoscaler drove the run (an
     #: :class:`~repro.autoscale.controller.AutoscaleReport`), else None.
     autoscale_report: Optional[object] = None
+    #: request-scoped spans drained from the deployment's tracer after the
+    #: run; None when tracing was disabled (the pay-nothing default).
+    trace_spans: Optional[List[Span]] = None
     #: memoised (p50, p95, p99) over ``latencies_s`` -- the three
     #: percentile properties and ``summary()`` share one vectorised
     #: numpy pass instead of re-sorting the sample per read.
     _latency_percentiles: Optional[Tuple[float, float, float]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: memoised :func:`summarize_trace` result (the fold is O(spans)).
+    _trace_summary: Optional[TraceSummary] = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -150,6 +158,20 @@ class ServingReport:
             return 0.0
         return self.simulation.task_energy_j / self.completed
 
+    def trace_summary(self) -> Optional[TraceSummary]:
+        """Fold the run's spans into a per-stage latency breakdown.
+
+        Returns:
+            The :class:`~repro.telemetry.trace.TraceSummary` (per-stage
+            count/p50/p99, critical-path attribution, terminal verdict
+            counts), or ``None`` when the run was not traced.
+        """
+        if self.trace_spans is None:
+            return None
+        if self._trace_summary is None:
+            self._trace_summary = summarize_trace(self.trace_spans)
+        return self._trace_summary
+
     def summary(self) -> Dict[str, object]:
         """Render the overall and per-tenant outcome as one dict.
 
@@ -180,6 +202,11 @@ class ServingReport:
                 if self.autoscale_report is not None
                 else {}
             ),
+            **(
+                {"trace": self.trace_summary().to_dict()}
+                if self.trace_spans is not None
+                else {}
+            ),
         }
 
 
@@ -196,6 +223,7 @@ class ServingLoop:
         flush_tick_s: float = 0.5,
         metrics: Optional["MetricsRegistry"] = None,
         fast_path: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if flush_tick_s <= 0:
             raise ValueError("flush tick must be positive")
@@ -205,6 +233,14 @@ class ServingLoop:
         self.batcher = Batcher(batch_policy, metrics=metrics)
         self.tracker = tracker if tracker is not None else SlaTracker()
         self.flush_tick_s = flush_tick_s
+        self.tracer = tracer
+        #: single cached boolean so every hot-path instrumentation site is
+        #: one branch when tracing is off (pay-for-what-you-use).
+        self._trace = tracer is not None and tracer.enabled
+        # Open spans keyed by request id, closed as requests cross seams.
+        self._request_roots: Dict[str, Span] = {}
+        self._gateway_spans: Dict[str, Span] = {}
+        self._batch_wait_spans: Dict[str, Span] = {}
         #: event-driven ingest + capacity-gated simulator retry; ``False``
         #: replays the pre-overhaul fixed tick scan and full pending
         #: rescan.  Serving outcomes are identical either way, except
@@ -261,7 +297,7 @@ class ServingLoop:
             index += 1
             now = index * tick
             for admitted in self.gateway.drain():
-                flushed.extend(self.batcher.add(admitted, now))
+                flushed.extend(self._admit_to_batcher(admitted, now))
             flushed.extend(self.batcher.flush_ready(now))
 
         def advance_to(time_s: float) -> None:
@@ -286,12 +322,14 @@ class ServingLoop:
             advance_to(request.arrival_s)
             decision = self.gateway.offer(request)
             self.tracker.record_offered(request.tenant, decision.admitted)
+            if self._trace:
+                self._trace_admission(request, decision)
         end = ordered[-1].arrival_s if ordered else 0.0
         advance_to(end)
         # Drain the post-last-arrival admissions on the monotone clock:
         # the batcher stamps them at ``end`` (>= the last processed tick).
         for admitted in self.gateway.drain():
-            flushed.extend(self.batcher.add(admitted, end))
+            flushed.extend(self._admit_to_batcher(admitted, end))
         # Keep walking the grid past the last arrival so the tail still
         # flushes through the deadline-/staleness-aware path rather than
         # being stamped wholesale at end + max_delay.
@@ -318,20 +356,69 @@ class ServingLoop:
                 index += 1
                 now = index * tick
                 for admitted in self.gateway.drain():
-                    flushed.extend(self.batcher.add(admitted, now))
+                    flushed.extend(self._admit_to_batcher(admitted, now))
                 flushed.extend(self.batcher.flush_ready(now))
 
         for request in ordered:
             advance_to(request.arrival_s)
             decision = self.gateway.offer(request)
             self.tracker.record_offered(request.tenant, decision.admitted)
+            if self._trace:
+                self._trace_admission(request, decision)
         end = ordered[-1].arrival_s if ordered else 0.0
         advance_to(end)
         for admitted in self.gateway.drain():
-            flushed.extend(self.batcher.add(admitted, end))
+            flushed.extend(self._admit_to_batcher(admitted, end))
         advance_to(end + self.batcher.policy.max_delay_s + tick)
         flushed.extend(self.batcher.flush_all(max(index * tick, end)))
         return flushed
+
+    # ------------------------------------------------------------------ #
+    # Tracing seams (only reached when ``self._trace`` is set)
+    # ------------------------------------------------------------------ #
+    def _trace_admission(self, request: ServingRequest, decision: AdmissionDecision) -> None:
+        """Open the request root span; rejections terminate immediately."""
+        root = self.tracer.start_span(
+            "request", request.arrival_s, request.request_id, tenant=request.tenant
+        )
+        if decision.admitted:
+            self._request_roots[request.request_id] = root
+            self._gateway_spans[request.request_id] = self.tracer.start_span(
+                "request.gateway", request.arrival_s, request.request_id, parent=root
+            )
+        else:
+            root.annotate("terminal", True)
+            root.end(request.arrival_s, verdict=decision.value)
+
+    def _admit_to_batcher(self, admitted: ServingRequest, now: float) -> List[Batch]:
+        """Hand one drained admission to the batcher, crossing the trace seam.
+
+        Args:
+            admitted: the request the gateway just drained.
+            now: the monotone ingest clock.
+
+        Returns:
+            Batches the add caused to flush (the batcher's return value).
+        """
+        if self._trace:
+            gate = self._gateway_spans.pop(admitted.request_id, None)
+            if gate is not None:
+                gate.end(now)
+            self._batch_wait_spans[admitted.request_id] = self.tracer.start_span(
+                "request.batch_wait",
+                now,
+                admitted.request_id,
+                parent=self._request_roots.get(admitted.request_id),
+            )
+        return self.batcher.add(admitted, now)
+
+    def _trace_flushes(self, batches: Sequence[Batch]) -> None:
+        """Close every member's batch-wait span at its batch's flush instant."""
+        for batch in batches:
+            for member in batch.requests:
+                span = self._batch_wait_spans.pop(member.request_id, None)
+                if span is not None:
+                    span.end(batch.flushed_s, batch_id=batch.batch_id)
 
     def _to_task_requests(self, batches: Sequence[Batch]) -> List[TaskRequest]:
         tasks: List[TaskRequest] = []
@@ -373,13 +460,21 @@ class ServingLoop:
         for tenant in self.gateway.tenants:
             self.tracker.set_latency_slo(tenant.name, tenant.latency_slo_s)
         batches = self._ingest(requests)
+        if self._trace:
+            self._trace_flushes(batches)
         by_task_id: Dict[str, Batch] = {batch.batch_id: batch for batch in batches}
         tasks = self._to_task_requests(batches)
 
         simulator = ClusterSimulator(
-            self.cluster, self.scheduler, fast_path=self.fast_path
+            self.cluster,
+            self.scheduler,
+            fast_path=self.fast_path,
+            tracer=self.tracer if self._trace else None,
         )
         simulation = simulator.run(tasks)
+
+        arrivals_end = max((r.arrival_s for r in requests), default=0.0)
+        horizon = max(arrivals_end, simulation.makespan_s)
 
         latencies: List[float] = []
         completions: List[float] = []
@@ -397,6 +492,16 @@ class ServingLoop:
                 self.tracker.record_completion(
                     member.tenant, latency, energy_per_member, deadline_met
                 )
+                if self._trace:
+                    root = self._request_roots.pop(member.request_id, None)
+                    if root is not None:
+                        root.annotate("terminal", True)
+                        root.end(
+                            task.finish_s,
+                            verdict="completed",
+                            task_id=task.task_id,
+                            deadline_met=deadline_met,
+                        )
                 latencies.append(latency)
                 completions.append(task.finish_s)
                 completed_requests += 1
@@ -405,9 +510,16 @@ class ServingLoop:
             batch = by_task_id[task_id]
             self.tracker.record_dropped(batch.requests[0].tenant, batch.size)
             dropped += batch.size
-
-        arrivals_end = max((r.arrival_s for r in requests), default=0.0)
-        horizon = max(arrivals_end, simulation.makespan_s)
+            if self._trace:
+                for member in batch.requests:
+                    root = self._request_roots.pop(member.request_id, None)
+                    if root is not None:
+                        root.annotate("terminal", True)
+                        root.end(
+                            max(horizon, root.start_s),
+                            verdict="dropped",
+                            task_id=task_id,
+                        )
         # Totals come from the tracker (which saw every offer, including
         # unknown-tenant rejections the gateway keeps no stats for), so the
         # overall numbers always agree with the per-tenant reports.
@@ -437,4 +549,5 @@ class ServingLoop:
             autoscale_report=(
                 autoscaler.report(horizon) if autoscaler is not None else None
             ),
+            trace_spans=self.tracer.drain() if self._trace else None,
         )

@@ -14,6 +14,9 @@ recording side down:
   immutable :class:`MetricsSnapshot` view.
 * :mod:`repro.telemetry.export`   -- pluggable exporters: text rendering
   for benchmark result files, in-memory history for tests/controllers.
+* :mod:`repro.telemetry.trace`    -- request-scoped spans on the simulated
+  clock: per-deployment :class:`Tracer` with a no-op mode, stage
+  summaries with critical-path attribution via :func:`summarize_trace`.
 """
 
 from repro.telemetry.metrics import Counter, Gauge, Histogram, RingBuffer
@@ -29,6 +32,13 @@ from repro.telemetry.export import (
     export_text,
     render_text,
 )
+from repro.telemetry.trace import (
+    Span,
+    StageStats,
+    Tracer,
+    TraceSummary,
+    summarize_trace,
+)
 
 __all__ = [
     "Counter",
@@ -40,7 +50,12 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "RingBuffer",
+    "Span",
+    "StageStats",
     "TextExporter",
+    "Tracer",
+    "TraceSummary",
     "export_text",
     "render_text",
+    "summarize_trace",
 ]

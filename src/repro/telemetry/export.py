@@ -6,13 +6,23 @@ without perturbing the recording paths.  Two concrete exporters cover the
 repo's needs: a text renderer for benchmark result files and human
 inspection, and an in-memory collector tests and the autoscale controller
 use to look at signal history.
+
+Both stateful exporters are bounded: a long-lived ``serve_iter`` dashboard
+exporting once per tick must not grow memory without limit, so histories
+are deques that keep the most recent ``capacity`` entries.
 """
 
 from __future__ import annotations
 
-from typing import List, Protocol
+from collections import deque
+from typing import Deque, List, Optional, Protocol
 
 from repro.telemetry.registry import MetricsRegistry, MetricsSnapshot
+
+#: Default history bound for the stateful exporters.  Generous enough for
+#: every test and dashboard in the repo, small enough that an unattended
+#: ``serve_iter`` loop cannot grow memory without limit.
+DEFAULT_EXPORT_CAPACITY = 512
 
 
 class Exporter(Protocol):
@@ -24,34 +34,64 @@ class Exporter(Protocol):
 
 
 class InMemoryExporter:
-    """Keeps every exported snapshot; the test/controller-facing sink."""
+    """Keeps recent exported snapshots; the test/controller-facing sink.
 
-    def __init__(self) -> None:
-        """Create the exporter with an empty history."""
-        self.snapshots: List[MetricsSnapshot] = []
+    History is bounded: once ``capacity`` snapshots have been exported the
+    oldest are dropped, so long-running dashboards that export every tick
+    hold memory constant.  Pass ``capacity=None`` for the old unbounded
+    behaviour.
+    """
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_EXPORT_CAPACITY) -> None:
+        """Create the exporter with an empty, bounded history.
+
+        Args:
+            capacity: maximum snapshots retained (oldest evicted first);
+                ``None`` keeps everything.
+        """
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._snapshots: Deque[MetricsSnapshot] = deque(maxlen=capacity)
 
     def export(self, snapshot: MetricsSnapshot) -> None:
-        """Append one snapshot to the history.
+        """Append one snapshot to the history (evicting the oldest at capacity).
 
         Args:
             snapshot: the snapshot to retain.
         """
-        self.snapshots.append(snapshot)
+        self._snapshots.append(snapshot)
+
+    @property
+    def snapshots(self) -> List[MetricsSnapshot]:
+        """The retained snapshots, oldest first."""
+        return list(self._snapshots)
 
     @property
     def latest(self) -> MetricsSnapshot:
         """The most recently exported snapshot."""
-        if not self.snapshots:
+        if not self._snapshots:
             raise LookupError("nothing exported yet")
-        return self.snapshots[-1]
+        return self._snapshots[-1]
 
 
 class TextExporter:
-    """Renders snapshots as fixed-width text (benchmark result files)."""
+    """Renders snapshots as fixed-width text (benchmark result files).
 
-    def __init__(self) -> None:
-        """Create the exporter with an empty buffer."""
-        self.lines: List[str] = []
+    Like :class:`InMemoryExporter`, the rendered history is bounded to the
+    most recent ``capacity`` blocks.
+    """
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_EXPORT_CAPACITY) -> None:
+        """Create the exporter with an empty, bounded buffer.
+
+        Args:
+            capacity: maximum rendered blocks retained; ``None`` keeps all.
+        """
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._lines: Deque[str] = deque(maxlen=capacity)
 
     def export(self, snapshot: MetricsSnapshot) -> None:
         """Render one snapshot into the text buffer.
@@ -59,12 +99,17 @@ class TextExporter:
         Args:
             snapshot: the snapshot to render.
         """
-        self.lines.append(render_text(snapshot))
+        self._lines.append(render_text(snapshot))
+
+    @property
+    def lines(self) -> List[str]:
+        """The retained rendered blocks, oldest first."""
+        return list(self._lines)
 
     @property
     def text(self) -> str:
         """All rendered snapshots, separated by blank lines."""
-        return "\n\n".join(self.lines)
+        return "\n\n".join(self._lines)
 
 
 def render_text(snapshot: MetricsSnapshot) -> str:
@@ -74,16 +119,16 @@ def render_text(snapshot: MetricsSnapshot) -> str:
         snapshot: the snapshot to render.
 
     Returns:
-        The text block (deterministic order: counters, gauges, histograms,
-        each sorted by name).
+        The text block, deterministically ordered by ``(name, kind)``
+        across all instrument families so diffs of result files are
+        stable even when a counter and a histogram share a name.
     """
     rows: List[tuple] = []
-    for name in sorted(snapshot.counters):
-        rows.append((name, "counter", f"{snapshot.counters[name]:.6g}"))
-    for name in sorted(snapshot.gauges):
-        rows.append((name, "gauge", f"{snapshot.gauges[name]:.6g}"))
-    for name in sorted(snapshot.histograms):
-        h = snapshot.histograms[name]
+    for name, value in snapshot.counters.items():
+        rows.append((name, "counter", f"{value:.6g}"))
+    for name, value in snapshot.gauges.items():
+        rows.append((name, "gauge", f"{value:.6g}"))
+    for name, h in snapshot.histograms.items():
         rows.append(
             (
                 name,
@@ -94,6 +139,7 @@ def render_text(snapshot: MetricsSnapshot) -> str:
         )
     if not rows:
         return "(no metrics)"
+    rows.sort(key=lambda row: (row[0], row[1]))
     name_width = max(len(row[0]) for row in rows)
     kind_width = max(len(row[1]) for row in rows)
     return "\n".join(

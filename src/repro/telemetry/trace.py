@@ -1,0 +1,487 @@
+"""Request-scoped tracing on the simulated clock.
+
+The aggregate counters and histograms in :mod:`repro.telemetry.registry`
+answer *how much* -- how many requests were admitted, what the latency
+distribution looked like.  They cannot answer *where a single request's
+latency went* once it crossed gateway -> batcher -> scheduler -> shard.
+This module adds that causal layer: cheap span objects recorded through a
+per-deployment :class:`Tracer`, stamped with simulated-clock timestamps
+and linked to their parents, summarised per stage by
+:func:`summarize_trace`.
+
+Design constraints (mirroring the serving hot path this instruments):
+
+* **Pay for what you use.**  A disabled tracer never allocates a span;
+  every instrumentation site guards on a single cached boolean, so the
+  ``fast_path`` numbers from the discrete-event overhaul are unaffected
+  when tracing is off.
+* **Monotone within a span.**  ``Span.end`` rejects an end time before
+  the start time, which is how the property-test suite pins the "no span
+  ends before it starts" invariant at the source.
+* **Deterministic.**  Span ids are a per-tracer counter, timestamps are
+  simulated seconds; two runs of the same workload produce identical
+  traces, which is what lets the benchmark gate diff them.
+
+Stage names are the public schema (see ``docs/observability.md``):
+
+========================  =====================================================
+span name                 interval
+========================  =====================================================
+``request``               arrival -> terminal verdict (root, one per request)
+``request.gateway``       arrival -> drained from the admission queue
+``request.batch_wait``    enqueued in the batcher -> batch flush
+``task``                  batch flush -> task finished / abandoned (root)
+``task.pending``          batch flush -> first successful placement
+``task.execute``          one contiguous execution segment on one node
+``task.migrate``          migration downtime between two execute segments
+``autoscale.*``           zero-length actuation events from the autoscaler
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "StageStats",
+    "TraceSummary",
+    "summarize_trace",
+    "REQUEST_STAGES",
+    "TASK_STAGES",
+]
+
+#: Stage names carved out of the request's own trace (trace id = request id).
+REQUEST_STAGES: Tuple[str, ...] = ("request.gateway", "request.batch_wait")
+
+#: Stage names carved out of the linked task trace (trace id = task id).
+TASK_STAGES: Tuple[str, ...] = ("task.pending", "task.execute", "task.migrate")
+
+
+class Span:
+    """One timed interval on the simulated clock.
+
+    A span is deliberately tiny: a name, a trace id tying it to the
+    request or task it belongs to, start/end seconds, an optional parent
+    link, and a free-form annotation dict.  Spans are mutable until
+    :meth:`end` is called; the tracer hands them out and the
+    instrumentation sites close them as the simulation crosses each seam.
+    """
+
+    __slots__ = ("name", "span_id", "trace_id", "start_s", "parent_id", "end_s", "annotations")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        trace_id: str,
+        start_s: float,
+        parent_id: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.start_s = float(start_s)
+        self.parent_id = parent_id
+        self.end_s: Optional[float] = None
+        self.annotations: Dict[str, Any] = {}
+
+    def annotate(self, key: str, value: Any) -> "Span":
+        """Attach one key/value annotation to the span.
+
+        Args:
+            key: Annotation name (e.g. ``"node"``, ``"verdict"``).
+            value: Any JSON-representable value.
+
+        Returns:
+            This span, so annotations chain fluently.
+        """
+        self.annotations[key] = value
+        return self
+
+    def end(self, end_s: float, **annotations: Any) -> "Span":
+        """Close the span at ``end_s``, optionally annotating in one call.
+
+        Args:
+            end_s: Simulated end time; must be >= the span's start time.
+            **annotations: Extra annotations applied before closing.
+
+        Returns:
+            This span.
+
+        Raises:
+            ValueError: if ``end_s`` precedes ``start_s`` or the span is
+                already ended (double-close is always an instrumentation
+                bug worth failing loudly on).
+        """
+        if self.end_s is not None:
+            raise ValueError(f"span {self.name!r} ({self.span_id}) ended twice")
+        end_s = float(end_s)
+        if end_s < self.start_s:
+            raise ValueError(
+                f"span {self.name!r} would end at {end_s} before it started at {self.start_s}"
+            )
+        for key, value in annotations.items():
+            self.annotations[key] = value
+        self.end_s = end_s
+        return self
+
+    @property
+    def ended(self) -> bool:
+        """Whether :meth:`end` has been called."""
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated seconds covered by the span (0.0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise the span for JSON export.
+
+        Returns:
+            A plain dict with the span's fields and annotations.
+        """
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "annotations": dict(self.annotations),
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.start_s:.3f}..{self.end_s:.3f}" if self.ended else f"{self.start_s:.3f}.."
+        return f"Span({self.name!r}, trace={self.trace_id!r}, {state})"
+
+
+class _NullSpan(Span):
+    """Shared do-nothing span handed out by a disabled tracer.
+
+    Every mutator is a no-op so call sites that did not guard on
+    ``tracer.enabled`` still cost almost nothing and never accumulate
+    state.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("null", -1, "", 0.0)
+
+    def annotate(self, key: str, value: Any) -> "Span":
+        """Discard the annotation.
+
+        Args:
+            key: Ignored.
+            value: Ignored.
+
+        Returns:
+            This shared null span.
+        """
+        return self
+
+    def end(self, end_s: float, **annotations: Any) -> "Span":
+        """Discard the close; a null span is never considered ended.
+
+        Args:
+            end_s: Ignored.
+            **annotations: Ignored.
+
+        Returns:
+            This shared null span.
+        """
+        return self
+
+
+#: Module-level singleton returned by every call on a disabled tracer.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Per-deployment span recorder with an always-on no-op mode.
+
+    A tracer is either *enabled* -- it allocates real :class:`Span`
+    objects and keeps them until :meth:`drain` -- or *disabled*, in which
+    case every call returns the shared :data:`NULL_SPAN` and records
+    nothing.  Instrumentation sites additionally cache
+    ``tracer is not None and tracer.enabled`` into a local boolean so the
+    disabled path costs one branch, not an attribute chase.
+    """
+
+    __slots__ = ("enabled", "_spans", "_next_id")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._spans: List[Span] = []
+        self._next_id = 0
+
+    @classmethod
+    def disabled(cls) -> "Tracer":
+        """Build a no-op tracer.
+
+        Returns:
+            A tracer whose every method is a cheap no-op.
+        """
+        return cls(enabled=False)
+
+    def start_span(
+        self,
+        name: str,
+        start_s: float,
+        trace_id: str,
+        parent: Optional[Span] = None,
+        **annotations: Any,
+    ) -> Span:
+        """Open a new span (or return the null span when disabled).
+
+        Args:
+            name: Stage name, e.g. ``"request.gateway"``.
+            start_s: Simulated start time in seconds.
+            trace_id: Request id or task id the span belongs to.
+            parent: Optional enclosing span; records its id as the link.
+            **annotations: Initial annotations.
+
+        Returns:
+            The opened span; close it with :meth:`Span.end`.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(
+            name,
+            self._next_id,
+            trace_id,
+            start_s,
+            parent_id=parent.span_id if parent is not None else None,
+        )
+        self._next_id += 1
+        if annotations:
+            span.annotations.update(annotations)
+        self._spans.append(span)
+        return span
+
+    def event(self, name: str, time_s: float, trace_id: str = "", **annotations: Any) -> Span:
+        """Record a zero-length event (start == end).
+
+        Args:
+            name: Event name, e.g. ``"autoscale.add_shard"``.
+            time_s: Simulated instant the event occurred.
+            trace_id: Optional trace id to file the event under.
+            **annotations: Annotations describing the event.
+
+        Returns:
+            The already-closed span.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        span = self.start_span(name, time_s, trace_id, **annotations)
+        span.end(time_s)
+        return span
+
+    @property
+    def span_count(self) -> int:
+        """Number of spans recorded since the last drain."""
+        return len(self._spans)
+
+    def drain(self) -> List[Span]:
+        """Remove and return every recorded span.
+
+        The serving loop calls this once per run so consecutive runs on
+        one deployment do not bleed spans into each other's reports.
+
+        Returns:
+            The recorded spans, in creation order.
+        """
+        spans, self._spans = self._spans, []
+        return spans
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Latency statistics for one stage (one span name)."""
+
+    stage: str
+    count: int
+    total_s: float
+    mean_s: float
+    p50_s: float
+    p99_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise for JSON export.
+
+        Returns:
+            A plain dict of the stage statistics.
+        """
+        return {
+            "stage": self.stage,
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "p50_s": self.p50_s,
+            "p99_s": self.p99_s,
+        }
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Per-stage latency breakdown with critical-path attribution.
+
+    ``stages`` maps span name to :class:`StageStats`.  ``critical_path``
+    attributes each completed request's end-to-end latency to the stages
+    it actually crossed -- gateway wait, batch wait, scheduler pending
+    time, execution, migration downtime, and an ``other`` remainder --
+    as fractions that sum to ~1.0.  ``verdicts`` counts terminal
+    outcomes (completed / dropped / rejected_*).
+    """
+
+    stages: Dict[str, StageStats]
+    critical_path: Dict[str, float]
+    verdicts: Dict[str, int]
+    span_count: int
+    open_spans: int
+
+    def stage(self, name: str) -> Optional[StageStats]:
+        """Look up one stage's statistics.
+
+        Args:
+            name: Span/stage name, e.g. ``"task.execute"``.
+
+        Returns:
+            The stats for that stage, or ``None`` if no span used it.
+        """
+        return self.stages.get(name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise for JSON export (the shape BENCH files embed).
+
+        Returns:
+            A plain dict with stages, critical path and verdict counts.
+        """
+        return {
+            "stages": {name: stats.to_dict() for name, stats in sorted(self.stages.items())},
+            "critical_path": dict(sorted(self.critical_path.items())),
+            "verdicts": dict(sorted(self.verdicts.items())),
+            "span_count": self.span_count,
+            "open_spans": self.open_spans,
+        }
+
+    def format(self) -> str:
+        """Render a fixed-width table of the breakdown.
+
+        Returns:
+            A human-readable multi-line summary.
+        """
+        lines = [
+            f"{'stage':<22} {'count':>7} {'p50 (s)':>10} {'p99 (s)':>10} {'total (s)':>11}"
+        ]
+        for name in sorted(self.stages):
+            stats = self.stages[name]
+            lines.append(
+                f"{name:<22} {stats.count:>7d} {stats.p50_s:>10.4f} "
+                f"{stats.p99_s:>10.4f} {stats.total_s:>11.2f}"
+            )
+        if self.critical_path:
+            parts = ", ".join(
+                f"{stage}={fraction:.1%}" for stage, fraction in sorted(self.critical_path.items())
+            )
+            lines.append(f"critical path: {parts}")
+        if self.verdicts:
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(self.verdicts.items()))
+            lines.append(f"verdicts: {parts}")
+        return "\n".join(lines)
+
+
+def _stage_stats(name: str, durations: List[float]) -> StageStats:
+    array = np.asarray(durations, dtype=np.float64)
+    p50, p99 = np.percentile(array, (50.0, 99.0))
+    return StageStats(
+        stage=name,
+        count=int(array.size),
+        total_s=float(array.sum()),
+        mean_s=float(array.mean()),
+        p50_s=float(p50),
+        p99_s=float(p99),
+    )
+
+
+def summarize_trace(spans: Iterable[Span]) -> TraceSummary:
+    """Fold a span list into per-stage stats and critical-path shares.
+
+    Critical-path attribution walks every *completed* request root: its
+    end-to-end latency decomposes into the request-trace stages
+    (``request.gateway``, ``request.batch_wait``), the linked task-trace
+    stages (``task.pending``, ``task.execute``, ``task.migrate`` via the
+    root's ``task_id`` annotation), plus an ``other`` remainder for time
+    not covered by any instrumented stage.  Shares are totals across all
+    completed requests, normalised to fractions.
+
+    Args:
+        spans: Spans from one serving run (``Tracer.drain()`` output or
+            ``ServingReport.trace_spans``).
+
+    Returns:
+        The aggregated :class:`TraceSummary`.
+    """
+    spans = list(spans)
+    durations_by_stage: Dict[str, List[float]] = {}
+    verdicts: Dict[str, int] = {}
+    open_spans = 0
+
+    by_trace: Dict[str, List[Span]] = {}
+    request_roots: List[Span] = []
+    for span in spans:
+        if not span.ended:
+            open_spans += 1
+            continue
+        durations_by_stage.setdefault(span.name, []).append(span.duration_s)
+        by_trace.setdefault(span.trace_id, []).append(span)
+        if span.name == "request" and span.annotations.get("terminal"):
+            request_roots.append(span)
+            verdict = str(span.annotations.get("verdict", "unknown"))
+            verdicts[verdict] = verdicts.get(verdict, 0) + 1
+
+    path_totals: Dict[str, float] = {}
+    grand_total = 0.0
+    for root in request_roots:
+        if root.annotations.get("verdict") != "completed":
+            continue
+        total = root.duration_s
+        grand_total += total
+        covered = 0.0
+        own = by_trace.get(root.trace_id, [])
+        task_id = root.annotations.get("task_id")
+        linked = by_trace.get(task_id, []) if task_id is not None else []
+        for span in own:
+            if span.name in REQUEST_STAGES:
+                path_totals[span.name] = path_totals.get(span.name, 0.0) + span.duration_s
+                covered += span.duration_s
+        for span in linked:
+            if span.name in TASK_STAGES:
+                path_totals[span.name] = path_totals.get(span.name, 0.0) + span.duration_s
+                covered += span.duration_s
+        remainder = total - covered
+        if remainder > 1e-9:
+            path_totals["other"] = path_totals.get("other", 0.0) + remainder
+
+    critical_path: Dict[str, float] = {}
+    if grand_total > 0.0:
+        critical_path = {
+            stage: total / grand_total for stage, total in path_totals.items() if total > 0.0
+        }
+
+    stages = {
+        name: _stage_stats(name, durations) for name, durations in durations_by_stage.items()
+    }
+    return TraceSummary(
+        stages=stages,
+        critical_path=critical_path,
+        verdicts=verdicts,
+        span_count=len(spans),
+        open_spans=open_spans,
+    )

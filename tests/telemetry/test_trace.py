@@ -1,0 +1,165 @@
+"""Unit tests for the request-scoped tracing primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import Span, StageStats, Tracer, TraceSummary, summarize_trace
+from repro.telemetry.trace import NULL_SPAN, REQUEST_STAGES, TASK_STAGES
+
+
+class TestSpan:
+    def test_annotate_chains_and_end_closes(self):
+        span = Span("request", 0, "r1", 1.0)
+        assert not span.ended
+        assert span.duration_s == 0.0
+        span.annotate("tenant", "acme").annotate("node", "n0")
+        span.end(3.5, verdict="completed")
+        assert span.ended
+        assert span.duration_s == pytest.approx(2.5)
+        assert span.annotations == {
+            "tenant": "acme",
+            "node": "n0",
+            "verdict": "completed",
+        }
+
+    def test_end_before_start_rejected(self):
+        span = Span("task", 0, "t1", 5.0)
+        with pytest.raises(ValueError, match="before it started"):
+            span.end(4.0)
+        assert not span.ended
+
+    def test_double_end_rejected(self):
+        span = Span("task", 0, "t1", 5.0)
+        span.end(6.0)
+        with pytest.raises(ValueError, match="ended twice"):
+            span.end(7.0)
+
+    def test_to_dict_round_trip(self):
+        span = Span("request.gateway", 3, "r9", 1.0, parent_id=2)
+        span.end(2.0, node="n3")
+        rendered = span.to_dict()
+        assert rendered == {
+            "name": "request.gateway",
+            "span_id": 3,
+            "trace_id": "r9",
+            "parent_id": 2,
+            "start_s": 1.0,
+            "end_s": 2.0,
+            "annotations": {"node": "n3"},
+        }
+
+
+class TestTracer:
+    def test_enabled_tracer_records_and_drains(self):
+        tracer = Tracer()
+        root = tracer.start_span("request", 0.0, "r1", tenant="acme")
+        child = tracer.start_span("request.gateway", 0.0, "r1", parent=root)
+        child.end(1.0)
+        root.end(2.0)
+        assert tracer.span_count == 2
+        spans = tracer.drain()
+        assert [span.name for span in spans] == ["request", "request.gateway"]
+        assert spans[1].parent_id == spans[0].span_id
+        assert tracer.span_count == 0
+        assert tracer.drain() == []
+
+    def test_span_ids_unique_and_monotone(self):
+        tracer = Tracer()
+        ids = [tracer.start_span("task", 0.0, f"t{i}").span_id for i in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_event_is_zero_length(self):
+        tracer = Tracer()
+        span = tracer.event("autoscale.add_shard", 7.0, trace_id="autoscale", target=2)
+        assert span.ended
+        assert span.duration_s == 0.0
+        assert span.annotations["target"] == 2
+
+    def test_disabled_tracer_is_a_no_op(self):
+        tracer = Tracer.disabled()
+        span = tracer.start_span("request", 0.0, "r1")
+        assert span is NULL_SPAN
+        assert span.annotate("k", "v") is NULL_SPAN
+        assert span.end(5.0) is NULL_SPAN
+        assert not span.ended
+        assert tracer.event("autoscale.grow_node", 1.0) is NULL_SPAN
+        assert tracer.span_count == 0
+        assert tracer.drain() == []
+
+
+def _completed_request(tracer, request_id, task_id, arrival, flush, finish):
+    root = tracer.start_span("request", arrival, request_id)
+    gateway = tracer.start_span("request.gateway", arrival, request_id, parent=root)
+    gateway.end(arrival)
+    wait = tracer.start_span("request.batch_wait", arrival, request_id, parent=root)
+    wait.end(flush)
+    troot = tracer.start_span("task", flush, task_id)
+    pending = tracer.start_span("task.pending", flush, task_id, parent=troot)
+    pending.end(flush)
+    execute = tracer.start_span("task.execute", flush, task_id, parent=troot)
+    execute.end(finish)
+    troot.end(finish, verdict="completed")
+    root.annotate("terminal", True)
+    root.end(finish, verdict="completed", task_id=task_id)
+
+
+class TestSummarizeTrace:
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary.span_count == 0
+        assert summary.stages == {}
+        assert summary.critical_path == {}
+        assert summary.verdicts == {}
+        assert summary.stage("task.execute") is None
+
+    def test_critical_path_fractions_sum_to_one(self):
+        tracer = Tracer()
+        _completed_request(tracer, "r1", "t1", 0.0, 2.0, 10.0)
+        _completed_request(tracer, "r2", "t2", 1.0, 2.0, 7.0)
+        summary = summarize_trace(tracer.drain())
+        assert summary.open_spans == 0
+        assert summary.verdicts == {"completed": 2}
+        assert sum(summary.critical_path.values()) == pytest.approx(1.0)
+        # All latency is batch wait + execute in this synthetic trace.
+        assert set(summary.critical_path) == {"request.batch_wait", "task.execute"}
+        wait = summary.stage("request.batch_wait")
+        assert isinstance(wait, StageStats)
+        assert wait.count == 2
+        assert wait.total_s == pytest.approx(3.0)
+
+    def test_rejected_and_open_spans_counted(self):
+        tracer = Tracer()
+        root = tracer.start_span("request", 0.0, "r1")
+        root.annotate("terminal", True)
+        root.end(0.0, verdict="rejected_rate_limit")
+        tracer.start_span("task", 1.0, "t-open")  # never closed
+        summary = summarize_trace(tracer.drain())
+        assert summary.verdicts == {"rejected_rate_limit": 1}
+        assert summary.open_spans == 1
+        assert summary.span_count == 2
+        # A rejected request contributes no critical-path latency.
+        assert summary.critical_path == {}
+
+    def test_format_and_to_dict_render_all_stages(self):
+        tracer = Tracer()
+        _completed_request(tracer, "r1", "t1", 0.0, 1.0, 4.0)
+        summary = summarize_trace(tracer.drain())
+        text = summary.format()
+        for name in ("request", "request.batch_wait", "task.execute"):
+            assert name in text
+        assert "critical path:" in text and "verdicts:" in text
+        rendered = summary.to_dict()
+        assert rendered["span_count"] == summary.span_count
+        assert set(rendered["stages"]) == set(summary.stages)
+        assert isinstance(TraceSummary(**{
+            "stages": summary.stages,
+            "critical_path": summary.critical_path,
+            "verdicts": summary.verdicts,
+            "span_count": summary.span_count,
+            "open_spans": summary.open_spans,
+        }), TraceSummary)
+
+    def test_stage_name_schema_is_stable(self):
+        assert REQUEST_STAGES == ("request.gateway", "request.batch_wait")
+        assert TASK_STAGES == ("task.pending", "task.execute", "task.migrate")

@@ -1,0 +1,154 @@
+"""Property tests (hypothesis): trace well-formedness on real serving runs.
+
+Rather than testing the tracer on synthetic span sequences, these
+properties drive the actual serving pipeline (gateway -> batcher ->
+discrete-event simulator) under arbitrary workloads and pin the
+invariants the observability layer promises:
+
+* every offered request yields exactly one terminal root span, with a
+  verdict consistent with the serving report's accounting;
+* no span ends before it starts, every span is closed by run end, and
+  child spans nest inside their parents' intervals;
+* the span-name multiset is conserved across ``fast_path`` on/off -- the
+  hot-path overhaul must be invisible in the trace, not just in the
+  report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.microserver import WorkloadKind
+from repro.scheduler.cluster import Cluster
+from repro.scheduler.heats import HeatsScheduler
+from repro.scheduler.modeling import ProfilingCampaign
+from repro.serving import BatchPolicy, RequestGateway, ServingLoop, Tenant
+from repro.serving.gateway import ServingRequest
+from repro.telemetry import Tracer
+
+#: learned models fitted once; every example replays on a fresh cluster.
+MODELS = ProfilingCampaign(Cluster.heats_testbed(scale=1), seed=7).run().fit()
+
+BATCH_POLICY = BatchPolicy(max_batch_size=4, max_delay_s=1.0)
+
+#: tight limits so hypothesis finds workloads with real rejections.
+TENANTS = [
+    Tenant(name="alpha", rate_limit_rps=3.0, burst=4, energy_weight=0.3),
+    Tenant(name="beta", rate_limit_rps=3.0, burst=4, energy_weight=0.7),
+]
+
+KINDS = (WorkloadKind.MEMORY_BOUND, WorkloadKind.SCALAR, WorkloadKind.STREAMING)
+
+workload_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=1, max_value=28),  # request count
+    st.floats(min_value=2.0, max_value=12.0),  # arrival window seconds
+)
+
+
+def _requests(seed: int, count: int, duration_s: float):
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.uniform(0.0, duration_s, count))
+    return [
+        ServingRequest(
+            request_id=f"r{index:04d}",
+            tenant=TENANTS[index % len(TENANTS)].name,
+            use_case=f"uc{index % 3}",
+            arrival_s=float(arrival),
+            workload=KINDS[index % 3],
+            gops=float(rng.uniform(5.0, 40.0)),
+            cores=int(rng.choice([1, 2])),
+            memory_gib=float(rng.choice([1.0, 2.0, 4.0])),
+        )
+        for index, arrival in enumerate(arrivals)
+    ]
+
+
+def _traced_run(requests, fast_path: bool = True):
+    tracer = Tracer(enabled=True)
+    loop = ServingLoop(
+        Cluster.heats_testbed(scale=1),
+        HeatsScheduler(MODELS),
+        RequestGateway(TENANTS),
+        batch_policy=BATCH_POLICY,
+        fast_path=fast_path,
+        tracer=tracer,
+    )
+    report = loop.run(requests)
+    assert tracer.span_count == 0, "loop must drain its tracer into the report"
+    return report
+
+
+@given(workload_params)
+@settings(max_examples=25, deadline=None)
+def test_every_offered_request_has_exactly_one_terminal_root(params):
+    seed, count, duration_s = params
+    requests = _requests(seed, count, duration_s)
+    report = _traced_run(requests)
+    roots = [span for span in report.trace_spans if span.name == "request"]
+
+    # Exactly one root per offered request, keyed by request id.
+    assert sorted(span.trace_id for span in roots) == sorted(
+        request.request_id for request in requests
+    )
+    verdicts = Counter()
+    for root in roots:
+        assert root.ended
+        assert root.annotations.get("terminal") is True
+        verdicts[root.annotations["verdict"]] += 1
+
+    # Verdict counts reconcile exactly with the report's accounting.
+    assert verdicts.get("completed", 0) == report.completed
+    assert verdicts.get("dropped", 0) == report.dropped
+    rejected = sum(
+        count for verdict, count in verdicts.items() if verdict.startswith("rejected")
+    )
+    assert rejected == report.rejected
+    assert sum(verdicts.values()) == report.offered
+
+
+@given(workload_params)
+@settings(max_examples=25, deadline=None)
+def test_spans_are_closed_ordered_and_nested(params):
+    seed, count, duration_s = params
+    requests = _requests(seed, count, duration_s)
+    report = _traced_run(requests)
+    spans = report.trace_spans
+    by_id = {span.span_id: span for span in spans}
+    assert len(by_id) == len(spans), "span ids must be unique"
+
+    for span in spans:
+        # A finished run leaves nothing open, and time never runs backwards.
+        assert span.ended, f"span {span!r} left open at run end"
+        assert span.end_s >= span.start_s
+        if span.parent_id is not None:
+            parent = by_id[span.parent_id]
+            assert span.trace_id == parent.trace_id
+            assert span.start_s >= parent.start_s - 1e-9
+            assert span.end_s <= parent.end_s + 1e-9
+
+
+@given(workload_params)
+@settings(max_examples=10, deadline=None)
+def test_span_counts_conserved_across_fast_path(params):
+    seed, count, duration_s = params
+    requests = _requests(seed, count, duration_s)
+    fast = _traced_run(requests, fast_path=True)
+    slow = _traced_run(requests, fast_path=False)
+
+    fast_names = Counter(span.name for span in fast.trace_spans)
+    slow_names = Counter(span.name for span in slow.trace_spans)
+    assert fast_names == slow_names
+
+    def terminal_verdicts(report):
+        return sorted(
+            (span.trace_id, span.annotations["verdict"])
+            for span in report.trace_spans
+            if span.name in ("request", "task") and span.annotations.get("verdict")
+        )
+
+    assert terminal_verdicts(fast) == terminal_verdicts(slow)

@@ -26,6 +26,7 @@ REQUIRED_DOCS = [
     "federation.md",
     "scheduler.md",
     "autoscaling.md",
+    "observability.md",
 ]
 
 

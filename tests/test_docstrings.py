@@ -35,6 +35,7 @@ SUBPACKAGES = [
     "repro.security",
     "repro.serving",
     "repro.telemetry",
+    "repro.telemetry.trace",
     "repro.undervolting",
     "repro.usecases",
 ]
@@ -113,3 +114,47 @@ def test_subpackage_export_is_documented(package, name, obj):
     if not (inspect.isclass(obj) or inspect.isfunction(obj) or inspect.ismodule(obj)):
         return  # constants (catalogues, tuples) document themselves in context
     assert inspect.getdoc(obj), f"{package}.{name} has no docstring"
+
+
+def _harness_exports():
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).parent.parent / "benchmarks" / "harness.py"
+    spec = importlib.util.spec_from_file_location("bench_harness_docs", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return [
+        (name, getattr(module, name))
+        for name in getattr(module, "__all__", [])
+    ]
+
+
+@pytest.mark.parametrize("name, obj", _harness_exports(), ids=lambda v: str(v))
+def test_benchmark_harness_export_is_documented(name, obj):
+    """The harness is user-facing tooling: its API documents itself too."""
+    if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+        return
+    doc = inspect.getdoc(obj)
+    assert doc, f"benchmarks/harness.py:{name} has no docstring"
+    if inspect.isclass(obj):
+        for member_name, member, func in _public_members_of_module(obj, "bench_harness"):
+            assert inspect.getdoc(member if isinstance(member, property) else func), (
+                f"harness.{name}.{member_name} has no docstring"
+            )
+
+
+def _public_members_of_module(cls, module_prefix):
+    """Like :func:`_public_members` but for a file-loaded module's classes."""
+    for name, member in inspect.getmembers(cls):
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            func = member.fget
+        elif inspect.isfunction(member) or inspect.ismethod(member):
+            func = member
+        else:
+            continue
+        if func is None or module_prefix not in (getattr(func, "__module__", "") or ""):
+            continue
+        yield name, member, func

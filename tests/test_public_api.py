@@ -31,6 +31,7 @@ SUBPACKAGES = [
     "repro.security",
     "repro.serving",
     "repro.telemetry",
+    "repro.telemetry.trace",
     "repro.undervolting",
     "repro.usecases",
 ]
@@ -78,3 +79,21 @@ def test_all_names_resolve(package):
     assert exported, f"{package} should declare __all__"
     for name in exported:
         assert hasattr(module, name), f"{package}.__all__ lists missing name {name!r}"
+
+
+def test_benchmark_harness_all_names_resolve():
+    """The benchmark harness is public tooling: audit its __all__ too.
+
+    ``benchmarks/`` is not a package, so the module is loaded from its
+    file path the same way the gate unit tests do.
+    """
+    import importlib.util
+
+    path = Path(__file__).parent.parent / "benchmarks" / "harness.py"
+    spec = importlib.util.spec_from_file_location("bench_harness_api", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    exported = getattr(module, "__all__", [])
+    assert exported, "benchmarks/harness.py should declare __all__"
+    for name in exported:
+        assert hasattr(module, name), f"harness.__all__ lists missing name {name!r}"
