@@ -22,8 +22,11 @@ Both paths must produce bit-identical serving reports; the overhauled
 path must finish the 10k-request / 64-node run at least 3x faster.  A
 third, *traced* run (same stream, ``fast_path=True`` plus an enabled
 :class:`~repro.telemetry.trace.Tracer`) measures what request-scoped
-tracing costs on the hot path.  Emitted to ``BENCH_core_speed.json``;
-the table renders to ``benchmarks/results/core_speed.txt``.
+tracing costs on the hot path, and a fourth, *profiled* run (an enabled
+:class:`~repro.telemetry.profile.PhaseProfiler`) measures the host-time
+profiler's overhead and proves its phase breakdown covers >= 90% of the
+measured wall-clock.  Emitted to ``BENCH_core_speed.json``; the table
+renders to ``benchmarks/results/core_speed.txt``.
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from repro.serving.batching import BatchPolicy
 from repro.serving.cache import PredictionScoreCache
 from repro.serving.gateway import RequestGateway, ServingRequest, Tenant
 from repro.serving.loop import ServingLoop
+from repro.telemetry.profile import PhaseProfiler
 from repro.telemetry.trace import Tracer
 
 #: minimum wall-clock speedup the overhaul must show on the full run.
@@ -92,6 +96,7 @@ def timed_run(
     requests: List[ServingRequest],
     scale: int,
     tracer: Optional[Tracer] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> Tuple[object, float]:
     """Serve the stream on a fresh cluster; returns (report, seconds)."""
     cluster = Cluster.heats_testbed(scale=scale)
@@ -105,6 +110,7 @@ def timed_run(
         batch_policy=BATCH_POLICY,
         fast_path=fast_path,
         tracer=tracer,
+        profiler=profiler,
     )
     start = time.perf_counter()
     report = loop.run(requests)
@@ -124,6 +130,10 @@ def test_core_hot_path_speedup(bench, smoke):
     traced_report, traced_s = timed_run(
         True, tenants, requests, scale, tracer=Tracer(enabled=True)
     )
+    profiler = PhaseProfiler(enabled=True)
+    profiled_report, profiled_s = timed_run(
+        True, tenants, requests, scale, profiler=profiler
+    )
 
     # The overhaul must be invisible in the results: identical reports at
     # every level we render.
@@ -138,15 +148,28 @@ def test_core_hot_path_speedup(bench, smoke):
     traced_summary.pop("trace")
     assert traced_summary == fast_report.summary()
     assert traced_report.trace_spans and fast_report.trace_spans is None
+    # The host-time profiler likewise only observes: identical report,
+    # and the top-level phases (ingest/simulate/rollup) account for at
+    # least 90% of the measured wall-clock.
+    assert profiled_report.summary() == fast_report.summary()
+    profile_coverage = profiler.coverage(profiled_s)
+    assert profile_coverage >= 0.9, (
+        f"profiler phases cover only {profile_coverage:.1%} of wall-clock"
+    )
 
     speedup = old_s / fast_s if fast_s > 0 else float("inf")
     tracing_overhead = traced_s / fast_s if fast_s > 0 else float("inf")
+    profiling_overhead = profiled_s / fast_s if fast_s > 0 else float("inf")
     run = bench("core_speed")
     # Wall-clock ratios carry loose tolerances (shared-runner noise);
     # simulated quantities are deterministic and gated tightly.
     run.metric("speedup", speedup, direction="higher", tolerance=0.40)
     run.metric("tracing_overhead", tracing_overhead, direction="lower",
                tolerance=0.50, abs_tolerance=0.50)
+    run.metric("profiling_overhead", profiling_overhead, direction="lower",
+               tolerance=0.50, abs_tolerance=0.50)
+    run.metric("profile_coverage", profile_coverage, direction="higher",
+               tolerance=0.05)
     run.metric("wall_clock_s", fast_s, direction="lower", gate=False)
     run.metric("old_path_wall_clock_s", old_s, direction="lower", gate=False)
     run.metric("ops_per_sec", fast_report.ops_per_sec, direction="higher",
@@ -160,6 +183,7 @@ def test_core_hot_path_speedup(bench, smoke):
     run.metric("completed", fast_report.completed, direction="higher",
                tolerance=0.01)
     run.attach_trace(traced_report.trace_summary())
+    run.attach_profile(profiler)
     run.table(
         "core_speed",
         "Core hot-path overhaul: old-equivalent vs event-driven + retry index"

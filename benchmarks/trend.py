@@ -1,0 +1,513 @@
+"""Historical perf-trend analytics over the BENCH_*.json corpus.
+
+The perf-regression gate (``harness.py check``) is binary: it trips only
+once a gated metric leaves its tolerance band.  This tool watches the
+*approach*: it ingests the repo-root ``BENCH_*.json`` corpus plus any
+number of historical payload directories (older snapshots of the same
+files), builds one time series per ``(bench, tier, metric)``, and renders
+
+* ``benchmarks/results/trends.txt`` -- a sparkline/trend table, one row
+  per series, flagging metrics drifting toward their gate margin;
+* ``benchmarks/results/trend.html`` -- the same data as a self-contained
+  HTML report (inline SVG sparklines, inline JS filter, no external
+  assets).
+
+Drift rule per gated metric, against the pinned baseline of its tier::
+
+    margin   = max(tolerance * |baseline|, abs_tolerance)
+    consumed = (baseline - value) / margin   (direction ``higher``)
+    consumed = (value - baseline) / margin   (direction ``lower``)
+
+``consumed`` is the fraction of the gate margin already eaten by movement
+in the *bad* direction; a warning fires at ``--warn-fraction`` (default
+0.5) so a slow regression is visible several PRs before the gate trips.
+
+CLI::
+
+    python benchmarks/trend.py [names...] [--history DIR ...]
+        [--out-dir benchmarks/results] [--warn-fraction 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+RESULTS_DIR = BENCH_DIR / "results"
+BASELINES_DIR = BENCH_DIR / "baselines"
+
+__all__ = [
+    "MetricSeries",
+    "build_series",
+    "drift_warnings",
+    "load_payload_dir",
+    "main",
+    "render_trends_html",
+    "render_trends_text",
+    "sparkline",
+    "DEFAULT_WARN_FRACTION",
+]
+
+#: fraction of the gate margin a metric may consume before a drift
+#: warning fires (1.0 is where ``harness.py check`` would fail).
+DEFAULT_WARN_FRACTION = 0.5
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class MetricSeries:
+    """One metric's history across payload snapshots.
+
+    Points are ordered oldest first: historical directories in the order
+    given, then the current repo-root corpus.
+    """
+
+    bench: str
+    tier: str
+    metric: str
+    direction: str
+    gate: bool
+    #: snapshot labels, parallel to ``values``.
+    labels: List[str] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """The series identity: ``(bench, tier, metric)``."""
+        return (self.bench, self.tier, self.metric)
+
+    @property
+    def latest(self) -> float:
+        """The newest value in the series."""
+        return self.values[-1]
+
+    @property
+    def change(self) -> Optional[float]:
+        """Relative change first -> last; None for single points or zero start."""
+        if len(self.values) < 2 or self.values[0] == 0.0:
+            return None
+        return (self.values[-1] - self.values[0]) / abs(self.values[0])
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a value sequence as a Unicode block sparkline.
+
+    Args:
+        values: the series, oldest first.
+
+    Returns:
+        One block character per value; constant series render flat at
+        mid-height, an empty series renders as an empty string.
+    """
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_CHARS[3] * len(values)
+    span = hi - lo
+    top = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[min(top, int((value - lo) / span * top + 0.5))]
+        for value in values
+    )
+
+
+def load_payload_dir(directory: Path) -> Dict[str, Dict[str, Any]]:
+    """Read every ``BENCH_*.json`` payload in one directory.
+
+    Args:
+        directory: the directory to scan (repo root or a snapshot dir).
+
+    Returns:
+        Benchmark name -> parsed payload; unparseable files are skipped
+        with a note on stderr rather than failing the whole report.
+    """
+    payloads: Dict[str, Dict[str, Any]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        try:
+            payloads[name] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"[trend] skipping {path}: {exc}", file=sys.stderr)
+    return payloads
+
+
+def build_series(
+    sources: Sequence[Tuple[str, Mapping[str, Mapping[str, Any]]]],
+    names: Optional[Sequence[str]] = None,
+) -> Dict[Tuple[str, str, str], MetricSeries]:
+    """Fold payload snapshots into per-metric time series.
+
+    Args:
+        sources: ``(label, payloads)`` pairs, oldest snapshot first (the
+            last pair is normally the current repo-root corpus).
+        names: restrict to these benchmark names; None keeps all.
+
+    Returns:
+        ``(bench, tier, metric)`` -> series, keys sorted on render.
+    """
+    series: Dict[Tuple[str, str, str], MetricSeries] = {}
+    wanted = set(names) if names else None
+    for label, payloads in sources:
+        for bench, payload in payloads.items():
+            if wanted is not None and bench not in wanted:
+                continue
+            tier = str(payload.get("tier", "full"))
+            records = dict(payload.get("metrics") or {})
+            # Table-only benchmarks (the paper-figure reproductions) carry
+            # no gated metrics; their harness wall-clock still trends, so
+            # every BENCH file contributes at least one series.
+            if payload.get("harness_wall_clock_s") is not None:
+                records.setdefault(
+                    "harness_wall_clock_s",
+                    {
+                        "value": float(payload["harness_wall_clock_s"]),
+                        "direction": "lower",
+                        "gate": False,
+                    },
+                )
+            for metric, record in records.items():
+                key = (bench, tier, metric)
+                entry = series.get(key)
+                if entry is None:
+                    entry = series[key] = MetricSeries(
+                        bench=bench,
+                        tier=tier,
+                        metric=metric,
+                        direction=str(record.get("direction", "higher")),
+                        gate=bool(record.get("gate", False)),
+                    )
+                entry.direction = str(record.get("direction", entry.direction))
+                entry.gate = bool(record.get("gate", entry.gate))
+                entry.labels.append(label)
+                entry.values.append(float(record.get("value", 0.0)))
+    return series
+
+
+def _margin_consumed(
+    series: MetricSeries, pinned: Mapping[str, Any], record: Mapping[str, Any]
+) -> Optional[float]:
+    """Fraction of the gate margin eaten by the series' latest value."""
+    base = float(pinned.get("value", 0.0))
+    margin = max(
+        float(record.get("tolerance", 0.0)) * abs(base),
+        float(record.get("abs_tolerance", 0.0)),
+    )
+    if margin <= 0.0:
+        return None
+    if series.direction == "higher":
+        return (base - series.latest) / margin
+    return (series.latest - base) / margin
+
+
+def drift_warnings(
+    series_map: Mapping[Tuple[str, str, str], MetricSeries],
+    current: Mapping[str, Mapping[str, Any]],
+    baselines_dir: Path = BASELINES_DIR,
+    warn_fraction: float = DEFAULT_WARN_FRACTION,
+) -> List[str]:
+    """Gated metrics whose latest value has eaten too much gate margin.
+
+    Args:
+        series_map: output of :func:`build_series`.
+        current: the newest payload corpus (benchmark name -> payload) --
+            tolerances come from here, so a tolerance change in the
+            current run is what the warning respects.
+        baselines_dir: directory of pinned baselines.
+        warn_fraction: warn once this fraction of the margin is consumed
+            (1.0 is the gate boundary itself).
+
+    Returns:
+        One human-readable warning line per drifting metric, sorted by
+        how much margin is consumed (worst first).
+    """
+    flagged: List[Tuple[float, str]] = []
+    baseline_cache: Dict[str, Optional[Dict[str, Any]]] = {}
+    for key in sorted(series_map):
+        series = series_map[key]
+        if not series.gate:
+            continue
+        payload = current.get(series.bench)
+        if payload is None or payload.get("tier") != series.tier:
+            continue
+        record = (payload.get("metrics") or {}).get(series.metric)
+        if record is None:
+            continue
+        if series.bench not in baseline_cache:
+            path = baselines_dir / f"{series.bench}.json"
+            baseline_cache[series.bench] = (
+                json.loads(path.read_text()) if path.is_file() else None
+            )
+        baseline = baseline_cache[series.bench]
+        entry = baseline.get(series.tier) if baseline else None
+        pinned = (entry or {}).get("metrics", {}).get(series.metric)
+        if pinned is None:
+            continue
+        consumed = _margin_consumed(series, pinned, record)
+        if consumed is None or consumed < warn_fraction:
+            continue
+        state = "WOULD TRIP GATE" if consumed >= 1.0 else "drifting toward gate"
+        flagged.append(
+            (
+                consumed,
+                f"{series.bench}:{series.metric} ({series.tier}) {state}: "
+                f"{consumed:.0%} of the gate margin consumed "
+                f"(latest {series.latest:.6g} vs pinned "
+                f"{float(pinned.get('value', 0.0)):.6g}, "
+                f"direction {series.direction})",
+            )
+        )
+    flagged.sort(key=lambda item: -item[0])
+    return [line for _, line in flagged]
+
+
+def render_trends_text(
+    series_map: Mapping[Tuple[str, str, str], MetricSeries],
+    warnings: Sequence[str],
+) -> str:
+    """Render the trend table (the ``trends.txt`` artefact).
+
+    Args:
+        series_map: output of :func:`build_series`.
+        warnings: output of :func:`drift_warnings`.
+
+    Returns:
+        The full report text, deterministically ordered by series key.
+    """
+    headers = ("bench", "tier", "metric", "gate", "n", "first", "latest", "Δ", "trend")
+    rows: List[Tuple[str, ...]] = []
+    for key in sorted(series_map):
+        series = series_map[key]
+        change = series.change
+        rows.append(
+            (
+                series.bench,
+                series.tier,
+                series.metric,
+                "*" if series.gate else "",
+                str(len(series.values)),
+                f"{series.values[0]:.6g}",
+                f"{series.latest:.6g}",
+                f"{change:+.1%}" if change is not None else "-",
+                sparkline(series.values),
+            )
+        )
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    lines = ["perf trends (oldest -> latest; * = gated metric)", ""]
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in rows)
+    lines.append("")
+    if warnings:
+        lines.append(f"drift warnings ({len(warnings)}):")
+        lines.extend(f"  ! {line}" for line in warnings)
+    else:
+        lines.append("drift warnings: none")
+    return "\n".join(lines) + "\n"
+
+
+def _svg_spark(values: Sequence[float], width: int = 120, height: int = 28) -> str:
+    """One series as an inline SVG polyline (flat midline when constant)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    n = max(1, len(values) - 1)
+    points = []
+    for i, value in enumerate(values):
+        x = 2 + i * (width - 4) / n
+        y = height / 2 if span == 0 else 2 + (height - 4) * (1 - (value - lo) / span)
+        points.append(f"{x:.1f},{y:.1f}")
+    return (
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} {height}">'
+        f'<polyline fill="none" stroke="#5aa9e6" stroke-width="1.5" '
+        f'points="{" ".join(points)}"/></svg>'
+    )
+
+
+_HTML_HEAD = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>perf trends</title>
+<style>
+body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 1.5rem;
+       background: #111418; color: #d7dde4; }
+h1 { font-size: 1.1rem; }
+input { background: #171c22; color: #d7dde4; border: 1px solid #2c3540;
+        padding: .3rem .5rem; border-radius: 4px; margin-bottom: .8rem; }
+table { border-collapse: collapse; }
+th, td { padding: .25rem .7rem; text-align: left; border-bottom: 1px solid #232b33; }
+th { color: #9fb4c7; }
+.gated { color: #e8c35a; }
+.warn { color: #ef6a6a; }
+.warnings { margin: 1rem 0; color: #ef6a6a; }
+.ok { color: #5fd38a; }
+</style>
+</head>
+<body>
+<h1>perf trends (oldest &#8594; latest)</h1>
+<input id="filter" placeholder="filter by bench/metric...">
+"""
+
+_HTML_TAIL = """<script>
+const filter = document.getElementById("filter");
+filter.addEventListener("input", () => {
+  const needle = filter.value.toLowerCase();
+  for (const row of document.querySelectorAll("tbody tr")) {
+    row.style.display = row.textContent.toLowerCase().includes(needle) ? "" : "none";
+  }
+});
+</script>
+</body>
+</html>
+"""
+
+
+def render_trends_html(
+    series_map: Mapping[Tuple[str, str, str], MetricSeries],
+    warnings: Sequence[str],
+) -> str:
+    """Render the trend report as one self-contained HTML document.
+
+    Args:
+        series_map: output of :func:`build_series`.
+        warnings: output of :func:`drift_warnings`.
+
+    Returns:
+        The complete HTML document (inline SVG sparklines + inline JS
+        filter, no external assets).
+    """
+
+    def esc(text: str) -> str:
+        return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+    parts = [_HTML_HEAD]
+    if warnings:
+        parts.append('<div class="warnings">')
+        parts.append(f"<b>drift warnings ({len(warnings)})</b><br>")
+        parts.extend(f"&#9888; {esc(line)}<br>" for line in warnings)
+        parts.append("</div>")
+    else:
+        parts.append('<div class="ok">no drift warnings</div>')
+    parts.append(
+        "<table><thead><tr><th>bench</th><th>tier</th><th>metric</th>"
+        "<th>gate</th><th>n</th><th>first</th><th>latest</th><th>&#916;</th>"
+        "<th>trend</th></tr></thead><tbody>"
+    )
+    warned = {line.split(" ", 1)[0] for line in warnings}
+    for key in sorted(series_map):
+        series = series_map[key]
+        change = series.change
+        tag = f"{series.bench}:{series.metric}"
+        cls = (
+            ' class="warn"'
+            if f"{tag} ({series.tier})" in warned
+            else (' class="gated"' if series.gate else "")
+        )
+        parts.append(
+            f"<tr{cls}><td>{esc(series.bench)}</td><td>{esc(series.tier)}</td>"
+            f"<td>{esc(series.metric)}</td>"
+            f"<td>{'*' if series.gate else ''}</td>"
+            f"<td>{len(series.values)}</td>"
+            f"<td>{series.values[0]:.6g}</td><td>{series.latest:.6g}</td>"
+            f"<td>{f'{change:+.1%}' if change is not None else '-'}</td>"
+            f"<td>{_svg_spark(series.values)}</td></tr>"
+        )
+    parts.append("</tbody></table>")
+    parts.append(_HTML_TAIL)
+    return "\n".join(parts)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: build the series and write both reports.
+
+    Args:
+        argv: argument vector; None uses ``sys.argv[1:]``.
+
+    Returns:
+        Process exit code (0 even when drift warnings fire -- the hard
+        failure belongs to ``harness.py check``; 1 only when no payload
+        at all could be ingested).
+    """
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("names", nargs="*", help="benchmark names (default: all)")
+    parser.add_argument(
+        "--history",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="historical payload directory (oldest first; repeatable)",
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=RESULTS_DIR, help="report output directory"
+    )
+    parser.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory of the current BENCH_*.json corpus",
+    )
+    parser.add_argument(
+        "--baselines-dir",
+        type=Path,
+        default=BASELINES_DIR,
+        help="directory of pinned baselines (for drift margins)",
+    )
+    parser.add_argument(
+        "--warn-fraction",
+        type=float,
+        default=DEFAULT_WARN_FRACTION,
+        help="fraction of the gate margin consumed before warning",
+    )
+    args = parser.parse_args(argv)
+
+    sources: List[Tuple[str, Dict[str, Dict[str, Any]]]] = []
+    for directory in args.history:
+        path = Path(directory)
+        sources.append((path.name, load_payload_dir(path)))
+    current = load_payload_dir(args.bench_dir)
+    sources.append(("current", current))
+
+    series_map = build_series(sources, names=args.names or None)
+    if not series_map:
+        print("[trend] no BENCH payloads found, nothing to report", file=sys.stderr)
+        return 1
+    warnings = drift_warnings(
+        series_map,
+        current,
+        baselines_dir=args.baselines_dir,
+        warn_fraction=args.warn_fraction,
+    )
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    text = render_trends_text(series_map, warnings)
+    (args.out_dir / "trends.txt").write_text(text)
+    (args.out_dir / "trend.html").write_text(render_trends_html(series_map, warnings))
+
+    benches = {key[0] for key in series_map}
+    print(
+        f"[trend] {len(series_map)} series across {len(benches)} benchmark(s) "
+        f"-> {args.out_dir / 'trends.txt'}, {args.out_dir / 'trend.html'}"
+    )
+    for line in warnings:
+        print(f"[trend] WARNING: {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Live console demo: per-shard tiles over a federated serving run.
+
+Serves a two-tenant workload on a traced federated deployment and
+renders the :class:`~repro.telemetry.console.LiveConsole` frame stream
+(one frame per ``serve_iter`` tick) as ANSI dashboard blocks -- per-shard
+load, queue depth, SLA hit rate, energy price, and autoscale actions.
+The same frame model feeds a ``JsonlExporter`` event stream, and --- when
+``LIVE_CONSOLE_HTML`` names a path --- a self-contained single-file HTML
+snapshot (inline JS frame scrubber, no external assets) is written there,
+which is what CI uploads as an artifact.
+
+Runs headlessly with a fixed tick count: the workload duration and
+``tick_s`` are constants, so the frame stream is deterministic.
+
+Run with:  PYTHONPATH=src python examples/live_console.py
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from pathlib import Path
+
+from repro import ServingWorkload
+from repro.api import Deployment, DeploymentSpec
+from repro.serving import Tenant
+from repro.telemetry import JsonlExporter, LiveConsole, render_ansi
+
+
+def main() -> None:
+    tenants = [
+        Tenant(name="dashboards", rate_limit_rps=120.0, burst=60,
+               energy_weight=0.2, latency_slo_s=120.0),
+        Tenant(name="sensors", rate_limit_rps=120.0, burst=60,
+               energy_weight=0.8, region="eu-north"),
+    ]
+    mix = {
+        "dashboards": {"ml_inference": 0.7, "smartmirror": 0.3},
+        "sensors": {"iot_gateway": 0.8, "ml_inference": 0.2},
+    }
+    workload = ServingWorkload.synthetic(
+        tenants, mix, offered_rps=30.0, duration_s=30.0, seed=17
+    )
+
+    spec = DeploymentSpec.preset("federated")
+    spec = replace(
+        spec, telemetry=replace(spec.telemetry, enabled=True, tracing=True)
+    )
+    deployment = Deployment.from_spec(spec)
+
+    feed = JsonlExporter()
+    console = LiveConsole(deployment, tick_s=5.0, exporter=feed)
+    frames = console.run(workload)
+    for frame in frames:
+        print(render_ansi(frame))
+
+    report = deployment.last_report
+    print(f"\n{len(frames)} frames rendered, {len(feed.lines)} feed events; "
+          f"served {report.completed}/{report.offered} "
+          f"(p99 {report.p99_latency_s:.1f} s)")
+
+    html_path = os.environ.get("LIVE_CONSOLE_HTML")
+    if html_path:
+        html = console.html(frames, title="live console snapshot")
+        Path(html_path).write_text(html)
+        print(f"HTML snapshot -> {html_path} ({len(html)} bytes)")
+    deployment.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,7 @@ from repro.serving.loop import ServingLoop, ServingReport, ServingWorkload
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.autoscale.controller import Autoscaler
     from repro.serving.batching import BatchPolicy
+    from repro.telemetry.profile import PhaseProfiler
     from repro.telemetry.registry import MetricsRegistry
     from repro.telemetry.trace import Tracer
 
@@ -88,6 +89,7 @@ class SingleClusterBackend:
         spec: DeploymentSpec,
         metrics: Optional["MetricsRegistry"] = None,
         tracer: Optional["Tracer"] = None,
+        profiler: Optional["PhaseProfiler"] = None,
     ) -> None:
         """Build the cluster and learn its prediction models (once).
 
@@ -97,10 +99,13 @@ class SingleClusterBackend:
                 and (per-run) admission/batching hot paths.
             tracer: optional request-scoped tracer threaded into every
                 serving run (None or disabled costs nothing).
+            profiler: optional host-time phase profiler threaded into
+                every serving run (None or disabled costs nothing).
         """
         self.spec = spec
         self.metrics = metrics
         self.tracer = tracer
+        self.profiler = profiler
         self.cluster = Cluster.heats_testbed(scale=spec.topology.cluster_scale)
         self.scheduler = HeatsScheduler.with_learned_models(
             self.cluster,
@@ -142,6 +147,7 @@ class SingleClusterBackend:
             metrics=self.metrics,
             fast_path=self.spec.serving.fast_path,
             tracer=self.tracer,
+            profiler=self.profiler,
         )
         return loop.run(workload.requests)
 
@@ -169,6 +175,7 @@ class FederatedBackend:
         metrics: Optional["MetricsRegistry"] = None,
         federation_config: Optional[FederationConfig] = None,
         tracer: Optional["Tracer"] = None,
+        profiler: Optional["PhaseProfiler"] = None,
     ) -> None:
         """Build all shards (one profiling campaign each) and the router.
 
@@ -183,10 +190,14 @@ class FederatedBackend:
                 interval becomes the federation heartbeat).
             tracer: optional request-scoped tracer threaded into every
                 serving run (None or disabled costs nothing).
+            profiler: optional host-time phase profiler; the router's
+                ``place`` and the serving loop record phases on it (None
+                or disabled costs nothing).
         """
         self.spec = spec
         self.metrics = metrics
         self.tracer = tracer
+        self.profiler = profiler
         if federation_config is None:
             federation_config = FederationConfig(
                 rescheduling_interval_s=spec.scheduler.rescheduling_interval_s
@@ -201,6 +212,10 @@ class FederatedBackend:
             seed_policy=spec.topology.seed,
             cache_capacity=spec.scheduler.score_cache_capacity,
         )
+        if profiler is not None and profiler.enabled:
+            # The router records its routing phase directly; attached the
+            # same way the autoscaler attaches itself to the scheduler.
+            self.federation.scheduler.attach_profiler(profiler)
 
     def serve(
         self, workload: ServingWorkload, batch_policy: Optional["BatchPolicy"] = None
@@ -225,6 +240,7 @@ class FederatedBackend:
             flush_tick_s=self.spec.serving.flush_tick_s,
             fast_path=self.spec.serving.fast_path,
             tracer=self.tracer,
+            profiler=self.profiler,
         )
 
     def topology(self) -> Dict[str, object]:
@@ -268,6 +284,7 @@ class AutoscaledBackend(FederatedBackend):
         metrics: "MetricsRegistry",
         federation_config: Optional[FederationConfig] = None,
         tracer: Optional["Tracer"] = None,
+        profiler: Optional["PhaseProfiler"] = None,
     ) -> None:
         """Build the initial federation and attach the first controller.
 
@@ -278,6 +295,10 @@ class AutoscaledBackend(FederatedBackend):
                 controller acts on flows through it).
             federation_config: routing/migration tunables; the control
                 interval overrides its rescheduling heartbeat either way.
+            tracer: optional request-scoped tracer threaded into every
+                serving run and the controller's actuation events.
+            profiler: optional host-time phase profiler; control steps
+                record an ``autoscale`` phase on it.
         """
         from repro.autoscale.controller import Autoscaler
 
@@ -292,9 +313,13 @@ class AutoscaledBackend(FederatedBackend):
                 base, rescheduling_interval_s=self._autoscale_config.control_interval_s
             ),
             tracer=tracer,
+            profiler=profiler,
         )
         self.autoscaler: "Autoscaler" = Autoscaler(
-            self.federation, config=self._autoscale_config, tracer=tracer
+            self.federation,
+            config=self._autoscale_config,
+            tracer=tracer,
+            profiler=profiler,
         )
         self._runs = 0
 
@@ -318,7 +343,10 @@ class AutoscaledBackend(FederatedBackend):
             # the previous run's counter totals do not read as one giant
             # first-tick delta.
             self.autoscaler = Autoscaler(
-                self.federation, config=self._autoscale_config, tracer=self.tracer
+                self.federation,
+                config=self._autoscale_config,
+                tracer=self.tracer,
+                profiler=self.profiler,
             )
             self.autoscaler.rebase_counters()
         self._runs += 1
@@ -345,6 +373,7 @@ def build_backend(
     spec: DeploymentSpec,
     metrics: Optional["MetricsRegistry"],
     tracer: Optional["Tracer"] = None,
+    profiler: Optional["PhaseProfiler"] = None,
 ) -> Backend:
     """The one polymorphic build step: spec shape -> backend instance.
 
@@ -355,6 +384,8 @@ def build_backend(
             enforces it).
         tracer: the deployment's request-scoped tracer, or None when
             tracing is disabled.
+        profiler: the deployment's host-time phase profiler, or None
+            when profiling is disabled.
 
     Returns:
         The built backend, profiled and ready to serve many workloads.
@@ -365,7 +396,7 @@ def build_backend(
                 "an autoscaled deployment needs a telemetry bus; spec "
                 "validation should have rejected this"
             )
-        return AutoscaledBackend(spec, metrics=metrics, tracer=tracer)
+        return AutoscaledBackend(spec, metrics=metrics, tracer=tracer, profiler=profiler)
     if spec.topology.shards > 1:
-        return FederatedBackend(spec, metrics=metrics, tracer=tracer)
-    return SingleClusterBackend(spec, metrics=metrics, tracer=tracer)
+        return FederatedBackend(spec, metrics=metrics, tracer=tracer, profiler=profiler)
+    return SingleClusterBackend(spec, metrics=metrics, tracer=tracer, profiler=profiler)

@@ -21,6 +21,7 @@ from repro.api.spec import DeploymentSpec
 from repro.scheduler.modeling import profiling_run_count
 from repro.serving.loop import ServingReport, ServingWorkload
 from repro.serving.sla import percentile
+from repro.telemetry.profile import PhaseProfiler
 from repro.telemetry.registry import MetricsRegistry, MetricsSnapshot
 from repro.telemetry.trace import Tracer
 
@@ -101,6 +102,11 @@ class Deployment:
         #: the session's tracer; disabled (a no-op) unless the spec sets
         #: ``telemetry.tracing``.
         self.tracer: Tracer = getattr(backend, "tracer", None) or Tracer.disabled()
+        #: the session's host-time phase profiler; disabled (a no-op)
+        #: unless the spec sets ``telemetry.profiling``.
+        self.profiler: PhaseProfiler = (
+            getattr(backend, "profiler", None) or PhaseProfiler.disabled()
+        )
         self._serve_runs = metrics.counter(SERVE_RUNS_METRIC)
         self._profilings = metrics.counter(PROFILING_METRIC)
 
@@ -127,10 +133,12 @@ class Deployment:
         )
         before = profiling_run_count()
         tracer = Tracer(enabled=spec.telemetry.tracing)
+        profiler = PhaseProfiler(enabled=spec.telemetry.profiling)
         backend = build_backend(
             spec,
             metrics if spec.telemetry.enabled else None,
             tracer=tracer if spec.telemetry.tracing else None,
+            profiler=profiler if spec.telemetry.profiling else None,
         )
         deployment = cls(spec, backend, metrics, system=system)
         deployment._profilings.inc(profiling_run_count() - before)
@@ -321,12 +329,15 @@ class Deployment:
         Always carries the session counters
         (``deployment.serve_runs``, ``deployment.profiling_campaigns``);
         when the spec enables telemetry it additionally carries every
-        hot-path instrument (admission, batching, placement, routing).
+        hot-path instrument (admission, batching, placement, routing);
+        when the spec enables profiling, ``metrics()["profile"]`` holds
+        the host-time phase breakdown accumulated so far.
 
         Returns:
             The :class:`~repro.telemetry.registry.MetricsSnapshot`.
         """
-        return self._metrics.snapshot()
+        profile = self.profiler.report() if self.profiler.enabled else None
+        return self._metrics.snapshot(profile=profile)
 
     def snapshot(self) -> Dict[str, object]:
         """Current topology plus how the spec differs from the defaults.

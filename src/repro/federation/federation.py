@@ -213,6 +213,11 @@ class FederatedScheduler:
         #: elastic control loop attached via Autoscaler; consulted at the
         #: top of every rescheduling pass when present.
         self.autoscaler = None
+        #: host-time phase profiler attached via
+        #: :meth:`attach_profiler`; the routing hot path records a
+        #: ``routing`` phase on it (cached-boolean guarded).
+        self.profiler = None
+        self._profile = False
         self.federation_stats = FederationStats()
         self._perf_weight_total = self.config.cpu_weight + self.config.memory_weight
         self._energy_weight_total = self.config.thermal_weight + self.config.price_weight
@@ -483,6 +488,18 @@ class FederatedScheduler:
     # ------------------------------------------------------------------ #
     # SchedulerProtocol: placement
     # ------------------------------------------------------------------ #
+    def attach_profiler(self, profiler) -> None:
+        """Attach a host-time phase profiler to the routing hot path.
+
+        Args:
+            profiler: a :class:`~repro.telemetry.profile.PhaseProfiler`;
+                when enabled, every ``place`` call records a ``routing``
+                phase (nested under whatever phase the simulator has
+                open).  Disabled or None detaches.
+        """
+        self.profiler = profiler
+        self._profile = profiler is not None and profiler.enabled
+
     def place(self, request: TaskRequest, cluster: Cluster, time_s: float) -> Optional[str]:
         """Pick a node for a request: shard first, then HEATS inside it.
 
@@ -496,6 +513,12 @@ class FederatedScheduler:
             The chosen node name, or None when no shard can host the
             request right now.
         """
+        if self._profile:
+            with self.profiler.phase("routing"):
+                return self._place(request, cluster, time_s)
+        return self._place(request, cluster, time_s)
+
+    def _place(self, request: TaskRequest, cluster: Cluster, time_s: float) -> Optional[str]:
         if self._m_place_calls is not None:
             self._m_place_calls.inc()
             if request.tenant is not None:
@@ -993,7 +1016,7 @@ class Federation:
                 "warm state"
             )
         self._served = True
-        return self._run_serving(workload, batch_policy, 0.5, True, None)
+        return self._run_serving(workload, batch_policy, 0.5, True, None, None)
 
     def run_workload(
         self,
@@ -1002,6 +1025,7 @@ class Federation:
         flush_tick_s: float = 0.5,
         fast_path: bool = True,
         tracer=None,
+        profiler=None,
     ):
         """Serve a workload against warm state (repeatable session entry).
 
@@ -1029,6 +1053,11 @@ class Federation:
                 run records request-scoped spans (admission, batching,
                 placement with shard annotations, migration, completion)
                 surfaced on ``ServingReport.trace_spans``.
+            profiler: optional
+                :class:`~repro.telemetry.profile.PhaseProfiler`; when
+                enabled the run records a host-time phase breakdown
+                (ingest / simulate / rollup, with routing and autoscale
+                nested inside).
 
         Returns:
             The :class:`~repro.serving.loop.ServingReport`, with
@@ -1044,10 +1073,18 @@ class Federation:
         # Routing telemetry is per-run in a session: the warm caches and
         # pins carry over, the counters must not.
         self.scheduler.federation_stats = FederationStats()
-        return self._run_serving(workload, batch_policy, flush_tick_s, fast_path, tracer)
+        return self._run_serving(
+            workload, batch_policy, flush_tick_s, fast_path, tracer, profiler
+        )
 
     def _run_serving(
-        self, workload, batch_policy, flush_tick_s: float, fast_path: bool, tracer
+        self,
+        workload,
+        batch_policy,
+        flush_tick_s: float,
+        fast_path: bool,
+        tracer,
+        profiler,
     ):
         """Shared serving body for :meth:`serve` and :meth:`run_workload`."""
         from repro.serving.gateway import RequestGateway
@@ -1066,5 +1103,6 @@ class Federation:
             metrics=self.metrics,
             fast_path=fast_path,
             tracer=tracer,
+            profiler=profiler,
         )
         return loop.run(workload.requests)

@@ -26,6 +26,7 @@ from repro.scheduler.cluster import Cluster, ClusterNode
 from repro.scheduler.monitoring import ClusterMonitor
 from repro.scheduler.placement import MigrationEvent, PlacementEngine
 from repro.scheduler.workload import TaskRequest
+from repro.telemetry.profile import NULL_PHASE, PhaseProfiler
 from repro.telemetry.trace import Span, Tracer
 
 
@@ -244,6 +245,7 @@ class ClusterSimulator:
         rescheduling_interval_s: Optional[float] = None,
         fast_path: bool = True,
         tracer: Optional["Tracer"] = None,
+        profiler: Optional["PhaseProfiler"] = None,
     ) -> None:
         """Wire a simulator over a cluster and a policy.
 
@@ -267,6 +269,10 @@ class ClusterSimulator:
                 records ``task`` / ``task.pending`` / ``task.execute`` /
                 ``task.migrate`` spans (annotated with node, shard and
                 retry-index requeue counts).  ``None`` costs nothing.
+            profiler: optional host-time phase profiler; when enabled the
+                event loop records ``placement`` / ``advance`` /
+                ``reschedule`` phases (nested under whatever phase the
+                caller has open).  ``None`` costs nothing.
         """
         self.cluster = cluster
         self.scheduler = scheduler
@@ -275,6 +281,9 @@ class ClusterSimulator:
         #: cached boolean: every instrumentation site is one branch when
         #: tracing is off, preserving the fast-path numbers exactly.
         self._trace = tracer is not None and tracer.enabled
+        self.profiler = profiler
+        #: same cached-boolean discipline for the host-time profiler.
+        self._profile = profiler is not None and profiler.enabled
         #: federated schedulers expose ``shard_of_node``; a single-cluster
         #: policy has no shard notion, so spans are annotated with None.
         self._shard_lookup = getattr(scheduler, "shard_of_node", None)
@@ -467,53 +476,60 @@ class ClusterSimulator:
                 request = payload  # type: ignore[assignment]
                 if self._trace:
                     self._trace_arrival(request)
-                if not self._can_ever_fit(request):
-                    if elastic:
+                with self.profiler.phase("placement") if self._profile else NULL_PHASE:
+                    if not self._can_ever_fit(request):
+                        if elastic:
+                            pending.push(request)
+                        else:
+                            # No node's *total* resources suffice and the
+                            # topology is fixed: queueing would never help, so
+                            # reject immediately instead of waiting for a
+                            # completion that cannot unblock the request.
+                            result.unplaced.append(request.task_id)
+                            remaining -= 1
+                            if self._trace:
+                                self._trace_unplaced(
+                                    request.task_id, time_s, "never_fits"
+                                )
+                    elif not self._try_place(request, time_s, result):
                         pending.push(request)
-                    else:
-                        # No node's *total* resources suffice and the
-                        # topology is fixed: queueing would never help, so
-                        # reject immediately instead of waiting for a
-                        # completion that cannot unblock the request.
-                        result.unplaced.append(request.task_id)
-                        remaining -= 1
-                        if self._trace:
-                            self._trace_unplaced(request.task_id, time_s, "never_fits")
-                elif not self._try_place(request, time_s, result):
-                    pending.push(request)
             elif kind == self._COMPLETION:
                 task_id, version = payload  # type: ignore[misc]
                 if self._completion_version.get(task_id) != version:
                     continue  # stale completion superseded by a migration
-                request = self.engine.placement(task_id).request
-                self._close_segment(task_id, time_s, request)
-                placement = self.engine.complete(task_id, time_s)
-                remaining -= 1
-                result.completed.append(
-                    CompletedTask(
-                        task_id=task_id,
-                        arrival_s=placement.request.arrival_s,
-                        start_s=self._start_times[task_id],
-                        finish_s=time_s,
-                        nodes=tuple(self._task_nodes.get(task_id, [])),
-                        energy_j=self._task_energy.get(task_id, 0.0),
-                        migrations=placement.migrations,
+                with self.profiler.phase("advance") if self._profile else NULL_PHASE:
+                    request = self.engine.placement(task_id).request
+                    self._close_segment(task_id, time_s, request)
+                    placement = self.engine.complete(task_id, time_s)
+                    remaining -= 1
+                    result.completed.append(
+                        CompletedTask(
+                            task_id=task_id,
+                            arrival_s=placement.request.arrival_s,
+                            start_s=self._start_times[task_id],
+                            finish_s=time_s,
+                            nodes=tuple(self._task_nodes.get(task_id, [])),
+                            energy_j=self._task_energy.get(task_id, 0.0),
+                            migrations=placement.migrations,
+                        )
                     )
-                )
-                if self._trace:
-                    self._trace_completion(task_id, time_s, placement.migrations)
+                    if self._trace:
+                        self._trace_completion(task_id, time_s, placement.migrations)
                 # The freed node may unblock queued requests.
-                self._retry_pending(pending, time_s, result)
+                with self.profiler.phase("placement") if self._profile else NULL_PHASE:
+                    self._retry_pending(pending, time_s, result)
             elif kind == self._RESCHEDULE:
                 topology_before = self.cluster.membership_version
-                self._apply_rescheduling(time_s)
+                with self.profiler.phase("reschedule") if self._profile else NULL_PHASE:
+                    self._apply_rescheduling(time_s)
                 topology_changed = topology_before != self.cluster.membership_version
                 if topology_changed:
                     # Nodes grown by an autoscaler must be able to unblock
                     # queued requests *now*, not at the next unrelated
                     # completion (and requests no node could ever host may
                     # have just become feasible).
-                    self._retry_pending(pending, time_s, result)
+                    with self.profiler.phase("placement") if self._profile else NULL_PHASE:
+                        self._retry_pending(pending, time_s, result)
                 if not self.fast_path or topology_changed:
                     idle_power = self.cluster.total_idle_power_w()
                     if idle_power != idle_power_levels[-1][1]:

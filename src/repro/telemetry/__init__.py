@@ -13,10 +13,16 @@ recording side down:
 * :mod:`repro.telemetry.registry` -- the named-instrument bus and the
   immutable :class:`MetricsSnapshot` view.
 * :mod:`repro.telemetry.export`   -- pluggable exporters: text rendering
-  for benchmark result files, in-memory history for tests/controllers.
+  for benchmark result files, JSON Lines feeds for dashboards, in-memory
+  history for tests/controllers.
 * :mod:`repro.telemetry.trace`    -- request-scoped spans on the simulated
   clock: per-deployment :class:`Tracer` with a no-op mode, stage
   summaries with critical-path attribution via :func:`summarize_trace`.
+* :mod:`repro.telemetry.profile`  -- the host-time :class:`PhaseProfiler`:
+  wall-clock phase breakdowns of the serving/scheduling hot path itself.
+* :mod:`repro.telemetry.console`  -- the live deployment console: per-shard
+  tiles over ``serve_iter()`` ticks rendered as ANSI blocks or a
+  self-contained HTML snapshot.
 """
 
 from repro.telemetry.metrics import Counter, Gauge, Histogram, RingBuffer
@@ -28,6 +34,7 @@ from repro.telemetry.registry import (
 from repro.telemetry.export import (
     Exporter,
     InMemoryExporter,
+    JsonlExporter,
     TextExporter,
     export_text,
     render_text,
@@ -39,23 +46,40 @@ from repro.telemetry.trace import (
     TraceSummary,
     summarize_trace,
 )
+from repro.telemetry.profile import PhaseProfiler
+from repro.telemetry.console import (
+    ConsoleFrame,
+    LiveConsole,
+    ShardTile,
+    build_frames,
+    render_ansi,
+    render_html,
+)
 
 __all__ = [
+    "ConsoleFrame",
     "Counter",
     "Exporter",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
     "InMemoryExporter",
+    "JsonlExporter",
+    "LiveConsole",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "PhaseProfiler",
     "RingBuffer",
+    "ShardTile",
     "Span",
     "StageStats",
     "TextExporter",
     "Tracer",
     "TraceSummary",
+    "build_frames",
     "export_text",
+    "render_ansi",
+    "render_html",
     "render_text",
     "summarize_trace",
 ]

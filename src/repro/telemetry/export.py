@@ -14,8 +14,9 @@ are deques that keep the most recent ``capacity`` entries.
 
 from __future__ import annotations
 
+import json
 from collections import deque
-from typing import Deque, List, Optional, Protocol
+from typing import Deque, List, Mapping, Optional, Protocol
 
 from repro.telemetry.registry import MetricsRegistry, MetricsSnapshot
 
@@ -110,6 +111,82 @@ class TextExporter:
     def text(self) -> str:
         """All rendered snapshots, separated by blank lines."""
         return "\n\n".join(self._lines)
+
+
+class JsonlExporter:
+    """Renders exports as JSON Lines: one JSON object per line.
+
+    The machine-readable sibling of :class:`TextExporter`: each exported
+    snapshot (or arbitrary record, via :meth:`write`) becomes exactly one
+    ``\\n``-free JSON object, so the buffer concatenates into a valid
+    ``.jsonl`` feed for dashboards and offline analysis.  Field order is
+    deterministic (keys sorted at every nesting level) so identical
+    exports diff byte-identically.  Like the other exporters, the buffer
+    is bounded to the most recent ``capacity`` lines.
+    """
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_EXPORT_CAPACITY) -> None:
+        """Create the exporter with an empty, bounded line buffer.
+
+        Args:
+            capacity: maximum lines retained (oldest evicted first);
+                ``None`` keeps everything.
+        """
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._lines: Deque[str] = deque(maxlen=capacity)
+
+    def export(self, snapshot: MetricsSnapshot) -> None:
+        """Serialise one snapshot as a single JSON line.
+
+        Args:
+            snapshot: the snapshot to serialise (counters, gauges,
+                histogram rollups, and the profile section when present).
+        """
+        record = {
+            "counters": dict(snapshot.counters),
+            "gauges": dict(snapshot.gauges),
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "window_mean": h.window_mean,
+                    "ewma": h.ewma,
+                    "p50": h.p50,
+                    "p99": h.p99,
+                }
+                for name, h in snapshot.histograms.items()
+            },
+        }
+        if snapshot.profile is not None:
+            record["profile"] = snapshot.profile
+        self.write(record)
+
+    def write(self, record: Mapping[str, object]) -> None:
+        """Append one arbitrary record as a JSON line (the event feed).
+
+        The live console streams its frame dicts through this, so one
+        exporter can interleave metric snapshots and console events into
+        a single chronological feed.
+
+        Args:
+            record: any JSON-representable mapping; non-serialisable
+                values fall back to ``str``.
+        """
+        self._lines.append(
+            json.dumps(dict(record), sort_keys=True, default=str, separators=(",", ":"))
+        )
+
+    @property
+    def lines(self) -> List[str]:
+        """The retained JSON lines, oldest first."""
+        return list(self._lines)
+
+    @property
+    def text(self) -> str:
+        """The buffer as one ``.jsonl`` document (lines joined by ``\\n``)."""
+        return "\n".join(self._lines)
 
 
 def render_text(snapshot: MetricsSnapshot) -> str:

@@ -1,0 +1,242 @@
+"""Host-time phase profiler for the serving hot path.
+
+PR 6's tracer attributes *simulated* time to request stages; it cannot
+say which part of the Python hot path burns *wall-clock* time, which is
+what the vectorisation roadmap item needs.  This module adds a
+zero-dependency phase profiler on :func:`time.perf_counter`:
+
+* :class:`PhaseProfiler` hands out nestable ``with profiler.phase("ingest")``
+  contexts.  Nested phases record under ``/``-joined paths
+  (``simulate/placement/routing``), so both the breakdown and the
+  top-level coverage (sum of depth-0 phases vs. measured wall-clock)
+  fall out of one report.
+* Hot loops that cannot afford a context manager per event use
+  :meth:`PhaseProfiler.add` with a pre-measured duration.
+* A disabled profiler (``PhaseProfiler.disabled()``) returns a shared
+  no-op context from :meth:`~PhaseProfiler.phase`, and every
+  instrumentation seam additionally guards on one cached boolean
+  (``self._profile = profiler is not None and profiler.enabled``) so the
+  unprofiled fast path is unchanged -- the same discipline as the
+  tracer's ``NULL_SPAN``.
+
+The report is a plain dict (``{"phases": {...}, "top_level_s": ...}``)
+so it can ride inside ``Deployment.metrics()["profile"]`` and the
+benchmark harness' JSON payloads without any serialisation shim.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["PhaseProfiler"]
+
+
+class _NullPhase:
+    """Shared no-op context returned by a disabled profiler's ``phase()``."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    """Context manager recording one timed phase on its profiler.
+
+    Entering pushes the phase onto the profiler's path prefix (so nested
+    phases record under ``parent/child`` keys); exiting accumulates the
+    elapsed host time into the profiler's stats and restores the prefix.
+    """
+
+    __slots__ = ("_profiler", "_name", "_path", "_prev_prefix", "_start")
+
+    def __init__(self, profiler, name):
+        self._profiler = profiler
+        self._name = name
+        self._path = ""
+        self._prev_prefix = ""
+        self._start = 0.0
+
+    def __enter__(self):
+        profiler = self._profiler
+        prefix = profiler._prefix
+        self._prev_prefix = prefix
+        self._path = prefix + "/" + self._name if prefix else self._name
+        profiler._prefix = self._path
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        elapsed = perf_counter() - self._start
+        profiler = self._profiler
+        stat = profiler._stats.get(self._path)
+        if stat is None:
+            profiler._stats[self._path] = [1, elapsed]
+        else:
+            stat[0] += 1
+            stat[1] += elapsed
+        profiler._prefix = self._prev_prefix
+        return False
+
+
+class PhaseProfiler:
+    """Nestable host-time phase profiler with a cheap disabled mode.
+
+    Phases are identified by ``/``-joined paths reflecting nesting at
+    record time: ``with profiler.phase("simulate")`` around an event loop
+    that internally records ``phase("placement")`` produces
+    ``simulate`` and ``simulate/placement`` entries.  All accumulation is
+    O(1) per phase (one dict upsert); the report is computed on demand.
+
+    Args:
+        enabled: when False, :meth:`phase` returns a shared no-op
+            context and :meth:`add` is a no-op, so a disabled profiler
+            can be threaded through constructors at zero per-event cost.
+    """
+
+    __slots__ = ("enabled", "_stats", "_prefix")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._stats = {}
+        self._prefix = ""
+
+    @classmethod
+    def disabled(cls) -> "PhaseProfiler":
+        """Build a no-op profiler.
+
+        Returns:
+            A :class:`PhaseProfiler` with ``enabled=False``; its
+            ``phase()`` contexts and ``add()`` calls record nothing.
+        """
+        return cls(enabled=False)
+
+    def phase(self, name: str):
+        """Open a timed phase context.
+
+        Args:
+            name: phase name; must not contain ``/`` (reserved for the
+                nesting separator).
+
+        Returns:
+            A context manager that records host time under the current
+            nesting path on exit, or a shared no-op context when the
+            profiler is disabled.
+        """
+        if not self.enabled:
+            return NULL_PHASE
+        if "/" in name:
+            raise ValueError(f"phase name may not contain '/': {name!r}")
+        return _Phase(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Accumulate a pre-measured duration under the current path.
+
+        Hot loops measure with two ``perf_counter()`` calls and hand the
+        difference here, avoiding a context-manager object per event.
+
+        Args:
+            name: phase name (no ``/``), recorded under the currently
+                open phase path.
+            seconds: elapsed host time to accumulate.
+        """
+        if not self.enabled:
+            return
+        prefix = self._prefix
+        path = prefix + "/" + name if prefix else name
+        stat = self._stats.get(path)
+        if stat is None:
+            self._stats[path] = [1, seconds]
+        else:
+            stat[0] += 1
+            stat[1] += seconds
+
+    def reset(self) -> None:
+        """Drop all accumulated stats (e.g. between benchmark runs)."""
+        self._stats.clear()
+        self._prefix = ""
+
+    def top_level_seconds(self) -> float:
+        """Sum of all depth-0 phase totals.
+
+        Returns:
+            Total host seconds attributed to top-level phases; dividing
+            by an externally measured wall-clock gives the profiler's
+            coverage of a run.
+        """
+        return sum(
+            stat[1] for path, stat in self._stats.items() if "/" not in path
+        )
+
+    def coverage(self, wall_clock_s: float) -> float:
+        """Fraction of a measured wall-clock covered by top-level phases.
+
+        Args:
+            wall_clock_s: externally measured wall-clock seconds for the
+                profiled region.
+
+        Returns:
+            ``top_level_seconds() / wall_clock_s`` (0.0 when the
+            wall-clock is not positive).
+        """
+        if wall_clock_s <= 0.0:
+            return 0.0
+        return self.top_level_seconds() / wall_clock_s
+
+    def report(self) -> dict:
+        """Snapshot the accumulated phase breakdown.
+
+        Self time is computed at report time as a phase's total minus
+        the totals of its direct children, so the hot path never pays
+        for it.
+
+        Returns:
+            ``{"phases": {path: {"calls", "total_s", "self_s"}},
+            "top_level_s": float}`` with phases in sorted path order.
+        """
+        child_totals = {}
+        for path, stat in self._stats.items():
+            if "/" in path:
+                parent = path.rsplit("/", 1)[0]
+                child_totals[parent] = child_totals.get(parent, 0.0) + stat[1]
+        phases = {}
+        for path in sorted(self._stats):
+            count, total = self._stats[path]
+            phases[path] = {
+                "calls": count,
+                "total_s": total,
+                "self_s": max(0.0, total - child_totals.get(path, 0.0)),
+            }
+        return {"phases": phases, "top_level_s": self.top_level_seconds()}
+
+    def format(self) -> str:
+        """Render the breakdown as an aligned text table.
+
+        Returns:
+            One line per phase path (indented by nesting depth) with
+            call count, total and self host-time in milliseconds.
+        """
+        report = self.report()
+        lines = ["phase profile (host time)"]
+        if not report["phases"]:
+            lines.append("  (no phases recorded)")
+            return "\n".join(lines)
+        width = max(len(path) for path in report["phases"]) + 2
+        lines.append(
+            f"  {'phase':<{width}} {'calls':>8} {'total_ms':>10} {'self_ms':>10}"
+        )
+        for path, stat in report["phases"].items():
+            depth = path.count("/")
+            label = "  " * depth + path.rsplit("/", 1)[-1]
+            lines.append(
+                f"  {label:<{width}} {stat['calls']:>8} "
+                f"{stat['total_s'] * 1e3:>10.2f} {stat['self_s'] * 1e3:>10.2f}"
+            )
+        lines.append(f"  top-level total: {report['top_level_s'] * 1e3:.2f} ms")
+        return "\n".join(lines)

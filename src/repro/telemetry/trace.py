@@ -375,8 +375,11 @@ class TraceSummary:
         """Render a fixed-width table of the breakdown.
 
         Returns:
-            A human-readable multi-line summary.
+            A human-readable multi-line summary; the single line
+            ``"(no spans)"`` for an empty trace.
         """
+        if not self.stages and self.span_count == 0:
+            return "(no spans)"
         lines = [
             f"{'stage':<22} {'count':>7} {'p50 (s)':>10} {'p99 (s)':>10} {'total (s)':>11}"
         ]
@@ -420,6 +423,11 @@ def summarize_trace(spans: Iterable[Span]) -> TraceSummary:
     root's ``task_id`` annotation), plus an ``other`` remainder for time
     not covered by any instrumented stage.  Shares are totals across all
     completed requests, normalised to fractions.
+
+    An empty span list (a traced run that completed zero requests) is a
+    valid input: the result is a well-formed all-zeros summary -- empty
+    ``stages``/``critical_path``/``verdicts``, zero counts -- so callers
+    never need to guard before summarising.
 
     Args:
         spans: Spans from one serving run (``Tracer.drain()`` output or

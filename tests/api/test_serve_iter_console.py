@@ -1,0 +1,139 @@
+"""serve_iter tick streams agree with the final report on every backend.
+
+One parametrised battery over the three spec presets (single cluster,
+federated, autoscaled): the dashboard tick stream, the report's
+completion instants, the per-window ``stage_spans``, and the console
+tile model built from the same run must all tell one consistent story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api.deployment import Deployment
+from repro.api.spec import DeploymentSpec
+from repro.serving import Tenant
+from repro.serving.loop import ServingWorkload
+from repro.telemetry.console import build_frames
+
+PRESETS = ("single", "federated", "autoscaled")
+
+
+def _workload():
+    tenants = [
+        Tenant(name="acme", rate_limit_rps=150.0, burst=75, latency_slo_s=180.0),
+        Tenant(name="globex", rate_limit_rps=150.0, burst=75, region="eu-north"),
+    ]
+    mix = {
+        "acme": {"ml_inference": 0.7, "smartmirror": 0.3},
+        "globex": {"iot_gateway": 0.8, "ml_inference": 0.2},
+    }
+    return ServingWorkload.synthetic(
+        tenants, mix, offered_rps=25.0, duration_s=20.0, seed=13
+    )
+
+
+@pytest.fixture(params=PRESETS)
+def traced_run(request):
+    spec = DeploymentSpec.preset(request.param)
+    spec = replace(
+        spec, telemetry=replace(spec.telemetry, enabled=True, tracing=True)
+    )
+    deployment = Deployment.from_spec(spec)
+    ticks = list(deployment.serve_iter(_workload(), tick_s=5.0))
+    report = deployment.last_report
+    yield deployment, ticks, report
+    deployment.close()
+
+
+class TestTickStream:
+    def test_tick_completions_sum_to_report(self, traced_run):
+        _, ticks, report = traced_run
+        assert sum(tick.completed for tick in ticks) == report.completed
+        assert ticks[-1].cumulative_completed == report.completed
+
+    def test_cumulative_is_a_running_total(self, traced_run):
+        _, ticks, _ = traced_run
+        running = 0
+        for tick in ticks:
+            running += tick.completed
+            assert tick.cumulative_completed == running
+
+    def test_windows_tile_the_horizon(self, traced_run):
+        _, ticks, report = traced_run
+        assert ticks[0].start_s == 0.0
+        for left, right in zip(ticks, ticks[1:]):
+            assert right.start_s == pytest.approx(left.end_s)
+        assert ticks[-1].end_s >= report.horizon_s
+
+    def test_completions_s_bucket_into_the_same_windows(self, traced_run):
+        _, ticks, report = traced_run
+        for tick in ticks:
+            last = tick is ticks[-1]
+            in_window = sum(
+                1
+                for t in report.completions_s
+                if tick.start_s <= t and (t < tick.end_s or (last and t <= tick.end_s))
+            )
+            assert tick.completed == in_window
+
+    def test_stage_spans_sum_to_ended_spans_per_stage(self, traced_run):
+        _, ticks, report = traced_run
+        totals = {}
+        for tick in ticks:
+            assert tick.stage_spans is not None
+            for name, count in tick.stage_spans.items():
+                totals[name] = totals.get(name, 0) + count
+        expected = {}
+        for span in report.trace_spans:
+            if span.end_s is not None:
+                expected[span.name] = expected.get(span.name, 0) + 1
+        assert totals == expected
+
+
+class TestConsoleModelAgreement:
+    def test_tile_completions_sum_to_completed_tasks(self, traced_run):
+        deployment, ticks, report = traced_run
+        frames = build_frames(
+            ticks,
+            topology=deployment.backend.topology(),
+            spans=report.trace_spans,
+        )
+        tile_done = sum(
+            tile.completed_tasks or 0 for frame in frames for tile in frame.tiles
+        )
+        completed_tasks = sum(
+            1
+            for span in report.trace_spans
+            if span.name == "task" and span.annotations.get("verdict") == "completed"
+        )
+        assert tile_done == completed_tasks
+        assert completed_tasks > 0
+
+    def test_frame_counters_mirror_ticks(self, traced_run):
+        deployment, ticks, report = traced_run
+        frames = build_frames(
+            ticks,
+            topology=deployment.backend.topology(),
+            spans=report.trace_spans,
+        )
+        assert len(frames) == len(ticks)
+        for frame, tick in zip(frames, ticks):
+            assert frame.completed == tick.completed
+            assert frame.arrivals == tick.arrivals
+            assert frame.stage_spans == tick.stage_spans
+        assert sum(frame.completed for frame in frames) == report.completed
+
+    def test_final_frame_has_empty_queue(self, traced_run):
+        deployment, ticks, report = traced_run
+        frames = build_frames(
+            ticks,
+            topology=deployment.backend.topology(),
+            spans=report.trace_spans,
+        )
+        # At the horizon every placed task has finished and nothing is
+        # left queued (this workload drops/rejects nothing).
+        assert frames[-1].queue_depth == 0
+        assert all(tile.running == 0 for tile in frames[-1].tiles)

@@ -1,0 +1,213 @@
+"""Console frame model and renderers over synthetic ticks and spans."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.deployment import ServingTick
+from repro.telemetry.console import (
+    CLUSTER_TILE,
+    ConsoleFrame,
+    LiveConsole,
+    build_frames,
+    render_ansi,
+    render_html,
+)
+from repro.telemetry.export import JsonlExporter
+from repro.telemetry.trace import Tracer
+
+
+def _ticks():
+    return [
+        ServingTick(index=0, start_s=0.0, end_s=5.0, arrivals=4, completed=1,
+                    cumulative_completed=1, p50_latency_s=1.0, p95_latency_s=2.0,
+                    stage_spans={"task.execute": 1}),
+        ServingTick(index=1, start_s=5.0, end_s=10.0, arrivals=0, completed=2,
+                    cumulative_completed=3, p50_latency_s=1.5, p95_latency_s=3.0,
+                    stage_spans={"task.execute": 2}),
+    ]
+
+
+def _topology():
+    return {
+        "backend": "federated",
+        "total_nodes": 4,
+        "shards": [
+            {"name": "s1", "nodes": 2, "region": "eu-north",
+             "energy_price_per_kwh": 0.08, "seed": 1},
+            {"name": "s2", "nodes": 2, "region": "us-east",
+             "energy_price_per_kwh": 0.12, "seed": 2},
+        ],
+    }
+
+
+def _spans():
+    """Three tasks: two complete on s1/s2 in different windows, one queued."""
+    tracer = Tracer(enabled=True)
+    # Task a: pending 0-1, executes on s1, completes at 3.0 (window 0).
+    root_a = tracer.start_span("task", 0.0, "a")
+    tracer.start_span("task.pending", 0.0, "a", parent=root_a).end(1.0)
+    tracer.start_span("task.execute", 1.0, "a", parent=root_a, shard="s1").end(3.0)
+    root_a.end(3.0, verdict="completed", terminal=True)
+    # Task b: migrates s1 -> s2, completes at 7.0 (window 1, counted on s2).
+    root_b = tracer.start_span("task", 0.5, "b")
+    tracer.start_span("task.pending", 0.5, "b", parent=root_b).end(1.0)
+    tracer.start_span("task.execute", 1.0, "b", parent=root_b, shard="s1").end(4.0)
+    tracer.start_span("task.execute", 4.5, "b", parent=root_b, shard="s2").end(7.0)
+    root_b.end(7.0, verdict="completed", terminal=True)
+    # Task c: still pending at the horizon (open span -> queue depth).
+    root_c = tracer.start_span("task", 8.0, "c")
+    tracer.start_span("task.pending", 8.0, "c", parent=root_c)
+    # Requests with deadlines: two met, one missed, all ending in window 1.
+    for rid, met, t in (("r1", True, 6.0), ("r2", True, 6.5), ("r3", False, 7.0)):
+        root = tracer.start_span("request", 0.0, rid)
+        root.end(t, verdict="completed", deadline_met=met, terminal=True)
+    # One autoscale action in window 1 targeting s2.
+    tracer.event("autoscale.add_node", 6.0, trace_id="autoscale",
+                 target="s2", reason="saturation")
+    return tracer.drain()
+
+
+class TestBuildFrames:
+    def test_untraced_frames_mirror_ticks_and_degrade_live_fields(self):
+        frames = build_frames(_ticks(), topology=_topology(), spans=None)
+        assert [f.completed for f in frames] == [1, 2]
+        assert [f.arrivals for f in frames] == [4, 0]
+        for frame in frames:
+            assert frame.queue_depth is None
+            assert frame.sla_hit_rate is None
+            assert len(frame.tiles) == 2
+            for tile in frame.tiles:
+                assert tile.running is None
+                assert tile.load is None
+                assert tile.completed_tasks is None
+        # Static identity still present.
+        assert frames[0].tiles[0].region == "eu-north"
+        assert frames[0].tiles[1].energy_price_per_kwh == 0.12
+
+    def test_completions_bucket_per_window_and_shard(self):
+        frames = build_frames(_ticks(), topology=_topology(), spans=_spans())
+        by_name0 = {tile.shard: tile for tile in frames[0].tiles}
+        by_name1 = {tile.shard: tile for tile in frames[1].tiles}
+        assert by_name0["s1"].completed_tasks == 1  # task a at 3.0
+        assert by_name0["s2"].completed_tasks == 0
+        assert by_name1["s1"].completed_tasks == 0
+        # Task b migrated s1 -> s2; its completion counts on the final shard.
+        assert by_name1["s2"].completed_tasks == 1
+
+    def test_queue_depth_counts_open_pending_spans(self):
+        frames = build_frames(_ticks(), topology=_topology(), spans=_spans())
+        assert frames[0].queue_depth == 0  # a and b placed by 1.0
+        assert frames[1].queue_depth == 1  # task c never placed
+
+    def test_sla_hit_rate_from_deadline_annotations(self):
+        frames = build_frames(_ticks(), topology=_topology(), spans=_spans())
+        assert frames[0].sla_total == 0
+        assert frames[0].sla_hit_rate is None
+        assert frames[1].sla_total == 3
+        assert frames[1].sla_hits == 2
+        assert frames[1].sla_hit_rate == pytest.approx(2 / 3)
+
+    def test_autoscale_actions_land_on_frame_and_target_tile(self):
+        frames = build_frames(_ticks(), topology=_topology(), spans=_spans())
+        assert frames[0].actions == ()
+        assert len(frames[1].actions) == 1
+        action = frames[1].actions[0]
+        assert action["action"] == "add_node" and action["target"] == "s2"
+        by_name = {tile.shard: tile for tile in frames[1].tiles}
+        assert by_name["s2"].actions == ("add_node",)
+        assert by_name["s1"].actions == ()
+
+    def test_running_tasks_at_window_end(self):
+        frames = build_frames(_ticks(), topology=_topology(), spans=_spans())
+        by_name0 = {tile.shard: tile for tile in frames[0].tiles}
+        # At t=5.0: task a done, task b executing on s2 (4.5 -> 7.0).
+        assert by_name0["s1"].running == 0
+        assert by_name0["s2"].running == 1
+        assert by_name0["s2"].load == pytest.approx(0.5)  # 1 task / 2 nodes
+
+    def test_untopologied_traced_run_degrades_to_cluster_tile(self):
+        frames = build_frames(_ticks(), topology=None, spans=_spans())
+        assert [tile.shard for tile in frames[0].tiles] == [CLUSTER_TILE]
+        # All completions collapse onto the one tile.
+        assert frames[0].tiles[0].completed_tasks == 1
+        assert frames[1].tiles[0].completed_tasks == 1
+
+    def test_frame_dict_is_json_serialisable(self):
+        frames = build_frames(_ticks(), topology=_topology(), spans=_spans())
+        for frame in frames:
+            record = json.loads(json.dumps(frame.to_dict()))
+            assert record["type"] == "console.frame"
+            assert len(record["tiles"]) == 2
+
+
+class TestRenderers:
+    def test_ansi_plain_mode_has_no_escape_codes(self):
+        frames = build_frames(_ticks(), topology=_topology(), spans=_spans())
+        text = render_ansi(frames[1], color=False)
+        assert "\x1b[" not in text
+        assert "s1" in text and "s2" in text
+        assert "SLA" in text and "queue" in text
+        assert "add_node" in text
+
+    def test_ansi_color_mode_emits_codes(self):
+        frames = build_frames(_ticks(), topology=_topology(), spans=_spans())
+        assert "\x1b[" in render_ansi(frames[1], color=True)
+
+    def test_html_is_self_contained(self):
+        frames = build_frames(_ticks(), topology=_topology(), spans=_spans())
+        html = render_html(frames, title="t <demo>")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http://" not in html and "https://" not in html
+        assert "FRAMES" in html and "<script>" in html
+        assert "t &lt;demo&gt;" in html  # title escaped
+        # The embedded JSON cannot terminate the script block early.
+        payload_start = html.index("const FRAMES")
+        assert "</script>" not in html[payload_start : html.index(";", payload_start)]
+
+    def test_html_embeds_every_frame(self):
+        frames = build_frames(_ticks(), topology=_topology(), spans=_spans())
+        html = render_html(frames)
+        start = html.index("const FRAMES = ") + len("const FRAMES = ")
+        end = html.index(";\n", start)
+        embedded = json.loads(html[start:end].replace("<\\/", "</"))
+        assert len(embedded) == 2
+        assert embedded[1]["sla_hits"] == 2
+
+
+class TestLiveConsole:
+    def test_tick_s_validation(self):
+        with pytest.raises(ValueError, match="tick_s"):
+            LiveConsole(object(), tick_s=0.0)
+
+    def test_run_builds_frames_and_feeds_exporter(self):
+        from dataclasses import replace
+
+        from repro.api.deployment import Deployment
+        from repro.api.spec import DeploymentSpec
+        from repro.serving import Tenant
+        from repro.serving.loop import ServingWorkload
+
+        tenants = [Tenant(name="t", rate_limit_rps=100.0, burst=50,
+                          latency_slo_s=120.0)]
+        workload = ServingWorkload.synthetic(
+            tenants, {"t": {"ml_inference": 1.0}},
+            offered_rps=10.0, duration_s=10.0, seed=5,
+        )
+        spec = DeploymentSpec.preset("single")
+        spec = replace(
+            spec, telemetry=replace(spec.telemetry, enabled=True, tracing=True)
+        )
+        deployment = Deployment.from_spec(spec)
+        feed = JsonlExporter()
+        console = LiveConsole(deployment, tick_s=5.0, exporter=feed)
+        frames = console.run(workload)
+        report = deployment.last_report
+        assert sum(f.completed for f in frames) == report.completed
+        assert len(feed.lines) == len(frames)
+        assert json.loads(feed.lines[0])["type"] == "console.frame"
+        html = console.html(frames)
+        assert "<!DOCTYPE html>" in html
+        deployment.close()

@@ -1,0 +1,166 @@
+"""PhaseProfiler: nesting, no-op mode, reporting, coverage arithmetic."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.telemetry.profile import NULL_PHASE, PhaseProfiler
+
+
+class TestRecording:
+    def test_phase_records_count_and_total(self):
+        profiler = PhaseProfiler(enabled=True)
+        for _ in range(3):
+            with profiler.phase("ingest"):
+                pass
+        report = profiler.report()
+        assert report["phases"]["ingest"]["calls"] == 3
+        assert report["phases"]["ingest"]["total_s"] >= 0.0
+
+    def test_nested_phases_use_slash_paths(self):
+        profiler = PhaseProfiler(enabled=True)
+        with profiler.phase("simulate"):
+            with profiler.phase("placement"):
+                with profiler.phase("routing"):
+                    pass
+            with profiler.phase("advance"):
+                pass
+        paths = set(profiler.report()["phases"])
+        assert paths == {
+            "simulate",
+            "simulate/placement",
+            "simulate/placement/routing",
+            "simulate/advance",
+        }
+
+    def test_sibling_phases_restore_prefix(self):
+        profiler = PhaseProfiler(enabled=True)
+        with profiler.phase("a"):
+            pass
+        with profiler.phase("b"):
+            pass
+        assert set(profiler.report()["phases"]) == {"a", "b"}
+
+    def test_phase_name_rejects_separator(self):
+        profiler = PhaseProfiler(enabled=True)
+        with pytest.raises(ValueError, match="/"):
+            profiler.phase("a/b")
+
+    def test_add_records_premeasured_seconds_under_prefix(self):
+        profiler = PhaseProfiler(enabled=True)
+        with profiler.phase("simulate"):
+            profiler.add("placement", 0.25)
+            profiler.add("placement", 0.25)
+        phases = profiler.report()["phases"]
+        assert phases["simulate/placement"]["calls"] == 2
+        assert phases["simulate/placement"]["total_s"] == pytest.approx(0.5)
+
+    def test_reset_clears_stats(self):
+        profiler = PhaseProfiler(enabled=True)
+        with profiler.phase("x"):
+            pass
+        profiler.reset()
+        assert profiler.report()["phases"] == {}
+
+
+class TestDisabled:
+    def test_disabled_phase_is_shared_null_context(self):
+        profiler = PhaseProfiler.disabled()
+        assert not profiler.enabled
+        assert profiler.phase("anything") is NULL_PHASE
+        with profiler.phase("anything"):
+            pass
+        assert profiler.report()["phases"] == {}
+
+    def test_disabled_add_is_noop(self):
+        profiler = PhaseProfiler.disabled()
+        profiler.add("x", 1.0)
+        assert profiler.report()["phases"] == {}
+
+
+class TestReport:
+    def test_self_seconds_subtract_direct_children(self):
+        profiler = PhaseProfiler(enabled=True)
+        with profiler.phase("outer"):
+            profiler.add("inner", 0.0)
+            time.sleep(0.01)
+        phases = profiler.report()["phases"]
+        outer = phases["outer"]
+        assert outer["self_s"] == pytest.approx(
+            outer["total_s"] - phases["outer/inner"]["total_s"], abs=1e-9
+        )
+        assert outer["self_s"] >= 0.0
+
+    def test_top_level_seconds_sum_depth_zero_only(self):
+        profiler = PhaseProfiler(enabled=True)
+        with profiler.phase("a"):
+            profiler.add("child", 100.0)  # nested time must not double-count
+        with profiler.phase("b"):
+            pass
+        report = profiler.report()
+        expected = (
+            report["phases"]["a"]["total_s"] + report["phases"]["b"]["total_s"]
+        )
+        assert profiler.top_level_seconds() == pytest.approx(expected)
+        assert report["top_level_s"] == pytest.approx(expected)
+
+    def test_coverage_against_wall_clock(self):
+        profiler = PhaseProfiler(enabled=True)
+        with profiler.phase("work"):
+            time.sleep(0.02)
+        wall = profiler.top_level_seconds() / 0.5
+        assert profiler.coverage(wall) == pytest.approx(0.5)
+        assert profiler.coverage(0.0) == 0.0
+
+    def test_format_renders_indented_table(self):
+        profiler = PhaseProfiler(enabled=True)
+        with profiler.phase("outer"):
+            with profiler.phase("inner"):
+                pass
+        text = profiler.format()
+        assert "outer" in text and "inner" in text
+        assert "(no phases recorded)" in PhaseProfiler.disabled().format()
+
+
+class TestDeploymentIntegration:
+    def test_profiled_serve_reports_phase_breakdown(self):
+        from dataclasses import replace
+
+        from repro.api.deployment import Deployment
+        from repro.api.spec import DeploymentSpec
+        from repro.serving import Tenant
+        from repro.serving.loop import ServingWorkload
+
+        tenants = [Tenant(name="t", rate_limit_rps=100.0, burst=50)]
+        workload = ServingWorkload.synthetic(
+            tenants, {"t": {"ml_inference": 1.0}},
+            offered_rps=10.0, duration_s=10.0, seed=3,
+        )
+        spec = DeploymentSpec.preset("single")
+        spec = replace(
+            spec,
+            telemetry=replace(spec.telemetry, enabled=True, profiling=True),
+        )
+        deployment = Deployment.from_spec(spec)
+        start = time.perf_counter()
+        deployment.serve(workload)
+        wall = time.perf_counter() - start
+        profile = deployment.metrics()["profile"]
+        assert set(profile["phases"]) >= {"ingest", "simulate", "rollup"}
+        assert any(path.startswith("simulate/") for path in profile["phases"])
+        # Loose floor here (the >= 90% acceptance bar is checked by the
+        # core_speed benchmark under full load): the phases must account
+        # for at least half the measured wall-clock even on a tiny run.
+        assert deployment.profiler.coverage(wall) >= 0.5
+        deployment.close()
+
+    def test_unprofiled_deployment_reports_no_profile(self):
+        from repro.api.deployment import Deployment
+        from repro.api.spec import DeploymentSpec
+
+        deployment = Deployment.from_spec(DeploymentSpec.preset("single"))
+        assert deployment.metrics()["profile"] is None
+        assert not deployment.profiler.enabled
+        deployment.close()

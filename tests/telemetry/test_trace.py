@@ -112,6 +112,44 @@ class TestSummarizeTrace:
         assert summary.critical_path == {}
         assert summary.verdicts == {}
         assert summary.stage("task.execute") is None
+        assert summary.open_spans == 0
+        assert summary.format() == "(no spans)"
+        # The all-zeros summary must also serialise cleanly.
+        assert summary.to_dict() == {
+            "stages": {},
+            "critical_path": {},
+            "verdicts": {},
+            "span_count": 0,
+            "open_spans": 0,
+        }
+
+    def test_traced_run_with_zero_completed_requests_is_well_formed(self):
+        # Regression: a traced serving run that completes nothing must
+        # yield a usable summary without callers guarding for emptiness.
+        from dataclasses import replace
+
+        from repro.api.deployment import Deployment
+        from repro.api.spec import DeploymentSpec
+        from repro.serving import Tenant
+        from repro.serving.loop import ServingWorkload
+
+        spec = DeploymentSpec.preset("single")
+        spec = replace(
+            spec, telemetry=replace(spec.telemetry, enabled=True, tracing=True)
+        )
+        deployment = Deployment.from_spec(spec)
+        workload = ServingWorkload(
+            tenants=(Tenant(name="t", rate_limit_rps=10.0, burst=5),),
+            requests=(),
+        )
+        report = deployment.serve(workload)
+        summary = report.trace_summary()
+        assert summary is not None
+        assert summary.span_count == 0
+        assert summary.critical_path == {}
+        assert summary.verdicts.get("completed", 0) == 0
+        assert summary.format() == "(no spans)"
+        deployment.close()
 
     def test_critical_path_fractions_sum_to_one(self):
         tracer = Tracer()

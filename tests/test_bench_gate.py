@@ -105,6 +105,37 @@ class TestGate:
         )
         assert compared == 0 and failures == []
 
+    def test_gated_metric_missing_from_baseline_is_hard_failure(self, dirs):
+        bench_dir, baselines_dir, results_dir = dirs
+        _emit(bench_dir, results_dir)
+        harness.pin(bench_dir=bench_dir, baselines_dir=baselines_dir)
+        # A new gated metric appears after the pin: it must not slip
+        # through the gate silently, and the failure names the fix.
+        run = harness.BenchRun("demo", tier="smoke")
+        run.metric("ops_per_sec", 100.0, direction="higher", tolerance=0.05)
+        run.metric("p99_latency_s", 2.0, direction="lower", tolerance=0.05)
+        run.metric("sla_violation_rate", 0.0, direction="lower", abs_tolerance=0.02)
+        run.metric("brand_new_metric", 1.0, direction="higher", tolerance=0.05)
+        run.finish(bench_dir=bench_dir, quiet=True, results_dir=results_dir)
+        _, failures = harness.check(bench_dir=bench_dir, baselines_dir=baselines_dir)
+        assert len(failures) == 1
+        assert "brand_new_metric" in failures[0]
+        assert "missing from the pinned baseline" in failures[0]
+        assert "harness.py pin demo" in failures[0]
+
+    def test_ungated_metric_missing_from_baseline_is_fine(self, dirs):
+        bench_dir, baselines_dir, results_dir = dirs
+        _emit(bench_dir, results_dir)
+        harness.pin(bench_dir=bench_dir, baselines_dir=baselines_dir)
+        run = harness.BenchRun("demo", tier="smoke")
+        run.metric("ops_per_sec", 100.0, direction="higher", tolerance=0.05)
+        run.metric("p99_latency_s", 2.0, direction="lower", tolerance=0.05)
+        run.metric("sla_violation_rate", 0.0, direction="lower", abs_tolerance=0.02)
+        run.metric("informational_only", 7.0, gate=False)
+        run.finish(bench_dir=bench_dir, quiet=True, results_dir=results_dir)
+        _, failures = harness.check(bench_dir=bench_dir, baselines_dir=baselines_dir)
+        assert failures == []
+
     def test_pin_preserves_other_tiers(self, dirs):
         bench_dir, baselines_dir, results_dir = dirs
         _emit(bench_dir, results_dir, tier="smoke")
@@ -155,6 +186,34 @@ class TestArtefacts:
         payload["tables"][0]["title"] = "Renamed"
         harness.render_tables(payload, results_dir=results_dir)
         assert (results_dir / "demo.txt").read_text().startswith("Renamed\n")
+
+    def test_attach_profile_lands_in_payload(self, dirs):
+        bench_dir, baselines_dir, results_dir = dirs
+        run = harness.BenchRun("demo", tier="smoke")
+        run.metric("ops_per_sec", 1.0, tolerance=0.05)
+        report = {
+            "phases": {"ingest": {"calls": 1, "total_s": 0.5, "self_s": 0.5}},
+            "top_level_s": 0.5,
+        }
+        run.attach_profile(report)
+        payload = run.finish(bench_dir=bench_dir, quiet=True, results_dir=results_dir)
+        assert payload["profile"]["top_level_s"] == 0.5
+        on_disk = json.loads((bench_dir / "BENCH_demo.json").read_text())
+        assert on_disk["profile"]["phases"]["ingest"]["calls"] == 1
+
+    def test_attach_profile_accepts_profiler_and_none(self, dirs):
+        bench_dir, baselines_dir, results_dir = dirs
+
+        class FakeProfiler:
+            def report(self):
+                return {"phases": {}, "top_level_s": 0.0}
+
+        run = harness.BenchRun("demo", tier="smoke")
+        run.metric("ops_per_sec", 1.0, tolerance=0.05)
+        run.attach_profile(FakeProfiler())
+        assert run.profile == {"phases": {}, "top_level_s": 0.0}
+        run.attach_profile(None)  # ignored, keeps the previous attachment
+        assert run.profile is not None
 
     def test_metric_rejects_unknown_direction(self):
         run = harness.BenchRun("demo")

@@ -35,6 +35,8 @@ SUBPACKAGES = [
     "repro.security",
     "repro.serving",
     "repro.telemetry",
+    "repro.telemetry.console",
+    "repro.telemetry.profile",
     "repro.telemetry.trace",
     "repro.undervolting",
     "repro.usecases",

@@ -31,6 +31,8 @@ SUBPACKAGES = [
     "repro.security",
     "repro.serving",
     "repro.telemetry",
+    "repro.telemetry.console",
+    "repro.telemetry.profile",
     "repro.telemetry.trace",
     "repro.undervolting",
     "repro.usecases",

@@ -1,0 +1,207 @@
+"""Trend analytics: series building, sparklines, drift warnings, reports.
+
+Loads ``benchmarks/trend.py`` directly (the benchmarks directory is not a
+package) and exercises the ingest -> series -> drift -> render pipeline
+against temp directories, including the acceptance scenario: a synthetic
+payload drifting toward its gate margin must raise a warning *before*
+``harness.py check`` would fail.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TREND_PATH = Path(__file__).parent.parent / "benchmarks" / "trend.py"
+spec = importlib.util.spec_from_file_location("bench_trend", TREND_PATH)
+trend = importlib.util.module_from_spec(spec)
+# Registered before exec: the @dataclass decorator resolves string
+# annotations through sys.modules[module].__dict__.
+sys.modules["bench_trend"] = trend
+spec.loader.exec_module(trend)
+
+
+def _payload(name="demo", tier="smoke", ops=100.0, wall=1.0, gated=True):
+    return {
+        "schema": 1,
+        "name": name,
+        "tier": tier,
+        "harness_wall_clock_s": wall,
+        "metrics": {
+            "ops_per_sec": {
+                "value": ops,
+                "direction": "higher",
+                "tolerance": 0.10,
+                "abs_tolerance": 0.0,
+                "gate": gated,
+            }
+        },
+    }
+
+
+def _write(directory: Path, payload) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{payload['name']}.json").write_text(json.dumps(payload))
+
+
+def _pin(baselines_dir: Path, payload) -> None:
+    baselines_dir.mkdir(parents=True, exist_ok=True)
+    (baselines_dir / f"{payload['name']}.json").write_text(
+        json.dumps({payload["tier"]: {"metrics": payload["metrics"]}})
+    )
+
+
+class TestSparkline:
+    def test_monotone_series_ramps(self):
+        line = trend.sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant_series_is_flat(self):
+        assert trend.sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_empty_series(self):
+        assert trend.sparkline([]) == ""
+
+
+class TestBuildSeries:
+    def test_history_then_current_ordering(self):
+        sources = [
+            ("week1", {"demo": _payload(ops=100.0)}),
+            ("week2", {"demo": _payload(ops=95.0)}),
+            ("current", {"demo": _payload(ops=90.0)}),
+        ]
+        series = trend.build_series(sources)
+        entry = series[("demo", "smoke", "ops_per_sec")]
+        assert entry.values == [100.0, 95.0, 90.0]
+        assert entry.labels == ["week1", "week2", "current"]
+        assert entry.change == pytest.approx(-0.10)
+
+    def test_metrics_free_payload_still_contributes_wall_clock(self):
+        payload = {"name": "figonly", "tier": "full", "harness_wall_clock_s": 2.5}
+        series = trend.build_series([("current", {"figonly": payload})])
+        entry = series[("figonly", "full", "harness_wall_clock_s")]
+        assert entry.values == [2.5]
+        assert not entry.gate
+
+    def test_names_filter(self):
+        sources = [("current", {"a": _payload(name="a"), "b": _payload(name="b")})]
+        series = trend.build_series(sources, names=["a"])
+        assert {key[0] for key in series} == {"a"}
+
+
+class TestDriftWarnings:
+    def test_drifting_payload_fires_warning_before_gate_trips(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        pinned = _payload(ops=100.0)
+        _pin(baselines, pinned)
+        # 8% down: inside the 10% gate margin (check would pass) but past
+        # the 50% warn fraction -- exactly the early-warning case.
+        current = {"demo": _payload(ops=92.0)}
+        series = trend.build_series([("current", current)])
+        warnings = trend.drift_warnings(series, current, baselines_dir=baselines)
+        assert len(warnings) == 1
+        assert "demo:ops_per_sec" in warnings[0]
+        assert "drifting toward gate" in warnings[0]
+        assert "WOULD TRIP" not in warnings[0]
+
+    def test_breached_margin_reports_would_trip(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        _pin(baselines, _payload(ops=100.0))
+        current = {"demo": _payload(ops=85.0)}  # past the 10% margin
+        series = trend.build_series([("current", current)])
+        warnings = trend.drift_warnings(series, current, baselines_dir=baselines)
+        assert len(warnings) == 1 and "WOULD TRIP GATE" in warnings[0]
+
+    def test_healthy_metric_stays_quiet(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        _pin(baselines, _payload(ops=100.0))
+        current = {"demo": _payload(ops=99.0)}  # 10% of the margin used
+        series = trend.build_series([("current", current)])
+        assert trend.drift_warnings(series, current, baselines_dir=baselines) == []
+
+    def test_improvement_never_warns(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        _pin(baselines, _payload(ops=100.0))
+        current = {"demo": _payload(ops=150.0)}
+        series = trend.build_series([("current", current)])
+        assert trend.drift_warnings(series, current, baselines_dir=baselines) == []
+
+    def test_ungated_metric_never_warns(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        _pin(baselines, _payload(ops=100.0, gated=False))
+        current = {"demo": _payload(ops=10.0, gated=False)}
+        series = trend.build_series([("current", current)])
+        assert trend.drift_warnings(series, current, baselines_dir=baselines) == []
+
+    def test_unpinned_metric_is_skipped(self, tmp_path):
+        current = {"demo": _payload(ops=10.0)}
+        series = trend.build_series([("current", current)])
+        assert (
+            trend.drift_warnings(series, current, baselines_dir=tmp_path / "none")
+            == []
+        )
+
+
+class TestRendering:
+    def _series(self):
+        sources = [
+            ("week1", {"demo": _payload(ops=100.0)}),
+            ("current", {"demo": _payload(ops=92.0)}),
+        ]
+        return trend.build_series(sources)
+
+    def test_text_report_lists_every_series_and_warnings(self):
+        series = self._series()
+        text = trend.render_trends_text(series, ["demo:ops_per_sec drifting"])
+        assert "ops_per_sec" in text
+        assert "harness_wall_clock_s" in text
+        assert "drift warnings (1):" in text
+        assert "! demo:ops_per_sec drifting" in text
+        clean = trend.render_trends_text(series, [])
+        assert "drift warnings: none" in clean
+
+    def test_html_report_is_self_contained(self):
+        html = trend.render_trends_html(self._series(), [])
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http://" not in html and "https://" not in html
+        assert "<svg" in html and "<script>" in html
+
+
+class TestMain:
+    def test_cli_covers_every_payload_and_writes_both_reports(self, tmp_path, capsys):
+        bench_dir = tmp_path / "bench"
+        out_dir = tmp_path / "out"
+        hist_dir = tmp_path / "hist"
+        baselines = tmp_path / "baselines"
+        for name in ("alpha", "beta"):
+            payload = _payload(name=name, ops=100.0)
+            _write(hist_dir, payload)
+            _pin(baselines, payload)
+            _write(bench_dir, _payload(name=name, ops=92.0))
+        code = trend.main(
+            [
+                "--history", str(hist_dir),
+                "--bench-dir", str(bench_dir),
+                "--baselines-dir", str(baselines),
+                "--out-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        text = (out_dir / "trends.txt").read_text()
+        assert "alpha" in text and "beta" in text
+        assert (out_dir / "trend.html").read_text().startswith("<!DOCTYPE html>")
+        captured = capsys.readouterr().out
+        assert "WARNING" in captured and "drifting toward gate" in captured
+
+    def test_cli_exits_nonzero_with_no_payloads(self, tmp_path):
+        assert (
+            trend.main(
+                ["--bench-dir", str(tmp_path), "--out-dir", str(tmp_path / "out")]
+            )
+            == 1
+        )
