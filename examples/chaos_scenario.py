@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Chaos scenario demo: flash crowd + mid-run shard partition, live.
+
+Builds a :class:`~repro.scenarios.ScenarioSpec` — a quiet Poisson floor
+plus a flash crowd, with a shard partition opening mid-spike and healing
+before the end of the run — and serves it on a traced federated
+deployment inside a :func:`~repro.scenarios.chaos_session`, so the
+:class:`~repro.telemetry.LiveConsole` frames show the crowd arriving,
+a shard draining out of routing, and the heal.  ``chaos.<event>`` spans
+ride the same trace stream as everything else.
+
+Runs headlessly and deterministically (fixed spec, fixed seeds).  When
+``LIVE_CONSOLE_HTML`` names a path, a self-contained HTML snapshot of
+the frame stream is written there, as in ``live_console.py``.
+
+Run with:  PYTHONPATH=src python examples/chaos_scenario.py
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from pathlib import Path
+
+from repro.api import Deployment, DeploymentSpec
+from repro.scenarios import (
+    ArrivalSpec,
+    ChaosEventSpec,
+    ChaosSchedule,
+    ParetoSpec,
+    ScenarioSpec,
+    TenantTrafficSpec,
+    build_workload,
+    chaos_session,
+    conservation_violations,
+    ScenarioOutcome,
+)
+from repro.telemetry import LiveConsole, render_ansi
+
+
+def build_spec() -> ScenarioSpec:
+    """A flash crowd with a shard partition opening mid-spike."""
+    return ScenarioSpec(
+        name="flash-crowd-partition",
+        duration_s=60.0,
+        traffic=(
+            TenantTrafficSpec(
+                name="crowd",
+                arrival=ArrivalSpec(kind="flash_crowd", rate_rps=3.0,
+                                    spike_rps=18.0, spike_start_s=15.0,
+                                    spike_duration_s=15.0),
+                endpoint_mix=(("ml_inference", 0.7), ("iot_gateway", 0.3)),
+            ),
+            TenantTrafficSpec(
+                name="steady",
+                arrival=ArrivalSpec(kind="poisson", rate_rps=2.0),
+            ),
+        ),
+        chaos=ChaosSchedule(events=(
+            ChaosEventSpec(kind="partition", at_s=20.0, duration_s=20.0),
+        )),
+        sizes=ParetoSpec(alpha=1.6, lower=0.5, upper=3.0),
+    )
+
+
+def main() -> None:
+    spec = build_spec()
+    workload = build_workload(spec)
+
+    deploy_spec = DeploymentSpec.preset("federated")
+    deploy_spec = replace(
+        deploy_spec,
+        telemetry=replace(deploy_spec.telemetry, enabled=True, tracing=True),
+        scheduler=replace(deploy_spec.scheduler, rescheduling_interval_s=5.0),
+    )
+    deployment = Deployment.from_spec(deploy_spec)
+
+    console = LiveConsole(deployment, tick_s=5.0)
+    with chaos_session(deployment, spec) as engine:
+        frames = console.run(workload)
+    for frame in frames:
+        print(render_ansi(frame))
+
+    report = deployment.last_report
+    outcome = ScenarioOutcome(
+        spec=spec, workload=workload, report=report, chaos=engine.report()
+    )
+    violations = conservation_violations(outcome)
+
+    print(f"\nscenario '{spec.name}': {len(frames)} frames; served "
+          f"{report.completed}/{report.offered} "
+          f"(p99 {report.p99_latency_s:.1f} s)")
+    for record in outcome.chaos.records:
+        print(f"  chaos @ {record.time_s:5.1f}s  {record.kind:<16} "
+              f"{record.status:<10} {record.target or '-'}")
+    print("invariants: " + ("ok" if not violations else "; ".join(violations)))
+
+    html_path = os.environ.get("LIVE_CONSOLE_HTML")
+    if html_path:
+        html = console.html(frames, title="chaos scenario snapshot")
+        Path(html_path).write_text(html)
+        print(f"HTML snapshot -> {html_path} ({len(html)} bytes)")
+    deployment.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -211,6 +211,36 @@ class Deployment:
         self._last_report = report
         return report
 
+    def run_scenario(
+        self, spec: object, batch_policy: Optional[object] = None
+    ) -> object:
+        """Serve a scenario: generated workload plus chaos injections.
+
+        Materialises the scenario's request stream, applies its
+        :class:`~repro.scenarios.spec.ChaosSchedule` through the
+        backend's scheduler seams for the duration of one serve call,
+        and restores the backend afterwards so the session stays warm
+        and reusable.  Equal specs on equally-seeded deployments
+        reproduce the outcome bit-identically.
+
+        Args:
+            spec: a :class:`~repro.scenarios.spec.ScenarioSpec`;
+                validated here with every issue reported at once.
+            batch_policy: optional
+                :class:`~repro.serving.batching.BatchPolicy` override of
+                the spec's batching section for this run only.
+
+        Returns:
+            The :class:`~repro.scenarios.runner.ScenarioOutcome`
+            bundling the serving report with the chaos report.
+        """
+        # Imported lazily: repro.scenarios sits above repro.api in the
+        # layering (its spec module imports repro.api.spec), so a
+        # module-level import here would be a cycle.
+        from repro.scenarios.runner import run_scenario
+
+        return run_scenario(self, spec, batch_policy=batch_policy)
+
     def serve_iter(
         self,
         workload: ServingWorkload,

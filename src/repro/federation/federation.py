@@ -22,7 +22,7 @@ energy -- therefore works unchanged on a federation.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -970,6 +970,31 @@ class Federation:
         shard.release_node(node_name)
         self.cluster.detach_node(node_name)
         return node_name
+
+    def reprice_shard(self, shard_name: str, energy_price_per_kwh: float) -> float:
+        """Change one shard's regional energy price mid-run.
+
+        Models a regional price event (a spike or its restore): the
+        shard's frozen profile is replaced and the scheduler's price
+        normalisation rebuilt, so routing immediately reflects the new
+        price.  The chaos layer's ``price_spike`` injection drives this.
+
+        Args:
+            shard_name: the shard whose region repriced.
+            energy_price_per_kwh: the new price (must be positive).
+
+        Returns:
+            The previous price, for a later restore.
+        """
+        if energy_price_per_kwh <= 0:
+            raise ValueError("energy price must be positive")
+        shard = self.scheduler.shard(shard_name)
+        previous = shard.profile.energy_price_per_kwh
+        shard.profile = replace(
+            shard.profile, energy_price_per_kwh=energy_price_per_kwh
+        )
+        self.scheduler._rebuild_price_norm()
+        return previous
 
     def shard_scores(self, energy_weight: float = 0.5) -> List[ShardScore]:
         """Current shard ranking for a given energy weight.

@@ -25,6 +25,7 @@ from repro.runtime.ompss import OmpSsRuntime, SchedulingPolicy, ExecutionTrace, 
 from repro.runtime.xitao import ElasticTask, ResourcePartition, XitaoRuntime, XitaoTrace
 from repro.runtime.fault_tolerance import (
     FaultInjector,
+    FaultModel,
     ReplicationPolicy,
     ResilientExecutor,
     ResilienceReport,
@@ -50,6 +51,7 @@ __all__ = [
     "XitaoRuntime",
     "XitaoTrace",
     "FaultInjector",
+    "FaultModel",
     "ReplicationPolicy",
     "ResilientExecutor",
     "ResilienceReport",

@@ -52,6 +52,45 @@ class ReplicationPolicy(str, enum.Enum):
         raise ValueError(f"unknown policy {self}")
 
 
+@dataclass(frozen=True)
+class FaultModel:
+    """The shared fault-probability distribution, decoupled from its RNG.
+
+    One model, two injectors: the task-level :class:`FaultInjector`
+    draws from it per task execution, and the cluster-level chaos layer
+    (:class:`repro.scenarios.chaos.ChaosEngine`) draws from it per
+    probabilistic :class:`~repro.scenarios.spec.ChaosEventSpec`.  Both
+    therefore share one draw procedure and ordering -- a fault stream is
+    fully determined by ``(model parameters, seed)`` no matter which
+    layer consumes it.
+    """
+
+    fault_probability: float = 0.05
+    systematic_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.fault_probability <= 1.0):
+            raise ValueError("fault probability must be within [0, 1]")
+        if not (0.0 <= self.systematic_fraction <= 1.0):
+            raise ValueError("systematic fraction must be within [0, 1]")
+
+    def draw(self, rng: np.random.Generator) -> Tuple[bool, bool]:
+        """Draw one fault outcome from a caller-owned generator.
+
+        Args:
+            rng: the seeded generator to consume from (one uniform, plus
+                a second only when the first lands a fault).
+
+        Returns:
+            ``(faulty, systematic)``: whether this draw is corrupted and
+            whether the corruption is systematic (same wrong answer on
+            identical hardware).
+        """
+        faulty = bool(rng.random() < self.fault_probability)
+        systematic = bool(faulty and rng.random() < self.systematic_fraction)
+        return faulty, systematic
+
+
 class FaultInjector:
     """Injects silent data corruptions into task executions.
 
@@ -59,6 +98,10 @@ class FaultInjector:
     ``fault_probability``; device diversity matters because a *systematic*
     fault (same wrong answer on identical hardware) defeats replication on
     identical devices -- controlled by ``systematic_fraction``.
+
+    The distribution itself lives in :class:`FaultModel` (shared with the
+    cluster-level chaos layer); this class pairs it with an owned seeded
+    generator.
     """
 
     def __init__(
@@ -67,19 +110,25 @@ class FaultInjector:
         systematic_fraction: float = 0.2,
         seed: int = 42,
     ) -> None:
-        if not (0.0 <= fault_probability <= 1.0):
-            raise ValueError("fault probability must be within [0, 1]")
-        if not (0.0 <= systematic_fraction <= 1.0):
-            raise ValueError("systematic fraction must be within [0, 1]")
-        self.fault_probability = fault_probability
-        self.systematic_fraction = systematic_fraction
+        self.model = FaultModel(
+            fault_probability=fault_probability,
+            systematic_fraction=systematic_fraction,
+        )
         self.rng = np.random.default_rng(seed)
+
+    @property
+    def fault_probability(self) -> float:
+        """The model's per-execution corruption probability."""
+        return self.model.fault_probability
+
+    @property
+    def systematic_fraction(self) -> float:
+        """The model's share of faults that are systematic."""
+        return self.model.systematic_fraction
 
     def draw_fault(self) -> Tuple[bool, bool]:
         """(faulty, systematic): whether this execution is corrupted and how."""
-        faulty = bool(self.rng.random() < self.fault_probability)
-        systematic = bool(faulty and self.rng.random() < self.systematic_fraction)
-        return faulty, systematic
+        return self.model.draw(self.rng)
 
 
 @dataclass

@@ -1,0 +1,92 @@
+"""Trace-driven workload generation and chaos fault-injection.
+
+The last ROADMAP subsystem: adversarial conditions for everything the
+rest of the stack claims to survive.  Two layers, one spec:
+
+* **Workload generation** -- composable arrival processes
+  (:class:`PoissonArrivals`, :class:`DiurnalArrivals`,
+  :class:`FlashCrowdArrivals`, replayable :class:`RecordedTrace` with a
+  lossless JSON round-trip), heavy-tailed :class:`BoundedPareto`
+  request-size/deadline samplers, and tenant churn, all seeded through
+  :class:`~repro.core.seeding.SeedPolicy` so equal specs yield
+  bit-identical workloads.
+* **Chaos injection** -- a :class:`ChaosSchedule` of timed faults (node
+  failure, thermal throttle, regional price spike, shard partition)
+  applied through the existing reschedule/elastic-topology seams by a
+  :class:`ChaosEngine`, emitting ``chaos.<event>`` trace spans.
+
+Both are driven by a frozen, validated :class:`ScenarioSpec` and run
+through :func:`run_scenario` (or
+:meth:`repro.api.deployment.Deployment.run_scenario`) against any
+backend.  :func:`conservation_violations` checks the guarding
+invariants; see ``docs/scenarios.md`` for the full catalogue.
+
+The cluster-level chaos layer shares its seeded fault-probability model
+(:class:`~repro.runtime.fault_tolerance.FaultModel`) with the task-level
+:class:`~repro.runtime.fault_tolerance.FaultInjector`.
+"""
+
+from repro.runtime.fault_tolerance import FaultModel
+from repro.scenarios.arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    PoissonArrivals,
+    RecordedTrace,
+)
+from repro.scenarios.chaos import (
+    ChaosEngine,
+    ChaosInjectionRecord,
+    ChaosReport,
+    ChaosScheduler,
+    ClusterActuator,
+    FederationActuator,
+)
+from repro.scenarios.samplers import BoundedPareto, bounded_pareto
+from repro.scenarios.spec import (
+    ARRIVAL_KINDS,
+    CHAOS_KINDS,
+    ArrivalSpec,
+    ChaosEventSpec,
+    ChaosSchedule,
+    ParetoSpec,
+    ScenarioSpec,
+    TenantTrafficSpec,
+)
+from repro.scenarios.runner import (
+    ScenarioOutcome,
+    chaos_session,
+    conservation_violations,
+    run_scenario,
+)
+from repro.scenarios.workload import build_workload
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "CHAOS_KINDS",
+    "ArrivalProcess",
+    "ArrivalSpec",
+    "BoundedPareto",
+    "ChaosEngine",
+    "ChaosEventSpec",
+    "ChaosInjectionRecord",
+    "ChaosReport",
+    "ChaosSchedule",
+    "ChaosScheduler",
+    "ClusterActuator",
+    "DiurnalArrivals",
+    "FaultModel",
+    "FederationActuator",
+    "FlashCrowdArrivals",
+    "ParetoSpec",
+    "PoissonArrivals",
+    "RecordedTrace",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "TenantTrafficSpec",
+    "bounded_pareto",
+    "build_workload",
+    "chaos_session",
+    "conservation_violations",
+    "run_scenario",
+]

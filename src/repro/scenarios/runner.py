@@ -1,0 +1,192 @@
+"""Run a scenario against a deployment and check its invariants.
+
+:func:`run_scenario` is the one-call entry point (also exposed as
+:meth:`repro.api.deployment.Deployment.run_scenario`): materialise the
+spec's workload, wrap the backend's scheduler in a
+:class:`~repro.scenarios.chaos.ChaosScheduler` for the duration of one
+serve call, and hand back a :class:`ScenarioOutcome` bundling the
+serving report with the chaos report.
+
+The chaos RNG is derived from the spec's seed policy with a fixed rule
+(``probe_seed(base, 1)``), deliberately disjoint from the workload
+streams (see :mod:`repro.scenarios.workload`), so adding or removing
+chaos events never changes the request stream and vice versa.
+
+:func:`conservation_violations` encodes the invariant the whole
+subsystem is guarded by: every offered request is accounted for exactly
+once (completed, rejected, or dropped), per tenant and overall, and no
+completion is attributed to a node after chaos removed it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+import numpy as np
+
+from repro.scenarios.chaos import (
+    ChaosEngine,
+    ChaosReport,
+    ChaosScheduler,
+    ClusterActuator,
+    FederationActuator,
+)
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.workload import build_workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.deployment import Deployment
+    from repro.serving.batching import BatchPolicy
+    from repro.serving.loop import ServingReport, ServingWorkload
+
+__all__ = ["ScenarioOutcome", "chaos_session", "conservation_violations", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Everything one scenario run produced.
+
+    Args:
+        spec: the scenario that ran.
+        workload: the materialised request stream (bit-identical for
+            equal specs).
+        report: the serving report from the deployment.
+        chaos: what the chaos engine actually did.
+    """
+
+    spec: ScenarioSpec
+    workload: "ServingWorkload"
+    report: "ServingReport"
+    chaos: ChaosReport
+
+
+def _chaos_rng(spec: ScenarioSpec) -> np.random.Generator:
+    """The scenario's chaos stream: ``probe_seed(base, 1)`` by rule."""
+    return np.random.default_rng(spec.seed.probe_seed(spec.seed.base, 1))
+
+
+@contextmanager
+def chaos_session(
+    deployment: "Deployment", spec: ScenarioSpec
+) -> Iterator[ChaosEngine]:
+    """Wrap a deployment's scheduler in chaos for one ``serve`` call.
+
+    Picks the actuator matching the backend (federation when the backend
+    has one, bare cluster otherwise), swaps the scheduler for a
+    :class:`~repro.scenarios.chaos.ChaosScheduler`, and -- no matter how
+    the run ends -- restores the original scheduler and closes every
+    open chaos window so the deployment stays reusable.
+
+    Args:
+        deployment: the deployment whose next serve call gets chaos.
+        spec: the scenario providing the schedule and seed policy.
+
+    Yields:
+        The live :class:`~repro.scenarios.chaos.ChaosEngine` (read its
+        :meth:`~repro.scenarios.chaos.ChaosEngine.report` after the run).
+    """
+    backend = deployment.backend
+    federation = getattr(backend, "federation", None)
+    if federation is not None:
+        actuator = FederationActuator(federation)
+        host, attribute = federation, "scheduler"
+    else:
+        actuator = ClusterActuator(backend.cluster)
+        host, attribute = backend, "scheduler"
+    engine = ChaosEngine(
+        spec.chaos, actuator, _chaos_rng(spec), tracer=deployment.tracer
+    )
+    inner = getattr(host, attribute)
+    setattr(host, attribute, ChaosScheduler(inner, engine))
+    try:
+        yield engine
+    finally:
+        setattr(host, attribute, inner)
+        engine.finish(spec.duration_s)
+
+
+def run_scenario(
+    deployment: "Deployment",
+    spec: ScenarioSpec,
+    batch_policy: Optional["BatchPolicy"] = None,
+) -> ScenarioOutcome:
+    """Serve a scenario's workload with its chaos schedule applied.
+
+    Args:
+        deployment: the deployment to run against (any backend).
+        spec: the scenario; validated here, all errors at once.
+        batch_policy: optional batching override for the serve call.
+
+    Returns:
+        The :class:`ScenarioOutcome`; equal specs on equally-seeded
+        deployments reproduce it bit-identically.
+
+    Raises:
+        SpecValidationError: when the spec fails validation.
+    """
+    spec.check()
+    workload = build_workload(spec)
+    with chaos_session(deployment, spec) as engine:
+        report = deployment.serve(workload, batch_policy=batch_policy)
+    return ScenarioOutcome(
+        spec=spec, workload=workload, report=report, chaos=engine.report()
+    )
+
+
+def conservation_violations(outcome: ScenarioOutcome) -> List[str]:
+    """Check the scenario invariants; return every violation found.
+
+    Checked, overall and per tenant:
+
+    * request conservation: ``offered == completed + rejected + dropped``
+      once the run has drained (the serving loop runs to completion, so
+      nothing is left in flight);
+    * offered matches the materialised workload exactly;
+    * no completion is attributed to a node after chaos removed it;
+    * SLA accounting is internally consistent
+      (``deadline_hits + deadline_misses == completed`` per tenant).
+
+    Args:
+        outcome: a finished scenario run.
+
+    Returns:
+        Human-readable violation strings; empty when every invariant
+        holds.
+    """
+    violations: List[str] = []
+    report = outcome.report
+    if report.offered != len(outcome.workload.requests):
+        violations.append(
+            f"offered {report.offered} != workload size "
+            f"{len(outcome.workload.requests)}"
+        )
+    if report.offered != report.completed + report.rejected + report.dropped:
+        violations.append(
+            f"conservation: offered {report.offered} != completed "
+            f"{report.completed} + rejected {report.rejected} + dropped "
+            f"{report.dropped}"
+        )
+    for name, tenant in report.tenant_reports.items():
+        if tenant.offered != tenant.completed + tenant.rejected + tenant.dropped:
+            violations.append(
+                f"conservation[{name}]: offered {tenant.offered} != completed "
+                f"{tenant.completed} + rejected {tenant.rejected} + dropped "
+                f"{tenant.dropped}"
+            )
+        if tenant.deadline_hits + tenant.deadline_misses != tenant.completed:
+            violations.append(
+                f"sla[{name}]: hits {tenant.deadline_hits} + misses "
+                f"{tenant.deadline_misses} != completed {tenant.completed}"
+            )
+    removed_at = dict(outcome.chaos.dead_nodes)
+    for task in report.simulation.completed:
+        final_node = task.nodes[-1] if task.nodes else None
+        if final_node in removed_at and task.finish_s > removed_at[final_node]:
+            violations.append(
+                f"dead-node completion: {task.task_id} finished on "
+                f"{final_node} at {task.finish_s:.1f}s but the node was "
+                f"removed at {removed_at[final_node]:.1f}s"
+            )
+    return violations

@@ -1,0 +1,596 @@
+"""The scenario spec tree: frozen, validated, JSON-round-trippable.
+
+Mirrors :mod:`repro.api.spec`'s contract: every section is a frozen
+dataclass, construction never raises on semantic problems, and
+``validate()`` returns *every* issue at once as path-tagged
+:class:`~repro.api.spec.SpecIssue` records (``ScenarioSpec.check()``
+raises one :class:`~repro.api.spec.SpecValidationError` listing them
+all).  ``to_dict``/``from_dict`` and the JSON helpers are lossless, so a
+scenario can be committed next to the deployment spec that runs it.
+
+The tree::
+
+    ScenarioSpec
+    |-- traffic: (TenantTrafficSpec, ...)   one entry per tenant
+    |     |-- arrival: ArrivalSpec          poisson | diurnal | flash_crowd | trace
+    |     |-- endpoint_mix                  endpoint-name -> weight
+    |     `-- join_s / leave_s              tenant churn window
+    |-- chaos: ChaosSchedule                timed fault injections
+    |     `-- events: (ChaosEventSpec, ...)
+    |-- sizes / deadlines: ParetoSpec       heavy-tailed request attributes
+    `-- seed: SeedPolicy                    every RNG stream derives from it
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.spec import SpecIssue, SpecValidationError
+from repro.core.seeding import SeedPolicy
+from repro.serving.endpoints import SERVABLE_ENDPOINTS
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "CHAOS_KINDS",
+    "ArrivalSpec",
+    "ChaosEventSpec",
+    "ChaosSchedule",
+    "ParetoSpec",
+    "ScenarioSpec",
+    "TenantTrafficSpec",
+]
+
+#: the arrival-process shapes :meth:`ArrivalSpec.build` understands.
+ARRIVAL_KINDS = ("poisson", "diurnal", "flash_crowd", "trace")
+
+#: the chaos injections :class:`~repro.scenarios.chaos.ChaosEngine` applies.
+CHAOS_KINDS = ("node_failure", "thermal_throttle", "price_spike", "partition")
+
+#: chaos kinds that describe a window (and therefore need a duration).
+_WINDOWED_KINDS = ("thermal_throttle", "price_spike", "partition")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Declarative description of one tenant's arrival process.
+
+    Args:
+        kind: one of :data:`ARRIVAL_KINDS`.
+        rate_rps: base offered rate (all kinds except ``trace``).
+        amplitude: diurnal swing in [0, 1] (``diurnal`` only).
+        period_s: diurnal cycle length (``diurnal`` only).
+        spike_rps: flash-crowd plateau rate (``flash_crowd`` only).
+        spike_start_s: flash-crowd onset (``flash_crowd`` only).
+        spike_duration_s: flash-crowd length (``flash_crowd`` only).
+        trace: explicit non-decreasing timestamps (``trace`` only).
+    """
+
+    kind: str = "poisson"
+    rate_rps: float = 20.0
+    amplitude: float = 0.5
+    period_s: float = 120.0
+    spike_rps: float = 100.0
+    spike_start_s: float = 10.0
+    spike_duration_s: float = 10.0
+    trace: Tuple[float, ...] = ()
+
+    def validate(self, path: str = "arrival") -> List[SpecIssue]:
+        """Collect every problem with this section.
+
+        Args:
+            path: dotted location prefix for the issue records.
+
+        Returns:
+            All issues found (empty when the section is valid).
+        """
+        issues: List[SpecIssue] = []
+        if self.kind not in ARRIVAL_KINDS:
+            issues.append(
+                SpecIssue(path + ".kind", f"unknown arrival kind {self.kind!r}; "
+                          f"expected one of {ARRIVAL_KINDS}")
+            )
+        if self.rate_rps < 0:
+            issues.append(SpecIssue(path + ".rate_rps", "offered rate must be >= 0"))
+        if not (0.0 <= self.amplitude <= 1.0):
+            issues.append(SpecIssue(path + ".amplitude", "amplitude must be in [0, 1]"))
+        if self.period_s <= 0:
+            issues.append(SpecIssue(path + ".period_s", "period must be positive"))
+        if self.spike_rps < 0:
+            issues.append(SpecIssue(path + ".spike_rps", "spike rate must be >= 0"))
+        if self.spike_start_s < 0 or self.spike_duration_s < 0:
+            issues.append(
+                SpecIssue(path + ".spike_start_s", "spike window must be non-negative")
+            )
+        if self.kind == "trace":
+            ordered = all(b >= a for a, b in zip(self.trace, self.trace[1:]))
+            if not ordered or any(t < 0 for t in self.trace):
+                issues.append(
+                    SpecIssue(path + ".trace",
+                              "trace timestamps must be non-negative and non-decreasing")
+                )
+        return issues
+
+    def build(self):
+        """Instantiate the arrival process this section describes.
+
+        Returns:
+            The matching :class:`~repro.scenarios.arrivals.ArrivalProcess`.
+        """
+        from repro.scenarios.arrivals import (
+            DiurnalArrivals,
+            FlashCrowdArrivals,
+            PoissonArrivals,
+            RecordedTrace,
+        )
+
+        if self.kind == "poisson":
+            return PoissonArrivals(self.rate_rps)
+        if self.kind == "diurnal":
+            return DiurnalArrivals(
+                self.rate_rps, amplitude=self.amplitude, period_s=self.period_s
+            )
+        if self.kind == "flash_crowd":
+            return FlashCrowdArrivals(
+                self.rate_rps,
+                self.spike_rps,
+                self.spike_start_s,
+                self.spike_duration_s,
+            )
+        if self.kind == "trace":
+            return RecordedTrace(self.trace)
+        raise ValueError(f"unknown arrival kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class ParetoSpec:
+    """Bounded-Pareto parameters for a heavy-tailed request attribute.
+
+    Args:
+        alpha: tail exponent (smaller = heavier tail).
+        lower: hard floor of the multiplier.
+        upper: hard cap of the multiplier.
+    """
+
+    alpha: float = 1.5
+    lower: float = 1.0
+    upper: float = 8.0
+
+    def validate(self, path: str = "pareto") -> List[SpecIssue]:
+        """Collect every problem with this section.
+
+        Args:
+            path: dotted location prefix for the issue records.
+
+        Returns:
+            All issues found (empty when the section is valid).
+        """
+        issues: List[SpecIssue] = []
+        if self.alpha <= 0:
+            issues.append(SpecIssue(path + ".alpha", "tail exponent must be positive"))
+        if not (0 < self.lower <= self.upper):
+            issues.append(SpecIssue(path + ".lower", "need 0 < lower <= upper"))
+        return issues
+
+
+@dataclass(frozen=True)
+class TenantTrafficSpec:
+    """One tenant's contract plus its traffic shape.
+
+    Args:
+        name: unique tenant name.
+        arrival: the tenant's arrival process.
+        endpoint_mix: ``(endpoint name, relative weight)`` pairs.
+        join_s: when the tenant starts offering traffic (tenant churn).
+        leave_s: when the tenant stops (None = end of scenario).
+        rate_limit_rps: gateway token-bucket refill rate.
+        burst: gateway token-bucket burst size.
+        energy_weight: the tenant's energy/performance trade-off in [0, 1].
+        latency_slo_s: per-request latency SLO (None = best effort).
+        region: preferred region for affinity seeding (None = no preference).
+    """
+
+    name: str = "tenant"
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    endpoint_mix: Tuple[Tuple[str, float], ...] = (("ml_inference", 1.0),)
+    join_s: float = 0.0
+    leave_s: Optional[float] = None
+    rate_limit_rps: float = 50.0
+    burst: int = 20
+    energy_weight: float = 0.5
+    latency_slo_s: Optional[float] = None
+    region: Optional[str] = None
+
+    def validate(self, path: str = "traffic") -> List[SpecIssue]:
+        """Collect every problem with this section and its arrival.
+
+        Args:
+            path: dotted location prefix for the issue records.
+
+        Returns:
+            All issues found (empty when the section is valid).
+        """
+        issues: List[SpecIssue] = []
+        if not self.name:
+            issues.append(SpecIssue(path + ".name", "tenant name must be non-empty"))
+        issues.extend(self.arrival.validate(path + ".arrival"))
+        if not self.endpoint_mix:
+            issues.append(
+                SpecIssue(path + ".endpoint_mix", "endpoint mix must be non-empty")
+            )
+        for endpoint_name, weight in self.endpoint_mix:
+            if endpoint_name not in SERVABLE_ENDPOINTS:
+                issues.append(
+                    SpecIssue(path + ".endpoint_mix",
+                              f"unknown endpoint {endpoint_name!r}; expected one of "
+                              f"{sorted(SERVABLE_ENDPOINTS)}")
+                )
+            if weight <= 0:
+                issues.append(
+                    SpecIssue(path + ".endpoint_mix",
+                              f"weight for {endpoint_name!r} must be positive")
+                )
+        if self.join_s < 0:
+            issues.append(SpecIssue(path + ".join_s", "join time must be >= 0"))
+        if self.leave_s is not None and self.leave_s <= self.join_s:
+            issues.append(
+                SpecIssue(path + ".leave_s", "leave time must be after join time")
+            )
+        if self.rate_limit_rps <= 0:
+            issues.append(
+                SpecIssue(path + ".rate_limit_rps", "rate limit must be positive")
+            )
+        if self.burst <= 0:
+            issues.append(SpecIssue(path + ".burst", "burst must be positive"))
+        if not (0.0 <= self.energy_weight <= 1.0):
+            issues.append(
+                SpecIssue(path + ".energy_weight", "energy weight must be in [0, 1]")
+            )
+        if self.latency_slo_s is not None and self.latency_slo_s <= 0:
+            issues.append(
+                SpecIssue(path + ".latency_slo_s", "latency SLO must be positive")
+            )
+        return issues
+
+
+@dataclass(frozen=True)
+class ChaosEventSpec:
+    """One timed fault injection.
+
+    Args:
+        kind: one of :data:`CHAOS_KINDS`.
+        at_s: simulated instant the injection triggers (applied at the
+            first reschedule heartbeat at or after it).
+        duration_s: window length for windowed kinds (throttle, price
+            spike, partition); ignored by ``node_failure`` (permanent).
+        target: the node (``node_failure`` / ``thermal_throttle``) or
+            shard (``price_spike`` / ``partition``) to hit; None picks a
+            seeded-random eligible victim.
+        magnitude: price multiplier for ``price_spike``.
+        probability: chance the injection actually fires, drawn once at
+            trigger time from the shared
+            :class:`~repro.runtime.fault_tolerance.FaultModel` stream.
+    """
+
+    kind: str = "node_failure"
+    at_s: float = 0.0
+    duration_s: float = 0.0
+    target: Optional[str] = None
+    magnitude: float = 3.0
+    probability: float = 1.0
+
+    def validate(self, path: str = "chaos") -> List[SpecIssue]:
+        """Collect every problem with this event.
+
+        Args:
+            path: dotted location prefix for the issue records.
+
+        Returns:
+            All issues found (empty when the event is valid).
+        """
+        issues: List[SpecIssue] = []
+        if self.kind not in CHAOS_KINDS:
+            issues.append(
+                SpecIssue(path + ".kind", f"unknown chaos kind {self.kind!r}; "
+                          f"expected one of {CHAOS_KINDS}")
+            )
+        if self.at_s < 0:
+            issues.append(SpecIssue(path + ".at_s", "trigger time must be >= 0"))
+        if self.duration_s < 0:
+            issues.append(SpecIssue(path + ".duration_s", "duration must be >= 0"))
+        if self.kind in _WINDOWED_KINDS and self.duration_s <= 0:
+            issues.append(
+                SpecIssue(path + ".duration_s",
+                          f"{self.kind} describes a window and needs duration_s > 0")
+            )
+        if self.magnitude <= 0:
+            issues.append(SpecIssue(path + ".magnitude", "magnitude must be positive"))
+        if not (0.0 <= self.probability <= 1.0):
+            issues.append(
+                SpecIssue(path + ".probability", "probability must be in [0, 1]")
+            )
+        return issues
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """The ordered list of timed injections a scenario applies.
+
+    Args:
+        events: the injections; applied in trigger-time order.
+    """
+
+    events: Tuple[ChaosEventSpec, ...] = ()
+
+    def validate(self, path: str = "chaos") -> List[SpecIssue]:
+        """Collect every problem across all events.
+
+        Args:
+            path: dotted location prefix for the issue records.
+
+        Returns:
+            All issues found (empty when the schedule is valid).
+        """
+        issues: List[SpecIssue] = []
+        for index, event in enumerate(self.events):
+            issues.extend(event.validate(f"{path}.events[{index}]"))
+        return issues
+
+    def ordered(self) -> Tuple[ChaosEventSpec, ...]:
+        """The events sorted by trigger time (stable for equal instants).
+
+        Returns:
+            The schedule in application order.
+        """
+        return tuple(sorted(self.events, key=lambda e: e.at_s))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete adversarial-workload scenario: traffic plus chaos.
+
+    Args:
+        name: scenario name (shown in reports).
+        duration_s: length of the arrival window.
+        traffic: one entry per tenant.
+        chaos: the timed injection schedule.
+        sizes: heavy-tailed per-request work multiplier (None = unit).
+        deadlines: heavy-tailed deadline-margin multiplier (None = the
+            endpoint's default deadline, unscaled).
+        seed: the seed-derivation policy every scenario RNG stream
+            (arrivals, attribute sampling, chaos) derives from.
+    """
+
+    name: str = "scenario"
+    duration_s: float = 60.0
+    traffic: Tuple[TenantTrafficSpec, ...] = (
+        TenantTrafficSpec(),
+    )
+    chaos: ChaosSchedule = field(default_factory=ChaosSchedule)
+    sizes: Optional[ParetoSpec] = None
+    deadlines: Optional[ParetoSpec] = None
+    seed: SeedPolicy = field(default_factory=SeedPolicy)
+
+    def validate(self) -> List[SpecIssue]:
+        """Collect every problem across the whole tree at once.
+
+        Returns:
+            All issues found, path-tagged (empty when the spec is valid).
+        """
+        issues: List[SpecIssue] = []
+        if not self.name:
+            issues.append(SpecIssue("scenario.name", "name must be non-empty"))
+        if self.duration_s <= 0:
+            issues.append(
+                SpecIssue("scenario.duration_s", "duration must be positive")
+            )
+        if not self.traffic:
+            issues.append(
+                SpecIssue("scenario.traffic", "a scenario needs at least one tenant")
+            )
+        names = [tenant.name for tenant in self.traffic]
+        if len(set(names)) != len(names):
+            issues.append(
+                SpecIssue("scenario.traffic", "tenant names must be unique")
+            )
+        for index, tenant in enumerate(self.traffic):
+            issues.extend(tenant.validate(f"scenario.traffic[{index}]"))
+            if tenant.join_s >= self.duration_s:
+                issues.append(
+                    SpecIssue(f"scenario.traffic[{index}].join_s",
+                              "tenant joins at or after the scenario ends")
+                )
+        issues.extend(self.chaos.validate("scenario.chaos"))
+        if self.sizes is not None:
+            issues.extend(self.sizes.validate("scenario.sizes"))
+        if self.deadlines is not None:
+            issues.extend(self.deadlines.validate("scenario.deadlines"))
+        return issues
+
+    def check(self) -> "ScenarioSpec":
+        """Validate and raise with *every* problem listed at once.
+
+        Returns:
+            This spec, for chaining.
+
+        Raises:
+            SpecValidationError: listing all validation issues.
+        """
+        issues = self.validate()
+        if issues:
+            raise SpecValidationError(issues)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Lossless serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Render the whole tree as plain dicts/lists (JSON-ready).
+
+        Returns:
+            A nested dict that :meth:`from_dict` rebuilds losslessly.
+        """
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "traffic": [
+                {
+                    "name": tenant.name,
+                    "arrival": {
+                        f.name: (
+                            list(getattr(tenant.arrival, f.name))
+                            if f.name == "trace"
+                            else getattr(tenant.arrival, f.name)
+                        )
+                        for f in fields(ArrivalSpec)
+                    },
+                    "endpoint_mix": [
+                        [name, weight] for name, weight in tenant.endpoint_mix
+                    ],
+                    "join_s": tenant.join_s,
+                    "leave_s": tenant.leave_s,
+                    "rate_limit_rps": tenant.rate_limit_rps,
+                    "burst": tenant.burst,
+                    "energy_weight": tenant.energy_weight,
+                    "latency_slo_s": tenant.latency_slo_s,
+                    "region": tenant.region,
+                }
+                for tenant in self.traffic
+            ],
+            "chaos": [
+                {f.name: getattr(event, f.name) for f in fields(ChaosEventSpec)}
+                for event in self.chaos.events
+            ],
+            "sizes": (
+                {f.name: getattr(self.sizes, f.name) for f in fields(ParetoSpec)}
+                if self.sizes is not None
+                else None
+            ),
+            "deadlines": (
+                {f.name: getattr(self.deadlines, f.name) for f in fields(ParetoSpec)}
+                if self.deadlines is not None
+                else None
+            ),
+            "seed": {
+                "base": self.seed.base,
+                "shard_stride": self.seed.shard_stride,
+                "probe_stride": self.seed.probe_stride,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Shape problems (unknown keys, wrong types) are collected and
+        raised together, mirroring :meth:`repro.api.spec.DeploymentSpec.from_dict`.
+
+        Args:
+            data: the nested dict to rebuild from.
+
+        Returns:
+            The reconstructed spec (validate separately via :meth:`check`).
+
+        Raises:
+            SpecValidationError: listing every shape problem at once.
+        """
+        issues: List[SpecIssue] = []
+        known = {
+            "name", "duration_s", "traffic", "chaos", "sizes", "deadlines", "seed"
+        }
+        for key in data:
+            if key not in known:
+                issues.append(SpecIssue(f"scenario.{key}", "unknown section"))
+
+        def build_section(section_cls, payload, path):
+            if payload is None:
+                return None
+            if not isinstance(payload, dict):
+                issues.append(SpecIssue(path, "expected an object"))
+                return section_cls()
+            names = {f.name for f in fields(section_cls)}
+            kwargs = {}
+            for key, value in payload.items():
+                if key not in names:
+                    issues.append(SpecIssue(f"{path}.{key}", "unknown field"))
+                    continue
+                kwargs[key] = value
+            try:
+                return section_cls(**kwargs)
+            except (TypeError, ValueError) as error:
+                issues.append(SpecIssue(path, str(error)))
+                return section_cls()
+
+        traffic: List[TenantTrafficSpec] = []
+        for index, entry in enumerate(data.get("traffic", []) or []):
+            path = f"scenario.traffic[{index}]"
+            if not isinstance(entry, dict):
+                issues.append(SpecIssue(path, "expected an object"))
+                continue
+            entry = dict(entry)
+            arrival_payload = entry.pop("arrival", None)
+            if isinstance(arrival_payload, dict) and "trace" in arrival_payload:
+                arrival_payload = dict(arrival_payload)
+                arrival_payload["trace"] = tuple(arrival_payload["trace"])
+            arrival = build_section(
+                ArrivalSpec, arrival_payload, path + ".arrival"
+            ) or ArrivalSpec()
+            mix = entry.pop("endpoint_mix", None)
+            if isinstance(mix, dict):
+                mix = tuple(sorted(mix.items()))
+            elif mix is not None:
+                mix = tuple((str(n), float(w)) for n, w in mix)
+            else:
+                mix = (("ml_inference", 1.0),)
+            tenant = build_section(TenantTrafficSpec, entry, path)
+            if tenant is not None:
+                traffic.append(replace(tenant, arrival=arrival, endpoint_mix=mix))
+
+        events: List[ChaosEventSpec] = []
+        for index, entry in enumerate(data.get("chaos", []) or []):
+            event = build_section(
+                ChaosEventSpec, entry, f"scenario.chaos.events[{index}]"
+            )
+            if event is not None:
+                events.append(event)
+
+        sizes = build_section(ParetoSpec, data.get("sizes"), "scenario.sizes")
+        deadlines = build_section(
+            ParetoSpec, data.get("deadlines"), "scenario.deadlines"
+        )
+        seed = build_section(SeedPolicy, data.get("seed"), "scenario.seed")
+        if issues:
+            raise SpecValidationError(issues)
+        return cls(
+            name=str(data.get("name", "scenario")),
+            duration_s=float(data.get("duration_s", 60.0)),
+            traffic=tuple(traffic) or (TenantTrafficSpec(),),
+            chaos=ChaosSchedule(events=tuple(events)),
+            sizes=sizes,
+            deadlines=deadlines,
+            seed=seed if seed is not None else SeedPolicy(),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise the spec as JSON.
+
+        Args:
+            indent: pretty-print indentation.
+
+        Returns:
+            A JSON document :meth:`from_json` rebuilds losslessly.
+        """
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, document: str) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json` output.
+
+        Args:
+            document: the JSON string.
+
+        Returns:
+            The reconstructed spec.
+        """
+        return cls.from_dict(json.loads(document))

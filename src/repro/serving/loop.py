@@ -33,12 +33,21 @@ from repro.telemetry.trace import Span, Tracer, TraceSummary, summarize_trace
 
 @dataclass(frozen=True)
 class ServingWorkload:
-    """A multi-tenant request stream plus the tenants' contracts."""
+    """A multi-tenant request stream plus the tenants' contracts.
+
+    Both fields accept any iterable -- a generator produced by an arrival
+    process streams in as readily as a materialised list -- and are
+    normalised to tuples exactly once at construction, so every later
+    consumer (including ``Deployment.serve_iter``'s second pass over the
+    requests) sees a stable, re-iterable sequence.
+    """
 
     tenants: Tuple[Tenant, ...]
     requests: Tuple[ServingRequest, ...]
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        object.__setattr__(self, "requests", tuple(self.requests))
         if not self.tenants:
             raise ValueError("a serving workload needs at least one tenant")
         names = {tenant.name for tenant in self.tenants}

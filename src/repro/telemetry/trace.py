@@ -35,6 +35,9 @@ span name                 interval
 ``task.execute``          one contiguous execution segment on one node
 ``task.migrate``          migration downtime between two execute segments
 ``autoscale.*``           zero-length actuation events from the autoscaler
+``chaos.*``               zero-length fault injections from a scenario's
+                          :class:`~repro.scenarios.chaos.ChaosEngine`
+                          (``chaos.node_failure``, ``chaos.partition``, ...)
 ========================  =====================================================
 """
 

@@ -1,0 +1,167 @@
+"""Unit coverage for the chaos engine, scheduler proxy, and fault model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.fault_tolerance import FaultInjector, FaultModel
+from repro.scenarios import (
+    ChaosEngine,
+    ChaosEventSpec,
+    ChaosSchedule,
+    ChaosScheduler,
+    ClusterActuator,
+)
+from repro.scheduler.cluster import Cluster
+from repro.telemetry.trace import Tracer
+
+
+class StubScheduler:
+    """Minimal scheduler: first-fit placement, no own rescheduling."""
+
+    name = "stub"
+    supports_rescheduling = False
+
+    def place(self, request, cluster, time_s):
+        for node in cluster.feasible_nodes(request.cores, request.memory_gib):
+            return node.name
+        return None
+
+
+def _engine(events, cluster, seed: int = 3, tracer=None) -> ChaosEngine:
+    return ChaosEngine(
+        ChaosSchedule(events=tuple(events)),
+        ClusterActuator(cluster),
+        np.random.default_rng(seed),
+        tracer=tracer,
+    )
+
+
+def test_fault_model_and_injector_share_one_stream() -> None:
+    """Satellite regression: FaultInjector is FaultModel + owned RNG."""
+    injector = FaultInjector(fault_probability=0.4, systematic_fraction=0.5, seed=99)
+    model = FaultModel(fault_probability=0.4, systematic_fraction=0.5)
+    rng = np.random.default_rng(99)
+    draws = [injector.draw_fault() for _ in range(200)]
+    assert draws == [model.draw(rng) for _ in range(200)]
+    assert injector.fault_probability == 0.4
+    assert injector.systematic_fraction == 0.5
+
+
+def test_fault_model_validates() -> None:
+    with pytest.raises(ValueError):
+        FaultModel(fault_probability=1.5)
+    with pytest.raises(ValueError):
+        FaultModel(systematic_fraction=-0.1)
+
+
+def test_node_failure_blocks_evacuates_and_removes() -> None:
+    cluster = Cluster.heats_testbed(scale=1)
+    victim = cluster.nodes[0].name
+    engine = _engine([ChaosEventSpec(kind="node_failure", at_s=10.0, target=victim)],
+                     cluster)
+    assert not engine.is_blocked(victim)
+    decisions = engine.step([], cluster, 10.0)
+    # Idle victim: blocked, no evacuations needed, removed immediately.
+    assert decisions == []
+    assert all(node.name != victim for node in cluster)
+    report = engine.report()
+    assert report.dead_nodes == ((victim, 10.0),)
+    statuses = [(r.status, r.target) for r in report.records]
+    assert ("applied", victim) in statuses and ("removed", victim) in statuses
+
+
+def test_probability_zero_is_suppressed() -> None:
+    cluster = Cluster.heats_testbed(scale=1)
+    engine = _engine(
+        [ChaosEventSpec(kind="node_failure", at_s=5.0, probability=0.0)], cluster
+    )
+    engine.step([], cluster, 5.0)
+    record = engine.report().records[0]
+    assert record.status == "suppressed"
+    assert len(cluster) == len(Cluster.heats_testbed(scale=1))
+
+
+def test_throttle_window_blocks_then_heals() -> None:
+    cluster = Cluster.heats_testbed(scale=1)
+    victim = cluster.nodes[0].name
+    tracer = Tracer(enabled=True)
+    engine = _engine(
+        [ChaosEventSpec(kind="thermal_throttle", at_s=5.0, duration_s=10.0,
+                        target=victim)],
+        cluster,
+        tracer=tracer,
+    )
+    engine.step([], cluster, 5.0)
+    assert engine.is_blocked(victim)
+    engine.step([], cluster, 20.0)
+    assert not engine.is_blocked(victim)
+    names = [span.name for span in tracer.drain()]
+    assert "chaos.thermal_throttle" in names
+    assert "chaos.thermal_throttle.healed" in names
+
+
+def test_shard_events_skip_on_single_cluster() -> None:
+    cluster = Cluster.heats_testbed(scale=1)
+    engine = _engine(
+        [
+            ChaosEventSpec(kind="price_spike", at_s=1.0, duration_s=5.0),
+            ChaosEventSpec(kind="partition", at_s=1.0, duration_s=5.0),
+        ],
+        cluster,
+    )
+    engine.step([], cluster, 1.0)
+    assert [r.status for r in engine.report().records] == ["skipped", "skipped"]
+
+
+def test_finish_heals_open_windows() -> None:
+    cluster = Cluster.heats_testbed(scale=1)
+    victim = cluster.nodes[0].name
+    engine = _engine(
+        [ChaosEventSpec(kind="thermal_throttle", at_s=1.0, duration_s=500.0,
+                        target=victim)],
+        cluster,
+    )
+    engine.step([], cluster, 1.0)
+    assert engine.is_blocked(victim)
+    engine.finish(60.0)
+    assert not engine.is_blocked(victim)
+    assert any(r.status == "healed" for r in engine.report().records)
+
+
+def test_proxy_delegates_and_vetoes_blocked_nodes() -> None:
+    cluster = Cluster.heats_testbed(scale=1)
+    inner = StubScheduler()
+    engine = _engine([], cluster)
+    proxy = ChaosScheduler(inner, engine)
+    assert proxy.supports_rescheduling is True  # heartbeat is the chaos clock
+    assert proxy.name == "chaos+stub"
+    # __setattr__/__getattr__ forward to the wrapped scheduler (the seam
+    # the autoscaler attachment and federation-stats reset rely on).
+    proxy.autoscaler = "sentinel"
+    assert inner.autoscaler == "sentinel"
+    assert proxy.inner is inner
+
+    from repro.scheduler.workload import TaskRequest
+    from repro.hardware.microserver import WorkloadKind
+
+    request = TaskRequest(
+        task_id="t1", arrival_s=0.0, workload=WorkloadKind.DNN_INFERENCE,
+        gops=1.0, cores=1, memory_gib=0.5,
+    )
+    chosen = proxy.place(request, cluster, 0.0)
+    assert chosen == inner.place(request, cluster, 0.0)
+    engine._blocked[chosen] = "thermal_throttle"
+    assert proxy.place(request, cluster, 0.0) is None
+
+
+def test_seeded_victim_pick_is_reproducible() -> None:
+    picks = []
+    for _ in range(2):
+        cluster = Cluster.heats_testbed(scale=1)
+        engine = _engine([ChaosEventSpec(kind="node_failure", at_s=0.0)], cluster,
+                         seed=17)
+        engine.step([], cluster, 0.0)
+        picks.append(engine.report().dead_nodes)
+    assert picks[0] == picks[1]

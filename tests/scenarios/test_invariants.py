@@ -1,0 +1,177 @@
+"""Scenario invariants on all three deployment backends.
+
+The acceptance gate for the subsystem: a node failure injected into a
+flash crowd must leave every backend's accounting conserved (offered =
+completed + rejected + dropped), attribute no completion to a dead node,
+keep SLA bookkeeping internally consistent, and replay bit-identically
+at equal seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api import Deployment, DeploymentSpec
+from repro.scenarios import (
+    ArrivalSpec,
+    ChaosEventSpec,
+    ChaosSchedule,
+    ParetoSpec,
+    ScenarioSpec,
+    TenantTrafficSpec,
+    conservation_violations,
+)
+
+BACKENDS = ("single", "federated", "autoscaled")
+
+
+def _scenario(seed_base: int = 7, probability: float = 1.0) -> ScenarioSpec:
+    from repro.core.seeding import SeedPolicy
+
+    return ScenarioSpec(
+        name="failure-under-flash-crowd",
+        duration_s=90.0,
+        traffic=(
+            TenantTrafficSpec(
+                name="burst",
+                arrival=ArrivalSpec(kind="flash_crowd", rate_rps=2.0, spike_rps=15.0,
+                                    spike_start_s=20.0, spike_duration_s=15.0),
+                endpoint_mix=(("ml_inference", 0.6), ("iot_gateway", 0.4)),
+            ),
+            TenantTrafficSpec(
+                name="steady",
+                arrival=ArrivalSpec(kind="poisson", rate_rps=2.0),
+                join_s=10.0,
+                leave_s=70.0,
+            ),
+        ),
+        chaos=ChaosSchedule(events=(
+            ChaosEventSpec(kind="node_failure", at_s=30.0, probability=probability),
+            ChaosEventSpec(kind="thermal_throttle", at_s=15.0, duration_s=20.0),
+        )),
+        sizes=ParetoSpec(alpha=1.6, lower=0.5, upper=3.0),
+        deadlines=ParetoSpec(alpha=2.0, lower=0.8, upper=2.5),
+        seed=SeedPolicy(base=seed_base),
+    )
+
+
+def _deployment(preset: str) -> Deployment:
+    spec = DeploymentSpec.preset(preset)
+    spec = replace(
+        spec,
+        telemetry=replace(spec.telemetry, enabled=True, tracing=True),
+        scheduler=replace(spec.scheduler, rescheduling_interval_s=10.0),
+    )
+    return Deployment.from_spec(spec)
+
+
+@pytest.mark.parametrize("preset", BACKENDS)
+def test_conservation_and_dead_node_invariants(preset: str) -> None:
+    deployment = _deployment(preset)
+    try:
+        outcome = deployment.run_scenario(_scenario())
+        assert conservation_violations(outcome) == []
+        assert outcome.report.offered == len(outcome.workload.requests)
+        # The injected failure actually fired and the victim came out.
+        assert outcome.chaos.applied("node_failure")
+        assert outcome.chaos.dead_nodes
+        removed_at = dict(outcome.chaos.dead_nodes)
+        for task in outcome.report.simulation.completed:
+            final = task.nodes[-1]
+            if final in removed_at:
+                assert task.finish_s <= removed_at[final]
+        # Chaos is visible in the trace stream.
+        chaos_spans = [
+            s for s in outcome.report.trace_spans if s.name.startswith("chaos.")
+        ]
+        assert chaos_spans
+    finally:
+        deployment.close()
+
+
+@pytest.mark.parametrize("preset", BACKENDS)
+def test_replay_is_bit_identical_at_equal_seeds(preset: str) -> None:
+    outcomes = []
+    for _ in range(2):
+        deployment = _deployment(preset)
+        try:
+            outcomes.append(deployment.run_scenario(_scenario()))
+        finally:
+            deployment.close()
+    first, second = outcomes
+    assert first.workload == second.workload
+    assert first.chaos == second.chaos
+    assert first.report.offered == second.report.offered
+    assert first.report.completed == second.report.completed
+    assert first.report.rejected == second.report.rejected
+    assert first.report.dropped == second.report.dropped
+    assert first.report.latencies_s == second.report.latencies_s
+    assert first.report.simulation.makespan_s == second.report.simulation.makespan_s
+
+
+def test_different_seeds_diverge() -> None:
+    deployment = _deployment("single")
+    try:
+        a = deployment.run_scenario(_scenario(seed_base=7))
+        b = deployment.run_scenario(_scenario(seed_base=1234))
+        assert a.workload != b.workload
+    finally:
+        deployment.close()
+
+
+def test_partition_and_price_spike_on_federation() -> None:
+    from repro.core.seeding import SeedPolicy
+
+    spec = ScenarioSpec(
+        name="regional-trouble",
+        duration_s=80.0,
+        traffic=(
+            TenantTrafficSpec(
+                name="t",
+                arrival=ArrivalSpec(kind="poisson", rate_rps=4.0),
+            ),
+        ),
+        chaos=ChaosSchedule(events=(
+            ChaosEventSpec(kind="partition", at_s=20.0, duration_s=25.0),
+            ChaosEventSpec(kind="price_spike", at_s=15.0, duration_s=30.0,
+                           magnitude=5.0),
+        )),
+        seed=SeedPolicy(base=21),
+    )
+    deployment = _deployment("federated")
+    try:
+        federation = deployment.backend.federation
+        prices_before = {
+            s.name: s.profile.energy_price_per_kwh for s in federation.shards
+        }
+        outcome = deployment.run_scenario(spec)
+        assert conservation_violations(outcome) == []
+        assert outcome.chaos.applied("partition")
+        assert outcome.chaos.applied("price_spike")
+        # Windows are closed (in-run or by finish): prices restored, no
+        # shard left draining, scheduler restored for the next run.
+        assert {
+            s.name: s.profile.energy_price_per_kwh for s in federation.shards
+        } == prices_before
+        assert federation.scheduler.draining_shards == []
+        assert conservation_violations(deployment.run_scenario(spec)) == []
+    finally:
+        deployment.close()
+
+
+@pytest.mark.parametrize("probability", [0.0, 1.0])
+def test_suppressed_events_leave_topology_alone(probability: float) -> None:
+    deployment = _deployment("single")
+    try:
+        nodes_before = len(deployment.backend.cluster)
+        outcome = deployment.run_scenario(_scenario(probability=probability))
+        assert conservation_violations(outcome) == []
+        if probability == 0.0:
+            assert not outcome.chaos.dead_nodes
+            assert len(deployment.backend.cluster) == nodes_before
+        else:
+            assert outcome.chaos.dead_nodes
+    finally:
+        deployment.close()

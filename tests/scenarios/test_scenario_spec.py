@@ -1,0 +1,191 @@
+"""ScenarioSpec validation, serialisation, and workload materialisation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.spec import SpecValidationError
+from repro.scenarios import (
+    ArrivalSpec,
+    ChaosEventSpec,
+    ChaosSchedule,
+    ParetoSpec,
+    ScenarioSpec,
+    TenantTrafficSpec,
+    build_workload,
+)
+
+
+def _two_tenant_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="unit",
+        duration_s=60.0,
+        traffic=(
+            TenantTrafficSpec(
+                name="alpha",
+                arrival=ArrivalSpec(kind="flash_crowd", rate_rps=3.0, spike_rps=20.0,
+                                    spike_start_s=10.0, spike_duration_s=10.0),
+                endpoint_mix=(("ml_inference", 0.7), ("iot_gateway", 0.3)),
+            ),
+            TenantTrafficSpec(
+                name="beta",
+                arrival=ArrivalSpec(kind="diurnal", rate_rps=2.0, amplitude=0.5,
+                                    period_s=30.0),
+                join_s=15.0,
+                leave_s=45.0,
+            ),
+        ),
+        chaos=ChaosSchedule(events=(
+            ChaosEventSpec(kind="node_failure", at_s=20.0),
+            ChaosEventSpec(kind="partition", at_s=25.0, duration_s=15.0),
+        )),
+        sizes=ParetoSpec(alpha=1.5, lower=0.5, upper=4.0),
+        deadlines=ParetoSpec(alpha=2.0, lower=0.8, upper=3.0),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def test_valid_spec_checks_clean() -> None:
+    spec = _two_tenant_spec()
+    assert spec.validate() == []
+    assert spec.check() is spec
+
+
+def test_validation_reports_every_issue_at_once() -> None:
+    spec = ScenarioSpec(
+        name="",
+        duration_s=-5.0,
+        traffic=(
+            TenantTrafficSpec(
+                name="dup",
+                arrival=ArrivalSpec(kind="warp", rate_rps=-1.0),
+                endpoint_mix=(("no_such_endpoint", -2.0),),
+                join_s=100.0,
+            ),
+            TenantTrafficSpec(name="dup", energy_weight=3.0),
+        ),
+        chaos=ChaosSchedule(events=(
+            ChaosEventSpec(kind="meteor", at_s=-1.0, probability=2.0),
+            ChaosEventSpec(kind="partition", at_s=5.0, duration_s=0.0),
+        )),
+        sizes=ParetoSpec(alpha=-1.0, lower=2.0, upper=1.0),
+    )
+    issues = spec.validate()
+    paths = {issue.path for issue in issues}
+    # One pass surfaces problems across every layer of the tree.
+    assert "scenario.name" in paths
+    assert "scenario.duration_s" in paths
+    assert "scenario.traffic" in paths  # duplicate tenant names
+    assert "scenario.traffic[0].arrival.kind" in paths
+    assert "scenario.traffic[0].endpoint_mix" in paths
+    assert "scenario.traffic[0].join_s" in paths
+    assert "scenario.traffic[1].energy_weight" in paths
+    assert "scenario.chaos.events[0].kind" in paths
+    assert "scenario.chaos.events[0].probability" in paths
+    assert "scenario.chaos.events[1].duration_s" in paths
+    assert "scenario.sizes.alpha" in paths
+    with pytest.raises(SpecValidationError) as excinfo:
+        spec.check()
+    assert len(excinfo.value.issues) == len(issues)
+
+
+def test_json_round_trip_is_lossless() -> None:
+    spec = _two_tenant_spec()
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    kind=st.sampled_from(["poisson", "diurnal", "flash_crowd"]),
+    rate=st.floats(min_value=0.5, max_value=20.0),
+    duration=st.floats(min_value=10.0, max_value=120.0),
+    at=st.floats(min_value=0.0, max_value=100.0),
+    probability=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_json_round_trip_property(kind, rate, duration, at, probability):
+    spec = ScenarioSpec(
+        name="prop",
+        duration_s=duration,
+        traffic=(
+            TenantTrafficSpec(name="t", arrival=ArrivalSpec(kind=kind, rate_rps=rate)),
+        ),
+        chaos=ChaosSchedule(events=(
+            ChaosEventSpec(kind="thermal_throttle", at_s=at, duration_s=5.0,
+                           probability=probability),
+        )),
+    )
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+def test_trace_arrival_round_trips_through_spec_json() -> None:
+    spec = ScenarioSpec(
+        name="trace",
+        traffic=(
+            TenantTrafficSpec(
+                name="t",
+                arrival=ArrivalSpec(kind="trace", trace=(0.5, 1.25, 7.75)),
+            ),
+        ),
+    )
+    rebuilt = ScenarioSpec.from_json(spec.to_json())
+    assert rebuilt == spec
+    assert rebuilt.traffic[0].arrival.trace == (0.5, 1.25, 7.75)
+
+
+def test_from_dict_collects_shape_problems() -> None:
+    with pytest.raises(SpecValidationError) as excinfo:
+        ScenarioSpec.from_dict(
+            {
+                "mystery": 1,
+                "traffic": [{"name": "t", "arrival": {"kind": "poisson", "warp": 9}}],
+                "sizes": {"alpha": 1.0, "beta": 2.0},
+            }
+        )
+    paths = {issue.path for issue in excinfo.value.issues}
+    assert "scenario.mystery" in paths
+    assert "scenario.traffic[0].arrival.warp" in paths
+    assert "scenario.sizes.beta" in paths
+
+
+def test_build_workload_is_deterministic_and_respects_churn() -> None:
+    spec = _two_tenant_spec()
+    first = build_workload(spec)
+    second = build_workload(spec)
+    assert first == second  # bit-identical at equal seeds
+    arrivals = [r.arrival_s for r in first.requests]
+    assert arrivals == sorted(arrivals)
+    beta = [r for r in first.requests if r.tenant == "beta"]
+    assert beta, "churned tenant still offers traffic inside its window"
+    assert all(15.0 <= r.arrival_s < 45.0 for r in beta)
+
+
+def test_build_workload_applies_heavy_tails() -> None:
+    from repro.serving.endpoints import endpoint
+
+    plain = _two_tenant_spec(sizes=None, deadlines=None)
+    tailed = _two_tenant_spec()
+    plain_arrivals = [(r.request_id, r.arrival_s) for r in build_workload(plain).requests]
+    scaled = build_workload(tailed).requests
+    # Arrival streams are independent of attribute sampling: same ids at
+    # the same instants, whatever the request bodies look like.
+    assert [(r.request_id, r.arrival_s) for r in scaled] == plain_arrivals
+    for request in scaled:
+        base = endpoint(request.use_case)
+        size_ratio = request.gops / base.gops_per_request
+        assert 0.5 - 1e-9 <= size_ratio <= 4.0 + 1e-9
+        margin_ratio = (request.deadline_s - request.arrival_s) / base.default_deadline_s
+        assert 0.8 - 1e-9 <= margin_ratio <= 3.0 + 1e-9
+    assert any(
+        r.gops != endpoint(r.use_case).gops_per_request for r in scaled
+    )
+
+
+def test_different_seed_policies_diverge() -> None:
+    from repro.core.seeding import SeedPolicy
+
+    a = build_workload(_two_tenant_spec())
+    b = build_workload(_two_tenant_spec(seed=SeedPolicy(base=999)))
+    assert a != b

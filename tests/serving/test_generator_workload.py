@@ -1,0 +1,77 @@
+"""ServingWorkload accepts any iterable and normalises it exactly once."""
+
+from __future__ import annotations
+
+from repro.scheduler.cluster import Cluster
+from repro.scheduler.heats import HeatsScheduler
+from repro.serving.batching import BatchPolicy
+from repro.serving.endpoints import synthesize_traffic
+from repro.serving.gateway import RequestGateway, Tenant
+from repro.serving.loop import ServingLoop, ServingWorkload
+from repro.serving.sla import SlaTracker
+
+
+def _tenants():
+    return (
+        Tenant(name="alpha", rate_limit_rps=40.0, burst=20),
+        Tenant(name="beta", rate_limit_rps=40.0, burst=20),
+    )
+
+
+def _requests():
+    return synthesize_traffic(
+        _tenants(),
+        {"alpha": {"ml_inference": 1.0}, "beta": {"iot_gateway": 1.0}},
+        offered_rps=10.0,
+        duration_s=30.0,
+        seed=4242,
+    )
+
+
+def _serve(workload: ServingWorkload):
+    cluster = Cluster.heats_testbed(scale=1)
+    scheduler = HeatsScheduler.with_learned_models(cluster, seed=7)
+    gateway = RequestGateway(workload.tenants)
+    loop = ServingLoop(
+        cluster=cluster,
+        scheduler=scheduler,
+        gateway=gateway,
+        batch_policy=BatchPolicy(),
+        tracker=SlaTracker(),
+    )
+    return loop.run(workload.requests)
+
+
+def test_generator_backed_workload_normalises_to_tuple() -> None:
+    requests = _requests()
+    workload = ServingWorkload(
+        tenants=(t for t in _tenants()),
+        requests=(r for r in requests),
+    )
+    assert isinstance(workload.tenants, tuple)
+    assert isinstance(workload.requests, tuple)
+    assert workload.requests == tuple(requests)
+    # The stream is re-iterable after normalisation (generators are not).
+    assert list(workload.requests) == list(workload.requests)
+
+
+def test_generator_workload_serves_identically_to_list_form() -> None:
+    requests = _requests()
+    from_list = ServingWorkload(tenants=_tenants(), requests=tuple(requests))
+    from_generator = ServingWorkload(
+        tenants=_tenants(), requests=(r for r in requests)
+    )
+    assert from_list == from_generator
+    report_list = _serve(from_list)
+    report_generator = _serve(from_generator)
+    assert report_list.offered == report_generator.offered
+    assert report_list.completed == report_generator.completed
+    assert report_list.dropped == report_generator.dropped
+    assert report_list.latencies_s == report_generator.latencies_s
+
+
+def test_validation_still_fires_after_normalisation() -> None:
+    import pytest
+
+    with pytest.raises(ValueError):
+        ServingWorkload(tenants=iter(()), requests=iter(()))

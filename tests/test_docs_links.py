@@ -27,6 +27,7 @@ REQUIRED_DOCS = [
     "scheduler.md",
     "autoscaling.md",
     "observability.md",
+    "scenarios.md",
 ]
 
 

@@ -31,6 +31,7 @@ SUBPACKAGES = [
     "repro.hardware",
     "repro.middleware",
     "repro.runtime",
+    "repro.scenarios",
     "repro.scheduler",
     "repro.security",
     "repro.serving",

@@ -27,6 +27,7 @@ SUBPACKAGES = [
     "repro.hardware",
     "repro.middleware",
     "repro.runtime",
+    "repro.scenarios",
     "repro.scheduler",
     "repro.security",
     "repro.serving",
