@@ -145,7 +145,6 @@ class SingleClusterBackend:
             ),
             flush_tick_s=self.spec.serving.flush_tick_s,
             metrics=self.metrics,
-            fast_path=self.spec.serving.fast_path,
             tracer=self.tracer,
             profiler=self.profiler,
         )
@@ -238,7 +237,6 @@ class FederatedBackend:
                 else self.spec.serving.to_batch_policy()
             ),
             flush_tick_s=self.spec.serving.flush_tick_s,
-            fast_path=self.spec.serving.fast_path,
             tracer=self.tracer,
             profiler=self.profiler,
         )

@@ -27,6 +27,7 @@ rely on at construction time.)
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Any, Dict, List, Mapping, Optional, Tuple, get_type_hints
 
@@ -246,19 +247,13 @@ class ServingSpec:
             deadline slack before a deadline-driven flush.
         flush_tick_s: cadence at which the gateway drains into the
             batcher and stale batches flush.
-        fast_path: drive the serving loop event-driven (skip quiet flush
-            ticks) and the simulator through its capacity-gated retry
-            index.  ``False`` replays the pre-overhaul fixed tick scan
-            and full pending rescan; serving outcomes (placements,
-            latencies, energy, completions) are identical either way
-            for single-cluster and federated deployments, but
-            attempt-based telemetry (router place/unplaced counters,
-            per-tenant demand) counts only *real* placement attempts on
-            the fast path instead of the old retry-storm attempts --
-            and because an *autoscaled* deployment's controller reads
-            those very signals, its scaling decisions (and hence its
-            report) may differ slightly between the two paths.  Kept
-            only for A/B benchmarking of the hot path.
+        fast_path: **deprecated, ignored.**  The legacy ``fast_path=False``
+            scan paths were removed when the simulator core went
+            array-native; every run now uses the (outcome-identical)
+            event-driven ingest and vectorised capacity-gated retry.  The
+            field is kept so old specs still load and round-trip through
+            JSON/TOML losslessly; setting it to ``False`` emits a
+            :class:`DeprecationWarning` and changes nothing.
     """
 
     max_batch_size: int = 16
@@ -267,6 +262,20 @@ class ServingSpec:
     deadline_margin_s: float = 0.5
     flush_tick_s: float = 0.5
     fast_path: bool = True
+
+    def __post_init__(self) -> None:
+        # Deprecation shim, not validation (see the module docstring for
+        # why sections don't raise here): old specs carrying the retired
+        # flag must keep loading, and a lossless round-trip must preserve
+        # whatever they said -- but flipping it no longer selects a path.
+        if self.fast_path is not True:
+            warnings.warn(
+                "ServingSpec.fast_path is deprecated and ignored: the "
+                "legacy scan path was removed; every run uses the "
+                "array-native event-driven core",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
     def validate(self, path: str = "serving") -> List[SpecIssue]:
         """Collect every problem with this section.

@@ -1041,14 +1041,13 @@ class Federation:
                 "warm state"
             )
         self._served = True
-        return self._run_serving(workload, batch_policy, 0.5, True, None, None)
+        return self._run_serving(workload, batch_policy, 0.5, None, None)
 
     def run_workload(
         self,
         workload,
         batch_policy=None,
         flush_tick_s: float = 0.5,
-        fast_path: bool = True,
         tracer=None,
         profiler=None,
     ):
@@ -1067,12 +1066,6 @@ class Federation:
             batch_policy: optional
                 :class:`~repro.serving.batching.BatchPolicy` override.
             flush_tick_s: gateway-drain / batch-flush cadence.
-            fast_path: event-driven ingest + capacity-gated retry; False
-                keeps the pre-overhaul scan.  Same serving outcomes;
-                attempt-based routing counters (place calls, unplaced,
-                demand) count only real attempts on the fast path, so an
-                attached autoscaler reading them may act at slightly
-                different instants.  For A/B benchmarking.
             tracer: optional
                 :class:`~repro.telemetry.trace.Tracer`; when enabled the
                 run records request-scoped spans (admission, batching,
@@ -1099,7 +1092,7 @@ class Federation:
         # pins carry over, the counters must not.
         self.scheduler.federation_stats = FederationStats()
         return self._run_serving(
-            workload, batch_policy, flush_tick_s, fast_path, tracer, profiler
+            workload, batch_policy, flush_tick_s, tracer, profiler
         )
 
     def _run_serving(
@@ -1107,7 +1100,6 @@ class Federation:
         workload,
         batch_policy,
         flush_tick_s: float,
-        fast_path: bool,
         tracer,
         profiler,
     ):
@@ -1126,7 +1118,6 @@ class Federation:
             batch_policy=batch_policy,
             flush_tick_s=flush_tick_s,
             metrics=self.metrics,
-            fast_path=fast_path,
             tracer=tracer,
             profiler=profiler,
         )

@@ -6,13 +6,17 @@ memory) that tasks reserve, plus a performance/energy profile derived from
 the microserver catalogue so different nodes genuinely differ in speed and
 efficiency -- the heterogeneity HEATS exploits.
 
-The cluster maintains an incrementally-updated free-capacity index: nodes
-are bucketed by free core count and per-node free memory and reserved
-power are tracked as running aggregates, updated on every reserve/release
-instead of rescanned per request.  ``feasible_nodes`` (the placement hot
-path) only touches buckets that can satisfy the request, and
-``capacity()`` exposes the O(1) cluster-level aggregates the federation
-layer uses to pick a shard without looking at individual nodes.
+The cluster's capacity index is a numpy structured array: one row per node
+holding its free/total cores and memory plus its power columns, updated in
+place on every reserve/release through the node's capacity listener.  The
+placement hot path (``has_feasible_node`` / ``feasible_nodes`` /
+``feasible_shape_mask``) is a vectorised comparison over those columns --
+no per-node Python objects are touched until a candidate list is actually
+materialised -- and ``capacity()`` exposes the O(1) cluster-level
+aggregates the federation layer uses to pick a shard without looking at
+individual nodes.  Node objects remain the owners of truth (they are
+shared between shard clusters and the federated union view); each cluster
+mirrors their state into its own array.
 """
 
 from __future__ import annotations
@@ -31,12 +35,48 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
 from repro.hardware.microserver import (
     MICROSERVER_CATALOG,
     DeviceKind,
     MicroserverSpec,
     WorkloadKind,
 )
+
+#: one row per node in a cluster's capacity table.  ``free_*`` columns
+#: mirror the node's live reservations exactly (the same rounded floats the
+#: node holds, so vectorised comparisons agree bit-for-bit with per-object
+#: checks); ``active`` is False for tombstoned rows awaiting compaction.
+NODE_DTYPE = np.dtype(
+    [
+        ("free_cores", np.int64),
+        ("free_memory", np.float64),
+        ("total_cores", np.int64),
+        ("total_memory", np.float64),
+        ("reserved_power", np.float64),
+        ("idle_power", np.float64),
+        ("dynamic_power", np.float64),
+        ("active", np.bool_),
+    ]
+)
+
+
+class CandidateNames(tuple):
+    """An interned feasible-node-set tuple with a memoised hash.
+
+    The cluster interns one instance per distinct feasibility mask, so the
+    serving score cache -- whose keys embed the candidate set -- hashes
+    each distinct set once per topology instead of re-hashing dozens of
+    node-name strings on every lookup.  Equality and ordering are plain
+    tuple semantics, so cache keys built from lists compare identically.
+    """
+
+    def __hash__(self) -> int:
+        cached = getattr(self, "_hash", None)
+        if cached is None:
+            cached = self._hash = tuple.__hash__(self)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -71,30 +111,44 @@ class NodeResources:
 
 @dataclass
 class ClusterNode:
-    """One schedulable host."""
+    """One schedulable host.
+
+    Free capacity lives in two plain attributes (``_free_cores`` /
+    ``_free_memory``) so the reserve/release hot path never builds
+    :class:`NodeResources` objects; :attr:`available` materialises a
+    snapshot on demand for the cold-path consumers (monitoring, drain
+    planning).  Memory subtraction keeps the historical
+    ``round(free - requested, 9)`` discipline and release keeps the plain
+    add, so capacity floats evolve exactly as they always have.
+    """
 
     name: str
     spec: MicroserverSpec
     total: NodeResources = field(init=False)
-    available: NodeResources = field(init=False)
     running: Dict[str, Tuple[int, float]] = field(default_factory=dict)
     busy_core_seconds: float = 0.0
     energy_j: float = 0.0
 
     def __post_init__(self) -> None:
         self.total = NodeResources(cores=self.spec.cores, memory_gib=self.spec.memory_gib)
-        self.available = self.total
+        self._free_cores: int = self.total.cores
+        self._free_memory: float = self.total.memory_gib
         self._listeners: List[Callable[["ClusterNode"], None]] = []
 
     # ------------------------------------------------------------------ #
     # Capacity
     # ------------------------------------------------------------------ #
+    @property
+    def available(self) -> NodeResources:
+        """Current free resources as a (freshly built) snapshot object."""
+        return NodeResources(cores=self._free_cores, memory_gib=self._free_memory)
+
     def subscribe(self, listener: Callable[["ClusterNode"], None]) -> None:
         """Register a callback invoked after every capacity change.
 
         Clusters (and federated clusters, which share node objects with
-        their shard view) subscribe here to keep their free-capacity
-        indices incremental instead of rescanning nodes.
+        their shard view) subscribe here to keep their capacity arrays
+        incremental instead of rescanning nodes.
         """
         self._listeners.append(listener)
 
@@ -112,18 +166,19 @@ class ClusterNode:
             listener(self)
 
     def can_host(self, cores: int, memory_gib: float) -> bool:
-        return self.available.fits(cores, memory_gib)
+        return cores <= self._free_cores and memory_gib <= self._free_memory
 
     def reserve(self, task_id: str, cores: int, memory_gib: float) -> None:
         if task_id in self.running:
             raise KeyError(f"task {task_id!r} already running on {self.name}")
-        if not self.can_host(cores, memory_gib):
+        if not (cores <= self._free_cores and memory_gib <= self._free_memory):
             raise ValueError(
                 f"{self.name}: cannot host task {task_id!r} "
                 f"({cores} cores / {memory_gib} GiB requested, "
-                f"{self.available.cores} cores / {self.available.memory_gib:.1f} GiB free)"
+                f"{self._free_cores} cores / {self._free_memory:.1f} GiB free)"
             )
-        self.available = self.available.minus(cores, memory_gib)
+        self._free_cores -= cores
+        self._free_memory = round(self._free_memory - memory_gib, 9)
         self.running[task_id] = (cores, memory_gib)
         self._notify_capacity_change()
 
@@ -131,13 +186,14 @@ class ClusterNode:
         if task_id not in self.running:
             raise KeyError(f"task {task_id!r} not running on {self.name}")
         cores, memory = self.running.pop(task_id)
-        self.available = self.available.plus(cores, memory)
+        self._free_cores += cores
+        self._free_memory += memory
         self._notify_capacity_change()
 
     @property
     def utilisation(self) -> float:
         """Fraction of cores currently reserved."""
-        return 1.0 - self.available.cores / self.total.cores
+        return 1.0 - self._free_cores / self.total.cores
 
     # ------------------------------------------------------------------ #
     # Performance / power profile
@@ -211,19 +267,30 @@ class CapacitySnapshot:
 
 
 class Cluster:
-    """A named collection of heterogeneous nodes with a capacity index."""
+    """A named collection of heterogeneous nodes with an array capacity index.
+
+    Rows of :data:`NODE_DTYPE` hold every node's capacity/power columns in
+    node-insertion order; removals tombstone their row (``active=False``)
+    and the table compacts once tombstones outnumber live nodes, so row
+    order always equals insertion order and feasibility masks stay
+    deterministic.
+    """
+
+    #: rows allocated up front; the table doubles when it fills.
+    _INITIAL_ROWS = 16
 
     def __init__(self, nodes: Iterable[ClusterNode]) -> None:
         self._nodes: Dict[str, ClusterNode] = {}
-        # Incremental free-capacity index: nodes bucketed by free cores,
-        # per-node free memory and reserved dynamic power tracked so the
-        # hot path and the aggregates never rescan all nodes.
-        self._order: Dict[str, int] = {}
-        self._next_order = 0
-        self._free_cores: Dict[str, int] = {}
-        self._free_memory: Dict[str, float] = {}
-        self._reserved_power: Dict[str, float] = {}
-        self._buckets: Dict[int, Set[str]] = {}
+        self._table = np.zeros(self._INITIAL_ROWS, dtype=NODE_DTYPE)
+        self._row_of: Dict[str, int] = {}
+        self._row_names: List[Optional[str]] = []
+        self._n_rows = 0
+        self._tombstones = 0
+        self._refresh_columns()
+        # Cluster-level aggregates stay incremental scalars (updated with
+        # the same +=/-= deltas as ever) so their float evolution -- and
+        # every report derived from them -- is bit-identical to the
+        # pre-array index.
         self._free_cores_total = 0
         self._free_memory_total = 0.0
         self._reserved_power_total = 0.0
@@ -233,14 +300,22 @@ class Cluster:
         self._dynamic_power_total = 0.0
         self._idle_power_total = 0.0
         self._idle: Set[str] = set()
-        # Per-bucket max free memory (lazily recomputed when the holder
-        # shrinks) and node *total* shape census (for O(1) can-ever-fit
-        # checks): the parts of the capacity index the simulator's
-        # capacity-gated retry path reads per completion.  ``None`` marks
-        # a stale bucket maximum.
-        self._bucket_max_memory: Dict[int, Optional[float]] = {}
+        # Node *total* shape census for O(1) can-ever-fit checks.
         self._shape_counts: Dict[Tuple[int, float], int] = {}
         self._membership_version = 0
+        # Python-side mirror of each node's (free_cores, free_memory,
+        # reserved_power) so capacity-change deltas never read numpy
+        # scalars back out of the table on the reserve/release hot path.
+        self._prev_capacity: Dict[str, Tuple[int, float, float]] = {}
+        # Interned feasible-set name tuples keyed by mask bytes; cleared
+        # whenever the row -> name mapping can change (membership churn).
+        self._names_memo: Dict[bytes, CandidateNames] = {}
+        # Feasibility answers keyed by the *request* shape, valid only
+        # between capacity changes: cleared on every reserve/release and
+        # on membership churn.  Placement bursts (the retry pass and the
+        # arrival stretches between completions) re-ask the same handful
+        # of shapes, so most lookups cost one dict hit and zero numpy.
+        self._shape_feasibility: Dict[Tuple[int, float], CandidateNames] = {}
         for node in nodes:
             self.add_node(node)
         if not self._nodes:
@@ -249,78 +324,97 @@ class Cluster:
     # ------------------------------------------------------------------ #
     # Capacity index maintenance
     # ------------------------------------------------------------------ #
+    def _refresh_columns(self) -> None:
+        """Re-derive the cached column views after (re)allocating the table."""
+        self._col_free_cores = self._table["free_cores"]
+        self._col_free_memory = self._table["free_memory"]
+        self._col_reserved_power = self._table["reserved_power"]
+        self._col_active = self._table["active"]
+
+    def _grow_table(self) -> None:
+        grown = np.zeros(max(self._INITIAL_ROWS, 2 * len(self._table)), dtype=NODE_DTYPE)
+        grown[: self._n_rows] = self._table[: self._n_rows]
+        self._table = grown
+        self._refresh_columns()
+
+    def _compact_table(self) -> None:
+        """Drop tombstoned rows, preserving live-row (insertion) order."""
+        live = np.flatnonzero(self._col_active[: self._n_rows])
+        compacted = np.zeros(len(self._table), dtype=NODE_DTYPE)
+        compacted[: len(live)] = self._table[live]
+        names = [self._row_names[row] for row in live]
+        self._table = compacted
+        self._row_names = names
+        self._row_of = {name: row for row, name in enumerate(names)}
+        self._n_rows = len(names)
+        self._tombstones = 0
+        self._names_memo.clear()
+        self._refresh_columns()
+
     def _node_reserved_power_w(self, node: ClusterNode) -> float:
-        used_fraction = 1.0 - node.available.cores / node.total.cores
+        used_fraction = 1.0 - node._free_cores / node.total.cores
         return (node.spec.peak_power_w - node.spec.idle_power_w) * used_fraction
 
     def _index_node(self, node: ClusterNode) -> None:
-        free_cores = node.available.cores
-        free_memory = node.available.memory_gib
+        if self._n_rows == len(self._table):
+            self._grow_table()
+        row = self._n_rows
+        self._n_rows += 1
+        self._row_of[node.name] = row
+        self._row_names.append(node.name)
+        free_cores = node._free_cores
+        free_memory = node._free_memory
         reserved_power = self._node_reserved_power_w(node)
-        self._free_cores[node.name] = free_cores
-        self._free_memory[node.name] = free_memory
-        self._reserved_power[node.name] = reserved_power
-        self._buckets.setdefault(free_cores, set()).add(node.name)
-        self._raise_bucket_max_memory(free_cores, free_memory)
+        self._table[row] = (
+            free_cores,
+            free_memory,
+            node.total.cores,
+            node.total.memory_gib,
+            reserved_power,
+            node.spec.idle_power_w,
+            node.spec.peak_power_w - node.spec.idle_power_w,
+            True,
+        )
         self._free_cores_total += free_cores
         self._free_memory_total += free_memory
         self._reserved_power_total += reserved_power
+        self._prev_capacity[node.name] = (free_cores, free_memory, reserved_power)
         if not node.running:
             self._idle.add(node.name)
 
-    def _raise_bucket_max_memory(self, free_cores: int, memory_gib: float) -> None:
-        """A node with ``memory_gib`` free joined a bucket: raise its max.
-
-        A stale (``None``) entry stays stale -- the joining node's memory
-        alone says nothing about the other members, so only the lazy
-        recompute may turn stale back into a definite value.
-        """
-        if free_cores not in self._bucket_max_memory:
-            self._bucket_max_memory[free_cores] = memory_gib
-            return
-        cached = self._bucket_max_memory[free_cores]
-        if cached is not None and memory_gib > cached:
-            self._bucket_max_memory[free_cores] = memory_gib
-
-    def _drop_from_bucket_max_memory(self, free_cores: int, memory_gib: float) -> None:
-        """A node that had ``memory_gib`` free left a bucket (or shrank)."""
-        if free_cores not in self._buckets:
-            self._bucket_max_memory.pop(free_cores, None)
-        elif self._bucket_max_memory.get(free_cores) == memory_gib:
-            # The (possibly tied) holder left; recompute lazily on read.
-            self._bucket_max_memory[free_cores] = None
-
     def _on_capacity_change(self, node: ClusterNode) -> None:
         self._capacity_cache = None
-        old_free = self._free_cores[node.name]
-        old_memory = self._free_memory[node.name]
-        new_free = node.available.cores
-        new_memory = node.available.memory_gib
+        name = node.name
+        row = self._row_of[name]
+        # The mirror holds exactly the values last written to the row, so
+        # the incremental totals evolve bit-for-bit as if the old values
+        # had been read back out of the array.
+        old_free, old_memory, old_power = self._prev_capacity[name]
+        new_free = node._free_cores
+        new_memory = node._free_memory
         if new_free != old_free:
-            bucket = self._buckets[old_free]
-            bucket.discard(node.name)
-            if not bucket:
-                del self._buckets[old_free]
-            self._buckets.setdefault(new_free, set()).add(node.name)
-            self._drop_from_bucket_max_memory(old_free, old_memory)
-            self._raise_bucket_max_memory(new_free, new_memory)
+            self._col_free_cores[row] = new_free
             self._free_cores_total += new_free - old_free
-            self._free_cores[node.name] = new_free
+            self._shape_feasibility.clear()
         if new_memory != old_memory:
-            if new_free == old_free:
-                self._drop_from_bucket_max_memory(new_free, old_memory)
-                self._raise_bucket_max_memory(new_free, new_memory)
+            self._col_free_memory[row] = new_memory
             self._free_memory_total += new_memory - old_memory
-            self._free_memory[node.name] = new_memory
-        old_power = self._reserved_power[node.name]
-        new_power = self._node_reserved_power_w(node)
+            if self._shape_feasibility:
+                self._shape_feasibility.clear()
+        # _node_reserved_power_w inlined (same expression, so identical
+        # floats): this runs once per reserve/release on the hot path.
+        spec = node.spec
+        new_power = (spec.peak_power_w - spec.idle_power_w) * (
+            1.0 - new_free / node.total.cores
+        )
         if new_power != old_power:
+            self._col_reserved_power[row] = new_power
             self._reserved_power_total += new_power - old_power
-            self._reserved_power[node.name] = new_power
+        self._prev_capacity[name] = (new_free, new_memory, new_power)
         if node.running:
-            self._idle.discard(node.name)
+            self._idle.discard(name)
         else:
-            self._idle.add(node.name)
+            self._idle.add(name)
 
     # ------------------------------------------------------------------ #
     # Elastic membership
@@ -328,10 +422,10 @@ class Cluster:
     def add_node(self, node: ClusterNode) -> None:
         """Attach a node to the cluster and start indexing its capacity.
 
-        The elastic scale-up primitive: the node joins the free-capacity
-        index (buckets, aggregates) and the cluster subscribes to its
-        capacity changes, so ``feasible_nodes`` and ``capacity()`` see it
-        immediately without any rescan.
+        The elastic scale-up primitive: the node gets a row in the capacity
+        table and the cluster subscribes to its capacity changes, so
+        ``feasible_nodes`` and ``capacity()`` see it immediately without
+        any rescan.
 
         Args:
             node: the node to attach; its name must be cluster-unique.
@@ -339,8 +433,6 @@ class Cluster:
         if node.name in self._nodes:
             raise ValueError(f"duplicate node name {node.name!r}")
         self._nodes[node.name] = node
-        self._order[node.name] = self._next_order
-        self._next_order += 1
         self._total_cores += node.total.cores
         self._total_memory += node.total.memory_gib
         self._dynamic_power_total += node.spec.peak_power_w - node.spec.idle_power_w
@@ -348,6 +440,8 @@ class Cluster:
         shape = (node.total.cores, node.total.memory_gib)
         self._shape_counts[shape] = self._shape_counts.get(shape, 0) + 1
         self._membership_version += 1
+        self._names_memo.clear()
+        self._shape_feasibility.clear()
         self._index_node(node)
         node.subscribe(self._on_capacity_change)
         self._capacity_cache = None
@@ -376,29 +470,30 @@ class Cluster:
         if len(self._nodes) == 1:
             raise ValueError("a cluster needs at least one node")
         node.unsubscribe(self._on_capacity_change)
-        free_cores = self._free_cores.pop(name)
-        bucket = self._buckets[free_cores]
-        bucket.discard(name)
-        if not bucket:
-            del self._buckets[free_cores]
-        self._free_cores_total -= free_cores
-        freed_memory = self._free_memory.pop(name)
-        self._drop_from_bucket_max_memory(free_cores, freed_memory)
+        row = self._row_of.pop(name)
+        self._col_active[row] = False
+        self._row_names[row] = None
+        self._tombstones += 1
+        self._free_cores_total -= int(self._col_free_cores[row])
         shape = (node.total.cores, node.total.memory_gib)
         self._shape_counts[shape] -= 1
         if not self._shape_counts[shape]:
             del self._shape_counts[shape]
         self._membership_version += 1
-        self._free_memory_total -= freed_memory
-        self._reserved_power_total -= self._reserved_power.pop(name)
+        self._free_memory_total -= float(self._col_free_memory[row])
+        self._reserved_power_total -= float(self._col_reserved_power[row])
         self._total_cores -= node.total.cores
         self._total_memory -= node.total.memory_gib
         self._dynamic_power_total -= node.spec.peak_power_w - node.spec.idle_power_w
         self._idle_power_total -= node.spec.idle_power_w
         self._idle.discard(name)
         del self._nodes[name]
-        del self._order[name]
+        del self._prev_capacity[name]
+        self._names_memo.clear()
+        self._shape_feasibility.clear()
         self._capacity_cache = None
+        if self._tombstones > len(self._nodes):
+            self._compact_table()
         return node
 
     def idle_nodes(self) -> List[ClusterNode]:
@@ -411,7 +506,7 @@ class Cluster:
         Returns:
             Fully idle nodes in node-insertion order.
         """
-        names = sorted(self._idle, key=self._order.__getitem__)
+        names = sorted(self._idle, key=self._row_of.__getitem__)
         return [self._nodes[name] for name in names]
 
     def capacity(self) -> CapacitySnapshot:
@@ -444,25 +539,38 @@ class Cluster:
         """
         return self._membership_version
 
-    def _bucket_max_memory_gib(self, free_cores: int) -> float:
-        """Max free memory among the nodes of one free-core bucket."""
-        cached = self._bucket_max_memory.get(free_cores)
-        if cached is None:
-            cached = max(
-                self._free_memory[name] for name in self._buckets[free_cores]
-            )
-            self._bucket_max_memory[free_cores] = cached
-        return cached
+    @property
+    def array_nbytes(self) -> int:
+        """Bytes currently allocated to the structured capacity table."""
+        return self._table.nbytes
+
+    def node_row(self, name: str) -> np.void:
+        """The capacity-table row mirroring one node (a read-only copy).
+
+        Test seam for the array/object-view consistency properties: every
+        field must agree with the node object it mirrors.
+        """
+        row = np.void(self._table[self._row_of[name]])
+        return row
+
+    def _feasible_mask(self, cores: int, memory_gib: float) -> np.ndarray:
+        n = self._n_rows
+        mask = self._col_free_cores[:n] >= cores
+        mask &= self._col_free_memory[:n] >= memory_gib
+        if self._tombstones:
+            mask &= self._col_active[:n]
+        return mask
 
     def has_feasible_node(self, cores: int, memory_gib: float) -> bool:
         """Whether some node currently has both the cores and the memory.
 
         The exact feasibility oracle behind the simulator's capacity-gated
         retry: equivalent to ``bool(feasible_nodes(cores, memory_gib))``
-        but answered from the free-core buckets and their (lazily
-        memoised) per-bucket max free memory -- O(distinct free-core
-        counts) instead of a node scan, which is what makes retrying a
-        deep pending queue per completion affordable.
+        but answered as one vectorised comparison over the capacity
+        table's columns.  The columns mirror the nodes' exact rounded
+        floats, so the comparison agrees bit-for-bit with per-node
+        ``can_host`` checks -- there is no cache to go stale under elastic
+        topology changes.
 
         Args:
             cores: requested core count.
@@ -471,12 +579,52 @@ class Cluster:
         Returns:
             True when at least one node can host the demand right now.
         """
-        for free_cores in self._buckets:
-            if free_cores >= cores and (
-                self._bucket_max_memory_gib(free_cores) >= memory_gib
-            ):
-                return True
-        return False
+        # Answered via the name surface so the shape memo is shared: the
+        # simulator's retry gate verifies a shape and then immediately
+        # places it, and both questions cost one mask build total.
+        return bool(self.feasible_node_names(cores, memory_gib))
+
+    def feasible_shape_mask(self, cores: np.ndarray, memory_gib: np.ndarray) -> np.ndarray:
+        """Per-shape feasibility for many (cores, memory) shapes at once.
+
+        One broadcast comparison of K shapes against N nodes -- the
+        simulator's retry path gates every distinct queued shape with a
+        single call instead of K oracle reads.
+
+        Args:
+            cores: int64 array of requested core counts, shape (K,).
+            memory_gib: float64 array of requested memory, shape (K,).
+
+        Returns:
+            Boolean array of shape (K,); entry k is
+            ``has_feasible_node(cores[k], memory_gib[k])``.
+        """
+        return self.feasible_shape_matrix(cores, memory_gib).any(axis=1)
+
+    def feasible_shape_matrix(self, cores: np.ndarray, memory_gib: np.ndarray) -> np.ndarray:
+        """Per-(shape, node) feasibility for many shapes at once.
+
+        The full K x N boolean matrix behind :meth:`feasible_shape_mask`.
+        The simulator's retry pass keeps it around so that, after a
+        placement shrinks one node's capacity, each shape can be
+        re-verified from the matrix plus a couple of exact Python float
+        comparisons instead of a fresh vectorised scan.
+
+        Args:
+            cores: int64 array of requested core counts, shape (K,).
+            memory_gib: float64 array of requested memory, shape (K,).
+
+        Returns:
+            Boolean array of shape (K, N); entry (k, n) is whether node
+            row n currently fits shape k.
+        """
+        n = self._n_rows
+        ok = (self._col_free_cores[:n] >= cores[:, None]) & (
+            self._col_free_memory[:n] >= memory_gib[:, None]
+        )
+        if self._tombstones:
+            ok &= self._col_active[:n]
+        return ok
 
     def fits_any_node_total(self, cores: int, memory_gib: float) -> bool:
         """Whether any node could host the demand even when fully idle.
@@ -549,24 +697,50 @@ class Cluster:
     def __len__(self) -> int:
         return len(self._nodes)
 
+    def feasible_node_names(self, cores: int, memory_gib: float) -> CandidateNames:
+        """Names of the nodes able to host a request, in insertion order.
+
+        The placement hot path: repeated queries for the same request
+        shape between two capacity changes are answered from a dict
+        (cleared on every reserve/release); otherwise one vectorised mask
+        over the capacity table, then an interned :class:`CandidateNames`
+        tuple per distinct mask -- node objects are never touched, and
+        the interned tuple's cached hash makes it cheap as a score-cache
+        key component.
+        """
+        shape = (cores, memory_gib)
+        names = self._shape_feasibility.get(shape)
+        if names is not None:
+            return names
+        n = self._n_rows
+        mask = self._col_free_cores[:n] >= cores
+        mask &= self._col_free_memory[:n] >= memory_gib
+        if self._tombstones:
+            mask &= self._col_active[:n]
+        key = mask.tobytes()
+        names = self._names_memo.get(key)
+        if names is None:
+            row_names = self._row_names
+            names = CandidateNames(
+                row_names[row] for row in np.flatnonzero(mask)
+            )
+            if len(self._names_memo) >= 8192:
+                self._names_memo.clear()
+            self._names_memo[key] = names
+        self._shape_feasibility[shape] = names
+        return names
+
     def feasible_nodes(self, cores: int, memory_gib: float) -> List[ClusterNode]:
         """Nodes with enough free resources for a request.
 
-        Served from the incremental capacity index: only the free-core
-        buckets that can satisfy the request are examined (a loaded
-        cluster skips its saturated nodes entirely), then filtered by free
-        memory.  The result keeps the cluster's node-insertion order so
+        Served from the capacity table (one vectorised comparison); the
+        result keeps the cluster's node-insertion order (row order) so
         placement stays deterministic.
         """
-        names: List[str] = []
-        for free_cores, bucket in self._buckets.items():
-            if free_cores < cores:
-                continue
-            for name in bucket:
-                if self._free_memory[name] >= memory_gib:
-                    names.append(name)
-        names.sort(key=self._order.__getitem__)
-        return [self._nodes[name] for name in names]
+        nodes = self._nodes
+        return [
+            nodes[name] for name in self.feasible_node_names(cores, memory_gib)
+        ]
 
     def total_idle_power_w(self) -> float:
         # Maintained incrementally on add/remove so the simulator can read

@@ -19,7 +19,17 @@ the task is migrated to the new host.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.registry import MetricsRegistry
@@ -48,9 +58,15 @@ class HeatsConfig:
             raise ValueError("energy weight must be in [0, 1]")
 
 
-@dataclass(frozen=True)
-class NodeScore:
-    """Score breakdown for one candidate node (lower is better)."""
+class NodeScore(NamedTuple):
+    """Score breakdown for one candidate node (lower is better).
+
+    A named tuple rather than a (frozen) dataclass: the scoring hot path
+    constructs one per (request, candidate) model prediction, and tuple
+    construction skips the per-field ``object.__setattr__`` a frozen
+    dataclass pays.  Field access and ordering semantics are unchanged
+    for every consumer (all read attributes).
+    """
 
     node: str
     predicted_time_s: float
@@ -107,6 +123,90 @@ class HeatsScheduler:
     # ------------------------------------------------------------------ #
     # Scoring
     # ------------------------------------------------------------------ #
+    def _score_names(
+        self,
+        request: TaskRequest,
+        names: Sequence[str],
+        energy_weight: Optional[float] = None,
+    ) -> Sequence[NodeScore]:
+        """Score candidate node *names* for one request, best (lowest) first.
+
+        The name-based core of scoring: the model set predicts by node
+        name, so the hot placement path never needs node objects at all --
+        candidates arrive straight from the cluster's vectorised
+        feasibility pass.  When a score cache is attached, the ranked list
+        is memoised under a (task kind, resource shape, candidate set)
+        key so repeated serving traffic skips the per-node model
+        predictions; a hit returns the cached tuple itself (callers must
+        not mutate it).
+        """
+        if not names:
+            return ()
+        weight = request.energy_weight if energy_weight is None else energy_weight
+        cache_key: Optional[object] = None
+        if self.score_cache is not None:
+            cache_key = self.score_cache.key_for(request, names, weight)
+            cached = self.score_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        # One flat-dict entry per candidate replaces the per-model map
+        # lookups; the arithmetic mirrors NodeModel.predict_pair exactly
+        # (same operation order, so identical floats).
+        flat = self.models.flat_for(request.workload)
+        gops = request.gops
+        req_cores = request.cores
+        predictions: List[Tuple[str, float, float]] = []
+        max_time = 0.0
+        max_energy = 0.0
+        for name in names:
+            entry = flat.get(name)
+            if entry is None:
+                if self.models.get(name) is None:
+                    continue
+                raise KeyError(
+                    f"node {name} has no learned model for workload "
+                    f"{request.workload.value}"
+                )
+            per_gop, slope, intercept, node_cores = entry
+            share = req_cores / node_cores
+            if share > 1.0:
+                share = 1.0
+            elif share <= 0:
+                raise ValueError("core share must be positive")
+            time_s = per_gop * gops / share
+            energy_j = slope * gops + intercept
+            if energy_j < 0.0:
+                energy_j = 0.0
+            if time_s > max_time:
+                max_time = time_s
+            if energy_j > max_energy:
+                max_energy = energy_j
+            predictions.append((name, time_s, energy_j))
+        if not predictions:
+            return ()
+        max_time = max_time or 1.0
+        max_energy = max_energy or 1.0
+        time_weight = 1.0 - weight
+        scores: List[NodeScore] = []
+        append = scores.append
+        for name, time_s, energy_j in predictions:
+            normalised_time = time_s / max_time
+            normalised_energy = energy_j / max_energy
+            append(
+                NodeScore(
+                    name,
+                    time_s,
+                    energy_j,
+                    normalised_time,
+                    normalised_energy,
+                    time_weight * normalised_time + weight * normalised_energy,
+                )
+            )
+        scores.sort(key=lambda s: (s.score, s.node))
+        if cache_key is not None:
+            self.score_cache.put(cache_key, scores)
+        return scores
+
     def score_candidates(
         self,
         request: TaskRequest,
@@ -115,50 +215,14 @@ class HeatsScheduler:
     ) -> List[NodeScore]:
         """Score all candidate nodes for one request, best (lowest) first.
 
-        When a score cache is attached, the ranked list is memoised under a
-        (task kind, resource shape, candidate set) key so repeated serving
-        traffic skips the per-node model predictions.
+        Object-based convenience over :meth:`_score_names` (the reschedule
+        path and external callers hold node objects).
         """
-        if not candidates:
-            return []
-        weight = request.energy_weight if energy_weight is None else energy_weight
-        cache_key: Optional[object] = None
-        if self.score_cache is not None:
-            cache_key = self.score_cache.key_for(
-                request, [node.name for node in candidates], weight
+        return list(
+            self._score_names(
+                request, [node.name for node in candidates], energy_weight
             )
-            cached = self.score_cache.get(cache_key)
-            if cached is not None:
-                return list(cached)
-        predictions: List[Tuple[ClusterNode, float, float]] = []
-        for node in candidates:
-            if node.name not in self.models:
-                continue
-            time_s, energy_j = self.models.predict(node.name, request)
-            predictions.append((node, time_s, energy_j))
-        if not predictions:
-            return []
-        max_time = max(p[1] for p in predictions) or 1.0
-        max_energy = max(p[2] for p in predictions) or 1.0
-        scores: List[NodeScore] = []
-        for node, time_s, energy_j in predictions:
-            normalised_time = time_s / max_time
-            normalised_energy = energy_j / max_energy
-            score = (1.0 - weight) * normalised_time + weight * normalised_energy
-            scores.append(
-                NodeScore(
-                    node=node.name,
-                    predicted_time_s=time_s,
-                    predicted_energy_j=energy_j,
-                    normalised_time=normalised_time,
-                    normalised_energy=normalised_energy,
-                    score=score,
-                )
-            )
-        scores.sort(key=lambda s: (s.score, s.node))
-        if self.score_cache is not None and cache_key is not None:
-            self.score_cache.put(cache_key, scores)
-        return scores
+        )
 
     # ------------------------------------------------------------------ #
     # Scheduler interface used by the cluster simulator
@@ -166,11 +230,11 @@ class HeatsScheduler:
     def place(self, request: TaskRequest, cluster: Cluster, time_s: float) -> Optional[str]:
         """Pick a node for a new request; None when nothing can host it now.
 
-        Candidate discovery goes through the cluster's incrementally
-        maintained free-capacity index (nodes bucketed by free cores,
-        updated on every reserve/release), so a loaded cluster is not
-        rescanned node-by-node per request -- the placement hot path the
-        serving benchmarks exercise.
+        Candidate discovery is one vectorised comparison against the
+        cluster's structured capacity table (free cores and memory live in
+        numpy columns), returning candidate *names* directly -- the
+        placement hot path the serving benchmarks exercise never touches a
+        node object.
 
         Args:
             request: the task to place.
@@ -180,11 +244,19 @@ class HeatsScheduler:
         Returns:
             The best-scoring feasible node's name, or None.
         """
-        candidates = cluster.feasible_nodes(request.cores, request.memory_gib)
+        # Inline hit on the cluster's per-shape feasibility memo (the
+        # dominant case on serving traffic: a handful of distinct request
+        # shapes between capacity changes); misses fall through to the
+        # vectorised pass, which populates it.
+        names = cluster._shape_feasibility.get((request.cores, request.memory_gib))
+        if names is None:
+            names = cluster.feasible_node_names(request.cores, request.memory_gib)
         if self._m_place_calls is not None:
             self._m_place_calls.inc()
-            self._m_candidates.record(float(len(candidates)))
-        scored = self.score_candidates(request, candidates)
+            self._m_candidates.record(float(len(names)))
+        if not names:
+            return None
+        scored = self._score_names(request, names)
         if not scored:
             return None
         return scored[0].node

@@ -63,6 +63,30 @@ class NodeModel:
             raise ValueError("core share must be positive")
         return per_gop * request.gops / share
 
+    def predict_pair(self, request: TaskRequest) -> Tuple[float, float]:
+        """(time_s, energy_j) with one workload lookup per map.
+
+        The scoring hot path's fused form of :meth:`predict_time_s` +
+        :meth:`predict_energy_j`: identical arithmetic (so identical
+        floats), minus the repeated membership checks and method calls.
+        """
+        workload = request.workload
+        per_gop = self.time_seconds_per_gop.get(workload)
+        if per_gop is None:
+            raise KeyError(
+                f"node {self.node} has no learned model for workload {workload.value}"
+            )
+        share = request.cores / self.node_cores
+        if share > 1.0:
+            share = 1.0
+        if share <= 0:
+            raise ValueError("core share must be positive")
+        gops = request.gops
+        energy = self.energy_joules_per_gop[workload] * gops + self.energy_intercept_j[workload]
+        if energy < 0.0:
+            energy = 0.0
+        return (per_gop * gops / share, energy)
+
     def predict_energy_j(self, request: TaskRequest) -> float:
         if request.workload not in self.energy_joules_per_gop:
             raise KeyError(
@@ -80,11 +104,45 @@ class PredictionModelSet:
         if not models:
             raise ValueError("model set must not be empty")
         self._models = dict(models)
+        #: lazily built per-workload scoring parameters (see
+        #: :meth:`flat_for`); cleared whenever membership changes.
+        self._flat: Dict[WorkloadKind, Dict[str, Tuple[float, float, float, int]]] = {}
 
     def model(self, node_name: str) -> NodeModel:
         if node_name not in self._models:
             raise KeyError(f"no learned model for node {node_name!r}")
         return self._models[node_name]
+
+    def get(self, node_name: str) -> Optional[NodeModel]:
+        """The node's model, or None when none was learned (hot-path
+        alternative to a ``in`` check followed by :meth:`model`)."""
+        return self._models.get(node_name)
+
+    def flat_for(self, workload: WorkloadKind) -> Dict[str, Tuple[float, float, float, int]]:
+        """Scoring parameters for one workload, flattened per node.
+
+        Maps ``node -> (time_s_per_gop, energy_slope_j_per_gop,
+        energy_intercept_j, node_cores)`` for exactly the nodes holding a
+        learned model of ``workload`` -- the scoring hot path reads one
+        dict entry per candidate instead of three per-model map lookups.
+        Built lazily and invalidated on :meth:`add`/:meth:`remove`; the
+        per-model parameter maps themselves are written only when models
+        are (re)learned, which always goes through those methods.
+        """
+        flat = self._flat.get(workload)
+        if flat is None:
+            flat = {
+                name: (
+                    model.time_seconds_per_gop[workload],
+                    model.energy_joules_per_gop[workload],
+                    model.energy_intercept_j[workload],
+                    model.node_cores,
+                )
+                for name, model in self._models.items()
+                if workload in model.time_seconds_per_gop
+            }
+            self._flat[workload] = flat
+        return flat
 
     def add(self, model: NodeModel) -> None:
         """Merge a newly learned node model (elastic scale-up).
@@ -94,6 +152,7 @@ class PredictionModelSet:
                 stale model recorded under the same node name.
         """
         self._models[model.node] = model
+        self._flat.clear()
 
     def remove(self, node_name: str) -> None:
         """Drop a node's model (elastic scale-down).
@@ -103,6 +162,7 @@ class PredictionModelSet:
                 removal is idempotent.
         """
         self._models.pop(node_name, None)
+        self._flat.clear()
 
     def __contains__(self, node_name: str) -> bool:
         return node_name in self._models

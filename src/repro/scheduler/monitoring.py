@@ -63,8 +63,11 @@ class ClusterMonitor:
             telemetry = NodeTelemetry(
                 time_s=time_s,
                 node=node.name,
-                available_cores=node.available.cores,
-                available_memory_gib=node.available.memory_gib,
+                # Free capacity read straight off the node (the
+                # ``available`` property would build a throwaway snapshot
+                # object per node per sample).
+                available_cores=node._free_cores,
+                available_memory_gib=node._free_memory,
                 utilisation=node.utilisation,
                 power_w=power,
                 running_tasks=len(node.running),

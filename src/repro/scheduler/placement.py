@@ -5,12 +5,20 @@ moves them: it owns the mapping from running task to hosting node, computes
 remaining work when a task is migrated, and charges the migration penalty
 (checkpointing the container, moving its state over the compute network and
 restarting it on the target host).
+
+Per-task numeric state (progress, segment baselines, energy, expected
+finish) lives in a numpy structured :class:`TaskTable`; a
+:class:`Placement` is a thin view over one row, so the simulator's
+progress/energy accounting reads and writes array columns while every
+existing consumer keeps the object API unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.scheduler.cluster import Cluster, ClusterNode
 from repro.scheduler.workload import TaskRequest
@@ -20,24 +28,294 @@ MIGRATION_PENALTY_S = 2.0
 #: state transfer bandwidth over the compute network, GB/s.
 MIGRATION_BANDWIDTH_GBPS = 2.5
 
+#: one row per placed task.  ``energy_j`` / ``segment_start_s`` /
+#: ``first_start_s`` / ``completion_version`` are the simulator's per-task
+#: accounting (folded into the same table so a run keeps no side dicts);
+#: the rest is the placement state proper.
+TASK_DTYPE = np.dtype(
+    [
+        ("start_s", np.float64),
+        ("expected_finish_s", np.float64),
+        ("work_done_gops", np.float64),
+        ("segment_base_gops", np.float64),
+        ("migrations", np.int64),
+        ("energy_j", np.float64),
+        ("segment_start_s", np.float64),
+        ("first_start_s", np.float64),
+        ("completion_version", np.int64),
+        ("active", np.bool_),
+    ]
+)
 
-@dataclass
+
+class TaskTable:
+    """Structured-array store for per-task placement/progress state.
+
+    Rows are allocated on instantiation and recycled through a free list
+    on completion; the array only ever grows (doubling), so its final
+    ``nbytes`` is also its peak -- what the core-speed benchmark reports
+    as the memory cost of the array core.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._table = np.zeros(capacity, dtype=TASK_DTYPE)
+        self._refresh_columns()
+        self._n_rows = 0
+        self._free: List[int] = []
+        #: per-row object companions (strings don't belong in the array).
+        self.requests: List[Optional[TaskRequest]] = []
+        self.node_names: List[Optional[str]] = []
+        self.segment_nodes: List[Optional[str]] = []
+
+    def _refresh_columns(self) -> None:
+        table = self._table
+        self.start_s = table["start_s"]
+        self.expected_finish_s = table["expected_finish_s"]
+        self.work_done_gops = table["work_done_gops"]
+        self.segment_base_gops = table["segment_base_gops"]
+        self.migrations = table["migrations"]
+        self.energy_j = table["energy_j"]
+        self.segment_start_s = table["segment_start_s"]
+        self.first_start_s = table["first_start_s"]
+        self.completion_version = table["completion_version"]
+        self.active = table["active"]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes allocated to the structured array (monotone, so == peak)."""
+        return self._table.nbytes
+
+    def alloc(self, request: TaskRequest) -> int:
+        """Claim a zeroed row for a task; returns the row index."""
+        if self._free:
+            row = self._free.pop()
+            self._table[row] = 0
+            self.requests[row] = request
+            self.node_names[row] = None
+            self.segment_nodes[row] = None
+        else:
+            if self._n_rows == len(self._table):
+                grown = np.zeros(2 * len(self._table), dtype=TASK_DTYPE)
+                grown[: self._n_rows] = self._table[: self._n_rows]
+                self._table = grown
+                self._refresh_columns()
+            row = self._n_rows
+            self._n_rows += 1
+            self.requests.append(request)
+            self.node_names.append(None)
+            self.segment_nodes.append(None)
+        self.active[row] = True
+        return row
+
+    def alloc_started(
+        self, request: TaskRequest, start_s: float, expected_finish_s: float
+    ) -> int:
+        """Claim a row initialised for a fresh placement, in one write.
+
+        Equivalent to :meth:`alloc` followed by the per-field start
+        assignments, but the whole record (timings, zeroed accounting,
+        active flag) lands as a single structured-row store -- the
+        instantiation hot path's version of :meth:`alloc`.
+        """
+        if self._free:
+            row = self._free.pop()
+            self.requests[row] = request
+            self.node_names[row] = None
+            self.segment_nodes[row] = None
+        else:
+            if self._n_rows == len(self._table):
+                grown = np.zeros(2 * len(self._table), dtype=TASK_DTYPE)
+                grown[: self._n_rows] = self._table[: self._n_rows]
+                self._table = grown
+                self._refresh_columns()
+            row = self._n_rows
+            self._n_rows += 1
+            self.requests.append(request)
+            self.node_names.append(None)
+            self.segment_nodes.append(None)
+        # (start_s, expected_finish_s, work_done, segment_base, migrations,
+        #  energy, segment_start, first_start, completion_version, active)
+        self._table[row] = (
+            start_s, expected_finish_s, 0.0, 0.0, 0, 0.0, 0.0, start_s, 0, True
+        )
+        return row
+
+    def free(self, row: int) -> None:
+        """Return a row to the free list (its view must be detached first)."""
+        self.active[row] = False
+        self.requests[row] = None
+        self.node_names[row] = None
+        self.segment_nodes[row] = None
+        self._free.append(row)
+
+    def row_record(self, row: int) -> np.void:
+        """A copy of one row (test seam for view/array round-trip checks)."""
+        return np.void(self._table[row])
+
+
 class Placement:
-    """One running task placement."""
+    """One running task placement -- a view over a :class:`TaskTable` row.
 
-    request: TaskRequest
-    node: str
-    start_s: float
-    expected_finish_s: float
-    work_done_gops: float = 0.0
-    #: work already banked when the current hosting segment began; progress
-    #: on the current node accrues on top of this, never instead of it.
-    segment_base_gops: float = 0.0
-    migrations: int = 0
+    Constructing one directly (the historical dataclass signature) backs
+    it with a private single-row table, so standalone placements built by
+    tests or tools behave identically to engine-owned views.
+    """
+
+    __slots__ = ("_t", "_row", "request")
+
+    def __init__(
+        self,
+        request: TaskRequest,
+        node: str,
+        start_s: float,
+        expected_finish_s: float,
+        work_done_gops: float = 0.0,
+        segment_base_gops: float = 0.0,
+        migrations: int = 0,
+    ) -> None:
+        table = TaskTable(capacity=1)
+        row = table.alloc(request)
+        table.node_names[row] = node
+        table.start_s[row] = start_s
+        table.expected_finish_s[row] = expected_finish_s
+        table.work_done_gops[row] = work_done_gops
+        table.segment_base_gops[row] = segment_base_gops
+        table.migrations[row] = migrations
+        self._t = table
+        self._row = row
+        self.request = request
+
+    @classmethod
+    def _view(cls, table: TaskTable, row: int, request: TaskRequest) -> "Placement":
+        view = object.__new__(cls)
+        view._t = table
+        view._row = row
+        view.request = request
+        return view
+
+    def _detach(self, into: Optional[TaskTable] = None) -> None:
+        """Rebind this view to a private copy of its row.
+
+        Called on completion before the engine recycles the row: callers
+        holding the placement keep reading the task's final state.
+
+        Args:
+            into: table to copy the row into; the engine passes its
+                retired-rows table so the hot path never allocates a
+                whole single-row table per completion.  ``None`` builds a
+                private one (standalone placements detached by tests).
+        """
+        source = self._t
+        source_row = self._row
+        table = into if into is not None else TaskTable(capacity=1)
+        row = table.alloc(self.request)
+        table._table[row] = source._table[source_row]
+        table.node_names[row] = source.node_names[source_row]
+        table.segment_nodes[row] = source.segment_nodes[source_row]
+        self._t = table
+        self._row = row
+
+    # -- placement state proper ---------------------------------------- #
+    @property
+    def node(self) -> str:
+        return self._t.node_names[self._row]
+
+    @node.setter
+    def node(self, value: str) -> None:
+        self._t.node_names[self._row] = value
+
+    @property
+    def start_s(self) -> float:
+        return float(self._t.start_s[self._row])
+
+    @start_s.setter
+    def start_s(self, value: float) -> None:
+        self._t.start_s[self._row] = value
+
+    @property
+    def expected_finish_s(self) -> float:
+        return float(self._t.expected_finish_s[self._row])
+
+    @expected_finish_s.setter
+    def expected_finish_s(self, value: float) -> None:
+        self._t.expected_finish_s[self._row] = value
+
+    @property
+    def work_done_gops(self) -> float:
+        return float(self._t.work_done_gops[self._row])
+
+    @work_done_gops.setter
+    def work_done_gops(self, value: float) -> None:
+        self._t.work_done_gops[self._row] = value
+
+    @property
+    def segment_base_gops(self) -> float:
+        """Work already banked when the current hosting segment began.
+
+        Progress on the current node accrues on top of this, never
+        instead of it.
+        """
+        return float(self._t.segment_base_gops[self._row])
+
+    @segment_base_gops.setter
+    def segment_base_gops(self, value: float) -> None:
+        self._t.segment_base_gops[self._row] = value
+
+    @property
+    def migrations(self) -> int:
+        return int(self._t.migrations[self._row])
+
+    @migrations.setter
+    def migrations(self, value: int) -> None:
+        self._t.migrations[self._row] = value
 
     @property
     def remaining_gops(self) -> float:
         return max(0.0, self.request.gops - self.work_done_gops)
+
+    # -- simulator accounting (same row, same table) -------------------- #
+    @property
+    def energy_j(self) -> float:
+        return float(self._t.energy_j[self._row])
+
+    @energy_j.setter
+    def energy_j(self, value: float) -> None:
+        self._t.energy_j[self._row] = value
+
+    @property
+    def segment_start_s(self) -> float:
+        return float(self._t.segment_start_s[self._row])
+
+    @property
+    def segment_node(self) -> Optional[str]:
+        return self._t.segment_nodes[self._row]
+
+    def set_segment(self, start_s: float, node: str) -> None:
+        self._t.segment_start_s[self._row] = start_s
+        self._t.segment_nodes[self._row] = node
+
+    @property
+    def first_start_s(self) -> float:
+        return float(self._t.first_start_s[self._row])
+
+    @property
+    def completion_version(self) -> int:
+        return int(self._t.completion_version[self._row])
+
+    def bump_completion_version(self) -> int:
+        version = int(self._t.completion_version[self._row]) + 1
+        self._t.completion_version[self._row] = version
+        return version
+
+    def row_record(self) -> np.void:
+        """A copy of the backing row (view/array round-trip test seam)."""
+        return self._t.row_record(self._row)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Placement({self.request.task_id!r}, node={self.node!r}, "
+            f"start_s={self.start_s}, expected_finish_s={self.expected_finish_s})"
+        )
 
 
 @dataclass(frozen=True)
@@ -57,6 +335,11 @@ class PlacementEngine:
 
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
+        self.table = TaskTable()
+        #: completed tasks detach their final row into here (rows are
+        #: never recycled), so a completion costs one row copy instead of
+        #: a fresh single-row table allocation.
+        self._retired = TaskTable()
         self._placements: Dict[str, Placement] = {}
         self._migrations: List[MigrationEvent] = []
 
@@ -65,26 +348,35 @@ class PlacementEngine:
     # ------------------------------------------------------------------ #
     def instantiate(self, request: TaskRequest, node_name: str, time_s: float) -> Placement:
         """Start a task on a node; reserves resources and predicts its finish."""
-        if request.task_id in self._placements:
-            raise KeyError(f"task {request.task_id!r} is already placed")
-        node = self.cluster.node(node_name)
-        node.reserve(request.task_id, request.cores, request.memory_gib)
+        task_id = request.task_id
+        if task_id in self._placements:
+            raise KeyError(f"task {task_id!r} is already placed")
+        node = self.cluster._nodes.get(node_name)
+        if node is None:
+            node = self.cluster.node(node_name)  # raises the standard error
+        node.reserve(task_id, request.cores, request.memory_gib)
         duration = node.execution_time_s(request.workload, request.gops, request.cores)
-        placement = Placement(
-            request=request,
-            node=node_name,
-            start_s=time_s,
-            expected_finish_s=time_s + duration,
-        )
-        self._placements[request.task_id] = placement
+        table = self.table
+        row = table.alloc_started(request, time_s, time_s + duration)
+        table.node_names[row] = node_name
+        placement = Placement._view(table, row, request)
+        self._placements[task_id] = placement
         return placement
 
     def complete(self, task_id: str, time_s: float) -> Placement:
-        """Finish a task: release its resources and return the final placement."""
+        """Finish a task: release its resources and return the final placement.
+
+        The returned placement is detached onto a private row copy (in the
+        engine's retired-rows table), so it stays valid (frozen in its
+        final state) after the engine recycles the task's table row.
+        """
         placement = self._require(task_id)
-        node = self.cluster.node(placement.node)
+        node = self.cluster._nodes[placement.node]
         node.release(task_id)
         placement.work_done_gops = placement.request.gops
+        row = placement._row
+        placement._detach(into=self._retired)
+        self.table.free(row)
         del self._placements[task_id]
         return placement
 
@@ -167,8 +459,17 @@ class PlacementEngine:
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
+    @property
+    def array_nbytes(self) -> int:
+        """Bytes in the engine's structured tables (live + retired rows)."""
+        return self.table.nbytes + self._retired.nbytes
+
     def placement(self, task_id: str) -> Placement:
         return self._require(task_id)
+
+    def get(self, task_id: str) -> Optional[Placement]:
+        """The live placement for a task, or None when it is not placed."""
+        return self._placements.get(task_id)
 
     @property
     def running(self) -> List[Placement]:

@@ -13,6 +13,14 @@ accounting:
   policy that finishes earlier also saves static energy -- the effect that
   makes pure energy-greedy placement lose at the performance end of the
   trade-off curve.
+
+The event loop is array-native: arrivals are consumed from one pre-sorted
+stream merged against a heap that only ever holds completions and
+reschedule heartbeats, queued-request retry gates every distinct resource
+shape with a single vectorised comparison against the cluster's capacity
+table, and per-task progress/energy state lives in the placement engine's
+structured :class:`~repro.scheduler.placement.TaskTable` instead of side
+dicts.
 """
 
 from __future__ import annotations
@@ -20,11 +28,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
 
 from repro.scheduler.cluster import Cluster, ClusterNode
 from repro.scheduler.monitoring import ClusterMonitor
-from repro.scheduler.placement import MigrationEvent, PlacementEngine
+from repro.scheduler.placement import MigrationEvent, Placement, PlacementEngine
 from repro.scheduler.workload import TaskRequest
 from repro.telemetry.profile import NULL_PHASE, PhaseProfiler
 from repro.telemetry.trace import Span, Tracer
@@ -45,9 +55,14 @@ class SchedulerProtocol(Protocol):
         ...
 
 
-@dataclass(frozen=True)
-class CompletedTask:
-    """Accounting of one finished task."""
+class CompletedTask(NamedTuple):
+    """Accounting of one finished task.
+
+    A named tuple rather than a frozen dataclass: one is constructed per
+    completion event on the hot path, and tuple construction skips the
+    per-field ``object.__setattr__`` a frozen dataclass pays.  All
+    consumers read attributes, which is unchanged.
+    """
 
     task_id: str
     arrival_s: float
@@ -76,6 +91,11 @@ class SimulationResult:
     migrations: List[MigrationEvent] = field(default_factory=list)
     makespan_s: float = 0.0
     idle_energy_j: float = 0.0
+    #: bytes held in numpy structured arrays at the end of the run (the
+    #: cluster capacity table plus the task table; both only grow, so the
+    #: end-of-run figure is also the peak) -- what the core-speed
+    #: benchmark reports as the memory cost of the array core.
+    peak_array_bytes: int = 0
 
     @property
     def task_energy_j(self) -> float:
@@ -117,47 +137,62 @@ class SimulationResult:
 class _PendingQueue:
     """FIFO retry queue indexed by resource shape (cores, memory).
 
-    The old hot path retried *every* queued request through the scheduler
-    on *every* completion -- O(pending x nodes) per event.  Serving queues
-    are shape-degenerate (batches come in a handful of (cores, memory)
-    shapes), so the queue is bucketed by exact shape: a completion gates
-    each *shape* once against the cluster's free-capacity index and only
-    surfaces requests whose shape some node can host right now.  FIFO
-    order across shapes is preserved via a monotone sequence number, so
-    placement outcomes are identical to the full rescan.
+    Serving queues are shape-degenerate (batches come in a handful of
+    (cores, memory) shapes), so the queue is bucketed by exact shape and a
+    completion gates every *shape* at once -- one vectorised comparison
+    against the cluster's capacity table -- instead of touching queued
+    requests.  FIFO order across shapes is preserved via a monotone
+    sequence number, so placement outcomes are identical to a full rescan.
+    The distinct-shape arrays handed to the vectorised gate are memoised
+    and only rebuilt when the shape population changes.
     """
 
     def __init__(self) -> None:
         self._seq = itertools.count()
         self._by_shape: Dict[Tuple[int, float], List[Tuple[int, TaskRequest]]] = {}
         self._count = 0
+        self._shape_cache: Optional[
+            Tuple[List[Tuple[int, float]], np.ndarray, np.ndarray]
+        ] = None
 
     def __len__(self) -> int:
         return self._count
 
     def push(self, request: TaskRequest) -> None:
-        self._by_shape.setdefault((request.cores, request.memory_gib), []).append(
-            (next(self._seq), request)
-        )
+        shape = (request.cores, request.memory_gib)
+        bucket = self._by_shape.get(shape)
+        if bucket is None:
+            self._by_shape[shape] = [(next(self._seq), request)]
+            self._shape_cache = None
+        else:
+            bucket.append((next(self._seq), request))
         self._count += 1
 
-    def candidates(self, shape_fits) -> List[Tuple[int, TaskRequest]]:
-        """Queued requests whose shape passes the gate, oldest first.
+    def shape_arrays(
+        self,
+    ) -> Tuple[List[Tuple[int, float]], np.ndarray, np.ndarray]:
+        """Distinct queued shapes plus their (cores, memory) column arrays."""
+        cache = self._shape_cache
+        if cache is None:
+            shapes = list(self._by_shape)
+            cores = np.fromiter((s[0] for s in shapes), np.int64, len(shapes))
+            memory = np.fromiter((s[1] for s in shapes), np.float64, len(shapes))
+            cache = self._shape_cache = (shapes, cores, memory)
+        return cache
 
-        Args:
-            shape_fits: ``(cores, memory_gib) -> bool`` feasibility oracle
-                (typically ``Cluster.has_feasible_node``), consulted once
-                per distinct shape.
-        """
-        out: List[Tuple[int, TaskRequest]] = []
-        for (cores, memory_gib), bucket in self._by_shape.items():
-            if shape_fits(cores, memory_gib):
-                out.extend(bucket)
-        out.sort()
-        return out
+    def shapes(self) -> List[Tuple[int, float]]:
+        """Distinct queued shapes (insertion order), without the arrays."""
+        cache = self._shape_cache
+        if cache is not None:
+            return cache[0]
+        return list(self._by_shape)
+
+    def bucket(self, shape: Tuple[int, float]) -> List[Tuple[int, TaskRequest]]:
+        """The FIFO entry list of one shape (oldest first)."""
+        return self._by_shape[shape]
 
     def all_entries(self) -> List[Tuple[int, TaskRequest]]:
-        """Every queued request, oldest first (the legacy full rescan)."""
+        """Every queued request, oldest first."""
         out: List[Tuple[int, TaskRequest]] = []
         for bucket in self._by_shape.values():
             out.extend(bucket)
@@ -167,18 +202,33 @@ class _PendingQueue:
     def remove(self, placed: Dict[Tuple[int, float], set]) -> None:
         """Drop placed entries, rebuilding only the affected shape buckets.
 
+        Placements surface oldest-first, so in the common case the placed
+        entries are exactly the bucket's head -- dropped with one prefix
+        ``del`` instead of filtering the whole (possibly deep) bucket.
+
         Args:
             placed: per-shape sets of placed sequence numbers; shapes not
                 present are untouched (the deep gated-out tail costs
                 nothing here).
         """
         for shape, seqs in placed.items():
-            bucket = [e for e in self._by_shape[shape] if e[0] not in seqs]
-            if bucket:
-                self._by_shape[shape] = bucket
+            bucket = self._by_shape[shape]
+            n_placed = len(seqs)
+            prefix = 0
+            for entry in bucket:
+                if prefix < n_placed and entry[0] in seqs:
+                    prefix += 1
+                else:
+                    break
+            if prefix == n_placed:
+                del bucket[:prefix]
             else:
+                bucket = [e for e in bucket if e[0] not in seqs]
+                self._by_shape[shape] = bucket
+            if not bucket:
                 del self._by_shape[shape]
-            self._count -= len(seqs)
+                self._shape_cache = None
+            self._count -= n_placed
 
     def drain_ids(self) -> List[str]:
         """Task ids of everything still queued, oldest first."""
@@ -243,7 +293,6 @@ class ClusterSimulator:
         monitor: Optional[ClusterMonitor] = None,
         monitoring_period_s: float = 30.0,
         rescheduling_interval_s: Optional[float] = None,
-        fast_path: bool = True,
         tracer: Optional["Tracer"] = None,
         profiler: Optional["PhaseProfiler"] = None,
     ) -> None:
@@ -256,30 +305,21 @@ class ClusterSimulator:
             monitoring_period_s: minimum simulated time between samples.
             rescheduling_interval_s: reschedule heartbeat; defaults to the
                 policy's configured cadence, else 60 s.
-            fast_path: use the capacity-gated retry index and
-                topology-change-only idle-power accounting.  ``False``
-                keeps the pre-overhaul full pending rescan per completion
-                -- identical :class:`SimulationResult`, with one caveat:
-                the scheduler's attempt-based counters see fewer
-                (real-only) placement attempts on the fast path, so a
-                policy that *acts* on those counters (an attached
-                autoscaler) may mutate topology at slightly different
-                instants.  Kept for A/B benchmarking and property tests.
             tracer: optional request-scoped tracer; when enabled the run
                 records ``task`` / ``task.pending`` / ``task.execute`` /
                 ``task.migrate`` spans (annotated with node, shard and
                 retry-index requeue counts).  ``None`` costs nothing.
             profiler: optional host-time phase profiler; when enabled the
-                event loop records ``placement`` / ``advance`` /
-                ``reschedule`` phases (nested under whatever phase the
-                caller has open).  ``None`` costs nothing.
+                event loop records ``vectorized_placement`` /
+                ``vectorized_advance`` / ``reschedule`` phases (nested
+                under whatever phase the caller has open).  ``None`` costs
+                nothing.
         """
         self.cluster = cluster
         self.scheduler = scheduler
-        self.fast_path = fast_path
         self.tracer = tracer
         #: cached boolean: every instrumentation site is one branch when
-        #: tracing is off, preserving the fast-path numbers exactly.
+        #: tracing is off, preserving the hot-path numbers exactly.
         self._trace = tracer is not None and tracer.enabled
         self.profiler = profiler
         #: same cached-boolean discipline for the host-time profiler.
@@ -305,11 +345,21 @@ class ClusterSimulator:
         self.engine = PlacementEngine(cluster)
         self._events: List[Tuple[float, int, int, object]] = []
         self._sequence = itertools.count()
-        self._task_energy: Dict[str, float] = {}
+        #: hosting-node history per task (variable-length; the only
+        #: per-task state that stays outside the engine's task table).
         self._task_nodes: Dict[str, List[str]] = {}
-        self._segment_start: Dict[str, Tuple[float, str]] = {}
-        self._start_times: Dict[str, float] = {}
-        self._completion_version: Dict[str, int] = {}
+        #: nodes whose capacity *grew* since the last retry pass ended
+        #: (completions and migration sources).  Between passes capacity
+        #: only shrinks elsewhere, so these are the only nodes that can
+        #: have made a queued shape newly feasible -- the incremental
+        #: retry gate checks just them instead of the whole table.
+        self._released_since_retry: set = set()
+        #: force the next retry pass through the full vectorised gate.
+        #: Starts True (nothing is vetted yet) and is re-raised whenever
+        #: the capacity-vetted invariant cannot be assumed: an elastic
+        #: arrival queued without a placement attempt, or a scheduler
+        #: declining a capacity-feasible placement.
+        self._retry_full_gate = True
         self._consumed = False
 
     # ------------------------------------------------------------------ #
@@ -323,11 +373,13 @@ class ClusterSimulator:
         dynamic = (node.spec.peak_power_w - node.spec.idle_power_w) * share
         return dynamic + node.spec.idle_power_w * share
 
-    def _close_segment(self, task_id: str, time_s: float, request: TaskRequest) -> None:
-        start, node_name = self._segment_start[task_id]
+    def _close_segment(self, placement: Placement, time_s: float, request: TaskRequest) -> None:
+        start = placement.segment_start_s
+        node_name = placement.segment_node
         node = self.cluster.node(node_name)
         duration = max(0.0, time_s - start)
-        self._task_energy[task_id] = self._task_energy.get(task_id, 0.0) + duration * self._segment_power_w(node, request)
+        placement.energy_j = placement.energy_j + duration * self._segment_power_w(node, request)
+        task_id = request.task_id
         if not self._task_nodes.get(task_id) or self._task_nodes[task_id][-1] != node_name:
             self._task_nodes.setdefault(task_id, []).append(node_name)
 
@@ -434,8 +486,8 @@ class ClusterSimulator:
     def run(self, requests: Sequence[TaskRequest]) -> SimulationResult:
         if self._consumed:
             # The cluster's node reservations, the engine's placements, and
-            # the per-task bookkeeping dicts all carry the previous run;
-            # silently reusing them drifts every accounting number.
+            # the per-task table rows all carry the previous run; silently
+            # reusing them drifts every accounting number.
             raise RuntimeError(
                 "a ClusterSimulator can only run once; build a fresh "
                 "simulator (and cluster) per request stream"
@@ -449,8 +501,13 @@ class ClusterSimulator:
         # final verdict there -- such arrivals queue instead of rejecting.
         elastic = getattr(self.scheduler, "autoscaler", None) is not None
 
-        for request in requests:
-            self._push(request.arrival_s, self._ARRIVAL, request)
+        # Arrivals are consumed from one pre-sorted stream (stable sort, so
+        # equal-time arrivals keep their input order, exactly as the heap's
+        # sequence tiebreak ordered them); the heap only ever holds
+        # completions and reschedule heartbeats.
+        arrivals = sorted(requests, key=lambda r: r.arrival_s)
+        arrival_index = 0
+        n_arrivals = len(arrivals)
         if self.scheduler.supports_rescheduling and requests:
             self._push(self.rescheduling_interval_s, self._RESCHEDULE, None)
 
@@ -459,65 +516,81 @@ class ClusterSimulator:
         # Idle power is piecewise constant: it only changes when the node
         # population does (elastic autoscaling during a reschedule event).
         # Track the level changes so idle energy can be integrated over
-        # the actual topology history instead of the end-of-run node set.
-        # On the fast path the level is re-read only after reschedule
-        # events (the sole place topology mutates) instead of per event.
+        # the actual topology history instead of the end-of-run node set;
+        # the level is re-read only after reschedule events (the sole
+        # place topology mutates) instead of per event.
         idle_power_levels: List[Tuple[float, float]] = [
             (0.0, self.cluster.total_idle_power_w())
         ]
 
-        while self._events:
-            time_s, kind, _, payload = heapq.heappop(self._events)
-            if time_s - last_monitor_sample >= self.monitoring_period_s:
+        events = self._events
+        heappop = heapq.heappop
+        monitoring_period = self.monitoring_period_s
+        profile = self._profile
+        trace = self._trace
+        arrival_kind = self._ARRIVAL
+        completion_kind = self._COMPLETION
+        engine_get = self.engine.get
+        while events or arrival_index < n_arrivals:
+            if arrival_index < n_arrivals:
+                if events:
+                    head = events[0]
+                    arrival_time = arrivals[arrival_index].arrival_s
+                    head_time = head[0]
+                    take_event = head_time < arrival_time or (
+                        head_time == arrival_time and head[1] < arrival_kind
+                    )
+                else:
+                    take_event = False
+                if take_event:
+                    time_s, kind, _, payload = heappop(events)
+                else:
+                    next_arrival = arrivals[arrival_index]
+                    time_s, kind, payload = (
+                        next_arrival.arrival_s,
+                        arrival_kind,
+                        next_arrival,
+                    )
+                    arrival_index += 1
+            else:
+                time_s, kind, _, payload = heappop(events)
+            if time_s - last_monitor_sample >= monitoring_period:
                 self.monitor.sample(time_s)
                 last_monitor_sample = time_s
 
-            if kind == self._ARRIVAL:
+            if kind == arrival_kind:
                 request = payload  # type: ignore[assignment]
-                if self._trace:
+                if trace:
                     self._trace_arrival(request)
-                with self.profiler.phase("placement") if self._profile else NULL_PHASE:
-                    if not self._can_ever_fit(request):
-                        if elastic:
-                            pending.push(request)
-                        else:
-                            # No node's *total* resources suffice and the
-                            # topology is fixed: queueing would never help, so
-                            # reject immediately instead of waiting for a
-                            # completion that cannot unblock the request.
-                            result.unplaced.append(request.task_id)
-                            remaining -= 1
-                            if self._trace:
-                                self._trace_unplaced(
-                                    request.task_id, time_s, "never_fits"
-                                )
-                    elif not self._try_place(request, time_s, result):
-                        pending.push(request)
-            elif kind == self._COMPLETION:
-                task_id, version = payload  # type: ignore[misc]
-                if self._completion_version.get(task_id) != version:
-                    continue  # stale completion superseded by a migration
-                with self.profiler.phase("advance") if self._profile else NULL_PHASE:
-                    request = self.engine.placement(task_id).request
-                    self._close_segment(task_id, time_s, request)
-                    placement = self.engine.complete(task_id, time_s)
-                    remaining -= 1
-                    result.completed.append(
-                        CompletedTask(
-                            task_id=task_id,
-                            arrival_s=placement.request.arrival_s,
-                            start_s=self._start_times[task_id],
-                            finish_s=time_s,
-                            nodes=tuple(self._task_nodes.get(task_id, [])),
-                            energy_j=self._task_energy.get(task_id, 0.0),
-                            migrations=placement.migrations,
+                # The disabled-profiler path calls the handler directly:
+                # no context-manager enter/exit per event on the hot loop.
+                if profile:
+                    with self.profiler.phase("vectorized_placement"):
+                        remaining -= self._admit(
+                            request, time_s, pending, result, elastic
                         )
+                else:
+                    remaining -= self._admit(
+                        request, time_s, pending, result, elastic
                     )
-                    if self._trace:
-                        self._trace_completion(task_id, time_s, placement.migrations)
-                # The freed node may unblock queued requests.
-                with self.profiler.phase("placement") if self._profile else NULL_PHASE:
-                    self._retry_pending(pending, time_s, result)
+            elif kind == completion_kind:
+                task_id, version = payload  # type: ignore[misc]
+                placement = engine_get(task_id)
+                if placement is None or placement.completion_version != version:
+                    continue  # stale completion superseded by a migration
+                if profile:
+                    with self.profiler.phase("vectorized_advance"):
+                        self._finish(placement, task_id, time_s, result)
+                    remaining -= 1
+                    # The freed node may unblock queued requests.
+                    if len(pending):
+                        with self.profiler.phase("vectorized_placement"):
+                            self._retry_pending(pending, time_s, result)
+                else:
+                    self._finish(placement, task_id, time_s, result)
+                    remaining -= 1
+                    if len(pending):
+                        self._retry_pending(pending, time_s, result)
             elif kind == self._RESCHEDULE:
                 topology_before = self.cluster.membership_version
                 with self.profiler.phase("reschedule") if self._profile else NULL_PHASE:
@@ -528,9 +601,8 @@ class ClusterSimulator:
                     # queued requests *now*, not at the next unrelated
                     # completion (and requests no node could ever host may
                     # have just become feasible).
-                    with self.profiler.phase("placement") if self._profile else NULL_PHASE:
-                        self._retry_pending(pending, time_s, result)
-                if not self.fast_path or topology_changed:
+                    with self.profiler.phase("vectorized_placement") if self._profile else NULL_PHASE:
+                        self._retry_pending(pending, time_s, result, full=True)
                     idle_power = self.cluster.total_idle_power_w()
                     if idle_power != idle_power_levels[-1][1]:
                         idle_power_levels.append((time_s, idle_power))
@@ -543,7 +615,9 @@ class ClusterSimulator:
                 # cooldown spanning several heartbeats.
                 if self.engine.running or topology_changed:
                     idle_heartbeats = 0
-                if remaining > 0 and (self.engine.running or self._events):
+                if remaining > 0 and (
+                    self.engine.running or events or arrival_index < n_arrivals
+                ):
                     self._push(time_s + self.rescheduling_interval_s, self._RESCHEDULE, None)
                 elif (
                     remaining > 0
@@ -553,14 +627,11 @@ class ClusterSimulator:
                 ):
                     idle_heartbeats += 1
                     self._push(time_s + self.rescheduling_interval_s, self._RESCHEDULE, None)
-            if not self.fast_path:
-                idle_power = self.cluster.total_idle_power_w()
-                if idle_power != idle_power_levels[-1][1]:
-                    idle_power_levels.append((time_s, idle_power))
 
         result.makespan_s = max((task.finish_s for task in result.completed), default=0.0)
         result.idle_energy_j = _integrate_levels(idle_power_levels, result.makespan_s)
         result.migrations = list(self.engine.migrations)
+        result.peak_array_bytes = self.cluster.array_nbytes + self.engine.array_nbytes
         leftover = pending.drain_ids()
         result.unplaced.extend(leftover)
         if self._trace:
@@ -575,93 +646,300 @@ class ClusterSimulator:
         """Whether any node could host the request even when fully idle."""
         return self.cluster.fits_any_node_total(request.cores, request.memory_gib)
 
+    def _admit(
+        self,
+        request: TaskRequest,
+        time_s: float,
+        pending: _PendingQueue,
+        result: SimulationResult,
+        elastic: bool,
+    ) -> int:
+        """Handle one arrival; returns 1 when it was rejected outright."""
+        if not self._can_ever_fit(request):
+            if elastic:
+                # Queued with no placement attempt: not capacity-vetted,
+                # so the incremental retry gate cannot be trusted.
+                self._retry_full_gate = True
+                pending.push(request)
+            else:
+                # No node's *total* resources suffice and the topology is
+                # fixed: queueing would never help, so reject immediately
+                # instead of waiting for a completion that cannot unblock
+                # the request.
+                result.unplaced.append(request.task_id)
+                if self._trace:
+                    self._trace_unplaced(request.task_id, time_s, "never_fits")
+                return 1
+        elif not self._try_place(request, time_s, result):
+            if not self._retry_full_gate:
+                # The scheduler's own feasibility pass just populated the
+                # shape memo, so this re-check is a dict hit.
+                cluster = self.cluster
+                names = cluster._shape_feasibility.get(
+                    (request.cores, request.memory_gib)
+                )
+                if names is None:
+                    names = cluster.feasible_node_names(
+                        request.cores, request.memory_gib
+                    )
+                if names:
+                    # The scheduler declined a capacity-feasible placement
+                    # (e.g. no learned model), so this entry is queued
+                    # without being capacity-vetted.
+                    self._retry_full_gate = True
+            pending.push(request)
+        return 0
+
+    def _finish(
+        self,
+        placement: "Placement",
+        task_id: str,
+        time_s: float,
+        result: SimulationResult,
+    ) -> None:
+        """Handle one (non-stale) completion event."""
+        request = placement.request
+        self._close_segment(placement, time_s, request)
+        self._released_since_retry.add(placement.node)
+        done = self.engine.complete(task_id, time_s)
+        result.completed.append(
+            CompletedTask(
+                task_id,
+                request.arrival_s,
+                done.first_start_s,
+                time_s,
+                tuple(self._task_nodes.get(task_id, ())),
+                done.energy_j,
+                done.migrations,
+            )
+        )
+        if self._trace:
+            self._trace_completion(task_id, time_s, done.migrations)
+
     def _retry_pending(
-        self, pending: _PendingQueue, time_s: float, result: SimulationResult
+        self,
+        pending: _PendingQueue,
+        time_s: float,
+        result: SimulationResult,
+        full: bool = False,
     ) -> None:
         """Retry queued requests that some node could actually host.
 
-        On the fast path each distinct queued shape is gated once against
-        the cluster's feasibility oracle (a node with both the cores and
-        the memory exists) and only passing shapes are surfaced -- a shape
-        no node can host would fail scheduler placement anyway, so
-        skipping it cannot change the outcome.  Each surfaced request is
-        re-gated before its attempt because successful placements shrink
-        capacity.  The legacy path replays the pre-overhaul full rescan.
+        Two gating modes decide which queued shapes may surface, with
+        bit-identical decisions:
+
+        * **Full** -- every distinct queued shape gated at once by one
+          vectorised comparison against the whole capacity table.  Used
+          for the first pass, after topology changes, and whenever the
+          vetted invariant below cannot be assumed.
+        * **Incremental** -- between two retry passes capacity only
+          *shrinks*, except on the nodes logged in
+          ``_released_since_retry`` (completion hosts and migration
+          sources).  Every queued entry was capacity-vetted infeasible
+          either when it was queued (its arrival placement attempt
+          failed) or at the previous pass end, so only a released node
+          can have made its shape feasible again -- the gate is a
+          handful of exact Python float comparisons against the live
+          capacity mirror (which holds the very values the numpy columns
+          do), with no vectorised pass at all.
+
+        Requests surface oldest-first across the feasible shapes' FIFO
+        buckets via a heap of (head seq, shape) pairs.  Each successful
+        placement shrinks capacity, so a shape is re-verified before each
+        surfaced request.  A scheduler that declines a capacity-feasible
+        placement leaves unvetted entries queued; that flips
+        ``_retry_full_gate`` so the next pass uses the full gate again.
         """
         if not len(pending):
             return
-        if self.fast_path:
-            entries = pending.candidates(self.cluster.has_feasible_node)
+        cluster = self.cluster
+        prev_capacity = cluster._prev_capacity
+        incremental = not (full or self._retry_full_gate)
+        if incremental:
+            # Compact working set: only shapes a released node fits are
+            # carried through the pass (usually one shape out of a dozen
+            # queued); everything else stays vetted-infeasible untouched.
+            # Shape order may vary with set iteration, but outcomes never
+            # depend on it: surfacing is ordered by the globally unique
+            # entry sequence numbers alone.
+            shapes: List[Tuple[int, float]] = []
+            supporters: List[List[str]] = []
+            slot_of: Dict[Tuple[int, float], int] = {}
+            shapes_all = pending.shapes()
+            for name in self._released_since_retry:
+                cap = prev_capacity.get(name)
+                if cap is None:
+                    continue  # released node has since left the cluster
+                free_cores = cap[0]
+                free_memory = cap[1]
+                for shape in shapes_all:
+                    if free_cores >= shape[0] and free_memory >= shape[1]:
+                        slot = slot_of.get(shape)
+                        if slot is None:
+                            slot_of[shape] = len(shapes)
+                            shapes.append(shape)
+                            supporters.append([name])
+                        else:
+                            supporters[slot].append(name)
+            if not shapes:
+                # Nothing became feasible: the no-op pass still
+                # re-establishes the vetted invariant.
+                self._released_since_retry.clear()
+                return
+            feasible = [True] * len(shapes)
+            ok = None
+            support = None
+            row_names = None
+            row_of = None
         else:
-            entries = pending.all_entries()
+            shapes, cores_arr, memory_arr = pending.shape_arrays()
+            ok = cluster.feasible_shape_matrix(cores_arr, memory_arr)
+            support = ok.sum(axis=1).tolist()
+            feasible = [count > 0 for count in support]
+            supporters = []
+            row_names = cluster._row_names
+            row_of = cluster._row_of
+        buckets = [pending.bucket(shape) for shape in shapes]
+        pointers = [0] * len(shapes)
         placed: Dict[Tuple[int, float], set] = {}
-        # Feasibility memo per shape, valid until a placement shrinks
-        # capacity: surfacing a long shape queue costs one oracle read,
-        # not one per queued request.
-        feasible: Dict[Tuple[int, float], bool] = {}
-        for seq, request in entries:
-            shape = (request.cores, request.memory_gib)
-            if self.fast_path:
-                fits = feasible.get(shape)
-                if fits is None:
-                    fits = self.cluster.has_feasible_node(*shape)
-                    feasible[shape] = fits
-                if not fits:
+        # Oldest-first across the feasible shapes' FIFO buckets: a small
+        # heap of (head seq, shape index) pairs replaces a per-pick scan
+        # over every shape, so each surfaced request costs O(log shapes).
+        heads = [
+            (bucket[0][0], index)
+            for index, bucket in enumerate(buckets)
+            if feasible[index] and bucket
+        ]
+        heapq.heapify(heads)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        # Capacity only shrinks inside one retry pass (placements reserve,
+        # nothing releases), and only on the rows placements landed on --
+        # so a shape gated feasible at pass start stays feasible unless
+        # every supporting row is among the placed-on rows and none of
+        # them still fits.  That re-verification is a handful of exact
+        # Python float comparisons against the capacity mirror,
+        # bit-identical to re-gating every shape after every placement.
+        placed_rows: List[int] = []
+        while heads:
+            best_seq, best = heappop(heads)
+            if incremental:
+                # The mirror is live, so checking the shape's supporters
+                # is always current; non-supporters cannot fit (they did
+                # not fit at pass start and capacity only shrinks here).
+                cores, memory_gib = shapes[best]
+                alive = False
+                for name in supporters[best]:
+                    cap = prev_capacity.get(name)
+                    if cap is not None and cap[0] >= cores and cap[1] >= memory_gib:
+                        alive = True
+                        break
+                if not alive:
+                    feasible[best] = False
                     continue
-            if self._try_place(request, time_s, result):
-                placed.setdefault(shape, set()).add(seq)
-                feasible.clear()
+            elif placed_rows:
+                cores, memory_gib = shapes[best]
+                shape_row = ok[best]
+                touched = 0
+                alive = False
+                for row in placed_rows:
+                    if shape_row[row]:
+                        touched += 1
+                        if not alive:
+                            free_cores, free_memory, _ = prev_capacity[row_names[row]]
+                            if free_cores >= cores and free_memory >= memory_gib:
+                                alive = True
+                if touched and not alive and support[best] <= touched:
+                    feasible[best] = False
+                    continue
+            bucket = buckets[best]
+            pointer = pointers[best]
+            request = bucket[pointer][1]
+            pointer += 1
+            pointers[best] = pointer
+            if pointer < len(bucket):
+                heappush(heads, (bucket[pointer][0], best))
+            placed_on = self._try_place(request, time_s, result)
+            if placed_on:
+                placed.setdefault(shapes[best], set()).add(best_seq)
+                if not incremental:
+                    row = row_of[placed_on]
+                    if row not in placed_rows:
+                        placed_rows.append(row)
             elif self._trace:
-                # Surfaced from the retry index but still not placeable:
-                # one more requeue (annotation only, so fast/legacy paths
-                # keep identical span counts even though the legacy scan
-                # surfaces more guaranteed-failure attempts).
+                # Surfaced from the retry gate but still not placeable: one
+                # more requeue (annotation only; the entry stays queued and
+                # the scan moves on to the next-oldest surfaced request).
                 self._t_requeues[request.task_id] = (
                     self._t_requeues.get(request.task_id, 0) + 1
                 )
+        # The pass end re-establishes the vetted invariant: every shape
+        # still queued was gated or marked infeasible above -- unless a
+        # scheduler declined a capacity-feasible placement, in which case
+        # its entries remain with the shape still feasible and the next
+        # pass must use the full gate.  (Checked before ``remove``, which
+        # may replace bucket list objects.)
+        full_gate_next = False
+        for index, bucket in enumerate(buckets):
+            if feasible[index]:
+                shape_placed = placed.get(shapes[index])
+                if len(bucket) > (len(shape_placed) if shape_placed else 0):
+                    full_gate_next = True
+                    break
+        self._retry_full_gate = full_gate_next
+        if self._released_since_retry:
+            self._released_since_retry.clear()
         if placed:
             pending.remove(placed)
 
-    def _try_place(self, request: TaskRequest, time_s: float, result: SimulationResult) -> bool:
+    def _try_place(
+        self, request: TaskRequest, time_s: float, result: SimulationResult
+    ) -> Optional[str]:
+        """Place one request now; returns the host node's name, or None."""
         node_name = self.scheduler.place(request, self.cluster, time_s)
         if node_name is None:
-            return False
-        node = self.cluster.node(node_name)
-        if not node.can_host(request.cores, request.memory_gib):
-            return False
+            return None
+        node = self.cluster._nodes.get(node_name)
+        if node is None:
+            node = self.cluster.node(node_name)  # raises the standard KeyError
+        # can_host inlined (same comparisons): one call saved per placement.
+        if not (
+            request.cores <= node._free_cores
+            and request.memory_gib <= node._free_memory
+        ):
+            return None
         placement = self.engine.instantiate(request, node_name, time_s)
-        self._start_times[request.task_id] = time_s
-        self._segment_start[request.task_id] = (time_s, node_name)
+        placement.set_segment(time_s, node_name)
         self._task_nodes.setdefault(request.task_id, []).append(node_name)
         if self._trace:
             self._trace_placement(request.task_id, node_name, time_s)
-        version = self._completion_version.get(request.task_id, 0) + 1
-        self._completion_version[request.task_id] = version
+        version = placement.bump_completion_version()
         self._push(placement.expected_finish_s, self._COMPLETION, (request.task_id, version))
-        return True
+        return node_name
 
     def _apply_rescheduling(self, time_s: float) -> None:
         decisions = self.scheduler.reschedule(self.engine.running, self.cluster, time_s)
         for task_id, target in decisions:
-            try:
-                placement = self.engine.placement(task_id)
-            except KeyError:
+            placement = self.engine.get(task_id)
+            if placement is None:
                 continue
             request = placement.request
-            self._close_segment(task_id, time_s, request)
+            self._close_segment(placement, time_s, request)
             try:
                 event = self.engine.migrate(task_id, target, time_s)
             except (ValueError, KeyError):
                 # Target filled up since the decision was computed; skip.
-                self._segment_start[task_id] = (time_s, placement.node)
+                placement.set_segment(time_s, placement.node)
                 continue
-            self._segment_start[task_id] = (event.time_s + event.downtime_s, target)
+            # The source node's capacity grew; the next completion-driven
+            # retry pass must consider it even though no pass runs now.
+            self._released_since_retry.add(event.source)
+            placement.set_segment(event.time_s + event.downtime_s, target)
             if self._trace:
                 self._trace_migration(
                     task_id, event.source, event.target, time_s, event.downtime_s
                 )
-            version = self._completion_version[task_id] + 1
-            self._completion_version[task_id] = version
+            version = placement.bump_completion_version()
             self._push(placement.expected_finish_s, self._COMPLETION, (task_id, version))
 
 

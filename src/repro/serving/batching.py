@@ -77,16 +77,30 @@ class Batch:
         # A member deadline that already passed by flush time cannot be
         # carried on the task (arrival would be at/after it); the batch
         # still runs, and the SLA tracker scores the miss per member.
-        deadline = self.earliest_deadline_s
+        # One walk over the members computes the aggregate resource shape
+        # (same accumulation order as the per-property passes, so the
+        # floats are identical).
+        total_gops = 0.0
+        cores = 0
+        memory_gib = 0.0
+        deadline: Optional[float] = None
+        for r in self.requests:
+            total_gops += r.gops
+            if r.cores > cores:
+                cores = r.cores
+            if r.memory_gib > memory_gib:
+                memory_gib = r.memory_gib
+            if r.deadline_s is not None and (deadline is None or r.deadline_s < deadline):
+                deadline = r.deadline_s
         if deadline is not None and deadline <= flush_s:
             deadline = None
         return TaskRequest(
             task_id=self.batch_id,
             arrival_s=flush_s,
             workload=head.workload,
-            gops=self.total_gops,
-            cores=max(r.cores for r in self.requests),
-            memory_gib=max(r.memory_gib for r in self.requests),
+            gops=total_gops,
+            cores=cores,
+            memory_gib=memory_gib,
             energy_weight=energy_weight,
             deadline_s=deadline,
             tenant=head.tenant,
@@ -161,19 +175,33 @@ class Batcher:
     # ------------------------------------------------------------------ #
     def add(self, request: ServingRequest, now_s: float) -> List[Batch]:
         """Append a request; returns any batches this add caused to flush."""
-        self._observe_clock(now_s)
-        key = self._key(request)
+        # _observe_clock inlined (one call per admitted request).
+        if now_s < self._last_now_s:
+            raise ValueError(
+                f"batcher observed time going backwards "
+                f"({now_s} after {self._last_now_s})"
+            )
+        self._last_now_s = now_s
+        policy = self.policy
+        key = (
+            request.tenant,
+            request.use_case,
+            request.workload,
+            request.cores,
+            int(request.memory_gib / policy.memory_bucket_gib),
+        )
         batch = self._open.get(key)
         if batch is None:
             batch = Batch(
                 batch_id=f"batch-{next(self._ids)}-{request.tenant}-{request.use_case}",
                 key=key,
-                requests=[],
+                requests=[request],
                 opened_s=now_s,
             )
             self._open[key] = batch
-        batch.requests.append(request)
-        if batch.size >= self.policy.max_batch_size:
+        else:
+            batch.requests.append(request)
+        if len(batch.requests) >= policy.max_batch_size:
             return [self._flush(key, now_s)]
         return []
 

@@ -83,12 +83,22 @@ class PredictionScoreCache:
         candidate_names: Sequence[str],
         energy_weight: float,
     ) -> CacheKey:
+        # Tuples pass through uncopied: the cluster's feasibility pass
+        # hands over interned hash-caching tuples, and rebuilding them
+        # would throw that cached hash away (a plain tuple built from the
+        # same names stays an equal key, so hit/miss accounting is
+        # unchanged either way).
+        names = (
+            candidate_names
+            if isinstance(candidate_names, tuple)
+            else tuple(candidate_names)
+        )
         return (
             request.workload,
             request.cores,
             self.gops_bucket(request.gops),
             int(energy_weight * self.weight_buckets),
-            tuple(candidate_names),
+            names,
         )
 
     # ------------------------------------------------------------------ #

@@ -202,7 +202,8 @@ class RequestGateway:
     def offer(self, request: ServingRequest, now_s: Optional[float] = None) -> AdmissionDecision:
         """Admit or reject one request at time ``now_s`` (its arrival by default)."""
         now = request.arrival_s if now_s is None else now_s
-        if request.tenant not in self._tenants:
+        tenant = self._tenants.get(request.tenant)
+        if tenant is None:
             return AdmissionDecision.REJECTED_UNKNOWN_TENANT
         stats = self._stats[request.tenant]
         stats.offered += 1
@@ -211,7 +212,7 @@ class RequestGateway:
         # Check queue capacity before consuming a token so a queue-full
         # rejection does not also burn the tenant's rate budget.
         queue = self._queues[request.tenant]
-        if len(queue) >= self._tenants[request.tenant].max_queue_depth:
+        if len(queue) >= tenant.max_queue_depth:
             stats.rejected_queue_full += 1
             if self._m_rejected is not None:
                 self._m_rejected.inc()

@@ -232,7 +232,6 @@ class ServingLoop:
         tracker: Optional[SlaTracker] = None,
         flush_tick_s: float = 0.5,
         metrics: Optional["MetricsRegistry"] = None,
-        fast_path: bool = True,
         tracer: Optional[Tracer] = None,
         profiler: Optional[PhaseProfiler] = None,
     ) -> None:
@@ -255,15 +254,6 @@ class ServingLoop:
         self._request_roots: Dict[str, Span] = {}
         self._gateway_spans: Dict[str, Span] = {}
         self._batch_wait_spans: Dict[str, Span] = {}
-        #: event-driven ingest + capacity-gated simulator retry; ``False``
-        #: replays the pre-overhaul fixed tick scan and full pending
-        #: rescan.  Serving outcomes are identical either way, except
-        #: that attempt-based telemetry counters differ (the fast path
-        #: skips guaranteed-failure placement attempts instead of
-        #: counting them) -- so a controller acting on those signals
-        #: (autoscaling) may scale at slightly different instants.
-        #: Kept for A/B benchmarking.
-        self.fast_path = fast_path
         self._consumed = False
 
     # ------------------------------------------------------------------ #
@@ -277,19 +267,17 @@ class ServingLoop:
         bounded tenant queues (queue-full backpressure can fire) and
         stale/deadline-bound batches flush even across arrival gaps.
 
-        The fast path walks the same tick grid event-driven: ticks where
-        nothing can happen (no queued admissions, no batch stale or
-        deadline-due yet) are provably no-ops and are skipped wholesale,
-        so the cost scales with arrivals + flushes instead of the horizon.
-        The drained tail and every flush are stamped on a monotone clock
-        (the batcher enforces it), never behind a member's add time.
+        The walk is event-driven over the tick grid: ticks where nothing
+        can happen (no queued admissions, no batch stale or deadline-due
+        yet) are provably no-ops and are skipped wholesale, so the cost
+        scales with arrivals + flushes instead of the horizon.  The
+        drained tail and every flush are stamped on a monotone clock (the
+        batcher enforces it), never behind a member's add time.  The
+        clock is always ``index * tick`` (not repeated addition), so
+        skipping ahead lands exactly on the grid a naive full scan would
+        walk even when the tick is not exactly representable in binary
+        floating point.
         """
-        if self.fast_path:
-            return self._ingest_event_driven(requests)
-        return self._ingest_tick_scan(requests)
-
-    def _ingest_event_driven(self, requests: Sequence[ServingRequest]) -> List[Batch]:
-        """Tick-grid-equivalent ingest that only visits productive ticks."""
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         flushed: List[Batch] = []
         tick = self.flush_tick_s
@@ -333,7 +321,10 @@ class ServingLoop:
                 run_tick()
 
         for request in ordered:
-            advance_to(request.arrival_s)
+            # Inline no-op guard: most arrivals land inside the current
+            # tick, where advance_to would immediately fall through.
+            if (index + 1) * tick <= request.arrival_s:
+                advance_to(request.arrival_s)
             decision = self.gateway.offer(request)
             self.tracker.record_offered(request.tenant, decision.admitted)
             if self._trace:
@@ -347,42 +338,6 @@ class ServingLoop:
         # Keep walking the grid past the last arrival so the tail still
         # flushes through the deadline-/staleness-aware path rather than
         # being stamped wholesale at end + max_delay.
-        advance_to(end + self.batcher.policy.max_delay_s + tick)
-        flushed.extend(self.batcher.flush_all(max(index * tick, end)))
-        return flushed
-
-    def _ingest_tick_scan(self, requests: Sequence[ServingRequest]) -> List[Batch]:
-        """The pre-overhaul fixed-cadence scan (every tick is visited).
-
-        The clock is derived from the same integer tick index as the
-        event-driven walk (``index * tick``, not repeated addition), so
-        both paths agree on the grid bit-for-bit even when the tick is
-        not exactly representable in binary floating point.
-        """
-        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
-        flushed: List[Batch] = []
-        tick = self.flush_tick_s
-        index = 0
-
-        def advance_to(time_s: float) -> None:
-            nonlocal index
-            while (index + 1) * tick <= time_s:
-                index += 1
-                now = index * tick
-                for admitted in self.gateway.drain():
-                    flushed.extend(self._admit_to_batcher(admitted, now))
-                flushed.extend(self.batcher.flush_ready(now))
-
-        for request in ordered:
-            advance_to(request.arrival_s)
-            decision = self.gateway.offer(request)
-            self.tracker.record_offered(request.tenant, decision.admitted)
-            if self._trace:
-                self._trace_admission(request, decision)
-        end = ordered[-1].arrival_s if ordered else 0.0
-        advance_to(end)
-        for admitted in self.gateway.drain():
-            flushed.extend(self._admit_to_batcher(admitted, end))
         advance_to(end + self.batcher.policy.max_delay_s + tick)
         flushed.extend(self.batcher.flush_all(max(index * tick, end)))
         return flushed
@@ -485,7 +440,6 @@ class ServingLoop:
         simulator = ClusterSimulator(
             self.cluster,
             self.scheduler,
-            fast_path=self.fast_path,
             tracer=self.tracer if self._trace else None,
             profiler=self.profiler if self._profile else None,
         )
@@ -508,20 +462,25 @@ class ServingLoop:
         latencies: List[float] = []
         completions: List[float] = []
         completed_requests = 0
+        record_completion = self.tracker.record_completion
+        trace = self._trace
         for task in simulation.completed:
             batch = by_task_id[task.task_id]
+            finish_s = task.finish_s
             energy_per_member = task.energy_j / batch.size
             for member in batch.requests:
-                latency = max(0.0, task.finish_s - member.arrival_s)
+                latency = finish_s - member.arrival_s
+                if latency < 0.0:
+                    latency = 0.0
                 deadline_met = (
-                    task.finish_s <= member.deadline_s
+                    finish_s <= member.deadline_s
                     if member.deadline_s is not None
                     else None
                 )
-                self.tracker.record_completion(
+                record_completion(
                     member.tenant, latency, energy_per_member, deadline_met
                 )
-                if self._trace:
+                if trace:
                     root = self._request_roots.pop(member.request_id, None)
                     if root is not None:
                         root.annotate("terminal", True)
@@ -532,7 +491,7 @@ class ServingLoop:
                             deadline_met=deadline_met,
                         )
                 latencies.append(latency)
-                completions.append(task.finish_s)
+                completions.append(finish_s)
                 completed_requests += 1
         dropped = 0
         for task_id in simulation.unplaced:

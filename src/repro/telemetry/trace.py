@@ -13,8 +13,7 @@ Design constraints (mirroring the serving hot path this instruments):
 
 * **Pay for what you use.**  A disabled tracer never allocates a span;
   every instrumentation site guards on a single cached boolean, so the
-  ``fast_path`` numbers from the discrete-event overhaul are unaffected
-  when tracing is off.
+  array-native hot-path numbers are unaffected when tracing is off.
 * **Monotone within a span.**  ``Span.end`` rejects an end time before
   the start time, which is how the property-test suite pins the "no span
   ends before it starts" invariant at the source.

@@ -127,6 +127,56 @@ class TestServeShim:
         assert new.cache_stats is None
 
 
+class TestFastPathDeprecationShim:
+    """Old specs carrying the retired ``fast_path`` flag keep working.
+
+    The array-native core deleted the legacy scan paths; the flag is a
+    warn-and-ignore shim now, and a spec that set it must still load,
+    round-trip losslessly, and serve a bit-identical report.
+    """
+
+    def test_old_fast_path_spec_warns_and_serves_identically(self):
+        workload = _workload(seed=27)
+        seed = SeedPolicy(base=19)
+        baseline = (
+            LegatoSystem()
+            .deploy(DeploymentSpec(topology=TopologySpec(cluster_scale=2, seed=seed)))
+            .serve(workload)
+        )
+        with pytest.warns(DeprecationWarning, match="fast_path"):
+            legacy_serving = ServingSpec(fast_path=False)
+        legacy = (
+            LegatoSystem()
+            .deploy(
+                DeploymentSpec(
+                    topology=TopologySpec(cluster_scale=2, seed=seed),
+                    serving=legacy_serving,
+                )
+            )
+            .serve(workload)
+        )
+        _identical(baseline, legacy)
+
+    def test_fast_path_round_trips_losslessly(self):
+        with pytest.warns(DeprecationWarning, match="fast_path"):
+            spec = DeploymentSpec(serving=ServingSpec(fast_path=False))
+        with pytest.warns(DeprecationWarning, match="fast_path"):
+            from_json = DeploymentSpec.from_json(spec.to_json())
+        assert from_json.serving.fast_path is False
+        assert from_json.to_dict() == spec.to_dict()
+        with pytest.warns(DeprecationWarning, match="fast_path"):
+            from_toml = DeploymentSpec.from_toml(spec.to_toml())
+        assert from_toml.serving.fast_path is False
+        assert from_toml.to_dict() == spec.to_dict()
+
+    def test_default_spec_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            spec = ServingSpec()
+        assert spec.fast_path is True
+        assert spec.validate() == []
+
+
 class TestFederateShim:
     def test_warns_and_builds_equivalent_federation(self):
         with pytest.warns(DeprecationWarning, match="federate"):

@@ -9,9 +9,8 @@ invariants the observability layer promises:
   verdict consistent with the serving report's accounting;
 * no span ends before it starts, every span is closed by run end, and
   child spans nest inside their parents' intervals;
-* the span-name multiset is conserved across ``fast_path`` on/off -- the
-  hot-path overhaul must be invisible in the trace, not just in the
-  report.
+* the span-name multiset is conserved across replays -- the array-native
+  hot path must be deterministic in the trace, not just in the report.
 """
 
 from __future__ import annotations
@@ -68,14 +67,13 @@ def _requests(seed: int, count: int, duration_s: float):
     ]
 
 
-def _traced_run(requests, fast_path: bool = True):
+def _traced_run(requests):
     tracer = Tracer(enabled=True)
     loop = ServingLoop(
         Cluster.heats_testbed(scale=1),
         HeatsScheduler(MODELS),
         RequestGateway(TENANTS),
         batch_policy=BATCH_POLICY,
-        fast_path=fast_path,
         tracer=tracer,
     )
     report = loop.run(requests)
@@ -134,15 +132,18 @@ def test_spans_are_closed_ordered_and_nested(params):
 
 @given(workload_params)
 @settings(max_examples=10, deadline=None)
-def test_span_counts_conserved_across_fast_path(params):
+def test_span_counts_conserved_across_replays(params):
+    """Two fresh runs of the same stream must trace identically -- the
+    determinism soak that retired the legacy ``fast_path=False`` A/B
+    comparison when the scan paths were deleted."""
     seed, count, duration_s = params
     requests = _requests(seed, count, duration_s)
-    fast = _traced_run(requests, fast_path=True)
-    slow = _traced_run(requests, fast_path=False)
+    first = _traced_run(requests)
+    second = _traced_run(requests)
 
-    fast_names = Counter(span.name for span in fast.trace_spans)
-    slow_names = Counter(span.name for span in slow.trace_spans)
-    assert fast_names == slow_names
+    first_names = Counter(span.name for span in first.trace_spans)
+    second_names = Counter(span.name for span in second.trace_spans)
+    assert first_names == second_names
 
     def terminal_verdicts(report):
         return sorted(
@@ -151,4 +152,4 @@ def test_span_counts_conserved_across_fast_path(params):
             if span.name in ("request", "task") and span.annotations.get("verdict")
         )
 
-    assert terminal_verdicts(fast) == terminal_verdicts(slow)
+    assert terminal_verdicts(first) == terminal_verdicts(second)
